@@ -1,0 +1,225 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation flips one optimization of Sections IV-V and measures its
+effect on resources, throughput, or latency:
+
+* Fig 7c     — dRNEA submodule cost grows with joint depth;
+* IV-A1      — sparsity/constant optimization of the datapath;
+* IV-A2      — recompute vs buffer-and-transfer the joint transforms;
+* IV-A3      — lazy update of backward-loop read-modify-writes;
+* IV-A4      — incremental column vectors;
+* IV-B2      — fixed-point reciprocal via the float trick;
+* V-C1       — symmetric-branch time-division multiplexing;
+* V-C1/Fig11c — tree re-rooting (Atlas depth 11 -> 9);
+* V-C5       — floating-base splitting.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_table
+from repro.core import DaduRBD, PAPER_CONFIG
+from repro.core.config import SAPConfig
+from repro.core.costmodel import CostModel, SubmoduleKind
+from repro.core.fixedpoint import FixedPointFormat, fixed_reciprocal
+from repro.core.saps import organize
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import atlas, hyq, iiwa
+from repro.reporting import Table
+
+#: Ablation builds must not auto-retune: hold the II budgets fixed so the
+#: resource deltas are attributable to the toggled feature.
+FROZEN = PAPER_CONFIG.with_(auto_fit_ii=False)
+
+
+def _resources(config, builder=iiwa):
+    org = organize(builder(), config)
+    cost = CostModel(org.timing_model, config)
+    from repro.core.resources import ResourceModel
+
+    return ResourceModel(org, cost).report()
+
+
+def test_fig7c_cost_grows_with_depth(once, iiwa_acc):
+    """Fig 7c: resource usage of Df submodules by pipeline level."""
+    def _report():
+        cost = iiwa_acc.cost
+        table = Table("Fig 7c: dRNEA forward submodule cost by level",
+                      ["level", "ops", "lanes"])
+        lanes = []
+        for link in range(7):
+            budget = cost.budget(SubmoduleKind.DF, link)
+            lanes.append(budget.parallelism)
+            table.add_row(link + 1, budget.ops, budget.parallelism)
+        record_table(table)
+        assert lanes == sorted(lanes)
+        assert lanes[-1] > 4 * lanes[0]
+
+    once(_report)
+
+def test_sparsity_ablation(once):
+    """IV-A1: a dense datapath costs significantly more DSP."""
+    def _report():
+        sparse = _resources(FROZEN)
+        dense = _resources(FROZEN.with_(sparse_datapath=False))
+        table = Table("Ablation IV-A1: sparsity/constant optimization",
+                      ["variant", "lanes", "DSP"])
+        table.add_row("sparse (paper)", sparse.total_lanes,
+                      f"{sparse.dsp_utilization:.0%}")
+        table.add_row("dense", dense.total_lanes, f"{dense.dsp_utilization:.0%}")
+        record_table(table)
+        assert dense.total_lanes > 1.2 * sparse.total_lanes
+
+    once(_report)
+
+def test_lazy_update_ablation(once):
+    """IV-A3: without lazy updates the RNEA pipeline II doubles."""
+    def _report():
+        on = DaduRBD(iiwa(), FROZEN)
+        off = DaduRBD(iiwa(), FROZEN.with_(lazy_update=False))
+        ii_on = on.initiation_interval(RBDFunction.ID)
+        ii_off = off.initiation_interval(RBDFunction.ID)
+        table = Table("Ablation IV-A3: lazy update", ["variant", "ID II (cyc)",
+                      "ID throughput (M/s)"])
+        table.add_row("lazy (paper)", ii_on,
+                      on.throughput_tasks_per_s(RBDFunction.ID, 256) / 1e6)
+        table.add_row("sequential", ii_off,
+                      off.throughput_tasks_per_s(RBDFunction.ID, 256) / 1e6)
+        record_table(table)
+        assert ii_off > 1.5 * ii_on
+
+    once(_report)
+
+def test_incremental_columns_ablation(once):
+    """IV-A4: full-width derivative matrices waste area."""
+    def _report():
+        on = _resources(FROZEN)
+        off = _resources(FROZEN.with_(incremental_columns=False))
+        table = Table("Ablation IV-A4: incremental column vectors",
+                      ["variant", "lanes"])
+        table.add_row("incremental (paper)", on.total_lanes)
+        table.add_row("full-width", off.total_lanes)
+        record_table(table)
+        assert off.total_lanes > 1.3 * on.total_lanes
+
+    once(_report)
+
+def test_branch_sharing_ablation(once):
+    """V-C1: multiplexing symmetric legs saves area on HyQ."""
+    def _report():
+        shared = _resources(FROZEN, hyq)
+        private = _resources(
+            FROZEN.with_(sap=SAPConfig(share_symmetric_branches=False)), hyq
+        )
+        table = Table("Ablation V-C1: symmetric-branch sharing (HyQ)",
+                      ["variant", "stages", "lanes", "LUT", "FF"])
+        table.add_row("2 legs/array (paper)", shared.stage_count,
+                      shared.total_lanes, f"{shared.lut_utilization:.0%}",
+                      f"{shared.ff_utilization:.0%}")
+        table.add_row("1 leg/array", private.stage_count,
+                      private.total_lanes, f"{private.lut_utilization:.0%}",
+                      f"{private.ff_utilization:.0%}")
+        table.add_note(
+            "multiplexing halves the submodule *instance* count (stage "
+            "controllers, FIFOs, parameter ROMs); MAC lanes migrate to the "
+            "shared instances"
+        )
+        record_table(table)
+        # Two legs per array: half the leg-stage instances, cheaper LUT/FF.
+        assert private.stage_count > 1.4 * shared.stage_count
+        assert private.lut > shared.lut
+        assert private.ff > shared.ff
+
+    once(_report)
+
+def test_reroot_ablation(once):
+    """Fig 11c: re-rooting Atlas cuts depth and deep-submodule cost."""
+    def _report():
+        on = organize(atlas(), FROZEN)
+        off = organize(atlas(), FROZEN.with_(sap=SAPConfig(reroot_tree=False)))
+        res_on = _resources(FROZEN, atlas)
+        res_off = _resources(FROZEN.with_(sap=SAPConfig(reroot_tree=False)), atlas)
+        table = Table("Ablation Fig 11c: Atlas re-rooting",
+                      ["variant", "tree depth", "lanes"])
+        table.add_row(f"re-rooted at {on.rerooted_at} (paper)",
+                      on.reroot_depths[1], res_on.total_lanes)
+        table.add_row("pelvis root", atlas().max_depth(), res_off.total_lanes)
+        record_table(table)
+        assert on.reroot_depths == (11, 9)
+        assert res_on.total_lanes < res_off.total_lanes
+
+    once(_report)
+
+def test_float_split_ablation(once):
+    """V-C5: splitting the floating base halves the root submodule cost."""
+    def _report():
+        split = organize(hyq(), FROZEN)
+        whole = organize(
+            hyq(), FROZEN.with_(sap=SAPConfig(split_floating_base=False))
+        )
+        cost_split = CostModel(split.timing_model, FROZEN)
+        cost_whole = CostModel(whole.timing_model, FROZEN)
+        root_split = max(
+            cost_split.ops(SubmoduleKind.RF, 0), cost_split.ops(SubmoduleKind.RF, 1)
+        )
+        root_whole = cost_whole.ops(SubmoduleKind.RF, 0)
+        table = Table("Ablation V-C5: floating-base split (HyQ root Rf ops)",
+                      ["variant", "ops"])
+        table.add_row("split (paper)", root_split)
+        table.add_row("6-DOF joint", root_whole)
+        record_table(table)
+        assert root_split < root_whole
+
+    once(_report)
+
+def test_reupdate_transforms_ablation(once):
+    """IV-A2: recomputing X in backward submodules vs transferring it."""
+    def _report():
+        reupdate = _resources(FROZEN)
+        transfer = _resources(FROZEN.with_(reupdate_transforms=False))
+        table = Table("Ablation IV-A2: reupdate vs transfer X (iiwa)",
+                      ["variant", "lanes", "FF", "LUT"])
+        table.add_row("recompute X (paper)", reupdate.total_lanes,
+                      f"{reupdate.ff_utilization:.1%}",
+                      f"{reupdate.lut_utilization:.1%}")
+        table.add_row("buffer + transfer X", transfer.total_lanes,
+                      f"{transfer.ff_utilization:.1%}",
+                      f"{transfer.lut_utilization:.1%}")
+        table.add_note(
+            "recomputation costs a few multiplies (the X refresh is 8 "
+            "mults for a revolute joint) but avoids 36 extra words of "
+            "FIFO payload per backward stream"
+        )
+        record_table(table)
+        # Transferring X saves a few lanes but costs more FF/LUT overall.
+        assert transfer.total_lanes <= reupdate.total_lanes
+        assert transfer.ff > reupdate.ff
+        assert transfer.lut > reupdate.lut
+
+    once(_report)
+
+
+def test_fixed_point_reciprocal_speed_model(once):
+    """IV-B2: the float-trick reciprocal needs only ~2 Newton steps."""
+    def _report():
+        fmt = FixedPointFormat(16, 20)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.05, 100.0, size=200)
+        errors = [abs(fixed_reciprocal(v, fmt, 2) * v - 1.0) for v in values]
+        table = Table("Ablation IV-B2: fixed-point reciprocal accuracy",
+                      ["refinements", "max |x*recip(x)-1|"])
+        for refinements in (0, 1, 2, 3):
+            errs = [abs(fixed_reciprocal(v, fmt, refinements) * v - 1.0)
+                    for v in values]
+            table.add_row(refinements, max(errs))
+        record_table(table)
+        assert max(errors) < 1e-4
+
+    once(_report)
+
+@pytest.mark.parametrize("toggle", ["sparse_datapath", "incremental_columns",
+                                    "lazy_update"])
+def test_ablation_benchmark(benchmark, toggle):
+    """pytest-benchmark target: building an ablated iiwa accelerator."""
+    config = FROZEN.with_(**{toggle: False})
+    benchmark(DaduRBD, iiwa(), config)

@@ -1,0 +1,70 @@
+"""Fig 2: the motivating application profile.
+
+(b) multithreaded CPU runtime saturates as threads increase;
+(c) the task breakdown: LQ approximation dominates, with "Derivatives of
+    Dynamics" at 23.61% of the iteration.
+"""
+
+import pytest
+
+from conftest import record_table
+from repro.apps.mpc import TaskMix, multithread_profile
+from repro.baselines import calibration
+from repro.baselines.platforms import AGX_ORIN_CPU
+from repro.apps.mpc import EndToEndModel
+from repro.model.library import quadruped_arm
+from repro.reporting import Table, ratio_line
+
+
+@pytest.fixture(scope="module")
+def robot():
+    return quadruped_arm()
+
+
+def test_fig2b_thread_saturation(once, robot):
+    def _report():
+        curve = multithread_profile(robot, AGX_ORIN_CPU, max_threads=12)
+        table = Table("Fig 2b: relative iteration time vs threads",
+                      ["threads", "relative_time"])
+        for threads, rel in curve:
+            table.add_row(threads, rel)
+        times = dict(curve)
+        best = min(times, key=times.get)
+        table.add_note(
+            f"best at {best} threads; improvement beyond "
+            f"{calibration.FIG2B_SATURATION_THREADS} threads is marginal"
+        )
+        record_table(table)
+
+        # Saturation: adding threads beyond ~8 changes nothing meaningful.
+        assert abs(times[12] - times[8]) < 0.08
+        # But the first few threads do help.
+        assert times[4] < 0.75 * times[1]
+
+    once(_report)
+
+def test_fig2c_task_breakdown(once, robot, quadruped_acc):
+    def _report():
+        e2e = EndToEndModel(robot, AGX_ORIN_CPU, quadruped_acc, cpu_threads=4)
+        shares = e2e.cpu_breakdown().shares()
+        table = Table("Fig 2c: task breakdown of one MPC iteration",
+                      ["task", "share"])
+        for task, share in shares.items():
+            table.add_row(task, share)
+        table.add_note(ratio_line(
+            "Derivatives of Dynamics share", shares["dFD"],
+            calibration.FIG2C_DERIVATIVES_SHARE,
+        ))
+        record_table(table)
+
+        assert shares["dFD"] == pytest.approx(
+            calibration.FIG2C_DERIVATIVES_SHARE, rel=0.2
+        )
+        lq_approximation = 1.0 - shares["other"]
+        assert lq_approximation > 0.4     # "the parallelizable part is large"
+
+    once(_report)
+
+def test_fig2b_benchmark(benchmark, robot):
+    """pytest-benchmark target: the thread-sweep computation."""
+    benchmark(multithread_profile, robot, AGX_ORIN_CPU, TaskMix(), 12)

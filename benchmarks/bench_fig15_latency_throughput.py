@@ -1,0 +1,128 @@
+"""Fig 15: latency and throughput, 6 functions x 3 robots vs 4 platforms.
+
+Regenerates both columns of Fig 15 (latency bars vs the CPUs, throughput
+bars vs CPUs and GPUs) and checks the Section VI-A summary ratios:
+
+    latency:    0.12x-0.55x (avg 0.29x) vs AGX CPU;
+                0.34x-1.91x (avg 0.82x) vs i9-13900HX
+    throughput: avg 19.2x vs AGX CPU, 7.2x vs AGX GPU,
+                8.2x vs i9, 1.4x vs RTX 4090M
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_table
+from repro.baselines import calibration
+from repro.baselines.cpu import CpuDynamicsModel
+from repro.baselines.gpu import GpuDynamicsModel
+from repro.baselines.platforms import (
+    AGX_ORIN_CPU,
+    AGX_ORIN_GPU,
+    I9_13900HX,
+    RTX_4090M,
+)
+from repro.dynamics.functions import RBDFunction
+from repro.reporting import Table, ratio_line
+
+FUNCS = [
+    RBDFunction.ID, RBDFunction.FD, RBDFunction.M,
+    RBDFunction.MINV, RBDFunction.DID, RBDFunction.DFD,
+]
+BATCH = calibration.THROUGHPUT_BATCH
+
+
+def _cells(accelerators):
+    cells = []
+    for name, acc in accelerators.items():
+        robot = acc.model
+        cpu_agx = CpuDynamicsModel(AGX_ORIN_CPU, robot)
+        cpu_i9 = CpuDynamicsModel(I9_13900HX, robot)
+        gpu_agx = GpuDynamicsModel(AGX_ORIN_GPU, robot)
+        gpu_m = GpuDynamicsModel(RTX_4090M, robot)
+        for f in FUNCS:
+            cells.append({
+                "robot": name,
+                "func": f.value,
+                "ours_lat_us": acc.latency_seconds(f) * 1e6,
+                "agx_cpu_lat_us": cpu_agx.latency_seconds(f) * 1e6,
+                "i9_lat_us": cpu_i9.latency_seconds(f) * 1e6,
+                "ours_thr": acc.throughput_tasks_per_s(f, BATCH),
+                "agx_cpu_thr": cpu_agx.throughput_tasks_per_s(f, BATCH),
+                "agx_gpu_thr": gpu_agx.throughput_tasks_per_s(f, BATCH),
+                "i9_thr": cpu_i9.throughput_tasks_per_s(f, BATCH),
+                "rtx4090_thr": gpu_m.throughput_tasks_per_s(f, BATCH),
+            })
+    return cells
+
+
+@pytest.fixture(scope="module")
+def cells(accelerators):
+    return _cells(accelerators)
+
+
+def test_fig15_report(once, cells):
+    """Emit the full Fig 15 table plus the summary-ratio comparison."""
+    def _report():
+        for metric, unit, keys in (
+            ("latency", "us", ["ours_lat_us", "agx_cpu_lat_us", "i9_lat_us"]),
+            ("throughput", "Mtasks/s",
+             ["ours_thr", "agx_cpu_thr", "agx_gpu_thr", "i9_thr", "rtx4090_thr"]),
+        ):
+            table = Table(
+                f"Fig 15 {metric} ({unit}, batch {BATCH})",
+                ["robot", "func"] + [k.replace("_us", "").replace("_thr", "")
+                                     for k in keys],
+            )
+            for c in cells:
+                scale = 1e-6 if metric == "throughput" else 1.0
+                table.add_row(c["robot"], c["func"],
+                              *[c[k] * scale for k in keys])
+            record_table(table)
+
+        lat_agx = np.mean([c["ours_lat_us"] / c["agx_cpu_lat_us"] for c in cells])
+        lat_i9 = np.mean([c["ours_lat_us"] / c["i9_lat_us"] for c in cells])
+        thr = {
+            "AGX CPU": (np.mean([c["ours_thr"] / c["agx_cpu_thr"] for c in cells]),
+                        calibration.THROUGHPUT_RATIO_VS_AGX_CPU[1]),
+            "AGX GPU": (np.mean([c["ours_thr"] / c["agx_gpu_thr"] for c in cells]),
+                        calibration.THROUGHPUT_RATIO_VS_AGX_GPU[1]),
+            "i9-13900HX": (np.mean([c["ours_thr"] / c["i9_thr"] for c in cells]),
+                           calibration.THROUGHPUT_RATIO_VS_I9[1]),
+            "RTX 4090M": (np.mean([c["ours_thr"] / c["rtx4090_thr"] for c in cells]),
+                          calibration.THROUGHPUT_RATIO_VS_RTX4090M[1]),
+        }
+        lines = [
+            ratio_line("latency ratio vs AGX CPU", lat_agx,
+                       calibration.LATENCY_RATIO_VS_AGX_CPU[1]),
+            ratio_line("latency ratio vs i9", lat_i9,
+                       calibration.LATENCY_RATIO_VS_I9[1]),
+        ]
+        for name, (measured, paper) in thr.items():
+            lines.append(ratio_line(f"throughput ratio vs {name}", measured, paper))
+        record_table("== Fig 15 / Section VI-A summary ratios ==\n" + "\n".join(lines))
+
+        # Shape assertions: we beat the embedded CPU in every cell, and the
+        # embedded GPU on average (the paper's 7.2x claim; our Atlas FD
+        # cell dips below parity, a fidelity gap recorded in EXPERIMENTS.md).
+        for c in cells:
+            assert c["ours_thr"] > c["agx_cpu_thr"]
+        assert thr["AGX GPU"][0] > 3.5
+
+    once(_report)
+
+@pytest.mark.parametrize("robot", ["iiwa", "hyq", "atlas"])
+@pytest.mark.parametrize("func", FUNCS, ids=lambda f: f.value)
+def test_latency_benchmark(benchmark, accelerators, robot, func):
+    """pytest-benchmark target: single-task latency evaluation."""
+    acc = accelerators[robot]
+    result = benchmark(acc.latency_seconds, func)
+    benchmark.extra_info["latency_us"] = result * 1e6
+
+
+@pytest.mark.parametrize("robot", ["iiwa", "hyq", "atlas"])
+def test_throughput_benchmark(benchmark, accelerators, robot):
+    """pytest-benchmark target: batched diFD throughput evaluation."""
+    acc = accelerators[robot]
+    result = benchmark(acc.throughput_tasks_per_s, RBDFunction.DIFD, BATCH)
+    benchmark.extra_info["throughput_Mtasks_s"] = result / 1e6

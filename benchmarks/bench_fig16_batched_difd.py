@@ -1,0 +1,86 @@
+"""Fig 16: batched diFD (iiwa) vs i7-7700 CPU, RTX 2080, Robomorphic.
+
+The paper reports, per batch size, Dadu-RBD's speedup over the three
+platforms of Plancher et al. [33] and Robomorphic [12]:
+
+    batch 16:  7.0x FPGA, 13.0x CPU, 11.3x GPU
+    batch 128: 6.3x FPGA, 10.3x CPU,  3.4x GPU
+
+plus the latency anchor: ours 0.76 us vs Robomorphic 0.61 us.
+"""
+
+import pytest
+
+from conftest import record_table
+from repro.baselines import calibration
+from repro.baselines.cpu import CpuDynamicsModel
+from repro.baselines.gpu import GpuDynamicsModel
+from repro.baselines.platforms import I7_7700, RTX_2080
+from repro.baselines.robomorphic import RobomorphicModel
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import iiwa
+from repro.reporting import Table, ratio_line
+
+BATCHES = (16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def platforms():
+    robot = iiwa()
+    return {
+        "robomorphic": RobomorphicModel(robot),
+        "cpu": CpuDynamicsModel(I7_7700, robot),
+        "gpu": GpuDynamicsModel(RTX_2080, robot),
+    }
+
+
+def test_fig16_report(once, iiwa_acc, platforms):
+    def _report():
+        table = Table(
+            "Fig 16: batched diFD speedups (iiwa)",
+            ["batch", "ours_us", "fpga_x", "paper", "cpu_x", "paper", "gpu_x",
+             "paper"],
+        )
+        for batch in BATCHES:
+            ours = iiwa_acc.batch_seconds(RBDFunction.DIFD, batch)
+            fpga = platforms["robomorphic"].batch_seconds(RBDFunction.DIFD, batch)
+            cpu = platforms["cpu"].batch_seconds(RBDFunction.DIFD, batch)
+            gpu = platforms["gpu"].batch_seconds(RBDFunction.DIFD, batch)
+            paper = calibration.FIG16_SPEEDUPS[batch]
+            table.add_row(
+                batch, ours * 1e6,
+                fpga / ours, paper[0],
+                cpu / ours, paper[1],
+                gpu / ours, paper[2],
+            )
+        lat_ours = iiwa_acc.latency_seconds(RBDFunction.DIFD) * 1e6
+        table.add_note(ratio_line(
+            "diFD latency (us)", lat_ours, calibration.DIFD_IIWA_LATENCY_US_OURS
+        ))
+        table.add_note(
+            "Robomorphic latency anchored at "
+            f"{calibration.DIFD_IIWA_LATENCY_US_ROBOMORPHIC} us"
+        )
+        record_table(table)
+
+        # Shape: we beat every platform at every batch size, and the GPU gap
+        # narrows with batch while the FPGA gap stays flat.
+        gpu_ratios = []
+        for batch in BATCHES:
+            ours = iiwa_acc.batch_seconds(RBDFunction.DIFD, batch)
+            assert platforms["robomorphic"].batch_seconds(
+                RBDFunction.DIFD, batch) > ours
+            assert platforms["cpu"].batch_seconds(RBDFunction.DIFD, batch) > ours
+            assert platforms["gpu"].batch_seconds(RBDFunction.DIFD, batch) > ours
+            gpu_ratios.append(
+                platforms["gpu"].batch_seconds(RBDFunction.DIFD, batch) / ours
+            )
+        assert gpu_ratios[-1] < gpu_ratios[0]
+
+    once(_report)
+
+@pytest.mark.parametrize("batch", BATCHES)
+def test_batched_difd_benchmark(benchmark, iiwa_acc, batch):
+    """pytest-benchmark target: one Fig 16 batch evaluation."""
+    seconds = benchmark(iiwa_acc.batch_seconds, RBDFunction.DIFD, batch)
+    benchmark.extra_info["batch_us"] = seconds * 1e6

@@ -1,0 +1,94 @@
+"""Numerics ablation: fixed-point width and Taylor order (Section IV-B2,
+V-B2).
+
+The paper picks a fixed-point datapath with the float-trick reciprocal and
+a short Taylor trigonometric expansion; this bench quantifies the accuracy
+each choice buys across full dynamics evaluations, justifying the shipped
+format.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_table
+from repro.core import DaduRBD, PAPER_CONFIG, TaskRequest
+from repro.core.config import NumericsConfig
+from repro.dynamics import inverse_dynamics, mass_matrix_inverse
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import iiwa
+from repro.reporting import Table
+
+
+def _worst_error(acc, robot, n_samples=10, seed=0):
+    rng = np.random.default_rng(seed)
+    worst_id, worst_minv = 0.0, 0.0
+    for _ in range(n_samples):
+        q, qd = robot.random_state(rng)
+        qdd = rng.normal(size=robot.nv)
+        got = acc.compute(TaskRequest(RBDFunction.ID, q, qd, qdd))
+        worst_id = max(worst_id, float(np.abs(
+            got - inverse_dynamics(robot, q, qd, qdd)).max()))
+        got = acc.compute(TaskRequest(RBDFunction.MINV, q))
+        worst_minv = max(worst_minv, float(np.abs(
+            got - mass_matrix_inverse(robot, q)).max()))
+    return worst_id, worst_minv
+
+
+def test_fixed_point_width_sweep(once):
+    def _report():
+        robot = iiwa()
+        table = Table(
+            "Numerics: worst-case error vs fixed-point fraction bits (iiwa)",
+            ["fraction bits", "|ID err|", "|Minv err|"],
+        )
+        errors = []
+        for bits in (12, 16, 20, 24):
+            config = PAPER_CONFIG.with_(
+                numerics=NumericsConfig(fraction_bits=bits)
+            )
+            acc = DaduRBD(robot, config)
+            err_id, err_minv = _worst_error(acc, robot)
+            errors.append(err_id)
+            table.add_row(bits, err_id, err_minv)
+        table.add_note("shipped format: Q16.20 (paper section IV-B2)")
+        record_table(table)
+
+        # Accuracy improves with width; the shipped 20-bit point gives
+        # torque errors below a milli-Newton-metre.
+        assert errors == sorted(errors, reverse=True)
+        assert errors[2] < 1e-3
+
+    once(_report)
+
+
+def test_taylor_order_sweep(once):
+    def _report():
+        from repro.core.trig import max_error
+
+        table = Table(
+            "Numerics: trig module worst error vs Taylor order",
+            ["order", "max |error|", "below fixed-point LSB (2^-20)?"],
+        )
+        for order in (3, 5, 7, 9, 11):
+            err = max_error(order)
+            table.add_row(order, err, "yes" if err < 2**-20 else "no")
+        table.add_note("shipped order: 9")
+        record_table(table)
+        assert max_error(9) < 2**-20
+        assert max_error(7) > 2**-20
+
+    once(_report)
+
+
+@pytest.mark.parametrize("bits", [16, 24])
+def test_numerics_benchmark(benchmark, bits):
+    """pytest-benchmark target: one hardware-numerics evaluation."""
+    robot = iiwa()
+    acc = DaduRBD(robot, PAPER_CONFIG.with_(
+        numerics=NumericsConfig(fraction_bits=bits)
+    ))
+    rng = np.random.default_rng(1)
+    q, qd = robot.random_state(rng)
+    qdd = rng.normal(size=robot.nv)
+    request = TaskRequest(RBDFunction.ID, q, qd, qdd)
+    benchmark(acc.compute, request)

@@ -1,0 +1,108 @@
+"""Section VI-C: resource usage, power and energy.
+
+Claims reproduced: the iiwa build occupies 62% DSP / 17% FF / 54% LUT of
+the XCVU9P; power spans 6.2-36.8 W across functions with diFD at 31.2 W;
+vs Robomorphic (9.6 W but 6.6x slower) Dadu-RBD uses 2.0x less energy per
+task and is 13.2x better in energy-delay product.
+"""
+
+import pytest
+
+from conftest import record_table
+from repro.baselines import calibration
+from repro.baselines.robomorphic import RobomorphicModel
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import iiwa
+from repro.reporting import Table
+
+
+def test_resource_utilization_report(once, iiwa_acc, hyq_acc, atlas_acc):
+    def _report():
+        table = Table(
+            "Section VI-C: resource utilization (XCVU9P)",
+            ["robot", "lanes", "DSP", "FF", "LUT", "heavy_II"],
+        )
+        for acc in (iiwa_acc, hyq_acc, atlas_acc):
+            report = acc.resources()
+            table.add_row(
+                acc.model.name, report.total_lanes,
+                f"{report.dsp_utilization:.0%}", f"{report.ff_utilization:.0%}",
+                f"{report.lut_utilization:.0%}", acc.config.heavy_ii_cycles,
+            )
+        table.add_note("paper (iiwa): 62% DSP, 17% FF, 54% LUT")
+        record_table(table)
+
+        report = iiwa_acc.resources()
+        assert report.dsp_utilization == pytest.approx(
+            calibration.RESOURCE_DSP_UTILIZATION, abs=0.03
+        )
+        assert report.ff_utilization == pytest.approx(
+            calibration.RESOURCE_FF_UTILIZATION, abs=0.02
+        )
+        assert report.lut_utilization == pytest.approx(
+            calibration.RESOURCE_LUT_UTILIZATION, abs=0.03
+        )
+        # Every auto-fit build must actually fit the chip.
+        for acc in (hyq_acc, atlas_acc):
+            assert acc.resources().fits()
+
+    once(_report)
+
+def test_power_report(once, iiwa_acc):
+    def _report():
+        table = Table("Section VI-C: power by function (iiwa)", ["func", "W"])
+        powers = {}
+        for f in RBDFunction:
+            powers[f] = iiwa_acc.power_w(f)
+            table.add_row(f.value, powers[f])
+        low, high = calibration.POWER_RANGE_W
+        table.add_note(f"paper range: {low}-{high} W, diFD {calibration.POWER_DIFD_W} W")
+        record_table(table)
+
+        assert min(powers.values()) == pytest.approx(low, abs=0.8)
+        assert max(powers.values()) == pytest.approx(high, abs=1.5)
+        assert powers[RBDFunction.DIFD] == pytest.approx(
+            calibration.POWER_DIFD_W, abs=1.5
+        )
+
+    once(_report)
+
+def test_energy_vs_robomorphic_report(once, iiwa_acc):
+    def _report():
+        robo = RobomorphicModel(iiwa())
+        ours_thr = iiwa_acc.throughput_tasks_per_s(RBDFunction.DIFD, 256)
+        robo_thr = robo.throughput_tasks_per_s(RBDFunction.DIFD, 256)
+        ours_power = iiwa_acc.power_w(RBDFunction.DIFD)
+        speed = ours_thr / robo_thr
+        ours_energy = ours_power / ours_thr
+        robo_energy = robo.power_w / robo_thr
+        energy_ratio = robo_energy / ours_energy
+        edp_ratio = (robo_energy / robo_thr) / (ours_energy / ours_thr)
+
+        table = Table("Section VI-C: diFD energy vs Robomorphic",
+                      ["metric", "measured", "paper"])
+        table.add_row("our power (W)", ours_power, calibration.POWER_DIFD_W)
+        table.add_row("robomorphic power (W)", robo.power_w,
+                      calibration.ROBOMORPHIC_POWER_W)
+        table.add_row("speed ratio", speed,
+                      calibration.SPEED_RATIO_VS_ROBOMORPHIC)
+        table.add_row("energy ratio (robo/ours)", energy_ratio,
+                      calibration.ENERGY_RATIO_ROBOMORPHIC_OVER_OURS)
+        table.add_row("EDP ratio", edp_ratio, calibration.EDP_RATIO_VS_ROBOMORPHIC)
+        record_table(table)
+
+        assert speed == pytest.approx(
+            calibration.SPEED_RATIO_VS_ROBOMORPHIC, rel=0.1
+        )
+        assert energy_ratio == pytest.approx(
+            calibration.ENERGY_RATIO_ROBOMORPHIC_OVER_OURS, rel=0.15
+        )
+        assert edp_ratio == pytest.approx(
+            calibration.EDP_RATIO_VS_ROBOMORPHIC, rel=0.15
+        )
+
+    once(_report)
+
+def test_resource_benchmark(benchmark, iiwa_acc):
+    """pytest-benchmark target: resource accounting."""
+    benchmark(lambda: iiwa_acc.resources().dsp_utilization)

@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark harness.
+
+Accelerator builds are expensive (auto-fit searches II candidates), so they
+are session-cached here.  Benches register their paper-vs-measured tables
+through :func:`record_table`; a terminal-summary hook prints everything at
+the end of the run so the comparison survives pytest's output capture.
+"""
+
+import pytest
+
+from repro.core import DaduRBD
+from repro.model.library import atlas, hyq, iiwa, quadruped_arm
+
+_REPORT_BLOCKS: list[str] = []
+
+
+def record_table(table) -> None:
+    """Register a repro.reporting.Table (or string) for the final summary."""
+    _REPORT_BLOCKS.append(table if isinstance(table, str) else table.render())
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT_BLOCKS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "================ paper-vs-measured tables ================"
+    )
+    for block in _REPORT_BLOCKS:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a report computation exactly once, registered as a benchmark.
+
+    The report tests regenerate paper tables; timing them repeatedly is
+    pointless, but wiring them through the benchmark fixture keeps them
+    alive under ``--benchmark-only``.
+    """
+
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def iiwa_acc():
+    return DaduRBD(iiwa())
+
+
+@pytest.fixture(scope="session")
+def hyq_acc():
+    return DaduRBD(hyq())
+
+
+@pytest.fixture(scope="session")
+def atlas_acc():
+    return DaduRBD(atlas())
+
+
+@pytest.fixture(scope="session")
+def quadruped_acc():
+    return DaduRBD(quadruped_arm())
+
+
+@pytest.fixture(scope="session")
+def accelerators(iiwa_acc, hyq_acc, atlas_acc):
+    return {"iiwa": iiwa_acc, "hyq": hyq_acc, "atlas": atlas_acc}

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Visualize the Round-Trip Pipelines (Fig 4d / Fig 6a).
+
+Renders ASCII stage-occupancy timelines of the simulated pipelines:
+
+* the RNEA RTP's round trip (forward wave down the chain, backward wave
+  returning) with four tasks pipelined like a systolic array;
+* the Backward-Forward Module's reversed dataflow for Minv;
+* dFD's two passes through the Forward-Backward Module via the Feedback
+  Module;
+* HyQ's SAP branch arrays with two legs time-multiplexed per stage.
+"""
+
+from repro.core import DaduRBD
+from repro.core.visualize import pipeline_timeline
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import hyq, iiwa
+
+
+def main() -> None:
+    acc = DaduRBD(iiwa())
+    print("=== iiwa ID: RNEA Round-Trip Pipeline (4 tasks) ===")
+    print(pipeline_timeline(acc.graph(RBDFunction.ID), n_jobs=4, width=64))
+
+    print("\n=== iiwa Minv: Backward-Forward Module (3 tasks) ===")
+    print(pipeline_timeline(acc.graph(RBDFunction.MINV), n_jobs=3, width=64))
+
+    print("\n=== iiwa dFD: double pass through the FB module (2 tasks) ===")
+    print(pipeline_timeline(acc.graph(RBDFunction.DFD), n_jobs=2, width=72))
+
+    hyq_acc = DaduRBD(hyq())
+    print("\n=== HyQ ID: branch arrays, 2 legs multiplexed per stage "
+          "(2 tasks) ===")
+    print(pipeline_timeline(hyq_acc.graph(RBDFunction.ID), n_jobs=2, width=72))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Quickstart: configure Dadu-RBD for a robot and run every function.
+
+Builds the accelerator model for the KUKA iiwa (like flashing the FPGA
+bitstream once per robot), pushes one task of each Table-I function
+through it, verifies the outputs against the reference algorithms, and
+prints the timing/resource/power profile of the build.
+"""
+
+import numpy as np
+
+from repro.core import DaduRBD, TaskRequest
+from repro.dynamics import (
+    inverse_dynamics,
+    mass_matrix,
+    mass_matrix_inverse,
+)
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import iiwa
+
+
+def main() -> None:
+    robot = iiwa()
+    accelerator = DaduRBD(robot)
+    print(accelerator.describe())
+    print()
+
+    rng = np.random.default_rng(42)
+    q, qd = robot.random_state(rng)
+    qdd = rng.normal(size=robot.nv)
+    tau = inverse_dynamics(robot, q, qd, qdd)
+
+    requests = {
+        RBDFunction.ID: TaskRequest(RBDFunction.ID, q, qd, qdd),
+        RBDFunction.FD: TaskRequest(RBDFunction.FD, q, qd, tau),
+        RBDFunction.M: TaskRequest(RBDFunction.M, q),
+        RBDFunction.MINV: TaskRequest(RBDFunction.MINV, q),
+        RBDFunction.DID: TaskRequest(RBDFunction.DID, q, qd, qdd),
+        RBDFunction.DFD: TaskRequest(RBDFunction.DFD, q, qd, tau),
+        RBDFunction.DIFD: TaskRequest(
+            RBDFunction.DIFD, q, qd, qdd, minv=mass_matrix_inverse(robot, q)
+        ),
+    }
+
+    from repro.dynamics import fd_derivatives, rnea_derivatives
+
+    did_ref = rnea_derivatives(robot, q, qd, qdd)
+    dfd_ref = fd_derivatives(robot, q, qd, tau)
+    references = {
+        RBDFunction.ID: tau,
+        RBDFunction.FD: qdd,
+        RBDFunction.M: mass_matrix(robot, q),
+        RBDFunction.MINV: mass_matrix_inverse(robot, q),
+        RBDFunction.DID: did_ref.dtau_dq,
+        RBDFunction.DFD: dfd_ref.dqdd_dq,
+        RBDFunction.DIFD: dfd_ref.dqdd_dq,
+    }
+
+    header = (
+        f"{'function':6s} {'latency(us)':>12s} {'thr(M/s)':>9s} "
+        f"{'power(W)':>9s} {'max |err|':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for function, request in requests.items():
+        result = accelerator.run(request)
+        latency_us = accelerator.config.cycles_to_seconds(
+            result.latency_cycles
+        ) * 1e6
+        throughput = accelerator.throughput_tasks_per_s(function, 256) / 1e6
+        power = accelerator.power_w(function)
+        value = result.value
+        if hasattr(value, "dqdd_dq"):
+            value = value.dqdd_dq
+        elif hasattr(value, "dtau_dq"):
+            value = value.dtau_dq
+        err = float(np.abs(np.asarray(value) - references[function]).max())
+        print(f"{function.value:6s} {latency_us:12.2f} {throughput:9.2f} "
+              f"{power:9.1f} {err:10.2e}")
+
+    # The round trip FD(ID(qdd)) == qdd through the accelerator numerics.
+    fd_result = accelerator.compute(requests[RBDFunction.FD])
+    print()
+    print("round trip |FD(ID(qdd)) - qdd|:",
+          f"{np.abs(fd_result - qdd).max():.2e}",
+          "(fixed-point + Taylor-trig datapath)")
+
+
+if __name__ == "__main__":
+    main()

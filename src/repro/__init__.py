@@ -1,0 +1,22 @@
+"""Dadu-RBD reproduction (MICRO 2023).
+
+A pure-Python reproduction of "Dadu-RBD: Robot Rigid Body Dynamics
+Accelerator with Multifunctional Pipelines": rigid-body-dynamics algorithms
+(Table I), a functional + cycle-level model of the accelerator
+(Round-Trip Pipelines, Structure-Adaptive Pipelines), calibrated baseline
+platform models, and the applications the paper evaluates.
+"""
+
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import load_robot
+from repro.model.robot import RobotBuilder, RobotModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RBDFunction",
+    "RobotBuilder",
+    "RobotModel",
+    "load_robot",
+    "__version__",
+]

@@ -1,0 +1,101 @@
+"""Command-line interface: inspect accelerator builds for library robots.
+
+Examples::
+
+    python -m repro list
+    python -m repro report iiwa
+    python -m repro report atlas --function dID
+    python -m repro timeline hyq --function ID --jobs 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.accelerator import DaduRBD
+from repro.core.visualize import pipeline_timeline
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import ROBOT_REGISTRY, load_robot
+
+
+def _add_robot_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("robot", choices=sorted(ROBOT_REGISTRY),
+                        help="robot model from the library")
+
+
+def _function(name: str) -> RBDFunction:
+    for f in RBDFunction:
+        if f.value.lower() == name.lower():
+            return f
+    raise argparse.ArgumentTypeError(
+        f"unknown function {name!r}; choose from "
+        + ", ".join(f.value for f in RBDFunction)
+    )
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for name in sorted(ROBOT_REGISTRY):
+        model = load_robot(name)
+        print(f"{name:16s} NB={model.nb:3d}  N={model.nv:3d}  "
+              f"depth={model.max_depth()}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    accelerator = DaduRBD(load_robot(args.robot))
+    print(accelerator.describe())
+    print()
+    functions = [args.function] if args.function else list(RBDFunction)
+    header = (f"{'function':6s} {'latency(us)':>12s} {'II(cyc)':>8s} "
+              f"{'thr(M/s)':>9s} {'power(W)':>9s}")
+    print(header)
+    print("-" * len(header))
+    for f in functions:
+        print(
+            f"{f.value:6s} "
+            f"{accelerator.latency_seconds(f) * 1e6:12.2f} "
+            f"{accelerator.initiation_interval(f):8.1f} "
+            f"{accelerator.throughput_tasks_per_s(f, 256) / 1e6:9.2f} "
+            f"{accelerator.power_w(f):9.1f}"
+        )
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    accelerator = DaduRBD(load_robot(args.robot))
+    function = args.function or RBDFunction.ID
+    print(pipeline_timeline(
+        accelerator.graph(function), n_jobs=args.jobs, width=args.width
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Dadu-RBD reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list library robots").set_defaults(
+        handler=cmd_list
+    )
+
+    report = sub.add_parser("report", help="accelerator build report")
+    _add_robot_argument(report)
+    report.add_argument("--function", type=_function, default=None)
+    report.set_defaults(handler=cmd_report)
+
+    timeline = sub.add_parser("timeline", help="ASCII pipeline timeline")
+    _add_robot_argument(timeline)
+    timeline.add_argument("--function", type=_function, default=None)
+    timeline.add_argument("--jobs", type=int, default=4)
+    timeline.add_argument("--width", type=int, default=72)
+    timeline.set_defaults(handler=cmd_timeline)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Applications built on the dynamics substrate and the accelerator model."""
+
+from repro.apps.integrators import (
+    LinearizedStep,
+    State,
+    euler_sensitivity_step,
+    euler_step,
+    rk4_sensitivity_step,
+    rk4_step,
+    rollout,
+)
+from repro.apps.mpc import (
+    EndToEndModel,
+    IterationBreakdown,
+    TaskMix,
+    multithread_profile,
+)
+from repro.apps.osc import TaskSpaceController
+from repro.apps.trajopt import ILQRResult, QuadraticCost, ilqr, total_cost
+from repro.apps.workloads import (
+    mpc_sample_points,
+    random_requests,
+    sinusoidal_trajectory,
+)
+
+__all__ = [
+    "EndToEndModel",
+    "ILQRResult",
+    "IterationBreakdown",
+    "LinearizedStep",
+    "QuadraticCost",
+    "State",
+    "TaskMix",
+    "TaskSpaceController",
+    "euler_sensitivity_step",
+    "euler_step",
+    "ilqr",
+    "mpc_sample_points",
+    "multithread_profile",
+    "random_requests",
+    "rk4_sensitivity_step",
+    "rk4_step",
+    "rollout",
+    "sinusoidal_trajectory",
+    "total_cost",
+]

@@ -1,0 +1,153 @@
+"""Numerical integration of robot dynamics, with sensitivities.
+
+The 4th-order Runge-Kutta step with sensitivity propagation is the paper's
+canonical partially-serial workload (Fig 13): each sampling point issues
+four dynamics+derivative evaluations that must run in order, while points
+are independent of each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dynamics.derivatives import fd_derivatives
+from repro.dynamics.functions import forward_dynamics
+from repro.model.robot import RobotModel
+
+
+@dataclass
+class State:
+    """Robot state (q on the configuration manifold, qd in the tangent)."""
+
+    q: np.ndarray
+    qd: np.ndarray
+
+
+def euler_step(
+    model: RobotModel, state: State, tau: np.ndarray, dt: float
+) -> State:
+    """Semi-implicit Euler (baseline integrator)."""
+    qdd = forward_dynamics(model, state.q, state.qd, tau)
+    qd_new = state.qd + dt * qdd
+    q_new = model.integrate(state.q, dt * qd_new)
+    return State(q_new, qd_new)
+
+
+def rk4_step(
+    model: RobotModel, state: State, tau: np.ndarray, dt: float
+) -> State:
+    """Classic RK4 on the (q, qd) dynamics — 4 serial FD calls."""
+
+    def f(q: np.ndarray, qd: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return qd, forward_dynamics(model, q, qd, tau)
+
+    k1_dq, k1_dqd = f(state.q, state.qd)
+    k2_dq, k2_dqd = f(
+        model.integrate(state.q, 0.5 * dt * k1_dq), state.qd + 0.5 * dt * k1_dqd
+    )
+    k3_dq, k3_dqd = f(
+        model.integrate(state.q, 0.5 * dt * k2_dq), state.qd + 0.5 * dt * k2_dqd
+    )
+    k4_dq, k4_dqd = f(
+        model.integrate(state.q, dt * k3_dq), state.qd + dt * k3_dqd
+    )
+    dq = dt / 6.0 * (k1_dq + 2 * k2_dq + 2 * k3_dq + k4_dq)
+    dqd = dt / 6.0 * (k1_dqd + 2 * k2_dqd + 2 * k3_dqd + k4_dqd)
+    return State(model.integrate(state.q, dq), state.qd + dqd)
+
+
+@dataclass
+class LinearizedStep:
+    """Discrete-time linearization x+ = A x + B u around a step."""
+
+    state: State
+    a_matrix: np.ndarray      # 2nv x 2nv
+    b_matrix: np.ndarray      # 2nv x nv
+
+
+def euler_sensitivity_step(
+    model: RobotModel, state: State, tau: np.ndarray, dt: float
+) -> LinearizedStep:
+    """Euler step plus exact discrete A, B from the dFD derivatives.
+
+    This is the "Derivatives of Dynamics" task of Fig 2c: one dFD call per
+    sampling point.
+    """
+    nv = model.nv
+    deriv = fd_derivatives(model, state.q, state.qd, tau)
+    qd_new = state.qd + dt * deriv.qdd
+    q_new = model.integrate(state.q, dt * qd_new)
+    a_matrix = np.eye(2 * nv)
+    # d(qd+)/d(q, qd)
+    a_matrix[nv:, :nv] = dt * deriv.dqdd_dq
+    a_matrix[nv:, nv:] += dt * deriv.dqdd_dqd
+    # d(q+)/d(q, qd) = I + dt * d(qd+)/d(q, qd)
+    a_matrix[:nv, :nv] += dt * dt * deriv.dqdd_dq
+    a_matrix[:nv, nv:] = dt * (np.eye(nv) + dt * deriv.dqdd_dqd)
+    b_matrix = np.zeros((2 * nv, nv))
+    b_matrix[nv:, :] = dt * deriv.dqdd_dtau
+    b_matrix[:nv, :] = dt * dt * deriv.dqdd_dtau
+    return LinearizedStep(State(q_new, qd_new), a_matrix, b_matrix)
+
+
+def rk4_sensitivity_step(
+    model: RobotModel, state: State, tau: np.ndarray, dt: float
+) -> LinearizedStep:
+    """RK4 step with chained sensitivity propagation.
+
+    Issues four *serial* dFD evaluations (the k_i points depend on each
+    other) — exactly the task graph the paper's Fig 13 schedules.
+    """
+    nv = model.nv
+    identity = np.eye(2 * nv)
+
+    def f_with_jac(q, qd):
+        deriv = fd_derivatives(model, q, qd, tau)
+        dx = np.concatenate([qd, deriv.qdd])
+        jac_x = np.zeros((2 * nv, 2 * nv))
+        jac_x[:nv, nv:] = np.eye(nv)
+        jac_x[nv:, :nv] = deriv.dqdd_dq
+        jac_x[nv:, nv:] = deriv.dqdd_dqd
+        jac_u = np.zeros((2 * nv, nv))
+        jac_u[nv:, :] = deriv.dqdd_dtau
+        return dx, jac_x, jac_u
+
+    q0, qd0 = state.q, state.qd
+    k1, j1x, j1u = f_with_jac(q0, qd0)
+    s1 = State(model.integrate(q0, 0.5 * dt * k1[:nv]), qd0 + 0.5 * dt * k1[nv:])
+    k2, j2x, j2u = f_with_jac(s1.q, s1.qd)
+    s2 = State(model.integrate(q0, 0.5 * dt * k2[:nv]), qd0 + 0.5 * dt * k2[nv:])
+    k3, j3x, j3u = f_with_jac(s2.q, s2.qd)
+    s3 = State(model.integrate(q0, dt * k3[:nv]), qd0 + dt * k3[nv:])
+    k4, j4x, j4u = f_with_jac(s3.q, s3.qd)
+
+    # Chain the stage Jacobians.
+    d1x, d1u = j1x, j1u
+    d2x = j2x @ (identity + 0.5 * dt * d1x)
+    d2u = j2u + 0.5 * dt * j2x @ d1u
+    d3x = j3x @ (identity + 0.5 * dt * d2x)
+    d3u = j3u + 0.5 * dt * j3x @ d2u
+    d4x = j4x @ (identity + dt * d3x)
+    d4u = j4u + dt * j4x @ d3u
+
+    dx = dt / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4)
+    a_matrix = identity + dt / 6.0 * (d1x + 2 * d2x + 2 * d3x + d4x)
+    b_matrix = dt / 6.0 * (d1u + 2 * d2u + 2 * d3u + d4u)
+    new_state = State(model.integrate(q0, dx[:nv]), qd0 + dx[nv:])
+    return LinearizedStep(new_state, a_matrix, b_matrix)
+
+
+def rollout(
+    model: RobotModel,
+    initial: State,
+    controls: list[np.ndarray],
+    dt: float,
+    method=rk4_step,
+) -> list[State]:
+    """Integrate a control sequence; returns states including the initial."""
+    states = [initial]
+    for tau in controls:
+        states.append(method(model, states[-1], tau, dt))
+    return states

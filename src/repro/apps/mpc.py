@@ -1,0 +1,173 @@
+"""End-to-end application model (Section VI-B, Fig 2).
+
+The paper's demo is a quadruped+arm robot in Webots controlled by an
+OCS2-style MPC whose inner loop is dominated by dynamics calls.  This
+module prices one control iteration from its task mix, on (a) a multicore
+CPU alone and (b) a CPU with Dadu-RBD offloading the three supported task
+kinds — forward dynamics, inverse of the mass matrix, and derivatives of
+dynamics (dFD) — while the CPU overlaps the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.cpu import CpuDynamicsModel
+from repro.baselines.platforms import CpuPlatform
+from repro.core.accelerator import DaduRBD
+from repro.dynamics.functions import RBDFunction
+from repro.model.robot import RobotModel
+
+
+@dataclass(frozen=True)
+class TaskMix:
+    """Dynamics calls of one MPC iteration (counts per iteration).
+
+    Defaults follow the paper's setup: ~100 sampling points (1 s horizon at
+    a 10 ms step, Section VI-A sizing) with one rollout FD, one Minv and
+    one dFD-based linearization per point, plus the serial solver part
+    expressed as a fraction of the iteration.
+    """
+
+    sample_points: int = 100
+    #: RK4 stages in the forward and feasibility rollouts.
+    fd_per_point: int = 8
+    #: One Minv per RK4 stage of the sensitivity propagation.
+    minv_per_point: int = 4
+    #: One dFD linearization per knot (the Fig 2c "Derivatives" slice).
+    dfd_per_point: int = 1
+    #: Fraction of the CPU-only iteration that is *not* dynamics work
+    #: (Riccati sweep, QP solve, bookkeeping) and cannot be offloaded.
+    other_fraction: float = 0.5
+
+    def counts(self) -> dict[RBDFunction, int]:
+        return {
+            RBDFunction.FD: self.sample_points * self.fd_per_point,
+            RBDFunction.MINV: self.sample_points * self.minv_per_point,
+            RBDFunction.DFD: self.sample_points * self.dfd_per_point,
+        }
+
+
+@dataclass
+class IterationBreakdown:
+    """Time of one control iteration, split by component (seconds)."""
+
+    offloadable: dict[RBDFunction, float] = field(default_factory=dict)
+    other: float = 0.0
+
+    @property
+    def offloadable_total(self) -> float:
+        return sum(self.offloadable.values())
+
+    @property
+    def total(self) -> float:
+        return self.offloadable_total + self.other
+
+    def shares(self) -> dict[str, float]:
+        """Fig 2c-style breakdown (fractions of the iteration)."""
+        out = {
+            f"{fn.value}": t / self.total for fn, t in self.offloadable.items()
+        }
+        out["other"] = self.other / self.total
+        return out
+
+
+class EndToEndModel:
+    """CPU-only vs CPU+Dadu-RBD control-loop timing (Section VI-B)."""
+
+    def __init__(
+        self,
+        robot: RobotModel,
+        cpu: CpuPlatform,
+        accelerator: DaduRBD,
+        mix: TaskMix | None = None,
+        cpu_threads: int = 4,
+    ) -> None:
+        self.robot = robot
+        self.cpu_model = CpuDynamicsModel(cpu, robot)
+        self.accelerator = accelerator
+        self.mix = mix or TaskMix()
+        self.cpu_threads = cpu_threads
+
+    # ------------------------------------------------------------------
+
+    def cpu_breakdown(self) -> IterationBreakdown:
+        """One iteration on the CPU alone (the Fig 2c profile)."""
+        breakdown = IterationBreakdown()
+        for fn, count in self.mix.counts().items():
+            breakdown.offloadable[fn] = self.cpu_model.batch_seconds(
+                fn, count, threads=self.cpu_threads
+            )
+        dyn = breakdown.offloadable_total
+        breakdown.other = (
+            dyn * self.mix.other_fraction / (1.0 - self.mix.other_fraction)
+        )
+        return breakdown
+
+    def accelerated_seconds(self) -> dict[RBDFunction, float]:
+        """The offloaded batches on Dadu-RBD."""
+        return {
+            fn: self.accelerator.batch_seconds(fn, count)
+            for fn, count in self.mix.counts().items()
+        }
+
+    def task_speedup(self, threads: int = 1) -> float:
+        """Speedup on the supported tasks alone (paper: 11.2x).
+
+        The paper quotes this against the plain (single-thread) library
+        execution of those tasks; the control-frequency comparison below is
+        the one made against the 4-thread implementation.
+        """
+        cpu_time = sum(
+            self.cpu_model.batch_seconds(fn, count, threads=threads)
+            for fn, count in self.mix.counts().items()
+        )
+        acc_time = sum(self.accelerated_seconds().values())
+        return cpu_time / acc_time
+
+    def control_frequency_gain(self) -> float:
+        """Relative control-frequency increase (paper: +80%).
+
+        With the accelerator, the CPU computes the non-offloadable part
+        while Dadu-RBD crunches the dynamics batches; the iteration ends
+        when both are done, plus the (serial) result integration.
+        """
+        cpu_only = self.cpu_breakdown()
+        acc_time = sum(self.accelerated_seconds().values())
+        overlapped = max(cpu_only.other, acc_time)
+        serial_tail = 0.1 * cpu_only.other       # result integration
+        accelerated_total = overlapped + serial_tail
+        return cpu_only.total / accelerated_total - 1.0
+
+    def control_frequency_hz(self, accelerated: bool) -> float:
+        cpu_only = self.cpu_breakdown()
+        if not accelerated:
+            return 1.0 / cpu_only.total
+        gain = self.control_frequency_gain()
+        return (1.0 + gain) / cpu_only.total
+
+
+def multithread_profile(
+    robot: RobotModel,
+    cpu: CpuPlatform,
+    mix: TaskMix | None = None,
+    max_threads: int = 12,
+) -> list[tuple[int, float]]:
+    """Fig 2b: relative iteration time vs thread count on the CPU.
+
+    The parallelizable part (LQ approximation: the dynamics batches)
+    scales with the platform's thread curve; the serial remainder does not.
+    """
+    mix = mix or TaskMix()
+    cpu_model = CpuDynamicsModel(cpu, robot)
+    single = sum(
+        cpu_model.batch_seconds(fn, count, threads=1)
+        for fn, count in mix.counts().items()
+    )
+    other = single * mix.other_fraction / (1.0 - mix.other_fraction)
+    base = single + other
+    out = []
+    for threads in range(1, max_threads + 1):
+        speedup = cpu.thread_speedup(threads)
+        out.append((threads, (single / speedup + other) / base))
+    return out

@@ -1,0 +1,195 @@
+"""Trajectory optimization (iLQR) on the dynamics substrate.
+
+The "LQ Approximation" phase — linearizing the dynamics along the current
+trajectory with dFD — is the dominant, batch-parallel workload of Fig 2c;
+the backward Riccati sweep is the serial remainder.  This module is both a
+usable optimizer (see ``examples/trajectory_optimization.py``) and the
+source of the task mix the end-to-end model (Section VI-B) prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.integrators import (
+    LinearizedStep,
+    State,
+    euler_sensitivity_step,
+    euler_step,
+)
+from repro.model.robot import RobotModel
+
+
+@dataclass
+class QuadraticCost:
+    """Tracking cost: sum_k |x_k - x_goal|_Q + |u_k|_R + terminal |.|_Qf."""
+
+    q_weight: np.ndarray
+    r_weight: np.ndarray
+    terminal_weight: np.ndarray
+    goal_q: np.ndarray
+    goal_qd: np.ndarray
+
+    @staticmethod
+    def for_goal(
+        model: RobotModel,
+        goal_q: np.ndarray,
+        position_weight: float = 10.0,
+        velocity_weight: float = 1.0,
+        control_weight: float = 1e-3,
+        terminal_scale: float = 50.0,
+    ) -> "QuadraticCost":
+        nv = model.nv
+        q_diag = np.concatenate(
+            [np.full(nv, position_weight), np.full(nv, velocity_weight)]
+        )
+        return QuadraticCost(
+            q_weight=np.diag(q_diag),
+            r_weight=control_weight * np.eye(nv),
+            terminal_weight=terminal_scale * np.diag(q_diag),
+            goal_q=np.asarray(goal_q, dtype=float),
+            goal_qd=np.zeros(nv),
+        )
+
+    def state_error(self, model: RobotModel, state: State) -> np.ndarray:
+        # Tangent-space error (valid for the revolute-chain robots the
+        # examples optimize; multi-DOF joints would need a log map).
+        return np.concatenate(
+            [state.q - self.goal_q, state.qd - self.goal_qd]
+        )
+
+    def stage(self, model: RobotModel, state: State, u: np.ndarray) -> float:
+        err = self.state_error(model, state)
+        return float(err @ self.q_weight @ err + u @ self.r_weight @ u)
+
+    def terminal(self, model: RobotModel, state: State) -> float:
+        err = self.state_error(model, state)
+        return float(err @ self.terminal_weight @ err)
+
+
+@dataclass
+class ILQRResult:
+    """Optimizer output."""
+
+    controls: list[np.ndarray]
+    states: list[State]
+    cost_trace: list[float] = field(default_factory=list)
+    iterations: int = 0
+    converged: bool = False
+
+
+def total_cost(
+    model: RobotModel,
+    cost: QuadraticCost,
+    states: list[State],
+    controls: list[np.ndarray],
+) -> float:
+    value = sum(
+        cost.stage(model, s, u) for s, u in zip(states[:-1], controls)
+    )
+    return value + cost.terminal(model, states[-1])
+
+
+def ilqr(
+    model: RobotModel,
+    cost: QuadraticCost,
+    initial: State,
+    horizon: int,
+    dt: float,
+    *,
+    max_iterations: int = 30,
+    tolerance: float = 1e-6,
+    regularization: float = 1e-6,
+    initial_controls: list[np.ndarray] | None = None,
+    linearize=euler_sensitivity_step,
+    step=euler_step,
+) -> ILQRResult:
+    """Iterative LQR with line search.
+
+    Each iteration runs the LQ Approximation (one dFD-based linearization
+    per knot — the batch-parallel accelerator workload) and a serial
+    backward Riccati sweep, matching the application profile of Fig 2.
+    """
+    nv = model.nv
+    controls = (
+        [np.zeros(nv) for _ in range(horizon)]
+        if initial_controls is None
+        else [np.asarray(u, dtype=float).copy() for u in initial_controls]
+    )
+    states = _rollout(model, initial, controls, dt, step)
+    cost_now = total_cost(model, cost, states, controls)
+    trace = [cost_now]
+
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        # --- LQ approximation (batchable: one dFD per knot) ---
+        linear: list[LinearizedStep] = [
+            linearize(model, states[k], controls[k], dt) for k in range(horizon)
+        ]
+        # --- Backward Riccati sweep (serial) ---
+        v_x = 2.0 * cost.terminal_weight @ cost.state_error(model, states[-1])
+        v_xx = 2.0 * cost.terminal_weight
+        gains: list[tuple[np.ndarray, np.ndarray]] = [None] * horizon
+        for k in range(horizon - 1, -1, -1):
+            a, b = linear[k].a_matrix, linear[k].b_matrix
+            err = cost.state_error(model, states[k])
+            l_x = 2.0 * cost.q_weight @ err
+            l_u = 2.0 * cost.r_weight @ controls[k]
+            q_x = l_x + a.T @ v_x
+            q_u = l_u + b.T @ v_x
+            q_xx = 2.0 * cost.q_weight + a.T @ v_xx @ a
+            q_ux = b.T @ v_xx @ a
+            q_uu = 2.0 * cost.r_weight + b.T @ v_xx @ b
+            q_uu_reg = q_uu + regularization * np.eye(nv)
+            k_ff = -np.linalg.solve(q_uu_reg, q_u)
+            k_fb = -np.linalg.solve(q_uu_reg, q_ux)
+            gains[k] = (k_ff, k_fb)
+            v_x = q_x + k_fb.T @ q_uu @ k_ff + k_fb.T @ q_u + q_ux.T @ k_ff
+            v_xx = q_xx + k_fb.T @ q_uu @ k_fb + k_fb.T @ q_ux + q_ux.T @ k_fb
+            v_xx = (v_xx + v_xx.T) / 2.0
+
+        # --- Forward pass with backtracking line search ---
+        improved = False
+        for alpha in (1.0, 0.5, 0.25, 0.1, 0.03):
+            new_controls = []
+            state = initial
+            new_states = [state]
+            for k in range(horizon):
+                k_ff, k_fb = gains[k]
+                dx = np.concatenate(
+                    [state.q - states[k].q, state.qd - states[k].qd]
+                )
+                u = controls[k] + alpha * k_ff + k_fb @ dx
+                new_controls.append(u)
+                state = step(model, state, u, dt)
+                new_states.append(state)
+            new_cost = total_cost(model, cost, new_states, new_controls)
+            if new_cost < cost_now - 1e-12:
+                improved = True
+                break
+        if not improved:
+            break
+        relative_drop = (cost_now - new_cost) / max(abs(cost_now), 1e-12)
+        states, controls, cost_now = new_states, new_controls, new_cost
+        trace.append(cost_now)
+        if relative_drop < tolerance:
+            converged = True
+            break
+
+    return ILQRResult(
+        controls=controls,
+        states=states,
+        cost_trace=trace,
+        iterations=iteration,
+        converged=converged or len(trace) > 1,
+    )
+
+
+def _rollout(model, initial, controls, dt, step):
+    states = [initial]
+    for u in controls:
+        states.append(step(model, states[-1], u, dt))
+    return states

@@ -1,0 +1,68 @@
+"""Workload generators for benchmarks and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.functions import TaskRequest
+from repro.dynamics.functions import RBDFunction
+from repro.model.robot import RobotModel
+
+
+def random_requests(
+    model: RobotModel,
+    function: RBDFunction,
+    count: int,
+    seed: int = 0,
+    velocity_scale: float = 1.0,
+) -> list[TaskRequest]:
+    """A batch of random task requests (the paper's batched-task load)."""
+    rng = np.random.default_rng(seed)
+    requests = []
+    for _ in range(count):
+        q, qd = model.random_state(rng, velocity_scale)
+        requests.append(
+            TaskRequest(
+                function=function,
+                q=q,
+                qd=qd,
+                qdd_or_tau=rng.normal(size=model.nv),
+            )
+        )
+    return requests
+
+
+def sinusoidal_trajectory(
+    model: RobotModel,
+    steps: int,
+    dt: float = 0.01,
+    amplitude: float = 0.6,
+    seed: int = 0,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """A smooth joint-space reference trajectory: (q, qd) per step.
+
+    Per-joint sinusoids with random phases — the classic exercise signal
+    for dynamics benchmarks.
+    """
+    rng = np.random.default_rng(seed)
+    phase = rng.uniform(0.0, 2 * np.pi, size=model.nv)
+    freq = rng.uniform(0.5, 1.5, size=model.nv)
+    base = model.neutral_q()
+    out = []
+    for k in range(steps):
+        t = k * dt
+        offset = amplitude * np.sin(2 * np.pi * freq * t + phase)
+        rate = amplitude * 2 * np.pi * freq * np.cos(2 * np.pi * freq * t + phase)
+        out.append((model.integrate(base, offset), rate))
+    return out
+
+
+def mpc_sample_points(
+    model: RobotModel,
+    horizon_s: float = 1.0,
+    control_hz: float = 100.0,
+) -> int:
+    """Sampling points of one MPC solve (the paper's sizing argument for
+    batch 256: ~1 s horizon at 10 ms steps -> ~100 points)."""
+    del model
+    return int(round(horizon_s * control_hz))

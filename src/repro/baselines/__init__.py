@@ -1,0 +1,32 @@
+"""Baseline platform models: CPU (Pinocchio-like), GPU (GRiD-like),
+Robomorphic FPGA, plus the paper's published anchor numbers."""
+
+from repro.baselines import calibration
+from repro.baselines.cpu import CpuDynamicsModel
+from repro.baselines.gpu import GpuDynamicsModel
+from repro.baselines.platforms import (
+    AGX_ORIN_CPU,
+    AGX_ORIN_GPU,
+    I7_7700,
+    I9_13900HX,
+    RTX_2080,
+    RTX_4090M,
+    CpuPlatform,
+    GpuPlatform,
+)
+from repro.baselines.robomorphic import RobomorphicModel
+
+__all__ = [
+    "AGX_ORIN_CPU",
+    "AGX_ORIN_GPU",
+    "CpuDynamicsModel",
+    "CpuPlatform",
+    "GpuDynamicsModel",
+    "GpuPlatform",
+    "I7_7700",
+    "I9_13900HX",
+    "RTX_2080",
+    "RTX_4090M",
+    "RobomorphicModel",
+    "calibration",
+]

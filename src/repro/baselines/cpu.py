@@ -1,0 +1,73 @@
+"""CPU baseline model (Pinocchio-style library).
+
+Per-task time is the shared op count times the platform's calibrated
+per-op speed, with a software overhead factor (a CPU library cannot bake
+robot constants into the datapath the way the FPGA does).  Batched
+throughput adds the memory-bottlenecked thread scaling of Fig 2b and a
+work-distribution ramp: small batches cannot feed all threads, which is
+exactly why the paper's Fig 16 CPU speedups *shrink* as the batch grows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.platforms import CpuPlatform
+from repro.dynamics.functions import RBDFunction
+from repro.dynamics.opcount import OpCountParams, function_ops
+from repro.model.robot import RobotModel
+
+#: Extra work a general-purpose library does per model op (bookkeeping,
+#: no constant folding, cache misses on the round trip).
+SOFTWARE_OVERHEAD = 1.6
+
+#: Tasks one thread grabs at a time when a batch is distributed.
+TASKS_PER_GRAIN = 8
+
+
+@dataclass
+class CpuDynamicsModel:
+    """Latency/throughput model for one (platform, robot) pair."""
+
+    platform: CpuPlatform
+    robot: RobotModel
+    op_params: OpCountParams = OpCountParams()
+
+    def task_ops(self, function: RBDFunction) -> float:
+        return SOFTWARE_OVERHEAD * function_ops(
+            self.robot, function, self.op_params, software=True
+        )
+
+    def latency_seconds(self, function: RBDFunction) -> float:
+        """Single-thread, single-task latency (the Fig 15 left column)."""
+        return self.task_ops(function) * self.platform.seconds_per_op
+
+    def effective_threads(self, batch: int) -> int:
+        """Threads a batch can actually feed (grain-limited)."""
+        return max(1, min(self.platform.threads,
+                          math.ceil(batch / TASKS_PER_GRAIN)))
+
+    def batch_seconds(
+        self, function: RBDFunction, batch: int, threads: int | None = None
+    ) -> float:
+        if threads is None:
+            threads = self.effective_threads(batch)
+        speedup = self.platform.thread_speedup(threads)
+        return batch * self.latency_seconds(function) / speedup
+
+    def throughput_tasks_per_s(
+        self, function: RBDFunction, batch: int, threads: int | None = None
+    ) -> float:
+        return batch / self.batch_seconds(function, batch, threads)
+
+    def multithread_curve(
+        self, function: RBDFunction, batch: int, max_threads: int | None = None
+    ) -> list[tuple[int, float]]:
+        """(threads, relative time) pairs — the Fig 2b measurement."""
+        max_threads = max_threads or self.platform.threads
+        base = self.batch_seconds(function, batch, threads=1)
+        return [
+            (t, self.batch_seconds(function, batch, threads=t) / base)
+            for t in range(1, max_threads + 1)
+        ]

@@ -1,0 +1,68 @@
+"""GPU baseline model (GRiD-style batched dynamics).
+
+GPUs hide memory latency with occupancy: per-task throughput ramps up with
+batch size until enough blocks are resident, which the classic
+latency-hiding curve ``throughput(b) = peak * b / (b + b50)`` captures.
+Batch time is therefore::
+
+    t(batch) = launch_overhead + (batch + b50) * task_seconds
+
+Small batches pay the launch cost and starved occupancy (Dadu-RBD wins);
+very large batches amortize everything and the big GPU overtakes —
+reproducing both ends of Fig 17 and the batch-dependent speedups of
+Fig 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.platforms import GpuPlatform
+from repro.dynamics.functions import RBDFunction
+from repro.dynamics.opcount import OpCountParams, function_ops
+from repro.model.robot import RobotModel
+
+#: GPU libraries keep the robot generic too, but fuse kernels well;
+#: overhead sits between the FPGA (1.0) and the CPU library.
+SOFTWARE_OVERHEAD = 1.3
+
+
+@dataclass
+class GpuDynamicsModel:
+    """Latency/throughput model for one (platform, robot) pair."""
+
+    platform: GpuPlatform
+    robot: RobotModel
+    op_params: OpCountParams = OpCountParams()
+
+    def task_ops(self, function: RBDFunction) -> float:
+        return SOFTWARE_OVERHEAD * function_ops(
+            self.robot, function, self.op_params, software=True
+        )
+
+    def task_seconds(self, function: RBDFunction) -> float:
+        """Per-task time at full occupancy."""
+        return self.task_ops(function) * self.platform.seconds_per_op
+
+    def latency_seconds(self, function: RBDFunction) -> float:
+        """Single-task latency: launch + a lone, occupancy-starved task
+        (GRiD's weak spot)."""
+        return self.batch_seconds(function, 1)
+
+    def batch_seconds(self, function: RBDFunction, batch: int) -> float:
+        return (
+            self.platform.launch_overhead_s
+            + (batch + self.platform.b50) * self.task_seconds(function)
+        )
+
+    def throughput_tasks_per_s(self, function: RBDFunction, batch: int) -> float:
+        return batch / self.batch_seconds(function, batch)
+
+    def peak_throughput_tasks_per_s(self, function: RBDFunction) -> float:
+        return 1.0 / self.task_seconds(function)
+
+    def batch_curve(
+        self, function: RBDFunction, batches: tuple[int, ...]
+    ) -> list[tuple[int, float]]:
+        """(batch, seconds) pairs — the Fig 17 measurement."""
+        return [(b, self.batch_seconds(function, b)) for b in batches]

@@ -1,0 +1,125 @@
+"""Hardware platform descriptors (the paper's Table II).
+
+``seconds_per_op`` values are calibration constants: they map our shared
+op-count model to wall time per platform and are fit once so the average
+latency/throughput ratios of Section VI-A land on the paper's numbers (the
+fit is checked by tests and reported by the benchmarks).  The structural
+parameters (cores, SMs, launch overheads, bandwidth-style thread scaling)
+drive every *shape* — batch curves, saturation, crossovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuPlatform:
+    """A multicore CPU running a Pinocchio-style dynamics library."""
+
+    name: str
+    frequency_hz: float
+    cores: int
+    threads: int
+    seconds_per_op: float          # single-thread time per model op
+    serial_fraction: float         # Amdahl term of the batch loop
+    contention: float              # per-extra-thread memory penalty
+    power_w: float
+
+    def thread_speedup(self, threads: int) -> float:
+        """Memory-bottlenecked scaling (the Fig 2b curve)."""
+        threads = max(1, min(threads, self.threads))
+        return 1.0 / (
+            self.serial_fraction
+            + (1.0 - self.serial_fraction) / threads
+            + self.contention * (threads - 1)
+        )
+
+    def best_threads(self) -> int:
+        return max(
+            range(1, self.threads + 1), key=self.thread_speedup
+        )
+
+
+@dataclass(frozen=True)
+class GpuPlatform:
+    """A CUDA GPU running a GRiD-style batched dynamics library.
+
+    ``b50`` is the occupancy half-saturation batch: per-task throughput
+    follows ``peak * batch / (batch + b50)`` (latency-hiding ramp), so
+    batch time is ``launch + (batch + b50) * task_seconds``.
+    """
+
+    name: str
+    frequency_hz: float
+    sms: int
+    b50: float                     # occupancy half-saturation batch size
+    seconds_per_op: float          # per-op time at full occupancy
+    launch_overhead_s: float       # kernel launch + host sync
+    power_w: float
+
+
+# --- Table II platforms ------------------------------------------------------
+
+AGX_ORIN_CPU = CpuPlatform(
+    name="AGX Orin CPU (12x A78AE @2.2GHz)",
+    frequency_hz=2.2e9,
+    cores=12,
+    threads=12,
+    seconds_per_op=4.79e-10,
+    serial_fraction=0.03,
+    contention=0.046,
+    power_w=30.0,
+)
+
+I9_13900HX = CpuPlatform(
+    name="i9-13900HX (@5.4GHz, 32 threads)",
+    frequency_hz=5.4e9,
+    cores=24,
+    threads=32,
+    seconds_per_op=1.69e-10,
+    serial_fraction=0.02,
+    contention=0.0226,
+    power_w=140.0,
+)
+
+I7_7700 = CpuPlatform(
+    name="i7-7700 (4 cores @3.6GHz)",
+    frequency_hz=3.6e9,
+    cores=4,
+    threads=4,
+    seconds_per_op=1.295e-10,
+    serial_fraction=0.03,
+    contention=0.062,
+    power_w=65.0,
+)
+
+AGX_ORIN_GPU = GpuPlatform(
+    name="AGX Orin GPU (2048-core Ampere @1.3GHz)",
+    frequency_hz=1.3e9,
+    sms=16,
+    b50=64.0,
+    seconds_per_op=1.028e-10,
+    launch_overhead_s=18e-6,
+    power_w=30.0,
+)
+
+RTX_4090M = GpuPlatform(
+    name="RTX 4090 Mobile (76 SM @1.8GHz)",
+    frequency_hz=1.8e9,
+    sms=76,
+    b50=750.0,
+    seconds_per_op=5.81e-12,
+    launch_overhead_s=9e-6,
+    power_w=175.0,
+)
+
+RTX_2080 = GpuPlatform(
+    name="RTX 2080 (46 SM @1.7GHz)",
+    frequency_hz=1.7e9,
+    sms=46,
+    b50=20.0,
+    seconds_per_op=1.612e-11,
+    launch_overhead_s=8e-6,
+    power_w=215.0,
+)

@@ -1,0 +1,75 @@
+"""Robomorphic baseline model (Neuman et al., ASPLOS 2021).
+
+Robomorphic accelerates exactly one function (diFD) with two large
+latency-optimized cores — one for the forward sweep, one for the backward
+sweep — coarsely pipelined against each other (the paper's Fig 4c).  Its
+latency is excellent (0.61 us for iiwa at 56 MHz) but, with only two
+pipeline stages and near-zero overlap inside a core, its initiation
+interval is essentially the whole core latency, which is where Dadu-RBD's
+6.3-7.0x batched speedup (Fig 16) comes from.  It also needs the host CPU
+for Minv and the final products, which we fold into the per-task time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.calibration import (
+    DIFD_IIWA_LATENCY_US_ROBOMORPHIC,
+    ROBOMORPHIC_POWER_W,
+)
+from repro.core.config import ROBOMORPHIC_CLOCK_HZ
+from repro.dynamics.functions import RBDFunction
+from repro.dynamics.opcount import OpCountParams, function_ops
+from repro.model.library import iiwa
+from repro.model.robot import RobotModel
+
+
+@dataclass
+class RobomorphicModel:
+    """Latency/throughput model of the Robomorphic FPGA design."""
+
+    robot: RobotModel
+    clock_hz: float = ROBOMORPHIC_CLOCK_HZ
+    #: Fraction of a task's time hidden by the fwd/bwd core overlap.
+    pipeline_overlap: float = 0.13
+    power_w: float = ROBOMORPHIC_POWER_W
+
+    SUPPORTED = frozenset({RBDFunction.DIFD})
+
+    def __post_init__(self) -> None:
+        # Anchor: iiwa diFD at 0.61 us; other robots scale with the op
+        # count ratio (their methodology parameterizes the same datapath by
+        # robot morphology).
+        ref_ops = function_ops(iiwa(), RBDFunction.DIFD, OpCountParams())
+        robot_ops = function_ops(self.robot, RBDFunction.DIFD, OpCountParams())
+        self._latency_s = (
+            DIFD_IIWA_LATENCY_US_ROBOMORPHIC * 1e-6 * robot_ops / ref_ops
+        )
+
+    def supports(self, function: RBDFunction) -> bool:
+        return function in self.SUPPORTED
+
+    def latency_seconds(self, function: RBDFunction) -> float:
+        self._check(function)
+        return self._latency_s
+
+    def initiation_interval_seconds(self, function: RBDFunction) -> float:
+        self._check(function)
+        return self._latency_s * (1.0 - self.pipeline_overlap)
+
+    def batch_seconds(self, function: RBDFunction, batch: int) -> float:
+        self._check(function)
+        return (
+            self._latency_s
+            + max(batch - 1, 0) * self.initiation_interval_seconds(function)
+        )
+
+    def throughput_tasks_per_s(self, function: RBDFunction, batch: int) -> float:
+        return batch / self.batch_seconds(function, batch)
+
+    def _check(self, function: RBDFunction) -> None:
+        if not self.supports(function):
+            raise ValueError(
+                f"Robomorphic only implements diFD, not {function.value}"
+            )

@@ -1,0 +1,77 @@
+"""The Dadu-RBD accelerator model (the paper's primary contribution)."""
+
+from repro.core.accelerator import DaduRBD
+from repro.core.config import (
+    PAPER_CONFIG,
+    ROBOMORPHIC_CLOCK_HZ,
+    AcceleratorConfig,
+    NumericsConfig,
+    SAPConfig,
+)
+from repro.core.costmodel import CostModel, SubmoduleKind
+from repro.core.functions import (
+    DATAFLOW_PROGRAMS,
+    BatchProfile,
+    DataflowPass,
+    MicroInstruction,
+    TaskRequest,
+    TaskResult,
+)
+from repro.core.resources import ResourceModel, ResourceReport
+from repro.core.saps import BranchArray, SAPOrganization, organize
+from repro.core.scheduler import (
+    independent_batch,
+    rk4_sensitivity_jobs,
+    serial_chains,
+    staggered_batch,
+)
+from repro.core.explore import (
+    DesignPoint,
+    best_feasible_point,
+    sweep_design_space,
+)
+from repro.core.visualize import pipeline_timeline, render_timeline, trace_stages
+from repro.core.sim import (
+    DataflowGraph,
+    JobSpec,
+    SimulationResult,
+    analytic_batch_makespan,
+    simulate,
+)
+
+__all__ = [
+    "AcceleratorConfig",
+    "BatchProfile",
+    "BranchArray",
+    "CostModel",
+    "DATAFLOW_PROGRAMS",
+    "DaduRBD",
+    "DataflowGraph",
+    "DataflowPass",
+    "DesignPoint",
+    "JobSpec",
+    "MicroInstruction",
+    "NumericsConfig",
+    "PAPER_CONFIG",
+    "ROBOMORPHIC_CLOCK_HZ",
+    "ResourceModel",
+    "ResourceReport",
+    "SAPConfig",
+    "SAPOrganization",
+    "SimulationResult",
+    "SubmoduleKind",
+    "TaskRequest",
+    "TaskResult",
+    "analytic_batch_makespan",
+    "best_feasible_point",
+    "independent_batch",
+    "organize",
+    "pipeline_timeline",
+    "render_timeline",
+    "rk4_sensitivity_jobs",
+    "serial_chains",
+    "simulate",
+    "staggered_batch",
+    "sweep_design_space",
+    "trace_stages",
+]

@@ -1,0 +1,314 @@
+"""The Dadu-RBD accelerator model.
+
+:class:`DaduRBD` is the top-level facade a user configures once per robot
+(like the FPGA bitstream) and then drives with :class:`TaskRequest`s.  It
+provides:
+
+* **functional execution** — bit-approximate results for all seven Table-I
+  functions, with the Global Trigonometric Module's Taylor error and the
+  fixed-point quantization of the Decode Module applied to the inputs;
+* **cycle simulation** — single-task latency, batch throughput, stage
+  utilization and FIFO occupancy from the discrete-event model of the
+  RTP/SAP stage graph;
+* **resource/power reports** — Section VI-C style accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import AcceleratorConfig, PAPER_CONFIG
+from repro.core.costmodel import CostModel
+from repro.core.fixedpoint import FixedPointFormat
+from repro.core.functions import BatchProfile, TaskRequest, TaskResult
+from repro.core.modules import active_stage_names, build_dataflow
+from repro.core.resources import ResourceModel, ResourceReport
+from repro.core.saps import SAPOrganization, organize
+from repro.core.sim import (
+    DataflowGraph,
+    JobSpec,
+    analytic_batch_makespan,
+    simulate,
+)
+from repro.core.trig import effective_angles
+from repro.dynamics.functions import RBDFunction, evaluate
+from repro.model.robot import RobotModel
+
+#: Batches larger than this use the validated analytic makespan model.
+_SIM_BATCH_LIMIT = 2048
+
+#: Initiation-interval ladder searched by the auto-fit tuner.
+_II_LADDER = (8, 10, 12, 14, 16, 20, 24, 28, 32, 40, 48, 64, 80, 96,
+              128, 160, 192, 256, 320, 384, 512)
+
+
+class DaduRBD:
+    """One configured accelerator instance for a specific robot."""
+
+    def __init__(
+        self,
+        model: RobotModel,
+        config: AcceleratorConfig = PAPER_CONFIG,
+    ) -> None:
+        self.model = model
+        self.config = self._fit_config(model, config)
+        self.org: SAPOrganization = organize(model, self.config)
+        self.cost = CostModel(self.org.timing_model, self.config)
+        self.resources_model = ResourceModel(
+            self.org, self.cost, replicas=self.config.sap_replicas
+        )
+        # The Schedule Module's matrix products reuse the Backward-Forward
+        # Module's multipliers (Fig 9c).
+        self.cost.schedule_lanes = max(
+            self.config.schedule_parallelism,
+            self.resources_model.module_lanes(("Mb", "Mf")),
+        )
+        self._graphs: dict[RBDFunction, DataflowGraph] = {}
+
+    @staticmethod
+    def _fit_config(
+        model: RobotModel, config: AcceleratorConfig
+    ) -> AcceleratorConfig:
+        """Raise the *heavy* II budget until the build fits the DSP budget.
+
+        This mirrors the paper's per-robot tuning: on larger robots the
+        derivative and mass-matrix pipelines trade throughput for area so
+        every robot ships on the same XCVU9P, while the cheap RNEA stages
+        keep the base budget.
+        """
+        if not config.auto_fit_ii:
+            return config
+        base = config.heavy_ii_cycles
+        candidates = [ii for ii in _II_LADDER if ii >= base] or [base]
+        chosen = candidates[-1]
+        for ii in candidates:
+            trial = config.with_(ii_target_heavy_cycles=ii)
+            org = organize(model, trial)
+            cost = CostModel(org.timing_model, trial)
+            report = ResourceModel(
+                org, cost, replicas=trial.sap_replicas
+            ).report()
+            if report.dsp_utilization <= trial.dsp_budget:
+                chosen = ii
+                break
+        return config.with_(ii_target_heavy_cycles=chosen)
+
+    # ------------------------------------------------------------------
+    # Dataflow graphs
+    # ------------------------------------------------------------------
+
+    def graph(self, function: RBDFunction) -> DataflowGraph:
+        if function not in self._graphs:
+            self._graphs[function] = build_dataflow(self.org, self.cost, function)
+        return self._graphs[function]
+
+    # ------------------------------------------------------------------
+    # Functional execution
+    # ------------------------------------------------------------------
+
+    def _hardware_inputs(self, request: TaskRequest) -> TaskRequest:
+        """Apply Decode-Module quantization and trig-module error."""
+        numerics = self.config.numerics
+        q = np.asarray(request.q, dtype=float).copy()
+        # Taylor-trig error: revolute-family joints consume sin/cos built by
+        # the Global Trigonometric Module; building X from approximate
+        # (sin, cos) equals using the effective angle atan2(sin~, cos~).
+        for i in range(self.model.nb):
+            joint = self.model.joint(i)
+            if joint.nv == 1 and joint.cost_profile().trig_pairs > 0:
+                sl = self.model.dof_slice(i)
+                q[sl] = effective_angles(q[sl], numerics.taylor_order)
+        if not numerics.fixed_point:
+            return TaskRequest(
+                request.function, q, request.qd, request.qdd_or_tau,
+                request.f_ext, request.minv,
+            )
+        fmt = FixedPointFormat(numerics.integer_bits, numerics.fraction_bits)
+        quant = fmt.quantize
+        return TaskRequest(
+            function=request.function,
+            q=quant(q),
+            qd=None if request.qd is None else quant(np.asarray(request.qd)),
+            qdd_or_tau=(
+                None if request.qdd_or_tau is None
+                else quant(np.asarray(request.qdd_or_tau))
+            ),
+            f_ext=(
+                None if request.f_ext is None
+                else {k: quant(np.asarray(v)) for k, v in request.f_ext.items()}
+            ),
+            minv=None if request.minv is None else quant(np.asarray(request.minv)),
+        )
+
+    def compute(self, request: TaskRequest):
+        """Functional result only (no timing)."""
+        hw = self._hardware_inputs(request)
+        if hw.function is RBDFunction.FD and self.config.enable_aba_fd:
+            # Section V-B4 option: FD via the ABA sweep on the BF module.
+            from repro.dynamics.aba import aba
+
+            return aba(self.model, hw.q, hw.qd, hw.qdd_or_tau, hw.f_ext)
+        return evaluate(
+            self.model, hw.function, hw.q, hw.qd, hw.qdd_or_tau, hw.f_ext, hw.minv
+        )
+
+    def run(self, request: TaskRequest) -> TaskResult:
+        """Execute one task: functional result plus simulated timing."""
+        value = self.compute(request)
+        graph = self.graph(request.function)
+        sim = simulate(
+            graph, [JobSpec()],
+            transfer_cycles=self.config.transfer_cycles,
+            fifo_capacity=self.config.fifo_capacity,
+            startup_cycles=self.config.stream_startup_cycles,
+        )
+        return TaskResult(
+            function=request.function,
+            value=value,
+            issue_cycle=sim.job_start[0],
+            finish_cycle=sim.job_finish[0],
+        )
+
+    # ------------------------------------------------------------------
+    # Timing profiles
+    # ------------------------------------------------------------------
+
+    def latency_cycles(self, function: RBDFunction) -> float:
+        """Single-task pipeline latency (empty pipeline)."""
+        graph = self.graph(function)
+        sim = simulate(
+            graph, [JobSpec()],
+            transfer_cycles=self.config.transfer_cycles,
+            startup_cycles=self.config.stream_startup_cycles,
+        )
+        return sim.latency(0)
+
+    def latency_seconds(self, function: RBDFunction) -> float:
+        return self.config.cycles_to_seconds(self.latency_cycles(function))
+
+    def initiation_interval(self, function: RBDFunction) -> float:
+        """Analytic steady-state cycles between completions."""
+        return self.graph(function).initiation_interval()
+
+    def profile_batch(
+        self,
+        function: RBDFunction,
+        batch: int,
+        jobs: list[JobSpec] | None = None,
+    ) -> BatchProfile:
+        """Makespan/throughput for a batch (simulated, or analytic when the
+        batch exceeds the simulation limit and has no dependencies)."""
+        graph = self.graph(function)
+        if jobs is None:
+            jobs = [JobSpec() for _ in range(batch)]
+        has_deps = any(j.after_jobs for j in jobs)
+        startup = self.config.stream_startup_cycles
+        if len(jobs) > _SIM_BATCH_LIMIT and not has_deps:
+            makespan = analytic_batch_makespan(
+                graph, len(jobs), self.config.transfer_cycles, startup
+            )
+            latency = graph.critical_path_cycles(
+                self.config.transfer_cycles, startup
+            )
+            return BatchProfile(
+                tasks=len(jobs),
+                makespan_cycles=makespan,
+                first_latency_cycles=latency,
+                mean_latency_cycles=latency,
+                initiation_interval_cycles=graph.initiation_interval(),
+            )
+        sim = simulate(
+            graph, jobs,
+            transfer_cycles=self.config.transfer_cycles,
+            fifo_capacity=self.config.fifo_capacity,
+            startup_cycles=startup,
+        )
+        return BatchProfile(
+            tasks=len(jobs),
+            makespan_cycles=sim.makespan,
+            first_latency_cycles=sim.latency(0),
+            mean_latency_cycles=sim.mean_latency(),
+            initiation_interval_cycles=sim.measured_interval(),
+            stage_utilization={
+                name: sim.utilization(name) for name in graph.stages
+            },
+            max_queue_depth=dict(sim.max_queue),
+        )
+
+    def throughput_tasks_per_s(
+        self, function: RBDFunction, batch: int = 256
+    ) -> float:
+        return batch / self.batch_seconds(function, batch)
+
+    def batch_seconds(
+        self, function: RBDFunction, batch: int, *, warm: bool = True
+    ) -> float:
+        """Wall time for a batch, including the streamed I/O bound.
+
+        ``warm=True`` models the paper's measurement protocol (batches
+        repeated millions of times, pipeline never drains): the steady-state
+        cost per batch is ``batch * II``.  ``warm=False`` gives the
+        cold-start makespan (fill + drain) from the event simulation.
+        """
+        replicas = self.config.sap_replicas
+        if warm:
+            compute_cycles = (
+                batch * self.graph(function).initiation_interval() / replicas
+            )
+            compute = self.config.cycles_to_seconds(compute_cycles)
+        else:
+            # Round-robin the batch over the replicated SAPs.
+            share = -(-batch // replicas)
+            profile = self.profile_batch(function, share)
+            compute = self.config.cycles_to_seconds(profile.makespan_cycles)
+        io = self._io_seconds(function, batch)
+        # I/O is streamed concurrently with compute (Section VI): the run
+        # time is the max of the two, not the sum.
+        return max(compute, io)
+
+    def _io_seconds(self, function: RBDFunction, batch: int) -> float:
+        nv = self.model.nv
+        words_in = 3 * nv + 4                       # q, qd, qdd/tau, header
+        out_by_function = {
+            RBDFunction.ID: nv,
+            RBDFunction.FD: nv,
+            RBDFunction.M: nv * (nv + 1) // 2,
+            RBDFunction.MINV: nv * (nv + 1) // 2,
+            RBDFunction.DID: 2 * nv * nv,
+            RBDFunction.DFD: 2 * nv * nv,
+            RBDFunction.DIFD: 2 * nv * nv,
+        }
+        if function is RBDFunction.DIFD:
+            words_in += nv * (nv + 1) // 2          # Minv streamed in
+        words = words_in + out_by_function[function]
+        bytes_total = batch * words * self.config.word_bytes
+        return bytes_total / self.config.io_bandwidth_bytes_per_s
+
+    # ------------------------------------------------------------------
+    # Resources and power
+    # ------------------------------------------------------------------
+
+    def resources(self) -> ResourceReport:
+        return self.resources_model.report()
+
+    def power_w(self, function: RBDFunction) -> float:
+        return self.resources_model.power_w(
+            active_stage_names(self.graph(function))
+        )
+
+    def energy_per_task_j(self, function: RBDFunction, batch: int = 256) -> float:
+        seconds = self.batch_seconds(function, batch) / batch
+        return self.power_w(function) * seconds
+
+    def describe(self) -> str:
+        report = self.resources()
+        lines = [
+            f"Dadu-RBD for {self.model.name} @ {self.config.clock_hz / 1e6:.0f} MHz",
+            self.org.describe(),
+            (
+                f"  resources: {report.total_lanes} lanes, "
+                f"DSP {report.dsp_utilization:.0%}, FF {report.ff_utilization:.0%}, "
+                f"LUT {report.lut_utilization:.0%}"
+            ),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Accelerator configuration.
+
+One :class:`AcceleratorConfig` fixes everything a Vitis build would fix:
+clock frequency, pipeline targets, FIFO sizing, numerics, and which SAP
+optimizations are enabled.  The defaults model the paper's shipped design
+point (XCVU9P at 125 MHz, Section VI); the ablation benchmarks flip
+individual switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NumericsConfig:
+    """Datapath numerics (Section IV-B2).
+
+    The datapath uses fixed-point add/sub/mul with the float-trick
+    reciprocal; the Global Trigonometric Module evaluates Taylor series of
+    the given order.
+    """
+
+    fixed_point: bool = True
+    integer_bits: int = 16
+    fraction_bits: int = 20
+    taylor_order: int = 9          # highest power kept in sin/cos series
+    reciprocal_refinements: int = 2
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 2 or self.fraction_bits < 4:
+            raise ConfigurationError("fixed-point format too small")
+        if self.taylor_order < 1:
+            raise ConfigurationError("taylor_order must be >= 1")
+
+
+@dataclass(frozen=True)
+class SAPConfig:
+    """Structure-Adaptive Pipeline switches (Section V-C)."""
+
+    share_symmetric_branches: bool = True     # time-division multiplexing
+    reroot_tree: bool = True                  # Fig 11c depth balancing
+    split_floating_base: bool = True          # Section V-C5
+    branch_induced_sparsity: bool = True      # Section V-C4
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Full build configuration for one robot."""
+
+    clock_hz: float = 125e6                   # paper: 125 MHz on XCVU9P
+    ii_target_cycles: int = 10                # II budget: light stages (Rf/Rb)
+    #: II budget for the area-hungry stages (Df/Db/Mb/Mf).  None means
+    #: "same as ii_target_cycles"; the auto-fit tuner raises only this one,
+    #: so cheap functions (ID) keep full throughput on big robots while
+    #: derivative/mass-matrix pipelines trade throughput for area.
+    ii_target_heavy_cycles: int | None = None
+    transfer_cycles: int = 1                  # FIFO hop latency
+    #: First-element latency of a streaming stage (HLS dataflow): successors
+    #: wake up this many cycles after a producer starts, not after it ends.
+    stream_startup_cycles: float = 3.0
+    frontend_cycles: int = 2                  # decode / input-stream stages
+    trig_cycles: int = 3                      # Global Trigonometric Module
+    encode_cycles: int = 2
+    fifo_capacity: int = 64                   # per-stream bypass buffer slots
+    io_bandwidth_bytes_per_s: float = 32e9    # paper: capped at 32 GB/s
+    word_bytes: int = 4
+    schedule_parallelism: int = 32            # Schedule Module control lanes
+    #: Auto-tune ii_target_cycles upward until the design fits dsp_budget
+    #: (the paper tunes each robot's build the same way, Section VI).
+    auto_fit_ii: bool = True
+    dsp_budget: float = 0.66
+    numerics: NumericsConfig = field(default_factory=NumericsConfig)
+    sap: SAPConfig = field(default_factory=SAPConfig)
+    #: Recompute X in the backward submodules instead of buffering and
+    #: transferring it from the forward pass (Section IV-A2): a few extra
+    #: multiplies per backward stage buy much smaller FIFO payloads.
+    reupdate_transforms: bool = True
+    lazy_update: bool = True                  # Section IV-A3
+    incremental_columns: bool = True          # Section IV-A4
+    sparse_datapath: bool = True              # Section IV-A1
+    #: Implement FD with the ABA algorithm on the Backward-Forward Module
+    #: (the paper's stated-but-unimplemented option, Section V-B4): lower
+    #: FD latency, extra area on the Mb/Mf stages.
+    enable_aba_fd: bool = False
+    #: Instantiate the whole SAP this many times (Section VI-A: "If we want
+    #: to further improve throughput, we can instantiate multiple SAPs").
+    sap_replicas: int = 1
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock must be positive")
+        if self.ii_target_cycles < 1:
+            raise ConfigurationError("ii_target_cycles must be >= 1")
+        if self.fifo_capacity < 2:
+            raise ConfigurationError("fifo_capacity must be >= 2")
+        if self.sap_replicas < 1:
+            raise ConfigurationError("sap_replicas must be >= 1")
+
+    @property
+    def heavy_ii_cycles(self) -> int:
+        if self.ii_target_heavy_cycles is None:
+            return self.ii_target_cycles
+        return self.ii_target_heavy_cycles
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def with_(self, **changes) -> "AcceleratorConfig":
+        """A modified copy (convenience for ablations)."""
+        return replace(self, **changes)
+
+
+#: The paper's shipped configuration.
+PAPER_CONFIG = AcceleratorConfig()
+
+#: Robomorphic ran the same FPGA at 56 MHz (Table II).
+ROBOMORPHIC_CLOCK_HZ = 56e6

@@ -1,0 +1,183 @@
+"""Submodule cost model: operations -> parallelism -> service cycles.
+
+Implements the paper's resource-allocation strategy (Section IV-A4): every
+submodule gets just enough multiply lanes that its service time fits the
+pipeline's initiation-interval budget — including the extra visits from
+time-division multiplexing of symmetric branches — while submodules with
+internal dependency chains cannot go below a latency floor no matter how
+many lanes they get.  Deep dRNEA submodules therefore cost the most
+(Fig 7c) and shallow ones aggressively reuse lanes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.config import AcceleratorConfig
+from repro.dynamics import opcount
+from repro.dynamics.opcount import OpCountParams
+from repro.model.robot import RobotModel
+
+
+class SubmoduleKind(Enum):
+    """The six RTP submodule types plus the shared service modules."""
+
+    RF = "Rf"      # RNEA forward
+    RB = "Rb"      # RNEA backward
+    DF = "Df"      # dRNEA forward
+    DB = "Db"      # dRNEA backward
+    MB = "Mb"      # MMinvGen backward
+    MF = "Mf"      # MMinvGen forward
+
+
+#: Minimum service cycles per kind: the internal serial dependency chain
+#: (X update -> v -> a -> f etc.) that extra lanes cannot shorten.
+SERVICE_FLOORS: dict[SubmoduleKind, int] = {
+    SubmoduleKind.RF: 3,
+    SubmoduleKind.RB: 2,
+    SubmoduleKind.DF: 4,
+    SubmoduleKind.DB: 3,
+    SubmoduleKind.MB: 4,
+    SubmoduleKind.MF: 3,
+}
+
+#: Stage kinds sized against the heavy II budget (their column widths grow
+#: with robot size; everything else stays on the light budget).
+HEAVY_KINDS = frozenset(
+    {SubmoduleKind.DF, SubmoduleKind.DB, SubmoduleKind.MB, SubmoduleKind.MF}
+)
+
+
+@dataclass(frozen=True)
+class SubmoduleBudget:
+    """Sizing of one physical submodule."""
+
+    kind: SubmoduleKind
+    link: int
+    ops: float
+    multiplex: int            # visits per task (SAP branch sharing)
+    parallelism: int          # multiply lanes allocated
+    service_cycles: int
+
+    @property
+    def load_cycles(self) -> int:
+        """Stage-time consumed per task in steady state."""
+        return self.service_cycles * self.multiplex
+
+
+class CostModel:
+    """Computes op counts and sizes submodules for one robot + config."""
+
+    def __init__(
+        self,
+        timing_model: RobotModel,
+        config: AcceleratorConfig,
+        op_params: OpCountParams | None = None,
+    ) -> None:
+        self.model = timing_model
+        self.config = config
+        if op_params is None:
+            op_params = OpCountParams(sparse_x=config.sparse_datapath)
+        self.op_params = op_params
+        #: MAC lanes usable by the Schedule Module's matrix products.  The
+        #: hardware reuses the (then idle) array multipliers for steps (3)
+        #: and (6) of Fig 9a (Fig 9c); DaduRBD raises this once the
+        #: Backward-Forward Module's lane count is known.
+        self.schedule_lanes = config.schedule_parallelism
+
+    # ------------------------------------------------------------------
+    # Raw operation counts per submodule
+    # ------------------------------------------------------------------
+
+    def ops(self, kind: SubmoduleKind, link: int, *, out_minv: bool = True) -> float:
+        model, params = self.model, self.op_params
+        if kind is SubmoduleKind.RF:
+            return opcount.ops_rf(model, link, params)
+        if kind is SubmoduleKind.RB:
+            ops = opcount.ops_rb(model, link, params)
+            if not self.config.reupdate_transforms:
+                # X arrives over the FIFO instead of being recomputed.
+                ops -= model.joint(link).cost_profile().x_mults
+            return max(ops, 1.0)
+        if kind is SubmoduleKind.DF:
+            ops = opcount.ops_df(model, link, params)
+            if not self.config.incremental_columns:
+                # Without incremental columns every submodule carries the
+                # full 2*nv columns (ablation).
+                cols = opcount.derivative_columns(model, link)
+                ops *= (2 * model.nv) / max(cols, 1)
+            return ops
+        if kind is SubmoduleKind.DB:
+            ops = opcount.ops_db(model, link, params)
+            if not self.config.incremental_columns:
+                cols = opcount.derivative_columns(model, link)
+                ops *= (2 * model.nv) / max(cols, 1)
+            return ops
+        if kind is SubmoduleKind.MB:
+            ops = opcount.ops_mb(model, link, params, out_minv=out_minv)
+            if not self.config.sap.branch_induced_sparsity:
+                # Keep full-width F matrices instead of subtree columns.
+                cols = opcount.subtree_columns(model, link)
+                ops *= model.nv / max(cols, 1)
+            if self.config.enable_aba_fd:
+                # The stage must also host the ABA articulated-inertia
+                # update (Section V-B4's option): size for the bigger job.
+                ops = max(ops, self.aba_backward_ops(link))
+            return ops
+        if kind is SubmoduleKind.MF:
+            ops = opcount.ops_mf(model, link, params)
+            if self.config.enable_aba_fd:
+                ops = max(ops, self.aba_forward_ops(link))
+            return ops
+        raise ValueError(f"unknown submodule kind {kind!r}")
+
+    def aba_backward_ops(self, link: int) -> float:
+        """ABA articulated-inertia sweep ops (runs on the Mb stage)."""
+        return opcount.ops_aba_backward(self.model, link, self.op_params)
+
+    def aba_forward_ops(self, link: int) -> float:
+        """ABA acceleration sweep ops (runs on the Mf stage)."""
+        return opcount.ops_aba_forward(self.model, link, self.op_params)
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+
+    def budget(
+        self, kind: SubmoduleKind, link: int, multiplex: int = 1
+    ) -> SubmoduleBudget:
+        """Allocate lanes so ``multiplex`` visits fit the II budget."""
+        ops = self.ops(kind, link)
+        floor = SERVICE_FLOORS[kind]
+        budget_cycles = (
+            self.config.heavy_ii_cycles
+            if kind in HEAVY_KINDS
+            else self.config.ii_target_cycles
+        )
+        target = max(budget_cycles / max(multiplex, 1), 1.0)
+        lanes_for_target = math.ceil(ops / target)
+        lanes_for_floor = math.ceil(ops / floor)
+        parallelism = max(1, min(lanes_for_target, lanes_for_floor))
+        if not self.config.lazy_update and kind in (
+            SubmoduleKind.RB, SubmoduleKind.DB, SubmoduleKind.MB
+        ):
+            # Without lazy updates the read-modify-write loopback serializes
+            # with the neighbour: model as a 2x stall on backward stages.
+            service = max(floor, 2 * math.ceil(ops / parallelism))
+        else:
+            service = max(floor, math.ceil(ops / parallelism))
+        return SubmoduleBudget(kind, link, ops, multiplex, parallelism, service)
+
+    def schedule_matvec_cycles(self) -> int:
+        """Schedule Module: qdd = Minv (tau - C) (Fig 9c unified matmul)."""
+        nv = self.model.nv
+        ops = opcount.ops_matmul(nv, nv, 1) / 2.0 + nv   # symmetric A + sub
+        return max(2, math.ceil(ops / self.schedule_lanes))
+
+    def schedule_matmul_cycles(self) -> int:
+        """Schedule Module: d_u qdd = -Minv d_u tau (nv x nv x 2nv)."""
+        nv = self.model.nv
+        ops = opcount.ops_matmul(nv, nv, 2 * nv) / 2.0
+        return max(2, math.ceil(ops / self.schedule_lanes))

@@ -1,0 +1,75 @@
+"""Design-space exploration over the II budget (the paper's tuning loop).
+
+Section VI: "After experimentation and tuning, Dadu-RBD is able to run at
+125 MHz ... the performance and energy consumption reach a balance."  This
+module sweeps the heavy-stage initiation-interval budget and reports, per
+design point: resource fit, throughput, power and the energy-delay product,
+so the balanced point the paper shipped can be located programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.accelerator import DaduRBD
+from repro.core.config import AcceleratorConfig, PAPER_CONFIG
+from repro.dynamics.functions import RBDFunction
+from repro.model.robot import RobotModel
+
+#: Candidate heavy-II budgets swept by default.
+DEFAULT_SWEEP = (8, 10, 12, 16, 20, 24, 32, 48, 64, 96, 128, 192, 256)
+
+
+@dataclass
+class DesignPoint:
+    """One configuration in the sweep."""
+
+    heavy_ii_cycles: int
+    dsp_utilization: float
+    fits: bool
+    throughput_tasks_per_s: float
+    power_w: float
+    energy_per_task_j: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product per task (J * s)."""
+        return self.energy_per_task_j / self.throughput_tasks_per_s
+
+
+def sweep_design_space(
+    model: RobotModel,
+    function: RBDFunction = RBDFunction.DIFD,
+    candidates: tuple[int, ...] = DEFAULT_SWEEP,
+    config: AcceleratorConfig = PAPER_CONFIG,
+) -> list[DesignPoint]:
+    """Evaluate each heavy-II candidate (no auto-fit; infeasible points are
+    reported with ``fits=False``)."""
+    points = []
+    for ii in candidates:
+        trial = config.with_(
+            ii_target_heavy_cycles=ii, auto_fit_ii=False
+        )
+        accelerator = DaduRBD(model, trial)
+        report = accelerator.resources()
+        points.append(
+            DesignPoint(
+                heavy_ii_cycles=ii,
+                dsp_utilization=report.dsp_utilization,
+                fits=report.dsp_utilization <= trial.dsp_budget,
+                throughput_tasks_per_s=accelerator.throughput_tasks_per_s(
+                    function, 256
+                ),
+                power_w=accelerator.power_w(function),
+                energy_per_task_j=accelerator.energy_per_task_j(function),
+            )
+        )
+    return points
+
+
+def best_feasible_point(points: list[DesignPoint]) -> DesignPoint:
+    """The feasible design point with the lowest energy-delay product."""
+    feasible = [p for p in points if p.fits]
+    if not feasible:
+        raise ValueError("no design point fits the budget")
+    return min(feasible, key=lambda p: p.edp)

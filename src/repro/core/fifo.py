@@ -1,0 +1,57 @@
+"""FIFO stream bookkeeping for the pipeline simulator.
+
+The RTP submodules communicate exclusively through FIFO streams (Fig 6-8);
+the simulator uses :class:`FifoStream` for each stage's input so it can
+report the bypass-buffer depth a build would need (the paper sizes these
+buffers to avoid pipeline stalls, Section IV-A).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class QueuedVisit:
+    """One (job, node) visit waiting for its stage, ordered by readiness."""
+
+    ready_time: float
+    sequence: int
+    job: int = field(compare=False)
+    node: int = field(compare=False)
+
+
+class FifoStream:
+    """A priority-FIFO with occupancy statistics."""
+
+    def __init__(self, name: str, capacity: int | None = None) -> None:
+        self.name = name
+        self.capacity = capacity
+        self._heap: list[QueuedVisit] = []
+        self._push_count = 0
+        self.max_occupancy = 0
+        self.overflowed = False
+
+    def push(self, ready_time: float, job: int, node: int) -> None:
+        self._push_count += 1
+        heapq.heappush(
+            self._heap, QueuedVisit(ready_time, self._push_count, job, node)
+        )
+        occupancy = len(self._heap)
+        if occupancy > self.max_occupancy:
+            self.max_occupancy = occupancy
+        if self.capacity is not None and occupancy > self.capacity:
+            self.overflowed = True
+
+    def pop(self) -> QueuedVisit:
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> QueuedVisit | None:
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,107 @@
+"""Fixed-point arithmetic substrate (Section IV-B2).
+
+The datapath uses fixed-point add/sub/mul; the one awkward operation is the
+reciprocal in MMinvGen (Algorithm 2, line 5), which the paper handles by
+converting to floating point, seeding from the exponent, refining with
+Newton-Raphson, and converting back (after Istoan & Pasca).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point Q(integer_bits).(fraction_bits) format."""
+
+    integer_bits: int = 16
+    fraction_bits: int = 20
+
+    def __post_init__(self) -> None:
+        if self.total_bits > 62:
+            raise ConfigurationError("fixed-point format wider than 62 bits")
+
+    @property
+    def total_bits(self) -> int:
+        return self.integer_bits + self.fraction_bits + 1   # + sign
+
+    @property
+    def scale(self) -> float:
+        return float(2**self.fraction_bits)
+
+    @property
+    def resolution(self) -> float:
+        return 1.0 / self.scale
+
+    @property
+    def max_value(self) -> float:
+        return (2 ** (self.integer_bits + self.fraction_bits) - 1) / self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -(2 ** (self.integer_bits + self.fraction_bits)) / self.scale
+
+    def quantize(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Round to the representable grid, saturating at the range limits."""
+        arr = np.asarray(x, dtype=float)
+        q = np.clip(
+            np.round(arr * self.scale) / self.scale,
+            self.min_value,
+            self.max_value,
+        )
+        if np.isscalar(x) or arr.ndim == 0:
+            return float(q)
+        return q
+
+    def quantization_error_bound(self) -> float:
+        """Half an LSB: the worst rounding error inside the range."""
+        return 0.5 * self.resolution
+
+
+def float_reciprocal_seed(x: float) -> float:
+    """Initial reciprocal estimate from the floating-point exponent.
+
+    Mirrors the hardware trick: interpret the float's exponent ``e`` and
+    seed with ``2**-e`` scaled by a linear fit on the mantissa (accurate to
+    ~2^-5, enough for two Newton refinements to reach single precision).
+    """
+    if x == 0.0:
+        raise ZeroDivisionError("reciprocal of zero")
+    mantissa, exponent = np.frexp(x)          # x = mantissa * 2**exponent
+    # Linear approximation of 1/m on [0.5, 1): 1/m ~ 2.9142 - 2*m is the
+    # classic minimax fit.
+    seed_mantissa = 2.9142135623730951 - 2.0 * abs(mantissa)
+    seed = seed_mantissa * 2.0 ** (-exponent)
+    return seed if x > 0 else -seed
+
+
+def fixed_reciprocal(
+    x: float,
+    fmt: FixedPointFormat,
+    refinements: int = 2,
+) -> float:
+    """Reciprocal of a fixed-point value via the float-trick + Newton.
+
+    Each Newton step ``r <- r (2 - x r)`` doubles the accurate bits; the
+    result is re-quantized to the datapath format.
+    """
+    x_q = float(fmt.quantize(x))
+    if x_q == 0.0:
+        raise ZeroDivisionError("reciprocal of zero after quantization")
+    r = float_reciprocal_seed(x_q)
+    for _ in range(refinements):
+        r = r * (2.0 - x_q * r)
+    return float(fmt.quantize(r))
+
+
+def quantize_request(
+    fmt: FixedPointFormat,
+    *arrays: np.ndarray | None,
+) -> tuple[np.ndarray | None, ...]:
+    """Quantize a tuple of optional input arrays (the Decode Module)."""
+    return tuple(None if a is None else fmt.quantize(a) for a in arrays)

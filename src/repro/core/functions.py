@@ -1,0 +1,123 @@
+"""Task, request and micro-instruction types for the accelerator.
+
+The host writes a :class:`TaskRequest` (the paper's ``type`` + operands)
+into the input stream; the scheduling system translates it into a sequence
+of :class:`MicroInstruction` passes that steer the dataflow (Section V-B3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.dynamics.functions import RBDFunction
+
+
+class DataflowPass(Enum):
+    """One traversal of a hardware module (the ``inst`` granularity)."""
+
+    RNEA = "rnea"                  # FB module, R-stages only
+    RNEA_WITH_DERIV = "rnea+d"     # FB module, Dynamics Array (R + D stages)
+    MMINV_BACKWARD = "mm_bwd"      # BF module, Mb chain
+    MMINV_FORWARD = "mm_fwd"       # BF module, Mf chain
+    SCHEDULE_MATVEC = "sched_mv"   # Schedule Module: Minv @ (tau - C)
+    SCHEDULE_MATMUL = "sched_mm"   # Schedule Module: -Minv @ dtau
+    FEEDBACK = "feedback"          # Feedback Module write-back
+
+
+@dataclass(frozen=True)
+class MicroInstruction:
+    """One step of a function's dataflow program."""
+
+    dataflow_pass: DataflowPass
+    #: Indices (into the program) of steps that must complete first.
+    depends_on: tuple[int, ...] = ()
+
+
+#: The per-function micro-instruction programs (Fig 14).  Step numbering
+#: follows the paper's Fig 9a; FD and dFD route through the Feedback Module
+#: because they reuse the FB module for a later pass.
+DATAFLOW_PROGRAMS: dict[RBDFunction, tuple[MicroInstruction, ...]] = {
+    RBDFunction.ID: (
+        MicroInstruction(DataflowPass.RNEA),
+    ),
+    RBDFunction.M: (
+        MicroInstruction(DataflowPass.MMINV_BACKWARD),
+    ),
+    RBDFunction.MINV: (
+        MicroInstruction(DataflowPass.MMINV_BACKWARD),
+        MicroInstruction(DataflowPass.MMINV_FORWARD, depends_on=(0,)),
+    ),
+    RBDFunction.FD: (
+        MicroInstruction(DataflowPass.RNEA),                       # C
+        MicroInstruction(DataflowPass.MMINV_BACKWARD),             # Minv
+        MicroInstruction(DataflowPass.MMINV_FORWARD, depends_on=(1,)),
+        MicroInstruction(DataflowPass.SCHEDULE_MATVEC, depends_on=(0, 2)),
+    ),
+    RBDFunction.DID: (
+        MicroInstruction(DataflowPass.RNEA_WITH_DERIV),
+    ),
+    RBDFunction.DIFD: (
+        MicroInstruction(DataflowPass.RNEA_WITH_DERIV),
+        MicroInstruction(DataflowPass.SCHEDULE_MATMUL, depends_on=(0,)),
+    ),
+    RBDFunction.DFD: (
+        MicroInstruction(DataflowPass.RNEA),                       # (1) C
+        MicroInstruction(DataflowPass.MMINV_BACKWARD),             # (2) Minv
+        MicroInstruction(DataflowPass.MMINV_FORWARD, depends_on=(1,)),
+        MicroInstruction(DataflowPass.SCHEDULE_MATVEC, depends_on=(0, 2)),
+        MicroInstruction(DataflowPass.FEEDBACK, depends_on=(3,)),  # qdd back
+        MicroInstruction(DataflowPass.RNEA_WITH_DERIV, depends_on=(4,)),
+        MicroInstruction(DataflowPass.SCHEDULE_MATMUL, depends_on=(2, 5)),
+    ),
+}
+
+
+@dataclass
+class TaskRequest:
+    """One dynamics evaluation request (the accelerator's input record)."""
+
+    function: RBDFunction
+    q: np.ndarray
+    qd: np.ndarray | None = None
+    qdd_or_tau: np.ndarray | None = None
+    f_ext: dict[int, np.ndarray] | None = None
+    minv: np.ndarray | None = None          # for diFD
+    #: Tasks with the same group and increasing sequence must run in order
+    #: (e.g. the 4 stages of an RK4 step, Fig 13).
+    group: int | None = None
+    sequence: int = 0
+
+
+@dataclass
+class TaskResult:
+    """Functional output plus the timing observed in the cycle simulation."""
+
+    function: RBDFunction
+    value: object
+    issue_cycle: float = 0.0
+    finish_cycle: float = 0.0
+
+    @property
+    def latency_cycles(self) -> float:
+        return self.finish_cycle - self.issue_cycle
+
+
+@dataclass
+class BatchProfile:
+    """Timing summary for a batch run through the pipeline simulator."""
+
+    tasks: int
+    makespan_cycles: float
+    first_latency_cycles: float
+    mean_latency_cycles: float
+    initiation_interval_cycles: float
+    stage_utilization: dict[str, float] = field(default_factory=dict)
+    max_queue_depth: dict[str, int] = field(default_factory=dict)
+
+    def throughput_tasks_per_s(self, clock_hz: float) -> float:
+        if self.makespan_cycles <= 0:
+            return float("inf")
+        return self.tasks * clock_hz / self.makespan_cycles

@@ -1,0 +1,149 @@
+"""The eight architecture modules and per-function dataflow assembly.
+
+``build_dataflow`` wires the paper's Fig 10 architecture for one function:
+
+    Decode -> Global Trigonometric -> Input Stream ->
+        { Forward-Backward Module | Backward-Forward Module } ->
+    Schedule -> [Feedback -> Input Stream -> ...] -> Encode
+
+following the per-function activation patterns of Fig 14.  dFD is the
+interesting one: it traverses the Forward-Backward Module twice with the
+Feedback Module closing the loop (stages are *shared* between the two
+passes, which is why dFD's throughput is the lowest — exactly as in
+Fig 15).
+"""
+
+from __future__ import annotations
+
+from repro.core.costmodel import CostModel
+from repro.core.config import AcceleratorConfig
+from repro.core.pipeline import add_aba_pass, add_mminv_pass, add_rnea_pass
+from repro.core.saps import SAPOrganization
+from repro.core.sim import DataflowGraph
+from repro.dynamics.functions import RBDFunction
+from repro.errors import DataflowError
+
+#: Shared service-module stage names.
+DECODE = "decode"
+TRIG = "trig"
+INPUT_STREAM = "istream"
+SCHEDULE_MATVEC = "schedule:matvec"
+SCHEDULE_MATMUL = "schedule:matmul"
+FEEDBACK = "feedback"
+ENCODE = "encode"
+
+
+def _add_frontend(
+    graph: DataflowGraph, config: AcceleratorConfig
+) -> tuple[int, int]:
+    """Decode -> Trig -> Input Stream; returns (source node, exit node)."""
+    graph.ensure_stage(DECODE, config.frontend_cycles)
+    graph.ensure_stage(TRIG, config.trig_cycles)
+    graph.ensure_stage(INPUT_STREAM, config.frontend_cycles)
+    decode = graph.add_node(DECODE, (), label="decode")
+    trig = graph.add_node(TRIG, (decode,), label="trig")
+    istream = graph.add_node(INPUT_STREAM, (trig,), label="istream")
+    return decode, istream
+
+
+def _add_encode(
+    graph: DataflowGraph, config: AcceleratorConfig, preds: list[int]
+) -> int:
+    graph.ensure_stage(ENCODE, config.encode_cycles)
+    return graph.add_node(ENCODE, tuple(preds), label="encode")
+
+
+def build_dataflow(
+    org: SAPOrganization,
+    cost: CostModel,
+    function: RBDFunction,
+) -> DataflowGraph:
+    """The complete stage/visit graph for one Table-I function."""
+    config = org.config
+    graph = DataflowGraph(name=f"{org.original_model.name}:{function.value}")
+    _, entry = _add_frontend(graph, config)
+
+    if function is RBDFunction.ID:
+        rnea = add_rnea_pass(graph, org, cost, entry, with_derivatives=False)
+        _add_encode(graph, config, [rnea.exit_node])
+        return graph
+
+    if function is RBDFunction.M:
+        mm = add_mminv_pass(
+            graph, org, cost, entry, with_forward=False, out_minv=False
+        )
+        _add_encode(graph, config, [mm.exit_node])
+        return graph
+
+    if function is RBDFunction.MINV:
+        mm = add_mminv_pass(graph, org, cost, entry, with_forward=True)
+        _add_encode(graph, config, mm.exit_nodes)
+        return graph
+
+    if function is RBDFunction.FD:
+        if config.enable_aba_fd:
+            # Section V-B4's option: single ABA round trip on the BF module.
+            aba = add_aba_pass(graph, org, cost, entry)
+            _add_encode(graph, config, aba.exit_nodes)
+            return graph
+        rnea = add_rnea_pass(graph, org, cost, entry, with_derivatives=False)
+        mm = add_mminv_pass(graph, org, cost, entry, with_forward=True)
+        graph.ensure_stage(SCHEDULE_MATVEC, cost.schedule_matvec_cycles())
+        solve = graph.add_node(
+            SCHEDULE_MATVEC,
+            tuple([rnea.exit_node] + mm.exit_nodes),
+            label="qdd=Minv(tau-C)",
+        )
+        _add_encode(graph, config, [solve])
+        return graph
+
+    if function is RBDFunction.DID:
+        deriv = add_rnea_pass(graph, org, cost, entry, with_derivatives=True)
+        _add_encode(graph, config, [deriv.exit_node])
+        return graph
+
+    if function is RBDFunction.DIFD:
+        deriv = add_rnea_pass(graph, org, cost, entry, with_derivatives=True)
+        graph.ensure_stage(SCHEDULE_MATMUL, cost.schedule_matmul_cycles())
+        product = graph.add_node(
+            SCHEDULE_MATMUL, (deriv.exit_node,), label="-Minv@dtau"
+        )
+        _add_encode(graph, config, [product])
+        return graph
+
+    if function is RBDFunction.DFD:
+        # Stage (1): C = RNEA(q, qd, 0) and (2): Minv, concurrently.
+        rnea1 = add_rnea_pass(
+            graph, org, cost, entry, with_derivatives=False, tag=":p1"
+        )
+        mm = add_mminv_pass(graph, org, cost, entry, with_forward=True)
+        # (3): qdd = Minv (tau - C).
+        graph.ensure_stage(SCHEDULE_MATVEC, cost.schedule_matvec_cycles())
+        solve = graph.add_node(
+            SCHEDULE_MATVEC,
+            tuple([rnea1.exit_node] + mm.exit_nodes),
+            label="qdd=Minv(tau-C)",
+        )
+        # Feedback writes qdd back to the input stream for the second pass.
+        graph.ensure_stage(FEEDBACK, config.frontend_cycles)
+        feedback = graph.add_node(FEEDBACK, (solve,), label="feedback")
+        istream2 = graph.add_node(INPUT_STREAM, (feedback,), label="istream:p2")
+        # (4)+(5): RNEA at qdd fused with dRNEA (Dynamics Array), second
+        # traversal of the same FB-module stages.
+        deriv = add_rnea_pass(
+            graph, org, cost, istream2, with_derivatives=True, tag=":p2"
+        )
+        # (6): d_u qdd = -Minv d_u tau.
+        graph.ensure_stage(SCHEDULE_MATMUL, cost.schedule_matmul_cycles())
+        product = graph.add_node(
+            SCHEDULE_MATMUL, (deriv.exit_node,), label="-Minv@dtau"
+        )
+        _add_encode(graph, config, [product])
+        return graph
+
+    raise DataflowError(f"no dataflow program for {function!r}")
+
+
+def active_stage_names(graph: DataflowGraph) -> set[str]:
+    """Stages a function actually visits (drives the power model)."""
+    return {node.stage for node in graph.nodes}

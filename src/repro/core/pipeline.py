@@ -1,0 +1,216 @@
+"""Round-Trip Pipeline builders.
+
+Each function here adds one RTP *pass* to a dataflow graph: per-link nodes
+wired with the paper's transfer pattern (Fig 6-8) —
+
+* RNEA:    ``Rf_i -> Rf_child`` (ftr), ``Rf_i -> Rb_i`` (dtr),
+           ``Rb_child -> Rb_i`` (btr, the reduce at branch points);
+* dRNEA:   the Dynamics Array (Fig 9b): Df/Db interleaved with Rf/Rb,
+           ``Rb_i -> Db_i`` supplying the accumulated force;
+* MMinvGen: the reversed dataflow (Fig 8): Mb sweeps leaves -> root, Mf
+           sweeps root -> leaves.
+
+Because nodes map onto the physical stages chosen by the SAP organization,
+time-division multiplexing of symmetric branches is automatic: two legs'
+nodes land on the same stage and queue behind each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.costmodel import CostModel, SubmoduleKind
+from repro.core.saps import SAPOrganization
+from repro.core.sim import DataflowGraph
+
+
+@dataclass
+class PassNodes:
+    """Node ids created by one RTP pass, keyed by timing-model link."""
+
+    forward: dict[int, int] = field(default_factory=dict)
+    backward: dict[int, int] = field(default_factory=dict)
+    deriv_forward: dict[int, int] = field(default_factory=dict)
+    deriv_backward: dict[int, int] = field(default_factory=dict)
+    exit_node: int = -1
+    exit_nodes: list[int] = field(default_factory=list)
+
+
+def _ensure_submodule_stage(
+    graph: DataflowGraph,
+    org: SAPOrganization,
+    cost: CostModel,
+    kind: SubmoduleKind,
+    link: int,
+) -> str:
+    name = org.stage_key(kind, link)
+    budget = cost.budget(kind, link, multiplex=org.multiplex(link))
+    graph.ensure_stage(name, budget.service_cycles)
+    return name
+
+
+def add_rnea_pass(
+    graph: DataflowGraph,
+    org: SAPOrganization,
+    cost: CostModel,
+    entry: int,
+    *,
+    with_derivatives: bool,
+    tag: str = "",
+) -> PassNodes:
+    """Add one Forward-Backward Module traversal (RNEA or Dynamics Array)."""
+    model = org.timing_model
+    nodes = PassNodes()
+
+    for link in range(model.nb):
+        stage = _ensure_submodule_stage(graph, org, cost, SubmoduleKind.RF, link)
+        parent = model.parent(link)
+        preds = [entry] if parent < 0 else [nodes.forward[parent]]
+        nodes.forward[link] = graph.add_node(stage, preds, label=f"Rf{link}{tag}")
+
+    for link in range(model.nb - 1, -1, -1):
+        stage = _ensure_submodule_stage(graph, org, cost, SubmoduleKind.RB, link)
+        preds = [nodes.forward[link]]
+        preds += [nodes.backward[c] for c in model.children(link)]
+        nodes.backward[link] = graph.add_node(stage, preds, label=f"Rb{link}{tag}")
+
+    if not with_derivatives:
+        nodes.exit_node = nodes.backward[0]
+        nodes.exit_nodes = [nodes.exit_node]
+        return nodes
+
+    for link in range(model.nb):
+        stage = _ensure_submodule_stage(graph, org, cost, SubmoduleKind.DF, link)
+        parent = model.parent(link)
+        preds = [nodes.forward[link]]
+        preds += [entry] if parent < 0 else [nodes.deriv_forward[parent]]
+        nodes.deriv_forward[link] = graph.add_node(
+            stage, preds, label=f"Df{link}{tag}"
+        )
+
+    for link in range(model.nb - 1, -1, -1):
+        stage = _ensure_submodule_stage(graph, org, cost, SubmoduleKind.DB, link)
+        preds = [nodes.deriv_forward[link], nodes.backward[link]]
+        preds += [nodes.deriv_backward[c] for c in model.children(link)]
+        nodes.deriv_backward[link] = graph.add_node(
+            stage, preds, label=f"Db{link}{tag}"
+        )
+
+    nodes.exit_node = nodes.deriv_backward[0]
+    nodes.exit_nodes = [nodes.exit_node]
+    return nodes
+
+
+def add_mminv_pass(
+    graph: DataflowGraph,
+    org: SAPOrganization,
+    cost: CostModel,
+    entry: int,
+    *,
+    with_forward: bool,
+    out_minv: bool = True,
+    tag: str = "",
+) -> PassNodes:
+    """Add one Backward-Forward Module traversal (MMinvGen, Fig 8)."""
+    model = org.timing_model
+    nodes = PassNodes()
+
+    for link in range(model.nb - 1, -1, -1):
+        name = org.stage_key(SubmoduleKind.MB, link)
+        budget = cost.budget(
+            SubmoduleKind.MB, link, multiplex=org.multiplex(link)
+        )
+        graph.ensure_stage(name, budget.service_cycles)
+        preds = [entry]
+        preds += [nodes.backward[c] for c in model.children(link)]
+        override = None
+        if not out_minv:
+            # Same hardware; M-only passes skip the articulated update and
+            # the F correction, so the visit is shorter.
+            ops_m = cost.ops(SubmoduleKind.MB, link, out_minv=False)
+            override = max(
+                1.0, budget.service_cycles * ops_m / max(budget.ops, 1.0)
+            )
+        nodes.backward[link] = graph.add_node(
+            name, preds, service_override=override, label=f"Mb{link}{tag}"
+        )
+
+    if not with_forward:
+        nodes.exit_node = nodes.backward[0]
+        nodes.exit_nodes = [nodes.exit_node]
+        return nodes
+
+    for link in range(model.nb):
+        stage = _ensure_submodule_stage(graph, org, cost, SubmoduleKind.MF, link)
+        parent = model.parent(link)
+        preds = [nodes.backward[link]]
+        if parent >= 0:
+            preds.append(nodes.forward[parent])
+        nodes.forward[link] = graph.add_node(stage, preds, label=f"Mf{link}{tag}")
+
+    nodes.exit_nodes = [nodes.forward[leaf] for leaf in model.leaves()]
+    nodes.exit_node = nodes.exit_nodes[-1]
+    return nodes
+
+
+def add_aba_pass(
+    graph: DataflowGraph,
+    org: SAPOrganization,
+    cost: CostModel,
+    entry: int,
+    tag: str = "",
+) -> PassNodes:
+    """One ABA traversal mapped onto existing hardware (Section V-B4).
+
+    Pass 1 (velocities + bias forces) rides the Forward-Backward Module's
+    Rf stages; pass 2 (articulated inertias, backward) and pass 3
+    (accelerations, forward) ride the Backward-Forward Module's Mb/Mf
+    stages with ABA-specific service overrides.  The stages must have been
+    sized with ``config.enable_aba_fd`` so the overrides fit.
+    """
+    model = org.timing_model
+    nodes = PassNodes()
+
+    velocity: dict[int, int] = {}
+    for link in range(model.nb):
+        stage = _ensure_submodule_stage(graph, org, cost, SubmoduleKind.RF, link)
+        parent = model.parent(link)
+        preds = [entry] if parent < 0 else [velocity[parent]]
+        velocity[link] = graph.add_node(stage, preds, label=f"Av{link}{tag}")
+    nodes.forward = velocity
+
+    for link in range(model.nb - 1, -1, -1):
+        name = org.stage_key(SubmoduleKind.MB, link)
+        budget = cost.budget(SubmoduleKind.MB, link, multiplex=org.multiplex(link))
+        graph.ensure_stage(name, budget.service_cycles)
+        override = max(
+            1.0,
+            budget.service_cycles * cost.aba_backward_ops(link)
+            / max(budget.ops, 1.0),
+        )
+        preds = [velocity[link]]
+        preds += [nodes.backward[c] for c in model.children(link)]
+        nodes.backward[link] = graph.add_node(
+            name, preds, service_override=override, label=f"Ab{link}{tag}"
+        )
+
+    for link in range(model.nb):
+        name = org.stage_key(SubmoduleKind.MF, link)
+        budget = cost.budget(SubmoduleKind.MF, link, multiplex=org.multiplex(link))
+        graph.ensure_stage(name, budget.service_cycles)
+        override = max(
+            1.0,
+            budget.service_cycles * cost.aba_forward_ops(link)
+            / max(budget.ops, 1.0),
+        )
+        parent = model.parent(link)
+        preds = [nodes.backward[link]]
+        if parent >= 0:
+            preds.append(nodes.deriv_forward[parent])
+        nodes.deriv_forward[link] = graph.add_node(
+            name, preds, service_override=override, label=f"Af{link}{tag}"
+        )
+
+    nodes.exit_nodes = [nodes.deriv_forward[leaf] for leaf in model.leaves()]
+    nodes.exit_node = nodes.exit_nodes[-1]
+    return nodes

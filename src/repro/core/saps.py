@@ -1,0 +1,222 @@
+"""Structure-Adaptive Pipelines: organizing submodules around the robot.
+
+Given a robot and a configuration this module produces the hardware
+organization of Section V-C / Fig 11:
+
+* optionally **re-root** the tree at its center to balance depth (Atlas:
+  11 -> 9) — re-rooting only moves where the virtual 6-DOF joint attaches;
+* optionally **split the floating base** into translation + spherical root
+  submodules;
+* decompose into the root segment + branch segments;
+* group structurally-symmetric leaf-tipped branches onto shared **branch
+  arrays** with time-division multiplexing (Spot: 4 legs on 2 arrays).
+
+The resulting :class:`SAPOrganization` maps every link of the (possibly
+rewritten) *timing model* to a physical stage name and multiplex factor;
+the dataflow builder and the resource model are both driven by it.
+
+Note: tree rewriting changes generalized coordinates, so the accelerator's
+*functional* path always evaluates on the user's original model; the
+rewritten model shapes timing and resources only (the host-side coordinate
+mapping the paper leaves implicit lives in ``repro.model.topology``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import AcceleratorConfig
+from repro.core.costmodel import SERVICE_FLOORS, SubmoduleKind
+from repro.model.joints import FloatingJoint
+from repro.model.robot import RobotModel
+from repro.model.topology import (
+    Branch,
+    decompose,
+    reroot,
+    split_floating_base,
+    symmetric_branch_groups,
+)
+
+
+@dataclass
+class BranchArray:
+    """One physical array of submodules serving one or more branches."""
+
+    array_id: int
+    branches: list[Branch]
+    is_root: bool = False
+
+    @property
+    def multiplex(self) -> int:
+        return len(self.branches)
+
+    @property
+    def depth(self) -> int:
+        return max(b.size for b in self.branches)
+
+
+@dataclass
+class SAPOrganization:
+    """The complete hardware organization for one robot."""
+
+    original_model: RobotModel
+    timing_model: RobotModel
+    config: AcceleratorConfig
+    arrays: list[BranchArray] = field(default_factory=list)
+    rerooted_at: str | None = None
+    #: (depth before, depth after) of the re-rooting, pre-split.
+    reroot_depths: tuple[int, int] | None = None
+    floating_split: bool = False
+    _stage_of_link: dict[int, tuple[int, int]] = field(default_factory=dict)
+    _multiplex_of_link: dict[int, int] = field(default_factory=dict)
+
+    def stage_key(self, kind: SubmoduleKind, link: int) -> str:
+        """Physical stage name for a submodule of the timing model's link."""
+        array_id, position = self._stage_of_link[link]
+        return f"{kind.value}:A{array_id}[{position}]"
+
+    def multiplex(self, link: int) -> int:
+        """Visits per task at this link's stages (branch sharing factor)."""
+        return self._multiplex_of_link[link]
+
+    def physical_stage_count(self) -> int:
+        """Distinct submodule positions across all arrays (one per kind)."""
+        return len({self._stage_of_link[i] for i in self._stage_of_link})
+
+    def describe(self) -> str:
+        """Human-readable organization summary (Fig 11-style)."""
+        model = self.timing_model
+        lines = [f"SAP organization for {self.original_model.name}"]
+        if self.rerooted_at and self.reroot_depths:
+            before, after = self.reroot_depths
+            lines.append(
+                f"  re-rooted at {self.rerooted_at} "
+                f"(depth {before} -> {after})"
+            )
+        if self.floating_split:
+            lines.append("  floating base split into translation + spherical")
+        for array in self.arrays:
+            names = [
+                "/".join(model.links[b.links[0]].name for b in array.branches)
+            ]
+            kind = "root" if array.is_root else "branch"
+            lines.append(
+                f"  array {array.array_id} ({kind}): {names[0]} "
+                f"x{array.multiplex}, depth {array.depth}"
+            )
+        return "\n".join(lines)
+
+
+def _center_candidates(model: RobotModel) -> list[int]:
+    """Links minimizing tree eccentricity, restricted to those reachable
+    from the current root through 1-DOF joints (reversible edges)."""
+    nb = model.nb
+    adjacency: list[list[int]] = [[] for _ in range(nb)]
+    for i in range(nb):
+        p = model.parent(i)
+        if p >= 0:
+            adjacency[i].append(p)
+            adjacency[p].append(i)
+
+    def eccentricity(start: int) -> int:
+        seen = {start}
+        frontier = [start]
+        dist = 0
+        while frontier:
+            nxt = [m for n in frontier for m in adjacency[n] if m not in seen]
+            if not nxt:
+                break
+            seen.update(nxt)
+            frontier = nxt
+            dist += 1
+        return dist
+
+    def reversible(link: int) -> bool:
+        for j in model.ancestors(link):
+            if j == 0:
+                continue
+            if model.joint(j).nv != 1:
+                return False
+        return model.joint(link).nv == 1 or link == 0
+
+    eccs = {i: eccentricity(i) for i in range(nb) if i == 0 or reversible(i)}
+    best = min(eccs.values())
+    return [i for i, e in eccs.items() if e == best]
+
+
+def _group_multiplex_cap(config: AcceleratorConfig) -> int:
+    """How many symmetric branches one array can serve while its slowest
+    stage still fits the II budget (the Fig 11b pairing rule)."""
+    worst_floor = max(SERVICE_FLOORS.values())
+    return max(1, config.ii_target_cycles // worst_floor)
+
+
+def organize(model: RobotModel, config: AcceleratorConfig) -> SAPOrganization:
+    """Build the SAP organization for ``model`` under ``config``."""
+    timing_model = model
+    rerooted_at: str | None = None
+    reroot_depths: tuple[int, int] | None = None
+    if config.sap.reroot_tree and isinstance(model.joint(0), FloatingJoint):
+        candidates = _center_candidates(model)
+        best = min(candidates)
+        trial = reroot(model, best) if best != 0 else model
+        if trial.max_depth() < model.max_depth():
+            timing_model = trial
+            rerooted_at = model.links[best].name
+            reroot_depths = (model.max_depth(), trial.max_depth())
+    floating_split = False
+    if config.sap.split_floating_base and isinstance(
+        timing_model.joint(0), FloatingJoint
+    ):
+        timing_model = split_floating_base(timing_model)
+        floating_split = True
+
+    org = SAPOrganization(
+        original_model=model,
+        timing_model=timing_model,
+        config=config,
+        rerooted_at=rerooted_at,
+        reroot_depths=reroot_depths,
+        floating_split=floating_split,
+    )
+
+    decomposition = decompose(timing_model)
+    grouped: dict[int, list[Branch]] = {}
+    assigned: set[int] = set()
+    if config.sap.share_symmetric_branches:
+        cap = _group_multiplex_cap(config)
+        for group in symmetric_branch_groups(timing_model):
+            leaf_tipped = [
+                b for b in group
+                if not timing_model.children(b.links[-1])
+            ]
+            if len(leaf_tipped) < 2 or cap < 2:
+                continue
+            # Partition into arrays of at most `cap` branches.
+            for start in range(0, len(leaf_tipped), cap):
+                chunk = leaf_tipped[start:start + cap]
+                array_id = len(org.arrays) + len(grouped)
+                grouped[array_id] = chunk
+                assigned.update(b.index for b in chunk)
+
+    # Root + ungrouped branches get dedicated arrays.
+    next_id = 0
+    for branch in decomposition.branches:
+        if branch.index in assigned:
+            continue
+        org.arrays.append(
+            BranchArray(next_id, [branch], is_root=branch.is_root)
+        )
+        next_id = max(next_id + 1, next_id + 1)
+    for chunk in grouped.values():
+        org.arrays.append(BranchArray(len(org.arrays), chunk))
+    # Re-number arrays densely.
+    for idx, array in enumerate(org.arrays):
+        array.array_id = idx
+
+    for array in org.arrays:
+        for branch in array.branches:
+            for position, link in enumerate(branch.links):
+                org._stage_of_link[link] = (array.array_id, position)
+                org._multiplex_of_link[link] = array.multiplex
+    return org

@@ -1,0 +1,345 @@
+"""Discrete-event simulator for medium-grained dataflow pipelines.
+
+The model: a :class:`DataflowGraph` has *physical stages* (hardware
+submodules with a fixed service time) and *nodes* (one visit of a task
+through a stage).  Several nodes may map to the same stage — that is how
+time-division multiplexing of symmetric branches (SAPs) and the double pass
+of dFD through the Forward-Backward Module are expressed.  Stages are
+non-preemptive and serve one visit at a time; visits wait in FIFO streams.
+
+Everything the evaluation section measures falls out of this simulation:
+pipeline latency, initiation interval / throughput, stage utilization,
+FIFO occupancy, and the effect of inter-task dependencies (Fig 13).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.fifo import FifoStream
+from repro.errors import SimulationError
+
+
+@dataclass
+class Stage:
+    """One physical hardware submodule."""
+
+    name: str
+    service_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.service_cycles < 0:
+            raise SimulationError(f"stage {self.name}: negative service time")
+
+
+@dataclass
+class Node:
+    """One visit of a task through a stage.
+
+    ``preds`` are node indices whose outputs this visit consumes; data
+    arrives ``transfer_cycles`` after the predecessor finishes.
+    """
+
+    index: int
+    stage: str
+    preds: tuple[int, ...] = ()
+    service_override: float | None = None
+    label: str = ""
+
+
+class DataflowGraph:
+    """A per-function stage/visit graph."""
+
+    def __init__(self, name: str = "dataflow") -> None:
+        self.name = name
+        self.stages: dict[str, Stage] = {}
+        self.nodes: list[Node] = []
+
+    def add_stage(self, name: str, service_cycles: float) -> Stage:
+        if name in self.stages:
+            raise SimulationError(f"duplicate stage {name!r}")
+        stage = Stage(name, service_cycles)
+        self.stages[name] = stage
+        return stage
+
+    def ensure_stage(self, name: str, service_cycles: float) -> Stage:
+        """Add the stage unless present; keep the larger service time."""
+        if name in self.stages:
+            stage = self.stages[name]
+            stage.service_cycles = max(stage.service_cycles, service_cycles)
+            return stage
+        return self.add_stage(name, service_cycles)
+
+    def add_node(
+        self,
+        stage: str,
+        preds: tuple[int, ...] | list[int] = (),
+        service_override: float | None = None,
+        label: str = "",
+    ) -> int:
+        if stage not in self.stages:
+            raise SimulationError(f"unknown stage {stage!r}")
+        for p in preds:
+            if not 0 <= p < len(self.nodes):
+                raise SimulationError(f"bad predecessor index {p}")
+        node = Node(len(self.nodes), stage, tuple(preds), service_override, label)
+        self.nodes.append(node)
+        return node.index
+
+    def service_of(self, node: Node) -> float:
+        if node.service_override is not None:
+            return node.service_override
+        return self.stages[node.stage].service_cycles
+
+    def sources(self) -> list[int]:
+        return [n.index for n in self.nodes if not n.preds]
+
+    def sinks(self) -> list[int]:
+        has_succ = set()
+        for node in self.nodes:
+            has_succ.update(node.preds)
+        return [n.index for n in self.nodes if n.index not in has_succ]
+
+    def initiation_interval(self) -> float:
+        """Analytic steady-state II: the busiest stage's service per task."""
+        per_stage: dict[str, float] = {}
+        for node in self.nodes:
+            per_stage[node.stage] = per_stage.get(node.stage, 0.0) + self.service_of(node)
+        return max(per_stage.values()) if per_stage else 0.0
+
+    def critical_path_cycles(
+        self,
+        transfer_cycles: float = 0.0,
+        startup_cycles: float | None = None,
+    ) -> float:
+        """Longest path latency (a lower bound on task latency).
+
+        With ``startup_cycles`` set, stages stream element-wise through
+        their FIFOs (HLS dataflow): a successor starts once the first
+        elements arrive, so the path cost per hop is the startup, and the
+        full service only counts at the end of each chain.
+        """
+        n = len(self.nodes)
+        first_out = [0.0] * n
+        last_out = [0.0] * n
+        for node in self.nodes:                 # nodes are topologically ordered
+            service = self.service_of(node)
+            startup = service if startup_cycles is None else min(
+                startup_cycles, service
+            )
+            ready = max(
+                (first_out[p] + transfer_cycles for p in node.preds), default=0.0
+            )
+            first_out[node.index] = ready + startup
+            last_in = max(
+                (last_out[p] + transfer_cycles for p in node.preds), default=0.0
+            )
+            last_out[node.index] = max(ready + service, last_in + startup)
+        return max(last_out, default=0.0)
+
+
+@dataclass
+class JobSpec:
+    """One task instance pushed through the graph."""
+
+    release_cycle: float = 0.0
+    #: Indices of jobs whose completion gates this job's start (Fig 13's
+    #: serial sub-tasks, e.g. RK4 stages).
+    after_jobs: tuple[int, ...] = ()
+
+
+@dataclass
+class SimulationResult:
+    """Timing measurements of one simulation run."""
+
+    job_start: list[float]
+    job_finish: list[float]
+    stage_busy: dict[str, float]
+    max_queue: dict[str, int]
+    makespan: float
+    overflowed_fifos: list[str] = field(default_factory=list)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.job_finish)
+
+    def latency(self, job: int = 0) -> float:
+        return self.job_finish[job] - self.job_start[job]
+
+    def mean_latency(self) -> float:
+        total = sum(f - s for s, f in zip(self.job_start, self.job_finish))
+        return total / max(len(self.job_finish), 1)
+
+    def measured_interval(self) -> float:
+        """Steady-state completion spacing (measured II)."""
+        finishes = sorted(self.job_finish)
+        if len(finishes) < 2:
+            return 0.0
+        # Skip the fill phase: use the second half of completions.
+        half = len(finishes) // 2
+        span = finishes[-1] - finishes[half]
+        count = len(finishes) - 1 - half
+        return span / max(count, 1)
+
+    def utilization(self, stage: str) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.stage_busy.get(stage, 0.0) / self.makespan
+
+
+def simulate(
+    graph: DataflowGraph,
+    jobs: list[JobSpec],
+    *,
+    transfer_cycles: float = 1.0,
+    fifo_capacity: int | None = None,
+    startup_cycles: float | None = 2.0,
+) -> SimulationResult:
+    """Run the event-driven simulation.
+
+    Stages serve visits in readiness order (FIFO).  With ``startup_cycles``
+    set (the default), FIFO streams carry data element-wise — the HLS
+    dataflow behaviour the paper's RTPs rely on: a successor becomes ready
+    when its predecessors have produced their *first* elements
+    (``startup_cycles`` after they start), while a task's results are only
+    complete at its *last* output.  Stage occupancy is always the full
+    service time, so throughput is unaffected by streaming; latency is.
+    ``startup_cycles=None`` gives classic store-and-forward behaviour.
+    """
+    n_nodes = len(graph.nodes)
+    n_jobs = len(jobs)
+    if n_jobs == 0:
+        return SimulationResult([], [], {}, {}, 0.0)
+
+    sinks = set(graph.sinks())
+    sources = graph.sources()
+    job_children: dict[int, list[int]] = {}
+    pending_jobs: list[int] = [0] * n_jobs
+    for j, spec in enumerate(jobs):
+        pending_jobs[j] = len(spec.after_jobs)
+        for dep in spec.after_jobs:
+            if not 0 <= dep < n_jobs:
+                raise SimulationError(f"job {j}: bad dependency {dep}")
+            job_children.setdefault(dep, []).append(j)
+
+    succs: dict[int, list[int]] = {i: [] for i in range(n_nodes)}
+    for node in graph.nodes:
+        for p in node.preds:
+            succs[p].append(node.index)
+
+    remaining = [[len(graph.nodes[n].preds) for n in range(n_nodes)]
+                 for _ in range(n_jobs)]
+    remaining_sinks = [len(sinks)] * n_jobs
+    # Per (job, node): time of the last output element (set at dispatch).
+    last_out: list[dict[int, float]] = [dict() for _ in range(n_jobs)]
+    queues = {name: FifoStream(name, fifo_capacity) for name in graph.stages}
+    busy: dict[str, bool] = {name: False for name in graph.stages}
+    stage_busy_time: dict[str, float] = {name: 0.0 for name in graph.stages}
+
+    job_start = [float("nan")] * n_jobs
+    job_finish = [0.0] * n_jobs
+
+    # Event kinds: 0 = visit ready, 1 = first output (wake successors),
+    # 2 = stage release, 3 = sink data complete.
+    events: list[tuple[float, int, int, tuple]] = []
+    counter = 0
+
+    def push_event(time: float, kind: int, payload: tuple) -> None:
+        nonlocal counter
+        counter += 1
+        heapq.heappush(events, (time, counter, kind, payload))
+
+    def release_job(j: int, time: float) -> None:
+        start = max(time, jobs[j].release_cycle)
+        job_start[j] = start
+        for src in sources:
+            push_event(start, 0, (j, src))
+
+    for j, spec in enumerate(jobs):
+        if pending_jobs[j] == 0:
+            release_job(j, spec.release_cycle)
+
+    def dispatch(stage_name: str, now: float) -> None:
+        queue = queues[stage_name]
+        if busy[stage_name] or not queue:
+            return
+        visit = queue.pop()
+        busy[stage_name] = True
+        job, node_index = visit.job, visit.node
+        node = graph.nodes[node_index]
+        service = graph.service_of(node)
+        startup = service if startup_cycles is None else min(
+            startup_cycles, service
+        )
+        start = max(now, visit.ready_time)
+        stage_busy_time[stage_name] += service
+        first_out = start + startup
+        if node.preds:
+            last_in = max(
+                last_out[job][p] + transfer_cycles for p in node.preds
+            )
+        else:
+            last_in = start
+        data_done = max(start + service, last_in + startup)
+        last_out[job][node_index] = data_done
+        push_event(first_out, 1, (job, node_index))
+        push_event(start + service, 2, (job, node_index))
+        if node_index in sinks:
+            push_event(data_done, 3, (job, node_index))
+
+    makespan = 0.0
+    while events:
+        time, _, kind, payload = heapq.heappop(events)
+        job, node_index = payload
+        node = graph.nodes[node_index]
+        if kind == 0:                                   # visit ready
+            queues[node.stage].push(time, job, node_index)
+            dispatch(node.stage, time)
+        elif kind == 1:                                 # first output
+            for succ in succs[node_index]:
+                remaining[job][succ] -= 1
+                if remaining[job][succ] == 0:
+                    push_event(time + transfer_cycles, 0, (job, succ))
+        elif kind == 2:                                 # stage release
+            busy[node.stage] = False
+            makespan = max(makespan, time)
+            dispatch(node.stage, time)
+        else:                                           # sink data complete
+            makespan = max(makespan, time)
+            remaining_sinks[job] -= 1
+            job_finish[job] = max(job_finish[job], time)
+            if remaining_sinks[job] == 0:
+                for child in job_children.get(job, []):
+                    pending_jobs[child] -= 1
+                    if pending_jobs[child] == 0:
+                        release_job(child, job_finish[job])
+
+    if any(pending_jobs[j] > 0 for j in range(n_jobs)):
+        raise SimulationError("job dependency cycle: some jobs never released")
+
+    overflowed = [q.name for q in queues.values() if q.overflowed]
+    return SimulationResult(
+        job_start=job_start,
+        job_finish=job_finish,
+        stage_busy=stage_busy_time,
+        max_queue={name: q.max_occupancy for name, q in queues.items()},
+        makespan=makespan,
+        overflowed_fifos=overflowed,
+    )
+
+
+def analytic_batch_makespan(
+    graph: DataflowGraph,
+    n_jobs: int,
+    transfer_cycles: float = 1.0,
+    startup_cycles: float | None = 2.0,
+) -> float:
+    """Fast saturated-pipeline estimate: latency + (n-1) * II.
+
+    Cross-validated against :func:`simulate` in the tests; used for very
+    large batches (Fig 17's 8192) where event-by-event simulation is
+    unnecessarily slow.
+    """
+    latency = graph.critical_path_cycles(transfer_cycles, startup_cycles)
+    return latency + max(n_jobs - 1, 0) * graph.initiation_interval()

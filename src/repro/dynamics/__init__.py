@@ -1,0 +1,101 @@
+"""Rigid body dynamics algorithms (the paper's Table I plus substrates)."""
+
+from repro.dynamics.aba import aba
+from repro.dynamics.batch import (
+    BatchDerivatives,
+    BatchStates,
+    batch_fd,
+    batch_fd_derivatives,
+    batch_id,
+    batch_minv,
+)
+from repro.dynamics.contact import (
+    ContactPoint,
+    ConstrainedDynamicsResult,
+    constrained_forward_dynamics,
+    contact_impulse,
+    contact_jacobian,
+)
+from repro.dynamics.coriolis import (
+    coriolis_matrix,
+    equation_of_motion_terms,
+    mass_matrix_time_derivative,
+)
+from repro.dynamics.crba import crba
+from repro.dynamics.derivatives import (
+    FDDerivatives,
+    IDDerivatives,
+    fd_derivatives,
+    fd_derivatives_from_inverse,
+    rnea_derivatives,
+)
+from repro.dynamics.ik import IKResult, point_ik
+from repro.dynamics.functions import (
+    DERIVATIVE_FUNCTIONS,
+    RBDFunction,
+    evaluate,
+    forward_dynamics,
+    inverse_dynamics,
+)
+from repro.dynamics.kinematics import (
+    KinematicsResult,
+    center_of_mass,
+    forward_kinematics,
+    kinetic_energy,
+    link_jacobian,
+    potential_energy,
+    velocity_of_point,
+)
+from repro.dynamics.mminv import (
+    mass_matrix,
+    mass_matrix_inverse,
+    mass_matrix_inverse_cholesky,
+    mminvgen,
+)
+from repro.dynamics.rnea import RneaInternals, bias_forces, gravity_torques, rnea
+
+__all__ = [
+    "DERIVATIVE_FUNCTIONS",
+    "FDDerivatives",
+    "IDDerivatives",
+    "IKResult",
+    "KinematicsResult",
+    "RBDFunction",
+    "RneaInternals",
+    "BatchDerivatives",
+    "BatchStates",
+    "ConstrainedDynamicsResult",
+    "ContactPoint",
+    "aba",
+    "batch_fd",
+    "batch_fd_derivatives",
+    "batch_id",
+    "batch_minv",
+    "bias_forces",
+    "constrained_forward_dynamics",
+    "contact_impulse",
+    "contact_jacobian",
+    "center_of_mass",
+    "coriolis_matrix",
+    "crba",
+    "equation_of_motion_terms",
+    "evaluate",
+    "fd_derivatives",
+    "fd_derivatives_from_inverse",
+    "forward_dynamics",
+    "forward_kinematics",
+    "gravity_torques",
+    "inverse_dynamics",
+    "kinetic_energy",
+    "link_jacobian",
+    "mass_matrix",
+    "mass_matrix_inverse",
+    "mass_matrix_inverse_cholesky",
+    "mass_matrix_time_derivative",
+    "mminvgen",
+    "point_ik",
+    "potential_energy",
+    "rnea",
+    "rnea_derivatives",
+    "velocity_of_point",
+]

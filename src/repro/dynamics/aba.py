@@ -1,0 +1,95 @@
+"""Articulated Body Algorithm: forward dynamics ``qdd = FD(q, qd, tau)``.
+
+The paper deliberately does *not* instantiate ABA in hardware (it computes
+FD as ``Minv @ (tau - C)``, Section III-A); this software implementation is
+the independent reference that validates that substitution, and the
+baseline CPU libraries (Pinocchio) use it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.robot import RobotModel
+from repro.spatial.motion import cross_force, cross_motion
+
+
+def aba(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    tau: np.ndarray,
+    f_ext: dict[int, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Forward dynamics via the articulated-body method (O(NB))."""
+    q = np.asarray(q, dtype=float)
+    qd = np.asarray(qd, dtype=float)
+    tau = np.asarray(tau, dtype=float)
+    f_ext = f_ext or {}
+
+    nb = model.nb
+    transforms = [
+        model.links[i].parent_transform(q[model.dof_slice(i)]) for i in range(nb)
+    ]
+    subspaces = model.motion_subspaces()
+
+    velocities: list[np.ndarray] = [np.zeros(6)] * nb
+    c_bias: list[np.ndarray] = [np.zeros(6)] * nb     # velocity-product accel
+    p_bias: list[np.ndarray] = [np.zeros(6)] * nb     # bias force
+    inertia_art: list[np.ndarray] = [np.zeros((6, 6))] * nb
+
+    # Pass 1: velocities and bias terms.
+    for i in range(nb):
+        link = model.links[i]
+        sl = model.dof_slice(i)
+        vj = subspaces[i] @ qd[sl]
+        if link.parent < 0:
+            v = vj
+        else:
+            v = transforms[i] @ velocities[link.parent] + vj
+        velocities[i] = v
+        c_bias[i] = cross_motion(v, vj)
+        inertia = link.inertia.matrix()
+        inertia_art[i] = inertia.copy()
+        p = cross_force(v, inertia @ v)
+        if i in f_ext:
+            p = p - np.asarray(f_ext[i], dtype=float)
+        p_bias[i] = p
+
+    # Pass 2: articulated inertias, backward.
+    u_list: list[np.ndarray] = [np.zeros((6, 1))] * nb
+    d_inv: list[np.ndarray] = [np.zeros((1, 1))] * nb
+    u_tau: list[np.ndarray] = [np.zeros(1)] * nb
+    for i in range(nb - 1, -1, -1):
+        link = model.links[i]
+        s = subspaces[i]
+        sl = model.dof_slice(i)
+        u = inertia_art[i] @ s
+        d = s.T @ u
+        u_list[i] = u
+        d_inv[i] = np.linalg.inv(d)
+        u_tau[i] = tau[sl] - s.T @ p_bias[i]
+        if link.parent >= 0:
+            x = transforms[i]
+            ia = inertia_art[i] - u @ d_inv[i] @ u.T
+            pa = (
+                p_bias[i]
+                + ia @ c_bias[i]
+                + u @ (d_inv[i] @ u_tau[i])
+            )
+            inertia_art[link.parent] = inertia_art[link.parent] + x.T @ ia @ x
+            p_bias[link.parent] = p_bias[link.parent] + x.T @ pa
+
+    # Pass 3: accelerations, forward.
+    qdd = np.zeros(model.nv)
+    accelerations: list[np.ndarray] = [np.zeros(6)] * nb
+    a_world = -model.gravity
+    for i in range(nb):
+        link = model.links[i]
+        sl = model.dof_slice(i)
+        a_parent = a_world if link.parent < 0 else accelerations[link.parent]
+        a_prime = transforms[i] @ a_parent + c_bias[i]
+        qdd_i = d_inv[i] @ (u_tau[i] - u_list[i].T @ a_prime)
+        qdd[sl] = qdd_i
+        accelerations[i] = a_prime + subspaces[i] @ qdd_i
+    return qdd

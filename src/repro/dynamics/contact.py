@@ -1,0 +1,129 @@
+"""Point-contact dynamics on the rigid-body substrate.
+
+The paper's motivating robots are legged (HyQ, Atlas, the Fig 3
+quadruped): their MPC formulations solve contact-constrained dynamics
+(the cited whole-body-through-contact controllers).  This module adds the
+constrained forward dynamics those formulations need:
+
+* contact Jacobians for points fixed on links;
+* constrained FD by solving the KKT system
+  ``[M -J^T; J 0] [qdd; f] = [tau - C; -Jdot qd]``
+  via the Minv-based Schur complement (the operational-space inertia),
+  which reuses exactly the accelerator's Minv output;
+* impulse resolution for inelastic impacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dynamics.kinematics import forward_kinematics, link_jacobian
+from repro.dynamics.mminv import mass_matrix_inverse
+from repro.dynamics.rnea import rnea
+from repro.model.robot import RobotModel
+
+
+@dataclass(frozen=True)
+class ContactPoint:
+    """A point fixed on a link, constrained not to accelerate (in world)."""
+
+    link: int
+    point_local: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "point_local", np.asarray(self.point_local, dtype=float)
+        )
+
+
+def contact_jacobian(
+    model: RobotModel, q: np.ndarray, contacts: list[ContactPoint]
+) -> np.ndarray:
+    """Stacked world-frame positional Jacobian of the contact points
+    (3 * n_contacts, nv)."""
+    fk = forward_kinematics(model, q)
+    rows = []
+    for contact in contacts:
+        jac = link_jacobian(model, q, contact.link)
+        rotation = fk.link_rotation(contact.link)
+        omega_cols = jac[:3, :].T
+        linear_cols = jac[3:, :].T
+        point_cols = linear_cols + np.cross(omega_cols, contact.point_local)
+        rows.append(rotation @ point_cols.T)
+    return np.vstack(rows)
+
+
+def _jacobian_dot_qd(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    contacts: list[ContactPoint],
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """``Jdot(q, qd) qd`` by a manifold-aware directional difference."""
+    j_plus = contact_jacobian(model, model.integrate(q, eps * qd), contacts)
+    j_minus = contact_jacobian(model, model.integrate(q, -eps * qd), contacts)
+    return ((j_plus - j_minus) / (2.0 * eps)) @ qd
+
+
+@dataclass
+class ConstrainedDynamicsResult:
+    """Output of :func:`constrained_forward_dynamics`."""
+
+    qdd: np.ndarray
+    contact_forces: np.ndarray     # stacked world-frame forces (3 per point)
+
+
+def constrained_forward_dynamics(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    tau: np.ndarray,
+    contacts: list[ContactPoint],
+    *,
+    damping: float = 1e-10,
+) -> ConstrainedDynamicsResult:
+    """FD with the contact points held at zero world acceleration.
+
+    Schur-complement solve on Minv (the accelerator's output): the
+    operational-space inertia is ``Lambda^-1 = J Minv J^T``.
+    """
+    qd = np.asarray(qd, dtype=float)
+    tau = np.asarray(tau, dtype=float)
+    minv = mass_matrix_inverse(model, q)
+    bias = rnea(model, q, qd, np.zeros(model.nv))
+    free_qdd = minv @ (tau - bias)
+    jac = contact_jacobian(model, q, contacts)
+    jdot_qd = _jacobian_dot_qd(model, q, qd, contacts)
+    lambda_inv = jac @ minv @ jac.T
+    lambda_inv += damping * np.eye(lambda_inv.shape[0])
+    # Contact forces cancel the unconstrained contact acceleration.
+    rhs = jac @ free_qdd + jdot_qd
+    forces = -np.linalg.solve(lambda_inv, rhs)
+    qdd = free_qdd + minv @ jac.T @ forces
+    return ConstrainedDynamicsResult(qdd=qdd, contact_forces=forces)
+
+
+def contact_impulse(
+    model: RobotModel,
+    q: np.ndarray,
+    qd_minus: np.ndarray,
+    contacts: list[ContactPoint],
+    *,
+    restitution: float = 0.0,
+    damping: float = 1e-10,
+) -> np.ndarray:
+    """Post-impact velocity for an (in)elastic impact at the contacts.
+
+    Solves ``J qd_plus = -e J qd_minus`` with the impulse acting through
+    ``Minv J^T`` — e.g. a quadruped foot touching down.
+    """
+    qd_minus = np.asarray(qd_minus, dtype=float)
+    minv = mass_matrix_inverse(model, q)
+    jac = contact_jacobian(model, q, contacts)
+    lambda_inv = jac @ minv @ jac.T + damping * np.eye(jac.shape[0])
+    v_contact = jac @ qd_minus
+    impulse = -np.linalg.solve(lambda_inv, (1.0 + restitution) * v_contact)
+    return qd_minus + minv @ jac.T @ impulse

@@ -1,0 +1,45 @@
+"""Composite Rigid Body Algorithm: the joint-space mass matrix ``M(q)``.
+
+The reference algorithm the paper's MMinvGen fuses with the analytical
+inverse (Section III-A); kept as an independent implementation so tests can
+cross-check Algorithm 2 against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.robot import RobotModel
+
+
+def crba(model: RobotModel, q: np.ndarray) -> np.ndarray:
+    """Symmetric positive-definite mass matrix, shape (nv, nv)."""
+    q = np.asarray(q, dtype=float)
+    nb = model.nb
+    transforms = model.parent_transforms(q)
+    subspaces = model.motion_subspaces()
+
+    composite = [link.inertia.matrix().copy() for link in model.links]
+    mass_matrix = np.zeros((model.nv, model.nv))
+
+    for i in range(nb - 1, -1, -1):
+        parent = model.parent(i)
+        if parent >= 0:
+            x = transforms[i]
+            composite[parent] += x.T @ composite[i] @ x
+
+        s_i = subspaces[i]
+        force = composite[i] @ s_i            # 6 x nv_i
+        sl_i = model.dof_slice(i)
+        mass_matrix[sl_i, sl_i] = s_i.T @ force
+
+        # Walk up the supporting chain, transforming the test force.
+        j = i
+        while model.parent(j) >= 0:
+            force = transforms[j].T @ force
+            j = model.parent(j)
+            sl_j = model.dof_slice(j)
+            block = subspaces[j].T @ force    # nv_j x nv_i
+            mass_matrix[sl_j, sl_i] = block
+            mass_matrix[sl_i, sl_j] = block.T
+    return mass_matrix

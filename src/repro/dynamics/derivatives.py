@@ -1,0 +1,180 @@
+"""Analytical derivatives of rigid body dynamics (Table I rows 5-7).
+
+``rnea_derivatives`` propagates full derivative matrices through the RNEA
+recursion — forward transfers ``(d_u v_i, d_u a_i)`` and backward transfers
+``X^T (d_u f_i + S_i x* f_i)`` — which is literally the dataflow of the
+paper's dRNEA Round-Trip Pipeline (Fig 7): only the columns of supporting
+joints are non-zero (the "incremental column vectors"), and the backward
+cross term lands in the joint's own column.
+
+Forward-dynamics derivatives then follow from the linear relationship the
+paper builds its multifunction reuse on (Eq. 3)::
+
+    dFD/du = -Minv @ dID/du   evaluated at  qdd = FD(q, qd, tau)
+    dFD/dtau = Minv
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dynamics.mminv import mass_matrix_inverse
+from repro.dynamics.rnea import rnea
+from repro.model.robot import RobotModel
+from repro.spatial.motion import crf, crf_bar, crm, cross_force
+
+
+@dataclass
+class IDDerivatives:
+    """Partials of inverse dynamics: ``d tau / d q`` and ``d tau / d qd``.
+
+    Derivatives are taken w.r.t. local tangent increments (``q [+] delta``),
+    which coincides with plain partial derivatives for 1-DOF joints.
+    """
+
+    dtau_dq: np.ndarray
+    dtau_dqd: np.ndarray
+
+
+@dataclass
+class FDDerivatives:
+    """Partials of forward dynamics plus the quantities computed en route."""
+
+    dqdd_dq: np.ndarray
+    dqdd_dqd: np.ndarray
+    dqdd_dtau: np.ndarray      # equals Minv
+    qdd: np.ndarray
+    minv: np.ndarray
+
+
+def rnea_derivatives(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    qdd: np.ndarray,
+    f_ext: dict[int, np.ndarray] | None = None,
+) -> IDDerivatives:
+    """Analytical dRNEA (the paper's dID)."""
+    q = np.asarray(q, dtype=float)
+    qd = np.asarray(qd, dtype=float)
+    qdd = np.asarray(qdd, dtype=float)
+
+    nb, nv = model.nb, model.nv
+    _, internals = rnea(model, q, qd, qdd, f_ext, return_internals=True)
+    transforms = model.parent_transforms(q)
+    subspaces = model.motion_subspaces()
+    a_world = -model.gravity
+
+    dv_dq = [np.zeros((6, nv)) for _ in range(nb)]
+    dv_dqd = [np.zeros((6, nv)) for _ in range(nb)]
+    da_dq = [np.zeros((6, nv)) for _ in range(nb)]
+    da_dqd = [np.zeros((6, nv)) for _ in range(nb)]
+    df_dq = [np.zeros((6, nv)) for _ in range(nb)]
+    df_dqd = [np.zeros((6, nv)) for _ in range(nb)]
+
+    # Forward sweep (Df_i submodules): propagate d_u v and d_u a.
+    for i in range(nb):
+        link = model.links[i]
+        x = transforms[i]
+        s = subspaces[i]
+        sl = model.dof_slice(i)
+        parent = link.parent
+        vj = s @ qd[sl]
+        v_i = internals.velocities[i]
+
+        if parent < 0:
+            xa = x @ a_world
+            da_dq[i][:, sl] += crm(xa) @ s
+        else:
+            xv = x @ internals.velocities[parent]
+            xa = x @ internals.accelerations[parent]
+            dv_dq[i] = x @ dv_dq[parent]
+            dv_dq[i][:, sl] += crm(xv) @ s
+            dv_dqd[i] = x @ dv_dqd[parent]
+            da_dq[i] = x @ da_dq[parent]
+            da_dq[i][:, sl] += crm(xa) @ s
+            da_dqd[i] = x @ da_dqd[parent]
+        dv_dqd[i][:, sl] += s
+
+        # a_i includes v_i x vj: differentiate both factors.
+        da_dq[i] += -crm(vj) @ dv_dq[i]
+        da_dqd[i] += -crm(vj) @ dv_dqd[i]
+        da_dqd[i][:, sl] += crm(v_i) @ s
+
+        # Local body-force derivative (f_ext is constant).
+        inertia = link.inertia.matrix()
+        gyro = crf_bar(inertia @ v_i) + crf(v_i) @ inertia
+        df_dq[i] = inertia @ da_dq[i] + gyro @ dv_dq[i]
+        df_dqd[i] = inertia @ da_dqd[i] + gyro @ dv_dqd[i]
+
+    # Backward sweep (Db_i submodules): accumulate force derivatives.
+    dtau_dq = np.zeros((nv, nv))
+    dtau_dqd = np.zeros((nv, nv))
+    for i in range(nb - 1, -1, -1):
+        link = model.links[i]
+        s = subspaces[i]
+        sl = model.dof_slice(i)
+        dtau_dq[sl, :] = s.T @ df_dq[i]
+        dtau_dqd[sl, :] = s.T @ df_dqd[i]
+        parent = link.parent
+        if parent >= 0:
+            x = transforms[i]
+            back_q = df_dq[i].copy()
+            # d(X^T f)/dq_i adds X^T (S_k x* f_i) to the joint's own column,
+            # with f_i the accumulated force (the paper's btr term).
+            f_acc = internals.forces[i]
+            for k in range(link.joint.nv):
+                back_q[:, sl.start + k] += cross_force(s[:, k], f_acc)
+            df_dq[parent] += x.T @ back_q
+            df_dqd[parent] += x.T @ df_dqd[i]
+    return IDDerivatives(dtau_dq, dtau_dqd)
+
+
+def fd_derivatives(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    tau: np.ndarray,
+    f_ext: dict[int, np.ndarray] | None = None,
+) -> FDDerivatives:
+    """dFD (Table I row 6): derivatives of forward dynamics.
+
+    Follows the paper's six-step decomposition (Fig 9a): FD first, then dID
+    at the resulting acceleration, then the final ``-Minv`` products.
+    """
+    from repro.dynamics.functions import forward_dynamics
+
+    qdd, minv = forward_dynamics(model, q, qd, tau, f_ext, return_minv=True)
+    id_partials = rnea_derivatives(model, q, qd, qdd, f_ext)
+    return FDDerivatives(
+        dqdd_dq=-minv @ id_partials.dtau_dq,
+        dqdd_dqd=-minv @ id_partials.dtau_dqd,
+        dqdd_dtau=minv,
+        qdd=qdd,
+        minv=minv,
+    )
+
+
+def fd_derivatives_from_inverse(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    qdd: np.ndarray,
+    minv: np.ndarray | None = None,
+    f_ext: dict[int, np.ndarray] | None = None,
+) -> FDDerivatives:
+    """diFD (Table I row 7): like dFD but ``qdd`` (and optionally ``Minv``)
+    are already known, so the FD stage is skipped — the variant Robomorphic
+    accelerates and Fig 16 benchmarks."""
+    if minv is None:
+        minv = mass_matrix_inverse(model, q)
+    id_partials = rnea_derivatives(model, q, qd, qdd, f_ext)
+    return FDDerivatives(
+        dqdd_dq=-minv @ id_partials.dtau_dq,
+        dqdd_dqd=-minv @ id_partials.dtau_dqd,
+        dqdd_dtau=minv,
+        qdd=np.asarray(qdd, dtype=float),
+        minv=minv,
+    )

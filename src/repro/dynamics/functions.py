@@ -1,0 +1,116 @@
+"""The Table-I function suite with a single software reference interface.
+
+These are the seven functions Dadu-RBD accelerates.  ``forward_dynamics``
+deliberately uses the paper's route (``Minv @ (tau - C)``, Eq. 2) rather
+than ABA, matching the hardware; ``aba`` remains available as an
+independent cross-check.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.dynamics.derivatives import (
+    FDDerivatives,
+    IDDerivatives,
+    fd_derivatives,
+    fd_derivatives_from_inverse,
+    rnea_derivatives,
+)
+from repro.dynamics.mminv import mass_matrix, mass_matrix_inverse
+from repro.dynamics.rnea import bias_forces, rnea
+from repro.model.robot import RobotModel
+
+
+class RBDFunction(Enum):
+    """Function identifiers (the accelerator's ``type`` input)."""
+
+    ID = "ID"
+    FD = "FD"
+    M = "M"
+    MINV = "Minv"
+    DID = "dID"
+    DFD = "dFD"
+    DIFD = "diFD"
+
+
+#: Functions whose output includes derivative matrices.
+DERIVATIVE_FUNCTIONS = frozenset({RBDFunction.DID, RBDFunction.DFD, RBDFunction.DIFD})
+
+
+def inverse_dynamics(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    qdd: np.ndarray,
+    f_ext: dict[int, np.ndarray] | None = None,
+) -> np.ndarray:
+    """``tau = ID(q, qd, qdd, f_ext)`` via RNEA."""
+    return rnea(model, q, qd, qdd, f_ext)
+
+
+def forward_dynamics(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    tau: np.ndarray,
+    f_ext: dict[int, np.ndarray] | None = None,
+    *,
+    return_minv: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """``qdd = FD(q, qd, tau, f_ext)`` via the paper's Eq. (2):
+    ``FD = Minv @ (tau - C)``."""
+    c = bias_forces(model, q, qd, f_ext)
+    minv = mass_matrix_inverse(model, q)
+    qdd = minv @ (np.asarray(tau, dtype=float) - c)
+    if return_minv:
+        return qdd, minv
+    return qdd
+
+
+def evaluate(
+    model: RobotModel,
+    function: RBDFunction,
+    q: np.ndarray,
+    qd: np.ndarray | None = None,
+    qdd_or_tau: np.ndarray | None = None,
+    f_ext: dict[int, np.ndarray] | None = None,
+    minv: np.ndarray | None = None,
+):
+    """Dispatch one Table-I function.
+
+    ``qdd_or_tau`` is ``qdd`` for ID/dID/diFD and ``tau`` for FD/dFD
+    (mirroring the accelerator's shared input stream).  Returns the natural
+    result type per function: a vector, a matrix, or a derivative bundle.
+    """
+    zeros = np.zeros(model.nv)
+    qd = zeros if qd is None else qd
+    qdd_or_tau = zeros if qdd_or_tau is None else qdd_or_tau
+    if function is RBDFunction.ID:
+        return inverse_dynamics(model, q, qd, qdd_or_tau, f_ext)
+    if function is RBDFunction.FD:
+        return forward_dynamics(model, q, qd, qdd_or_tau, f_ext)
+    if function is RBDFunction.M:
+        return mass_matrix(model, q)
+    if function is RBDFunction.MINV:
+        return mass_matrix_inverse(model, q)
+    if function is RBDFunction.DID:
+        return rnea_derivatives(model, q, qd, qdd_or_tau, f_ext)
+    if function is RBDFunction.DFD:
+        return fd_derivatives(model, q, qd, qdd_or_tau, f_ext)
+    if function is RBDFunction.DIFD:
+        return fd_derivatives_from_inverse(model, q, qd, qdd_or_tau, minv, f_ext)
+    raise ValueError(f"unknown function {function!r}")
+
+
+__all__ = [
+    "RBDFunction",
+    "DERIVATIVE_FUNCTIONS",
+    "IDDerivatives",
+    "FDDerivatives",
+    "inverse_dynamics",
+    "forward_dynamics",
+    "evaluate",
+]

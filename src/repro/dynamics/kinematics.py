@@ -1,0 +1,150 @@
+"""Forward kinematics: link poses, velocities and geometric Jacobians.
+
+These are the "Kinematics" capabilities of the paper's Fig 1 — substrate
+functions the planning/control stack needs alongside the dynamics suite.
+All quantities use link-frame spatial coordinates; ``world_transforms[i]``
+is ``^iX_0`` (world -> link i motion transform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.robot import RobotModel
+from repro.spatial.motion import cross_motion
+from repro.spatial.transforms import (
+    inverse_transform,
+    transform_rotation,
+    transform_translation,
+)
+
+
+@dataclass
+class KinematicsResult:
+    """Output of :func:`forward_kinematics`."""
+
+    world_transforms: list[np.ndarray]   # ^iX_0 per link
+    parent_transforms: list[np.ndarray]  # ^iX_lambda(i) per link
+    velocities: list[np.ndarray]         # spatial velocity of link i, link frame
+
+    def link_rotation(self, i: int) -> np.ndarray:
+        """Rotation of link i's frame relative to world (world <- link)."""
+        return transform_rotation(self.world_transforms[i]).T
+
+    def link_position(self, i: int) -> np.ndarray:
+        """Origin of link i's frame in world coordinates.
+
+        ``^iX_0 = rot(E) @ xlt(r)`` stores exactly r = link origin in world.
+        """
+        return transform_translation(self.world_transforms[i])
+
+
+def forward_kinematics(
+    model: RobotModel, q: np.ndarray, qd: np.ndarray | None = None
+) -> KinematicsResult:
+    """Compute link transforms and (optionally) spatial velocities."""
+    q = np.asarray(q, dtype=float)
+    if qd is None:
+        qd = np.zeros(model.nv)
+    qd = np.asarray(qd, dtype=float)
+
+    parent_x: list[np.ndarray] = []
+    world_x: list[np.ndarray] = []
+    velocities: list[np.ndarray] = []
+    for i in range(model.nb):
+        link = model.links[i]
+        x_parent = link.parent_transform(q[model.dof_slice(i)])
+        parent_x.append(x_parent)
+        if link.parent < 0:
+            world_x.append(x_parent)
+            v_parent = np.zeros(6)
+        else:
+            world_x.append(x_parent @ world_x[link.parent])
+            v_parent = velocities[link.parent]
+        s = link.joint.motion_subspace()
+        velocities.append(x_parent @ v_parent + s @ qd[model.dof_slice(i)])
+    return KinematicsResult(world_x, parent_x, velocities)
+
+
+def link_jacobian(model: RobotModel, q: np.ndarray, link: int) -> np.ndarray:
+    """Geometric Jacobian of link ``link`` expressed in its own frame.
+
+    Columns follow the global DOF layout; only supporting joints contribute
+    (the same column sparsity the paper's incremental calculation exploits).
+    """
+    fk = forward_kinematics(model, q)
+    jac = np.zeros((6, model.nv))
+    x_link = fk.world_transforms[link]
+    j = link
+    while j >= 0:
+        # Map joint j's subspace into link coordinates: ^linkX_j = ^linkX_0 @ ^0X_j.
+        x_j_to_link = x_link @ inverse_transform(fk.world_transforms[j])
+        s = model.joint(j).motion_subspace()
+        jac[:, model.dof_slice(j)] = x_j_to_link @ s
+        j = model.parent(j)
+    return jac
+
+
+def kinetic_energy(model: RobotModel, q: np.ndarray, qd: np.ndarray) -> float:
+    """Total kinetic energy ``sum_i 0.5 v_i^T I_i v_i`` (frame invariant)."""
+    fk = forward_kinematics(model, q, qd)
+    total = 0.0
+    for i in range(model.nb):
+        v = fk.velocities[i]
+        total += 0.5 * float(v @ model.links[i].inertia.matrix() @ v)
+    return total
+
+
+def potential_energy(model: RobotModel, q: np.ndarray) -> float:
+    """Gravitational potential energy relative to the world origin."""
+    fk = forward_kinematics(model, q)
+    g_accel = model.gravity[3:]
+    total = 0.0
+    for i in range(model.nb):
+        inertia = model.links[i].inertia
+        if inertia.mass == 0.0:
+            continue
+        com_world = fk.link_position(i) + fk.link_rotation(i) @ inertia.com
+        total -= inertia.mass * float(g_accel @ com_world)
+    return total
+
+
+def center_of_mass(model: RobotModel, q: np.ndarray) -> np.ndarray:
+    """Whole-robot centre of mass in world coordinates."""
+    fk = forward_kinematics(model, q)
+    total_mass = 0.0
+    weighted = np.zeros(3)
+    for i in range(model.nb):
+        inertia = model.links[i].inertia
+        if inertia.mass == 0.0:
+            continue
+        com_world = fk.link_position(i) + fk.link_rotation(i) @ inertia.com
+        weighted += inertia.mass * com_world
+        total_mass += inertia.mass
+    return weighted / total_mass
+
+
+def velocity_of_point(
+    model: RobotModel, q: np.ndarray, qd: np.ndarray, link: int, point: np.ndarray
+) -> np.ndarray:
+    """Linear velocity (world frame) of a point fixed on ``link``."""
+    fk = forward_kinematics(model, q, qd)
+    v = fk.velocities[link]
+    v_point_local = v[3:] + np.cross(v[:3], np.asarray(point, dtype=float))
+    return fk.link_rotation(link) @ v_point_local
+
+
+def spatial_acceleration_bias(
+    model: RobotModel, q: np.ndarray, qd: np.ndarray
+) -> list[np.ndarray]:
+    """Velocity-product accelerations ``c_i = v_i x S_i qd_i`` per link
+    (useful for task-space controllers built on this substrate)."""
+    fk = forward_kinematics(model, q, qd)
+    out = []
+    for i in range(model.nb):
+        s = model.joint(i).motion_subspace()
+        vj = s @ np.asarray(qd, dtype=float)[model.dof_slice(i)]
+        out.append(cross_motion(fk.velocities[i], vj))
+    return out

@@ -1,0 +1,279 @@
+"""Analytical operation counts for the dynamics algorithms.
+
+The accelerator cost model (stage service times, DSP usage) and the
+CPU/GPU baseline models both consume these counts, so every performance
+comparison in the benchmarks is driven by one shared notion of "work".
+
+Counts are multiply-accumulate-ish operations per link, parametrized by the
+structural facts the paper's sparsity optimizations exploit (Section
+IV-A1): joint cost profiles (e.g. 8 multiplies to refresh a revolute X),
+one-hot motion subspaces, the incremental column counts of the derivative
+pipeline, and subtree-width column counts of MMinvGen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dynamics.functions import RBDFunction
+from repro.model.robot import RobotModel
+
+
+@dataclass(frozen=True)
+class OpCountParams:
+    """Tunable per-primitive costs (in equivalent multiply operations).
+
+    ``sparse_x`` toggles the paper's sparsity/constant optimization for the
+    transform matrices; switching it off models a naive dense datapath (used
+    by the ablation bench).
+    """
+
+    sparse_x: bool = True
+    matvec_x_sparse: float = 20.0     # X @ vec exploiting Plücker structure
+    matvec_x_dense: float = 36.0
+    matvec_inertia: float = 20.0      # symmetric, 8-distinct-constant I @ vec
+    cross_motion: float = 14.0
+    cross_force: float = 14.0
+    gyro_col: float = 24.0            # (crf_bar(Iv) + crf(v) I) @ column
+    reciprocal: float = 4.0           # fixed<->float reciprocal trick
+    s_project_dense: float = 6.0      # S^T x per DOF when S is not one-hot
+    axpy6: float = 6.0                # 6-vector scale-add
+
+    def matvec_x(self) -> float:
+        return self.matvec_x_sparse if self.sparse_x else self.matvec_x_dense
+
+
+DEFAULT_PARAMS = OpCountParams()
+
+
+def _s_cost(model: RobotModel, i: int, params: OpCountParams) -> float:
+    """Cost of one S-projection / S-expansion for joint i."""
+    profile = model.joint(i).cost_profile()
+    if profile.s_one_hot:
+        return 0.0
+    return params.s_project_dense * profile.nv
+
+
+def derivative_columns(model: RobotModel, i: int) -> int:
+    """Active derivative columns at link i: twice the supporting DOF count
+    (q and qd blocks) — the paper's incremental column count (Fig 7b)."""
+    return 2 * len(model.supporting_dofs(i))
+
+
+def subtree_columns(model: RobotModel, i: int) -> int:
+    """DOF columns owned by the subtree of link i (MMinvGen's F width)."""
+    return sum(model.joint(j).cost_profile().nv for j in model.subtree(i))
+
+
+def right_columns(model: RobotModel, i: int) -> int:
+    """Columns to the right of link i's diagonal block (Mf sweep width)."""
+    return model.nv - model.dof_slice(i).start
+
+
+# ----------------------------------------------------------------------
+# Per-submodule counts (the six RTP submodule types)
+# ----------------------------------------------------------------------
+
+
+def ops_rf(model: RobotModel, i: int, params: OpCountParams = DEFAULT_PARAMS) -> float:
+    """RNEA forward submodule Rf_i: X refresh, v, a, f."""
+    profile = model.joint(i).cost_profile()
+    nv = profile.nv
+    x_update = profile.x_mults if params.sparse_x else 66.0
+    ops = x_update
+    ops += 2 * params.matvec_x()                  # X v_parent, X a_parent
+    ops += 2 * _s_cost(model, i, params) + 2 * nv * params.axpy6
+    ops += params.cross_motion                    # v x vj
+    ops += params.matvec_inertia                  # I a
+    ops += params.matvec_inertia + params.cross_force   # v x* (I v)
+    return ops
+
+
+def ops_rb(model: RobotModel, i: int, params: OpCountParams = DEFAULT_PARAMS) -> float:
+    """RNEA backward submodule Rb_i: X reupdate, tau, force push to parent."""
+    profile = model.joint(i).cost_profile()
+    x_update = profile.x_mults if params.sparse_x else 66.0
+    ops = x_update                               # re-update X (Section IV-A2)
+    ops += _s_cost(model, i, params)             # tau = S^T f
+    ops += params.matvec_x()                     # X^T f
+    return ops
+
+
+def ops_df(model: RobotModel, i: int, params: OpCountParams = DEFAULT_PARAMS) -> float:
+    """dRNEA forward submodule Df_i — cost grows with depth (Fig 7c)."""
+    cols = derivative_columns(model, i)
+    per_col = (
+        2 * params.matvec_x()        # X dv_col, X da_col
+        + params.cross_motion        # -crm(vj) dv_col
+        + params.matvec_inertia      # I da_col
+        + params.gyro_col            # gyro dv_col
+    )
+    setup = 2 * params.cross_motion * model.joint(i).cost_profile().nv
+    return setup + cols * per_col
+
+
+def ops_db(model: RobotModel, i: int, params: OpCountParams = DEFAULT_PARAMS) -> float:
+    """dRNEA backward submodule Db_i."""
+    cols = derivative_columns(model, i)
+    per_col = params.matvec_x() + params.axpy6   # X^T df_col + accumulate
+    own = params.cross_force * model.joint(i).cost_profile().nv
+    projection = _s_cost(model, i, params) * cols
+    return own + cols * per_col + projection
+
+
+def ops_mb(
+    model: RobotModel,
+    i: int,
+    params: OpCountParams = DEFAULT_PARAMS,
+    *,
+    out_minv: bool = True,
+) -> float:
+    """MMinvGen backward submodule Mb_i."""
+    cols = subtree_columns(model, i)
+    profile = model.joint(i).cost_profile()
+    nv = profile.nv
+    ops = _s_cost(model, i, params)              # U = IA S, D = S^T U
+    ops += params.reciprocal * nv                # D^{-1} (fixed/float trick)
+    ops += cols * nv                             # output row(s)
+    if out_minv:
+        ops += 6 * cols * nv                     # F += U Minv[i, cols]
+        ops += 21.0 * nv                         # IA -= U D^{-1} U^T (sym)
+    ops += cols * params.matvec_x()              # X^T F[:, cols]
+    ops += 4 * params.matvec_x()                 # X^T IA X congruence (sym)
+    return ops
+
+
+def ops_mf(model: RobotModel, i: int, params: OpCountParams = DEFAULT_PARAMS) -> float:
+    """MMinvGen forward submodule Mf_i (second sweep, Minv only)."""
+    cols = right_columns(model, i)
+    nv = model.joint(i).cost_profile().nv
+    per_col = params.matvec_x() + 6.0 * nv + params.axpy6
+    return cols * per_col
+
+
+# ----------------------------------------------------------------------
+# Whole-function counts (software baselines)
+# ----------------------------------------------------------------------
+
+
+def _sum_links(model: RobotModel, fn) -> float:
+    return float(sum(fn(i) for i in range(model.nb)))
+
+
+def ops_rnea(model: RobotModel, params: OpCountParams = DEFAULT_PARAMS) -> float:
+    return _sum_links(model, lambda i: ops_rf(model, i, params) + ops_rb(model, i, params))
+
+
+def ops_drnea(model: RobotModel, params: OpCountParams = DEFAULT_PARAMS) -> float:
+    return _sum_links(model, lambda i: ops_df(model, i, params) + ops_db(model, i, params))
+
+
+def ops_mminvgen(
+    model: RobotModel, params: OpCountParams = DEFAULT_PARAMS, *, out_minv: bool = True
+) -> float:
+    total = _sum_links(
+        model, lambda i: ops_mb(model, i, params, out_minv=out_minv)
+    )
+    if out_minv:
+        total += _sum_links(model, lambda i: ops_mf(model, i, params))
+    return total
+
+
+def ops_aba_backward(
+    model: RobotModel, i: int, params: OpCountParams = DEFAULT_PARAMS
+) -> float:
+    """ABA backward submodule (articulated inertia + bias propagation).
+
+    The paper notes the Backward-Forward Module "has the potential to
+    implement the ABA algorithm"; these counts size that option.
+    """
+    nv = model.joint(i).cost_profile().nv
+    ops = _s_cost(model, i, params)              # U = IA S, D = S^T U
+    ops += params.reciprocal * nv                # D^{-1}
+    ops += 21.0 * nv                             # IA - U D^{-1} U^T (sym)
+    ops += 4 * params.matvec_x()                 # X^T Ia X congruence
+    ops += params.matvec_inertia + params.axpy6  # pa = p + Ia c + U u
+    ops += params.matvec_x()                     # X^T pa
+    return ops
+
+
+def ops_aba_forward(
+    model: RobotModel, i: int, params: OpCountParams = DEFAULT_PARAMS
+) -> float:
+    """ABA forward submodule (acceleration propagation)."""
+    nv = model.joint(i).cost_profile().nv
+    ops = params.matvec_x()                      # X a_parent
+    ops += params.axpy6                          # + c bias
+    ops += 7.0 * nv                              # qdd = Dinv (u - U^T a')
+    ops += params.axpy6 * nv                     # a = a' + S qdd
+    return ops
+
+
+def ops_aba(model: RobotModel, params: OpCountParams = DEFAULT_PARAMS) -> float:
+    """Whole-ABA cost (software FD baseline and the BF-module option)."""
+    velocity_pass = _sum_links(
+        model,
+        lambda i: params.matvec_x() + params.cross_motion
+        + params.matvec_inertia + params.cross_force,
+    )
+    return velocity_pass + _sum_links(
+        model,
+        lambda i: ops_aba_backward(model, i, params)
+        + ops_aba_forward(model, i, params),
+    )
+
+
+def ops_matmul(n: int, m: int, k: int) -> float:
+    """Dense matmul cost (Schedule Module products like Minv @ dtau)."""
+    return float(n * m * k)
+
+
+def function_ops(
+    model: RobotModel,
+    function: RBDFunction,
+    params: OpCountParams = DEFAULT_PARAMS,
+    *,
+    software: bool = False,
+) -> float:
+    """Total work for one Table-I function.
+
+    ``software=True`` counts what a CPU library does (e.g. ABA for FD);
+    ``software=False`` counts the paper's hardware decomposition (Fig 9a).
+    """
+    nv = model.nv
+    if function is RBDFunction.ID:
+        return ops_rnea(model, params)
+    if function is RBDFunction.M:
+        return ops_mminvgen(model, params, out_minv=False)
+    if function is RBDFunction.MINV:
+        return ops_mminvgen(model, params, out_minv=True)
+    if function is RBDFunction.FD:
+        if software:
+            return ops_aba(model, params)
+        # C = RNEA(qdd=0); Minv; qdd = Minv (tau - C).
+        return (
+            ops_rnea(model, params)
+            + ops_mminvgen(model, params, out_minv=True)
+            + ops_matmul(nv, nv, 1)
+        )
+    if function is RBDFunction.DID:
+        return ops_rnea(model, params) + ops_drnea(model, params)
+    if function is RBDFunction.DIFD:
+        return (
+            ops_rnea(model, params)
+            + ops_drnea(model, params)
+            + ops_matmul(nv, nv, 2 * nv) / 2.0    # symmetric-A optimization
+        )
+    if function is RBDFunction.DFD:
+        return (
+            function_ops(model, RBDFunction.FD, params, software=software)
+            + ops_rnea(model, params)
+            + ops_drnea(model, params)
+            + ops_matmul(nv, nv, 2 * nv) / 2.0
+        )
+    raise ValueError(f"unknown function {function!r}")
+
+
+def without_sparsity(params: OpCountParams = DEFAULT_PARAMS) -> OpCountParams:
+    """Params with the sparsity/constant optimization disabled (ablation)."""
+    return replace(params, sparse_x=False)

@@ -1,0 +1,127 @@
+"""Recursive Newton-Euler Algorithm (the paper's Algorithm 1).
+
+Computes inverse dynamics ``tau = ID(q, qd, qdd, f_ext)`` with one forward
+sweep (velocities/accelerations) and one backward sweep (forces).  The
+intermediate quantities ``v, a, f`` are exactly the payloads the RNEA RTP
+streams between its ``Rf_i``/``Rb_i`` submodules (Fig 6), and they feed the
+derivative pipeline (Fig 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.robot import RobotModel
+from repro.spatial.motion import cross_force, cross_motion
+
+
+@dataclass
+class RneaInternals:
+    """Per-link intermediate quantities of one RNEA evaluation.
+
+    ``forces_local`` is the forward-pass body force (Algorithm 1 line 6);
+    ``forces`` is the accumulated force each ``Rb_i`` holds when it fires
+    (after adding all child contributions) — this is the ``f_i`` the
+    derivative pipeline consumes.
+    """
+
+    velocities: list[np.ndarray]
+    accelerations: list[np.ndarray]
+    forces_local: list[np.ndarray]
+    forces: list[np.ndarray]
+
+
+def rnea(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    qdd: np.ndarray,
+    f_ext: dict[int, np.ndarray] | None = None,
+    *,
+    apply_gravity: bool = True,
+    return_internals: bool = False,
+) -> np.ndarray | tuple[np.ndarray, RneaInternals]:
+    """Inverse dynamics.
+
+    Parameters
+    ----------
+    f_ext:
+        Optional external forces per link index, expressed in the link's own
+        frame (the paper's convention; they are subtracted in line 6 of
+        Algorithm 1 and treated as constants under differentiation).
+    apply_gravity:
+        When False the gravity term is dropped (used e.g. to extract the
+        mass matrix column by column in tests).
+    """
+    q = np.asarray(q, dtype=float)
+    qd = np.asarray(qd, dtype=float)
+    qdd = np.asarray(qdd, dtype=float)
+    f_ext = f_ext or {}
+
+    nb = model.nb
+    a_world = -model.gravity if apply_gravity else np.zeros(6)
+
+    velocities: list[np.ndarray] = [np.zeros(6)] * nb
+    accelerations: list[np.ndarray] = [np.zeros(6)] * nb
+    forces_local: list[np.ndarray] = [np.zeros(6)] * nb
+    transforms: list[np.ndarray] = [np.eye(6)] * nb
+
+    # Forward sweep (Rf_i submodules).
+    for i in range(nb):
+        link = model.links[i]
+        sl = model.dof_slice(i)
+        x = link.parent_transform(q[sl])
+        transforms[i] = x
+        s = link.joint.motion_subspace()
+        vj = s @ qd[sl]
+        if link.parent < 0:
+            v = vj
+            a = x @ a_world + s @ qdd[sl]
+        else:
+            v = x @ velocities[link.parent] + vj
+            a = x @ accelerations[link.parent] + s @ qdd[sl] + cross_motion(v, vj)
+        inertia = link.inertia.matrix()
+        f = inertia @ a + cross_force(v, inertia @ v)
+        if i in f_ext:
+            f = f - np.asarray(f_ext[i], dtype=float)
+        velocities[i] = v
+        accelerations[i] = a
+        forces_local[i] = f
+
+    # Backward sweep (Rb_i submodules): accumulate forces, project torques.
+    forces = [f.copy() for f in forces_local]
+    tau = np.zeros(model.nv)
+    for i in range(nb - 1, -1, -1):
+        link = model.links[i]
+        s = link.joint.motion_subspace()
+        tau[model.dof_slice(i)] = s.T @ forces[i]
+        if link.parent >= 0:
+            forces[link.parent] = forces[link.parent] + transforms[i].T @ forces[i]
+
+    if return_internals:
+        return tau, RneaInternals(velocities, accelerations, forces_local, forces)
+    return tau
+
+
+def bias_forces(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    f_ext: dict[int, np.ndarray] | None = None,
+    *,
+    apply_gravity: bool = True,
+) -> np.ndarray:
+    """Generalized bias forces ``C(q, qd, f_ext) = ID(q, qd, 0, f_ext)``.
+
+    This is step (1) of the paper's six-step FD decomposition (Fig 9a).
+    """
+    return rnea(
+        model, q, qd, np.zeros(model.nv), f_ext, apply_gravity=apply_gravity
+    )
+
+
+def gravity_torques(model: RobotModel, q: np.ndarray) -> np.ndarray:
+    """Torques that exactly compensate gravity at rest."""
+    return rnea(model, q, np.zeros(model.nv), np.zeros(model.nv))

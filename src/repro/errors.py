@@ -1,0 +1,21 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ModelError(ReproError):
+    """The robot model is malformed (bad tree, bad inertia, bad joint)."""
+
+
+class ConfigurationError(ReproError):
+    """An accelerator or baseline configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event pipeline simulation reached an inconsistent state."""
+
+
+class DataflowError(ReproError):
+    """A function request cannot be routed through the configured dataflow."""

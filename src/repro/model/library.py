@@ -1,0 +1,315 @@
+"""Predefined robot models.
+
+The paper evaluates on LBR iiwa, HyQ and Atlas (matching Pinocchio's and
+GRiD's benchmark set) and illustrates SAPs with Tiago, Spot-arm and a
+quadruped-with-arm (Fig 3).  We do not ship the vendors' URDFs; parameters
+here are synthetic but physically valid (positive-definite inertias,
+realistic masses and link lengths) with the *exact paper topologies* —
+which is what every algorithm and cost model in this package depends on.
+The substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.joints import FloatingJoint, PrismaticJoint, RevoluteJoint
+from repro.model.robot import RobotBuilder, RobotModel
+from repro.spatial.inertia import SpatialInertia
+from repro.spatial.random import random_inertia
+
+X_AXIS = np.array([1.0, 0.0, 0.0])
+Y_AXIS = np.array([0.0, 1.0, 0.0])
+Z_AXIS = np.array([0.0, 0.0, 1.0])
+
+
+def rod_inertia(mass: float, length: float, radius: float = 0.05,
+                axis: np.ndarray = Z_AXIS) -> SpatialInertia:
+    """Inertia of a solid cylinder of given mass/length lying along ``axis``
+    with its base at the link origin (com at half length)."""
+    axis = np.asarray(axis, dtype=float)
+    trans = mass * (3.0 * radius**2 + length**2) / 12.0
+    axial = mass * radius**2 / 2.0
+    # Principal frame: axial moment along `axis`.
+    if abs(axis[2]) > 0.9:
+        inertia_c = np.diag([trans, trans, axial])
+    elif abs(axis[1]) > 0.9:
+        inertia_c = np.diag([trans, axial, trans])
+    else:
+        inertia_c = np.diag([axial, trans, trans])
+    return SpatialInertia(mass, axis * (length / 2.0), inertia_c)
+
+
+def box_inertia(mass: float, size: np.ndarray,
+                com: np.ndarray | None = None) -> SpatialInertia:
+    """Inertia of a solid box with side lengths ``size``."""
+    sx, sy, sz = np.asarray(size, dtype=float)
+    inertia_c = np.diag(
+        [
+            mass * (sy**2 + sz**2) / 12.0,
+            mass * (sx**2 + sz**2) / 12.0,
+            mass * (sx**2 + sy**2) / 12.0,
+        ]
+    )
+    return SpatialInertia(mass, np.zeros(3) if com is None else com, inertia_c)
+
+
+# ----------------------------------------------------------------------
+# Simple chains (tests, examples)
+# ----------------------------------------------------------------------
+
+
+def pendulum(length: float = 1.0, mass: float = 1.0) -> RobotModel:
+    """A single pendulum rotating about the world y axis."""
+    builder = RobotBuilder("pendulum")
+    builder.add_link("bob", None, RevoluteJoint(Y_AXIS),
+                     rod_inertia(mass, length))
+    return builder.build()
+
+
+def double_pendulum(lengths: tuple[float, float] = (1.0, 0.8),
+                    masses: tuple[float, float] = (1.0, 0.7)) -> RobotModel:
+    """A planar double pendulum (both joints about y)."""
+    builder = RobotBuilder("double_pendulum")
+    builder.add_link("upper", None, RevoluteJoint(Y_AXIS),
+                     rod_inertia(masses[0], lengths[0]))
+    builder.add_link("lower", "upper", RevoluteJoint(Y_AXIS),
+                     rod_inertia(masses[1], lengths[1]),
+                     translation=np.array([0.0, 0.0, lengths[0]]))
+    return builder.build()
+
+
+def serial_chain(n: int, seed: int = 0, link_length: float = 0.3) -> RobotModel:
+    """An n-link serial arm with deterministic random (valid) inertias and
+    alternating z/y joint axes — the generic fixed-base test robot."""
+    rng = np.random.default_rng(seed)
+    builder = RobotBuilder(f"chain{n}")
+    parent = None
+    for i in range(n):
+        axis = Z_AXIS if i % 2 == 0 else Y_AXIS
+        name = f"link{i}"
+        builder.add_link(
+            name, parent, RevoluteJoint(axis), random_inertia(rng),
+            translation=None if parent is None else np.array([0.0, 0.0, link_length]),
+        )
+        parent = name
+    return builder.build()
+
+
+def random_tree(nb: int, seed: int = 0, floating: bool = False) -> RobotModel:
+    """A random topology tree with valid inertias (property-test robot)."""
+    rng = np.random.default_rng(seed)
+    builder = RobotBuilder(f"tree{nb}-{seed}")
+    names: list[str] = []
+    for i in range(nb):
+        name = f"n{i}"
+        if i == 0:
+            parent = None
+            joint = FloatingJoint() if floating else RevoluteJoint(Z_AXIS)
+        else:
+            parent = names[int(rng.integers(0, i))]
+            axis = [X_AXIS, Y_AXIS, Z_AXIS][int(rng.integers(0, 3))]
+            joint = RevoluteJoint(axis)
+        builder.add_link(
+            name, parent, joint, random_inertia(rng),
+            translation=rng.uniform(-0.3, 0.3, size=3) if parent else None,
+        )
+        names.append(name)
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Paper evaluation robots
+# ----------------------------------------------------------------------
+
+
+def iiwa() -> RobotModel:
+    """KUKA LBR iiwa: 7-DOF serial arm, fixed base (NB=7, N=7)."""
+    masses = [4.0, 4.0, 3.0, 2.7, 1.7, 1.8, 0.3]
+    offsets = [0.1575, 0.2025, 0.2045, 0.2155, 0.1845, 0.2155, 0.081]
+    axes = [Z_AXIS, Y_AXIS, Z_AXIS, -Y_AXIS, Z_AXIS, Y_AXIS, Z_AXIS]
+    builder = RobotBuilder("iiwa")
+    parent = None
+    for i in range(7):
+        name = f"link{i + 1}"
+        builder.add_link(
+            name, parent, RevoluteJoint(axes[i]),
+            rod_inertia(masses[i], offsets[i], radius=0.06),
+            translation=None if parent is None
+            else np.array([0.0, 0.0, offsets[i - 1]]),
+        )
+        parent = name
+    return builder.build()
+
+
+def _add_leg(builder: RobotBuilder, body: str, prefix: str,
+             hip_position: np.ndarray, masses: tuple[float, float, float],
+             segment: float, mirror: float) -> None:
+    """One 3-DOF leg: hip abduction (x), hip flexion (y), knee (y)."""
+    builder.add_link(
+        f"{prefix}_haa", body, RevoluteJoint(X_AXIS * mirror),
+        rod_inertia(masses[0], 0.08, radius=0.05, axis=X_AXIS),
+        translation=hip_position,
+    )
+    builder.add_link(
+        f"{prefix}_hfe", f"{prefix}_haa", RevoluteJoint(Y_AXIS),
+        rod_inertia(masses[1], segment, radius=0.04, axis=-Z_AXIS),
+        translation=np.array([0.0, mirror * 0.08, 0.0]),
+    )
+    builder.add_link(
+        f"{prefix}_kfe", f"{prefix}_hfe", RevoluteJoint(Y_AXIS),
+        rod_inertia(masses[2], segment, radius=0.03, axis=-Z_AXIS),
+        translation=np.array([0.0, 0.0, -segment]),
+    )
+
+
+def hyq() -> RobotModel:
+    """HyQ: floating base + four 3-DOF legs (NB=13, N=18)."""
+    builder = RobotBuilder("hyq")
+    builder.add_link("trunk", None, FloatingJoint(),
+                     box_inertia(60.0, np.array([1.0, 0.45, 0.25])))
+    leg_masses = (2.9, 4.0, 1.2)
+    for prefix, sx, sy in (("lf", 1, 1), ("rf", 1, -1),
+                           ("lh", -1, 1), ("rh", -1, -1)):
+        hip = np.array([0.37 * sx, 0.21 * sy, 0.0])
+        _add_leg(builder, "trunk", prefix, hip, leg_masses, 0.35, float(sy))
+    return builder.build()
+
+
+def _add_arm(builder: RobotBuilder, base: str, prefix: str, n_joints: int,
+             masses: list[float], segment: float,
+             mount: np.ndarray) -> None:
+    """A serial arm with alternating z/y axes."""
+    parent = base
+    for i in range(n_joints):
+        axis = Z_AXIS if i % 2 == 0 else Y_AXIS
+        name = f"{prefix}{i + 1}"
+        builder.add_link(
+            name, parent, RevoluteJoint(axis),
+            rod_inertia(masses[i], segment, radius=0.04),
+            translation=mount if i == 0 else np.array([0.0, 0.0, segment]),
+        )
+        parent = name
+
+
+def quadruped_arm() -> RobotModel:
+    """The paper's Fig 3 robot: quadruped body + 4x3-DOF legs + 6-DOF arm.
+
+    NB = 19 links, N = 24 DOF (including the 6-DOF floating base), exactly
+    the configuration Section V-B sizes the architecture for.
+    """
+    builder = RobotBuilder("quadruped_arm")
+    builder.add_link("body", None, FloatingJoint(),
+                     box_inertia(20.0, np.array([0.7, 0.35, 0.2])))
+    leg_masses = (2.0, 1.5, 0.8)
+    for prefix, sx, sy in (("leg1", 1, 1), ("leg2", 1, -1),
+                           ("leg3", -1, 1), ("leg4", -1, -1)):
+        hip = np.array([0.28 * sx, 0.17 * sy, 0.0])
+        _add_leg(builder, "body", prefix, hip, leg_masses, 0.28, float(sy))
+    _add_arm(builder, "body", "arm", 6,
+             [2.5, 2.0, 1.5, 1.0, 0.7, 0.4], 0.25,
+             np.array([0.3, 0.0, 0.12]))
+    return builder.build()
+
+
+def spot_arm() -> RobotModel:
+    """Spot-arm (Fig 11b): same topology class as :func:`quadruped_arm`
+    with Spot-like parameters."""
+    builder = RobotBuilder("spot_arm")
+    builder.add_link("body", None, FloatingJoint(),
+                     box_inertia(27.0, np.array([0.85, 0.24, 0.18])))
+    leg_masses = (1.9, 2.3, 0.9)
+    for prefix, sx, sy in (("fl", 1, 1), ("fr", 1, -1),
+                           ("hl", -1, 1), ("hr", -1, -1)):
+        hip = np.array([0.29 * sx, 0.11 * sy, 0.0])
+        _add_leg(builder, "body", prefix, hip, leg_masses, 0.32, float(sy))
+    _add_arm(builder, "body", "arm", 6,
+             [2.0, 1.6, 1.2, 0.9, 0.6, 0.35], 0.22,
+             np.array([0.29, 0.0, 0.1]))
+    return builder.build()
+
+
+def atlas() -> RobotModel:
+    """Atlas humanoid (Fig 11c): floating pelvis, 3-joint torso chain, head,
+    two 7-DOF arms off the torso, two 6-DOF legs off the pelvis.
+
+    NB = 31, N = 36.  With the pelvis as root the tree depth is 11
+    (pelvis + 3 torso + 7 arm); re-rooting at torso2 balances it to 9 —
+    the paper's Fig 11c optimization (see ``topology.reroot``).
+    """
+    builder = RobotBuilder("atlas")
+    builder.add_link("pelvis", None, FloatingJoint(),
+                     box_inertia(18.0, np.array([0.35, 0.3, 0.2])))
+    torso_axes = [Z_AXIS, Y_AXIS, X_AXIS]
+    torso_masses = [6.0, 7.0, 14.0]
+    parent = "pelvis"
+    for i, name in enumerate(("torso1", "torso2", "torso3")):
+        builder.add_link(
+            name, parent, RevoluteJoint(torso_axes[i]),
+            box_inertia(torso_masses[i], np.array([0.25, 0.3, 0.15])),
+            translation=np.array([0.0, 0.0, 0.12]),
+        )
+        parent = name
+    builder.add_link("head", "torso3", RevoluteJoint(Y_AXIS),
+                     box_inertia(1.5, np.array([0.15, 0.15, 0.2])),
+                     translation=np.array([0.0, 0.0, 0.35]))
+    arm_masses = [3.5, 3.0, 2.5, 2.0, 1.5, 1.0, 0.5]
+    for prefix, sy in (("l_arm", 1.0), ("r_arm", -1.0)):
+        _add_arm(builder, "torso3", prefix, 7, arm_masses, 0.2,
+                 np.array([0.0, sy * 0.25, 0.25]))
+    leg_masses = [5.0, 4.0, 4.5, 3.5, 2.0, 1.5]
+    leg_axes = [Z_AXIS, X_AXIS, Y_AXIS, Y_AXIS, Y_AXIS, X_AXIS]
+    for prefix, sy in (("l_leg", 1.0), ("r_leg", -1.0)):
+        parent = "pelvis"
+        for i in range(6):
+            name = f"{prefix}{i + 1}"
+            builder.add_link(
+                name, parent, RevoluteJoint(leg_axes[i]),
+                rod_inertia(leg_masses[i], 0.3, radius=0.06, axis=-Z_AXIS),
+                translation=np.array([0.0, sy * 0.12, -0.05]) if i == 0
+                else np.array([0.0, 0.0, -0.3]),
+            )
+            parent = name
+    return builder.build()
+
+
+def tiago() -> RobotModel:
+    """Tiago (Fig 11a): 3-DOF mobile base + 7-DOF arm, linear topology.
+
+    The planar base is modelled as prismatic(x) + prismatic(y) + revolute(z)
+    with massless intermediate links (constant motion subspaces; see
+    ``repro.model.joints`` docstring); NB = 10, N = 10.
+    """
+    builder = RobotBuilder("tiago")
+    builder.add_link("base_x", None, PrismaticJoint(X_AXIS),
+                     SpatialInertia.zero())
+    builder.add_link("base_y", "base_x", PrismaticJoint(Y_AXIS),
+                     SpatialInertia.zero())
+    builder.add_link("base", "base_y", RevoluteJoint(Z_AXIS),
+                     box_inertia(30.0, np.array([0.5, 0.5, 0.3])))
+    _add_arm(builder, "base", "arm", 7,
+             [2.8, 2.6, 2.2, 1.8, 1.3, 0.9, 0.4], 0.2,
+             np.array([0.1, 0.0, 0.6]))
+    return builder.build()
+
+
+#: Name -> constructor for every predefined robot (CLI/bench convenience).
+ROBOT_REGISTRY = {
+    "pendulum": pendulum,
+    "double_pendulum": double_pendulum,
+    "iiwa": iiwa,
+    "hyq": hyq,
+    "atlas": atlas,
+    "quadruped_arm": quadruped_arm,
+    "spot_arm": spot_arm,
+    "tiago": tiago,
+}
+
+
+def load_robot(name: str) -> RobotModel:
+    """Instantiate a predefined robot by name."""
+    try:
+        return ROBOT_REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(ROBOT_REGISTRY))
+        raise KeyError(f"unknown robot {name!r}; known robots: {known}") from None

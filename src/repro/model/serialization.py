@@ -1,0 +1,138 @@
+"""Robot model serialization (JSON-compatible dictionaries).
+
+Lets users define robots in plain data files instead of Python (the role
+URDF plays for the original system) and round-trips every joint type in
+this package.  See ``RobotModel`` docs for the tree conventions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.joints import (
+    CylindricalJoint,
+    FloatingJoint,
+    HelicalJoint,
+    Joint,
+    PrismaticJoint,
+    RevoluteJoint,
+    ScrewJoint,
+    SphericalJoint,
+    Translation3Joint,
+)
+from repro.model.link import Link
+from repro.model.robot import RobotModel
+from repro.spatial.inertia import SpatialInertia
+
+_SIMPLE_JOINTS = {
+    "spherical": SphericalJoint,
+    "translation3": Translation3Joint,
+    "floating": FloatingJoint,
+}
+
+
+def joint_to_dict(joint: Joint) -> dict:
+    """Serialize one joint."""
+    if isinstance(joint, RevoluteJoint):
+        return {"type": "revolute", "axis": joint.axis.tolist()}
+    if isinstance(joint, PrismaticJoint):
+        return {"type": "prismatic", "axis": joint.axis.tolist()}
+    if isinstance(joint, HelicalJoint):
+        return {
+            "type": "helical",
+            "axis": joint.axis.tolist(),
+            "pitch": joint.pitch,
+        }
+    if isinstance(joint, CylindricalJoint):
+        return {"type": "cylindrical", "axis": joint.axis.tolist()}
+    if isinstance(joint, ScrewJoint):
+        return {"type": "screw", "screw": joint.screw.tolist()}
+    for name, cls in _SIMPLE_JOINTS.items():
+        if isinstance(joint, cls):
+            return {"type": name}
+    raise ModelError(f"cannot serialize joint type {joint.type_name}")
+
+
+def joint_from_dict(data: dict) -> Joint:
+    """Deserialize one joint."""
+    kind = data.get("type")
+    if kind == "revolute":
+        return RevoluteJoint(np.asarray(data["axis"], dtype=float))
+    if kind == "prismatic":
+        return PrismaticJoint(np.asarray(data["axis"], dtype=float))
+    if kind == "helical":
+        return HelicalJoint(
+            np.asarray(data["axis"], dtype=float), pitch=float(data["pitch"])
+        )
+    if kind == "cylindrical":
+        return CylindricalJoint(np.asarray(data["axis"], dtype=float))
+    if kind == "screw":
+        return ScrewJoint(np.asarray(data["screw"], dtype=float))
+    if kind in _SIMPLE_JOINTS:
+        return _SIMPLE_JOINTS[kind]()
+    raise ModelError(f"unknown joint type {kind!r}")
+
+
+def robot_to_dict(model: RobotModel) -> dict:
+    """Serialize a robot model to a JSON-compatible dict."""
+    links = []
+    for link in model.links:
+        links.append({
+            "name": link.name,
+            "parent": link.parent,
+            "joint": joint_to_dict(link.joint),
+            "inertia": {
+                "mass": link.inertia.mass,
+                "com": link.inertia.com.tolist(),
+                "inertia_com": link.inertia.inertia_com.tolist(),
+            },
+            "x_tree": np.asarray(link.x_tree).tolist(),
+        })
+    return {
+        "name": model.name,
+        "gravity": model.gravity.tolist(),
+        "links": links,
+    }
+
+
+def robot_from_dict(data: dict) -> RobotModel:
+    """Deserialize a robot model."""
+    links = []
+    for entry in data["links"]:
+        inertia_data = entry["inertia"]
+        if inertia_data["mass"] == 0.0:
+            inertia = SpatialInertia.zero()
+        else:
+            inertia = SpatialInertia(
+                mass=float(inertia_data["mass"]),
+                com=np.asarray(inertia_data["com"], dtype=float),
+                inertia_com=np.asarray(inertia_data["inertia_com"], dtype=float),
+            )
+        links.append(
+            Link(
+                name=entry["name"],
+                parent=int(entry["parent"]),
+                joint=joint_from_dict(entry["joint"]),
+                inertia=inertia,
+                x_tree=np.asarray(entry["x_tree"], dtype=float),
+            )
+        )
+    return RobotModel(
+        links,
+        name=data.get("name", "robot"),
+        gravity=np.asarray(data["gravity"], dtype=float),
+    )
+
+
+def save_robot(model: RobotModel, path: str | Path) -> None:
+    """Write a robot model to a JSON file."""
+    Path(path).write_text(json.dumps(robot_to_dict(model), indent=2))
+
+
+def load_robot_file(path: str | Path) -> RobotModel:
+    """Read a robot model from a JSON file."""
+    return robot_from_dict(json.loads(Path(path).read_text()))

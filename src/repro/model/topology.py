@@ -1,0 +1,356 @@
+"""Topology analysis and rewriting (Section V-C of the paper).
+
+Three capabilities live here:
+
+* **branch decomposition** — split the tree into the root segment plus
+  branch segments, the unit the Structure-Adaptive Pipelines organize
+  hardware around (Fig 11);
+* **symmetry detection** — find structurally-identical sibling branches that
+  one hardware branch array can serve by time-division multiplexing
+  (Spot's legs, Atlas's arms/legs);
+* **tree rewriting** — :func:`reroot` moves the floating base to an interior
+  link to reduce/balance tree depth (Atlas: 11 -> 9, Fig 11c), and
+  :func:`split_floating_base` replaces the 6-DOF virtual joint by
+  translation + spherical joints (Section V-C5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.joints import (
+    FloatingJoint,
+    Joint,
+    SphericalJoint,
+    Translation3Joint,
+    ScrewJoint,
+)
+from repro.model.link import Link
+from repro.model.robot import RobotModel
+from repro.spatial.inertia import SpatialInertia
+from repro.spatial.so3 import log_so3
+from repro.spatial.transforms import (
+    inverse_transform,
+    transform_rotation,
+    transform_translation,
+)
+
+
+# ----------------------------------------------------------------------
+# Branch decomposition
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Branch:
+    """A maximal unary chain of links (one pipeline branch array)."""
+
+    index: int
+    links: list[int]                 # ordered from shallowest to deepest
+    parent_branch: int | None        # branch holding this branch's parent link
+    is_root: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.links)
+
+
+@dataclass
+class BranchDecomposition:
+    """The SAP view of a robot: a root segment plus branch segments."""
+
+    model: RobotModel
+    branches: list[Branch] = field(default_factory=list)
+
+    @property
+    def root_branch(self) -> Branch:
+        return self.branches[0]
+
+    def branch_of_link(self, link: int) -> Branch:
+        for branch in self.branches:
+            if link in branch.links:
+                return branch
+        raise ModelError(f"link {link} not found in any branch")
+
+    def child_branches(self, branch: Branch) -> list[Branch]:
+        return [b for b in self.branches if b.parent_branch == branch.index]
+
+    def max_branch_depth(self) -> int:
+        """Tree depth counted in links (the paper's Fig 11c depth)."""
+        return self.model.max_depth()
+
+
+def decompose(model: RobotModel) -> BranchDecomposition:
+    """Split ``model`` into its root segment and branch segments.
+
+    A segment ends where a link has more than one child; each child then
+    starts a new branch.  The root segment is always branch 0.
+    """
+    decomposition = BranchDecomposition(model)
+    roots = [i for i in range(model.nb) if model.parent(i) < 0]
+    if len(roots) != 1:
+        raise ModelError("expected exactly one world-attached link")
+
+    def walk(start: int, parent_branch: int | None, is_root: bool) -> None:
+        links = [start]
+        current = start
+        while True:
+            kids = model.children(current)
+            if len(kids) == 1:
+                current = kids[0]
+                links.append(current)
+            else:
+                break
+        branch = Branch(
+            index=len(decomposition.branches),
+            links=links,
+            parent_branch=parent_branch,
+            is_root=is_root,
+        )
+        decomposition.branches.append(branch)
+        for kid in model.children(links[-1]):
+            walk(kid, branch.index, False)
+
+    walk(roots[0], None, True)
+    return decomposition
+
+
+# ----------------------------------------------------------------------
+# Symmetry detection
+# ----------------------------------------------------------------------
+
+
+def branch_signature(model: RobotModel, branch: Branch) -> tuple:
+    """Structural signature of a branch: joint types down the chain plus the
+    joint types of the whole subtree hanging below it.  Two branches with
+    equal signatures can share one hardware branch array (their parameters
+    may differ only in value/sign, which the paper's multiplexed arrays
+    handle)."""
+    return _chain_signature(model, branch)
+
+
+def symmetric_branch_groups(model: RobotModel) -> list[list[Branch]]:
+    """Group non-root branches by structural signature.
+
+    Returns groups sorted by (descending size, first link) so callers get a
+    stable ordering; singleton groups are included.
+    """
+    decomposition = decompose(model)
+    groups: dict[tuple, list[Branch]] = {}
+    for branch in decomposition.branches:
+        if branch.is_root:
+            continue
+        key = _chain_signature(model, branch)
+        groups.setdefault(key, []).append(branch)
+    ordered = sorted(
+        groups.values(), key=lambda g: (-len(g), g[0].links[0])
+    )
+    return ordered
+
+
+def _chain_signature(model: RobotModel, branch: Branch) -> tuple:
+    parts = tuple(model.joint(link).structural_signature() for link in branch.links)
+    # Branches are only mergeable when their whole subtrees match; encode
+    # the subtree shape (sizes + joint types below the chain tip).
+    tip = branch.links[-1]
+    below = tuple(
+        model.joint(j).structural_signature() for j in model.subtree_strict(tip)
+    )
+    return parts, below
+
+
+# ----------------------------------------------------------------------
+# Re-rooting (Fig 11c)
+# ----------------------------------------------------------------------
+
+
+def _reverse_joint(joint: Joint, x_tree: np.ndarray) -> Joint:
+    """The joint seen from the other side of the edge.
+
+    For a 1-DOF joint with ``X_J(q) = exp(-crm(S) q)`` the reversed edge has
+    ``X_J'(q) = exp(-crm(S') q)`` with ``S' = -(x_tree^{-1} S)`` (conjugating
+    the screw by the fixed placement); the coordinate value q is preserved.
+    """
+    if joint.nv != 1:
+        raise ModelError(
+            f"cannot reverse a {joint.type_name}: only 1-DOF joints are "
+            "supported on a re-rooting path"
+        )
+    s = joint.motion_subspace()[:, 0]
+    s_new = -(inverse_transform(x_tree) @ s)
+    return ScrewJoint(s_new)
+
+
+def reroot(model: RobotModel, new_root: str | int) -> RobotModel:
+    """Move the floating base to ``new_root`` (a link name or index).
+
+    The robot's physical structure is unchanged; only the virtual 6-DOF
+    joint's attachment moves and the edges on the old-root -> new-root path
+    are reversed (becoming :class:`ScrewJoint`).  Use
+    :func:`map_state_to_rerooted` to translate configurations.
+    """
+    root_index = model.link_index(new_root) if isinstance(new_root, str) else new_root
+    if not isinstance(model.joint(0), FloatingJoint):
+        raise ModelError("reroot requires a floating-base robot (link 0)")
+    if root_index == 0:
+        return model
+
+    # Path from old root to new root.
+    path = model.ancestors(root_index) + [root_index]
+    if path[0] != 0:
+        raise ModelError("new root must be connected to the floating base")
+
+    # New parent map: reverse edges along the path, keep everything else.
+    new_parent: dict[int, int] = {}
+    new_joint: dict[int, Joint] = {}
+    new_x_tree: dict[int, np.ndarray] = {}
+    for i in range(model.nb):
+        new_parent[i] = model.parent(i)
+        new_joint[i] = model.joint(i)
+        new_x_tree[i] = model.links[i].x_tree
+    # The new root carries the floating joint, attached to the world.
+    new_parent[root_index] = -1
+    new_joint[root_index] = FloatingJoint()
+    new_x_tree[root_index] = np.eye(6)
+    # Reverse each edge on the path: child becomes the parent.
+    for parent_link, child_link in zip(path[:-1], path[1:]):
+        original = model.links[child_link]
+        new_parent[parent_link] = child_link
+        new_joint[parent_link] = _reverse_joint(original.joint, original.x_tree)
+        new_x_tree[parent_link] = inverse_transform(original.x_tree)
+
+    # Renumber with a DFS from the new root so parents precede children.
+    order: list[int] = []
+
+    def visit(i: int) -> None:
+        order.append(i)
+        kids = [j for j in range(model.nb) if new_parent[j] == i]
+        for j in sorted(kids):
+            visit(j)
+
+    visit(root_index)
+    renumber = {old: new for new, old in enumerate(order)}
+    links: list[Link] = []
+    for old in order:
+        parent_old = new_parent[old]
+        links.append(
+            Link(
+                name=model.links[old].name,
+                parent=-1 if parent_old < 0 else renumber[parent_old],
+                joint=new_joint[old],
+                inertia=model.links[old].inertia,
+                x_tree=new_x_tree[old],
+            )
+        )
+    return RobotModel(links, name=f"{model.name}@{model.links[root_index].name}",
+                      gravity=model.gravity)
+
+
+def map_state_to_rerooted(
+    original: RobotModel,
+    rerooted: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Translate (q, qd) of ``original`` into the rerooted coordinates.
+
+    Uses forward kinematics to place the new base, keeps 1-DOF coordinates
+    (reversed edges preserve their q), and maps the base twist.
+    """
+    from repro.dynamics.kinematics import forward_kinematics
+
+    fk = forward_kinematics(original, q, qd)
+    q_new = np.zeros(rerooted.nv)
+    qd_new = np.zeros(rerooted.nv)
+    for new_index in range(rerooted.nb):
+        name = rerooted.links[new_index].name
+        old_index = original.link_index(name)
+        sl_new = rerooted.dof_slice(new_index)
+        if isinstance(rerooted.joint(new_index), FloatingJoint):
+            x_world = fk.world_transforms[old_index]  # ^iX_0
+            e = transform_rotation(x_world)
+            r = transform_translation(x_world)
+            q_new[sl_new] = np.concatenate([log_so3(e.T), r])
+            qd_new[sl_new] = fk.velocities[old_index]
+        else:
+            # Reversed or untouched joints keep their original coordinates;
+            # a reversed edge stores the q of the link that owned the joint
+            # before (its old child).  The edge (parent, link) is reversed
+            # exactly when the original tree had it the other way around.
+            owner = old_index
+            if rerooted.parent(new_index) >= 0:
+                parent_name = rerooted.links[rerooted.parent(new_index)].name
+                old_parent = original.link_index(parent_name)
+                if original.parent(old_parent) == old_index:
+                    owner = old_parent
+            sl_old = original.dof_slice(owner)
+            q_new[sl_new] = q[sl_old]
+            qd_new[sl_new] = qd[sl_old]
+    return q_new, qd_new
+
+
+# ----------------------------------------------------------------------
+# Floating-base splitting (Section V-C5)
+# ----------------------------------------------------------------------
+
+
+def split_floating_base(model: RobotModel) -> RobotModel:
+    """Replace the floating 6-DOF root joint by translation3 + spherical.
+
+    The paper does this to halve the root submodule's complexity.  The
+    translation link is massless; the spherical link keeps the base inertia.
+    """
+    if not isinstance(model.joint(0), FloatingJoint):
+        raise ModelError("split_floating_base requires a floating-base robot")
+    base = model.links[0]
+    links: list[Link] = [
+        Link(
+            name=f"{base.name}_trans",
+            parent=-1,
+            joint=Translation3Joint(),
+            inertia=SpatialInertia.zero(),
+            x_tree=base.x_tree,
+        ),
+        Link(
+            name=base.name,
+            parent=0,
+            joint=SphericalJoint(),
+            inertia=base.inertia,
+            x_tree=np.eye(6),
+        ),
+    ]
+    for i in range(1, model.nb):
+        old = model.links[i]
+        links.append(
+            Link(
+                name=old.name,
+                parent=old.parent + 1,
+                joint=old.joint,
+                inertia=old.inertia,
+                x_tree=old.x_tree,
+            )
+        )
+    return RobotModel(links, name=f"{model.name}-split", gravity=model.gravity)
+
+
+def map_state_to_split(
+    original: RobotModel,
+    split: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Translate floating-base (q, qd) into split translation+spherical
+    coordinates."""
+    from repro.spatial.so3 import exp_so3
+
+    rv, p = q[:3], q[3:6]
+    w, v = qd[:3], qd[3:6]
+    rot_world = exp_so3(rv)  # base axes in world
+    q_new = np.concatenate([p, rv, q[6:]])
+    # Translation joint velocity is expressed before the rotation: the
+    # translation link frame stays world-aligned, so qd_t = R @ v.
+    qd_new = np.concatenate([rot_world @ v, w, qd[6:]])
+    return q_new, qd_new

@@ -1,0 +1,65 @@
+"""Small table formatter for the benchmark harness.
+
+Every bench prints a paper-vs-measured table through this module so the
+output that lands in ``bench_output.txt`` / EXPERIMENTS.md has one format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A fixed-width text table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        cells = [[format_value(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells))
+            if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "  "
+        header = sep.join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-" * len(header)
+        lines = [f"== {self.title} ==", header, rule]
+        for row in cells:
+            lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def ratio_line(name: str, measured: float, paper: float) -> str:
+    """One-line paper-vs-measured comparison."""
+    agreement = measured / paper if paper else float("nan")
+    return (
+        f"{name}: measured {format_value(measured)} "
+        f"vs paper {format_value(paper)} (x{agreement:.2f})"
+    )

@@ -1,0 +1,57 @@
+"""Featherstone spatial (6D) vector algebra substrate."""
+
+from repro.spatial.inertia import SpatialInertia
+from repro.spatial.motion import (
+    crf,
+    crf_bar,
+    crm,
+    cross_force,
+    cross_motion,
+)
+from repro.spatial.so3 import (
+    exp_so3,
+    is_rotation,
+    log_so3,
+    rot_axis,
+    rotx,
+    roty,
+    rotz,
+    skew,
+    unskew,
+)
+from repro.spatial.transforms import (
+    force_transform,
+    inverse_transform,
+    is_spatial_transform,
+    rot,
+    spatial_transform,
+    transform_rotation,
+    transform_translation,
+    xlt,
+)
+
+__all__ = [
+    "SpatialInertia",
+    "crf",
+    "crf_bar",
+    "crm",
+    "cross_force",
+    "cross_motion",
+    "exp_so3",
+    "force_transform",
+    "inverse_transform",
+    "is_rotation",
+    "is_spatial_transform",
+    "log_so3",
+    "rot",
+    "rot_axis",
+    "rotx",
+    "roty",
+    "rotz",
+    "skew",
+    "spatial_transform",
+    "transform_rotation",
+    "transform_translation",
+    "unskew",
+    "xlt",
+]

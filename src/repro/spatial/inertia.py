@@ -1,0 +1,109 @@
+"""Spatial (6x6) rigid-body inertia.
+
+A spatial inertia collects mass ``m``, centre of mass ``c`` and the 3x3
+rotational inertia about the centre of mass ``I_c`` into::
+
+    I = [[I_c + m * skew(c) @ skew(c).T, m * skew(c)],
+         [m * skew(c).T,                 m * eye(3) ]]
+
+so that the kinetic energy of a body moving with spatial velocity ``v`` is
+``0.5 * v.T @ I @ v``.  Inertias transform between frames with
+``I_B = X.T @ I_A @ X`` when ``X = ^AX_B`` maps motions B->A — equivalently
+the parent-accumulation step of the paper's Algorithm 2 (line 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.spatial.so3 import skew
+
+
+@dataclass(frozen=True)
+class SpatialInertia:
+    """Immutable spatial inertia of one rigid body, in its link frame."""
+
+    mass: float
+    com: np.ndarray            # centre of mass, link frame
+    inertia_com: np.ndarray    # 3x3 rotational inertia about the com
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "com", np.asarray(self.com, dtype=float))
+        object.__setattr__(
+            self, "inertia_com", np.asarray(self.inertia_com, dtype=float)
+        )
+        if self.com.shape != (3,):
+            raise ModelError(f"com must be a 3-vector, got {self.com.shape}")
+        if self.inertia_com.shape != (3, 3):
+            raise ModelError(
+                f"inertia_com must be 3x3, got {self.inertia_com.shape}"
+            )
+
+    @staticmethod
+    def from_matrix(matrix: np.ndarray) -> "SpatialInertia":
+        """Recover (mass, com, I_c) from a 6x6 spatial inertia matrix."""
+        matrix = np.asarray(matrix, dtype=float)
+        mass = float(matrix[3, 3])
+        if mass <= 0.0:
+            raise ModelError(f"spatial inertia has non-positive mass {mass}")
+        mc = matrix[:3, 3:]
+        com = np.array([mc[2, 1], mc[0, 2], mc[1, 0]]) / mass
+        sc = skew(com)
+        inertia_com = matrix[:3, :3] - mass * (sc @ sc.T)
+        return SpatialInertia(mass, com, inertia_com)
+
+    @staticmethod
+    def zero() -> "SpatialInertia":
+        """A massless placeholder body (used for composite-joint dummy links).
+
+        Note: a tree may contain massless intermediate links as long as every
+        leaf subtree has positive total mass; validity is checked at the
+        robot-model level, not here (hence mass 0 is allowed).
+        """
+        inertia = SpatialInertia.__new__(SpatialInertia)
+        object.__setattr__(inertia, "mass", 0.0)
+        object.__setattr__(inertia, "com", np.zeros(3))
+        object.__setattr__(inertia, "inertia_com", np.zeros((3, 3)))
+        return inertia
+
+    def matrix(self) -> np.ndarray:
+        """The 6x6 spatial inertia matrix."""
+        sc = skew(self.com)
+        out = np.zeros((6, 6))
+        out[:3, :3] = self.inertia_com + self.mass * (sc @ sc.T)
+        out[:3, 3:] = self.mass * sc
+        out[3:, :3] = self.mass * sc.T
+        out[3:, 3:] = self.mass * np.eye(3)
+        return out
+
+    def is_physical(self, tol: float = 1e-9) -> bool:
+        """True when mass > 0, I_c is symmetric PD and satisfies the
+        triangle inequality on its principal moments."""
+        if self.mass <= 0.0:
+            return False
+        ic = self.inertia_com
+        if not np.allclose(ic, ic.T, atol=tol):
+            return False
+        eigs = np.linalg.eigvalsh((ic + ic.T) / 2.0)
+        if np.any(eigs <= tol):
+            return False
+        a, b, c = np.sort(eigs)
+        return bool(a + b >= c - tol)
+
+    def transform(self, x: np.ndarray) -> "SpatialInertia":
+        """Re-express this inertia in frame B where ``x = ^BX_A`` and the
+        inertia is currently in A coordinates: ``I_B = X^{-T} I_A X^{-1}``."""
+        from repro.spatial.transforms import inverse_transform
+
+        xinv = inverse_transform(x)
+        return SpatialInertia.from_matrix(xinv.T @ self.matrix() @ xinv)
+
+    def __add__(self, other: "SpatialInertia") -> "SpatialInertia":
+        total = self.matrix() + other.matrix()
+        mass = self.mass + other.mass
+        if mass <= 0.0:
+            return SpatialInertia.zero()
+        return SpatialInertia.from_matrix(total)

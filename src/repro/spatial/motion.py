@@ -1,0 +1,70 @@
+"""Spatial (6D) cross-product operators.
+
+Motion vectors are ``[w; v]`` (angular on top), force vectors are ``[n; f]``
+(couple on top).  ``crm(v)`` is the motion-cross operator (``v x m``) and
+``crf(v) = -crm(v).T`` is the force-cross operator (``v x* f``), following
+Featherstone's notation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spatial.so3 import skew
+
+
+def crm(v: np.ndarray) -> np.ndarray:
+    """6x6 motion cross-product operator: ``crm(v) @ m == v x m``."""
+    v = np.asarray(v, dtype=float)
+    sw = skew(v[:3])
+    sv = skew(v[3:])
+    out = np.zeros((6, 6))
+    out[:3, :3] = sw
+    out[3:, :3] = sv
+    out[3:, 3:] = sw
+    return out
+
+
+def crf(v: np.ndarray) -> np.ndarray:
+    """6x6 force cross-product operator: ``crf(v) @ f == v x* f == -crm(v).T @ f``."""
+    return -crm(v).T
+
+
+def cross_motion(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a x b`` for motion vectors, without building the 6x6 operator."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    w, v = a[:3], a[3:]
+    top = np.cross(w, b[:3])
+    bottom = np.cross(v, b[:3]) + np.cross(w, b[3:])
+    return np.concatenate([top, bottom])
+
+
+def cross_force(a: np.ndarray, f: np.ndarray) -> np.ndarray:
+    """``a x* f`` for a motion vector ``a`` acting on a force vector ``f``."""
+    a = np.asarray(a, dtype=float)
+    f = np.asarray(f, dtype=float)
+    w, v = a[:3], a[3:]
+    top = np.cross(w, f[:3]) + np.cross(v, f[3:])
+    bottom = np.cross(w, f[3:])
+    return np.concatenate([top, bottom])
+
+
+def crf_bar(f: np.ndarray) -> np.ndarray:
+    """Operator with ``crf_bar(f) @ a == a x* f`` (swaps the arguments of crf).
+
+    Used by the analytical derivatives: the term ``(d_u v) x* (I v)`` becomes
+    ``crf_bar(I v) @ d_u v`` so a whole derivative matrix can be multiplied at
+    once.  For ``f = [n; g]``::
+
+        crf_bar(f) = -[[skew(n), skew(g)],
+                       [skew(g), 0      ]]
+    """
+    f = np.asarray(f, dtype=float)
+    sn = skew(f[:3])
+    sg = skew(f[3:])
+    out = np.zeros((6, 6))
+    out[:3, :3] = -sn
+    out[:3, 3:] = -sg
+    out[3:, :3] = -sg
+    return out

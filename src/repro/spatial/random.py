@@ -1,0 +1,52 @@
+"""Random generators for spatial quantities (tests, synthetic robots)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spatial.inertia import SpatialInertia
+from repro.spatial.so3 import exp_so3
+
+
+def random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """A uniformly-ish random rotation matrix (exp of a random axis-angle)."""
+    w = rng.normal(size=3)
+    norm = np.linalg.norm(w)
+    if norm < 1e-12:
+        return np.eye(3)
+    angle = rng.uniform(0.0, np.pi * 0.99)
+    return exp_so3(w / norm * angle)
+
+
+def random_inertia(
+    rng: np.random.Generator,
+    mass_range: tuple[float, float] = (0.2, 8.0),
+    com_scale: float = 0.15,
+) -> SpatialInertia:
+    """A physically-valid random spatial inertia.
+
+    Principal moments are drawn so the triangle inequality holds, then
+    rotated by a random orientation; the com offset stays small relative to
+    typical link lengths so the resulting dynamics are well conditioned.
+    """
+    mass = float(rng.uniform(*mass_range))
+    # Draw two principal moments, bound the third by the triangle inequality.
+    a = float(rng.uniform(0.3, 1.0))
+    b = float(rng.uniform(0.3, 1.0))
+    c = float(rng.uniform(abs(a - b) + 0.05, a + b - 0.05))
+    scale = mass * 0.01
+    principal = np.diag([a, b, c]) * scale
+    r = random_rotation(rng)
+    inertia_com = r @ principal @ r.T
+    com = rng.normal(scale=com_scale, size=3)
+    return SpatialInertia(mass, com, inertia_com)
+
+
+def random_motion_vector(rng: np.random.Generator, scale: float = 1.0) -> np.ndarray:
+    """A random 6D motion vector."""
+    return rng.normal(scale=scale, size=6)
+
+
+def random_force_vector(rng: np.random.Generator, scale: float = 1.0) -> np.ndarray:
+    """A random 6D force vector."""
+    return rng.normal(scale=scale, size=6)

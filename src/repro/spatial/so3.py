@@ -1,0 +1,109 @@
+"""Rotation (SO3) utilities used by the spatial algebra layer.
+
+Conventions follow Featherstone, *Rigid Body Dynamics Algorithms* (2008):
+a coordinate-transform matrix ``E`` maps vector coordinates from frame A to
+frame B where B is rotated relative to A, i.e. ``v_B = E @ v_A``.  For a
+frame rotated by ``theta`` about the z axis this is ``rotz(theta) ==
+Rz(theta).T`` where ``Rz`` is the usual rotation matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def skew(v: np.ndarray) -> np.ndarray:
+    """Return the 3x3 skew-symmetric matrix such that ``skew(v) @ u == v x u``."""
+    v = np.asarray(v, dtype=float)
+    return np.array(
+        [
+            [0.0, -v[2], v[1]],
+            [v[2], 0.0, -v[0]],
+            [-v[1], v[0], 0.0],
+        ]
+    )
+
+
+def unskew(m: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`skew`; extracts the vector of a skew-symmetric matrix."""
+    return np.array([m[2, 1], m[0, 2], m[1, 0]])
+
+
+def exp_so3(w: np.ndarray) -> np.ndarray:
+    """Rodrigues formula: the rotation matrix ``R = exp(skew(w))``.
+
+    ``R`` rotates vectors by angle ``|w|`` about axis ``w/|w|``.
+    """
+    w = np.asarray(w, dtype=float)
+    theta = float(np.linalg.norm(w))
+    if theta < _EPS:
+        # Second-order series keeps exp/log round trips accurate near zero.
+        k = skew(w)
+        return np.eye(3) + k + 0.5 * (k @ k)
+    axis = w / theta
+    k = skew(axis)
+    s, c = np.sin(theta), np.cos(theta)
+    return np.eye(3) + s * k + (1.0 - c) * (k @ k)
+
+
+def log_so3(r: np.ndarray) -> np.ndarray:
+    """Rotation vector ``w`` with ``exp_so3(w) == r`` and ``|w| <= pi``."""
+    r = np.asarray(r, dtype=float)
+    trace = float(np.trace(r))
+    cos_theta = np.clip((trace - 1.0) / 2.0, -1.0, 1.0)
+    theta = float(np.arccos(cos_theta))
+    if theta < 1e-10:
+        return unskew(r - r.T) / 2.0
+    if np.pi - theta < 1e-6:
+        # Near pi the antisymmetric part vanishes; recover the axis from the
+        # symmetric part r ~ 2*axis*axis^T - I.
+        diag = np.clip((np.diag(r) + 1.0) / 2.0, 0.0, None)
+        axis = np.sqrt(diag)
+        # Fix the signs using the off-diagonal terms relative to the largest
+        # component (which is safely non-zero at theta ~ pi).
+        k = int(np.argmax(axis))
+        for j in range(3):
+            if j != k and r[k, j] + r[j, k] < 0:
+                axis[j] = -axis[j]
+        axis /= max(np.linalg.norm(axis), _EPS)
+        return theta * axis
+    return theta / (2.0 * np.sin(theta)) * unskew(r - r.T)
+
+
+def rotx(theta: float) -> np.ndarray:
+    """Coordinate transform for a frame rotated by ``theta`` about x."""
+    c, s = np.cos(theta), np.sin(theta)
+    return np.array([[1.0, 0.0, 0.0], [0.0, c, s], [0.0, -s, c]])
+
+
+def roty(theta: float) -> np.ndarray:
+    """Coordinate transform for a frame rotated by ``theta`` about y."""
+    c, s = np.cos(theta), np.sin(theta)
+    return np.array([[c, 0.0, -s], [0.0, 1.0, 0.0], [s, 0.0, c]])
+
+
+def rotz(theta: float) -> np.ndarray:
+    """Coordinate transform for a frame rotated by ``theta`` about z."""
+    c, s = np.cos(theta), np.sin(theta)
+    return np.array([[c, s, 0.0], [-s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+def rot_axis(axis: np.ndarray, theta: float) -> np.ndarray:
+    """Coordinate transform for a frame rotated by ``theta`` about ``axis``.
+
+    Equals ``exp_so3(axis * theta).T`` for a unit axis, i.e. the transpose of
+    the rotation matrix, matching the ``v_B = E @ v_A`` convention.
+    """
+    return exp_so3(np.asarray(axis, dtype=float) * theta).T
+
+
+def is_rotation(r: np.ndarray, tol: float = 1e-9) -> bool:
+    """True when ``r`` is orthonormal with determinant +1."""
+    r = np.asarray(r, dtype=float)
+    if r.shape != (3, 3):
+        return False
+    if not np.allclose(r @ r.T, np.eye(3), atol=tol):
+        return False
+    return bool(abs(np.linalg.det(r) - 1.0) < tol)

@@ -1,0 +1,101 @@
+"""Plücker spatial transforms.
+
+A spatial (motion) transform ``X = ^BX_A`` maps motion-vector coordinates
+from frame A to frame B::
+
+    X = rot(E) @ xlt(r) = [[E, 0], [-E @ skew(r), E]]
+
+where ``E`` is the A-to-B rotation and ``r`` the position of B's origin
+expressed in A coordinates.  Force vectors transform with ``X^{-T}``; in
+particular the force transform back to the parent used throughout the paper
+is simply ``X.T`` (Algorithm 1, line 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spatial.so3 import skew
+
+
+def rot(e: np.ndarray) -> np.ndarray:
+    """Spatial transform for a pure rotation ``E``."""
+    e = np.asarray(e, dtype=float)
+    out = np.zeros((6, 6))
+    out[:3, :3] = e
+    out[3:, 3:] = e
+    return out
+
+
+def xlt(r: np.ndarray) -> np.ndarray:
+    """Spatial transform for a pure translation by ``r`` (in A coordinates)."""
+    out = np.eye(6)
+    out[3:, :3] = -skew(r)
+    return out
+
+
+def spatial_transform(e: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """``rot(e) @ xlt(r)`` built directly (no 6x6 multiply)."""
+    e = np.asarray(e, dtype=float)
+    out = np.zeros((6, 6))
+    out[:3, :3] = e
+    out[3:, :3] = -e @ skew(r)
+    out[3:, 3:] = e
+    return out
+
+
+def transform_rotation(x: np.ndarray) -> np.ndarray:
+    """Extract the rotation block ``E`` from a spatial transform."""
+    return np.asarray(x)[:3, :3]
+
+
+def transform_translation(x: np.ndarray) -> np.ndarray:
+    """Extract the translation ``r`` (B origin in A coordinates)."""
+    x = np.asarray(x)
+    m = x[:3, :3].T @ x[3:, :3]  # equals -skew(r)
+    return -np.array([m[2, 1], m[0, 2], m[1, 0]])
+
+
+def inverse_transform(x: np.ndarray) -> np.ndarray:
+    """Inverse of a Plücker motion transform, computed blockwise."""
+    x = np.asarray(x, dtype=float)
+    e = x[:3, :3]
+    b = x[3:, :3]
+    out = np.zeros((6, 6))
+    out[:3, :3] = e.T
+    out[3:, :3] = b.T
+    out[3:, 3:] = e.T
+    return out
+
+
+def force_transform(x: np.ndarray) -> np.ndarray:
+    """Force-coordinate transform associated with motion transform ``x``.
+
+    If ``x = ^BX_A`` maps motions A->B then ``force_transform(x)`` maps
+    forces A->B and equals ``inverse_transform(x).T``.
+    """
+    return inverse_transform(x).T
+
+
+def is_spatial_transform(x: np.ndarray, tol: float = 1e-8) -> bool:
+    """True when ``x`` has valid Plücker structure (rotation blocks, zero TR)."""
+    x = np.asarray(x, dtype=float)
+    if x.shape != (6, 6):
+        return False
+    e1 = x[:3, :3]
+    e2 = x[3:, 3:]
+    if not np.allclose(e1, e2, atol=tol):
+        return False
+    if not np.allclose(x[:3, 3:], 0.0, atol=tol):
+        return False
+    if not np.allclose(e1 @ e1.T, np.eye(3), atol=tol):
+        return False
+    # The bottom-left block must be -E @ skew(r) for some r, i.e. E.T @ B
+    # must be skew-symmetric.
+    m = e1.T @ x[3:, :3]
+    return bool(np.allclose(m, -m.T, atol=tol))
+
+
+def motion_transform_matrix(x: np.ndarray, vecs: np.ndarray) -> np.ndarray:
+    """Transform one motion vector or a stack of column motion vectors."""
+    return np.asarray(x) @ np.asarray(vecs)

@@ -1,0 +1,64 @@
+"""Shared fixtures: robots and random states."""
+
+import numpy as np
+import pytest
+
+from repro.model.library import (
+    atlas,
+    double_pendulum,
+    hyq,
+    iiwa,
+    pendulum,
+    quadruped_arm,
+    serial_chain,
+    spot_arm,
+    tiago,
+)
+
+_BUILDERS = {
+    "pendulum": pendulum,
+    "double_pendulum": double_pendulum,
+    "iiwa": iiwa,
+    "hyq": hyq,
+    "atlas": atlas,
+    "quadruped_arm": quadruped_arm,
+    "spot_arm": spot_arm,
+    "tiago": tiago,
+    "chain3": lambda: serial_chain(3, seed=7),
+}
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(params=["iiwa", "hyq", "atlas"])
+def paper_robot(request):
+    """The three robots of the paper's evaluation (Fig 15)."""
+    return _BUILDERS[request.param]()
+
+
+@pytest.fixture(params=["iiwa", "hyq", "atlas", "quadruped_arm", "tiago", "chain3"])
+def any_robot(request):
+    """A broader sweep including SAP-demo robots and a small chain."""
+    return _BUILDERS[request.param]()
+
+
+@pytest.fixture
+def iiwa_robot():
+    return iiwa()
+
+
+@pytest.fixture
+def hyq_robot():
+    return hyq()
+
+
+@pytest.fixture
+def atlas_robot():
+    return atlas()
+
+
+def random_state(model, rng, velocity_scale=1.0):
+    return model.random_state(rng, velocity_scale)

@@ -1,0 +1,232 @@
+"""Tests for the DaduRBD facade: functional correctness of every function
+on every robot, plus the timing and resource behaviour of Section VI."""
+
+import numpy as np
+import pytest
+
+from repro.core import DaduRBD, PAPER_CONFIG, TaskRequest
+from repro.core.config import NumericsConfig
+from repro.dynamics import (
+    fd_derivatives,
+    forward_dynamics,
+    inverse_dynamics,
+    mass_matrix,
+    mass_matrix_inverse,
+    rnea_derivatives,
+)
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import hyq, iiwa
+
+#: Loose tolerance for the fixed-point + Taylor-trig functional path.
+HW_ATOL = 5e-3
+
+EXACT_NUMERICS = PAPER_CONFIG.with_(
+    numerics=NumericsConfig(fixed_point=False, taylor_order=19)
+)
+
+
+@pytest.fixture(scope="module")
+def iiwa_acc():
+    return DaduRBD(iiwa())
+
+
+@pytest.fixture(scope="module")
+def hyq_acc():
+    return DaduRBD(hyq())
+
+
+class TestFunctionalEquivalence:
+    """Accelerator outputs must match the reference algorithms."""
+
+    def test_id(self, paper_robot, rng):
+        acc = DaduRBD(paper_robot, EXACT_NUMERICS)
+        q, qd = paper_robot.random_state(rng)
+        qdd = rng.normal(size=paper_robot.nv)
+        got = acc.compute(TaskRequest(RBDFunction.ID, q, qd, qdd))
+        want = inverse_dynamics(paper_robot, q, qd, qdd)
+        assert np.allclose(got, want, atol=1e-9)
+
+    def test_fd(self, paper_robot, rng):
+        acc = DaduRBD(paper_robot, EXACT_NUMERICS)
+        q, qd = paper_robot.random_state(rng)
+        tau = rng.normal(size=paper_robot.nv)
+        got = acc.compute(TaskRequest(RBDFunction.FD, q, qd, tau))
+        assert np.allclose(got, forward_dynamics(paper_robot, q, qd, tau),
+                           atol=1e-9)
+
+    def test_m_and_minv(self, paper_robot, rng):
+        acc = DaduRBD(paper_robot, EXACT_NUMERICS)
+        q = paper_robot.random_q(rng)
+        m = acc.compute(TaskRequest(RBDFunction.M, q))
+        minv = acc.compute(TaskRequest(RBDFunction.MINV, q))
+        assert np.allclose(m, mass_matrix(paper_robot, q), atol=1e-9)
+        assert np.allclose(minv @ m, np.eye(paper_robot.nv), atol=1e-7)
+
+    def test_did(self, paper_robot, rng):
+        acc = DaduRBD(paper_robot, EXACT_NUMERICS)
+        q, qd = paper_robot.random_state(rng)
+        qdd = rng.normal(size=paper_robot.nv)
+        got = acc.compute(TaskRequest(RBDFunction.DID, q, qd, qdd))
+        want = rnea_derivatives(paper_robot, q, qd, qdd)
+        assert np.allclose(got.dtau_dq, want.dtau_dq, atol=1e-9)
+
+    def test_dfd_and_difd_agree(self, paper_robot, rng):
+        acc = DaduRBD(paper_robot, EXACT_NUMERICS)
+        q, qd = paper_robot.random_state(rng)
+        tau = rng.normal(size=paper_robot.nv)
+        dfd = acc.compute(TaskRequest(RBDFunction.DFD, q, qd, tau))
+        want = fd_derivatives(paper_robot, q, qd, tau)
+        assert np.allclose(dfd.dqdd_dq, want.dqdd_dq, atol=1e-8)
+        difd = acc.compute(
+            TaskRequest(RBDFunction.DIFD, q, qd, dfd.qdd, minv=dfd.minv)
+        )
+        assert np.allclose(difd.dqdd_dq, dfd.dqdd_dq, atol=1e-8)
+
+
+class TestHardwareNumerics:
+    """With fixed-point + Taylor trig, outputs stay within tolerance."""
+
+    def test_id_close_to_exact(self, iiwa_acc, rng):
+        model = iiwa_acc.model
+        q, qd = model.random_state(rng)
+        qdd = rng.normal(size=model.nv)
+        got = iiwa_acc.compute(TaskRequest(RBDFunction.ID, q, qd, qdd))
+        want = inverse_dynamics(model, q, qd, qdd)
+        assert np.allclose(got, want, atol=HW_ATOL)
+
+    def test_minv_close_to_exact(self, iiwa_acc, rng):
+        model = iiwa_acc.model
+        q = model.random_q(rng)
+        got = iiwa_acc.compute(TaskRequest(RBDFunction.MINV, q))
+        assert np.allclose(got, mass_matrix_inverse(model, q), atol=HW_ATOL)
+
+    def test_quantization_actually_applied(self, iiwa_acc, rng):
+        model = iiwa_acc.model
+        q, qd = model.random_state(rng)
+        qdd = rng.normal(size=model.nv)
+        exact_acc = DaduRBD(model, EXACT_NUMERICS)
+        hw = iiwa_acc.compute(TaskRequest(RBDFunction.ID, q, qd, qdd))
+        exact = exact_acc.compute(TaskRequest(RBDFunction.ID, q, qd, qdd))
+        assert not np.array_equal(hw, exact)
+
+    def test_run_returns_value_and_timing(self, iiwa_acc, rng):
+        model = iiwa_acc.model
+        q, qd = model.random_state(rng)
+        result = iiwa_acc.run(TaskRequest(RBDFunction.ID, q, qd,
+                                          rng.normal(size=model.nv)))
+        assert result.latency_cycles > 0
+        assert result.value.shape == (model.nv,)
+
+
+class TestTiming:
+    def test_latency_ordering(self, iiwa_acc):
+        """M (backward only) is the shortest path; dFD (three stages) the
+        longest — the Fig 15 ordering."""
+        lat = {f: iiwa_acc.latency_cycles(f) for f in RBDFunction}
+        assert lat[RBDFunction.M] < lat[RBDFunction.ID]
+        assert lat[RBDFunction.DFD] > lat[RBDFunction.DID]
+        assert lat[RBDFunction.DFD] > lat[RBDFunction.FD]
+
+    def test_difd_latency_near_paper_anchor(self, iiwa_acc):
+        """Paper: 0.76 us for iiwa diFD at 125 MHz."""
+        latency_us = iiwa_acc.latency_seconds(RBDFunction.DIFD) * 1e6
+        assert 0.4 < latency_us < 1.2
+
+    def test_throughput_matches_ii(self, iiwa_acc):
+        for f in (RBDFunction.ID, RBDFunction.DIFD):
+            ii = iiwa_acc.initiation_interval(f)
+            thr = iiwa_acc.throughput_tasks_per_s(f, 256)
+            expected = iiwa_acc.config.clock_hz / ii
+            assert thr == pytest.approx(expected, rel=0.05)
+
+    def test_measured_interval_matches_analytic_ii(self, iiwa_acc):
+        profile = iiwa_acc.profile_batch(RBDFunction.DID, 64)
+        assert profile.initiation_interval_cycles == pytest.approx(
+            iiwa_acc.initiation_interval(RBDFunction.DID), rel=0.1
+        )
+
+    def test_analytic_matches_sim_for_large_batch(self, iiwa_acc):
+        """The analytic fallback must agree with the event simulation."""
+        sim = iiwa_acc.profile_batch(RBDFunction.ID, 512)
+        from repro.core.sim import analytic_batch_makespan
+
+        analytic = analytic_batch_makespan(
+            iiwa_acc.graph(RBDFunction.ID), 512,
+            iiwa_acc.config.transfer_cycles,
+            iiwa_acc.config.stream_startup_cycles,
+        )
+        assert sim.makespan_cycles == pytest.approx(analytic, rel=0.05)
+
+    def test_warm_batch_time_is_ii_bound(self, iiwa_acc):
+        ii = iiwa_acc.initiation_interval(RBDFunction.ID)
+        t = iiwa_acc.batch_seconds(RBDFunction.ID, 128)
+        assert t == pytest.approx(
+            128 * ii / iiwa_acc.config.clock_hz, rel=0.01
+        )
+
+    def test_fifo_depths_within_capacity_when_streamed(self, iiwa_acc):
+        """The paper sizes bypass buffers to avoid stalls.  With the host
+        streaming requests at the achievable rate (the Input Stream
+        Module's job), every internal FIFO stays within capacity."""
+        from repro.core.scheduler import staggered_batch
+
+        ii = iiwa_acc.initiation_interval(RBDFunction.DFD)
+        jobs = staggered_batch(128, ii)
+        profile = iiwa_acc.profile_batch(RBDFunction.DFD, 128, jobs=jobs)
+        assert max(profile.max_queue_depth.values()) <= (
+            iiwa_acc.config.fifo_capacity
+        )
+
+    def test_io_bound_kicks_in_for_huge_batches(self, iiwa_acc):
+        config = iiwa_acc.config.with_(io_bandwidth_bytes_per_s=1e6)
+        slow_io = DaduRBD(iiwa_acc.model, config)
+        assert slow_io.batch_seconds(RBDFunction.M, 256) > (
+            iiwa_acc.batch_seconds(RBDFunction.M, 256)
+        )
+
+
+class TestScaling:
+    def test_bigger_robot_fits_with_higher_heavy_ii(self, hyq_acc, iiwa_acc):
+        assert hyq_acc.config.heavy_ii_cycles > iiwa_acc.config.heavy_ii_cycles
+        assert hyq_acc.resources().dsp_utilization <= hyq_acc.config.dsp_budget
+
+    def test_id_throughput_insensitive_to_robot_size(self, hyq_acc, iiwa_acc):
+        """Light stages keep the base II on every robot."""
+        thr_iiwa = iiwa_acc.throughput_tasks_per_s(RBDFunction.ID, 256)
+        thr_hyq = hyq_acc.throughput_tasks_per_s(RBDFunction.ID, 256)
+        assert thr_hyq == pytest.approx(thr_iiwa, rel=0.1)
+
+    def test_derivative_throughput_degrades_with_size(self, hyq_acc, iiwa_acc):
+        thr_iiwa = iiwa_acc.throughput_tasks_per_s(RBDFunction.DID, 256)
+        thr_hyq = hyq_acc.throughput_tasks_per_s(RBDFunction.DID, 256)
+        assert thr_hyq < thr_iiwa
+
+
+class TestResources:
+    def test_iiwa_matches_paper_utilization(self, iiwa_acc):
+        """Section VI-C: 62% DSP, 17% FF, 54% LUT."""
+        report = iiwa_acc.resources()
+        assert report.dsp_utilization == pytest.approx(0.62, abs=0.03)
+        assert report.ff_utilization == pytest.approx(0.17, abs=0.02)
+        assert report.lut_utilization == pytest.approx(0.54, abs=0.03)
+        assert report.fits()
+
+    def test_power_range_matches_paper(self, iiwa_acc):
+        """Section VI-C: 6.2 W to 36.8 W across functions; diFD 31.2 W."""
+        powers = {f: iiwa_acc.power_w(f) for f in RBDFunction}
+        assert min(powers.values()) == pytest.approx(6.2, abs=0.7)
+        assert max(powers.values()) == pytest.approx(36.8, abs=1.5)
+        assert powers[RBDFunction.DIFD] == pytest.approx(31.2, abs=1.5)
+
+    def test_derivative_functions_draw_more_power(self, iiwa_acc):
+        assert iiwa_acc.power_w(RBDFunction.DID) > iiwa_acc.power_w(
+            RBDFunction.ID
+        )
+
+    def test_energy_per_task_positive(self, iiwa_acc):
+        for f in (RBDFunction.ID, RBDFunction.DFD):
+            assert iiwa_acc.energy_per_task_j(f) > 0
+
+    def test_describe_contains_resources(self, iiwa_acc):
+        text = iiwa_acc.describe()
+        assert "DSP" in text and "125 MHz" in text

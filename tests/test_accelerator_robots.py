@@ -1,0 +1,90 @@
+"""Functional equivalence of the accelerator across the whole robot
+library (the paper's generality claim: "a general rigid body dynamics
+accelerator design framework that can be applied to a wide variety of
+robots")."""
+
+import numpy as np
+import pytest
+
+from repro.core import DaduRBD, PAPER_CONFIG, TaskRequest
+from repro.core.config import NumericsConfig
+from repro.dynamics import (
+    forward_dynamics,
+    inverse_dynamics,
+    mass_matrix_inverse,
+    rnea,
+)
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import ROBOT_REGISTRY, load_robot
+
+EXACT = PAPER_CONFIG.with_(
+    numerics=NumericsConfig(fixed_point=False, taylor_order=19)
+)
+
+
+@pytest.fixture(scope="module", params=sorted(ROBOT_REGISTRY))
+def build(request):
+    robot = load_robot(request.param)
+    return robot, DaduRBD(robot, EXACT)
+
+
+class TestWholeLibrary:
+    def test_id_and_fd_roundtrip(self, build, rng):
+        robot, acc = build
+        q, qd = robot.random_state(rng)
+        qdd = rng.normal(size=robot.nv)
+        tau = acc.compute(TaskRequest(RBDFunction.ID, q, qd, qdd))
+        assert np.allclose(tau, inverse_dynamics(robot, q, qd, qdd), atol=1e-9)
+        back = acc.compute(TaskRequest(RBDFunction.FD, q, qd, tau))
+        assert np.allclose(back, qdd, atol=1e-7)
+
+    def test_minv(self, build, rng):
+        robot, acc = build
+        q = robot.random_q(rng)
+        got = acc.compute(TaskRequest(RBDFunction.MINV, q))
+        assert np.allclose(got, mass_matrix_inverse(robot, q), atol=1e-8)
+
+    def test_derivatives_with_external_forces(self, build, rng):
+        robot, acc = build
+        q, qd = robot.random_state(rng)
+        qdd = rng.normal(size=robot.nv)
+        f_ext = {robot.nb - 1: rng.normal(size=6)}
+        got = acc.compute(
+            TaskRequest(RBDFunction.DID, q, qd, qdd, f_ext=f_ext)
+        )
+        # Column check against finite differences with the same f_ext.
+        eps = 1e-6
+        k = rng.integers(0, robot.nv)
+        e = np.zeros(robot.nv)
+        e[k] = eps
+        col = (
+            rnea(robot, robot.integrate(q, e), qd, qdd, f_ext)
+            - rnea(robot, robot.integrate(q, -e), qd, qdd, f_ext)
+        ) / (2 * eps)
+        assert np.allclose(got.dtau_dq[:, k], col, atol=5e-5)
+
+    def test_all_timing_profiles_finite(self, build):
+        _, acc = build
+        for f in RBDFunction:
+            assert np.isfinite(acc.latency_cycles(f))
+            assert acc.initiation_interval(f) > 0
+            assert acc.power_w(f) > 0
+
+    def test_resources_fit_every_robot(self, build):
+        _, acc = build
+        assert acc.resources().fits()
+
+    def test_forward_dynamics_gravity_sanity(self, build, rng):
+        """FD under zero torque accelerates along gravity (potential
+        energy decreasing at second order) for a robot at rest."""
+        robot, acc = build
+        q = robot.random_q(rng)
+        qdd = acc.compute(
+            TaskRequest(RBDFunction.FD, q, np.zeros(robot.nv),
+                        np.zeros(robot.nv))
+        )
+        assert np.allclose(
+            qdd, forward_dynamics(robot, q, np.zeros(robot.nv),
+                                  np.zeros(robot.nv)),
+            atol=1e-8,
+        )

@@ -1,0 +1,215 @@
+"""Tests for the applications layer: integrators, iLQR, end-to-end model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.integrators import (
+    State,
+    euler_sensitivity_step,
+    euler_step,
+    rk4_sensitivity_step,
+    rk4_step,
+    rollout,
+)
+from repro.apps.mpc import EndToEndModel, multithread_profile
+from repro.apps.trajopt import QuadraticCost, ilqr
+from repro.apps.workloads import (
+    mpc_sample_points,
+    random_requests,
+    sinusoidal_trajectory,
+)
+from repro.baselines import calibration
+from repro.baselines.platforms import AGX_ORIN_CPU
+from repro.core import DaduRBD
+from repro.dynamics.functions import RBDFunction
+from repro.dynamics.kinematics import kinetic_energy, potential_energy
+from repro.model.library import double_pendulum, pendulum, quadruped_arm
+
+
+class TestIntegrators:
+    def test_energy_conservation_without_gravity(self, rng):
+        """A freely swinging chain with no torque conserves total energy
+        (symplectic-ish over short horizons)."""
+        model = double_pendulum()
+        state = State(model.random_q(rng), 0.3 * rng.normal(size=2))
+        zero = np.zeros(2)
+        energy0 = kinetic_energy(model, state.q, state.qd) + potential_energy(
+            model, state.q
+        )
+        for _ in range(200):
+            state = rk4_step(model, state, zero, 0.002)
+        energy1 = kinetic_energy(model, state.q, state.qd) + potential_energy(
+            model, state.q
+        )
+        assert abs(energy1 - energy0) / abs(energy0) < 1e-4
+
+    def test_rk4_more_accurate_than_euler(self, rng):
+        model = pendulum()
+        state0 = State(np.array([0.5]), np.array([0.0]))
+        zero = np.zeros(1)
+        # Reference: tiny-step RK4.
+        ref = state0
+        for _ in range(1000):
+            ref = rk4_step(model, ref, zero, 1e-4)
+        euler_states = rollout(model, state0, [zero] * 10, 0.01, euler_step)
+        rk4_states = rollout(model, state0, [zero] * 10, 0.01, rk4_step)
+        err_euler = abs(euler_states[-1].q[0] - ref.q[0])
+        err_rk4 = abs(rk4_states[-1].q[0] - ref.q[0])
+        assert err_rk4 < err_euler
+
+    def test_rk4_convergence_order(self):
+        """Halving dt must shrink the RK4 error by ~2^4."""
+        model = pendulum()
+        state0 = State(np.array([0.8]), np.array([0.2]))
+        zero = np.zeros(1)
+
+        def final_q(dt, steps):
+            s = state0
+            for _ in range(steps):
+                s = rk4_step(model, s, zero, dt)
+            return s.q[0]
+
+        ref = final_q(0.0005, 800)
+        err_coarse = abs(final_q(0.04, 10) - ref)
+        err_fine = abs(final_q(0.02, 20) - ref)
+        assert err_coarse / max(err_fine, 1e-14) > 8.0
+
+    @pytest.mark.parametrize("step_fn", [euler_sensitivity_step,
+                                         rk4_sensitivity_step])
+    def test_sensitivity_matches_finite_differences(self, step_fn, rng):
+        model = double_pendulum()
+        q, qd = model.random_state(rng)
+        tau = rng.normal(size=2)
+        dt = 0.01
+        lin = step_fn(model, State(q, qd), tau, dt)
+        plain = rk4_step if step_fn is rk4_sensitivity_step else euler_step
+        eps = 1e-6
+        for k in range(4):
+            e = np.zeros(4)
+            e[k] = eps
+            sp = plain(model, State(model.integrate(q, e[:2]), qd + e[2:]),
+                       tau, dt)
+            sm = plain(model, State(model.integrate(q, -e[:2]), qd - e[2:]),
+                       tau, dt)
+            numeric = np.concatenate([sp.q - sm.q, sp.qd - sm.qd]) / (2 * eps)
+            assert np.allclose(lin.a_matrix[:, k], numeric, atol=1e-6)
+
+    def test_sensitivity_b_matrix(self, rng):
+        model = double_pendulum()
+        q, qd = model.random_state(rng)
+        tau = rng.normal(size=2)
+        dt = 0.01
+        lin = rk4_sensitivity_step(model, State(q, qd), tau, dt)
+        eps = 1e-6
+        for k in range(2):
+            e = np.zeros(2)
+            e[k] = eps
+            sp = rk4_step(model, State(q, qd), tau + e, dt)
+            sm = rk4_step(model, State(q, qd), tau - e, dt)
+            numeric = np.concatenate([sp.q - sm.q, sp.qd - sm.qd]) / (2 * eps)
+            assert np.allclose(lin.b_matrix[:, k], numeric, atol=1e-6)
+
+
+class TestILQR:
+    def test_pendulum_swing_up_reduces_cost(self):
+        model = pendulum()
+        cost = QuadraticCost.for_goal(model, np.array([np.pi]))
+        result = ilqr(
+            model, cost, State(np.zeros(1), np.zeros(1)),
+            horizon=40, dt=0.05, max_iterations=20,
+        )
+        assert result.converged
+        assert result.cost_trace[-1] < 0.2 * result.cost_trace[0]
+
+    def test_pendulum_reaches_neighbourhood_of_goal(self):
+        model = pendulum()
+        cost = QuadraticCost.for_goal(model, np.array([np.pi]))
+        result = ilqr(
+            model, cost, State(np.zeros(1), np.zeros(1)),
+            horizon=50, dt=0.05, max_iterations=40,
+        )
+        assert abs(result.states[-1].q[0] - np.pi) < 0.4
+
+    def test_zero_horizon_goal_start(self):
+        """Starting at the goal: the optimizer should not move."""
+        model = pendulum()
+        goal = np.array([np.pi])
+        cost = QuadraticCost.for_goal(model, goal)
+        from repro.dynamics.rnea import gravity_torques
+
+        hold = gravity_torques(model, goal)
+        result = ilqr(
+            model, cost, State(goal.copy(), np.zeros(1)),
+            horizon=10, dt=0.02, max_iterations=5,
+            initial_controls=[hold] * 10,
+        )
+        assert result.cost_trace[-1] <= result.cost_trace[0] + 1e-9
+        assert result.cost_trace[-1] < 1e-2
+
+    def test_cost_monotone_decreasing(self):
+        model = double_pendulum()
+        cost = QuadraticCost.for_goal(model, np.array([0.4, -0.3]))
+        result = ilqr(
+            model, cost, State(np.zeros(2), np.zeros(2)),
+            horizon=25, dt=0.04, max_iterations=10,
+        )
+        trace = result.cost_trace
+        assert all(b <= a + 1e-9 for a, b in zip(trace, trace[1:]))
+
+
+class TestEndToEndModel:
+    @pytest.fixture(scope="class")
+    def e2e(self):
+        robot = quadruped_arm()
+        return EndToEndModel(robot, AGX_ORIN_CPU, DaduRBD(robot), cpu_threads=4)
+
+    def test_task_speedup_near_paper(self, e2e):
+        assert e2e.task_speedup() == pytest.approx(
+            calibration.ENDTOEND_TASK_SPEEDUP, rel=0.25
+        )
+
+    def test_control_frequency_gain_near_paper(self, e2e):
+        assert e2e.control_frequency_gain() == pytest.approx(
+            calibration.ENDTOEND_CONTROL_FREQ_GAIN, rel=0.2
+        )
+
+    def test_derivatives_share_near_fig2c(self, e2e):
+        shares = e2e.cpu_breakdown().shares()
+        assert shares["dFD"] == pytest.approx(
+            calibration.FIG2C_DERIVATIVES_SHARE, rel=0.2
+        )
+
+    def test_accelerated_frequency_higher(self, e2e):
+        assert e2e.control_frequency_hz(True) > e2e.control_frequency_hz(False)
+
+    def test_breakdown_sums(self, e2e):
+        breakdown = e2e.cpu_breakdown()
+        assert breakdown.total == pytest.approx(
+            breakdown.offloadable_total + breakdown.other
+        )
+        assert sum(breakdown.shares().values()) == pytest.approx(1.0)
+
+    def test_multithread_profile_saturates(self):
+        robot = quadruped_arm()
+        curve = multithread_profile(robot, AGX_ORIN_CPU)
+        times = dict(curve)
+        # Improvement from 8 -> 12 threads is marginal (Fig 2b).
+        assert abs(times[12] - times[8]) < 0.1
+        assert times[4] < times[1]
+
+
+class TestWorkloads:
+    def test_random_requests_deterministic(self):
+        model = pendulum()
+        a = random_requests(model, RBDFunction.ID, 5, seed=3)
+        b = random_requests(model, RBDFunction.ID, 5, seed=3)
+        assert all(np.allclose(x.q, y.q) for x, y in zip(a, b))
+
+    def test_trajectory_smooth(self):
+        model = pendulum()
+        traj = sinusoidal_trajectory(model, steps=100, dt=0.01)
+        qs = np.array([q for q, _ in traj])
+        assert np.abs(np.diff(qs, axis=0)).max() < 0.1
+
+    def test_mpc_sample_points_paper_sizing(self):
+        assert mpc_sample_points(pendulum()) == 100

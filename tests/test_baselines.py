@@ -1,0 +1,251 @@
+"""Tests for the CPU/GPU/Robomorphic baseline models and their calibration
+against the paper's published ratios (Section VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import calibration
+from repro.baselines.cpu import CpuDynamicsModel
+from repro.baselines.gpu import GpuDynamicsModel
+from repro.baselines.platforms import (
+    AGX_ORIN_CPU,
+    AGX_ORIN_GPU,
+    I7_7700,
+    I9_13900HX,
+    RTX_2080,
+    RTX_4090M,
+)
+from repro.baselines.robomorphic import RobomorphicModel
+from repro.core import DaduRBD
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import atlas, hyq, iiwa
+
+FUNCS = [
+    RBDFunction.ID, RBDFunction.FD, RBDFunction.M,
+    RBDFunction.MINV, RBDFunction.DID, RBDFunction.DFD,
+]
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    """Latency/throughput for ours and all platforms, all cells of Fig 15."""
+    robots = [iiwa(), hyq(), atlas()]
+    cells = []
+    for robot in robots:
+        acc = DaduRBD(robot)
+        cpu_agx = CpuDynamicsModel(AGX_ORIN_CPU, robot)
+        cpu_i9 = CpuDynamicsModel(I9_13900HX, robot)
+        gpu_agx = GpuDynamicsModel(AGX_ORIN_GPU, robot)
+        gpu_m = GpuDynamicsModel(RTX_4090M, robot)
+        for f in FUNCS:
+            cells.append({
+                "robot": robot.name,
+                "function": f,
+                "ours_lat": acc.latency_seconds(f),
+                "ours_thr": acc.throughput_tasks_per_s(f, 256),
+                "agx_cpu_lat": cpu_agx.latency_seconds(f),
+                "i9_lat": cpu_i9.latency_seconds(f),
+                "agx_cpu_thr": cpu_agx.throughput_tasks_per_s(f, 256),
+                "i9_thr": cpu_i9.throughput_tasks_per_s(f, 256),
+                "agx_gpu_thr": gpu_agx.throughput_tasks_per_s(f, 256),
+                "rtx4090_thr": gpu_m.throughput_tasks_per_s(f, 256),
+            })
+    return cells
+
+
+class TestCpuModel:
+    def test_latency_scales_with_robot_size(self):
+        small = CpuDynamicsModel(AGX_ORIN_CPU, iiwa())
+        big = CpuDynamicsModel(AGX_ORIN_CPU, atlas())
+        for f in FUNCS:
+            assert big.latency_seconds(f) > small.latency_seconds(f)
+
+    def test_thread_speedup_saturates(self):
+        """Fig 2b: adding threads eventually stops helping."""
+        speedups = [AGX_ORIN_CPU.thread_speedup(t) for t in range(1, 13)]
+        best = AGX_ORIN_CPU.best_threads()
+        assert best < 12
+        assert speedups[-1] <= max(speedups)
+
+    def test_multithread_curve_monotone_then_flat(self):
+        model = CpuDynamicsModel(AGX_ORIN_CPU, iiwa())
+        curve = model.multithread_curve(RBDFunction.DFD, batch=256)
+        times = [t for _, t in curve]
+        assert times[0] == 1.0
+        assert min(times) < 0.8
+        # Beyond the optimum the curve is flat-to-worse, never better.
+        best_index = times.index(min(times))
+        assert all(t >= min(times) - 1e-9 for t in times[best_index:])
+
+    def test_small_batches_underuse_threads(self):
+        model = CpuDynamicsModel(I7_7700, iiwa())
+        assert model.effective_threads(8) < model.effective_threads(64)
+
+    def test_dfd_more_expensive_than_id(self):
+        model = CpuDynamicsModel(I9_13900HX, hyq())
+        assert model.latency_seconds(RBDFunction.DFD) > model.latency_seconds(
+            RBDFunction.ID
+        )
+
+
+class TestGpuModel:
+    def test_launch_overhead_dominates_single_task(self):
+        model = GpuDynamicsModel(AGX_ORIN_GPU, iiwa())
+        lat = model.latency_seconds(RBDFunction.ID)
+        assert lat > model.platform.launch_overhead_s
+
+    def test_throughput_improves_with_batch(self):
+        model = GpuDynamicsModel(RTX_4090M, iiwa())
+        t256 = model.throughput_tasks_per_s(RBDFunction.DFD, 256)
+        t4096 = model.throughput_tasks_per_s(RBDFunction.DFD, 4096)
+        assert t4096 > t256
+
+    def test_batch_curve_monotone(self):
+        model = GpuDynamicsModel(RTX_4090M, iiwa())
+        curve = model.batch_curve(RBDFunction.DFD, (16, 64, 256, 1024))
+        times = [t for _, t in curve]
+        assert times == sorted(times)
+
+    def test_peak_throughput_is_limit(self):
+        model = GpuDynamicsModel(RTX_4090M, iiwa())
+        peak = model.peak_throughput_tasks_per_s(RBDFunction.DFD)
+        assert model.throughput_tasks_per_s(RBDFunction.DFD, 100000) < peak
+
+
+class TestRobomorphic:
+    def test_only_supports_difd(self):
+        model = RobomorphicModel(iiwa())
+        assert model.supports(RBDFunction.DIFD)
+        with pytest.raises(ValueError):
+            model.latency_seconds(RBDFunction.ID)
+
+    def test_iiwa_latency_anchor(self):
+        model = RobomorphicModel(iiwa())
+        assert model.latency_seconds(RBDFunction.DIFD) * 1e6 == pytest.approx(
+            calibration.DIFD_IIWA_LATENCY_US_ROBOMORPHIC, rel=1e-6
+        )
+
+    def test_bigger_robot_slower(self):
+        assert (
+            RobomorphicModel(atlas()).latency_seconds(RBDFunction.DIFD)
+            > RobomorphicModel(iiwa()).latency_seconds(RBDFunction.DIFD)
+        )
+
+    def test_low_pipeline_overlap(self):
+        model = RobomorphicModel(iiwa())
+        ii = model.initiation_interval_seconds(RBDFunction.DIFD)
+        assert ii > 0.8 * model.latency_seconds(RBDFunction.DIFD)
+
+
+class TestPaperRatioCalibration:
+    """The average ratios of Section VI-A must land near the paper."""
+
+    def _mean(self, cells, ours, theirs):
+        return float(np.mean([c[ours] / c[theirs] for c in cells]))
+
+    def test_latency_vs_agx_cpu(self, evaluation):
+        got = self._mean(evaluation, "ours_lat", "agx_cpu_lat")
+        assert got == pytest.approx(
+            calibration.LATENCY_RATIO_VS_AGX_CPU[1], rel=0.15
+        )
+
+    def test_latency_vs_i9(self, evaluation):
+        got = self._mean(evaluation, "ours_lat", "i9_lat")
+        assert got == pytest.approx(calibration.LATENCY_RATIO_VS_I9[1], rel=0.15)
+
+    def test_i9_sometimes_beats_us_on_latency(self, evaluation):
+        """The paper's i9 range crosses 1.0 (0.34-1.91)."""
+        ratios = [c["ours_lat"] / c["i9_lat"] for c in evaluation]
+        assert min(ratios) < 1.0 < max(ratios)
+
+    def test_throughput_vs_agx_cpu(self, evaluation):
+        got = self._mean(evaluation, "ours_thr", "agx_cpu_thr") ** -1
+        want = 1.0 / calibration.THROUGHPUT_RATIO_VS_AGX_CPU[1]
+        assert got == pytest.approx(want, rel=0.15)
+
+    def test_throughput_vs_agx_gpu(self, evaluation):
+        ratios = [c["ours_thr"] / c["agx_gpu_thr"] for c in evaluation]
+        assert float(np.mean(ratios)) == pytest.approx(
+            calibration.THROUGHPUT_RATIO_VS_AGX_GPU[1], rel=0.15
+        )
+
+    def test_throughput_vs_i9(self, evaluation):
+        ratios = [c["ours_thr"] / c["i9_thr"] for c in evaluation]
+        assert float(np.mean(ratios)) == pytest.approx(
+            calibration.THROUGHPUT_RATIO_VS_I9[1], rel=0.15
+        )
+
+    def test_throughput_vs_rtx4090m(self, evaluation):
+        ratios = [c["ours_thr"] / c["rtx4090_thr"] for c in evaluation]
+        assert float(np.mean(ratios)) == pytest.approx(
+            calibration.THROUGHPUT_RATIO_VS_RTX4090M[1], rel=0.15
+        )
+
+    def test_4090m_sometimes_beats_us(self, evaluation):
+        """Paper: 0.5x-2.8x — the 4090M wins some functions."""
+        ratios = [c["ours_thr"] / c["rtx4090_thr"] for c in evaluation]
+        assert min(ratios) < 1.0 < max(ratios)
+
+    def test_we_always_beat_agx_platforms_on_throughput(self, evaluation):
+        for c in evaluation:
+            assert c["ours_thr"] > c["agx_cpu_thr"], c
+
+
+class TestFig16Calibration:
+    def test_speedups_vs_all_platforms(self):
+        acc = DaduRBD(iiwa())
+        robo = RobomorphicModel(iiwa())
+        cpu = CpuDynamicsModel(I7_7700, iiwa())
+        gpu = GpuDynamicsModel(RTX_2080, iiwa())
+        for batch, (fpga, cpu_x, gpu_x) in calibration.FIG16_SPEEDUPS.items():
+            ours = acc.batch_seconds(RBDFunction.DIFD, batch)
+            got_fpga = robo.batch_seconds(RBDFunction.DIFD, batch) / ours
+            got_cpu = cpu.batch_seconds(RBDFunction.DIFD, batch) / ours
+            got_gpu = gpu.batch_seconds(RBDFunction.DIFD, batch) / ours
+            assert got_fpga == pytest.approx(fpga, rel=0.15), batch
+            assert got_cpu == pytest.approx(cpu_x, rel=0.3), batch
+            assert got_gpu == pytest.approx(gpu_x, rel=0.35), batch
+
+
+class TestFig17Calibration:
+    def test_crossover_band(self):
+        """The 4090M overtakes Dadu-RBD between batch 512 and 1024."""
+        acc = DaduRBD(iiwa())
+        gpu = GpuDynamicsModel(RTX_4090M, iiwa())
+        ours_512 = acc.batch_seconds(RBDFunction.DFD, 512)
+        gpu_512 = gpu.batch_seconds(RBDFunction.DFD, 512)
+        ours_1024 = acc.batch_seconds(RBDFunction.DFD, 1024)
+        gpu_1024 = gpu.batch_seconds(RBDFunction.DFD, 1024)
+        assert ours_512 < gpu_512
+        assert ours_1024 > gpu_1024
+
+    def test_agx_gpu_never_catches_up(self):
+        acc = DaduRBD(iiwa())
+        gpu = GpuDynamicsModel(AGX_ORIN_GPU, iiwa())
+        for batch in calibration.FIG17_BATCHES:
+            assert acc.batch_seconds(RBDFunction.DFD, batch) < (
+                gpu.batch_seconds(RBDFunction.DFD, batch)
+            )
+
+
+class TestEnergyCalibration:
+    def test_robomorphic_energy_and_edp(self):
+        """Section VI-C: 2.0x energy, 13.2x EDP advantage over Robomorphic."""
+        acc = DaduRBD(iiwa())
+        robo = RobomorphicModel(iiwa())
+        ours_thr = acc.throughput_tasks_per_s(RBDFunction.DIFD, 256)
+        robo_thr = robo.throughput_tasks_per_s(RBDFunction.DIFD, 256)
+        speed_ratio = ours_thr / robo_thr
+        assert speed_ratio == pytest.approx(
+            calibration.SPEED_RATIO_VS_ROBOMORPHIC, rel=0.1
+        )
+        ours_energy = acc.power_w(RBDFunction.DIFD) / ours_thr
+        robo_energy = robo.power_w / robo_thr
+        assert robo_energy / ours_energy == pytest.approx(
+            calibration.ENERGY_RATIO_ROBOMORPHIC_OVER_OURS, rel=0.15
+        )
+        ours_edp = ours_energy / ours_thr
+        robo_edp = robo_energy / robo_thr
+        assert robo_edp / ours_edp == pytest.approx(
+            calibration.EDP_RATIO_VS_ROBOMORPHIC, rel=0.15
+        )

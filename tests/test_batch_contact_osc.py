@@ -1,0 +1,201 @@
+"""Tests for batch dynamics, contact dynamics, and operational-space
+control — the downstream-user features built on the substrate."""
+
+import numpy as np
+import pytest
+
+from repro.apps.integrators import State, rk4_step
+from repro.apps.osc import TaskSpaceController
+from repro.dynamics.batch import (
+    BatchDerivatives,
+    BatchStates,
+    batch_fd,
+    batch_fd_derivatives,
+    batch_id,
+    batch_minv,
+)
+from repro.dynamics.contact import (
+    ContactPoint,
+    constrained_forward_dynamics,
+    contact_impulse,
+    contact_jacobian,
+)
+from repro.dynamics.derivatives import fd_derivatives
+from repro.dynamics.functions import forward_dynamics
+from repro.dynamics.kinematics import forward_kinematics, velocity_of_point
+from repro.dynamics.rnea import rnea
+from repro.model.library import double_pendulum, hyq, iiwa
+
+
+class TestBatchDynamics:
+    def test_batch_id_matches_scalar(self, rng):
+        model = iiwa()
+        states = BatchStates.random(model, 5, seed=2)
+        qdd = rng.normal(size=(5, model.nv))
+        batched = batch_id(model, states, qdd)
+        for k in range(5):
+            assert np.allclose(
+                batched[k], rnea(model, states.q[k], states.qd[k], qdd[k])
+            )
+
+    def test_batch_fd_matches_scalar(self, rng):
+        model = hyq()
+        states = BatchStates.random(model, 4, seed=3)
+        tau = rng.normal(size=(4, model.nv))
+        batched = batch_fd(model, states, tau)
+        for k in range(4):
+            assert np.allclose(
+                batched[k],
+                forward_dynamics(model, states.q[k], states.qd[k], tau[k]),
+                atol=1e-9,
+            )
+
+    def test_batch_derivatives_match_scalar(self, rng):
+        model = iiwa()
+        states = BatchStates.random(model, 3, seed=4)
+        tau = rng.normal(size=(3, model.nv))
+        batched = batch_fd_derivatives(model, states, tau)
+        assert isinstance(batched, BatchDerivatives)
+        for k in range(3):
+            scalar = fd_derivatives(model, states.q[k], states.qd[k], tau[k])
+            assert np.allclose(batched.qdd[k], scalar.qdd, atol=1e-9)
+            assert np.allclose(batched.dqdd_dq[k], scalar.dqdd_dq, atol=1e-8)
+            assert np.allclose(batched.dqdd_dtau[k], scalar.minv, atol=1e-9)
+
+    def test_batch_minv_shapes(self):
+        model = iiwa()
+        states = BatchStates.random(model, 6)
+        minv = batch_minv(model, states)
+        assert minv.shape == (6, model.nv, model.nv)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchStates(np.zeros((2, 7)), np.zeros((3, 7)))
+
+
+class TestContactDynamics:
+    def test_contact_jacobian_matches_point_velocity(self, rng):
+        model = hyq()
+        q, qd = model.random_state(rng)
+        contact = ContactPoint(model.link_index("lf_kfe"),
+                               np.array([0.0, 0.0, -0.3]))
+        jac = contact_jacobian(model, q, [contact])
+        v_point = velocity_of_point(
+            model, q, qd, contact.link, contact.point_local
+        )
+        assert np.allclose(jac @ qd, v_point, atol=1e-9)
+
+    def test_constrained_fd_zeroes_contact_acceleration(self, rng):
+        """The constrained foot's world acceleration vanishes (checked by
+        finite differences of its velocity along the motion)."""
+        model = hyq()
+        q, qd = model.random_state(rng)
+        qd = 0.2 * qd
+        feet = [
+            ContactPoint(model.link_index(name), np.array([0.0, 0.0, -0.35]))
+            for name in ("lf_kfe", "rh_kfe")
+        ]
+        tau = rng.normal(size=model.nv)
+        result = constrained_forward_dynamics(model, q, qd, tau, feet)
+        eps = 1e-6
+        jac = contact_jacobian(model, q, feet)
+        v_now = jac @ qd
+        q_next = model.integrate(q, eps * qd)
+        v_next = contact_jacobian(model, q_next, feet) @ (
+            qd + eps * result.qdd
+        )
+        accel = (v_next - v_now) / eps
+        assert np.allclose(accel, 0.0, atol=1e-3)
+
+    def test_constrained_fd_reduces_to_free_without_contacts_forces(self, rng):
+        model = iiwa()
+        q, qd = model.random_state(rng)
+        tau = rng.normal(size=model.nv)
+        tip = ContactPoint(6, np.zeros(3))
+        result = constrained_forward_dynamics(model, q, qd, tau, [tip])
+        free = forward_dynamics(model, q, qd, tau)
+        # Constrained solution differs from free fall unless forces ~ 0.
+        assert result.contact_forces.shape == (3,)
+        assert not np.allclose(result.qdd, free, atol=1e-6)
+
+    def test_impulse_kills_contact_velocity(self, rng):
+        model = hyq()
+        q, qd = model.random_state(rng)
+        foot = ContactPoint(model.link_index("rf_kfe"),
+                            np.array([0.0, 0.0, -0.35]))
+        qd_plus = contact_impulse(model, q, qd, [foot])
+        jac = contact_jacobian(model, q, [foot])
+        assert np.allclose(jac @ qd_plus, 0.0, atol=1e-8)
+
+    def test_impulse_dissipates_energy(self, rng):
+        from repro.dynamics.crba import crba
+
+        model = hyq()
+        q, qd = model.random_state(rng)
+        foot = ContactPoint(model.link_index("lh_kfe"),
+                            np.array([0.0, 0.0, -0.35]))
+        qd_plus = contact_impulse(model, q, qd, [foot])
+        m = crba(model, q)
+        ke_minus = 0.5 * qd @ m @ qd
+        ke_plus = 0.5 * qd_plus @ m @ qd_plus
+        assert ke_plus <= ke_minus + 1e-9
+
+    def test_elastic_impulse_reverses_contact_velocity(self, rng):
+        model = hyq()
+        q, qd = model.random_state(rng)
+        foot = ContactPoint(model.link_index("lf_kfe"),
+                            np.array([0.0, 0.0, -0.35]))
+        jac = contact_jacobian(model, q, [foot])
+        qd_plus = contact_impulse(model, q, qd, [foot], restitution=1.0)
+        assert np.allclose(jac @ qd_plus, -(jac @ qd), atol=1e-7)
+
+
+class TestOperationalSpaceControl:
+    @pytest.mark.parametrize("inertia_weighting", [False, True],
+                             ids=["pd-gravity", "osc-lambda"])
+    def test_reaches_target(self, rng, inertia_weighting):
+        model = iiwa()
+        controller = TaskSpaceController(
+            model, link=6, point_local=np.array([0.0, 0.0, 0.08]),
+            kp=150.0, kd=8.0, inertia_weighting=inertia_weighting,
+        )
+        q_goal = 0.4 * model.random_q(rng)
+        fk = forward_kinematics(model, q_goal)
+        target = fk.link_position(6) + fk.link_rotation(6) @ controller.point_local
+
+        # Start bent: the vertical neutral pose is kinematically singular.
+        state = State(0.3 * np.ones(model.nv), np.zeros(model.nv))
+        for _ in range(700):
+            tau = controller.torques(state.q, state.qd, target)
+            state = rk4_step(model, state, tau, 0.003)
+        assert controller.tracking_error(state.q, target) < 5e-3
+
+    def test_holds_position_at_target(self, rng):
+        model = double_pendulum()
+        controller = TaskSpaceController(
+            model, link=1, point_local=np.array([0.0, 0.0, 0.8]),
+            kp=150.0, kd=8.0,
+        )
+        q = np.array([0.3, -0.4])
+        fk = forward_kinematics(model, q)
+        target = fk.link_position(1) + fk.link_rotation(1) @ controller.point_local
+        state = State(q.copy(), np.zeros(2))
+        for _ in range(400):
+            tau = controller.torques(state.q, state.qd, target)
+            state = rk4_step(model, state, tau, 0.005)
+        assert controller.tracking_error(state.q, target) < 5e-3
+
+    def test_damping_is_mass_weighted(self, rng):
+        """The damping torque on a light wrist joint stays proportional to
+        its inertia (the stiffness trap the docstring warns about)."""
+        model = iiwa()
+        controller = TaskSpaceController(model, link=6)
+        q = 0.3 * np.ones(model.nv)
+        qd = np.zeros(model.nv)
+        qd[6] = 1.0        # spin only the light wrist
+        fk = forward_kinematics(model, q)
+        target = fk.link_position(6)
+        tau_moving = controller.torques(q, qd, target)
+        tau_still = controller.torques(q, np.zeros(model.nv), target)
+        wrist_damping = abs(tau_moving[6] - tau_still[6])
+        assert wrist_damping < 0.5    # ~ kd * M_77, tiny inertia

@@ -1,0 +1,31 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "iiwa" in out and "atlas" in out
+
+    def test_report_single_function(self, capsys):
+        assert main(["report", "iiwa", "--function", "diFD"]) == 0
+        out = capsys.readouterr().out
+        assert "diFD" in out
+        assert "DSP" in out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "pendulum", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Rf:A0[0]" in out
+
+    def test_unknown_robot_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["report", "hal9000"])
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["report", "iiwa", "--function", "teleport"])

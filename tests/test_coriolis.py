@@ -1,0 +1,63 @@
+"""Tests for the Coriolis matrix / equation-of-motion decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.coriolis import (
+    coriolis_matrix,
+    equation_of_motion_terms,
+    mass_matrix_time_derivative,
+)
+from repro.dynamics.rnea import rnea
+from repro.errors import ModelError
+from repro.model.library import double_pendulum, hyq, iiwa, serial_chain, tiago
+
+
+@pytest.mark.parametrize("builder", [double_pendulum, iiwa, tiago,
+                                     lambda: serial_chain(4, seed=9)])
+class TestEquationOfMotion:
+    def test_matches_rnea(self, builder, rng):
+        """tau == M qdd + C qd + g for coordinate-velocity robots."""
+        model = builder()
+        q, qd = model.random_state(rng)
+        qdd = rng.normal(size=model.nv)
+        m, c, g = equation_of_motion_terms(model, q, qd)
+        assert np.allclose(
+            m @ qdd + c @ qd + g, rnea(model, q, qd, qdd), atol=1e-6
+        )
+
+    def test_passivity_skew_symmetry(self, builder, rng):
+        """dM/dt - 2C is skew-symmetric (Christoffel construction)."""
+        model = builder()
+        q, qd = model.random_state(rng)
+        c = coriolis_matrix(model, q, qd)
+        m_dot = mass_matrix_time_derivative(model, q, qd)
+        s = m_dot - 2.0 * c
+        assert np.allclose(s, -s.T, atol=1e-5)
+
+    def test_linear_in_velocity(self, builder, rng):
+        model = builder()
+        q, qd = model.random_state(rng)
+        c1 = coriolis_matrix(model, q, qd)
+        c2 = coriolis_matrix(model, q, 2.0 * qd)
+        assert np.allclose(c2, 2.0 * c1, atol=1e-6)
+
+    def test_zero_at_rest(self, builder, rng):
+        model = builder()
+        q = model.random_q(rng)
+        c = coriolis_matrix(model, q, np.zeros(model.nv))
+        assert np.allclose(c, 0.0, atol=1e-9)
+
+
+class TestQuasiVelocityGuard:
+    def test_floating_base_rejected(self, rng):
+        model = hyq()
+        q, qd = model.random_state(rng)
+        with pytest.raises(ModelError):
+            coriolis_matrix(model, q, qd)
+
+    def test_error_names_the_joint(self, rng):
+        model = hyq()
+        q, qd = model.random_state(rng)
+        with pytest.raises(ModelError, match="FloatingJoint"):
+            coriolis_matrix(model, q, qd)

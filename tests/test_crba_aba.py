@@ -1,0 +1,84 @@
+"""Tests for CRBA and ABA and their mutual consistency with RNEA."""
+
+import numpy as np
+
+from repro.dynamics.aba import aba
+from repro.dynamics.crba import crba
+from repro.dynamics.rnea import rnea
+
+
+class TestCrba:
+    def test_symmetric(self, any_robot, rng):
+        m = crba(any_robot, any_robot.random_q(rng))
+        assert np.allclose(m, m.T, atol=1e-10)
+
+    def test_positive_definite(self, any_robot, rng):
+        m = crba(any_robot, any_robot.random_q(rng))
+        assert np.all(np.linalg.eigvalsh(m) > 0)
+
+    def test_branch_induced_sparsity(self, rng):
+        """M[i, j] == 0 when joints i and j are on different branches
+        (Fig 5): the structure SAPs exploit."""
+        from repro.model.library import hyq
+
+        model = hyq()
+        q = model.random_q(rng)
+        m = crba(model, q)
+        lf = model.dof_slice(model.link_index("lf_kfe"))
+        rh = model.dof_slice(model.link_index("rh_haa"))
+        assert np.allclose(m[lf, rh], 0.0)
+
+    def test_configuration_dependence(self, rng):
+        from repro.model.library import iiwa
+
+        model = iiwa()
+        m1 = crba(model, model.random_q(rng))
+        m2 = crba(model, model.random_q(rng))
+        assert not np.allclose(m1, m2)
+
+    def test_diagonal_positive(self, any_robot, rng):
+        m = crba(any_robot, any_robot.random_q(rng))
+        assert np.all(np.diag(m) > 0)
+
+
+class TestAba:
+    def test_inverts_rnea(self, any_robot, rng):
+        """FD(q, qd, ID(q, qd, qdd)) == qdd for random states."""
+        q, qd = any_robot.random_state(rng)
+        qdd = rng.normal(size=any_robot.nv)
+        tau = rnea(any_robot, q, qd, qdd)
+        assert np.allclose(aba(any_robot, q, qd, tau), qdd, atol=1e-8)
+
+    def test_matches_dense_solve(self, paper_robot, rng):
+        q, qd = paper_robot.random_state(rng)
+        tau = rng.normal(size=paper_robot.nv)
+        c = rnea(paper_robot, q, qd, np.zeros(paper_robot.nv))
+        qdd_dense = np.linalg.solve(crba(paper_robot, q), tau - c)
+        assert np.allclose(aba(paper_robot, q, qd, tau), qdd_dense, atol=1e-8)
+
+    def test_with_external_forces(self, rng):
+        from repro.model.library import hyq
+
+        model = hyq()
+        q, qd = model.random_state(rng)
+        qdd = rng.normal(size=model.nv)
+        f_ext = {model.link_index("lf_kfe"): rng.normal(size=6)}
+        tau = rnea(model, q, qd, qdd, f_ext=f_ext)
+        assert np.allclose(aba(model, q, qd, tau, f_ext=f_ext), qdd, atol=1e-8)
+
+    def test_free_fall_of_floating_base(self, rng):
+        """An unactuated floating body in gravity: linear acceleration has
+        magnitude g."""
+        from repro.model.joints import FloatingJoint
+        from repro.model.robot import GRAVITY, RobotBuilder
+        from repro.spatial.random import random_inertia
+
+        builder = RobotBuilder("freebody")
+        builder.add_link("body", None, FloatingJoint(), random_inertia(rng))
+        model = builder.build()
+        q = model.random_q(rng)
+        qdd = aba(model, q, np.zeros(6), np.zeros(6))
+        # Acceleration is expressed in the body frame; its norm is g and the
+        # angular part vanishes.
+        assert np.allclose(qdd[:3], 0.0, atol=1e-9)
+        assert np.isclose(np.linalg.norm(qdd[3:]), GRAVITY, rtol=1e-9)

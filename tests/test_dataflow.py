@@ -1,0 +1,177 @@
+"""Tests for per-function dataflow graphs (Fig 9, Fig 14) and the cost model."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG
+from repro.core.costmodel import (
+    HEAVY_KINDS,
+    SERVICE_FLOORS,
+    CostModel,
+    SubmoduleKind,
+)
+from repro.core.modules import active_stage_names, build_dataflow
+from repro.core.saps import organize
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import hyq, iiwa
+
+ALL_FUNCTIONS = list(RBDFunction)
+
+
+def make(builder=iiwa, config=PAPER_CONFIG):
+    org = organize(builder(), config)
+    cost = CostModel(org.timing_model, config)
+    return org, cost
+
+
+class TestCostModel:
+    def test_df_cost_grows_with_depth(self):
+        """Fig 7c: deeper dRNEA forward submodules need more resources."""
+        org, cost = make()
+        budgets = [
+            cost.budget(SubmoduleKind.DF, link).parallelism
+            for link in range(org.timing_model.nb)
+        ]
+        assert budgets == sorted(budgets)
+        assert budgets[-1] > 3 * budgets[0]
+
+    def test_rf_cost_flat_across_chain(self):
+        org, cost = make()
+        ops = [cost.ops(SubmoduleKind.RF, link) for link in range(7)]
+        assert max(ops) == min(ops)      # identical revolute joints
+
+    def test_service_respects_floor(self):
+        org, cost = make()
+        for kind in SubmoduleKind:
+            budget = cost.budget(kind, 0)
+            assert budget.service_cycles >= SERVICE_FLOORS[kind]
+
+    def test_multiplex_shrinks_service_budget(self):
+        org, cost = make()
+        single = cost.budget(SubmoduleKind.DF, 3, multiplex=1)
+        shared = cost.budget(SubmoduleKind.DF, 3, multiplex=2)
+        assert shared.load_cycles >= single.load_cycles
+        assert shared.parallelism >= single.parallelism
+
+    def test_heavy_kinds_use_heavy_budget(self):
+        config = PAPER_CONFIG.with_(
+            ii_target_heavy_cycles=40, auto_fit_ii=False
+        )
+        org, cost = make(iiwa, config)
+        heavy = cost.budget(SubmoduleKind.DF, 6)
+        light = cost.budget(SubmoduleKind.RF, 6)
+        assert heavy.service_cycles <= 40
+        assert light.service_cycles <= config.ii_target_cycles
+        assert SubmoduleKind.DF in HEAVY_KINDS
+
+    def test_mb_cheaper_without_minv(self):
+        org, cost = make()
+        link = 3
+        assert cost.ops(SubmoduleKind.MB, link, out_minv=False) < cost.ops(
+            SubmoduleKind.MB, link, out_minv=True
+        )
+
+    def test_reupdate_transforms_reduces_backward_ops(self):
+        config = PAPER_CONFIG.with_(
+            reupdate_transforms=False, auto_fit_ii=False
+        )
+        org, cost_off = make(iiwa, config)
+        _, cost_on = make(iiwa, PAPER_CONFIG)
+        assert (
+            cost_off.ops(SubmoduleKind.RB, 3)
+            < cost_on.ops(SubmoduleKind.RB, 3)
+        )
+
+    def test_lazy_update_ablation_slows_backward(self):
+        config = PAPER_CONFIG.with_(lazy_update=False, auto_fit_ii=False)
+        org, cost_off = make(iiwa, config)
+        _, cost_on = make(iiwa, PAPER_CONFIG)
+        assert (
+            cost_off.budget(SubmoduleKind.RB, 3).service_cycles
+            > cost_on.budget(SubmoduleKind.RB, 3).service_cycles
+        )
+
+
+class TestGraphShapes:
+    @pytest.mark.parametrize("function", ALL_FUNCTIONS)
+    def test_graph_builds_and_is_acyclic(self, function):
+        org, cost = make()
+        graph = build_dataflow(org, cost, function)
+        # Nodes are added in topological order by construction; verify.
+        for node in graph.nodes:
+            assert all(p < node.index for p in node.preds)
+        assert graph.sources()
+        assert graph.sinks()
+
+    def test_id_uses_only_fb_module(self):
+        org, cost = make()
+        stages = active_stage_names(build_dataflow(org, cost, RBDFunction.ID))
+        assert any(s.startswith("Rf") for s in stages)
+        assert not any(s.startswith(("Mb", "Mf", "Df", "Db")) for s in stages)
+
+    def test_m_uses_only_bf_backward(self):
+        org, cost = make()
+        stages = active_stage_names(build_dataflow(org, cost, RBDFunction.M))
+        assert any(s.startswith("Mb") for s in stages)
+        assert not any(s.startswith(("Mf", "Rf", "Df")) for s in stages)
+
+    def test_minv_adds_forward_sweep(self):
+        org, cost = make()
+        stages = active_stage_names(build_dataflow(org, cost, RBDFunction.MINV))
+        assert any(s.startswith("Mf") for s in stages)
+
+    def test_fd_uses_both_modules_plus_schedule(self):
+        org, cost = make()
+        stages = active_stage_names(build_dataflow(org, cost, RBDFunction.FD))
+        assert any(s.startswith("Rf") for s in stages)
+        assert any(s.startswith("Mb") for s in stages)
+        assert "schedule:matvec" in stages
+
+    def test_difd_skips_bf_module(self):
+        """diFD receives Minv from the host (Fig 14e): no Mb/Mf stages."""
+        org, cost = make()
+        stages = active_stage_names(build_dataflow(org, cost, RBDFunction.DIFD))
+        assert not any(s.startswith(("Mb", "Mf")) for s in stages)
+        assert "schedule:matmul" in stages
+
+    def test_dfd_visits_fb_twice(self):
+        """dFD's two FB-module passes double the Rf stage load (Fig 14f)."""
+        org, cost = make()
+        graph_dfd = build_dataflow(org, cost, RBDFunction.DFD)
+        graph_id = build_dataflow(org, cost, RBDFunction.ID)
+        rf_visits_dfd = sum(
+            1 for n in graph_dfd.nodes if n.stage.startswith("Rf")
+        )
+        rf_visits_id = sum(
+            1 for n in graph_id.nodes if n.stage.startswith("Rf")
+        )
+        assert rf_visits_dfd == 2 * rf_visits_id
+
+    def test_dfd_has_feedback_stage(self):
+        org, cost = make()
+        stages = active_stage_names(build_dataflow(org, cost, RBDFunction.DFD))
+        assert "feedback" in stages
+
+    def test_multiplexed_links_share_stage_nodes(self):
+        org, cost = make(hyq)
+        graph = build_dataflow(org, cost, RBDFunction.ID)
+        model = org.timing_model
+        lf = org.stage_key(SubmoduleKind.RF, model.link_index("lf_haa"))
+        visits = sum(1 for n in graph.nodes if n.stage == lf)
+        assert visits == 2       # two legs share the stage
+
+    def test_ii_of_dfd_exceeds_did(self):
+        org, cost = make()
+        ii_dfd = build_dataflow(org, cost, RBDFunction.DFD).initiation_interval()
+        ii_did = build_dataflow(org, cost, RBDFunction.DID).initiation_interval()
+        assert ii_dfd > ii_did
+
+    def test_m_node_override_shortens_service(self):
+        org, cost = make()
+        graph = build_dataflow(org, cost, RBDFunction.M)
+        overrides = [
+            n for n in graph.nodes
+            if n.stage.startswith("Mb") and n.service_override is not None
+        ]
+        assert overrides
+        for node in overrides:
+            assert node.service_override <= graph.stages[node.stage].service_cycles

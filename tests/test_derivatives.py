@@ -1,0 +1,159 @@
+"""Tests for analytical dynamics derivatives (dID, dFD, diFD)."""
+
+import numpy as np
+
+from repro.dynamics.derivatives import (
+    fd_derivatives,
+    fd_derivatives_from_inverse,
+    rnea_derivatives,
+)
+from repro.dynamics.functions import forward_dynamics
+from repro.dynamics.mminv import mass_matrix_inverse
+from repro.dynamics.rnea import rnea
+
+
+def _numeric_id_derivatives(model, q, qd, qdd, f_ext=None, eps=1e-6):
+    nv = model.nv
+    num_dq = np.zeros((nv, nv))
+    num_dqd = np.zeros((nv, nv))
+    for k in range(nv):
+        e = np.zeros(nv)
+        e[k] = eps
+        num_dq[:, k] = (
+            rnea(model, model.integrate(q, e), qd, qdd, f_ext)
+            - rnea(model, model.integrate(q, -e), qd, qdd, f_ext)
+        ) / (2 * eps)
+        num_dqd[:, k] = (
+            rnea(model, q, qd + e, qdd, f_ext)
+            - rnea(model, q, qd - e, qdd, f_ext)
+        ) / (2 * eps)
+    return num_dq, num_dqd
+
+
+class TestIDDerivatives:
+    def test_matches_finite_differences(self, any_robot, rng):
+        q, qd = any_robot.random_state(rng)
+        qdd = rng.normal(size=any_robot.nv)
+        analytic = rnea_derivatives(any_robot, q, qd, qdd)
+        num_dq, num_dqd = _numeric_id_derivatives(any_robot, q, qd, qdd)
+        assert np.allclose(analytic.dtau_dq, num_dq, atol=5e-5)
+        assert np.allclose(analytic.dtau_dqd, num_dqd, atol=5e-5)
+
+    def test_with_external_forces(self, rng):
+        from repro.model.library import hyq
+
+        model = hyq()
+        q, qd = model.random_state(rng)
+        qdd = rng.normal(size=model.nv)
+        f_ext = {model.link_index("rf_kfe"): rng.normal(size=6)}
+        analytic = rnea_derivatives(model, q, qd, qdd, f_ext)
+        num_dq, num_dqd = _numeric_id_derivatives(model, q, qd, qdd, f_ext)
+        assert np.allclose(analytic.dtau_dq, num_dq, atol=5e-5)
+        assert np.allclose(analytic.dtau_dqd, num_dqd, atol=5e-5)
+
+    def test_column_sparsity_pattern(self, rng):
+        """dtau_i/dq_j == 0 unless i and j share a supporting chain — the
+        incremental-column sparsity (Fig 7b)."""
+        from repro.model.library import hyq
+
+        model = hyq()
+        q, qd = model.random_state(rng)
+        qdd = rng.normal(size=model.nv)
+        d = rnea_derivatives(model, q, qd, qdd)
+        lf_dofs = set(
+            range(*_slice_bounds(model, "lf_haa"))
+        ) | set(range(*_slice_bounds(model, "lf_kfe")))
+        rh_rows = range(*_slice_bounds(model, "rh_kfe"))
+        for row in rh_rows:
+            for col in lf_dofs:
+                assert np.isclose(d.dtau_dq[row, col], 0.0, atol=1e-10)
+
+    def test_dtau_dqd_zero_at_zero_velocity_for_fixed_base(self, rng):
+        """At qd=0 the Coriolis terms vanish; dtau/dqd must be zero for a
+        fixed-base arm (gravity does not depend on qd)."""
+        from repro.model.library import iiwa
+
+        model = iiwa()
+        q = model.random_q(rng)
+        qdd = rng.normal(size=model.nv)
+        d = rnea_derivatives(model, q, np.zeros(model.nv), qdd)
+        assert np.allclose(d.dtau_dqd, 0.0, atol=1e-10)
+
+    def test_gravity_only_matches_potential_hessian_symmetry(self, rng):
+        """With qd=qdd=0, dtau/dq is the Hessian of potential energy and so
+        must be symmetric (fixed-base robots)."""
+        from repro.model.library import iiwa
+
+        model = iiwa()
+        q = model.random_q(rng)
+        d = rnea_derivatives(model, q, np.zeros(model.nv), np.zeros(model.nv))
+        assert np.allclose(d.dtau_dq, d.dtau_dq.T, atol=1e-8)
+
+
+class TestFDDerivatives:
+    def test_matches_finite_differences(self, paper_robot, rng):
+        model = paper_robot
+        q, qd = model.random_state(rng)
+        tau = rng.normal(size=model.nv)
+        d = fd_derivatives(model, q, qd, tau)
+        eps = 1e-6
+        num_dq = np.zeros((model.nv, model.nv))
+        num_dqd = np.zeros((model.nv, model.nv))
+        for k in range(model.nv):
+            e = np.zeros(model.nv)
+            e[k] = eps
+            num_dq[:, k] = (
+                forward_dynamics(model, model.integrate(q, e), qd, tau)
+                - forward_dynamics(model, model.integrate(q, -e), qd, tau)
+            ) / (2 * eps)
+            num_dqd[:, k] = (
+                forward_dynamics(model, q, qd + e, tau)
+                - forward_dynamics(model, q, qd - e, tau)
+            ) / (2 * eps)
+        assert np.allclose(d.dqdd_dq, num_dq, atol=5e-4)
+        assert np.allclose(d.dqdd_dqd, num_dqd, atol=5e-4)
+
+    def test_dtau_derivative_is_minv(self, paper_robot, rng):
+        model = paper_robot
+        q, qd = model.random_state(rng)
+        tau = rng.normal(size=model.nv)
+        d = fd_derivatives(model, q, qd, tau)
+        assert np.allclose(d.dqdd_dtau, mass_matrix_inverse(model, q), atol=1e-9)
+
+    def test_relationship_eq3(self, paper_robot, rng):
+        """dFD == -Minv dID (the paper's Eq. 3), verified explicitly."""
+        model = paper_robot
+        q, qd = model.random_state(rng)
+        tau = rng.normal(size=model.nv)
+        qdd = forward_dynamics(model, q, qd, tau)
+        id_parts = rnea_derivatives(model, q, qd, qdd)
+        minv = mass_matrix_inverse(model, q)
+        d = fd_derivatives(model, q, qd, tau)
+        assert np.allclose(d.dqdd_dq, -minv @ id_parts.dtau_dq, atol=1e-9)
+        assert np.allclose(d.dqdd_dqd, -minv @ id_parts.dtau_dqd, atol=1e-9)
+
+
+class TestDiFD:
+    def test_matches_dfd(self, paper_robot, rng):
+        """diFD(q, qd, qdd, Minv) must equal dFD(q, qd, tau) when qdd/tau
+        correspond — the consistency the paper's dataflow relies on."""
+        model = paper_robot
+        q, qd = model.random_state(rng)
+        tau = rng.normal(size=model.nv)
+        d_full = fd_derivatives(model, q, qd, tau)
+        d_inc = fd_derivatives_from_inverse(
+            model, q, qd, d_full.qdd, d_full.minv
+        )
+        assert np.allclose(d_inc.dqdd_dq, d_full.dqdd_dq, atol=1e-9)
+        assert np.allclose(d_inc.dqdd_dqd, d_full.dqdd_dqd, atol=1e-9)
+
+    def test_computes_minv_when_missing(self, iiwa_robot, rng):
+        q, qd = iiwa_robot.random_state(rng)
+        qdd = rng.normal(size=iiwa_robot.nv)
+        d = fd_derivatives_from_inverse(iiwa_robot, q, qd, qdd)
+        assert np.allclose(d.minv, mass_matrix_inverse(iiwa_robot, q), atol=1e-9)
+
+
+def _slice_bounds(model, name):
+    sl = model.dof_slice(model.link_index(name))
+    return sl.start, sl.stop

@@ -1,0 +1,133 @@
+"""Tests for the paper's stated-but-unimplemented extensions we built:
+ABA-on-the-BF-module FD (Section V-B4) and multi-SAP replication
+(Section VI-A), plus the pipeline visualizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import DaduRBD, PAPER_CONFIG, TaskRequest
+from repro.core.visualize import pipeline_timeline, trace_stages
+from repro.core.sim import JobSpec
+from repro.dynamics import forward_dynamics
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import hyq, iiwa, serial_chain
+
+
+@pytest.fixture(scope="module")
+def aba_acc():
+    return DaduRBD(iiwa(), PAPER_CONFIG.with_(enable_aba_fd=True))
+
+
+@pytest.fixture(scope="module")
+def base_acc():
+    return DaduRBD(iiwa())
+
+
+class TestAbaFd:
+    def test_functional_result_matches_reference(self, aba_acc, rng):
+        model = aba_acc.model
+        q, qd = model.random_state(rng)
+        tau = rng.normal(size=model.nv)
+        got = aba_acc.compute(TaskRequest(RBDFunction.FD, q, qd, tau))
+        want = forward_dynamics(model, q, qd, tau)
+        assert np.allclose(got, want, atol=5e-3)
+
+    def test_fd_graph_has_no_schedule_stage(self, aba_acc):
+        from repro.core.modules import active_stage_names
+
+        stages = active_stage_names(aba_acc.graph(RBDFunction.FD))
+        assert "schedule:matvec" not in stages
+        # ABA rides the Rf + Mb + Mf stages.
+        assert any(s.startswith("Rf") for s in stages)
+        assert any(s.startswith("Mb") for s in stages)
+        assert any(s.startswith("Mf") for s in stages)
+
+    def test_other_functions_unchanged(self, aba_acc, base_acc):
+        for f in (RBDFunction.ID, RBDFunction.DID, RBDFunction.MINV):
+            assert aba_acc.initiation_interval(f) == pytest.approx(
+                base_acc.initiation_interval(f)
+            )
+
+    def test_area_cost_of_the_option(self, aba_acc, base_acc):
+        """The paper skipped ABA "due to resource constraints": hosting it
+        must never shrink the BF stages, and typically grows them."""
+        assert aba_acc.resources().dsp >= base_acc.resources().dsp
+
+    def test_fd_timing_is_finite_and_pipelined(self, aba_acc):
+        latency = aba_acc.latency_seconds(RBDFunction.FD)
+        ii = aba_acc.initiation_interval(RBDFunction.FD)
+        assert 0 < ii * aba_acc.config.cycles_to_seconds(1) < latency
+
+
+class TestMultiSap:
+    def test_throughput_scales_with_replicas(self):
+        small = serial_chain(3, seed=1)
+        thr = []
+        for replicas in (1, 2, 3):
+            acc = DaduRBD(small, PAPER_CONFIG.with_(sap_replicas=replicas))
+            thr.append(acc.throughput_tasks_per_s(RBDFunction.DID, 256))
+        assert thr[1] == pytest.approx(2 * thr[0], rel=0.05)
+        assert thr[2] == pytest.approx(3 * thr[0], rel=0.05)
+
+    def test_resources_scale_with_replicas(self):
+        small = serial_chain(3, seed=1)
+        one = DaduRBD(small, PAPER_CONFIG.with_(sap_replicas=1)).resources()
+        two = DaduRBD(small, PAPER_CONFIG.with_(sap_replicas=2)).resources()
+        assert two.dsp > 1.8 * (one.dsp - 120.0)  # minus shared base
+
+    def test_replicated_build_still_fits(self):
+        small = serial_chain(3, seed=1)
+        acc = DaduRBD(small, PAPER_CONFIG.with_(sap_replicas=3))
+        report = acc.resources()
+        assert report.dsp_utilization <= acc.config.dsp_budget + 1e-9
+
+    def test_latency_unchanged_by_replication(self):
+        small = serial_chain(3, seed=1)
+        one = DaduRBD(small, PAPER_CONFIG.with_(sap_replicas=1))
+        two = DaduRBD(small, PAPER_CONFIG.with_(sap_replicas=2))
+        if one.config.heavy_ii_cycles == two.config.heavy_ii_cycles:
+            assert two.latency_cycles(RBDFunction.ID) == pytest.approx(
+                one.latency_cycles(RBDFunction.ID)
+            )
+
+    def test_power_scales_with_replicas(self):
+        small = serial_chain(3, seed=1)
+        one = DaduRBD(small, PAPER_CONFIG.with_(sap_replicas=1))
+        two = DaduRBD(small, PAPER_CONFIG.with_(sap_replicas=2))
+        assert two.power_w(RBDFunction.ID) > one.power_w(RBDFunction.ID)
+
+    def test_invalid_replicas_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PAPER_CONFIG.with_(sap_replicas=0)
+
+
+class TestVisualization:
+    def test_timeline_renders(self, base_acc):
+        art = pipeline_timeline(base_acc.graph(RBDFunction.ID), n_jobs=3)
+        assert "Rf:A0[0]" in art
+        assert "|" in art and "0" in art
+
+    def test_round_trip_visible(self, base_acc):
+        """Forward stages go busy before their backward counterparts."""
+        traces, _ = trace_stages(
+            base_acc.graph(RBDFunction.ID), [JobSpec()],
+        )
+        first_busy = {
+            t.stage: t.intervals[0][0] for t in traces if t.intervals
+        }
+        assert first_busy["Rf:A0[6]"] < first_busy["Rb:A0[6]"]
+        assert first_busy["Rb:A0[6]"] < first_busy["Rb:A0[0]"]
+
+    def test_empty_graph_handled(self):
+        from repro.core.visualize import render_timeline
+
+        assert "empty" in render_timeline([], 0.0)
+
+    def test_hyq_multiplexed_legs_share_rows(self):
+        acc = DaduRBD(hyq())
+        art = pipeline_timeline(acc.graph(RBDFunction.ID), n_jobs=2)
+        # Fewer distinct Rf rows than links: legs share arrays.
+        rf_rows = [line for line in art.splitlines() if "Rf:" in line]
+        assert len(rf_rows) < acc.org.timing_model.nb

@@ -1,0 +1,85 @@
+"""Tests for the fixed-point substrate and the float-trick reciprocal."""
+
+import numpy as np
+import pytest
+
+from repro.core.fixedpoint import (
+    FixedPointFormat,
+    fixed_reciprocal,
+    float_reciprocal_seed,
+    quantize_request,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFormat:
+    def test_resolution(self):
+        fmt = FixedPointFormat(16, 20)
+        assert fmt.resolution == 2**-20
+
+    def test_quantize_error_bound(self, rng):
+        fmt = FixedPointFormat(16, 20)
+        x = rng.uniform(-100, 100, size=1000)
+        err = np.abs(fmt.quantize(x) - x)
+        assert err.max() <= fmt.quantization_error_bound() + 1e-12
+
+    def test_quantize_idempotent(self, rng):
+        fmt = FixedPointFormat(8, 12)
+        x = fmt.quantize(rng.normal(size=50))
+        assert np.allclose(fmt.quantize(x), x)
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(4, 4)
+        assert fmt.quantize(1e9) == fmt.max_value
+        assert fmt.quantize(-1e9) == fmt.min_value
+
+    def test_scalar_returns_scalar(self):
+        fmt = FixedPointFormat(8, 8)
+        assert isinstance(fmt.quantize(0.3), float)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(40, 40)
+
+
+class TestReciprocal:
+    def test_seed_accuracy(self, rng):
+        for _ in range(50):
+            x = float(rng.uniform(0.01, 1000.0))
+            seed = float_reciprocal_seed(x)
+            assert abs(seed * x - 1.0) < 0.15
+
+    def test_seed_negative(self):
+        assert float_reciprocal_seed(-4.0) < 0
+
+    def test_seed_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            float_reciprocal_seed(0.0)
+
+    def test_newton_convergence(self, rng):
+        fmt = FixedPointFormat(16, 24)
+        for _ in range(100):
+            x = float(rng.uniform(0.05, 500.0))
+            r = fixed_reciprocal(x, fmt, refinements=2)
+            # Error bounded by quantization of x and of the result.
+            assert abs(r * x - 1.0) < 1e-4, x
+
+    def test_more_refinements_not_worse(self, rng):
+        fmt = FixedPointFormat(16, 30)
+        x = 7.3
+        e2 = abs(fixed_reciprocal(x, fmt, 2) * x - 1.0)
+        e3 = abs(fixed_reciprocal(x, fmt, 3) * x - 1.0)
+        assert e3 <= e2 + fmt.resolution
+
+    def test_zero_after_quantization_raises(self):
+        fmt = FixedPointFormat(8, 8)
+        with pytest.raises(ZeroDivisionError):
+            fixed_reciprocal(1e-9, fmt)
+
+
+class TestQuantizeRequest:
+    def test_handles_none(self):
+        fmt = FixedPointFormat(8, 8)
+        a, b = quantize_request(fmt, np.ones(3), None)
+        assert b is None
+        assert np.allclose(a, 1.0)

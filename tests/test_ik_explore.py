@@ -1,0 +1,89 @@
+"""Tests for inverse kinematics and the design-space exploration."""
+
+import numpy as np
+import pytest
+
+from repro.core.explore import (
+    DesignPoint,
+    best_feasible_point,
+    sweep_design_space,
+)
+from repro.dynamics.ik import point_ik
+from repro.dynamics.kinematics import forward_kinematics
+from repro.model.library import hyq, iiwa
+
+
+class TestPointIK:
+    def test_reaches_reachable_target(self, rng):
+        model = iiwa()
+        q_true = 0.6 * model.random_q(rng)
+        fk = forward_kinematics(model, q_true)
+        target = fk.link_position(model.nb - 1)
+        result = point_ik(model, model.nb - 1, target)
+        assert result.converged
+        assert result.error < 1e-4
+
+    def test_offset_point(self, rng):
+        model = iiwa()
+        q_true = 0.5 * model.random_q(rng)
+        offset = np.array([0.0, 0.0, 0.1])
+        fk = forward_kinematics(model, q_true)
+        target = fk.link_position(6) + fk.link_rotation(6) @ offset
+        result = point_ik(model, 6, target, point_local=offset)
+        assert result.converged
+
+    def test_unreachable_target_reports_failure(self):
+        model = iiwa()
+        result = point_ik(
+            model, model.nb - 1, np.array([10.0, 0.0, 0.0]),
+            max_iterations=50,
+        )
+        assert not result.converged
+        assert result.error > 1.0
+
+    def test_floating_base_ik(self, rng):
+        """With a floating base any target is reachable (base translates)."""
+        model = hyq()
+        target = np.array([2.0, 1.0, 0.5])
+        result = point_ik(
+            model, model.link_index("lf_kfe"), target, max_iterations=400,
+        )
+        assert result.converged
+
+    def test_warm_start_faster(self, rng):
+        model = iiwa()
+        q_true = 0.5 * model.random_q(rng)
+        fk = forward_kinematics(model, q_true)
+        target = fk.link_position(6)
+        cold = point_ik(model, 6, target)
+        warm = point_ik(model, 6, target, q0=q_true)
+        assert warm.iterations <= cold.iterations
+
+
+class TestDesignSpace:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_design_space(iiwa(), candidates=(8, 10, 16, 32, 64))
+
+    def test_throughput_monotone_in_ii(self, points):
+        thr = [p.throughput_tasks_per_s for p in points]
+        assert thr == sorted(thr, reverse=True)
+
+    def test_area_monotone_in_ii(self, points):
+        dsp = [p.dsp_utilization for p in points]
+        assert dsp == sorted(dsp, reverse=True)
+
+    def test_paper_design_point_is_best_feasible_edp(self, points):
+        """The shipped II=10 build minimizes EDP among feasible points —
+        the paper's 'performance and energy reach a balance'."""
+        best = best_feasible_point(points)
+        assert best.heavy_ii_cycles == 10
+
+    def test_infeasible_points_flagged(self, points):
+        assert any(not p.fits for p in points)
+        assert any(p.fits for p in points)
+
+    def test_no_feasible_raises(self):
+        bogus = [DesignPoint(8, 2.0, False, 1.0, 1.0, 1.0)]
+        with pytest.raises(ValueError):
+            best_feasible_point(bogus)

@@ -1,0 +1,88 @@
+"""Whole-stack integration tests: closed-loop control on the accelerator.
+
+These exercise model -> dynamics -> accelerator (with hardware numerics)
+-> application in one loop, the way a downstream user would run the
+system.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.integrators import State, rk4_step
+from repro.apps.workloads import sinusoidal_trajectory
+from repro.core import DaduRBD, TaskRequest
+from repro.dynamics.functions import RBDFunction
+from repro.dynamics.rnea import gravity_torques
+from repro.model.library import iiwa
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return DaduRBD(iiwa())
+
+
+class TestComputedTorqueControl:
+    def test_tracking_with_accelerator_id(self, accelerator):
+        """Computed-torque control: feedforward ID runs on the accelerator
+        (fixed-point datapath); tracking error stays small."""
+        model = accelerator.model
+        dt = 0.002
+        reference = sinusoidal_trajectory(model, steps=120, dt=dt,
+                                          amplitude=0.3, seed=5)
+        kp, kd = 400.0, 40.0
+        q0, qd0 = reference[0]
+        state = State(q0.copy(), qd0.copy())
+        max_err = 0.0
+        for k in range(1, len(reference)):
+            q_ref, qd_ref = reference[k]
+            qdd_ref = (qd_ref - reference[k - 1][1]) / dt
+            desired = qdd_ref + kp * (q_ref - state.q) + kd * (qd_ref - state.qd)
+            tau = accelerator.compute(
+                TaskRequest(RBDFunction.ID, state.q, state.qd, desired)
+            )
+            state = rk4_step(model, state, tau, dt)
+            max_err = max(max_err, float(np.abs(state.q - q_ref).max()))
+        assert max_err < 0.05, f"tracking error {max_err}"
+
+    def test_gravity_hold_with_accelerator(self, accelerator, rng):
+        """Holding torques from the accelerator keep the arm still."""
+        model = accelerator.model
+        q = model.random_q(rng)
+        tau = accelerator.compute(
+            TaskRequest(RBDFunction.ID, q, np.zeros(model.nv),
+                        np.zeros(model.nv))
+        )
+        # Compare with the exact gravity compensation; fixed-point error
+        # only.
+        assert np.allclose(tau, gravity_torques(model, q), atol=1e-2)
+        state = State(q.copy(), np.zeros(model.nv))
+        for _ in range(50):
+            state = rk4_step(model, state, tau, 0.001)
+        assert np.abs(state.q - q).max() < 1e-3
+
+
+class TestBatchedPipelineEndToEnd:
+    def test_simulated_throughput_consistent_with_run(self, accelerator):
+        """run() latency and profile_batch agree on the same graph."""
+        request_latency = accelerator.latency_cycles(RBDFunction.DID)
+        profile = accelerator.profile_batch(RBDFunction.DID, 32)
+        assert profile.first_latency_cycles == pytest.approx(
+            request_latency, rel=0.01
+        )
+        assert profile.makespan_cycles > request_latency
+
+    def test_mixed_function_session(self, accelerator, rng):
+        """A realistic session: Minv once, then diFD batches reusing it."""
+        model = accelerator.model
+        q, qd = model.random_state(rng)
+        minv = accelerator.compute(TaskRequest(RBDFunction.MINV, q))
+        results = []
+        for _ in range(4):
+            qdd = rng.normal(size=model.nv)
+            out = accelerator.compute(
+                TaskRequest(RBDFunction.DIFD, q, qd, qdd, minv=minv)
+            )
+            results.append(out)
+        # All share the same Minv and q: identical dqdd_dtau blocks.
+        for out in results[1:]:
+            assert np.allclose(out.dqdd_dtau, results[0].dqdd_dtau)

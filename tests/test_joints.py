@@ -1,0 +1,175 @@
+"""Unit tests for joint models.
+
+The load-bearing property is the tangent convention::
+
+    X_J(q [+] eps*e_k) ~= (I - eps*crm(S_k)) X_J(q)
+
+verified numerically for every joint type — the derivative pipeline and the
+re-rooting transform both rely on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.joints import (
+    CylindricalJoint,
+    FloatingJoint,
+    HelicalJoint,
+    PrismaticJoint,
+    RevoluteJoint,
+    ScrewJoint,
+    SphericalJoint,
+    Translation3Joint,
+)
+from repro.spatial.motion import crm
+from repro.spatial.transforms import is_spatial_transform
+
+ALL_JOINTS = [
+    RevoluteJoint(np.array([0.0, 0.0, 1.0])),
+    RevoluteJoint(np.array([0.0, 1.0, 0.0])),
+    RevoluteJoint(np.array([1.0, 1.0, 0.0])),  # non-axis-aligned
+    PrismaticJoint(np.array([1.0, 0.0, 0.0])),
+    HelicalJoint(np.array([0.0, 0.0, 1.0]), pitch=0.25),
+    CylindricalJoint(np.array([0.0, 1.0, 0.0])),
+    SphericalJoint(),
+    Translation3Joint(),
+    FloatingJoint(),
+    ScrewJoint(np.array([0.0, 0.0, 1.0, 0.1, -0.2, 0.05])),
+]
+
+
+def _ids(joints):
+    return [f"{j.type_name}-{k}" for k, j in enumerate(joints)]
+
+
+@pytest.mark.parametrize("joint", ALL_JOINTS, ids=_ids(ALL_JOINTS))
+class TestJointContract:
+    def test_subspace_shape(self, joint):
+        s = joint.motion_subspace()
+        assert s.shape == (6, joint.nv)
+
+    def test_transform_is_plucker(self, joint, rng):
+        q = joint.random(rng)
+        assert is_spatial_transform(joint.joint_transform(q))
+
+    def test_neutral_is_identity(self, joint):
+        assert np.allclose(joint.joint_transform(joint.neutral()), np.eye(6))
+
+    def test_tangent_derivative_convention(self, joint, rng):
+        """dX/d(delta_k) == -crm(S_k) @ X at any configuration."""
+        q = joint.random(rng)
+        x0 = joint.joint_transform(q)
+        s = joint.motion_subspace()
+        eps = 1e-7
+        for k in range(joint.nv):
+            dq = np.zeros(joint.nv)
+            dq[k] = eps
+            x_plus = joint.joint_transform(joint.integrate(q, dq))
+            x_minus = joint.joint_transform(joint.integrate(q, -dq))
+            numeric = (x_plus - x_minus) / (2 * eps)
+            analytic = -crm(s[:, k]) @ x0
+            assert np.allclose(numeric, analytic, atol=1e-6), f"dof {k}"
+
+    def test_integrate_zero_is_identity(self, joint, rng):
+        q = joint.random(rng)
+        q_new = joint.integrate(q, np.zeros(joint.nv))
+        assert np.allclose(
+            joint.joint_transform(q_new), joint.joint_transform(q), atol=1e-12
+        )
+
+    def test_cost_profile_consistent(self, joint):
+        profile = joint.cost_profile()
+        assert profile.nv == joint.nv
+        assert profile.x_mults >= 0
+        assert profile.trig_pairs >= 0
+
+
+class TestRevoluteSpecifics:
+    def test_z_rotation_values(self):
+        joint = RevoluteJoint(np.array([0.0, 0.0, 1.0]))
+        x = joint.joint_transform(np.array([np.pi / 2]))
+        v_parent = np.array([0.0, 0.0, 0.0, 1.0, 0.0, 0.0])
+        v_child = x @ v_parent
+        assert np.allclose(v_child[3:], [0.0, -1.0, 0.0], atol=1e-12)
+
+    def test_trig_path_matches(self, rng):
+        joint = RevoluteJoint(np.array([0.0, 1.0, 0.0]))
+        q = joint.random(rng)
+        expected = joint.joint_transform(q)
+        got = joint.joint_transform_trig(np.sin(q[0]), np.cos(q[0]))
+        assert np.allclose(got, expected, atol=1e-12)
+
+    def test_one_hot_subspace(self):
+        s = RevoluteJoint(np.array([0.0, 0.0, 1.0])).motion_subspace()
+        assert np.count_nonzero(s) == 1
+
+    def test_axis_normalized(self):
+        joint = RevoluteJoint(np.array([0.0, 0.0, 5.0]))
+        assert np.isclose(np.linalg.norm(joint.axis), 1.0)
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ModelError):
+            RevoluteJoint(np.zeros(3))
+
+
+class TestFloatingSpecifics:
+    def test_periodicity_via_integrate(self, rng):
+        joint = FloatingJoint()
+        q = joint.random(rng)
+        # Integrate a full turn about z in 4 quarter steps: pose returns.
+        step = np.array([0.0, 0.0, np.pi / 2, 0.0, 0.0, 0.0])
+        q_now = q
+        for _ in range(4):
+            q_now = joint.integrate(q_now, step)
+        assert np.allclose(
+            joint.joint_transform(q_now), joint.joint_transform(q), atol=1e-9
+        )
+
+    def test_pure_translation_moves_in_body_frame(self):
+        joint = FloatingJoint()
+        # Base rotated 90deg about z; body-frame x-translation moves along
+        # world y.
+        q = np.array([0.0, 0.0, np.pi / 2, 0.0, 0.0, 0.0])
+        q_new = joint.integrate(q, np.array([0.0, 0.0, 0.0, 1.0, 0.0, 0.0]))
+        assert np.allclose(q_new[3:], [0.0, 1.0, 0.0], atol=1e-12)
+
+
+class TestSphericalSpecifics:
+    def test_integrate_composes_rotations(self, rng):
+        from repro.spatial.so3 import exp_so3
+
+        joint = SphericalJoint()
+        q = joint.random(rng)
+        dq = rng.normal(size=3) * 0.3
+        q_new = joint.integrate(q, dq)
+        assert np.allclose(
+            exp_so3(q_new), exp_so3(q) @ exp_so3(dq), atol=1e-9
+        )
+
+
+class TestScrewSpecifics:
+    def test_rejects_zero_screw(self):
+        with pytest.raises(ModelError):
+            ScrewJoint(np.zeros(6))
+
+    def test_pure_translation_screw(self):
+        joint = ScrewJoint(np.array([0.0, 0.0, 0.0, 1.0, 0.0, 0.0]))
+        x = joint.joint_transform(np.array([0.5]))
+        assert is_spatial_transform(x)
+
+    def test_reduces_to_revolute_when_axis_through_origin(self, rng):
+        axis = np.array([0.0, 1.0, 0.0])
+        screw = ScrewJoint(np.concatenate([axis, np.zeros(3)]))
+        revolute = RevoluteJoint(axis)
+        q = np.array([0.9])
+        assert np.allclose(
+            screw.joint_transform(q), revolute.joint_transform(q), atol=1e-12
+        )
+
+
+class TestHelicalSpecifics:
+    def test_pitch_couples_translation(self):
+        joint = HelicalJoint(np.array([0.0, 0.0, 1.0]), pitch=0.5)
+        s = joint.motion_subspace()[:, 0]
+        assert np.isclose(s[5], 0.5 * s[2])

@@ -1,0 +1,110 @@
+"""Tests for forward kinematics, Jacobians and energies."""
+
+import numpy as np
+
+from repro.dynamics.kinematics import (
+    center_of_mass,
+    forward_kinematics,
+    kinetic_energy,
+    link_jacobian,
+    potential_energy,
+    velocity_of_point,
+)
+from repro.model.library import double_pendulum, hyq, iiwa, pendulum
+from repro.spatial.transforms import is_spatial_transform
+
+
+class TestForwardKinematics:
+    def test_world_transforms_valid(self, any_robot, rng):
+        q = any_robot.random_q(rng)
+        fk = forward_kinematics(any_robot, q)
+        for x in fk.world_transforms:
+            assert is_spatial_transform(x)
+
+    def test_pendulum_tip_height(self):
+        model = pendulum(length=1.0)
+        # At q=0 the rod hangs along +z of the link frame; rotate by pi/2
+        # about y and the frame origin stays at the world origin.
+        fk = forward_kinematics(model, np.array([np.pi / 2]))
+        assert np.allclose(fk.link_position(0), np.zeros(3), atol=1e-12)
+
+    def test_double_pendulum_chain_position(self):
+        model = double_pendulum(lengths=(1.0, 0.8))
+        fk = forward_kinematics(model, np.zeros(2))
+        # Second link frame sits one upper-length along z.
+        assert np.allclose(fk.link_position(1), [0.0, 0.0, 1.0], atol=1e-12)
+
+    def test_velocity_composition(self, rng):
+        model = iiwa()
+        q, qd = model.random_state(rng)
+        fk = forward_kinematics(model, q, qd)
+        # Velocity of link i must equal J_i(q) qd.
+        for i in range(model.nb):
+            jac = link_jacobian(model, q, i)
+            assert np.allclose(jac @ qd, fk.velocities[i], atol=1e-9)
+
+
+class TestJacobian:
+    def test_column_sparsity(self, rng):
+        # Only supporting joints contribute (incremental column property).
+        model = hyq()
+        q = model.random_q(rng)
+        leg_tip = model.link_index("rh_kfe")
+        jac = link_jacobian(model, q, leg_tip)
+        support = set(model.supporting_dofs(leg_tip))
+        for col in range(model.nv):
+            if col not in support:
+                assert np.allclose(jac[:, col], 0.0)
+
+    def test_finite_difference_linear_velocity(self, rng):
+        model = iiwa()
+        q = model.random_q(rng)
+        qd = rng.normal(size=model.nv)
+        point = np.array([0.05, 0.0, 0.1])
+        v = velocity_of_point(model, q, qd, model.nb - 1, point)
+        eps = 1e-7
+
+        def world_point(qq):
+            fk = forward_kinematics(model, qq)
+            return fk.link_position(model.nb - 1) + fk.link_rotation(
+                model.nb - 1
+            ) @ point
+
+        numeric = (world_point(model.integrate(q, eps * qd))
+                   - world_point(model.integrate(q, -eps * qd))) / (2 * eps)
+        assert np.allclose(v, numeric, atol=1e-5)
+
+
+class TestEnergies:
+    def test_kinetic_energy_nonnegative(self, any_robot, rng):
+        q, qd = any_robot.random_state(rng)
+        assert kinetic_energy(any_robot, q, qd) >= 0.0
+
+    def test_kinetic_energy_quadratic(self, rng):
+        model = iiwa()
+        q, qd = model.random_state(rng)
+        ke1 = kinetic_energy(model, q, qd)
+        ke2 = kinetic_energy(model, q, 2.0 * qd)
+        assert np.isclose(ke2, 4.0 * ke1)
+
+    def test_kinetic_energy_matches_mass_matrix(self, paper_robot, rng):
+        from repro.dynamics.crba import crba
+
+        q, qd = paper_robot.random_state(rng)
+        ke = kinetic_energy(paper_robot, q, qd)
+        assert np.isclose(ke, 0.5 * qd @ crba(paper_robot, q) @ qd, rtol=1e-9)
+
+    def test_pendulum_potential_energy(self):
+        model = pendulum(length=1.0, mass=2.0)
+        # com at z = +0.5 when hanging (q=0).
+        pe0 = potential_energy(model, np.zeros(1))
+        pe1 = potential_energy(model, np.array([np.pi]))
+        # Rotating by pi flips the com to z = -0.5: PE drops by m*g*1.0.
+        assert np.isclose(pe0 - pe1, 2.0 * 9.80665 * 1.0, rtol=1e-9)
+
+    def test_center_of_mass_neutral_iiwa(self):
+        model = iiwa()
+        com = center_of_mass(model, model.neutral_q())
+        # A vertical arm: com on the z axis.
+        assert np.allclose(com[:2], 0.0, atol=1e-9)
+        assert com[2] > 0.0

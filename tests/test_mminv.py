@@ -1,0 +1,98 @@
+"""Tests for MMinvGen (Algorithm 2) — the paper's fused M / Minv generator."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.crba import crba
+from repro.dynamics.mminv import (
+    mass_matrix,
+    mass_matrix_inverse,
+    mass_matrix_inverse_cholesky,
+    mminvgen,
+)
+from repro.errors import ModelError
+
+
+class TestFlags:
+    def test_both_flags_rejected(self, iiwa_robot):
+        # The hardware generates M *or* Minv (line 13 corrupts composite
+        # inertias); both at once is a caller error.
+        with pytest.raises(ModelError):
+            mminvgen(iiwa_robot, iiwa_robot.neutral_q(), out_m=True, out_minv=True)
+
+    def test_neither_flag_rejected(self, iiwa_robot):
+        with pytest.raises(ModelError):
+            mminvgen(iiwa_robot, iiwa_robot.neutral_q())
+
+
+class TestMassMatrix:
+    def test_matches_crba(self, any_robot, rng):
+        q = any_robot.random_q(rng)
+        assert np.allclose(mass_matrix(any_robot, q), crba(any_robot, q),
+                           atol=1e-9)
+
+    def test_symmetric(self, any_robot, rng):
+        m = mass_matrix(any_robot, any_robot.random_q(rng))
+        assert np.allclose(m, m.T, atol=1e-10)
+
+    def test_multiple_configurations(self, paper_robot, rng):
+        for _ in range(3):
+            q = paper_robot.random_q(rng)
+            assert np.allclose(
+                mass_matrix(paper_robot, q), crba(paper_robot, q), atol=1e-9
+            )
+
+
+class TestMassMatrixInverse:
+    def test_matches_cholesky_route(self, any_robot, rng):
+        q = any_robot.random_q(rng)
+        got = mass_matrix_inverse(any_robot, q)
+        ref = mass_matrix_inverse_cholesky(any_robot, q)
+        assert np.allclose(got, ref, atol=1e-7)
+
+    def test_product_is_identity(self, any_robot, rng):
+        q = any_robot.random_q(rng)
+        minv = mass_matrix_inverse(any_robot, q)
+        m = crba(any_robot, q)
+        assert np.allclose(minv @ m, np.eye(any_robot.nv), atol=1e-7)
+
+    def test_symmetric(self, any_robot, rng):
+        minv = mass_matrix_inverse(any_robot, any_robot.random_q(rng))
+        assert np.allclose(minv, minv.T, atol=1e-8)
+
+    def test_positive_definite(self, paper_robot, rng):
+        minv = mass_matrix_inverse(paper_robot, paper_robot.random_q(rng))
+        assert np.all(np.linalg.eigvalsh((minv + minv.T) / 2) > 0)
+
+    def test_branch_sparsity_of_inverse_is_dense(self, rng):
+        """Unlike M, Minv couples different branches through the floating
+        base — a structural fact the paper's dataflow must handle."""
+        from repro.model.library import hyq
+
+        model = hyq()
+        q = model.random_q(rng)
+        minv = mass_matrix_inverse(model, q)
+        lf = model.dof_slice(model.link_index("lf_kfe"))
+        rh = model.dof_slice(model.link_index("rh_haa"))
+        assert not np.allclose(minv[lf, rh], 0.0)
+
+
+class TestFixedBaseVsFloating:
+    def test_fixed_base_chain(self, rng):
+        from repro.model.library import serial_chain
+
+        model = serial_chain(5, seed=3)
+        q = model.random_q(rng)
+        assert np.allclose(
+            mass_matrix_inverse(model, q) @ crba(model, q),
+            np.eye(model.nv), atol=1e-8,
+        )
+
+    def test_single_link(self, rng):
+        from repro.model.library import pendulum
+
+        model = pendulum()
+        q = model.random_q(rng)
+        m = mass_matrix(model, q)
+        minv = mass_matrix_inverse(model, q)
+        assert np.isclose(m[0, 0] * minv[0, 0], 1.0, rtol=1e-10)

@@ -1,0 +1,127 @@
+"""Tests for the shared op-count model."""
+
+import pytest
+
+from repro.dynamics.functions import RBDFunction
+from repro.dynamics.opcount import (
+    OpCountParams,
+    derivative_columns,
+    function_ops,
+    ops_aba,
+    ops_db,
+    ops_df,
+    ops_drnea,
+    ops_mb,
+    ops_mf,
+    ops_rb,
+    ops_rf,
+    ops_rnea,
+    right_columns,
+    subtree_columns,
+    without_sparsity,
+)
+from repro.model.library import atlas, hyq, iiwa, pendulum
+
+
+class TestColumnCounts:
+    def test_derivative_columns_grow_down_chain(self):
+        model = iiwa()
+        cols = [derivative_columns(model, i) for i in range(7)]
+        assert cols == [2 * (i + 1) for i in range(7)]
+
+    def test_subtree_columns_shrink_down_chain(self):
+        model = iiwa()
+        cols = [subtree_columns(model, i) for i in range(7)]
+        assert cols == sorted(cols, reverse=True)
+        assert cols[0] == model.nv
+
+    def test_right_columns_at_root(self):
+        model = hyq()
+        assert right_columns(model, 0) == model.nv
+
+    def test_branch_columns_limited_to_supports(self):
+        model = hyq()
+        leg_tip = model.link_index("rh_kfe")
+        # 6 base + 3 leg DOF, times 2 for (q, qd).
+        assert derivative_columns(model, leg_tip) == 2 * 9
+
+
+class TestPerSubmoduleCounts:
+    def test_all_positive(self):
+        model = hyq()
+        for i in range(model.nb):
+            for fn in (ops_rf, ops_rb, ops_df, ops_db, ops_mf):
+                assert fn(model, i) > 0
+            assert ops_mb(model, i) > 0
+
+    def test_df_exceeds_rf(self):
+        model = iiwa()
+        assert ops_df(model, 6) > ops_rf(model, 6)
+
+    def test_dense_exceeds_sparse(self):
+        model = iiwa()
+        dense = without_sparsity()
+        for i in range(model.nb):
+            assert ops_rf(model, i, dense) > ops_rf(model, i)
+
+    def test_mb_minv_exceeds_m(self):
+        model = iiwa()
+        assert ops_mb(model, 2, out_minv=True) > ops_mb(model, 2, out_minv=False)
+
+
+class TestFunctionTotals:
+    def test_ordering_of_functions(self):
+        """dFD > dID > FD > ID in total work, for every robot."""
+        for builder in (iiwa, hyq, atlas):
+            model = builder()
+            ops = {
+                f: function_ops(model, f)
+                for f in (RBDFunction.ID, RBDFunction.FD, RBDFunction.DID,
+                          RBDFunction.DFD)
+            }
+            assert ops[RBDFunction.DFD] > ops[RBDFunction.DID]
+            assert ops[RBDFunction.DID] > ops[RBDFunction.ID]
+            assert ops[RBDFunction.FD] > ops[RBDFunction.ID]
+
+    def test_software_fd_uses_aba(self):
+        model = iiwa()
+        assert function_ops(model, RBDFunction.FD, software=True) == (
+            pytest.approx(ops_aba(model))
+        )
+
+    def test_hardware_fd_uses_minv_route(self):
+        model = iiwa()
+        hw = function_ops(model, RBDFunction.FD, software=False)
+        assert hw > ops_rnea(model)
+
+    def test_totals_scale_with_robot_size(self):
+        for f in (RBDFunction.ID, RBDFunction.DID, RBDFunction.MINV):
+            assert function_ops(atlas(), f) > function_ops(hyq(), f) > (
+                function_ops(iiwa(), f)
+            )
+
+    def test_pendulum_is_tiny(self):
+        assert function_ops(pendulum(), RBDFunction.ID) < 500
+
+    def test_drnea_scales_superlinearly(self):
+        """Total dRNEA work grows faster than NB (column widths grow too)."""
+        small, big = iiwa(), atlas()
+        ratio_nb = big.nb / small.nb
+        ratio_ops = ops_drnea(big) / ops_drnea(small)
+        assert ratio_ops > 1.5 * ratio_nb
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            function_ops(iiwa(), "nope")  # type: ignore[arg-type]
+
+
+class TestParams:
+    def test_custom_params_flow_through(self):
+        model = iiwa()
+        heavy = OpCountParams(matvec_x_sparse=100.0)
+        assert ops_rnea(model, heavy) > ops_rnea(model)
+
+    def test_without_sparsity_only_toggles_flag(self):
+        params = without_sparsity()
+        assert params.sparse_x is False
+        assert params.matvec_inertia == OpCountParams().matvec_inertia

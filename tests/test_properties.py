@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These complement the example-based tests with randomized structure:
+random joint angles, random tree shapes, and random pipeline graphs.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.sim import DataflowGraph, JobSpec, simulate
+from repro.dynamics.aba import aba
+from repro.dynamics.crba import crba
+from repro.dynamics.mminv import mass_matrix, mass_matrix_inverse
+from repro.dynamics.rnea import rnea
+from repro.model.library import random_tree, serial_chain
+from repro.spatial.inertia import SpatialInertia
+from repro.spatial.motion import crf, crm, cross_motion
+from repro.spatial.so3 import exp_so3, log_so3
+from repro.spatial.transforms import (
+    inverse_transform,
+    is_spatial_transform,
+    spatial_transform,
+)
+
+SLOW = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+vec3 = st.lists(
+    st.floats(-2.0, 2.0, allow_nan=False), min_size=3, max_size=3
+).map(np.array)
+
+vec6 = st.lists(
+    st.floats(-2.0, 2.0, allow_nan=False), min_size=6, max_size=6
+).map(np.array)
+
+angle = st.floats(-3.0, 3.0, allow_nan=False)
+
+
+class TestSpatialProperties:
+    @given(w=vec3)
+    @SLOW
+    def test_exp_log_roundtrip(self, w):
+        norm = np.linalg.norm(w)
+        if norm > np.pi - 0.05:
+            w = w / norm * (np.pi - 0.1)
+        assert np.allclose(log_so3(exp_so3(w)), w, atol=1e-8)
+
+    @given(w=vec3, r=vec3)
+    @SLOW
+    def test_transform_inverse_identity(self, w, r):
+        x = spatial_transform(exp_so3(w), r)
+        assert is_spatial_transform(x)
+        assert np.allclose(inverse_transform(x) @ x, np.eye(6), atol=1e-9)
+
+    @given(a=vec6, b=vec6)
+    @SLOW
+    def test_motion_cross_antisymmetry(self, a, b):
+        assert np.allclose(cross_motion(a, b), -cross_motion(b, a), atol=1e-9)
+
+    @given(v=vec6)
+    @SLOW
+    def test_crf_duality(self, v):
+        assert np.allclose(crf(v), -crm(v).T)
+
+    @given(w=vec3, r=vec3, mass=st.floats(0.1, 10.0))
+    @SLOW
+    def test_inertia_transform_preserves_spectrum_sign(self, w, r, mass):
+        inertia = SpatialInertia(mass, np.zeros(3), mass * 0.02 * np.eye(3))
+        x = spatial_transform(exp_so3(w), r)
+        transformed = inertia.transform(x).matrix()
+        assert np.all(np.linalg.eigvalsh(transformed) > 0)
+
+
+class TestDynamicsProperties:
+    @given(seed=st.integers(0, 10_000), nb=st.integers(2, 8))
+    @SLOW
+    def test_fd_inverts_id_on_random_trees(self, seed, nb):
+        model = random_tree(nb, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        q, qd = model.random_state(rng)
+        qdd = rng.normal(size=model.nv)
+        tau = rnea(model, q, qd, qdd)
+        assert np.allclose(aba(model, q, qd, tau), qdd, atol=1e-6)
+
+    @given(seed=st.integers(0, 10_000), nb=st.integers(2, 8))
+    @SLOW
+    def test_mass_matrix_spd_on_random_trees(self, seed, nb):
+        model = random_tree(nb, seed=seed, floating=bool(seed % 2))
+        rng = np.random.default_rng(seed)
+        m = crba(model, model.random_q(rng))
+        assert np.allclose(m, m.T, atol=1e-9)
+        assert np.all(np.linalg.eigvalsh(m) > 0)
+
+    @given(seed=st.integers(0, 10_000), nb=st.integers(2, 7))
+    @SLOW
+    def test_mminvgen_consistency_on_random_trees(self, seed, nb):
+        model = random_tree(nb, seed=seed)
+        rng = np.random.default_rng(seed)
+        q = model.random_q(rng)
+        m = mass_matrix(model, q)
+        minv = mass_matrix_inverse(model, q)
+        assert np.allclose(minv @ m, np.eye(model.nv), atol=1e-6)
+
+    @given(n=st.integers(1, 6), seed=st.integers(0, 100), scale=st.floats(0.5, 2.0))
+    @SLOW
+    def test_id_scales_with_gravity_at_rest(self, n, seed, scale):
+        """tau at rest is linear in the gravity vector."""
+        model = serial_chain(n, seed=seed)
+        rng = np.random.default_rng(seed)
+        q = model.random_q(rng)
+        zero = np.zeros(model.nv)
+        tau1 = rnea(model, q, zero, zero)
+        model.gravity = model.gravity * scale
+        tau2 = rnea(model, q, zero, zero)
+        assert np.allclose(tau2, scale * tau1, atol=1e-8)
+
+
+class TestTopologyProperties:
+    @given(seed=st.integers(0, 2000), nb=st.integers(3, 8))
+    @SLOW
+    def test_reroot_preserves_kinetic_energy(self, seed, nb):
+        """Re-rooting a random floating tree at a random link preserves
+        physics (the hardest invariant in the topology layer)."""
+        from repro.dynamics.kinematics import kinetic_energy
+        from repro.model.topology import map_state_to_rerooted, reroot
+
+        model = random_tree(nb, seed=seed, floating=True)
+        rng = np.random.default_rng(seed + 7)
+        target = int(rng.integers(1, nb))
+        rerooted = reroot(model, target)
+        q, qd = model.random_state(rng)
+        q2, qd2 = map_state_to_rerooted(model, rerooted, q, qd)
+        assert np.isclose(
+            kinetic_energy(model, q, qd),
+            kinetic_energy(rerooted, q2, qd2),
+            rtol=1e-6,
+        )
+
+    @given(seed=st.integers(0, 2000), nb=st.integers(2, 8))
+    @SLOW
+    def test_split_floating_preserves_energy(self, seed, nb):
+        from repro.dynamics.kinematics import kinetic_energy
+        from repro.model.topology import map_state_to_split, split_floating_base
+
+        model = random_tree(nb, seed=seed, floating=True)
+        split = split_floating_base(model)
+        rng = np.random.default_rng(seed)
+        q, qd = model.random_state(rng)
+        q2, qd2 = map_state_to_split(model, split, q, qd)
+        assert np.isclose(
+            kinetic_energy(model, q, qd),
+            kinetic_energy(split, q2, qd2),
+            rtol=1e-7,
+        )
+
+
+class TestSimulatorProperties:
+    @given(
+        seed=st.integers(0, 5000),
+        n_nodes=st.integers(2, 10),
+        jobs=st.integers(1, 8),
+    )
+    @SLOW
+    def test_random_dags_complete(self, seed, n_nodes, jobs):
+        """Random DAGs never deadlock; makespan >= critical path."""
+        rng = np.random.default_rng(seed)
+        graph = DataflowGraph()
+        for i in range(n_nodes):
+            graph.add_stage(f"s{i}", int(rng.integers(1, 8)))
+        for i in range(n_nodes):
+            n_preds = int(rng.integers(0, min(i, 3) + 1)) if i else 0
+            preds = tuple(
+                int(p) for p in rng.choice(i, size=n_preds, replace=False)
+            ) if n_preds else ()
+            graph.add_node(f"s{i}", preds)
+        specs = [JobSpec() for _ in range(jobs)]
+        result = simulate(graph, specs)
+        assert all(np.isfinite(f) for f in result.job_finish)
+        assert result.makespan >= graph.critical_path_cycles(1.0, 2.0) - 1e-9
+
+
+    @given(
+        services=st.lists(st.integers(1, 12), min_size=1, max_size=6),
+        jobs=st.integers(1, 24),
+    )
+    @SLOW
+    def test_chain_throughput_bound(self, services, jobs):
+        """Makespan is never better than the bottleneck bound and the jobs
+        all finish after they start."""
+        graph = DataflowGraph()
+        prev = None
+        for i, s in enumerate(services):
+            graph.add_stage(f"s{i}", s)
+            prev = graph.add_node(f"s{i}", () if prev is None else (prev,))
+        result = simulate(graph, [JobSpec() for _ in range(jobs)])
+        bottleneck = max(services)
+        assert result.makespan >= bottleneck * jobs - 1e-9
+        for start, finish in zip(result.job_start, result.job_finish):
+            assert finish > start
+
+    @given(
+        services=st.lists(st.integers(1, 10), min_size=2, max_size=5),
+        jobs=st.integers(2, 16),
+    )
+    @SLOW
+    def test_streaming_never_slower_than_store_forward(self, services, jobs):
+        graph = DataflowGraph()
+        prev = None
+        for i, s in enumerate(services):
+            graph.add_stage(f"s{i}", s)
+            prev = graph.add_node(f"s{i}", () if prev is None else (prev,))
+        specs = [JobSpec() for _ in range(jobs)]
+        streamed = simulate(graph, specs, startup_cycles=2.0)
+        stored = simulate(graph, specs, startup_cycles=None)
+        assert streamed.makespan <= stored.makespan + 1e-9
+
+    @given(jobs=st.integers(2, 12), service=st.integers(1, 9))
+    @SLOW
+    def test_serial_jobs_cost_sum(self, jobs, service):
+        """A fully serial job chain has no pipeline benefit."""
+        graph = DataflowGraph()
+        graph.add_stage("s", service)
+        graph.add_node("s")
+        specs = [JobSpec()] + [
+            JobSpec(after_jobs=(i,)) for i in range(jobs - 1)
+        ]
+        result = simulate(graph, specs, transfer_cycles=0)
+        assert result.makespan >= jobs * service - 1e-9

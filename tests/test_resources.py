@@ -1,0 +1,85 @@
+"""Tests for the resource / power / energy model."""
+
+import pytest
+
+from repro.core import DaduRBD, PAPER_CONFIG
+from repro.core.costmodel import CostModel
+from repro.core.resources import (
+    BASE_DSP,
+    ResourceModel,
+    ResourceReport,
+    XCVU9P_DSP,
+)
+from repro.core.saps import organize
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import atlas, hyq, iiwa, pendulum
+
+FROZEN = PAPER_CONFIG.with_(auto_fit_ii=False)
+
+
+def build(robot_builder, config=FROZEN):
+    org = organize(robot_builder(), config)
+    cost = CostModel(org.timing_model, config)
+    return ResourceModel(org, cost)
+
+
+class TestAllocation:
+    def test_every_submodule_has_lanes(self):
+        model = build(iiwa)
+        assert all(v >= 1 for v in model._lanes_by_stage.values())
+
+    def test_lanes_grow_with_robot_size_at_fixed_ii(self):
+        small = build(iiwa).report().total_lanes
+        large = build(atlas).report().total_lanes
+        assert large > 2 * small
+
+    def test_shared_stage_sized_for_heaviest_link(self):
+        model = build(hyq)
+        # All leg stages exist once per (array, position, kind).
+        rf_stages = [s for s in model._lanes_by_stage if s.startswith("Rf")]
+        assert len(rf_stages) < model.org.timing_model.nb
+
+    def test_module_lanes_partition(self):
+        model = build(iiwa)
+        total = model.report().total_lanes
+        by_kind = sum(
+            model.module_lanes((prefix,))
+            for prefix in ("Rf", "Rb", "Df", "Db", "Mb", "Mf", "schedule")
+        )
+        assert by_kind == total
+
+
+class TestReport:
+    def test_base_overhead_always_present(self):
+        report = build(pendulum).report()
+        assert report.dsp > BASE_DSP
+
+    def test_fits_detects_overflow(self):
+        report = ResourceReport(lanes_by_stage={"x": 10**6}, dsp=2 * XCVU9P_DSP)
+        assert not report.fits()
+
+    def test_utilization_fractions(self):
+        report = build(iiwa).report()
+        for u in (report.dsp_utilization, report.ff_utilization,
+                  report.lut_utilization):
+            assert 0.0 < u < 1.0
+
+
+class TestPower:
+    def test_power_monotone_in_active_set(self):
+        acc = DaduRBD(iiwa())
+        small = acc.power_w(RBDFunction.ID)
+        large = acc.power_w(RBDFunction.DFD)
+        assert large > small
+
+    def test_energy_scales_with_batch_time(self):
+        acc = DaduRBD(iiwa())
+        fast = acc.energy_per_task_j(RBDFunction.ID)
+        slow = acc.energy_per_task_j(RBDFunction.DFD)
+        assert slow > fast
+
+    def test_difd_borrows_bf_lanes(self):
+        """diFD never computes Minv yet clocks the BF lanes for the final
+        matmul: its power exceeds dID's."""
+        acc = DaduRBD(iiwa())
+        assert acc.power_w(RBDFunction.DIFD) > acc.power_w(RBDFunction.DID)

@@ -1,0 +1,125 @@
+"""Tests for the Structure-Adaptive Pipeline organization (Section V-C)."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG, SAPConfig
+from repro.core.costmodel import SubmoduleKind
+from repro.core.saps import organize
+from repro.model.library import atlas, hyq, iiwa, quadruped_arm, spot_arm, tiago
+
+
+class TestOrganizeIiwa:
+    def test_single_root_array(self):
+        org = organize(iiwa(), PAPER_CONFIG)
+        assert len(org.arrays) == 1
+        assert org.arrays[0].is_root
+        assert org.arrays[0].multiplex == 1
+        assert org.rerooted_at is None
+        assert not org.floating_split
+
+    def test_stage_keys_unique_per_link(self):
+        org = organize(iiwa(), PAPER_CONFIG)
+        keys = {org.stage_key(SubmoduleKind.RF, i) for i in range(7)}
+        assert len(keys) == 7
+
+
+class TestOrganizeHyq:
+    def test_paper_fig11b_grouping(self):
+        """Fig 11b: four symmetric legs served by two arrays (x2 each)."""
+        org = organize(hyq(), PAPER_CONFIG)
+        leg_arrays = [a for a in org.arrays if not a.is_root]
+        assert len(leg_arrays) == 2
+        assert all(a.multiplex == 2 for a in leg_arrays)
+
+    def test_floating_base_split(self):
+        org = organize(hyq(), PAPER_CONFIG)
+        assert org.floating_split
+        assert org.timing_model.nb == hyq().nb + 1
+
+    def test_no_sharing_when_disabled(self):
+        config = PAPER_CONFIG.with_(
+            sap=SAPConfig(share_symmetric_branches=False)
+        )
+        org = organize(hyq(), config)
+        leg_arrays = [a for a in org.arrays if not a.is_root]
+        assert len(leg_arrays) == 4
+        assert all(a.multiplex == 1 for a in leg_arrays)
+
+    def test_multiplexed_legs_share_stages(self):
+        org = organize(hyq(), PAPER_CONFIG)
+        model = org.timing_model
+        lf = model.link_index("lf_haa")
+        rf = model.link_index("rf_haa")
+        assert org.stage_key(SubmoduleKind.RF, lf) == org.stage_key(
+            SubmoduleKind.RF, rf
+        )
+
+    def test_multiplex_factor_exposed(self):
+        org = organize(hyq(), PAPER_CONFIG)
+        model = org.timing_model
+        assert org.multiplex(model.link_index("lf_kfe")) == 2
+        assert org.multiplex(0) == 1
+
+
+class TestOrganizeAtlas:
+    def test_rerooted_at_torso(self):
+        """Fig 11c: Atlas is re-rooted to balance the tree."""
+        org = organize(atlas(), PAPER_CONFIG)
+        assert org.rerooted_at == "torso2"
+        # Depth 11 -> 9 before the floating-base split adds one link.
+        assert org.timing_model.max_depth() <= 10
+
+    def test_arms_and_legs_paired(self):
+        org = organize(atlas(), PAPER_CONFIG)
+        paired = [a for a in org.arrays if a.multiplex == 2]
+        assert len(paired) == 2          # arms array + legs array
+
+    def test_no_reroot_when_disabled(self):
+        config = PAPER_CONFIG.with_(sap=SAPConfig(reroot_tree=False))
+        org = organize(atlas(), config)
+        assert org.rerooted_at is None
+
+
+class TestOrganizeOthers:
+    def test_tiago_linear_no_split(self):
+        # Tiago has no floating base (prismatic root): nothing to split.
+        org = organize(tiago(), PAPER_CONFIG)
+        assert not org.floating_split
+        assert len(org.arrays) == 1
+
+    def test_quadruped_arm_matches_paper(self):
+        """Fig 3 robot: four legs paired onto two multiplexed arrays; the
+        long arm chain drives a re-rooting that trims the tree depth."""
+        org = organize(quadruped_arm(), PAPER_CONFIG)
+        multiplexed = [a for a in org.arrays if a.multiplex == 2]
+        assert len(multiplexed) == 2
+        if org.rerooted_at is not None:
+            before, after = org.reroot_depths
+            assert after < before
+
+    def test_spot_arm_grouping(self):
+        org = organize(spot_arm(), PAPER_CONFIG)
+        assert max(a.multiplex for a in org.arrays) == 2
+
+
+class TestOrganizationInvariants:
+    @pytest.mark.parametrize("builder", [iiwa, hyq, atlas, quadruped_arm, tiago])
+    def test_every_link_mapped(self, builder):
+        org = organize(builder(), PAPER_CONFIG)
+        model = org.timing_model
+        for link in range(model.nb):
+            for kind in SubmoduleKind:
+                assert org.stage_key(kind, link)
+            assert org.multiplex(link) >= 1
+
+    @pytest.mark.parametrize("builder", [hyq, atlas, quadruped_arm])
+    def test_array_ids_dense(self, builder):
+        org = organize(builder(), PAPER_CONFIG)
+        ids = [a.array_id for a in org.arrays]
+        assert ids == list(range(len(ids)))
+
+    def test_describe_mentions_structure(self):
+        org = organize(atlas(), PAPER_CONFIG)
+        text = org.describe()
+        assert "re-rooted" in text
+        assert "x2" in text

@@ -1,0 +1,119 @@
+"""Tests for the batch scheduler helpers, configuration, and reporting."""
+
+import pytest
+
+from repro.core.config import (
+    AcceleratorConfig,
+    NumericsConfig,
+    PAPER_CONFIG,
+    SAPConfig,
+)
+from repro.core.scheduler import (
+    independent_batch,
+    rk4_sensitivity_jobs,
+    serial_chains,
+    staggered_batch,
+)
+from repro.errors import ConfigurationError
+from repro.reporting import Table, format_value, ratio_line
+
+
+class TestScheduler:
+    def test_independent_batch(self):
+        jobs = independent_batch(5)
+        assert len(jobs) == 5
+        assert all(not j.after_jobs for j in jobs)
+
+    def test_serial_chains_structure(self):
+        jobs = serial_chains(2, 3)
+        assert len(jobs) == 6
+        # Chain 0: jobs 0,1,2; chain 1: jobs 3,4,5.
+        assert jobs[0].after_jobs == ()
+        assert jobs[1].after_jobs == (0,)
+        assert jobs[2].after_jobs == (1,)
+        assert jobs[3].after_jobs == ()
+        assert jobs[4].after_jobs == (3,)
+
+    def test_rk4_is_four_long_chains(self):
+        jobs = rk4_sensitivity_jobs(3)
+        assert len(jobs) == 12
+        chained = sum(1 for j in jobs if j.after_jobs)
+        assert chained == 9
+
+    def test_staggered_release_times(self):
+        jobs = staggered_batch(4, 10.0)
+        assert [j.release_cycle for j in jobs] == [0.0, 10.0, 20.0, 30.0]
+
+
+class TestConfig:
+    def test_with_creates_modified_copy(self):
+        new = PAPER_CONFIG.with_(clock_hz=200e6)
+        assert new.clock_hz == 200e6
+        assert PAPER_CONFIG.clock_hz == 125e6
+
+    def test_heavy_ii_defaults_to_light(self):
+        assert AcceleratorConfig().heavy_ii_cycles == (
+            AcceleratorConfig().ii_target_cycles
+        )
+        assert AcceleratorConfig(
+            ii_target_heavy_cycles=40
+        ).heavy_ii_cycles == 40
+
+    def test_cycles_to_seconds(self):
+        config = AcceleratorConfig(clock_hz=100e6)
+        assert config.cycles_to_seconds(100) == pytest.approx(1e-6)
+
+    @pytest.mark.parametrize("bad", [
+        dict(clock_hz=0.0),
+        dict(ii_target_cycles=0),
+        dict(fifo_capacity=1),
+        dict(sap_replicas=0),
+    ])
+    def test_invalid_configs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(**bad)
+
+    def test_numerics_validation(self):
+        with pytest.raises(ConfigurationError):
+            NumericsConfig(integer_bits=1)
+        with pytest.raises(ConfigurationError):
+            NumericsConfig(taylor_order=0)
+
+    def test_sap_config_defaults_all_on(self):
+        sap = SAPConfig()
+        assert sap.share_symmetric_branches
+        assert sap.reroot_tree
+        assert sap.split_floating_base
+        assert sap.branch_induced_sparsity
+
+
+class TestReporting:
+    def test_table_renders_alignment(self):
+        table = Table("demo", ["a", "bb"])
+        table.add_row(1, 2.5)
+        table.add_row("long-cell", 0.001)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert len({len(line) for line in lines[1:3]}) <= 2
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_notes_rendered(self):
+        table = Table("demo", ["a"])
+        table.add_row(1)
+        table.add_note("hello")
+        assert "note: hello" in table.render()
+
+    def test_format_value_ranges(self):
+        assert format_value(0.0) == "0"
+        assert format_value(1234.5) == "1.23e+03"
+        assert format_value(0.25) == "0.25"
+        assert format_value("x") == "x"
+
+    def test_ratio_line(self):
+        line = ratio_line("metric", 2.0, 4.0)
+        assert "x0.50" in line

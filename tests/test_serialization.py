@@ -1,0 +1,96 @@
+"""Tests for robot model serialization (round trips, files, errors)."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.crba import crba
+from repro.dynamics.rnea import rnea
+from repro.errors import ModelError
+from repro.model.joints import HelicalJoint, ScrewJoint
+from repro.model.library import (
+    atlas,
+    hyq,
+    iiwa,
+    quadruped_arm,
+    tiago,
+)
+from repro.model.serialization import (
+    joint_from_dict,
+    joint_to_dict,
+    load_robot_file,
+    robot_from_dict,
+    robot_to_dict,
+    save_robot,
+)
+from repro.model.topology import reroot
+
+ALL_BUILDERS = [iiwa, hyq, atlas, quadruped_arm, tiago]
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS, ids=lambda b: b.__name__)
+class TestRoundTrip:
+    def test_structure_preserved(self, builder):
+        model = builder()
+        back = robot_from_dict(robot_to_dict(model))
+        assert back.nb == model.nb
+        assert back.nv == model.nv
+        for i in range(model.nb):
+            assert back.links[i].name == model.links[i].name
+            assert back.parent(i) == model.parent(i)
+            assert back.joint(i).type_name == model.joint(i).type_name
+
+    def test_dynamics_identical(self, builder, rng):
+        model = builder()
+        back = robot_from_dict(robot_to_dict(model))
+        q, qd = model.random_state(rng)
+        qdd = rng.normal(size=model.nv)
+        assert np.allclose(rnea(model, q, qd, qdd), rnea(back, q, qd, qdd))
+        assert np.allclose(crba(model, q), crba(back, q))
+
+    def test_json_serializable(self, builder):
+        import json
+
+        json.dumps(robot_to_dict(builder()))
+
+
+class TestJointRoundTrip:
+    @pytest.mark.parametrize("joint", [
+        HelicalJoint(np.array([0.0, 1.0, 0.0]), pitch=0.3),
+        ScrewJoint(np.array([0.0, 0.0, 1.0, 0.2, 0.0, 0.0])),
+    ], ids=["helical", "screw"])
+    def test_special_joints(self, joint, rng):
+        back = joint_from_dict(joint_to_dict(joint))
+        q = joint.random(rng)
+        assert np.allclose(
+            back.joint_transform(q), joint.joint_transform(q), atol=1e-12
+        )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ModelError):
+            joint_from_dict({"type": "warp-drive"})
+
+    def test_rerooted_robot_round_trips(self, rng):
+        """ScrewJoints produced by re-rooting serialize too."""
+        model = reroot(atlas(), "torso2")
+        back = robot_from_dict(robot_to_dict(model))
+        q, qd = model.random_state(rng)
+        qdd = rng.normal(size=model.nv)
+        assert np.allclose(rnea(model, q, qd, qdd), rnea(back, q, qd, qdd))
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, rng):
+        model = hyq()
+        path = tmp_path / "hyq.json"
+        save_robot(model, path)
+        back = load_robot_file(path)
+        q = model.random_q(rng)
+        assert np.allclose(crba(model, q), crba(back, q))
+
+    def test_gravity_preserved(self, tmp_path):
+        model = iiwa()
+        model.gravity = np.array([0.0, 0.0, 0.0, 0.0, 0.0, -1.62])  # moon
+        path = tmp_path / "moon_iiwa.json"
+        save_robot(model, path)
+        back = load_robot_file(path)
+        assert np.allclose(back.gravity, model.gravity)

@@ -1,0 +1,98 @@
+"""Unit tests for spatial inertia."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.spatial.inertia import SpatialInertia
+from repro.spatial.random import random_inertia, random_rotation
+from repro.spatial.transforms import spatial_transform
+
+
+class TestConstruction:
+    def test_point_mass_at_origin(self):
+        inertia = SpatialInertia(2.0, np.zeros(3), 0.1 * np.eye(3))
+        m = inertia.matrix()
+        assert np.allclose(m[3:, 3:], 2.0 * np.eye(3))
+        assert np.allclose(m[:3, 3:], 0)
+
+    def test_matrix_symmetric(self, rng):
+        m = random_inertia(rng).matrix()
+        assert np.allclose(m, m.T)
+
+    def test_matrix_positive_definite(self, rng):
+        for _ in range(10):
+            m = random_inertia(rng).matrix()
+            assert np.all(np.linalg.eigvalsh(m) > 0)
+
+    def test_from_matrix_roundtrip(self, rng):
+        inertia = random_inertia(rng)
+        back = SpatialInertia.from_matrix(inertia.matrix())
+        assert np.isclose(back.mass, inertia.mass)
+        assert np.allclose(back.com, inertia.com)
+        assert np.allclose(back.inertia_com, inertia.inertia_com)
+
+    def test_from_matrix_rejects_zero_mass(self):
+        with pytest.raises(ModelError):
+            SpatialInertia.from_matrix(np.zeros((6, 6)))
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ModelError):
+            SpatialInertia(1.0, np.zeros(2), np.eye(3))
+        with pytest.raises(ModelError):
+            SpatialInertia(1.0, np.zeros(3), np.eye(4))
+
+
+class TestPhysicality:
+    def test_random_inertias_physical(self, rng):
+        for _ in range(20):
+            assert random_inertia(rng).is_physical()
+
+    def test_triangle_inequality_violation(self):
+        bad = SpatialInertia(1.0, np.zeros(3), np.diag([1.0, 0.1, 0.1]))
+        assert not bad.is_physical()
+
+    def test_zero_is_not_physical(self):
+        assert not SpatialInertia.zero().is_physical()
+
+
+class TestTransformAndKineticEnergy:
+    def test_kinetic_energy_invariant(self, rng):
+        inertia = random_inertia(rng)
+        x = spatial_transform(random_rotation(rng), rng.normal(size=3))
+        v = rng.normal(size=6)
+        ke_a = 0.5 * v @ inertia.matrix() @ v
+        v_b = x @ v
+        ke_b = 0.5 * v_b @ inertia.transform(x).matrix() @ v_b
+        assert np.isclose(ke_a, ke_b)
+
+    def test_transform_preserves_mass(self, rng):
+        inertia = random_inertia(rng)
+        x = spatial_transform(random_rotation(rng), rng.normal(size=3))
+        assert np.isclose(inertia.transform(x).mass, inertia.mass)
+
+    def test_congruence_matches_transform(self, rng):
+        # I_B = X^{-T} I_A X^{-1} for X = ^BX_A.
+        from repro.spatial.transforms import inverse_transform
+
+        inertia = random_inertia(rng)
+        x = spatial_transform(random_rotation(rng), rng.normal(size=3))
+        xinv = inverse_transform(x)
+        assert np.allclose(
+            inertia.transform(x).matrix(), xinv.T @ inertia.matrix() @ xinv
+        )
+
+
+class TestAddition:
+    def test_add_masses(self, rng):
+        a, b = random_inertia(rng), random_inertia(rng)
+        assert np.isclose((a + b).mass, a.mass + b.mass)
+
+    def test_add_matrices(self, rng):
+        a, b = random_inertia(rng), random_inertia(rng)
+        assert np.allclose((a + b).matrix(), a.matrix() + b.matrix())
+
+    def test_add_zero(self, rng):
+        a = random_inertia(rng)
+        total = a + SpatialInertia.zero()
+        assert np.allclose(total.matrix(), a.matrix())

@@ -1,0 +1,99 @@
+"""Unit tests for Plücker spatial transforms."""
+
+import numpy as np
+
+from repro.spatial.random import random_rotation
+from repro.spatial.so3 import rotz
+from repro.spatial.transforms import (
+    force_transform,
+    inverse_transform,
+    is_spatial_transform,
+    rot,
+    spatial_transform,
+    transform_rotation,
+    transform_translation,
+    xlt,
+)
+
+
+class TestConstruction:
+    def test_rot_structure(self, rng):
+        e = random_rotation(rng)
+        x = rot(e)
+        assert np.allclose(x[:3, :3], e)
+        assert np.allclose(x[3:, 3:], e)
+        assert np.allclose(x[:3, 3:], 0)
+        assert np.allclose(x[3:, :3], 0)
+
+    def test_xlt_identity_rotation(self, rng):
+        r = rng.normal(size=3)
+        x = xlt(r)
+        assert np.allclose(x[:3, :3], np.eye(3))
+        assert np.allclose(x[:3, 3:], 0)
+
+    def test_spatial_transform_equals_product(self, rng):
+        e = random_rotation(rng)
+        r = rng.normal(size=3)
+        assert np.allclose(spatial_transform(e, r), rot(e) @ xlt(r))
+
+    def test_top_right_block_always_zero(self, rng):
+        # The paper highlights this sparsity (Section II).
+        e = random_rotation(rng)
+        r = rng.normal(size=3)
+        assert np.allclose(spatial_transform(e, r)[:3, 3:], 0)
+
+
+class TestInverseAndForce:
+    def test_inverse_transform(self, rng):
+        x = spatial_transform(random_rotation(rng), rng.normal(size=3))
+        assert np.allclose(inverse_transform(x) @ x, np.eye(6), atol=1e-12)
+
+    def test_force_transform_is_inverse_transpose(self, rng):
+        x = spatial_transform(random_rotation(rng), rng.normal(size=3))
+        assert np.allclose(force_transform(x), inverse_transform(x).T)
+
+    def test_power_balance(self, rng):
+        # Power v.f is invariant: (X v) . (X^{-T} f) == v . f
+        x = spatial_transform(random_rotation(rng), rng.normal(size=3))
+        v = rng.normal(size=6)
+        f = rng.normal(size=6)
+        assert np.isclose((x @ v) @ (force_transform(x) @ f), v @ f)
+
+    def test_transpose_maps_forces_to_parent(self, rng):
+        # X.T == force transform in the opposite direction (Alg 1, line 8).
+        x = spatial_transform(random_rotation(rng), rng.normal(size=3))
+        assert np.allclose(x.T, force_transform(inverse_transform(x)))
+
+
+class TestExtraction:
+    def test_rotation_roundtrip(self, rng):
+        e = random_rotation(rng)
+        r = rng.normal(size=3)
+        x = spatial_transform(e, r)
+        assert np.allclose(transform_rotation(x), e)
+
+    def test_translation_roundtrip(self, rng):
+        e = random_rotation(rng)
+        r = rng.normal(size=3)
+        x = spatial_transform(e, r)
+        assert np.allclose(transform_translation(x), r)
+
+
+class TestValidation:
+    def test_valid(self, rng):
+        assert is_spatial_transform(
+            spatial_transform(random_rotation(rng), rng.normal(size=3))
+        )
+
+    def test_rejects_dense(self, rng):
+        assert not is_spatial_transform(rng.normal(size=(6, 6)))
+
+    def test_rejects_nonzero_top_right(self):
+        x = np.eye(6)
+        x[0, 3] = 1.0
+        assert not is_spatial_transform(x)
+
+    def test_composition_valid(self, rng):
+        x1 = spatial_transform(random_rotation(rng), rng.normal(size=3))
+        x2 = spatial_transform(rotz(0.4), rng.normal(size=3))
+        assert is_spatial_transform(x1 @ x2)

@@ -1,0 +1,193 @@
+"""Tests for branch decomposition, symmetry detection, re-rooting and
+floating-base splitting — the SAP substrate (paper Section V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.kinematics import forward_kinematics, kinetic_energy
+from repro.errors import ModelError
+from repro.model.library import atlas, hyq, iiwa, quadruped_arm, spot_arm, tiago
+from repro.model.topology import (
+    decompose,
+    map_state_to_rerooted,
+    map_state_to_split,
+    reroot,
+    split_floating_base,
+    symmetric_branch_groups,
+)
+
+
+class TestDecompose:
+    def test_serial_chain_single_branch(self):
+        decomposition = decompose(iiwa())
+        assert len(decomposition.branches) == 1
+        assert decomposition.root_branch.links == list(range(7))
+
+    def test_tiago_linear(self):
+        # Fig 11a: Tiago's topology is linear -> one root + zero or one
+        # branch boundary (depends only on unary chain rule).
+        decomposition = decompose(tiago())
+        assert len(decomposition.branches) == 1
+
+    def test_hyq_branches(self):
+        # Root = trunk, then 4 leg branches.
+        decomposition = decompose(hyq())
+        assert len(decomposition.branches) == 5
+        assert decomposition.root_branch.links == [0]
+        sizes = sorted(b.size for b in decomposition.branches[1:])
+        assert sizes == [3, 3, 3, 3]
+
+    def test_quadruped_arm_branches(self):
+        # Fig 3 robot: body + 4 legs + 1 arm.
+        decomposition = decompose(quadruped_arm())
+        assert len(decomposition.branches) == 6
+        sizes = sorted(b.size for b in decomposition.branches[1:])
+        assert sizes == [3, 3, 3, 3, 6]
+
+    def test_links_partition(self):
+        model = atlas()
+        decomposition = decompose(model)
+        seen = sorted(l for b in decomposition.branches for l in b.links)
+        assert seen == list(range(model.nb))
+
+    def test_parent_branch_links_are_shallower(self):
+        model = atlas()
+        decomposition = decompose(model)
+        for branch in decomposition.branches:
+            if branch.parent_branch is None:
+                continue
+            parent = decomposition.branches[branch.parent_branch]
+            assert model.depth(parent.links[-1]) < model.depth(branch.links[0])
+
+
+class TestSymmetry:
+    def test_hyq_legs_form_one_group(self):
+        groups = symmetric_branch_groups(hyq())
+        assert len(groups) == 1
+        assert len(groups[0]) == 4
+
+    def test_quadruped_arm_groups(self):
+        # 4 symmetric legs + 1 arm (singleton).
+        groups = symmetric_branch_groups(quadruped_arm())
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 4]
+
+    def test_spot_arm_matches_paper_grouping_potential(self):
+        groups = symmetric_branch_groups(spot_arm())
+        assert max(len(g) for g in groups) == 4
+
+    def test_atlas_arms_and_legs_symmetric(self):
+        groups = symmetric_branch_groups(atlas())
+        # Two arms match, two legs match, head is a singleton.
+        pair_groups = [g for g in groups if len(g) == 2]
+        assert len(pair_groups) == 2
+
+
+class TestReroot:
+    def test_requires_floating_base(self):
+        with pytest.raises(ModelError):
+            reroot(iiwa(), "link3")
+
+    def test_same_root_is_identity(self):
+        model = hyq()
+        assert reroot(model, 0) is model
+
+    def test_atlas_depth_reduction(self):
+        # The paper's Fig 11c: depth 11 with pelvis root, 9 after re-rooting
+        # at torso2.
+        model = atlas()
+        assert model.max_depth() == 11
+        rerooted = reroot(model, "torso2")
+        assert rerooted.max_depth() == 9
+
+    def test_preserves_link_count_and_dofs(self):
+        model = atlas()
+        rerooted = reroot(model, "torso2")
+        assert rerooted.nb == model.nb
+        assert rerooted.nv == model.nv
+
+    def test_preserves_connectivity(self):
+        model = atlas()
+        rerooted = reroot(model, "torso2")
+        edges = set()
+        for i in range(model.nb):
+            if model.parent(i) >= 0:
+                a = model.links[i].name
+                b = model.links[model.parent(i)].name
+                edges.add(frozenset((a, b)))
+        edges_new = set()
+        for i in range(rerooted.nb):
+            if rerooted.parent(i) >= 0:
+                a = rerooted.links[i].name
+                b = rerooted.links[rerooted.parent(i)].name
+                edges_new.add(frozenset((a, b)))
+        # The old world attachment disappears, the new one appears; interior
+        # edges are identical.
+        assert edges == edges_new
+
+    @pytest.mark.parametrize("builder,new_root", [
+        (hyq, "lf_haa"),
+        (atlas, "torso2"),
+        (quadruped_arm, "arm2"),
+    ])
+    def test_kinetic_energy_invariant(self, builder, new_root, rng):
+        """Re-rooting changes coordinates, not physics: KE must match."""
+        model = builder()
+        rerooted = reroot(model, new_root)
+        q, qd = model.random_state(rng)
+        q_new, qd_new = map_state_to_rerooted(model, rerooted, q, qd)
+        ke_original = kinetic_energy(model, q, qd)
+        ke_rerooted = kinetic_energy(rerooted, q_new, qd_new)
+        assert np.isclose(ke_original, ke_rerooted, rtol=1e-8)
+
+    def test_link_world_poses_invariant(self, rng):
+        model = atlas()
+        rerooted = reroot(model, "torso2")
+        q, qd = model.random_state(rng)
+        q_new, _ = map_state_to_rerooted(model, rerooted, q, qd)
+        fk_old = forward_kinematics(model, q)
+        fk_new = forward_kinematics(rerooted, q_new)
+        for name in ("l_arm7", "r_leg6", "head", "pelvis"):
+            i_old = model.link_index(name)
+            i_new = rerooted.link_index(name)
+            assert np.allclose(
+                fk_old.link_position(i_old), fk_new.link_position(i_new),
+                atol=1e-8,
+            ), name
+
+
+class TestSplitFloatingBase:
+    def test_structure(self):
+        model = hyq()
+        split = split_floating_base(model)
+        assert split.nb == model.nb + 1
+        assert split.nv == model.nv
+        assert split.links[0].joint.type_name == "Translation3Joint"
+        assert split.links[1].joint.type_name == "SphericalJoint"
+
+    def test_requires_floating(self):
+        with pytest.raises(ModelError):
+            split_floating_base(iiwa())
+
+    def test_kinetic_energy_invariant(self, rng):
+        model = hyq()
+        split = split_floating_base(model)
+        q, qd = model.random_state(rng)
+        q_new, qd_new = map_state_to_split(model, split, q, qd)
+        assert np.isclose(
+            kinetic_energy(model, q, qd), kinetic_energy(split, q_new, qd_new),
+            rtol=1e-8,
+        )
+
+    def test_leaf_world_pose_invariant(self, rng):
+        model = quadruped_arm()
+        split = split_floating_base(model)
+        q, qd = model.random_state(rng)
+        q_new, _ = map_state_to_split(model, split, q, qd)
+        fk_old = forward_kinematics(model, q)
+        fk_new = forward_kinematics(split, q_new)
+        i_old = model.link_index("arm6")
+        i_new = split.link_index("arm6")
+        assert np.allclose(
+            fk_old.link_position(i_old), fk_new.link_position(i_new), atol=1e-8
+        )
