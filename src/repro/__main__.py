@@ -6,6 +6,13 @@ Examples::
     python -m repro report iiwa
     python -m repro report atlas --function dID
     python -m repro timeline hyq --function ID --jobs 3
+    python -m repro serve-bench iiwa --function FD --requests 512
+    python -m repro serve-bench hyq --requests 256 --shards 4 \\
+        --shard-policy least_loaded
+
+``serve-bench`` drives the :mod:`repro.serve` runtime with an open-loop
+load twice — batch-size-1 dispatch vs dynamic batching — and prints the
+service-level latency/throughput comparison.
 """
 
 from __future__ import annotations
@@ -71,6 +78,37 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import format_serve_table, run_serve_load
+
+    function = args.function or RBDFunction.FD
+    print(f"serve-bench: {args.robot} {function.value}, "
+          f"{args.requests} requests, {args.shards} shard(s), "
+          f"policy={args.shard_policy}")
+    runs = {
+        "batch-1": dict(max_batch=1, max_wait_s=0.0),
+        f"dynamic(max_batch={args.max_batch})": dict(
+            max_batch=args.max_batch, max_wait_s=args.max_wait_ms * 1e-3
+        ),
+    }
+    stats = {}
+    for label, knobs in runs.items():
+        stats[label] = run_serve_load(
+            args.robot, function, args.requests,
+            shards=args.shards, shard_policy=args.shard_policy, **knobs,
+        )
+    print(format_serve_table(list(stats.items())))
+    base = stats["batch-1"]["modeled_throughput_rps"]
+    batched = [v for k, v in stats.items() if k != "batch-1"][0]
+    if base <= 0:
+        print("\nno batch-1 baseline throughput measured "
+              "(too few requests?); speedup n/a")
+        return 0
+    speedup = batched["modeled_throughput_rps"] / base
+    print(f"\ndynamic batching sustained-throughput speedup: {speedup:.1f}x")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Dadu-RBD reproduction CLI"
@@ -92,6 +130,20 @@ def main(argv: list[str] | None = None) -> int:
     timeline.add_argument("--jobs", type=int, default=4)
     timeline.add_argument("--width", type=int, default=72)
     timeline.set_defaults(handler=cmd_timeline)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the repro.serve runtime (batching vs batch-1)",
+    )
+    _add_robot_argument(serve)
+    serve.add_argument("--function", type=_function, default=None)
+    serve.add_argument("--requests", type=int, default=512)
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument("--shard-policy", default="round_robin",
+                       choices=("round_robin", "least_loaded"))
+    serve.set_defaults(handler=cmd_serve_bench)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -57,6 +57,39 @@ def sinusoidal_trajectory(
     return out
 
 
+def poisson_arrival_times(
+    rate_rps: float, count: int, seed: int = 0
+) -> np.ndarray:
+    """Arrival times (seconds from t=0) of a Poisson request stream.
+
+    The open-loop service workload: ``count`` independent requests with
+    exponential inter-arrival gaps at ``rate_rps`` requests/second —
+    what a fleet of uncoordinated MPC hosts looks like to the service.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=count)
+    return np.cumsum(gaps)
+
+
+def chain_inputs(
+    model: RobotModel,
+    chain_length: int,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stacked ``(qs, qds, us)`` inputs for one serial request chain
+    (e.g. the 4 RK4 sensitivity stages of one sampling point)."""
+    rng = np.random.default_rng(seed)
+    qs, qds = [], []
+    for _ in range(chain_length):
+        q, qd = model.random_state(rng)
+        qs.append(q)
+        qds.append(qd)
+    return (np.stack(qs), np.stack(qds),
+            rng.normal(size=(chain_length, model.nv)))
+
+
 def mpc_sample_points(
     model: RobotModel,
     horizon_s: float = 1.0,

@@ -4,6 +4,7 @@ from repro.dynamics.aba import aba
 from repro.dynamics.batch import (
     BatchDerivatives,
     BatchStates,
+    batch_evaluate,
     batch_fd,
     batch_fd_derivatives,
     batch_id,
@@ -67,6 +68,7 @@ __all__ = [
     "ConstrainedDynamicsResult",
     "ContactPoint",
     "aba",
+    "batch_evaluate",
     "batch_fd",
     "batch_fd_derivatives",
     "batch_id",

@@ -19,7 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dynamics.derivatives import rnea_derivatives
+from repro.dynamics.derivatives import FDDerivatives, rnea_derivatives
+from repro.dynamics.functions import RBDFunction, evaluate
 from repro.dynamics.mminv import mass_matrix_inverse
 from repro.dynamics.rnea import rnea
 from repro.model.robot import RobotModel
@@ -121,3 +122,60 @@ def batch_fd_derivatives(
         dqdd_dqd=-np.einsum("nij,njk->nik", minv, dtau_dqd),
         dqdd_dtau=minv,
     )
+
+
+def batch_evaluate(
+    model: RobotModel,
+    function: RBDFunction,
+    states: BatchStates,
+    u: np.ndarray | None = None,
+    minv: np.ndarray | None = None,
+) -> list:
+    """Dispatch one Table-I function over a whole batch.
+
+    ``u`` is the per-task third operand — ``qdd`` for ID/dID/diFD, ``tau``
+    for FD/dFD (the accelerator's shared input stream), unused for M/Minv.
+    ``minv`` is the per-task ``(n, nv, nv)`` stack consumed by diFD.
+
+    Returns a *list* of per-task results with the same types
+    :func:`repro.dynamics.functions.evaluate` produces for a single
+    request, so service layers can fan results back out to independent
+    callers.  ID/FD/Minv/dFD route through the vectorized batch kernels;
+    the remaining functions fall back to a per-task loop.
+    """
+    n = len(states)
+    if u is None:
+        u = np.zeros((n, model.nv))
+    u = np.atleast_2d(np.asarray(u, dtype=float))
+    if u.shape[0] == 1 and n > 1:
+        u = np.broadcast_to(u, (n, u.shape[1]))     # one operand, all tasks
+    if u.shape != (n, model.nv):
+        raise ValueError(
+            f"u must have shape ({n}, {model.nv}) to match the batch, "
+            f"got {u.shape}"
+        )
+    if function is RBDFunction.ID:
+        return list(batch_id(model, states, u))
+    if function is RBDFunction.FD:
+        return list(batch_fd(model, states, u))
+    if function is RBDFunction.MINV:
+        return list(batch_minv(model, states))
+    if function is RBDFunction.DFD:
+        d = batch_fd_derivatives(model, states, u)
+        return [
+            FDDerivatives(
+                dqdd_dq=d.dqdd_dq[k],
+                dqdd_dqd=d.dqdd_dqd[k],
+                dqdd_dtau=d.dqdd_dtau[k],
+                qdd=d.qdd[k],
+                minv=d.dqdd_dtau[k],
+            )
+            for k in range(n)
+        ]
+    return [
+        evaluate(
+            model, function, states.q[k], states.qd[k], u[k],
+            minv=None if minv is None else minv[k],
+        )
+        for k in range(n)
+    ]

@@ -306,10 +306,33 @@ ROBOT_REGISTRY = {
 }
 
 
-def load_robot(name: str) -> RobotModel:
-    """Instantiate a predefined robot by name."""
-    try:
-        return ROBOT_REGISTRY[name]()
-    except KeyError:
+#: Memoized models, keyed by registry name.  Library models are built once
+#: per process and shared: :class:`RobotModel` exposes no mutation API after
+#: construction, so callers treat the returned instance as immutable (the
+#: same contract as a compiled FPGA bitstream).  Use ``fresh=True`` for a
+#: private, independently-built copy.
+_ROBOT_CACHE: dict[str, RobotModel] = {}
+
+
+def load_robot(name: str, *, fresh: bool = False) -> RobotModel:
+    """Instantiate a predefined robot by name.
+
+    Repeat calls with the same ``name`` return the *same* (shared,
+    effectively immutable) :class:`RobotModel` instance, so hot serving
+    paths never re-derive the tree, DOF layout or inertia validation.
+    Pass ``fresh=True`` to force a new build (e.g. to mutate link
+    parameters experimentally).
+    """
+    if name not in ROBOT_REGISTRY:
         known = ", ".join(sorted(ROBOT_REGISTRY))
-        raise KeyError(f"unknown robot {name!r}; known robots: {known}") from None
+        raise KeyError(f"unknown robot {name!r}; known robots: {known}")
+    if fresh:
+        return ROBOT_REGISTRY[name]()
+    if name not in _ROBOT_CACHE:
+        _ROBOT_CACHE[name] = ROBOT_REGISTRY[name]()
+    return _ROBOT_CACHE[name]
+
+
+def clear_robot_cache() -> None:
+    """Drop all memoized library models (mainly for tests)."""
+    _ROBOT_CACHE.clear()

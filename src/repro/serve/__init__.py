@@ -1,0 +1,94 @@
+"""Dynamics-as-a-service runtime over the modeled Dadu-RBD accelerator.
+
+Architecture — the life of a request::
+
+            clients                      runtime                    execution
+    ------------------------   --------------------------   ----------------------
+    submit(robot, fn, q, ...)                                 ArtifactCache
+        |                                                      (model, DaduRBD,
+        v                                                       SAPS org, graphs,
+    ServeRequest + Future ---> DynamicBatcher                   M sparsity; built
+                               key=(robot, fn)                  once per robot)
+                               flush on full/timeout                 |
+                                    |                                v
+                                    v                          batch_evaluate
+                               ShardPool.select()  ---------> (vectorized Table-I
+                               round_robin | least_loaded      kernels) + cycle
+                                    |                          sim profile_batch
+                                    v                                |
+                               futures resolved  <-------------------+
+                               in submission order;
+                               MetricsRegistry records
+                               p50/p95/p99, occupancy,
+                               throughput
+
+    * ``submit`` hands back a future immediately; the **dynamic batcher**
+      coalesces same-``(robot, function)`` requests up to ``max_batch`` or
+      ``max_wait_s`` (the latency/throughput knob), with a bounded queue
+      providing backpressure (``ServiceOverloaded``).
+    * A flushed batch lands on one **shard** — a modeled accelerator
+      instance with its own cycle ledger — chosen round-robin or
+      least-loaded; a thread pool (one worker per shard) executes it.
+    * The shard evaluates the batch with the vectorized
+      :mod:`repro.dynamics.batch` kernels (numerically identical to
+      per-request :func:`repro.dynamics.functions.evaluate`) and charges
+      the batch's modeled makespan from
+      :meth:`repro.core.accelerator.DaduRBD.profile_batch` to its ledger.
+    * Serial chains (RK4 sensitivity, Fig 13) bypass the batcher via
+      :meth:`DynamicsService.submit_chain` and are timed with
+      :func:`repro.core.scheduler.serial_chains` dependencies.
+    * Per-robot derived state (parsed model, auto-fit accelerator build,
+      SAPS organization, pipeline graphs, mass-matrix sparsity) lives in
+      the **artifact cache**, built once and shared read-only by all
+      shards.
+
+Entry points: :class:`DynamicsService` (the facade),
+``python -m repro serve-bench`` (CLI sweep), ``examples/serving.py``
+(walkthrough), ``benchmarks/bench_serve.py`` (latency/throughput curves).
+"""
+
+from repro.serve.batcher import BatcherStats, BatchPolicy, DynamicBatcher
+from repro.serve.bench import format_serve_table, run_serve_load
+from repro.serve.cache import (
+    ArtifactCache,
+    CacheStats,
+    RobotArtifacts,
+    mass_matrix_sparsity,
+)
+from repro.serve.clients import ClientReport, ClosedLoopClient, OpenLoopClient
+from repro.serve.metrics import LatencySummary, MetricsRegistry, Reservoir
+from repro.serve.pool import ShardPool, ShardState
+from repro.serve.request import (
+    ServeError,
+    ServeRequest,
+    ServeResult,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.serve.service import DynamicsService
+
+__all__ = [
+    "ArtifactCache",
+    "BatchPolicy",
+    "BatcherStats",
+    "CacheStats",
+    "ClientReport",
+    "ClosedLoopClient",
+    "DynamicBatcher",
+    "DynamicsService",
+    "LatencySummary",
+    "MetricsRegistry",
+    "OpenLoopClient",
+    "Reservoir",
+    "RobotArtifacts",
+    "ServeError",
+    "ServeRequest",
+    "ServeResult",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "ShardPool",
+    "ShardState",
+    "format_serve_table",
+    "mass_matrix_sparsity",
+    "run_serve_load",
+]

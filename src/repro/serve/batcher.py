@@ -1,0 +1,134 @@
+"""Dynamic batching: coalesce single-state requests into accelerator loads.
+
+The paper's throughput numbers (Fig 15-17) assume batches of ~256 tasks
+keeping the pipelines full; a service facing independent clients has to
+*manufacture* those batches.  The batcher groups pending requests by
+``(robot, function)`` — only same-key requests can share a pipeline pass —
+and flushes a group when it reaches ``max_batch`` (flush-on-full) or when
+its oldest request has waited ``max_wait_s`` (flush-on-timeout), the
+classic latency/throughput knob.
+
+The batcher is a passive, explicitly-clocked data structure: callers pass
+``now`` into :meth:`add` / :meth:`poll_expired`, which makes the flush
+policies deterministic under test and leaves thread ownership to the
+service runtime.  A bounded total queue provides backpressure: beyond
+``max_pending`` requests, :meth:`add` raises
+:class:`~repro.serve.request.ServiceOverloaded` and the rejection is
+counted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.dynamics.functions import RBDFunction
+from repro.serve.request import ServeRequest, ServiceOverloaded
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The batcher's flush policy."""
+
+    max_batch: int = 64
+    max_wait_s: float = 2e-3
+    max_pending: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        if self.max_pending < self.max_batch:
+            raise ValueError("max_pending must be >= max_batch")
+
+
+@dataclass
+class BatcherStats:
+    """Counters describing how batches were formed."""
+
+    accepted: int = 0
+    rejected: int = 0
+    flushed_full: int = 0
+    flushed_timeout: int = 0
+    flushed_drain: int = 0
+    #: Batch-occupancy histogram: flushed size -> count.
+    occupancy: dict[int, int] = field(default_factory=dict)
+
+    def record_flush(self, size: int, reason: str) -> None:
+        self.occupancy[size] = self.occupancy.get(size, 0) + 1
+        if reason == "full":
+            self.flushed_full += 1
+        elif reason == "timeout":
+            self.flushed_timeout += 1
+        else:
+            self.flushed_drain += 1
+
+
+class DynamicBatcher:
+    """Coalesces :class:`ServeRequest`s keyed by ``(robot, function)``."""
+
+    def __init__(self, policy: BatchPolicy | None = None) -> None:
+        self.policy = policy or BatchPolicy()
+        self._pending: dict[tuple[str, RBDFunction], list[ServeRequest]] = {}
+        self._pending_total = 0
+        self._lock = threading.Lock()
+        self.stats = BatcherStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._pending_total
+
+    def add(self, request: ServeRequest, now: float,
+            extra_pending: int = 0) -> list[ServeRequest] | None:
+        """Queue a request; returns a flushed batch if its key filled up.
+
+        Requests keep submission order within a key, so a returned batch's
+        order matches the order in which its futures were handed out.
+        ``extra_pending`` counts queued work held outside the batcher
+        (the service's outstanding chains) against the same bound.
+        """
+        with self._lock:
+            if self._pending_total + extra_pending >= self.policy.max_pending:
+                self.stats.rejected += 1
+                raise ServiceOverloaded(
+                    f"request queue full ({self.policy.max_pending} pending)"
+                )
+            request.arrival_s = now
+            group = self._pending.setdefault(request.key, [])
+            group.append(request)
+            self._pending_total += 1
+            self.stats.accepted += 1
+            if len(group) >= self.policy.max_batch:
+                return self._flush_locked(request.key, "full")
+            return None
+
+    def poll_expired(self, now: float) -> list[list[ServeRequest]]:
+        """Flush every key whose oldest request has waited ``max_wait_s``."""
+        with self._lock:
+            expired = [
+                key for key, group in self._pending.items()
+                if group and now - group[0].arrival_s >= self.policy.max_wait_s
+            ]
+            return [self._flush_locked(key, "timeout") for key in expired]
+
+    def drain(self) -> list[list[ServeRequest]]:
+        """Flush everything (service shutdown)."""
+        with self._lock:
+            keys = [k for k, g in self._pending.items() if g]
+            return [self._flush_locked(key, "drain") for key in keys]
+
+    def next_deadline(self) -> float | None:
+        """Earliest ``arrival_s + max_wait_s`` over all pending groups."""
+        with self._lock:
+            oldest = [g[0].arrival_s for g in self._pending.values() if g]
+            if not oldest:
+                return None
+            return min(oldest) + self.policy.max_wait_s
+
+    def _flush_locked(self, key: tuple[str, RBDFunction],
+                      reason: str) -> list[ServeRequest]:
+        batch = self._pending.pop(key)
+        self._pending_total -= len(batch)
+        self.stats.record_flush(len(batch), reason)
+        return batch

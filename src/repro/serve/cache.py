@@ -1,0 +1,139 @@
+"""Per-robot artifact cache for the dynamics service.
+
+Serving a robot requires a stack of derived state: the parsed
+:class:`RobotModel`, the SAPS organization (branch grouping + timing
+model), the configured :class:`DaduRBD` instance, the per-function
+dataflow graphs and the mass-matrix sparsity structure.  All of it is a
+pure function of the robot name, and all of it is expensive relative to
+one dynamics call (the auto-fit II search alone dominates a single FD
+evaluation by orders of magnitude).  The cache builds each robot's
+artifacts once, under a lock, and hands out the shared read-only bundle
+to every shard — the software analogue of programming one bitstream and
+cloning it across FPGA cards.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.accelerator import DaduRBD
+from repro.core.config import AcceleratorConfig, PAPER_CONFIG
+from repro.core.saps import SAPOrganization
+from repro.core.sim import DataflowGraph
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import load_robot
+from repro.model.robot import RobotModel
+
+
+def mass_matrix_sparsity(model: RobotModel) -> np.ndarray:
+    """Boolean (nv, nv) mask of structurally nonzero mass-matrix entries.
+
+    ``H[i, j]`` can be nonzero only when DOFs i and j lie on one
+    root-to-leaf path (Featherstone's branch-induced sparsity) — the
+    structure the paper's BF module exploits and a cheap cached artifact
+    for host-side solvers that want to skip the zero blocks.
+    """
+    mask = np.zeros((model.nv, model.nv), dtype=bool)
+    for i in range(model.nb):
+        own = list(range(model.dof_slice(i).start, model.dof_slice(i).stop))
+        support = model.supporting_dofs(i)
+        mask[np.ix_(own, support)] = True
+        mask[np.ix_(support, own)] = True
+    return mask
+
+
+@dataclass
+class RobotArtifacts:
+    """Everything the service derives from one robot name."""
+
+    name: str
+    model: RobotModel
+    accelerator: DaduRBD
+    organization: SAPOrganization
+    mass_matrix_mask: np.ndarray
+    build_seconds: float
+    graphs: dict[RBDFunction, DataflowGraph] = field(default_factory=dict)
+
+    def graph(self, function: RBDFunction) -> DataflowGraph:
+        """The per-function pipeline config, memoized on first use."""
+        if function not in self.graphs:
+            self.graphs[function] = self.accelerator.graph(function)
+        return self.graphs[function]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    build_seconds_total: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ArtifactCache:
+    """Thread-safe, build-once cache of :class:`RobotArtifacts`."""
+
+    def __init__(self, config: AcceleratorConfig = PAPER_CONFIG) -> None:
+        self.config = config
+        self._artifacts: dict[str, RobotArtifacts] = {}
+        self._lock = threading.Lock()
+        # One build lock per robot: a cold build (~100s of ms for the
+        # auto-fit search) must not stall cache hits for other robots,
+        # which only need the map lock.
+        self._build_locks: dict[str, threading.Lock] = {}
+        self.stats = CacheStats()
+
+    def get(self, name: str) -> RobotArtifacts:
+        """The artifact bundle for ``name``, building it on first request."""
+        with self._lock:
+            cached = self._artifacts.get(name)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
+            build_lock = self._build_locks.setdefault(name, threading.Lock())
+        with build_lock:
+            with self._lock:   # a concurrent builder may have won the race
+                cached = self._artifacts.get(name)
+                if cached is not None:
+                    self.stats.hits += 1
+                    return cached
+            start = time.perf_counter()
+            model = load_robot(name)
+            accelerator = DaduRBD(model, self.config)
+            artifacts = RobotArtifacts(
+                name=name,
+                model=model,
+                accelerator=accelerator,
+                organization=accelerator.org,
+                mass_matrix_mask=mass_matrix_sparsity(model),
+                build_seconds=time.perf_counter() - start,
+            )
+            with self._lock:
+                self.stats.misses += 1
+                self.stats.build_seconds_total += artifacts.build_seconds
+                self._artifacts[name] = artifacts
+            return artifacts
+
+    def warm(self, names: list[str],
+             functions: list[RBDFunction] | None = None) -> None:
+        """Pre-build robots (and optionally their pipeline graphs) so the
+        first live request does not pay the build latency."""
+        for name in names:
+            artifacts = self.get(name)
+            for f in functions or []:
+                artifacts.graph(f)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._artifacts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._artifacts)

@@ -1,0 +1,124 @@
+"""Traffic generators that drive the service like real robot hosts.
+
+Two client shapes bracket the paper's application space:
+
+* :class:`OpenLoopClient` — Fig 15's methodology at the service level: a
+  Poisson request stream at a target rate (independent MPC sampling
+  points arriving from many robots), submitted without waiting for
+  results.  Measures the latency distribution under a sustained load.
+* :class:`ClosedLoopClient` — Fig 2's MPC loop: one robot submitting an
+  FD request, waiting for the result, integrating its state forward and
+  submitting again.  Round-trip latency bounds the achievable control
+  frequency (Section VI-B).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.workloads import poisson_arrival_times
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import load_robot
+from repro.serve.request import ServiceOverloaded
+from repro.serve.service import DynamicsService
+
+
+@dataclass
+class ClientReport:
+    """What one client run observed."""
+
+    submitted: int
+    rejected: int
+    completed: int
+    wall_latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.wall_latencies_s:
+            return 0.0
+        return float(np.mean(self.wall_latencies_s))
+
+
+class OpenLoopClient:
+    """Poisson open-loop load: submit at arrival times, collect at the end."""
+
+    def __init__(self, service: DynamicsService, robot: str,
+                 function: RBDFunction = RBDFunction.FD,
+                 rate_rps: float = 10_000.0, seed: int = 0) -> None:
+        self.service = service
+        self.robot = robot
+        self.function = function
+        self.rate_rps = rate_rps
+        self.seed = seed
+
+    def run(self, count: int, time_scale: float = 1.0) -> ClientReport:
+        """Submit ``count`` requests; ``time_scale`` compresses the clock
+        (0 disables inter-arrival sleeping entirely for max-pressure runs).
+        """
+        model = load_robot(self.robot)
+        rng = np.random.default_rng(self.seed)
+        arrivals = poisson_arrival_times(self.rate_rps, count, seed=self.seed)
+        futures: list[Future] = []
+        rejected = 0
+        start = time.monotonic()
+        for k in range(count):
+            if time_scale > 0:
+                delay = start + arrivals[k] * time_scale - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+            q, qd = model.random_state(rng)
+            try:
+                futures.append(self.service.submit(
+                    self.robot, self.function, q, qd,
+                    rng.normal(size=model.nv),
+                ))
+            except ServiceOverloaded:
+                rejected += 1
+        self.service.flush()
+        # submitted counts *accepted* submissions, matching
+        # ClosedLoopClient; rejected requests are reported separately.
+        report = ClientReport(submitted=len(futures), rejected=rejected,
+                              completed=0)
+        for f in futures:
+            result = f.result(timeout=60.0)
+            report.completed += 1
+            report.wall_latencies_s.append(result.wall_latency_s)
+        return report
+
+
+class ClosedLoopClient:
+    """One simulated robot: FD round trips with Euler integration between."""
+
+    def __init__(self, service: DynamicsService, robot: str,
+                 dt: float = 0.01, seed: int = 0) -> None:
+        self.service = service
+        self.robot = robot
+        self.dt = dt
+        self.seed = seed
+
+    def run(self, steps: int) -> ClientReport:
+        model = load_robot(self.robot)
+        rng = np.random.default_rng(self.seed)
+        q, qd = model.random_state(rng)
+        report = ClientReport(submitted=0, rejected=0, completed=0)
+        for _ in range(steps):
+            tau = rng.normal(size=model.nv)
+            try:
+                future = self.service.submit(
+                    self.robot, RBDFunction.FD, q, qd, tau
+                )
+                report.submitted += 1
+            except ServiceOverloaded:
+                report.rejected += 1
+                continue
+            result = future.result(timeout=60.0)
+            report.completed += 1
+            report.wall_latencies_s.append(result.wall_latency_s)
+            qdd = result.value
+            q = model.integrate(q, qd * self.dt)
+            qd = qd + qdd * self.dt
+        return report

@@ -1,0 +1,176 @@
+"""Service-level metrics: tail latency, throughput, batch occupancy.
+
+Mirrors the paper's latency-vs-throughput methodology (Fig 15) one level
+up the stack: where the paper reports single-task pipeline latency and
+steady-state batch throughput per function, the service reports the
+distribution of *request* latencies (p50/p95/p99, which include queueing
+delay introduced by the batcher) against the *sustained* request
+throughput the shard pool achieved.
+
+The registry is built for a long-running service: latency series are
+held in fixed-capacity reservoirs (Vitter's Algorithm R, uniform over
+the whole stream) and batch occupancy as a size histogram, so memory
+stays O(1) in requests served.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Reservoir:
+    """Fixed-capacity uniform sample of an unbounded value stream."""
+
+    def __init__(self, capacity: int = 8192, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.seen = 0
+        self.samples: list[float] = []
+        self._rng = np.random.default_rng(seed)
+
+    def add(self, value: float) -> None:
+        self.seen += 1
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+            return
+        slot = int(self._rng.integers(0, self.seen))
+        if slot < self.capacity:
+            self.samples[slot] = value
+
+
+@dataclass
+class LatencySummary:
+    """Percentile summary of one latency series (seconds)."""
+
+    count: int
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_s: float
+    max_s: float
+
+    @staticmethod
+    def of(reservoir: Reservoir) -> "LatencySummary":
+        if not reservoir.samples:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(reservoir.samples, dtype=float)
+        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+        return LatencySummary(
+            count=reservoir.seen, p50_s=float(p50), p95_s=float(p95),
+            p99_s=float(p99), mean_s=float(arr.mean()), max_s=float(arr.max()),
+        )
+
+
+class MetricsRegistry:
+    """Thread-safe accumulator for the service's observable behaviour."""
+
+    def __init__(self, reservoir_capacity: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self._wall = Reservoir(reservoir_capacity, seed=0)
+        self._modeled = Reservoir(reservoir_capacity, seed=1)
+        self._batch_hist: dict[int, int] = {}
+        self._batch_requests = 0
+        self._modeled_busy_cycles = 0.0
+        self.completed = 0
+        self.failed = 0
+        self._started_s = time.monotonic()
+        self._first_completion_s: float | None = None
+        self._last_completion_s: float | None = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_request(self, wall_latency_s: float,
+                       modeled_latency_s: float) -> None:
+        now = time.monotonic()
+        with self._lock:
+            self._wall.add(wall_latency_s)
+            self._modeled.add(modeled_latency_s)
+            self.completed += 1
+            if self._first_completion_s is None:
+                self._first_completion_s = now
+            self._last_completion_s = now
+
+    def record_batch(self, size: int, modeled_makespan_cycles: float) -> None:
+        with self._lock:
+            self._batch_hist[size] = self._batch_hist.get(size, 0) + 1
+            self._batch_requests += size
+            self._modeled_busy_cycles += modeled_makespan_cycles
+
+    def record_failure(self, count: int = 1) -> None:
+        with self._lock:
+            self.failed += count
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    def wall_latency(self) -> LatencySummary:
+        with self._lock:
+            return LatencySummary.of(self._wall)
+
+    def modeled_latency(self) -> LatencySummary:
+        with self._lock:
+            return LatencySummary.of(self._modeled)
+
+    def occupancy_histogram(self) -> dict[int, int]:
+        """Batch size -> number of batches executed at that size."""
+        with self._lock:
+            return dict(self._batch_hist)
+
+    def mean_occupancy(self) -> float:
+        with self._lock:
+            batches = sum(self._batch_hist.values())
+            if not batches:
+                return 0.0
+            return self._batch_requests / batches
+
+    def wall_throughput_rps(self) -> float:
+        """Completed requests per second of wall time while serving."""
+        with self._lock:
+            if (self.completed < 2 or self._first_completion_s is None
+                    or self._last_completion_s is None):
+                return 0.0
+            span = self._last_completion_s - self._first_completion_s
+            if span <= 0:
+                return 0.0
+            return (self.completed - 1) / span
+
+    def modeled_throughput_rps(self, clock_hz: float,
+                               shards: int = 1) -> float:
+        """Sustained capacity implied by the accelerator cycle model.
+
+        Total modeled busy cycles across all executed batches, spread over
+        ``shards`` accelerator instances running concurrently — the
+        service-level counterpart of the paper's ``batch / makespan``.
+        Returns 0.0 before any batch has completed (same no-data
+        convention as :meth:`wall_throughput_rps`).
+        """
+        with self._lock:
+            if self._modeled_busy_cycles <= 0 or self.completed == 0:
+                return 0.0
+            seconds = self._modeled_busy_cycles / clock_hz / max(shards, 1)
+            return self.completed / seconds
+
+    def snapshot(self) -> dict:
+        """One flat dict of everything (for tables and JSON dumps)."""
+        wall = self.wall_latency()
+        modeled = self.modeled_latency()
+        return {
+            "completed": self.completed,
+            "failed": self.failed,
+            "wall_p50_ms": wall.p50_s * 1e3,
+            "wall_p95_ms": wall.p95_s * 1e3,
+            "wall_p99_ms": wall.p99_s * 1e3,
+            "modeled_p50_us": modeled.p50_s * 1e6,
+            "modeled_p95_us": modeled.p95_s * 1e6,
+            "modeled_p99_us": modeled.p99_s * 1e6,
+            "mean_batch_occupancy": self.mean_occupancy(),
+            "wall_throughput_rps": self.wall_throughput_rps(),
+        }

@@ -1,0 +1,125 @@
+"""Sharded execution: a pool of accelerator instances behind one queue.
+
+One Dadu-RBD instance has a fixed sustained capacity (``clock / II`` per
+function); serving beyond it means replicating the accelerator — the
+multi-FPGA scaling the paper leaves to the host.  A :class:`ShardPool`
+models ``n`` accelerator cards: each shard owns its modeled-cycle ledger,
+and coalesced batches are placed on a shard by policy:
+
+* ``round_robin`` — cyclic assignment, oblivious but fair for uniform
+  batches;
+* ``least_loaded`` — place on the shard with the smallest outstanding
+  modeled backlog (in-flight batches plus accumulated busy cycles),
+  better when batch sizes or functions are mixed.
+
+Execution is thread-pool backed (one worker per shard, so per-shard
+serialization matches the hardware's one-batch-at-a-time pipeline fill).
+Shards share the read-only :class:`~repro.serve.cache.ArtifactCache`
+bundles — replicating a bitstream, not rebuilding it.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class ShardState:
+    """Load-accounting for one modeled accelerator instance."""
+
+    index: int
+    dispatched_batches: int = 0
+    dispatched_requests: int = 0
+    inflight: int = 0
+    busy_cycles: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def begin(self, n_requests: int) -> None:
+        with self._lock:
+            self.inflight += 1
+            self.dispatched_batches += 1
+            self.dispatched_requests += n_requests
+
+    def finish(self, makespan_cycles: float) -> None:
+        with self._lock:
+            self.inflight -= 1
+            self.busy_cycles += makespan_cycles
+
+    def backlog(self) -> tuple[int, float]:
+        with self._lock:
+            return (self.inflight, self.busy_cycles)
+
+
+class ShardPool:
+    """Dispatch batches onto ``n_shards`` modeled accelerator instances."""
+
+    POLICIES = ("round_robin", "least_loaded")
+
+    def __init__(self, n_shards: int = 2, policy: str = "round_robin") -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {self.POLICIES}"
+            )
+        self.policy = policy
+        self.shards = [ShardState(i) for i in range(n_shards)]
+        self._rr_next = 0
+        self._lock = threading.Lock()
+        # One single-worker executor per shard: batches placed on a shard
+        # execute one at a time, in placement order, like the hardware's
+        # one-pipeline-fill-at-a-time — a shared pool would let a queued
+        # batch jump to whichever worker frees up first.
+        self._executors = [
+            ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"repro-serve-shard{i}"
+            )
+            for i in range(n_shards)
+        ]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def select(self) -> ShardState:
+        """Pick the shard the next batch lands on."""
+        with self._lock:
+            return self._select_locked()
+
+    def _select_locked(self) -> ShardState:
+        if self.policy == "round_robin":
+            shard = self.shards[self._rr_next]
+            self._rr_next = (self._rr_next + 1) % len(self.shards)
+            return shard
+        return min(self.shards, key=lambda s: s.backlog())
+
+    def dispatch(self, n_requests: int,
+                 work: Callable[[ShardState], float]) -> Future:
+        """Run ``work(shard)`` on the pool; ``work`` returns the batch's
+        modeled makespan in cycles, credited to the shard's ledger."""
+        with self._lock:
+            # select+begin must be atomic: two concurrent dispatchers
+            # (flusher and a flush-on-full submit) would otherwise both
+            # read the same "least loaded" shard before either claims it.
+            shard = self._select_locked()
+            shard.begin(n_requests)
+
+        def run() -> float:
+            makespan = 0.0
+            try:
+                makespan = work(shard)
+                return makespan
+            finally:
+                shard.finish(makespan)
+
+        return self._executors[shard.index].submit(run)
+
+    def busy_cycles(self) -> list[float]:
+        return [s.backlog()[1] for s in self.shards]
+
+    def shutdown(self) -> None:
+        for executor in self._executors:
+            executor.shutdown(wait=True)

@@ -1,0 +1,79 @@
+"""Request/response records and errors for the dynamics service.
+
+A :class:`ServeRequest` is the service-level analogue of the accelerator's
+:class:`repro.core.functions.TaskRequest`: one dynamics evaluation for one
+robot, carried together with the bookkeeping the runtime needs (arrival
+time, future, chain membership).  Results come back as
+:class:`ServeResult`, which pairs the functional value with both clocks
+the service tracks — host wall time and modeled accelerator cycles.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dynamics.functions import RBDFunction
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base class for service-runtime errors."""
+
+
+class ServiceOverloaded(ServeError):
+    """The bounded request queue is full; the request was rejected."""
+
+
+class ServiceClosed(ServeError):
+    """The service has been shut down and accepts no new requests."""
+
+
+@dataclass
+class ServeRequest:
+    """One dynamics evaluation submitted to the service."""
+
+    robot: str
+    function: RBDFunction
+    q: np.ndarray
+    qd: np.ndarray | None = None
+    #: ``qdd`` for ID/dID/diFD, ``tau`` for FD/dFD (the accelerator's
+    #: shared third operand).
+    u: np.ndarray | None = None
+    minv: np.ndarray | None = None          # for diFD
+    #: Wall-clock submission time (``time.monotonic``), set by the service.
+    arrival_s: float = 0.0
+    #: Chain membership: requests sharing a chain id execute serially in
+    #: ``sequence`` order on one shard (RK4-style sensitivity steps).
+    chain: int | None = None
+    sequence: int = 0
+    future: Future = field(default_factory=Future, repr=False)
+
+    @property
+    def key(self) -> tuple[str, RBDFunction]:
+        """The dynamic batcher's coalescing key."""
+        return (self.robot, self.function)
+
+
+@dataclass
+class ServeResult:
+    """Functional output plus the two latency views the service records."""
+
+    robot: str
+    function: RBDFunction
+    value: object
+    #: End-to-end host latency: submission to future resolution.
+    wall_latency_s: float
+    #: Modeled accelerator latency of this request inside its batch
+    #: (queue wait is host-side and excluded, as in Fig 15's protocol).
+    modeled_latency_cycles: float
+    modeled_latency_s: float
+    #: Modeled completion time of the whole coalesced batch (for serial
+    #: chains this is where the chain's serialization cost shows up).
+    modeled_makespan_cycles: float
+    #: Size of the coalesced batch this request rode in.
+    batch_size: int
+    #: Shard that executed the batch.
+    shard: int

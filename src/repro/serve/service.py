@@ -1,0 +1,364 @@
+"""The dynamics service runtime: request -> batch -> shard -> result.
+
+:class:`DynamicsService` is the top-level facade.  Clients submit single
+robot states for any Table-I function and get a future back; internally
+the runtime coalesces same-``(robot, function)`` requests with the
+:class:`~repro.serve.batcher.DynamicBatcher`, executes each coalesced
+batch on a :class:`~repro.serve.pool.ShardPool` shard using the
+vectorized :func:`repro.dynamics.batch.batch_evaluate` kernels, charges
+the batch's modeled cost to the shard via the accelerator's cycle
+simulation, and resolves the per-request futures in submission order.
+
+Serial chains (RK4-style sensitivity steps) bypass the batcher and are
+dispatched as one unit whose cycle accounting uses
+:func:`repro.core.scheduler.serial_chains` job dependencies (Fig 13).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+
+import numpy as np
+
+from repro.core.config import AcceleratorConfig, PAPER_CONFIG
+from repro.core.functions import BatchProfile
+from repro.core.scheduler import serial_chains
+from repro.dynamics import BatchStates, batch_evaluate
+from repro.dynamics.functions import RBDFunction
+from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.cache import ArtifactCache, RobotArtifacts
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.pool import ShardPool, ShardState
+from repro.model.library import load_robot
+from repro.serve.request import (
+    ServeRequest,
+    ServeResult,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+
+
+class DynamicsService:
+    """Dynamics-as-a-service over the modeled Dadu-RBD accelerator pool."""
+
+    def __init__(
+        self,
+        policy: BatchPolicy | None = None,
+        n_shards: int = 2,
+        shard_policy: str = "round_robin",
+        config: AcceleratorConfig = PAPER_CONFIG,
+        warm_robots: list[str] | None = None,
+    ) -> None:
+        self.policy = policy or BatchPolicy()
+        self.config = config
+        self.cache = ArtifactCache(config)
+        self.batcher = DynamicBatcher(self.policy)
+        self.pool = ShardPool(n_shards, shard_policy)
+        self.metrics = MetricsRegistry()
+        self._profiles: dict[tuple[str, RBDFunction, int, bool], BatchProfile] = {}
+        self._profile_lock = threading.Lock()
+        self._chain_counter = 0
+        #: Requests dispatched to the pool but not yet executed.  Counted
+        #: against max_pending alongside the batcher's queue, so the bound
+        #: covers the whole in-service backlog, not just un-flushed work.
+        self._dispatched_outstanding = 0
+        self._counter_lock = threading.Lock()
+        self._closed = False
+        #: Serializes enqueue against shutdown: a request either lands in
+        #: the batcher before close() drains it, or observes _closed —
+        #: never slips in after the final drain (which would orphan its
+        #: future).
+        self._lifecycle_lock = threading.Lock()
+        self._wake = threading.Event()
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="repro-serve-flusher", daemon=True
+        )
+        if warm_robots:
+            self.cache.warm(warm_robots)
+        self._flusher.start()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+
+    def _validate(self, request: ServeRequest) -> None:
+        """Reject malformed inputs at the submitting caller.
+
+        Validation must happen before the batcher: once a request is
+        coalesced, a shape error would fail the whole batch and surface
+        on innocent co-batched clients' futures.
+        """
+        nv = load_robot(request.robot).nv
+        for label, operand in (("q", request.q), ("qd", request.qd),
+                               ("u", request.u)):
+            if operand is not None and np.shape(operand) != (nv,):
+                raise ValueError(
+                    f"{label} must have shape ({nv},) for robot "
+                    f"{request.robot!r}, got {np.shape(operand)}"
+                )
+        if request.function is RBDFunction.DIFD:
+            if request.minv is None:
+                raise ValueError("diFD requests must carry minv")
+            if np.shape(request.minv) != (nv, nv):
+                raise ValueError(
+                    f"minv must have shape ({nv}, {nv}), "
+                    f"got {np.shape(request.minv)}"
+                )
+        elif request.minv is not None:
+            # A stray minv would make this request un-stackable with its
+            # minv-less batchmates in _execute.
+            raise ValueError(
+                f"minv is only accepted for diFD requests, "
+                f"not {request.function.value}"
+            )
+
+    def submit(
+        self,
+        robot: str,
+        function: RBDFunction,
+        q: np.ndarray,
+        qd: np.ndarray | None = None,
+        u: np.ndarray | None = None,
+        minv: np.ndarray | None = None,
+    ) -> Future:
+        """Submit one request; resolves to a :class:`ServeResult`.
+
+        Raises :class:`ValueError` on malformed inputs,
+        :class:`ServiceOverloaded` when the bounded queue is full
+        (backpressure) and :class:`ServiceClosed` after shutdown.
+        """
+        request = ServeRequest(robot=robot, function=function,
+                               q=np.asarray(q, dtype=float),
+                               qd=qd, u=u, minv=minv)
+        self._validate(request)
+        with self._lifecycle_lock:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            with self._counter_lock:
+                dispatched = self._dispatched_outstanding
+            batch = self.batcher.add(request, time.monotonic(),
+                                     extra_pending=dispatched)
+            if batch is not None:
+                self._dispatch(batch, chained=False)
+            else:
+                self._wake.set()
+        return request.future
+
+    def submit_many(self, requests: list[tuple], robot: str,
+                    function: RBDFunction) -> list[Future]:
+        """Submit ``(q, qd, u)`` tuples in order; futures in that order."""
+        return [self.submit(robot, function, q, qd, u)
+                for q, qd, u in requests]
+
+    def submit_chain(
+        self,
+        robot: str,
+        function: RBDFunction,
+        qs: np.ndarray,
+        qds: np.ndarray | None = None,
+        us: np.ndarray | None = None,
+    ) -> list[Future]:
+        """Submit one serial chain of requests (e.g. the 4 RK4 stages).
+
+        The chain bypasses the batcher: its steps execute together on one
+        shard and the modeled timing honours the step-to-step dependency
+        via :func:`repro.core.scheduler.serial_chains`, so a chain costs
+        ``~length * latency`` instead of ``latency + (length-1) * II``.
+        """
+        qs = np.atleast_2d(np.asarray(qs, dtype=float))
+        n = qs.shape[0]
+        if n == 0:
+            return []
+        qds_arr = None if qds is None else np.atleast_2d(np.asarray(qds))
+        us_arr = None if us is None else np.atleast_2d(np.asarray(us))
+        with self._counter_lock:
+            chain = self._chain_counter
+            self._chain_counter += 1
+        now = time.monotonic()
+        requests = []
+        for k in range(n):
+            requests.append(ServeRequest(
+                robot=robot, function=function, q=qs[k],
+                qd=None if qds_arr is None else qds_arr[k],
+                u=None if us_arr is None else us_arr[k],
+                arrival_s=now, chain=chain, sequence=k,
+            ))
+        for r in requests:
+            self._validate(r)
+        with self._lifecycle_lock:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            # Chains bypass the batcher but not its backpressure: the
+            # whole backlog (queued + dispatched) stays under one bound.
+            with self._counter_lock:
+                outstanding = self._dispatched_outstanding
+            if (outstanding + len(self.batcher) + n
+                    > self.policy.max_pending):
+                self.batcher.stats.rejected += 1
+                raise ServiceOverloaded(
+                    f"request queue full "
+                    f"({self.policy.max_pending} pending)"
+                )
+            self._dispatch(requests, chained=True)
+        return [r.future for r in requests]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Synchronously flush all pending groups (regardless of age)."""
+        with self._lifecycle_lock:
+            for batch in self.batcher.drain():
+                self._dispatch(batch, chained=False)
+
+    def close(self) -> None:
+        """Drain pending work, stop the flusher, and shut the pool down."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._wake.set()
+        self._flusher.join(timeout=5.0)
+        with self._lifecycle_lock:
+            # Any concurrent submit has either enqueued by now (this drain
+            # picks it up) or will observe _closed and raise.
+            for batch in self.batcher.drain():
+                self._dispatch(batch, chained=False)
+            self.pool.shutdown()
+
+    def __enter__(self) -> "DynamicsService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def modeled_throughput_rps(self) -> float:
+        """Sustained request throughput implied by the cycle model."""
+        return self.metrics.modeled_throughput_rps(
+            self.config.clock_hz, self.pool.n_shards
+        )
+
+    def stats(self) -> dict:
+        """Flat service-wide stats: metrics + batcher + cache + shards."""
+        out = self.metrics.snapshot()
+        out.update({
+            "accepted": self.batcher.stats.accepted,
+            "rejected": self.batcher.stats.rejected,
+            "flushed_full": self.batcher.stats.flushed_full,
+            "flushed_timeout": self.batcher.stats.flushed_timeout,
+            "cache_hits": self.cache.stats.hits,
+            "cache_misses": self.cache.stats.misses,
+            "modeled_throughput_rps": self.modeled_throughput_rps(),
+            "shard_busy_cycles": self.pool.busy_cycles(),
+        })
+        return out
+
+    # ------------------------------------------------------------------
+    # Runtime internals
+    # ------------------------------------------------------------------
+
+    def _flush_loop(self) -> None:
+        tick = max(self.policy.max_wait_s / 4.0, 2.5e-4)
+        while not self._closed:
+            deadline = self.batcher.next_deadline()
+            if deadline is None:
+                self._wake.wait(timeout=0.05)
+            else:
+                delay = deadline - time.monotonic()
+                if delay > 0:
+                    self._wake.wait(timeout=min(delay, tick))
+            self._wake.clear()
+            for batch in self.batcher.poll_expired(time.monotonic()):
+                self._dispatch(batch, chained=False)
+
+    def _dispatch(self, batch: list[ServeRequest], chained: bool) -> None:
+        with self._counter_lock:
+            self._dispatched_outstanding += len(batch)
+        self.pool.dispatch(
+            len(batch), lambda shard: self._execute(shard, batch, chained)
+        )
+
+    def _profile(self, artifacts: RobotArtifacts, function: RBDFunction,
+                 n: int, chained: bool) -> BatchProfile:
+        """Cycle-accounting for an n-task batch, memoized per shape."""
+        key = (artifacts.name, function, n, chained)
+        with self._profile_lock:
+            cached = self._profiles.get(key)
+        if cached is not None:
+            return cached
+        jobs = serial_chains(1, n) if chained else None
+        profile = artifacts.accelerator.profile_batch(function, n, jobs=jobs)
+        with self._profile_lock:
+            self._profiles[key] = profile
+        return profile
+
+    def _execute(self, shard: ShardState, batch: list[ServeRequest],
+                 chained: bool) -> float:
+        """Run one coalesced batch on ``shard``; returns makespan cycles."""
+        try:
+            return self._execute_inner(shard, batch, chained)
+        finally:
+            with self._counter_lock:
+                self._dispatched_outstanding -= len(batch)
+
+    def _execute_inner(self, shard: ShardState, batch: list[ServeRequest],
+                       chained: bool) -> float:
+        function = batch[0].function
+        try:
+            artifacts = self.cache.get(batch[0].robot)
+            model = artifacts.model
+            nv = model.nv
+            q = np.stack([r.q for r in batch])
+            qd = np.stack([
+                np.zeros(nv) if r.qd is None else np.asarray(r.qd, dtype=float)
+                for r in batch
+            ])
+            u = np.stack([
+                np.zeros(nv) if r.u is None else np.asarray(r.u, dtype=float)
+                for r in batch
+            ])
+            minv = None
+            if any(r.minv is not None for r in batch):
+                minv = np.stack([np.asarray(r.minv, dtype=float) for r in batch])
+            values = batch_evaluate(
+                model, function, BatchStates(q, qd), u, minv=minv
+            )
+            profile = self._profile(artifacts, function, len(batch), chained)
+        except Exception as exc:  # resolve every future, never hang a client
+            for r in batch:
+                if not r.future.done():
+                    r.future.set_exception(exc)
+            self.metrics.record_failure(len(batch))
+            return 0.0
+        self.metrics.record_batch(len(batch), profile.makespan_cycles)
+        modeled_s = self.config.cycles_to_seconds(profile.mean_latency_cycles)
+        now = time.monotonic()
+        for r, value in zip(batch, values):
+            if r.future.cancelled():
+                continue
+            # Record before resolving: a client waiting on the future may
+            # read stats() the instant set_result returns, and must see
+            # this request counted.
+            self.metrics.record_request(now - r.arrival_s, modeled_s)
+            try:
+                r.future.set_result(ServeResult(
+                    robot=r.robot,
+                    function=function,
+                    value=value,
+                    wall_latency_s=now - r.arrival_s,
+                    modeled_latency_cycles=profile.mean_latency_cycles,
+                    modeled_latency_s=modeled_s,
+                    modeled_makespan_cycles=profile.makespan_cycles,
+                    batch_size=len(batch),
+                    shard=shard.index,
+                ))
+            except InvalidStateError:
+                continue        # cancellation raced; don't strand batchmates
+        return profile.makespan_cycles

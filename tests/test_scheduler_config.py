@@ -44,6 +44,33 @@ class TestScheduler:
         jobs = staggered_batch(4, 10.0)
         assert [j.release_cycle for j in jobs] == [0.0, 10.0, 20.0, 30.0]
 
+    def test_serial_chains_zero_chains(self):
+        assert serial_chains(0, 4) == []
+        assert rk4_sensitivity_jobs(0) == []
+
+    def test_serial_chains_length_one_is_independent_batch(self):
+        jobs = serial_chains(5, 1)
+        assert len(jobs) == 5
+        assert all(not j.after_jobs for j in jobs)
+
+    def test_serial_chains_single_chain(self):
+        jobs = serial_chains(1, 1)
+        assert len(jobs) == 1
+        assert jobs[0].after_jobs == ()
+
+    def test_serial_chains_dependencies_stay_within_chain(self):
+        chain_length = 3
+        jobs = serial_chains(4, chain_length)
+        for idx, job in enumerate(jobs):
+            chain, step = divmod(idx, chain_length)
+            if step == 0:
+                assert job.after_jobs == ()
+            else:
+                (dep,) = job.after_jobs
+                # The dependency must be the previous step of the SAME chain.
+                assert dep == idx - 1
+                assert dep // chain_length == chain
+
 
 class TestConfig:
     def test_with_creates_modified_copy(self):
