@@ -23,6 +23,15 @@ from repro.dynamics.coriolis import (
     mass_matrix_time_derivative,
 )
 from repro.dynamics.crba import crba
+from repro.dynamics.engine import (
+    Engine,
+    LoopEngine,
+    VectorizedEngine,
+    available_engines,
+    default_engine_name,
+    get_engine,
+    set_default_engine,
+)
 from repro.dynamics.derivatives import (
     FDDerivatives,
     IDDerivatives,
@@ -67,7 +76,11 @@ __all__ = [
     "BatchStates",
     "ConstrainedDynamicsResult",
     "ContactPoint",
+    "Engine",
+    "LoopEngine",
+    "VectorizedEngine",
     "aba",
+    "available_engines",
     "batch_evaluate",
     "batch_fd",
     "batch_fd_derivatives",
@@ -80,8 +93,10 @@ __all__ = [
     "center_of_mass",
     "coriolis_matrix",
     "crba",
+    "default_engine_name",
     "equation_of_motion_terms",
     "evaluate",
+    "get_engine",
     "fd_derivatives",
     "fd_derivatives_from_inverse",
     "forward_dynamics",
@@ -99,5 +114,6 @@ __all__ = [
     "potential_energy",
     "rnea",
     "rnea_derivatives",
+    "set_default_engine",
     "velocity_of_point",
 ]

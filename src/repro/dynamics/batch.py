@@ -1,16 +1,16 @@
-"""Vectorized batch evaluation of the dynamics functions.
+"""Batch dispatch of the dynamics functions over an execution engine.
 
 The paper's workloads are *batched*: 256 independent tasks per call
-(Section VI-A), one per MPC sampling point.  This module provides
-numpy-vectorized batch wrappers — the same role GRiD's batched kernels play
-on the GPU — so host-side Python code can generate, check and consume the
-accelerator's workloads at array speed.
+(Section VI-A), one per MPC sampling point.  This module is the dispatch
+layer over :mod:`repro.dynamics.engine`: callers hand in task-major arrays
+(:class:`BatchStates`) and pick an engine — the ``"vectorized"`` default
+runs batch-native kernels that loop over links but apply every link-step
+to the whole batch at once (the GRiD layout), while ``"loop"`` is the
+per-task scalar reference used for equivalence testing.
 
-The core recursions stay per-task (their sparsity patterns are exactly
-what the paper exploits); vectorization batches the per-task loop and the
-linear algebra around it, and `batch_fd_derivatives` shares the single
-``Minv`` factor across the matrix products, which is where the real
-savings are.
+All seven Table-I functions dispatch through the engine, so a service
+layer (``repro.serve``) can fan independent requests into one engine call
+and fan the per-task results back out to their callers.
 """
 
 from __future__ import annotations
@@ -19,10 +19,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dynamics.derivatives import FDDerivatives, rnea_derivatives
-from repro.dynamics.functions import RBDFunction, evaluate
-from repro.dynamics.mminv import mass_matrix_inverse
-from repro.dynamics.rnea import rnea
+from repro.dynamics.derivatives import FDDerivatives, IDDerivatives
+from repro.dynamics.engine import Engine, get_engine, normalize_f_ext
+from repro.dynamics.functions import RBDFunction
 from repro.model.robot import RobotModel
 
 
@@ -50,39 +49,6 @@ class BatchStates:
         return BatchStates(qs, qds)
 
 
-def batch_id(
-    model: RobotModel, states: BatchStates, qdd: np.ndarray
-) -> np.ndarray:
-    """Batched inverse dynamics: (n, nv) torques."""
-    qdd = np.atleast_2d(np.asarray(qdd, dtype=float))
-    return np.stack([
-        rnea(model, states.q[k], states.qd[k], qdd[k])
-        for k in range(len(states))
-    ])
-
-
-def batch_minv(model: RobotModel, states: BatchStates) -> np.ndarray:
-    """Batched mass-matrix inverses: (n, nv, nv)."""
-    return np.stack([
-        mass_matrix_inverse(model, states.q[k]) for k in range(len(states))
-    ])
-
-
-def batch_fd(
-    model: RobotModel, states: BatchStates, tau: np.ndarray
-) -> np.ndarray:
-    """Batched forward dynamics via the paper's Eq. (2), with the bias and
-    Minv factors computed once per task and the solve vectorized."""
-    tau = np.atleast_2d(np.asarray(tau, dtype=float))
-    n = len(states)
-    bias = np.stack([
-        rnea(model, states.q[k], states.qd[k], np.zeros(model.nv))
-        for k in range(n)
-    ])
-    minv = batch_minv(model, states)
-    return np.einsum("nij,nj->ni", minv, tau - bias)
-
-
 @dataclass
 class BatchDerivatives:
     """Batched dFD output: stacked derivative tensors."""
@@ -93,34 +59,60 @@ class BatchDerivatives:
     dqdd_dtau: np.ndarray    # (n, nv, nv) == Minv per task
 
 
-def batch_fd_derivatives(
-    model: RobotModel, states: BatchStates, tau: np.ndarray
-) -> BatchDerivatives:
-    """Batched dFD (the Fig 2c "Derivatives of Dynamics" workload).
+def batch_id(
+    model: RobotModel,
+    states: BatchStates,
+    qdd: np.ndarray,
+    f_ext: dict[int, np.ndarray] | None = None,
+    engine: str | Engine | None = None,
+) -> np.ndarray:
+    """Batched inverse dynamics: (n, nv) torques."""
+    qdd = np.atleast_2d(np.asarray(qdd, dtype=float))
+    return get_engine(engine).id_batch(
+        model, states.q, states.qd, qdd,
+        normalize_f_ext(f_ext, len(states)),
+    )
 
-    Computes each task's dID analytically, then applies the shared
-    ``-Minv @ .`` products as one einsum over the batch (the Schedule
-    Module's job, vectorized host-side).
-    """
+
+def batch_minv(
+    model: RobotModel,
+    states: BatchStates,
+    engine: str | Engine | None = None,
+) -> np.ndarray:
+    """Batched mass-matrix inverses: (n, nv, nv)."""
+    return get_engine(engine).minv_batch(model, states.q)
+
+
+def batch_fd(
+    model: RobotModel,
+    states: BatchStates,
+    tau: np.ndarray,
+    f_ext: dict[int, np.ndarray] | None = None,
+    engine: str | Engine | None = None,
+) -> np.ndarray:
+    """Batched forward dynamics via the paper's Eq. (2)."""
     tau = np.atleast_2d(np.asarray(tau, dtype=float))
-    n = len(states)
-    minv = batch_minv(model, states)
-    bias = np.stack([
-        rnea(model, states.q[k], states.qd[k], np.zeros(model.nv))
-        for k in range(n)
-    ])
-    qdd = np.einsum("nij,nj->ni", minv, tau - bias)
-    dtau_dq = np.empty((n, model.nv, model.nv))
-    dtau_dqd = np.empty((n, model.nv, model.nv))
-    for k in range(n):
-        partials = rnea_derivatives(model, states.q[k], states.qd[k], qdd[k])
-        dtau_dq[k] = partials.dtau_dq
-        dtau_dqd[k] = partials.dtau_dqd
+    return get_engine(engine).fd_batch(
+        model, states.q, states.qd, tau,
+        normalize_f_ext(f_ext, len(states)),
+    )
+
+
+def batch_fd_derivatives(
+    model: RobotModel,
+    states: BatchStates,
+    tau: np.ndarray,
+    f_ext: dict[int, np.ndarray] | None = None,
+    engine: str | Engine | None = None,
+) -> BatchDerivatives:
+    """Batched dFD (the Fig 2c "Derivatives of Dynamics" workload)."""
+    tau = np.atleast_2d(np.asarray(tau, dtype=float))
+    qdd, dqdd_dq, dqdd_dqd, minv = get_engine(engine).dfd_batch(
+        model, states.q, states.qd, tau,
+        normalize_f_ext(f_ext, len(states)),
+    )
     return BatchDerivatives(
-        qdd=qdd,
-        dqdd_dq=-np.einsum("nij,njk->nik", minv, dtau_dq),
-        dqdd_dqd=-np.einsum("nij,njk->nik", minv, dtau_dqd),
-        dqdd_dtau=minv,
+        qdd=qdd, dqdd_dq=dqdd_dq, dqdd_dqd=dqdd_dqd, dqdd_dtau=minv
     )
 
 
@@ -130,20 +122,26 @@ def batch_evaluate(
     states: BatchStates,
     u: np.ndarray | None = None,
     minv: np.ndarray | None = None,
+    f_ext: dict[int, np.ndarray] | None = None,
+    engine: str | Engine | None = None,
 ) -> list:
     """Dispatch one Table-I function over a whole batch.
 
     ``u`` is the per-task third operand — ``qdd`` for ID/dID/diFD, ``tau``
     for FD/dFD (the accelerator's shared input stream), unused for M/Minv.
-    ``minv`` is the per-task ``(n, nv, nv)`` stack consumed by diFD.
+    ``minv`` is the per-task ``(n, nv, nv)`` stack consumed by diFD and
+    ``f_ext`` an optional link -> ``(6,)`` / ``(n, 6)`` external-force map.
+    ``engine`` selects the execution engine (name, instance, or None for
+    the process default — see :mod:`repro.dynamics.engine`).
 
     Returns a *list* of per-task results with the same types
     :func:`repro.dynamics.functions.evaluate` produces for a single
     request, so service layers can fan results back out to independent
-    callers.  ID/FD/Minv/dFD route through the vectorized batch kernels;
-    the remaining functions fall back to a per-task loop.
+    callers.
     """
     n = len(states)
+    eng = get_engine(engine)
+    fe = normalize_f_ext(f_ext, n)
     if u is None:
         u = np.zeros((n, model.nv))
     u = np.atleast_2d(np.asarray(u, dtype=float))
@@ -154,28 +152,36 @@ def batch_evaluate(
             f"u must have shape ({n}, {model.nv}) to match the batch, "
             f"got {u.shape}"
         )
+    q, qd = states.q, states.qd
     if function is RBDFunction.ID:
-        return list(batch_id(model, states, u))
+        return list(eng.id_batch(model, q, qd, u, fe))
     if function is RBDFunction.FD:
-        return list(batch_fd(model, states, u))
+        return list(eng.fd_batch(model, q, qd, u, fe))
+    if function is RBDFunction.M:
+        return list(eng.m_batch(model, q))
     if function is RBDFunction.MINV:
-        return list(batch_minv(model, states))
-    if function is RBDFunction.DFD:
-        d = batch_fd_derivatives(model, states, u)
+        return list(eng.minv_batch(model, q))
+    if function is RBDFunction.DID:
+        dtau_dq, dtau_dqd = eng.did_batch(model, q, qd, u, fe)
         return [
-            FDDerivatives(
-                dqdd_dq=d.dqdd_dq[k],
-                dqdd_dqd=d.dqdd_dqd[k],
-                dqdd_dtau=d.dqdd_dtau[k],
-                qdd=d.qdd[k],
-                minv=d.dqdd_dtau[k],
-            )
+            IDDerivatives(dtau_dq=dtau_dq[k], dtau_dqd=dtau_dqd[k])
             for k in range(n)
         ]
+    if function is RBDFunction.DFD:
+        qdd, dqdd_dq, dqdd_dqd, minv_out = eng.dfd_batch(model, q, qd, u, fe)
+    elif function is RBDFunction.DIFD:
+        qdd, dqdd_dq, dqdd_dqd, minv_out = eng.difd_batch(
+            model, q, qd, u, minv, fe
+        )
+    else:
+        raise ValueError(f"unknown function {function!r}")
     return [
-        evaluate(
-            model, function, states.q[k], states.qd[k], u[k],
-            minv=None if minv is None else minv[k],
+        FDDerivatives(
+            dqdd_dq=dqdd_dq[k],
+            dqdd_dqd=dqdd_dqd[k],
+            dqdd_dtau=minv_out[k],
+            qdd=qdd[k],
+            minv=minv_out[k],
         )
         for k in range(n)
     ]

@@ -86,7 +86,7 @@ def mminvgen(
             inertia_acc[parent] += x.T @ inertia_acc[i] @ x
 
     if out_m:
-        return _symmetrize_from_rows(model, out)
+        return _symmetrize_from_rows(out)
 
     # ------------------------------------------------------------------
     # Forward sweep (Mf_i submodules): lines 18-24.
@@ -107,7 +107,7 @@ def mminvgen(
         if parent >= 0:
             p_prop[i][:, right] += x @ p_prop[parent][:, right]
 
-    return _symmetrize_from_rows(model, out)
+    return _symmetrize_from_rows(out)
 
 
 def _bounds(model: RobotModel, link: int) -> tuple[int, int]:
@@ -115,11 +115,17 @@ def _bounds(model: RobotModel, link: int) -> tuple[int, int]:
     return sl.start, sl.stop
 
 
-def _symmetrize_from_rows(model: RobotModel, out: np.ndarray) -> np.ndarray:
+def _symmetrize_from_rows(out: np.ndarray) -> np.ndarray:
     """Both sweeps fill row blocks whose columns lie to the right of the
-    diagonal block; mirror them into the lower triangle."""
+    diagonal block; mirror them into the lower triangle.
+
+    Accepts one ``(nv, nv)`` matrix or an ``(n, nv, nv)`` batch (shared
+    with the vectorized engine's batched MMinvGen).
+    """
     upper = np.triu(out)
-    return upper + upper.T - np.diag(np.diag(upper))
+    diag = np.diagonal(upper, axis1=-2, axis2=-1)
+    return (upper + np.swapaxes(upper, -1, -2)
+            - diag[..., None] * np.eye(out.shape[-1]))
 
 
 def mass_matrix(model: RobotModel, q: np.ndarray) -> np.ndarray:

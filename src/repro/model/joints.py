@@ -68,6 +68,16 @@ class Joint(ABC):
     def joint_transform(self, q: np.ndarray) -> np.ndarray:
         """The 6x6 transform ``X_J(q)`` (child coords <- pre-joint coords)."""
 
+    def batch_joint_transform(self, q: np.ndarray) -> np.ndarray:
+        """``X_J`` for a whole task batch: ``(n, nv)`` -> ``(n, 6, 6)``.
+
+        The base implementation loops over tasks; concrete joints override
+        it with a broadcast construction so the vectorized engine's
+        per-link step costs one array op instead of ``n`` Python calls.
+        """
+        q = np.asarray(q, dtype=float)
+        return np.stack([self.joint_transform(q[k]) for k in range(q.shape[0])])
+
     @abstractmethod
     def integrate(self, q: np.ndarray, dq: np.ndarray) -> np.ndarray:
         """Configuration update ``q [+] dq`` consistent with the tangent
@@ -148,6 +158,11 @@ class RevoluteJoint(Joint):
         e = np.eye(3) + sin_q * k + (1.0 - cos_q) * (k @ k)
         return rot(e.T)
 
+    def batch_joint_transform(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=float)
+        e = exp_so3(self.axis * q)          # (n, 3, 3)
+        return rot(np.swapaxes(e, -1, -2))
+
     def integrate(self, q: np.ndarray, dq: np.ndarray) -> np.ndarray:
         return q + dq
 
@@ -179,6 +194,9 @@ class PrismaticJoint(Joint):
     def joint_transform(self, q: np.ndarray) -> np.ndarray:
         return xlt(self.axis * float(q[0]))
 
+    def batch_joint_transform(self, q: np.ndarray) -> np.ndarray:
+        return xlt(self.axis * np.asarray(q, dtype=float))
+
     def integrate(self, q: np.ndarray, dq: np.ndarray) -> np.ndarray:
         return q + dq
 
@@ -209,6 +227,11 @@ class HelicalJoint(Joint):
         e = exp_so3(self.axis * angle).T
         return rot(e) @ xlt(self.axis * self.pitch * angle)
 
+    def batch_joint_transform(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=float)
+        e = np.swapaxes(exp_so3(self.axis * q), -1, -2)
+        return rot(e) @ xlt(self.axis * self.pitch * q)
+
     def integrate(self, q: np.ndarray, dq: np.ndarray) -> np.ndarray:
         return q + dq
 
@@ -234,6 +257,11 @@ class CylindricalJoint(Joint):
         e = exp_so3(self.axis * float(q[0])).T
         return rot(e) @ xlt(self.axis * float(q[1]))
 
+    def batch_joint_transform(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=float)
+        e = np.swapaxes(exp_so3(self.axis * q[:, :1]), -1, -2)
+        return rot(e) @ xlt(self.axis * q[:, 1:2])
+
     def integrate(self, q: np.ndarray, dq: np.ndarray) -> np.ndarray:
         return q + dq
 
@@ -254,6 +282,10 @@ class SphericalJoint(Joint):
 
     def joint_transform(self, q: np.ndarray) -> np.ndarray:
         return rot(exp_so3(np.asarray(q, dtype=float)).T)
+
+    def batch_joint_transform(self, q: np.ndarray) -> np.ndarray:
+        e = exp_so3(np.asarray(q, dtype=float))
+        return rot(np.swapaxes(e, -1, -2))
 
     def integrate(self, q: np.ndarray, dq: np.ndarray) -> np.ndarray:
         r_new = exp_so3(np.asarray(q, dtype=float)) @ exp_so3(np.asarray(dq, dtype=float))
@@ -281,6 +313,9 @@ class Translation3Joint(Joint):
     def joint_transform(self, q: np.ndarray) -> np.ndarray:
         return xlt(np.asarray(q, dtype=float))
 
+    def batch_joint_transform(self, q: np.ndarray) -> np.ndarray:
+        return xlt(np.asarray(q, dtype=float))
+
     def integrate(self, q: np.ndarray, dq: np.ndarray) -> np.ndarray:
         return q + dq
 
@@ -306,6 +341,11 @@ class FloatingJoint(Joint):
         q = np.asarray(q, dtype=float)
         r = exp_so3(q[:3])
         return spatial_transform(r.T, q[3:])
+
+    def batch_joint_transform(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=float)
+        r = exp_so3(q[:, :3])
+        return spatial_transform(np.swapaxes(r, -1, -2), q[:, 3:])
 
     def integrate(self, q: np.ndarray, dq: np.ndarray) -> np.ndarray:
         q = np.asarray(q, dtype=float)

@@ -25,18 +25,25 @@ Architecture — the life of a request::
     * ``submit`` hands back a future immediately; the **dynamic batcher**
       coalesces same-``(robot, function)`` requests up to ``max_batch`` or
       ``max_wait_s`` (the latency/throughput knob), with a bounded queue
-      providing backpressure (``ServiceOverloaded``).
+      providing backpressure (``ServiceOverloaded``).  With the policy's
+      ``adaptive_wait`` flag the effective timeout shrinks while batches
+      fill before the deadline and relaxes again under sparse traffic.
     * A flushed batch lands on one **shard** — a modeled accelerator
       instance with its own cycle ledger — chosen round-robin or
       least-loaded; a thread pool (one worker per shard) executes it.
-    * The shard evaluates the batch with the vectorized
-      :mod:`repro.dynamics.batch` kernels (numerically identical to
-      per-request :func:`repro.dynamics.functions.evaluate`) and charges
-      the batch's modeled makespan from
-      :meth:`repro.core.accelerator.DaduRBD.profile_batch` to its ledger.
+    * The shard evaluates the batch through an **execution engine**
+      (:mod:`repro.dynamics.engine`): by default the batch-native
+      ``"vectorized"`` engine, whose link-recursion steps each cover the
+      whole task batch in one array op (numerically identical to
+      per-request :func:`repro.dynamics.functions.evaluate`; the ``"loop"``
+      reference engine remains selectable).  The batch's modeled makespan
+      from :meth:`repro.core.accelerator.DaduRBD.profile_batch` is charged
+      to the shard's ledger and the serving engine recorded in metrics.
     * Serial chains (RK4 sensitivity, Fig 13) bypass the batcher via
       :meth:`DynamicsService.submit_chain` and are timed with
-      :func:`repro.core.scheduler.serial_chains` dependencies.
+      :func:`repro.core.scheduler.serial_chains` dependencies; urgent
+      single requests (``submit(..., urgent=True)``) take the same bypass
+      for deadline-bound clients.
     * Per-robot derived state (parsed model, auto-fit accelerator build,
       SAPS organization, pipeline graphs, mass-matrix sparsity) lives in
       the **artifact cache**, built once and shared read-only by all

@@ -28,11 +28,23 @@ from repro.serve.request import ServeRequest, ServiceOverloaded
 
 @dataclass(frozen=True)
 class BatchPolicy:
-    """The batcher's flush policy."""
+    """The batcher's flush policy (the serve scheduler's configuration).
+
+    With ``adaptive_wait`` enabled the effective flush timeout tracks
+    recent occupancy (Clipper/TF-Serving style): every flush-on-full
+    halves the wait (arrivals fill batches before the deadline, so
+    waiting longer only adds latency) down to ``min_wait_s``, and every
+    flush-on-timeout doubles it back up to ``max_wait_s`` (traffic is
+    sparse again; trade latency for occupancy).
+    """
 
     max_batch: int = 64
     max_wait_s: float = 2e-3
     max_pending: int = 4096
+    #: Scheduler-config flag: adapt the effective wait to recent occupancy.
+    adaptive_wait: bool = False
+    #: Floor of the adaptive wait (only meaningful with ``adaptive_wait``).
+    min_wait_s: float = 2.5e-4
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -41,6 +53,10 @@ class BatchPolicy:
             raise ValueError("max_wait_s must be >= 0")
         if self.max_pending < self.max_batch:
             raise ValueError("max_pending must be >= max_batch")
+        if self.min_wait_s < 0:
+            raise ValueError("min_wait_s must be >= 0")
+        if self.adaptive_wait and self.min_wait_s > self.max_wait_s:
+            raise ValueError("min_wait_s must be <= max_wait_s")
 
 
 @dataclass
@@ -52,6 +68,8 @@ class BatcherStats:
     flushed_full: int = 0
     flushed_timeout: int = 0
     flushed_drain: int = 0
+    #: Requests that bypassed the batcher via the urgent fast path.
+    urgent: int = 0
     #: Batch-occupancy histogram: flushed size -> count.
     occupancy: dict[int, int] = field(default_factory=dict)
 
@@ -73,7 +91,24 @@ class DynamicBatcher:
         self._pending: dict[tuple[str, RBDFunction], list[ServeRequest]] = {}
         self._pending_total = 0
         self._lock = threading.Lock()
+        #: Per-key adaptive flush timeout (absent key == max_wait_s).  The
+        #: wait adapts per (robot, function) stream: a hot key that fills
+        #: batches early must not collapse the coalescing window of a
+        #: sparse key sharing the batcher.
+        self._wait_by_key: dict[tuple[str, RBDFunction], float] = {}
         self.stats = BatcherStats()
+
+    def _wait_for(self, key: tuple[str, RBDFunction]) -> float:
+        return self._wait_by_key.get(key, self.policy.max_wait_s)
+
+    @property
+    def effective_wait_s(self) -> float:
+        """The tightest flush timeout currently in force across keys
+        (== ``max_wait_s`` unless ``adaptive_wait`` has shrunk one)."""
+        with self._lock:
+            if not self._wait_by_key:
+                return self.policy.max_wait_s
+            return min(self._wait_by_key.values())
 
     def __len__(self) -> int:
         with self._lock:
@@ -104,11 +139,12 @@ class DynamicBatcher:
             return None
 
     def poll_expired(self, now: float) -> list[list[ServeRequest]]:
-        """Flush every key whose oldest request has waited ``max_wait_s``."""
+        """Flush every key whose oldest request has waited the effective
+        timeout (``max_wait_s``, or less under ``adaptive_wait``)."""
         with self._lock:
             expired = [
                 key for key, group in self._pending.items()
-                if group and now - group[0].arrival_s >= self.policy.max_wait_s
+                if group and now - group[0].arrival_s >= self._wait_for(key)
             ]
             return [self._flush_locked(key, "timeout") for key in expired]
 
@@ -119,16 +155,33 @@ class DynamicBatcher:
             return [self._flush_locked(key, "drain") for key in keys]
 
     def next_deadline(self) -> float | None:
-        """Earliest ``arrival_s + max_wait_s`` over all pending groups."""
+        """Earliest ``arrival_s + per-key wait`` over all pending groups."""
         with self._lock:
-            oldest = [g[0].arrival_s for g in self._pending.values() if g]
-            if not oldest:
+            deadlines = [
+                g[0].arrival_s + self._wait_for(key)
+                for key, g in self._pending.items() if g
+            ]
+            if not deadlines:
                 return None
-            return min(oldest) + self.policy.max_wait_s
+            return min(deadlines)
 
     def _flush_locked(self, key: tuple[str, RBDFunction],
                       reason: str) -> list[ServeRequest]:
         batch = self._pending.pop(key)
         self._pending_total -= len(batch)
         self.stats.record_flush(len(batch), reason)
+        if self.policy.adaptive_wait:
+            # Multiplicative-decrease on full (arrivals beat the deadline:
+            # stop paying for the wait), multiplicative-increase back on
+            # timeout (traffic went sparse again).  Per key: each
+            # (robot, function) stream adapts to its own arrival rate.
+            wait = self._wait_for(key)
+            if reason == "full":
+                self._wait_by_key[key] = max(self.policy.min_wait_s,
+                                             wait / 2.0)
+            elif reason == "timeout":
+                # The max() guard lets the wait recover even from a
+                # min_wait_s of zero.
+                self._wait_by_key[key] = min(self.policy.max_wait_s,
+                                             max(wait, 1e-5) * 2.0)
         return batch

@@ -76,6 +76,9 @@ class MetricsRegistry:
         self._batch_hist: dict[int, int] = {}
         self._batch_requests = 0
         self._modeled_busy_cycles = 0.0
+        #: Engine name -> number of batches it executed (which engine a
+        #: batch ran on is part of the service's observable behaviour).
+        self._engine_batches: dict[str, int] = {}
         self.completed = 0
         self.failed = 0
         self._started_s = time.monotonic()
@@ -97,11 +100,16 @@ class MetricsRegistry:
                 self._first_completion_s = now
             self._last_completion_s = now
 
-    def record_batch(self, size: int, modeled_makespan_cycles: float) -> None:
+    def record_batch(self, size: int, modeled_makespan_cycles: float,
+                     engine: str = "") -> None:
         with self._lock:
             self._batch_hist[size] = self._batch_hist.get(size, 0) + 1
             self._batch_requests += size
             self._modeled_busy_cycles += modeled_makespan_cycles
+            if engine:
+                self._engine_batches[engine] = (
+                    self._engine_batches.get(engine, 0) + 1
+                )
 
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
@@ -123,6 +131,11 @@ class MetricsRegistry:
         """Batch size -> number of batches executed at that size."""
         with self._lock:
             return dict(self._batch_hist)
+
+    def engine_batches(self) -> dict[str, int]:
+        """Engine name -> number of batches that engine served."""
+        with self._lock:
+            return dict(self._engine_batches)
 
     def mean_occupancy(self) -> float:
         with self._lock:
@@ -173,4 +186,5 @@ class MetricsRegistry:
             "modeled_p99_us": modeled.p99_s * 1e6,
             "mean_batch_occupancy": self.mean_occupancy(),
             "wall_throughput_rps": self.wall_throughput_rps(),
+            "engine_batches": self.engine_batches(),
         }

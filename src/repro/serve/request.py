@@ -49,6 +49,9 @@ class ServeRequest:
     #: ``sequence`` order on one shard (RK4-style sensitivity steps).
     chain: int | None = None
     sequence: int = 0
+    #: Urgent requests bypass the dynamic batcher entirely (deadline-bound
+    #: closed-loop clients must not pay ``max_wait_s`` under sparse load).
+    urgent: bool = False
     future: Future = field(default_factory=Future, repr=False)
 
     @property
@@ -77,3 +80,6 @@ class ServeResult:
     batch_size: int
     #: Shard that executed the batch.
     shard: int
+    #: Name of the execution engine that served the batch (see
+    #: :mod:`repro.dynamics.engine`).
+    engine: str = ""

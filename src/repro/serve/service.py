@@ -4,14 +4,20 @@
 robot states for any Table-I function and get a future back; internally
 the runtime coalesces same-``(robot, function)`` requests with the
 :class:`~repro.serve.batcher.DynamicBatcher`, executes each coalesced
-batch on a :class:`~repro.serve.pool.ShardPool` shard using the
-vectorized :func:`repro.dynamics.batch.batch_evaluate` kernels, charges
-the batch's modeled cost to the shard via the accelerator's cycle
-simulation, and resolves the per-request futures in submission order.
+batch on a :class:`~repro.serve.pool.ShardPool` shard via
+:func:`repro.dynamics.batch.batch_evaluate` on the service's execution
+engine (the batch-native ``"vectorized"`` engine by default — one
+link-recursion whose steps each cover the whole batch; see
+:mod:`repro.dynamics.engine`), charges the batch's modeled cost to the
+shard via the accelerator's cycle simulation, and resolves the
+per-request futures in submission order.  The engine that served each
+batch is recorded in the metrics registry.
 
 Serial chains (RK4-style sensitivity steps) bypass the batcher and are
 dispatched as one unit whose cycle accounting uses
-:func:`repro.core.scheduler.serial_chains` job dependencies (Fig 13).
+:func:`repro.core.scheduler.serial_chains` job dependencies (Fig 13);
+``submit(..., urgent=True)`` requests bypass it the same way, trading
+occupancy for immediate dispatch.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from repro.core.config import AcceleratorConfig, PAPER_CONFIG
 from repro.core.functions import BatchProfile
 from repro.core.scheduler import serial_chains
 from repro.dynamics import BatchStates, batch_evaluate
+from repro.dynamics.engine import Engine, get_engine
 from repro.dynamics.functions import RBDFunction
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
 from repro.serve.cache import ArtifactCache, RobotArtifacts
@@ -50,9 +57,13 @@ class DynamicsService:
         shard_policy: str = "round_robin",
         config: AcceleratorConfig = PAPER_CONFIG,
         warm_robots: list[str] | None = None,
+        engine: str | Engine | None = None,
     ) -> None:
         self.policy = policy or BatchPolicy()
         self.config = config
+        #: Execution engine shard workers evaluate batches with (the
+        #: batch-native "vectorized" engine unless overridden).
+        self.engine = get_engine(engine)
         self.cache = ArtifactCache(config)
         self.batcher = DynamicBatcher(self.policy)
         self.pool = ShardPool(n_shards, shard_policy)
@@ -122,8 +133,15 @@ class DynamicsService:
         qd: np.ndarray | None = None,
         u: np.ndarray | None = None,
         minv: np.ndarray | None = None,
+        urgent: bool = False,
     ) -> Future:
         """Submit one request; resolves to a :class:`ServeResult`.
+
+        ``urgent=True`` skips the dynamic batcher and dispatches the
+        request immediately as a singleton batch, the same bypass serial
+        chains use — for deadline-bound clients that must not pay the
+        ``max_wait_s`` coalescing delay under sparse traffic.  Urgent
+        requests still count against ``max_pending`` backpressure.
 
         Raises :class:`ValueError` on malformed inputs,
         :class:`ServiceOverloaded` when the bounded queue is full
@@ -131,13 +149,21 @@ class DynamicsService:
         """
         request = ServeRequest(robot=robot, function=function,
                                q=np.asarray(q, dtype=float),
-                               qd=qd, u=u, minv=minv)
+                               qd=qd, u=u, minv=minv, urgent=urgent)
         self._validate(request)
         with self._lifecycle_lock:
             if self._closed:
                 raise ServiceClosed("service is shut down")
             with self._counter_lock:
                 dispatched = self._dispatched_outstanding
+            if urgent:
+                # Priority bypass: same backpressure bound, no coalescing.
+                self._check_backpressure(1)
+                request.arrival_s = time.monotonic()
+                self.batcher.stats.accepted += 1
+                self.batcher.stats.urgent += 1
+                self._dispatch([request], chained=False)
+                return request.future
             batch = self.batcher.add(request, time.monotonic(),
                                      extra_pending=dispatched)
             if batch is not None:
@@ -192,15 +218,7 @@ class DynamicsService:
                 raise ServiceClosed("service is shut down")
             # Chains bypass the batcher but not its backpressure: the
             # whole backlog (queued + dispatched) stays under one bound.
-            with self._counter_lock:
-                outstanding = self._dispatched_outstanding
-            if (outstanding + len(self.batcher) + n
-                    > self.policy.max_pending):
-                self.batcher.stats.rejected += 1
-                raise ServiceOverloaded(
-                    f"request queue full "
-                    f"({self.policy.max_pending} pending)"
-                )
+            self._check_backpressure(n)
             self._dispatch(requests, chained=True)
         return [r.future for r in requests]
 
@@ -251,8 +269,11 @@ class DynamicsService:
         out.update({
             "accepted": self.batcher.stats.accepted,
             "rejected": self.batcher.stats.rejected,
+            "urgent": self.batcher.stats.urgent,
             "flushed_full": self.batcher.stats.flushed_full,
             "flushed_timeout": self.batcher.stats.flushed_timeout,
+            "effective_wait_s": self.batcher.effective_wait_s,
+            "engine": self.engine.name,
             "cache_hits": self.cache.stats.hits,
             "cache_misses": self.cache.stats.misses,
             "modeled_throughput_rps": self.modeled_throughput_rps(),
@@ -277,6 +298,18 @@ class DynamicsService:
             self._wake.clear()
             for batch in self.batcher.poll_expired(time.monotonic()):
                 self._dispatch(batch, chained=False)
+
+    def _check_backpressure(self, n: int) -> None:
+        """Reject batcher-bypassing work (chains, urgent requests) that
+        would push the whole in-service backlog — dispatched plus queued —
+        past ``max_pending``.  Caller holds ``_lifecycle_lock``."""
+        with self._counter_lock:
+            outstanding = self._dispatched_outstanding
+        if outstanding + len(self.batcher) + n > self.policy.max_pending:
+            self.batcher.stats.rejected += 1
+            raise ServiceOverloaded(
+                f"request queue full ({self.policy.max_pending} pending)"
+            )
 
     def _dispatch(self, batch: list[ServeRequest], chained: bool) -> None:
         with self._counter_lock:
@@ -328,7 +361,8 @@ class DynamicsService:
             if any(r.minv is not None for r in batch):
                 minv = np.stack([np.asarray(r.minv, dtype=float) for r in batch])
             values = batch_evaluate(
-                model, function, BatchStates(q, qd), u, minv=minv
+                model, function, BatchStates(q, qd), u, minv=minv,
+                engine=self.engine,
             )
             profile = self._profile(artifacts, function, len(batch), chained)
         except Exception as exc:  # resolve every future, never hang a client
@@ -337,7 +371,8 @@ class DynamicsService:
                     r.future.set_exception(exc)
             self.metrics.record_failure(len(batch))
             return 0.0
-        self.metrics.record_batch(len(batch), profile.makespan_cycles)
+        self.metrics.record_batch(len(batch), profile.makespan_cycles,
+                                  engine=self.engine.name)
         modeled_s = self.config.cycles_to_seconds(profile.mean_latency_cycles)
         now = time.monotonic()
         for r, value in zip(batch, values):
@@ -358,6 +393,7 @@ class DynamicsService:
                     modeled_makespan_cycles=profile.makespan_cycles,
                     batch_size=len(batch),
                     shard=shard.index,
+                    engine=self.engine.name,
                 ))
             except InvalidStateError:
                 continue        # cancellation raced; don't strand batchmates

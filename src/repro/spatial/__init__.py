@@ -1,4 +1,10 @@
-"""Featherstone spatial (6D) vector algebra substrate."""
+"""Featherstone spatial (6D) vector algebra substrate.
+
+All operators broadcast over leading batch axes (``(..., 6)`` vectors,
+``(..., 6, 6)`` transforms/operators), so the same functions serve both the
+scalar reference algorithms and the vectorized batch engine, which loops
+over links but applies every link-step to the whole task batch at once.
+"""
 
 from repro.spatial.inertia import SpatialInertia
 from repro.spatial.motion import (

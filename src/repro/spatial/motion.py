@@ -4,6 +4,10 @@ Motion vectors are ``[w; v]`` (angular on top), force vectors are ``[n; f]``
 (couple on top).  ``crm(v)`` is the motion-cross operator (``v x m``) and
 ``crf(v) = -crm(v).T`` is the force-cross operator (``v x* f``), following
 Featherstone's notation.
+
+Every operator broadcasts over leading batch axes: ``(..., 6)`` inputs give
+``(..., 6, 6)`` operators / ``(..., 6)`` products, so one call applies the
+operation to a whole task batch at once.
 """
 
 from __future__ import annotations
@@ -16,38 +20,38 @@ from repro.spatial.so3 import skew
 def crm(v: np.ndarray) -> np.ndarray:
     """6x6 motion cross-product operator: ``crm(v) @ m == v x m``."""
     v = np.asarray(v, dtype=float)
-    sw = skew(v[:3])
-    sv = skew(v[3:])
-    out = np.zeros((6, 6))
-    out[:3, :3] = sw
-    out[3:, :3] = sv
-    out[3:, 3:] = sw
+    sw = skew(v[..., :3])
+    sv = skew(v[..., 3:])
+    out = np.zeros(v.shape[:-1] + (6, 6))
+    out[..., :3, :3] = sw
+    out[..., 3:, :3] = sv
+    out[..., 3:, 3:] = sw
     return out
 
 
 def crf(v: np.ndarray) -> np.ndarray:
     """6x6 force cross-product operator: ``crf(v) @ f == v x* f == -crm(v).T @ f``."""
-    return -crm(v).T
+    return -np.swapaxes(crm(v), -1, -2)
 
 
 def cross_motion(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``a x b`` for motion vectors, without building the 6x6 operator."""
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
-    w, v = a[:3], a[3:]
-    top = np.cross(w, b[:3])
-    bottom = np.cross(v, b[:3]) + np.cross(w, b[3:])
-    return np.concatenate([top, bottom])
+    w, v = a[..., :3], a[..., 3:]
+    top = np.cross(w, b[..., :3])
+    bottom = np.cross(v, b[..., :3]) + np.cross(w, b[..., 3:])
+    return np.concatenate([top, bottom], axis=-1)
 
 
 def cross_force(a: np.ndarray, f: np.ndarray) -> np.ndarray:
     """``a x* f`` for a motion vector ``a`` acting on a force vector ``f``."""
     a = np.asarray(a, dtype=float)
     f = np.asarray(f, dtype=float)
-    w, v = a[:3], a[3:]
-    top = np.cross(w, f[:3]) + np.cross(v, f[3:])
-    bottom = np.cross(w, f[3:])
-    return np.concatenate([top, bottom])
+    w, v = a[..., :3], a[..., 3:]
+    top = np.cross(w, f[..., :3]) + np.cross(v, f[..., 3:])
+    bottom = np.cross(w, f[..., 3:])
+    return np.concatenate([top, bottom], axis=-1)
 
 
 def crf_bar(f: np.ndarray) -> np.ndarray:
@@ -61,10 +65,10 @@ def crf_bar(f: np.ndarray) -> np.ndarray:
                        [skew(g), 0      ]]
     """
     f = np.asarray(f, dtype=float)
-    sn = skew(f[:3])
-    sg = skew(f[3:])
-    out = np.zeros((6, 6))
-    out[:3, :3] = -sn
-    out[:3, 3:] = -sg
-    out[3:, :3] = -sg
+    sn = skew(f[..., :3])
+    sg = skew(f[..., 3:])
+    out = np.zeros(f.shape[:-1] + (6, 6))
+    out[..., :3, :3] = -sn
+    out[..., :3, 3:] = -sg
+    out[..., 3:, :3] = -sg
     return out

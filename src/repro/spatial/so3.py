@@ -5,6 +5,11 @@ a coordinate-transform matrix ``E`` maps vector coordinates from frame A to
 frame B where B is rotated relative to A, i.e. ``v_B = E @ v_A``.  For a
 frame rotated by ``theta`` about the z axis this is ``rotz(theta) ==
 Rz(theta).T`` where ``Rz`` is the usual rotation matrix.
+
+``skew``, ``unskew`` and ``exp_so3`` accept leading batch axes: a ``(..., 3)``
+input yields a ``(..., 3, 3)`` output with every batch element treated
+independently.  This is the substrate the vectorized dynamics engine builds
+on (loop over links, broadcast over tasks).
 """
 
 from __future__ import annotations
@@ -15,37 +20,62 @@ _EPS = 1e-12
 
 
 def skew(v: np.ndarray) -> np.ndarray:
-    """Return the 3x3 skew-symmetric matrix such that ``skew(v) @ u == v x u``."""
+    """Return the skew-symmetric matrix such that ``skew(v) @ u == v x u``.
+
+    Accepts a ``(..., 3)`` batch of vectors and returns ``(..., 3, 3)``.
+    """
     v = np.asarray(v, dtype=float)
-    return np.array(
-        [
-            [0.0, -v[2], v[1]],
-            [v[2], 0.0, -v[0]],
-            [-v[1], v[0], 0.0],
-        ]
-    )
+    out = np.zeros(v.shape[:-1] + (3, 3))
+    out[..., 0, 1] = -v[..., 2]
+    out[..., 0, 2] = v[..., 1]
+    out[..., 1, 0] = v[..., 2]
+    out[..., 1, 2] = -v[..., 0]
+    out[..., 2, 0] = -v[..., 1]
+    out[..., 2, 1] = v[..., 0]
+    return out
 
 
 def unskew(m: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`skew`; extracts the vector of a skew-symmetric matrix."""
-    return np.array([m[2, 1], m[0, 2], m[1, 0]])
+    """Inverse of :func:`skew`; extracts the vector of a skew-symmetric matrix.
+
+    Accepts a ``(..., 3, 3)`` batch and returns ``(..., 3)``.
+    """
+    m = np.asarray(m)
+    return np.stack(
+        [m[..., 2, 1], m[..., 0, 2], m[..., 1, 0]], axis=-1
+    )
 
 
 def exp_so3(w: np.ndarray) -> np.ndarray:
     """Rodrigues formula: the rotation matrix ``R = exp(skew(w))``.
 
-    ``R`` rotates vectors by angle ``|w|`` about axis ``w/|w|``.
+    ``R`` rotates vectors by angle ``|w|`` about axis ``w/|w|``.  Accepts a
+    ``(..., 3)`` batch of rotation vectors and returns ``(..., 3, 3)``.
     """
     w = np.asarray(w, dtype=float)
-    theta = float(np.linalg.norm(w))
-    if theta < _EPS:
-        # Second-order series keeps exp/log round trips accurate near zero.
-        k = skew(w)
-        return np.eye(3) + k + 0.5 * (k @ k)
-    axis = w / theta
-    k = skew(axis)
-    s, c = np.sin(theta), np.cos(theta)
-    return np.eye(3) + s * k + (1.0 - c) * (k @ k)
+    if w.ndim == 1:
+        theta = float(np.linalg.norm(w))
+        if theta < _EPS:
+            # Second-order series keeps exp/log round trips accurate near zero.
+            k = skew(w)
+            return np.eye(3) + k + 0.5 * (k @ k)
+        axis = w / theta
+        k = skew(axis)
+        s, c = np.sin(theta), np.cos(theta)
+        return np.eye(3) + s * k + (1.0 - c) * (k @ k)
+    # Batched path: factor form R = I + (sin t / t) K + ((1-cos t)/t^2) K^2
+    # with K = skew(w), matching the series branch as theta -> 0.
+    theta = np.linalg.norm(w, axis=-1)
+    small = theta < _EPS
+    safe = np.where(small, 1.0, theta)
+    a = np.where(small, 1.0, np.sin(safe) / safe)
+    b = np.where(small, 0.5, (1.0 - np.cos(safe)) / (safe * safe))
+    k = skew(w)
+    return (
+        np.eye(3)
+        + a[..., None, None] * k
+        + b[..., None, None] * (k @ k)
+    )
 
 
 def log_so3(r: np.ndarray) -> np.ndarray:

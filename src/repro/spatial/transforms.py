@@ -9,6 +9,11 @@ where ``E`` is the A-to-B rotation and ``r`` the position of B's origin
 expressed in A coordinates.  Force vectors transform with ``X^{-T}``; in
 particular the force transform back to the parent used throughout the paper
 is simply ``X.T`` (Algorithm 1, line 8).
+
+All constructors and converters broadcast over leading batch axes: passing
+``E`` of shape ``(..., 3, 3)`` / ``r`` of shape ``(..., 3)`` yields
+``(..., 6, 6)`` transforms, one per batch element.  The scalar (unbatched)
+signatures are unchanged.
 """
 
 from __future__ import annotations
@@ -19,52 +24,58 @@ from repro.spatial.so3 import skew
 
 
 def rot(e: np.ndarray) -> np.ndarray:
-    """Spatial transform for a pure rotation ``E``."""
+    """Spatial transform for a pure rotation ``E`` (``(..., 3, 3)`` ok)."""
     e = np.asarray(e, dtype=float)
-    out = np.zeros((6, 6))
-    out[:3, :3] = e
-    out[3:, 3:] = e
+    out = np.zeros(e.shape[:-2] + (6, 6))
+    out[..., :3, :3] = e
+    out[..., 3:, 3:] = e
     return out
 
 
 def xlt(r: np.ndarray) -> np.ndarray:
     """Spatial transform for a pure translation by ``r`` (in A coordinates)."""
-    out = np.eye(6)
-    out[3:, :3] = -skew(r)
+    r = np.asarray(r, dtype=float)
+    out = np.zeros(r.shape[:-1] + (6, 6))
+    out[..., :3, :3] = np.eye(3)
+    out[..., 3:, 3:] = np.eye(3)
+    out[..., 3:, :3] = -skew(r)
     return out
 
 
 def spatial_transform(e: np.ndarray, r: np.ndarray) -> np.ndarray:
     """``rot(e) @ xlt(r)`` built directly (no 6x6 multiply)."""
     e = np.asarray(e, dtype=float)
-    out = np.zeros((6, 6))
-    out[:3, :3] = e
-    out[3:, :3] = -e @ skew(r)
-    out[3:, 3:] = e
+    r = np.asarray(r, dtype=float)
+    shape = np.broadcast_shapes(e.shape[:-2], r.shape[:-1])
+    out = np.zeros(shape + (6, 6))
+    out[..., :3, :3] = e
+    out[..., 3:, :3] = -e @ skew(r)
+    out[..., 3:, 3:] = e
     return out
 
 
 def transform_rotation(x: np.ndarray) -> np.ndarray:
     """Extract the rotation block ``E`` from a spatial transform."""
-    return np.asarray(x)[:3, :3]
+    return np.asarray(x)[..., :3, :3]
 
 
 def transform_translation(x: np.ndarray) -> np.ndarray:
     """Extract the translation ``r`` (B origin in A coordinates)."""
     x = np.asarray(x)
-    m = x[:3, :3].T @ x[3:, :3]  # equals -skew(r)
-    return -np.array([m[2, 1], m[0, 2], m[1, 0]])
+    e = x[..., :3, :3]
+    m = np.swapaxes(e, -1, -2) @ x[..., 3:, :3]  # equals -skew(r)
+    return -np.stack([m[..., 2, 1], m[..., 0, 2], m[..., 1, 0]], axis=-1)
 
 
 def inverse_transform(x: np.ndarray) -> np.ndarray:
     """Inverse of a Plücker motion transform, computed blockwise."""
     x = np.asarray(x, dtype=float)
-    e = x[:3, :3]
-    b = x[3:, :3]
-    out = np.zeros((6, 6))
-    out[:3, :3] = e.T
-    out[3:, :3] = b.T
-    out[3:, 3:] = e.T
+    e = x[..., :3, :3]
+    b = x[..., 3:, :3]
+    out = np.zeros(x.shape[:-2] + (6, 6))
+    out[..., :3, :3] = np.swapaxes(e, -1, -2)
+    out[..., 3:, :3] = np.swapaxes(b, -1, -2)
+    out[..., 3:, 3:] = np.swapaxes(e, -1, -2)
     return out
 
 
@@ -74,7 +85,7 @@ def force_transform(x: np.ndarray) -> np.ndarray:
     If ``x = ^BX_A`` maps motions A->B then ``force_transform(x)`` maps
     forces A->B and equals ``inverse_transform(x).T``.
     """
-    return inverse_transform(x).T
+    return np.swapaxes(inverse_transform(x), -1, -2)
 
 
 def is_spatial_transform(x: np.ndarray, tol: float = 1e-8) -> bool:

@@ -1,0 +1,171 @@
+"""Equivalence suite for the batch execution engines.
+
+The vectorized engine must be numerically interchangeable with the loop
+reference engine — same Table-I function, same robot, same batch — to
+1e-10, including the batch-size extremes the serve runtime produces
+(singleton flushes and full 256-task accelerator loads) and the
+external-force path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import (
+    BatchStates,
+    batch_evaluate,
+    evaluate,
+)
+from repro.dynamics.engine import (
+    Engine,
+    LoopEngine,
+    VectorizedEngine,
+    available_engines,
+    default_engine_name,
+    get_engine,
+    normalize_f_ext,
+    set_default_engine,
+)
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import ROBOT_REGISTRY, load_robot
+
+TOL = dict(rtol=1e-10, atol=1e-10)
+ROBOTS = sorted(ROBOT_REGISTRY)
+FUNCTIONS = list(RBDFunction)
+
+
+def _batch_inputs(model, function, n, seed=0):
+    """(states, u, minv) operands for one batched call of ``function``."""
+    rng = np.random.default_rng(seed)
+    states = BatchStates.random(model, n, seed=seed)
+    u = rng.normal(size=(n, model.nv))
+    minv = None
+    if function is RBDFunction.DIFD:
+        minv = np.stack([
+            evaluate(model, RBDFunction.MINV, states.q[k])
+            for k in range(n)
+        ])
+    return states, u, minv
+
+
+def _compare(function, got, want):
+    """Assert two batch_evaluate result lists agree to 1e-10."""
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        if hasattr(a, "dqdd_dq"):
+            np.testing.assert_allclose(a.qdd, b.qdd, **TOL)
+            np.testing.assert_allclose(a.dqdd_dq, b.dqdd_dq, **TOL)
+            np.testing.assert_allclose(a.dqdd_dqd, b.dqdd_dqd, **TOL)
+            np.testing.assert_allclose(a.dqdd_dtau, b.dqdd_dtau, **TOL)
+        elif hasattr(a, "dtau_dq"):
+            np.testing.assert_allclose(a.dtau_dq, b.dtau_dq, **TOL)
+            np.testing.assert_allclose(a.dtau_dqd, b.dtau_dqd, **TOL)
+        else:
+            np.testing.assert_allclose(a, b, **TOL)
+
+
+class TestEngineEquivalence:
+    """vectorized == loop on every robot x function the library knows."""
+
+    @pytest.mark.parametrize("function", FUNCTIONS, ids=lambda f: f.value)
+    @pytest.mark.parametrize("robot", ROBOTS)
+    def test_every_robot_and_function(self, robot, function):
+        model = load_robot(robot)
+        states, u, minv = _batch_inputs(model, function, n=4, seed=3)
+        loop = batch_evaluate(model, function, states, u, minv=minv,
+                              engine="loop")
+        vec = batch_evaluate(model, function, states, u, minv=minv,
+                             engine="vectorized")
+        _compare(function, vec, loop)
+
+    @pytest.mark.parametrize("function", FUNCTIONS, ids=lambda f: f.value)
+    @pytest.mark.parametrize("n", [1, 256])
+    def test_batch_size_extremes(self, function, n):
+        """Singleton flushes and full accelerator loads agree (iiwa)."""
+        model = load_robot("iiwa")
+        states, u, minv = _batch_inputs(model, function, n=n, seed=5)
+        loop = batch_evaluate(model, function, states, u, minv=minv,
+                              engine="loop")
+        vec = batch_evaluate(model, function, states, u, minv=minv,
+                             engine="vectorized")
+        _compare(function, vec, loop)
+
+    @pytest.mark.parametrize(
+        "function",
+        [RBDFunction.ID, RBDFunction.FD, RBDFunction.DID, RBDFunction.DFD],
+        ids=lambda f: f.value,
+    )
+    @pytest.mark.parametrize("robot", ["iiwa", "hyq"])
+    def test_external_force_path(self, robot, function):
+        """Per-task (n, 6) and shared (6,) external forces agree."""
+        model = load_robot(robot)
+        states, u, _ = _batch_inputs(model, function, n=6, seed=7)
+        rng = np.random.default_rng(8)
+        f_ext = {
+            0: rng.normal(size=(6, 6)),          # per-task stack
+            model.nb - 1: rng.normal(size=6),    # shared by every task
+        }
+        loop = batch_evaluate(model, function, states, u, f_ext=f_ext,
+                              engine="loop")
+        vec = batch_evaluate(model, function, states, u, f_ext=f_ext,
+                             engine="vectorized")
+        _compare(function, vec, loop)
+
+    def test_external_force_matches_scalar_reference(self):
+        """The batched f_ext path agrees with per-task scalar evaluate."""
+        model = load_robot("iiwa")
+        n = 3
+        states, u, _ = _batch_inputs(model, RBDFunction.ID, n, seed=9)
+        rng = np.random.default_rng(10)
+        stack = rng.normal(size=(n, 6))
+        vec = batch_evaluate(model, RBDFunction.ID, states, u,
+                             f_ext={2: stack}, engine="vectorized")
+        for k in range(n):
+            direct = evaluate(model, RBDFunction.ID, states.q[k],
+                              states.qd[k], u[k], f_ext={2: stack[k]})
+            np.testing.assert_allclose(vec[k], direct, **TOL)
+
+    def test_bad_f_ext_shape_rejected(self):
+        with pytest.raises(ValueError, match="f_ext"):
+            normalize_f_ext({0: np.zeros((3, 5))}, 3)
+
+
+class TestEngineSelection:
+    def test_registry_contents(self):
+        assert available_engines() == ("loop", "vectorized")
+        assert isinstance(get_engine("loop"), LoopEngine)
+        assert isinstance(get_engine("vectorized"), VectorizedEngine)
+
+    def test_default_is_vectorized(self):
+        assert default_engine_name() == "vectorized"
+        assert isinstance(get_engine(), VectorizedEngine)
+        assert isinstance(get_engine(None), VectorizedEngine)
+
+    def test_instance_passthrough(self):
+        engine = get_engine("loop")
+        assert get_engine(engine) is engine
+        assert isinstance(engine, Engine)
+
+    def test_set_default_engine_roundtrip(self):
+        set_default_engine("loop")
+        try:
+            assert default_engine_name() == "loop"
+            assert isinstance(get_engine(), LoopEngine)
+        finally:
+            set_default_engine("vectorized")
+        assert default_engine_name() == "vectorized"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(KeyError, match="unknown engine"):
+            get_engine("cuda")
+        with pytest.raises(KeyError, match="unknown engine"):
+            set_default_engine("cuda")
+
+    def test_default_engine_used_by_batch_evaluate(self):
+        """Per-call selection overrides the process default."""
+        model = load_robot("double_pendulum")
+        states, u, _ = _batch_inputs(model, RBDFunction.FD, 2, seed=1)
+        by_default = batch_evaluate(model, RBDFunction.FD, states, u)
+        by_name = batch_evaluate(model, RBDFunction.FD, states, u,
+                                 engine="vectorized")
+        for a, b in zip(by_default, by_name):
+            np.testing.assert_allclose(a, b, rtol=0, atol=0)

@@ -173,3 +173,36 @@ class TestHelicalSpecifics:
         joint = HelicalJoint(np.array([0.0, 0.0, 1.0]), pitch=0.5)
         s = joint.motion_subspace()[:, 0]
         assert np.isclose(s[5], 0.5 * s[2])
+
+
+class TestBatchJointTransform:
+    """batch_joint_transform == stacked scalar joint_transform, per type.
+
+    The engine equivalence suite only exercises the joint types the robot
+    library uses; this closes the gap for every Joint subclass (including
+    the helical/cylindrical/spherical/translation overrides and the screw
+    fallback).
+    """
+
+    @pytest.mark.parametrize(
+        "joint", ALL_JOINTS, ids=lambda j: j.structural_signature()
+    )
+    def test_matches_scalar_stack(self, joint):
+        rng = np.random.default_rng(17)
+        qs = np.stack([joint.random(rng) for _ in range(5)])
+        batched = joint.batch_joint_transform(qs)
+        assert batched.shape == (5, 6, 6)
+        for k in range(5):
+            np.testing.assert_allclose(
+                batched[k], joint.joint_transform(qs[k]),
+                rtol=1e-12, atol=1e-12,
+            )
+
+    def test_batch_of_one(self):
+        joint = HelicalJoint(np.array([0.0, 1.0, 0.0]), pitch=0.3)
+        q = np.array([[0.7]])
+        np.testing.assert_allclose(
+            joint.batch_joint_transform(q)[0],
+            joint.joint_transform(q[0]),
+            rtol=1e-12, atol=1e-12,
+        )
