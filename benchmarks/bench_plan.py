@@ -1,0 +1,176 @@
+"""Structure-compiled engine vs the per-link vectorized engine.
+
+The compiled engine replays a per-robot execution plan
+(:mod:`repro.dynamics.plan`): recursions scheduled by tree *depth level*
+(independent branches fused into one array op per level), transforms
+refreshed in one op per joint kind, and preallocated per-thread
+workspaces.  Its advantage grows with branching — a serial chain has one
+link per level, a quadruped advances four legs per step — which is
+exactly the structure argument the paper's SAPS make in silicon.
+
+This bench times ``"compiled"`` against ``"vectorized"`` (and the
+``"loop"`` reference at batch 1, where a per-task Python loop is still
+affordable) on a serial robot (iiwa) and two branched robots (hyq,
+quadruped_arm) across the batch sizes the serve runtime produces.
+
+Acceptance anchors: compiled must be >= 1.0x vectorized on a branched
+robot (CI smoke floor) and the full table shows >= 1.5x on branched
+robots at batch 256 for FD (it ships as the serve default).
+
+Runs under pytest (with the usual summary table) or directly for CI
+smoke::
+
+    PYTHONPATH=src python benchmarks/bench_plan.py --quick
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.dynamics import BatchStates, batch_evaluate
+from repro.dynamics.functions import RBDFunction
+from repro.dynamics.plan import plan_for
+from repro.model.library import load_robot
+
+#: (robot, is_branched) — one serial chain, two branched topologies.
+ROBOTS = (("iiwa", False), ("hyq", True), ("quadruped_arm", True))
+BATCHES = (1, 64, 256)
+FUNCTIONS = (RBDFunction.FD, RBDFunction.DFD)
+#: CI smoke floor: compiled must not lose to vectorized on a branched
+#: robot (the serve runtime ships compiled as its default engine).
+SMOKE_FLOOR = 1.0
+#: Acceptance target at the accelerator's native batch size.
+BRANCHED_FD_TARGET = 1.5
+
+
+def _time_engine(model, function, states, u, engine, reps) -> float:
+    """Best-of-``reps`` wall seconds for one batched call."""
+    batch_evaluate(model, function, states, u, engine=engine)   # warm-up
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        batch_evaluate(model, function, states, u, engine=engine)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_plan_bench(robots=ROBOTS, batches=BATCHES,
+                   functions=FUNCTIONS) -> list[dict]:
+    """Rows of {robot, function, batch, loop_s?, vectorized_s,
+    compiled_s, speedup} (speedup = vectorized / compiled)."""
+    rows = []
+    for robot, branched in robots:
+        model = load_robot(robot)
+        for batch in batches:
+            states = BatchStates.random(model, batch, seed=0)
+            u = np.random.default_rng(1).normal(size=(batch, model.nv))
+            for function in functions:
+                row = {
+                    "robot": robot,
+                    "branched": branched,
+                    "function": function,
+                    "batch": batch,
+                }
+                if batch == 1:
+                    # The per-task loop reference is only affordable as a
+                    # singleton; at 256 tasks it would dominate the bench.
+                    row["loop_s"] = _time_engine(
+                        model, function, states, u, "loop", reps=3
+                    )
+                row["vectorized_s"] = _time_engine(
+                    model, function, states, u, "vectorized", reps=5
+                )
+                row["compiled_s"] = _time_engine(
+                    model, function, states, u, "compiled", reps=5
+                )
+                row["speedup"] = row["vectorized_s"] / row["compiled_s"]
+                rows.append(row)
+    return rows
+
+
+def _plan_table(rows):
+    from repro.reporting import Table
+
+    table = Table(
+        "plan: compiled vs vectorized (speedup = vectorized / compiled)",
+        ["robot", "function", "batch", "loop (ms)", "vectorized (ms)",
+         "compiled (ms)", "speedup"],
+    )
+    for row in rows:
+        table.add_row(
+            row["robot"], row["function"].value, row["batch"],
+            "-" if "loop_s" not in row else row["loop_s"] * 1e3,
+            row["vectorized_s"] * 1e3, row["compiled_s"] * 1e3,
+            row["speedup"],
+        )
+    return table
+
+
+def _schedule_lines() -> str:
+    lines = ["== compiled level schedules =="]
+    for robot, _ in ROBOTS:
+        info = plan_for(load_robot(robot)).describe()
+        lines.append(
+            f"{robot}: {info['links']} links -> {info['levels']} levels, "
+            f"widths {info['level_widths']} ({info['branches']} branches)"
+        )
+    return "\n".join(lines)
+
+
+def _branched_fd_speedups(rows, batch):
+    return {
+        row["robot"]: row["speedup"]
+        for row in rows
+        if row["branched"] and row["batch"] == batch
+        and row["function"] is RBDFunction.FD
+    }
+
+
+def test_compiled_engine_speedup(once):
+    """Compiled >= vectorized on branched robots; >= 1.5x on FD at 256."""
+    from conftest import record_table
+
+    def _run():
+        rows = run_plan_bench()
+        record_table(_plan_table(rows))
+        record_table(_schedule_lines())
+        fd256 = _branched_fd_speedups(rows, 256)
+        record_table(
+            "== compiled-engine speedup (branched FD, batch 256) ==\n"
+            + "\n".join(f"{robot}: {s:.2f}x (smoke floor {SMOKE_FLOOR:.1f}x,"
+                        f" target {BRANCHED_FD_TARGET:.1f}x)"
+                        for robot, s in fd256.items())
+        )
+        for robot, speedup in fd256.items():
+            assert speedup >= SMOKE_FLOOR, (robot, speedup)
+        assert max(fd256.values()) >= BRANCHED_FD_TARGET
+
+    once(_run)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    robots = (("iiwa", False), ("quadruped_arm", True)) if quick else ROBOTS
+    batches = (64,) if quick else BATCHES
+    functions = (RBDFunction.FD,) if quick else FUNCTIONS
+    rows = run_plan_bench(robots, batches, functions)
+    print(f"bench_plan: {'quick' if quick else 'full'} mode")
+    print(_plan_table(rows).render())
+    print()
+    print(_schedule_lines())
+    branched = [r for r in rows if r["branched"]
+                and r["function"] is RBDFunction.FD]
+    worst = min(r["speedup"] for r in branched)
+    print(f"\ncompiled vs vectorized on branched FD: worst {worst:.2f}x "
+          f"(floor {SMOKE_FLOOR:.1f}x)")
+    if worst < SMOKE_FLOOR:
+        print("FAIL: compiled engine lost to vectorized on a branched robot",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -8,14 +8,15 @@ open-loop Poisson load and a closed-loop MPC client through it, and
 prints the service-level latency/throughput picture.
 
 Batched execution: once the batcher has coalesced a batch, the shard
-evaluates it with the ``"vectorized"`` engine
-(:mod:`repro.dynamics.engine`) — the recursion runs over *links* while
-every link-step is one array op over the whole *task* batch, so a
-256-task batch costs one link-sweep rather than 256 Python recursions
-(~90x faster host-side than the per-task ``"loop"`` reference; see
-``benchmarks/bench_engine.py``).  Pass ``engine="loop"`` to
-:class:`~repro.serve.DynamicsService` to compare; results are identical
-to 1e-10 and the serving engine is recorded per batch in the metrics.
+evaluates it with the ``"compiled"`` engine — level-scheduled kernels
+over the robot's cached execution plan (:mod:`repro.dynamics.plan`), so
+a 256-task batch costs one sweep per tree *depth level* with all
+independent branches fused, on a preallocated workspace.  Pass
+``engine="vectorized"`` (per-link batch kernels) or ``engine="loop"``
+(per-task reference) to :class:`~repro.serve.DynamicsService` to
+compare; results are identical to 1e-10 and the serving engine is
+recorded per batch in the metrics (see ``benchmarks/bench_plan.py`` and
+``benchmarks/bench_engine.py``).
 
 Run with ``PYTHONPATH=src python examples/serving.py``.
 """

@@ -24,6 +24,7 @@ from repro.dynamics.coriolis import (
 )
 from repro.dynamics.crba import crba
 from repro.dynamics.engine import (
+    CompiledEngine,
     Engine,
     LoopEngine,
     VectorizedEngine,
@@ -32,6 +33,7 @@ from repro.dynamics.engine import (
     get_engine,
     set_default_engine,
 )
+from repro.dynamics.plan import ExecutionPlan, cached_einsum, plan_for
 from repro.dynamics.derivatives import (
     FDDerivatives,
     IDDerivatives,
@@ -75,8 +77,10 @@ __all__ = [
     "BatchDerivatives",
     "BatchStates",
     "ConstrainedDynamicsResult",
+    "CompiledEngine",
     "ContactPoint",
     "Engine",
+    "ExecutionPlan",
     "LoopEngine",
     "VectorizedEngine",
     "aba",
@@ -87,6 +91,7 @@ __all__ = [
     "batch_id",
     "batch_minv",
     "bias_forces",
+    "cached_einsum",
     "constrained_forward_dynamics",
     "contact_impulse",
     "contact_jacobian",
@@ -110,6 +115,7 @@ __all__ = [
     "mass_matrix_inverse_cholesky",
     "mass_matrix_time_derivative",
     "mminvgen",
+    "plan_for",
     "point_ik",
     "potential_energy",
     "rnea",

@@ -7,7 +7,7 @@ batched-PyTorch RBD work use on GPUs: **the recursion stays over links, but
 every link-step operates on the whole batch at once** — one ``(n, ...)``
 einsum/matmul per step instead of ``n`` Python-level recursions.
 
-Two interchangeable engines implement the same batched interface:
+Three interchangeable engines implement the same batched interface:
 
 * :class:`LoopEngine` (``"loop"``) — the reference: per-task loops over the
   scalar kernels in :mod:`repro.dynamics.rnea` / ``mminv`` /
@@ -17,7 +17,15 @@ Two interchangeable engines implement the same batched interface:
   per batch (:meth:`repro.model.robot.RobotModel.batch_parent_transforms`)
   and shared between the bias, mass-matrix and derivative recursions of a
   single call (e.g. FD reuses one transform stack for both its RNEA and
-  MMinvGen halves).
+  MMinvGen halves).  Every contraction runs with a cached
+  ``einsum_path`` (:func:`repro.dynamics.plan.cached_einsum`).
+* :class:`CompiledEngine` (``"compiled"``) — structure-compiled kernels on
+  per-robot execution plans (:mod:`repro.dynamics.plan`): the recursion is
+  scheduled by tree *depth level* rather than by link, so independent
+  branches advance in one fused ``(n, L_d, ...)`` op per level, with
+  flattened index arrays, precomputed selector stacks and per-thread
+  preallocated workspaces.  The fastest engine on branched robots and the
+  serve runtime's default.
 
 Engines are selected per call (``engine="loop"``) or process-wide via
 :func:`set_default_engine` / the ``REPRO_ENGINE`` environment variable; the
@@ -32,6 +40,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.dynamics.mminv import _symmetrize_from_rows
+from repro.dynamics.plan import cached_einsum, plan_for
 from repro.model.robot import RobotModel
 from repro.spatial.motion import crf, crf_bar, crm, cross_force, cross_motion
 
@@ -249,8 +258,8 @@ def _rnea_batch(
             v = vj
             a = x @ a_world + aj
         else:
-            v = np.einsum("nij,nj->ni", x, velocities[link.parent]) + vj
-            a = (np.einsum("nij,nj->ni", x, accelerations[link.parent])
+            v = cached_einsum("nij,nj->ni", x, velocities[link.parent]) + vj
+            a = (cached_einsum("nij,nj->ni", x, accelerations[link.parent])
                  + aj + cross_motion(v, vj))
         inertia = link.inertia.matrix()
         f = a @ inertia.T + cross_force(v, v @ inertia.T)
@@ -267,7 +276,7 @@ def _rnea_batch(
         s = subspaces[i]
         tau[:, model.dof_slice(i)] = acc[i] @ s
         if link.parent >= 0:
-            acc[link.parent] += np.einsum("nji,nj->ni", xs[i], acc[i])
+            acc[link.parent] += cached_einsum("nji,nj->ni", xs[i], acc[i])
 
     if return_internals:
         return tau, (velocities, accelerations, acc)
@@ -409,8 +418,8 @@ def _rnea_derivatives_batch(
             xa = x @ a_world
             da_dq[i][:, :, sl] += crm(xa) @ s
         else:
-            xv = np.einsum("nij,nj->ni", x, velocities[parent])
-            xa = np.einsum("nij,nj->ni", x, accelerations[parent])
+            xv = cached_einsum("nij,nj->ni", x, velocities[parent])
+            xa = cached_einsum("nij,nj->ni", x, accelerations[parent])
             dv_dq[i] = x @ dv_dq[parent]
             dv_dq[i][:, :, sl] += crm(xv) @ s
             dv_dqd[i] = x @ dv_dqd[parent]
@@ -480,7 +489,7 @@ class VectorizedEngine(Engine):
         xs = model.batch_parent_transforms(q)
         bias = _rnea_batch(model, q, qd, np.zeros_like(q), f_ext, xs)
         minv = _mminvgen_batch(model, q, xs, out_minv=True)
-        return np.einsum("nij,nj->ni", minv, tau - bias)
+        return cached_einsum("nij,nj->ni", minv, tau - bias)
 
     def did_batch(self, model, q, qd, qdd, f_ext=None):
         xs = model.batch_parent_transforms(q)
@@ -490,14 +499,14 @@ class VectorizedEngine(Engine):
         xs = model.batch_parent_transforms(q)
         bias = _rnea_batch(model, q, qd, np.zeros_like(q), f_ext, xs)
         minv = _mminvgen_batch(model, q, xs, out_minv=True)
-        qdd = np.einsum("nij,nj->ni", minv, tau - bias)
+        qdd = cached_einsum("nij,nj->ni", minv, tau - bias)
         dtau_dq, dtau_dqd = _rnea_derivatives_batch(
             model, q, qd, qdd, f_ext, xs
         )
         return (
             qdd,
-            -np.einsum("nij,njk->nik", minv, dtau_dq),
-            -np.einsum("nij,njk->nik", minv, dtau_dqd),
+            -cached_einsum("nij,njk->nik", minv, dtau_dq),
+            -cached_einsum("nij,njk->nik", minv, dtau_dqd),
             minv,
         )
 
@@ -512,10 +521,52 @@ class VectorizedEngine(Engine):
         )
         return (
             np.asarray(qdd, dtype=float),
-            -np.einsum("nij,njk->nik", minv, dtau_dq),
-            -np.einsum("nij,njk->nik", minv, dtau_dqd),
+            -cached_einsum("nij,njk->nik", minv, dtau_dq),
+            -cached_einsum("nij,njk->nik", minv, dtau_dqd),
             minv,
         )
+
+
+# ---------------------------------------------------------------------------
+# Compiled engine: level-scheduled kernels over per-robot execution plans
+# ---------------------------------------------------------------------------
+
+
+class CompiledEngine(Engine):
+    """Structure-compiled kernels: recursion by depth level, not by link.
+
+    Each call resolves the robot's memoized
+    :class:`~repro.dynamics.plan.ExecutionPlan`
+    (:func:`~repro.dynamics.plan.plan_for`) and runs the level-scheduled
+    kernels on its preallocated per-thread workspace: independent branches
+    at the same tree depth advance in one fused ``(n, L_d, ...)`` array op,
+    transforms refresh in one op per joint kind, and the big recursion
+    stacks never reallocate in steady state.  Numerically interchangeable
+    with the other engines (same 1e-10 equivalence contract).
+    """
+
+    name = "compiled"
+
+    def id_batch(self, model, q, qd, qdd, f_ext=None):
+        return plan_for(model).id_batch(q, qd, qdd, f_ext)
+
+    def m_batch(self, model, q):
+        return plan_for(model).m_batch(q)
+
+    def minv_batch(self, model, q):
+        return plan_for(model).minv_batch(q)
+
+    def fd_batch(self, model, q, qd, tau, f_ext=None):
+        return plan_for(model).fd_batch(q, qd, tau, f_ext)
+
+    def did_batch(self, model, q, qd, qdd, f_ext=None):
+        return plan_for(model).did_batch(q, qd, qdd, f_ext)
+
+    def dfd_batch(self, model, q, qd, tau, f_ext=None):
+        return plan_for(model).dfd_batch(q, qd, tau, f_ext)
+
+    def difd_batch(self, model, q, qd, qdd, minv=None, f_ext=None):
+        return plan_for(model).difd_batch(q, qd, qdd, minv, f_ext)
 
 
 # ---------------------------------------------------------------------------
@@ -525,12 +576,24 @@ class VectorizedEngine(Engine):
 _ENGINES: dict[str, Engine] = {
     LoopEngine.name: LoopEngine(),
     VectorizedEngine.name: VectorizedEngine(),
+    CompiledEngine.name: CompiledEngine(),
 }
 
 #: Process-wide default, overridable via the REPRO_ENGINE env var.  A bad
 #: env value is reported lazily (first use) so importing the package never
 #: fails for commands that touch no engine.
 _default_engine_name = os.environ.get("REPRO_ENGINE", VectorizedEngine.name)
+
+#: True once the user pinned the default (REPRO_ENGINE env var or
+#: set_default_engine).  Layers with their own fallback default — the
+#: serve runtime prefers "compiled" — consult this to know whether the
+#: process default is an explicit user choice they must honour.
+_default_engine_explicit = "REPRO_ENGINE" in os.environ
+
+
+def default_engine_explicit() -> bool:
+    """Whether the process default was pinned by the user."""
+    return _default_engine_explicit
 
 
 def available_engines() -> tuple[str, ...]:
@@ -550,14 +613,27 @@ def default_engine_name() -> str:
     return _default_engine_name
 
 
-def set_default_engine(name: str) -> None:
-    """Set the process-wide default engine (``"loop"`` or ``"vectorized"``)."""
-    global _default_engine_name
+def set_default_engine(name: str | None) -> None:
+    """Set the process-wide default engine (``"loop"``, ``"vectorized"`` or
+    ``"compiled"``) and pin it against layer-specific fallbacks.
+
+    Passing ``None`` un-pins the default, restoring the REPRO_ENGINE env
+    var (or the built-in fallback) — mainly for tests that must not leak
+    a pinned default into later tests.
+    """
+    global _default_engine_name, _default_engine_explicit
+    if name is None:
+        _default_engine_name = os.environ.get(
+            "REPRO_ENGINE", VectorizedEngine.name
+        )
+        _default_engine_explicit = "REPRO_ENGINE" in os.environ
+        return
     if name not in _ENGINES:
         raise KeyError(
             f"unknown engine {name!r}; known engines: {available_engines()}"
         )
     _default_engine_name = name
+    _default_engine_explicit = True
 
 
 def get_engine(engine: str | Engine | None = None) -> Engine:
@@ -575,10 +651,13 @@ def get_engine(engine: str | Engine | None = None) -> Engine:
 
 __all__ = [
     "BatchFExt",
+    "CompiledEngine",
     "Engine",
     "LoopEngine",
     "VectorizedEngine",
+    "cached_einsum",
     "available_engines",
+    "default_engine_explicit",
     "default_engine_name",
     "get_engine",
     "normalize_f_ext",

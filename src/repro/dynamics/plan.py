@@ -1,0 +1,1031 @@
+"""Per-robot execution plans: the robot's structure compiled ahead of time.
+
+Dadu-RBD's central idea is that the *structure* of the robot — its tree
+topology, joint types and DOF layout — is known long before any dynamics
+call, so everything derivable from structure is compiled into the datapath
+up front: the Structure-Adaptive Pipelines (SAPS) organize hardware around
+the branch decomposition, the multifunctional pipelines keep every stage
+busy across independent branches, and the Schedule Module replays a fixed
+operand schedule instead of re-walking the tree.  This module is the
+host-side analogue of that compilation step.  An :class:`ExecutionPlan` is
+built once per :class:`~repro.model.robot.RobotModel` (from the model plus
+:func:`repro.model.topology.decompose` /
+:func:`~repro.model.topology.level_schedule`) and holds:
+
+* **a level schedule** — links grouped by tree depth, the wavefront the
+  paper's pipelines sweep: all links of one level advance in a single
+  fused ``(n, L_d, ...)`` array op, so Atlas's two arms and two legs cost
+  one step per depth instead of one step per link (the SAPS branch arrays,
+  fused on the host instead of replicated in silicon);
+* **flattened index arrays** — parent gathers, sibling-sum segments and
+  per-level slot ranges, precomputed so the hot loop never touches a
+  Python-level tree query (the Schedule Module's address streams);
+* **motion-subspace selector stacks** — per-level ``S`` stacks with the
+  one-DOF common case compiled to broadcast multiplies and paired index
+  writes instead of matrix products (the paper's ``s_one_hot`` selection
+  wiring);
+* **column windows** — the mass-matrix sweeps touch only the DOF columns
+  a level's links can reach (own-and-descendants), the host-side version
+  of the paper's incremental column vectors (Fig 7b);
+* **precomputed einsum paths** — every contraction in the Table-I kernels
+  runs with a cached ``einsum_path`` (see :func:`cached_einsum`);
+* **a reusable workspace** — per-thread, preallocated transform /
+  velocity / force / derivative stacks sized ``(n_max, n_links, ...)``,
+  so steady-state calls never reallocate the O(n·links) recursion state
+  (outputs and small per-level BLAS temporaries are the only transient
+  allocations).
+
+Links are re-indexed into *slots* sorted by ``(depth, joint.nv, index)``
+so every level — and every uniform-DOF group inside a level — is one
+contiguous slab of the workspace stacks, turning level steps into views
+instead of gathers.  The q/qd/tau layout is untouched; only the internal
+link axis is permuted.
+
+Forward dynamics runs as a level-scheduled articulated-body pass (three
+O(links) sweeps, no ``nv``-column state at all), which the seed validates
+against the paper's ``Minv @ (tau - C)`` substitution; the derivative
+kernels carry their d/dq and d/dqd operands in one paired column block so
+each level step is a single wide contraction.
+
+:func:`plan_for` memoizes plans per model (weakly, so models can be
+collected); the ``"compiled"`` engine in :mod:`repro.dynamics.engine`
+evaluates all seven Table-I functions on top of these plans.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dynamics.mminv import _symmetrize_from_rows
+from repro.model.joints import PrismaticJoint, RevoluteJoint
+from repro.model.robot import RobotModel
+from repro.model.topology import decompose, level_schedule
+from repro.spatial.motion import crf, crf_bar, crm, cross_force, cross_motion
+
+# ---------------------------------------------------------------------------
+# Cached einsum paths
+# ---------------------------------------------------------------------------
+
+#: expr (2-operand) or (expr, shapes) -> precomputed einsum path.  For two
+#: operands the optimal path is shape-independent (a single pairwise
+#: contraction), so the expression alone is the key; larger contractions
+#: key on the operand shapes as well.
+_EINSUM_PATHS: dict = {}
+_EINSUM_LOCK = threading.Lock()
+
+
+def cached_einsum(expr: str, *ops: np.ndarray, out: np.ndarray | None = None):
+    """``np.einsum`` with a memoized ``einsum_path``.
+
+    Avoids re-deriving the contraction order on every call — the plan's
+    contractions run thousands of times per second on the serve hot path —
+    while still letting numpy pick the optimal order once per expression.
+    Also used by the ``"vectorized"`` engine, which benefits from the
+    precomputed paths even without a plan.
+    """
+    key = expr if len(ops) == 2 else (expr, tuple(op.shape for op in ops))
+    path = _EINSUM_PATHS.get(key)
+    if path is None:
+        path = np.einsum_path(expr, *ops, optimize="optimal")[0]
+        with _EINSUM_LOCK:
+            _EINSUM_PATHS[key] = path
+    if out is None:
+        return np.einsum(expr, *ops, optimize=path)
+    return np.einsum(expr, *ops, out=out, optimize=path)
+
+
+def _mv(x: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Batched matrix @ vector over arbitrary leading axes."""
+    return np.matmul(x, v[..., None])[..., 0]
+
+
+# ---------------------------------------------------------------------------
+# Compiled structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LevelGroup:
+    """Links of one level sharing a joint DOF count ``k`` (one slot slab).
+
+    Uniform ``k`` makes the group's joint-space quantities rectangular;
+    for the ubiquitous ``k == 1`` case the kernels drop to broadcast
+    multiplies over ``axis`` and paired index writes at ``rows`` — the
+    one-hot selection the paper folds into wiring.
+    """
+
+    lo: int                  # absolute slot range [lo, hi)
+    hi: int
+    k: int                   # joint.nv shared by every link in the group
+    links: np.ndarray        # (Lg,) original link indices
+    subspaces: np.ndarray    # (Lg, 6, k) motion subspaces S
+    subspaces_t: np.ndarray  # (Lg, k, 6) == S^T
+    axis: np.ndarray         # (Lg, 6) == S[:, 0] (only meaningful for k == 1)
+    dofs: np.ndarray         # (Lg, k) global DOF columns
+    rows: np.ndarray         # (Lg*k,) flattened DOF rows (q-layout)
+    slots: np.ndarray        # (Lg,) == arange(lo, hi), for paired writes
+    rel: np.ndarray          # (Lg,) slots relative to the level's lo
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True)
+class PlanLevel:
+    """One wavefront of the level schedule, in slot coordinates."""
+
+    index: int
+    depth: int
+    lo: int                  # slot slab [lo, hi)
+    hi: int
+    is_root: bool
+    links: np.ndarray        # (L,) original link indices, slot order
+    parent_slots: np.ndarray  # (L,) parent slot per link (-1 at the root)
+    #: Sibling-sum schedule: (parent_slot, positions) per distinct parent,
+    #: where ``positions`` is a slice when the siblings are adjacent in the
+    #: level (the common case) and an index array otherwise.
+    parent_groups: tuple
+    parents_unique: bool     # no two level links share a parent
+    groups: tuple[LevelGroup, ...]
+    sel: np.ndarray          # (L, 6, nv) expanded subspace selectors
+    btr: np.ndarray          # (L, nv, 6, 6) crf(S_col) at own DOF columns
+    col_start: int           # min own-DOF start (backward MMinvGen window)
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True)
+class TransformGroup:
+    """Links whose joint transforms are refreshed by one fused array op.
+
+    Joint objects (not the model) are captured for the generic fallback,
+    so a plan holds no reference back to its :class:`RobotModel` and the
+    weak plan cache can collect transient models.
+    """
+
+    kind: str                # "revolute" | "prismatic" | "generic"
+    slots: np.ndarray        # (L,) destination slots
+    links: np.ndarray        # (L,) original link indices
+    axes: np.ndarray         # (L, 3) joint axes (unused for "generic")
+    qcols: np.ndarray        # (L,) global q column (single-DOF kinds)
+    x_tree: np.ndarray       # (L, 6, 6) fixed parent placements
+    joints: tuple = ()       # per-link Joint objects ("generic" only)
+    qslices: tuple = ()      # per-link q slices ("generic" only)
+
+
+class PlanWorkspace:
+    """Preallocated recursion state for one thread, grown monotonically.
+
+    Buffer groups are allocated on first use (a service that only ever
+    runs FD never pays for the derivative stacks) and reused across calls:
+    ``ensure`` only reallocates when a batch exceeds every batch seen
+    before, so steady-state traffic runs allocation-free on the big
+    ``(n_max, n_links, ...)`` stacks.  The derivative stacks hold the
+    d/dq and d/dqd operands side by side (``2 * nv`` columns) so both
+    propagate through one contraction per level.
+    """
+
+    def __init__(self, nb: int, nv: int) -> None:
+        self._shapes = {
+            "x": {"X": (nb, 6, 6)},
+            "rnea": {
+                "vj": (nb, 6), "aj": (nb, 6), "v": (nb, 6), "a": (nb, 6),
+                "xv": (nb, 6), "xa": (nb, 6), "f": (nb, 6),
+                "tau": (nv,),
+            },
+            # Articulated/composite inertias, shared by the ABA and
+            # MMinvGen kernels (each fully reinitializes the stack).
+            "ia": {"IA": (nb, 6, 6)},
+            "mminv": {
+                "f_acc": (nb, 6, nv),
+                "out": (nv, nv), "p_prop": (nb, 6, nv),
+            },
+            "deriv": {
+                "DVA": (nb, 6, 4 * nv), "DF": (nb, 6, 2 * nv),
+                "dtau_q": (nv, nv), "dtau_qd": (nv, nv),
+            },
+        }
+        self.capacity = 0
+        self._allocated: set[str] = set()
+
+    def ensure(self, n: int, *groups: str) -> "PlanWorkspace":
+        """Make every buffer of ``groups`` available with >= n task rows."""
+        if n > self.capacity:
+            self.capacity = n
+            for group in self._allocated:
+                self._allocate(group)
+        for group in groups:
+            if group not in self._allocated:
+                self._allocated.add(group)
+                self._allocate(group)
+        return self
+
+    def _allocate(self, group: str) -> None:
+        for name, shape in self._shapes[group].items():
+            setattr(self, name, np.zeros((self.capacity,) + shape))
+
+    def nbytes(self) -> int:
+        return sum(
+            getattr(self, name).nbytes
+            for group in self._allocated
+            for name in self._shapes[group]
+        )
+
+
+# ---------------------------------------------------------------------------
+# The execution plan
+# ---------------------------------------------------------------------------
+
+
+class ExecutionPlan:
+    """Structure of one robot, compiled for level-scheduled batch kernels.
+
+    All public methods take task-major operands (``q``/``qd``/``qdd``/
+    ``tau`` of shape ``(n, nv)``, ``f_ext`` as link -> ``(n, 6)`` stacks)
+    and implement the same contracts as the engine interface in
+    :mod:`repro.dynamics.engine`.
+    """
+
+    def __init__(self, model: RobotModel) -> None:
+        # Only scalars/arrays/joint objects are captured from the model —
+        # no back-reference — so the weak plan cache can actually collect
+        # a transient model together with its plan.
+        self.robot_name = model.name
+        self.nb = model.nb
+        self.nv = model.nv
+        # decompose() validates the single-root invariant and exposes the
+        # SAPS branch view the schedule fuses (recorded for introspection).
+        self.n_branches = len(decompose(model).branches)
+        nb, nv = self.nb, self.nv
+
+        # Slot order: by (depth, joint nv, index) so levels and their
+        # uniform-DOF groups are contiguous slabs of every stack.
+        order = sorted(
+            range(nb), key=lambda i: (model.depth(i), model.joint(i).nv, i)
+        )
+        self.link_of_slot = np.asarray(order, dtype=np.intp)
+        self.slot_of_link = np.empty(nb, dtype=np.intp)
+        self.slot_of_link[self.link_of_slot] = np.arange(nb)
+
+        subspaces = model.motion_subspaces()
+        starts = np.asarray(
+            [model.dof_slice(i).start for i in range(nb)], dtype=np.intp
+        )
+        stops = np.asarray(
+            [model.dof_slice(i).stop for i in range(nb)], dtype=np.intp
+        )
+
+        # Slot-ordered constant stacks.
+        self.inertias = np.stack(
+            [model.links[i].inertia.matrix() for i in order]
+        )
+        self.sel_all = np.zeros((nb, 6, nv))
+        for slot, link in enumerate(order):
+            self.sel_all[slot, :, starts[link]:stops[link]] = subspaces[link]
+
+        self.levels = self._build_levels(model, subspaces, starts, stops)
+        self.transform_groups = self._build_transform_groups(model, order)
+
+        self.minus_gravity = -np.asarray(model.gravity, dtype=float)
+        self._tls = threading.local()
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def _build_levels(self, model, subspaces, starts, stops):
+        slot_of = self.slot_of_link
+        levels: list[PlanLevel] = []
+        lo = 0
+        for index, level in enumerate(level_schedule(model)):
+            links = sorted(level.links, key=lambda i: (model.joint(i).nv, i))
+            links = np.asarray(links, dtype=np.intp)
+            hi = lo + len(links)
+            parents = np.asarray(
+                [model.parent(i) for i in links], dtype=np.intp
+            )
+            is_root = bool(np.all(parents < 0))
+            if is_root:
+                parent_slots = np.full(len(links), -1, dtype=np.intp)
+                parent_groups: tuple = ()
+                parents_unique = True
+            else:
+                parent_slots = slot_of[parents]
+                parent_groups = self._sibling_groups(parent_slots)
+                parents_unique = (
+                    len(np.unique(parent_slots)) == len(parent_slots)
+                )
+            sel = self.sel_all[lo:hi]
+            btr = np.zeros((len(links), self.nv, 6, 6))
+            for pos, link in enumerate(links):
+                s = subspaces[link]
+                for k in range(s.shape[1]):
+                    btr[pos, starts[link] + k] = crf(s[:, k])
+            groups = self._build_groups(model, subspaces, starts, stops,
+                                        links, lo)
+            levels.append(PlanLevel(
+                index=index,
+                depth=level.depth,
+                lo=lo,
+                hi=hi,
+                is_root=is_root,
+                links=links,
+                parent_slots=parent_slots,
+                parent_groups=parent_groups,
+                parents_unique=parents_unique,
+                groups=groups,
+                sel=sel,
+                btr=btr,
+                col_start=int(starts[links].min()),
+            ))
+            lo = hi
+        return tuple(levels)
+
+    @staticmethod
+    def _sibling_groups(parent_slots: np.ndarray) -> tuple:
+        """(parent_slot, positions) pairs; positions as slices when the
+        siblings sit adjacent in the level (the usual case)."""
+        groups = []
+        for parent in np.unique(parent_slots):
+            pos = np.flatnonzero(parent_slots == parent)
+            if len(pos) == pos[-1] - pos[0] + 1:
+                groups.append((int(parent), slice(int(pos[0]),
+                                                  int(pos[-1]) + 1)))
+            else:
+                groups.append((int(parent), pos))
+        return tuple(groups)
+
+    def _build_groups(self, model, subspaces, starts, stops, links, lo):
+        groups: list[LevelGroup] = []
+        pos = 0
+        while pos < len(links):
+            k = model.joint(int(links[pos])).nv
+            end = pos
+            while end < len(links) and model.joint(int(links[end])).nv == k:
+                end += 1
+            members = links[pos:end]
+            s_stack = np.stack([subspaces[int(i)] for i in members])
+            dofs = np.stack([
+                np.arange(starts[int(i)], stops[int(i)]) for i in members
+            ])
+            groups.append(LevelGroup(
+                lo=lo + pos,
+                hi=lo + end,
+                k=k,
+                links=members,
+                subspaces=s_stack,
+                subspaces_t=np.ascontiguousarray(
+                    np.swapaxes(s_stack, -1, -2)
+                ),
+                axis=np.ascontiguousarray(s_stack[:, :, 0]),
+                dofs=dofs,
+                rows=dofs.reshape(-1),
+                slots=np.arange(lo + pos, lo + end, dtype=np.intp),
+                rel=np.arange(pos, end, dtype=np.intp),
+            ))
+            pos = end
+        return tuple(groups)
+
+    def _build_transform_groups(self, model, order):
+        kinds: dict[str, list[int]] = {}
+        for slot, link in enumerate(order):
+            joint = model.joint(link)
+            if type(joint) is RevoluteJoint:
+                kind = "revolute"
+            elif type(joint) is PrismaticJoint:
+                kind = "prismatic"
+            else:
+                kind = "generic"
+            kinds.setdefault(kind, []).append(slot)
+        groups = []
+        for kind, slots in kinds.items():
+            slots = np.asarray(slots, dtype=np.intp)
+            links = self.link_of_slot[slots]
+            joints: tuple = ()
+            qslices: tuple = ()
+            if kind == "generic":
+                axes = np.zeros((len(slots), 3))
+                qcols = np.zeros(len(slots), dtype=np.intp)
+                joints = tuple(model.joint(int(i)) for i in links)
+                qslices = tuple(model.dof_slice(int(i)) for i in links)
+            else:
+                axes = np.stack(
+                    [model.joint(int(i)).axis for i in links]
+                )
+                qcols = np.asarray(
+                    [model.dof_slice(int(i)).start for i in links],
+                    dtype=np.intp,
+                )
+            x_tree = np.stack([model.links[int(i)].x_tree for i in links])
+            groups.append(TransformGroup(
+                kind=kind, slots=slots, links=links,
+                axes=axes, qcols=qcols, x_tree=x_tree,
+                joints=joints, qslices=qslices,
+            ))
+        return tuple(groups)
+
+    # ------------------------------------------------------------------
+    # Workspace and staging
+    # ------------------------------------------------------------------
+
+    def workspace(self, n: int, *groups: str) -> PlanWorkspace:
+        """This thread's workspace, sized for ``n`` tasks.
+
+        Shard workers run batches concurrently on one shared engine, so
+        the mutable recursion state is thread-local — the software mirror
+        of each accelerator card owning its operand SRAM.
+        """
+        ws = getattr(self._tls, "ws", None)
+        if ws is None:
+            ws = PlanWorkspace(self.nb, self.nv)
+            self._tls.ws = ws
+        return ws.ensure(n, "x", *groups)
+
+    def _stage_transforms(self, ws: PlanWorkspace, n: int,
+                          q: np.ndarray) -> None:
+        """Refresh every ``^iX_lambda(q_i)`` stack: one fused op per joint
+        kind (the Global Trigonometric Module feeding all branch arrays)."""
+        from repro.spatial.so3 import exp_so3
+        from repro.spatial.transforms import rot, xlt
+
+        X = ws.X[:n]
+        for g in self.transform_groups:
+            if g.kind == "revolute":
+                e = exp_so3(g.axes * q[:, g.qcols][:, :, None])
+                xj = rot(np.swapaxes(e, -1, -2))
+                X[:, g.slots] = xj @ g.x_tree
+            elif g.kind == "prismatic":
+                xj = xlt(g.axes * q[:, g.qcols][:, :, None])
+                X[:, g.slots] = xj @ g.x_tree
+            else:
+                for pos, slot in enumerate(g.slots):
+                    X[:, slot] = (
+                        g.joints[pos].batch_joint_transform(
+                            q[:, g.qslices[pos]]
+                        ) @ g.x_tree[pos]
+                    )
+
+    def _stage_rates(self, ws: PlanWorkspace, n: int, qd: np.ndarray,
+                     qdd: np.ndarray | None) -> None:
+        cached_einsum("bsv,nv->nbs", self.sel_all, qd, out=ws.vj[:n])
+        if qdd is None:
+            ws.aj[:n] = 0.0
+        else:
+            cached_einsum("bsv,nv->nbs", self.sel_all, qdd, out=ws.aj[:n])
+
+    def _scatter_to_parents(self, dest, lvl: PlanLevel, value) -> None:
+        """Accumulate per-link ``value`` slabs into parent slots.
+
+        Siblings at one level never alias (distinct parents when
+        ``parents_unique``), so the fast path is a paired fancy ``+=``;
+        otherwise each distinct parent receives the sum of its children's
+        contributions (precompiled slice/index per parent).
+        """
+        if lvl.parents_unique:
+            dest[:, lvl.parent_slots] += value
+        else:
+            for parent, pos in lvl.parent_groups:
+                chunk = value[:, pos]
+                if chunk.shape[1] == 1:
+                    dest[:, parent] += chunk[:, 0]
+                else:
+                    dest[:, parent] += chunk.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # RNEA (Algorithm 1), level-scheduled
+    # ------------------------------------------------------------------
+
+    def _rnea(self, ws: PlanWorkspace, n: int, f_ext, *,
+              apply_gravity: bool = True,
+              reuse_velocities: bool = False) -> np.ndarray:
+        """Forward + backward RNEA over the staged transforms and rates.
+
+        Leaves the link-frame velocity/acceleration stacks and the
+        *accumulated* force stack in the workspace (the derivative sweeps
+        reuse them) and returns a view of the joint torques.  With
+        ``reuse_velocities`` the velocity half of the forward sweep is
+        skipped — dFD re-runs RNEA at the solved ``qdd`` with identical
+        ``(q, qd)``, so ``v``/``xv`` are already in the workspace.
+        """
+        X, v, a = ws.X[:n], ws.v[:n], ws.a[:n]
+        xv, xa = ws.xv[:n], ws.xa[:n]
+        vj, aj, f = ws.vj[:n], ws.aj[:n], ws.f[:n]
+        a0 = self.minus_gravity if apply_gravity else np.zeros(6)
+
+        for lvl in self.levels:
+            lo, hi = lvl.lo, lvl.hi
+            if lvl.is_root:
+                v[:, lo:hi] = vj[:, lo:hi]
+                xa[:, lo:hi] = X[:, lo:hi] @ a0
+                a[:, lo:hi] = xa[:, lo:hi] + aj[:, lo:hi]
+            else:
+                par = lvl.parent_slots
+                if not reuse_velocities:
+                    xv[:, lo:hi] = _mv(X[:, lo:hi], v[:, par])
+                    v[:, lo:hi] = xv[:, lo:hi] + vj[:, lo:hi]
+                xa[:, lo:hi] = _mv(X[:, lo:hi], a[:, par])
+                a[:, lo:hi] = (xa[:, lo:hi] + aj[:, lo:hi]
+                               + cross_motion(v[:, lo:hi], vj[:, lo:hi]))
+
+        iv = _mv(self.inertias, v)
+        f[:] = _mv(self.inertias, a) + cross_force(v, iv)
+        if f_ext:
+            for link, stack in f_ext.items():
+                f[:, self.slot_of_link[link]] -= stack
+
+        for lvl in reversed(self.levels):
+            if lvl.is_root:
+                continue
+            lo, hi = lvl.lo, lvl.hi
+            xt = np.swapaxes(X[:, lo:hi], -1, -2)
+            self._scatter_to_parents(f, lvl, _mv(xt, f[:, lo:hi]))
+        return cached_einsum("bsv,nbs->nv", self.sel_all, f, out=ws.tau[:n])
+
+    # ------------------------------------------------------------------
+    # ABA forward dynamics, level-scheduled
+    # ------------------------------------------------------------------
+
+    def _aba(self, ws: PlanWorkspace, n: int, tau: np.ndarray,
+             f_ext) -> np.ndarray:
+        """Articulated-body FD: three O(levels) sweeps, no column state.
+
+        The seed validates ABA against the paper's ``Minv @ (tau - C)``
+        substitution (``repro.dynamics.aba``); here it is the compiled
+        FD kernel because it never touches an ``nv``-column tensor —
+        the entire pass stays on ``(n, L, 6)`` slabs.
+        """
+        X, v, vj = ws.X[:n], ws.v[:n], ws.vj[:n]
+        c, p, ap = ws.a[:n], ws.f[:n], ws.xa[:n]
+        IA = ws.IA[:n]
+
+        # Pass 1: velocities and bias terms.
+        for lvl in self.levels:
+            lo, hi = lvl.lo, lvl.hi
+            if lvl.is_root:
+                v[:, lo:hi] = vj[:, lo:hi]
+            else:
+                v[:, lo:hi] = (
+                    _mv(X[:, lo:hi], v[:, lvl.parent_slots]) + vj[:, lo:hi]
+                )
+        c[:] = cross_motion(v, vj)
+        p[:] = cross_force(v, _mv(self.inertias, v))
+        if f_ext:
+            for link, stack in f_ext.items():
+                p[:, self.slot_of_link[link]] -= stack
+        IA[:] = self.inertias
+
+        # Pass 2: articulated inertias and bias forces, backward.
+        saved: dict[tuple[int, int], tuple] = {}
+        for lvl in reversed(self.levels):
+            lo, hi = lvl.lo, lvl.hi
+            for gi, g in enumerate(lvl.groups):
+                sl = slice(g.lo, g.hi)
+                if g.k == 1:
+                    u = _mv(IA[:, sl], g.axis)               # (n, Lg, 6)
+                    d_inv = 1.0 / np.einsum(
+                        "ls,nls->nl", g.axis, u, optimize=False
+                    )
+                    u_tau = tau[:, g.dofs[:, 0]] - np.einsum(
+                        "ls,nls->nl", g.axis, p[:, sl], optimize=False
+                    )
+                    saved[(lvl.index, gi)] = (u, d_inv, u_tau)
+                    if not lvl.is_root:
+                        IA[:, sl] -= (
+                            d_inv[..., None, None]
+                            * (u[..., :, None] * u[..., None, :])
+                        )
+                        p[:, sl] += (
+                            _mv(IA[:, sl], c[:, sl])
+                            + u * (d_inv * u_tau)[..., None]
+                        )
+                else:
+                    u = IA[:, sl] @ g.subspaces              # (n, Lg, 6, k)
+                    d_inv = np.linalg.inv(g.subspaces_t @ u)
+                    u_tau = (
+                        tau[:, g.dofs]
+                        - _mv(g.subspaces_t, p[:, sl])
+                    )
+                    saved[(lvl.index, gi)] = (u, d_inv, u_tau)
+                    if not lvl.is_root:
+                        IA[:, sl] -= (u @ d_inv) @ np.swapaxes(u, -1, -2)
+                        p[:, sl] += (
+                            _mv(IA[:, sl], c[:, sl])
+                            + _mv(u, _mv(d_inv, u_tau))
+                        )
+            if not lvl.is_root:
+                xl = X[:, lo:hi]
+                xt = np.swapaxes(xl, -1, -2)
+                self._scatter_to_parents(p, lvl, _mv(xt, p[:, lo:hi]))
+                self._scatter_to_parents(IA, lvl, (xt @ IA[:, lo:hi]) @ xl)
+
+        # Pass 3: accelerations, forward.
+        qdd = np.empty((n, self.nv))
+        a = ws.v[:n]     # velocities are dead past pass 2; reuse the slab
+        for lvl in self.levels:
+            lo, hi = lvl.lo, lvl.hi
+            if lvl.is_root:
+                ap[:, lo:hi] = X[:, lo:hi] @ self.minus_gravity + c[:, lo:hi]
+            else:
+                ap[:, lo:hi] = (
+                    _mv(X[:, lo:hi], a[:, lvl.parent_slots]) + c[:, lo:hi]
+                )
+            for gi, g in enumerate(lvl.groups):
+                sl = slice(g.lo, g.hi)
+                u, d_inv, u_tau = saved[(lvl.index, gi)]
+                if g.k == 1:
+                    qdd_g = d_inv * (
+                        u_tau - np.einsum("nls,nls->nl", u, ap[:, sl],
+                                          optimize=False)
+                    )
+                    qdd[:, g.dofs[:, 0]] = qdd_g
+                    a[:, sl] = ap[:, sl] + g.axis * qdd_g[..., None]
+                else:
+                    qdd_g = _mv(
+                        d_inv,
+                        u_tau - _mv(np.swapaxes(u, -1, -2), ap[:, sl]),
+                    )
+                    qdd[:, g.dofs.reshape(-1)] = qdd_g.reshape(n, -1)
+                    a[:, sl] = ap[:, sl] + _mv(g.subspaces, qdd_g)
+        return qdd
+
+    # ------------------------------------------------------------------
+    # MMinvGen (Algorithm 2), level-scheduled
+    # ------------------------------------------------------------------
+
+    def _mminvgen(self, ws: PlanWorkspace, n: int, *,
+                  out_minv: bool) -> np.ndarray:
+        """``M`` or ``Minv`` over the staged transforms.
+
+        Column windows: every sweep of a level only touches DOF columns
+        ``[col_start, nv)`` — the columns its links' subtrees own.  Dense
+        level slabs may scribble below a row's own diagonal block, but
+        those entries are structural zeros of the upper form and the final
+        symmetrization reads the upper triangle only.
+        """
+        X = ws.X[:n]
+        IA, f_acc, out = ws.IA[:n], ws.f_acc[:n], ws.out[:n]
+        IA[:] = self.inertias
+        f_acc[:] = 0.0
+        out[:] = 0.0
+        saved: dict[tuple[int, int], tuple] = {}
+
+        # Backward sweep (Mb submodules).
+        for lvl in reversed(self.levels):
+            lo, hi, w0 = lvl.lo, lvl.hi, lvl.col_start
+            width = self.nv - w0
+            for gi, g in enumerate(lvl.groups):
+                sl = slice(g.lo, g.hi)
+                if g.k == 1:
+                    u = _mv(IA[:, sl], g.axis)               # (n, Lg, 6)
+                    d = np.einsum("ls,nls->nl", g.axis, u, optimize=False)
+                    stf = cached_einsum(
+                        "ls,nlsv->nlv", g.axis, f_acc[:, sl, :, w0:]
+                    )
+                    if out_minv:
+                        d_inv = 1.0 / d
+                        out[:, g.rows, w0:] = -(d_inv[..., None] * stf)
+                        out[:, g.rows, g.rows] = d_inv
+                        saved[(lvl.index, gi)] = (u, d_inv)
+                        og = out[:, g.rows, w0:]             # (n, Lg, V)
+                        f_acc[:, sl, :, w0:] += (
+                            u[..., :, None] * og[:, :, None, :]
+                        )
+                        if not lvl.is_root:
+                            IA[:, sl] -= (
+                                d_inv[..., None, None]
+                                * (u[..., :, None] * u[..., None, :])
+                            )
+                    else:
+                        out[:, g.rows, w0:] = stf
+                        out[:, g.rows, g.rows] = d
+                        f_acc[:, g.slots, :, g.dofs[:, 0]] += np.moveaxis(
+                            u, 1, 0
+                        )
+                else:
+                    u = IA[:, sl] @ g.subspaces              # (n, Lg, 6, k)
+                    d = g.subspaces_t @ u
+                    stf = g.subspaces_t @ f_acc[:, sl, :, w0:]
+                    if out_minv:
+                        d_inv = np.linalg.inv(d)
+                        out[:, g.rows, w0:] = (
+                            -(d_inv @ stf)
+                        ).reshape(n, len(g.rows), width)
+                        self._write_diag(out, g, d_inv)
+                        saved[(lvl.index, gi)] = (u, d_inv)
+                        og = out[:, g.rows, w0:].reshape(
+                            n, g.size, g.k, width
+                        )
+                        f_acc[:, sl, :, w0:] += u @ og
+                        if not lvl.is_root:
+                            IA[:, sl] -= (
+                                (u @ d_inv) @ np.swapaxes(u, -1, -2)
+                            )
+                    else:
+                        out[:, g.rows, w0:] = stf.reshape(
+                            n, len(g.rows), width
+                        )
+                        self._write_diag(out, g, d)
+                        for j in range(g.k):
+                            f_acc[:, g.slots, :, g.dofs[:, j]] += (
+                                np.moveaxis(u[..., j], 1, 0)
+                            )
+            if not lvl.is_root:
+                xl = X[:, lo:hi]
+                xt = np.swapaxes(xl, -1, -2)
+                self._scatter_to_parents(
+                    f_acc[:, :, :, w0:], lvl, xt @ f_acc[:, lo:hi, :, w0:]
+                )
+                self._scatter_to_parents(
+                    IA, lvl, (xt @ IA[:, lo:hi]) @ xl
+                )
+
+        if not out_minv:
+            return _symmetrize_from_rows(out)
+
+        # Forward sweep (Mf submodules).
+        p_prop = ws.p_prop[:n]
+        p_prop[:] = 0.0
+        for lvl in self.levels:
+            lo, hi, w0 = lvl.lo, lvl.hi, lvl.col_start
+            width = self.nv - w0
+            if not lvl.is_root:
+                xpp = X[:, lo:hi] @ p_prop[:, lvl.parent_slots, :, w0:]
+            for gi, g in enumerate(lvl.groups):
+                sl = slice(g.lo, g.hi)
+                if g.k == 1:
+                    if not lvl.is_root:
+                        u, d_inv = saved[(lvl.index, gi)]
+                        xpp_g = xpp[:, g.rel]
+                        out[:, g.rows, w0:] -= d_inv[..., None] * np.einsum(
+                            "nls,nlsv->nlv", u, xpp_g, optimize=False
+                        )
+                    og = out[:, g.rows, w0:]
+                    t = g.axis[:, :, None] * og[:, :, None, :]
+                else:
+                    if not lvl.is_root:
+                        u, d_inv = saved[(lvl.index, gi)]
+                        xpp_g = xpp[:, g.rel]
+                        corr = d_inv @ (np.swapaxes(u, -1, -2) @ xpp_g)
+                        out[:, g.rows, w0:] -= corr.reshape(
+                            n, len(g.rows), width
+                        )
+                    og = out[:, g.rows, w0:].reshape(n, g.size, g.k, width)
+                    t = g.subspaces @ og
+                if lvl.is_root:
+                    p_prop[:, sl, :, w0:] = t
+                else:
+                    p_prop[:, sl, :, w0:] = t + xpp[:, g.rel]
+        return _symmetrize_from_rows(out)
+
+    @staticmethod
+    def _write_diag(out: np.ndarray, g: LevelGroup, d: np.ndarray) -> None:
+        """Write each link's (k, k) diagonal block of ``out``."""
+        for j in range(g.size):
+            out[:, g.dofs[j][:, None], g.dofs[j][None, :]] = d[:, j]
+
+    # ------------------------------------------------------------------
+    # dRNEA (analytical dID), level-scheduled with paired d/dq, d/dqd
+    # ------------------------------------------------------------------
+
+    def _rnea_derivatives(self, ws: PlanWorkspace,
+                          n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Derivative sweeps over the state left behind by :meth:`_rnea`.
+
+        Requires a full RNEA pass (with the real ``qdd``) in the
+        workspace: ``v``/``xv``/``xa`` from the forward sweep and the
+        accumulated forces ``f`` from the backward sweep (the paper's btr
+        operand).  ``DVA`` carries all four transfer stacks side by side
+        (``[dv/dq | dv/dqd | da/dq | da/dqd]``), so parent propagation is
+        one gather and one wide contraction per level; ``DF`` carries the
+        ``[df/dq | df/dqd]`` pair the same way.
+        """
+        nv = self.nv
+        nv2 = 2 * nv
+        X = ws.X[:n]
+        v, xv, xa, vj, f = (
+            ws.v[:n], ws.xv[:n], ws.xa[:n], ws.vj[:n], ws.f[:n]
+        )
+        D, DF = ws.DVA[:n], ws.DF[:n]
+        # Whole-robot operator stacks, hoisted out of the level loop.
+        gyro = crf_bar(_mv(self.inertias, v)) + crf(v) @ self.inertias
+        cvj = crm(vj)
+
+        # Forward sweep (Df submodules).
+        for lvl in self.levels:
+            lo, hi = lvl.lo, lvl.hi
+            slab = D[:, lo:hi]
+            if lvl.is_root:
+                slab[:] = 0.0
+            else:
+                np.matmul(X[:, lo:hi], D[:, lvl.parent_slots], out=slab)
+            for g in lvl.groups:
+                if g.k == 1:
+                    # One-hot joint terms: a cross product added at the
+                    # joint's own column in each stack.
+                    if not lvl.is_root:
+                        D[:, g.slots, :, g.dofs[:, 0]] += np.moveaxis(
+                            cross_motion(xv[:, g.lo:g.hi], g.axis), 1, 0
+                        )
+                    D[:, g.slots, :, nv + g.dofs[:, 0]] += g.axis[:, None]
+                    D[:, g.slots, :, nv2 + g.dofs[:, 0]] += np.moveaxis(
+                        cross_motion(xa[:, g.lo:g.hi], g.axis), 1, 0
+                    )
+                else:
+                    sel = lvl.sel[g.rel]
+                    gsl = D[:, g.lo:g.hi]
+                    if not lvl.is_root:
+                        gsl[..., :nv] += crm(xv[:, g.lo:g.hi]) @ sel
+                    gsl[..., nv:nv2] += sel
+                    gsl[..., nv2:3 * nv] += crm(xa[:, g.lo:g.hi]) @ sel
+            # a_i includes v_i x vj: differentiate both factors (one
+            # operator covers the dq and dqd halves at once).
+            slab[..., nv2:] -= cvj[:, lo:hi] @ slab[..., :nv2]
+            for g in lvl.groups:
+                if g.k == 1:
+                    D[:, g.slots, :, 3 * nv + g.dofs[:, 0]] += np.moveaxis(
+                        cross_motion(v[:, g.lo:g.hi], g.axis), 1, 0
+                    )
+                else:
+                    D[:, g.lo:g.hi, :, 3 * nv:] += (
+                        crm(v[:, g.lo:g.hi]) @ lvl.sel[g.rel]
+                    )
+            DF[:, lo:hi] = (
+                self.inertias[lo:hi] @ slab[..., nv2:]
+                + gyro[:, lo:hi] @ slab[..., :nv2]
+            )
+
+        # Backward sweep (Db submodules), fused with row extraction: when
+        # a level is reached its DF slab is fully accumulated, so its
+        # dtau rows are read off first and the btr term is then added in
+        # place before propagating to the parents.
+        dtau_q, dtau_qd = ws.dtau_q[:n], ws.dtau_qd[:n]
+        for lvl in reversed(self.levels):
+            lo, hi = lvl.lo, lvl.hi
+            for g in lvl.groups:
+                if g.k == 1:
+                    r = cached_einsum(
+                        "ls,nlsv->nlv", g.axis, DF[:, g.lo:g.hi]
+                    )
+                    dtau_q[:, g.rows] = r[..., :nv]
+                    dtau_qd[:, g.rows] = r[..., nv:]
+                else:
+                    r = (g.subspaces_t @ DF[:, g.lo:g.hi]).reshape(
+                        n, len(g.rows), nv2
+                    )
+                    dtau_q[:, g.rows] = r[..., :nv]
+                    dtau_qd[:, g.rows] = r[..., nv:]
+            if lvl.is_root:
+                continue
+            for g in lvl.groups:
+                # d(X^T f)/dq_i adds X^T (S_k x* f_i) at the joint's own
+                # column, with f_i the accumulated force (the btr term).
+                if g.k == 1:
+                    DF[:, g.slots, :, g.dofs[:, 0]] += np.moveaxis(
+                        cross_force(g.axis, f[:, g.lo:g.hi]), 1, 0
+                    )
+                else:
+                    DF[:, g.lo:g.hi, :, :nv] += cached_einsum(
+                        "lvij,nlj->nliv", lvl.btr[g.rel], f[:, g.lo:g.hi]
+                    )
+            xt = np.swapaxes(X[:, lo:hi], -1, -2)
+            self._scatter_to_parents(DF, lvl, xt @ DF[:, lo:hi])
+        return dtau_q, dtau_qd
+
+    # ------------------------------------------------------------------
+    # Table-I functions
+    # ------------------------------------------------------------------
+
+    def _prep(self, q, qd=None, qdd=None, *groups):
+        q = np.atleast_2d(np.asarray(q, dtype=float))
+        n = q.shape[0]
+        ws = self.workspace(n, *groups)
+        self._stage_transforms(ws, n, q)
+        if qd is not None:
+            self._stage_rates(ws, n, np.atleast_2d(np.asarray(qd, float)),
+                              None if qdd is None
+                              else np.atleast_2d(np.asarray(qdd, float)))
+        return ws, n
+
+    def id_batch(self, q, qd, qdd, f_ext=None) -> np.ndarray:
+        ws, n = self._prep(q, qd, qdd, "rnea")
+        return self._rnea(ws, n, f_ext).copy()
+
+    def m_batch(self, q) -> np.ndarray:
+        ws, n = self._prep(q, None, None, "mminv", "ia")
+        return self._mminvgen(ws, n, out_minv=False)
+
+    def minv_batch(self, q) -> np.ndarray:
+        ws, n = self._prep(q, None, None, "mminv", "ia")
+        return self._mminvgen(ws, n, out_minv=True)
+
+    def fd_batch(self, q, qd, tau, f_ext=None) -> np.ndarray:
+        ws, n = self._prep(q, qd, None, "rnea", "ia")
+        tau = np.atleast_2d(np.asarray(tau, dtype=float))
+        return self._aba(ws, n, tau, f_ext)
+
+    def did_batch(self, q, qd, qdd, f_ext=None):
+        ws, n = self._prep(q, qd, qdd, "rnea", "deriv")
+        self._rnea(ws, n, f_ext)
+        dtau_q, dtau_qd = self._rnea_derivatives(ws, n)
+        return dtau_q.copy(), dtau_qd.copy()
+
+    def dfd_batch(self, q, qd, tau, f_ext=None):
+        ws, n = self._prep(q, qd, None, "rnea", "mminv", "ia", "deriv")
+        bias = self._rnea(ws, n, f_ext)
+        minv = self._mminvgen(ws, n, out_minv=True)
+        tau = np.atleast_2d(np.asarray(tau, dtype=float))
+        qdd = _mv(minv, tau - bias)
+        cached_einsum("bsv,nv->nbs", self.sel_all, qdd, out=ws.aj[:n])
+        self._rnea(ws, n, f_ext, reuse_velocities=True)
+        dtau_q, dtau_qd = self._rnea_derivatives(ws, n)
+        return (
+            qdd,
+            -np.matmul(minv, dtau_q),
+            -np.matmul(minv, dtau_qd),
+            minv,
+        )
+
+    def difd_batch(self, q, qd, qdd, minv=None, f_ext=None):
+        qdd = np.atleast_2d(np.asarray(qdd, dtype=float))
+        ws, n = self._prep(q, qd, qdd, "rnea", "mminv", "ia", "deriv")
+        if minv is None:
+            minv = self._mminvgen(ws, n, out_minv=True)
+        else:
+            minv = np.asarray(minv, dtype=float)
+        self._rnea(ws, n, f_ext)
+        dtau_q, dtau_qd = self._rnea_derivatives(ws, n)
+        return (
+            qdd,
+            -np.matmul(minv, dtau_q),
+            -np.matmul(minv, dtau_qd),
+            minv,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Shape summary for benchmarks and the serve cache."""
+        return {
+            "robot": self.robot_name,
+            "links": self.nb,
+            "dofs": self.nv,
+            "branches": self.n_branches,
+            "levels": len(self.levels),
+            "level_widths": [lvl.size for lvl in self.levels],
+            "max_level_width": max(lvl.size for lvl in self.levels),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionPlan({self.robot_name!r}, links={self.nb}, "
+            f"levels={len(self.levels)}, "
+            f"widths={[lvl.size for lvl in self.levels]})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+_PLAN_CACHE: "weakref.WeakKeyDictionary[RobotModel, ExecutionPlan]" = (
+    weakref.WeakKeyDictionary()
+)
+_PLAN_LOCK = threading.Lock()
+
+
+def plan_for(model: RobotModel) -> ExecutionPlan:
+    """The memoized :class:`ExecutionPlan` for ``model``.
+
+    Plans are cached per model instance (weakly, so transient models can
+    be collected); :func:`repro.model.library.load_robot` returns shared
+    instances, so serve traffic for one robot compiles exactly one plan —
+    the software analogue of programming one bitstream per robot.
+    """
+    plan = _PLAN_CACHE.get(model)
+    if plan is None:
+        with _PLAN_LOCK:
+            plan = _PLAN_CACHE.get(model)
+            if plan is None:
+                plan = ExecutionPlan(model)
+                _PLAN_CACHE[model] = plan
+    return plan
+
+
+__all__ = [
+    "ExecutionPlan",
+    "LevelGroup",
+    "PlanLevel",
+    "PlanWorkspace",
+    "TransformGroup",
+    "cached_einsum",
+    "plan_for",
+]

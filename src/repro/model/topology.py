@@ -1,10 +1,14 @@
 """Topology analysis and rewriting (Section V-C of the paper).
 
-Three capabilities live here:
+Four capabilities live here:
 
 * **branch decomposition** — split the tree into the root segment plus
   branch segments, the unit the Structure-Adaptive Pipelines organize
   hardware around (Fig 11);
+* **level scheduling** — group links by tree depth so independent
+  branches advance together (the wavefront the multifunctional pipelines
+  keep busy across branches; :func:`level_schedule`), the schedule the
+  compiled execution plans in :mod:`repro.dynamics.plan` are built on;
 * **symmetry detection** — find structurally-identical sibling branches that
   one hardware branch array can serve by time-division multiplexing
   (Spot's legs, Atlas's arms/legs);
@@ -116,6 +120,48 @@ def decompose(model: RobotModel) -> BranchDecomposition:
 
     walk(roots[0], None, True)
     return decomposition
+
+
+# ----------------------------------------------------------------------
+# Level scheduling
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Level:
+    """All links at one tree depth.
+
+    Links in a level are mutually independent (none is an ancestor of
+    another), so a forward recursion may process a whole level as one
+    fused array operation once every shallower level is done, and a
+    backward recursion symmetrically — the host-side analogue of the
+    paper's pipelines keeping every stage busy across branches.
+    """
+
+    depth: int
+    links: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.links)
+
+
+def level_schedule(model: RobotModel) -> list[Level]:
+    """Group links by depth into a parent-before-child wavefront schedule.
+
+    Every link appears in exactly one level; a link's parent always sits
+    in a strictly shallower level (``depth(parent) == depth(link) - 1``),
+    so processing levels in order satisfies every recursion dependency
+    while fusing independent branches — Atlas's two arms and two legs
+    advance in the same level steps.  The reverse order is the valid
+    schedule for backward sweeps.
+    """
+    by_depth: dict[int, list[int]] = {}
+    for i in range(model.nb):
+        by_depth.setdefault(model.depth(i), []).append(i)
+    return [
+        Level(depth=d, links=tuple(by_depth[d])) for d in sorted(by_depth)
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -7,13 +7,14 @@ Architecture — the life of a request::
     submit(robot, fn, q, ...)                                 ArtifactCache
         |                                                      (model, DaduRBD,
         v                                                       SAPS org, graphs,
-    ServeRequest + Future ---> DynamicBatcher                   M sparsity; built
-                               key=(robot, fn)                  once per robot)
-                               flush on full/timeout                 |
-                                    |                                v
-                                    v                          batch_evaluate
-                               ShardPool.select()  ---------> (vectorized Table-I
-                               round_robin | least_loaded      kernels) + cycle
+    ServeRequest + Future ---> DynamicBatcher                   M sparsity, exec
+                               key=(robot, fn)                  plan; built once
+                               flush on full/timeout            per robot)
+                                    |                                |
+                                    v                                v
+                               ShardPool.select()  ---------> batch_evaluate
+                               round_robin | least_loaded     (compiled Table-I
+                                    |                          kernels) + cycle
                                     |                          sim profile_batch
                                     v                                |
                                futures resolved  <-------------------+
@@ -32,11 +33,12 @@ Architecture — the life of a request::
       instance with its own cycle ledger — chosen round-robin or
       least-loaded; a thread pool (one worker per shard) executes it.
     * The shard evaluates the batch through an **execution engine**
-      (:mod:`repro.dynamics.engine`): by default the batch-native
-      ``"vectorized"`` engine, whose link-recursion steps each cover the
-      whole task batch in one array op (numerically identical to
-      per-request :func:`repro.dynamics.functions.evaluate`; the ``"loop"``
-      reference engine remains selectable).  The batch's modeled makespan
+      (:mod:`repro.dynamics.engine`): by default the structure-compiled
+      ``"compiled"`` engine, which replays the robot's cached execution
+      plan (:mod:`repro.dynamics.plan`) — level-scheduled recursions over
+      preallocated workspaces (numerically identical to per-request
+      :func:`repro.dynamics.functions.evaluate`; the ``"vectorized"`` and
+      ``"loop"`` engines remain selectable).  The batch's modeled makespan
       from :meth:`repro.core.accelerator.DaduRBD.profile_batch` is charged
       to the shard's ledger and the serving engine recorded in metrics.
     * Serial chains (RK4 sensitivity, Fig 13) bypass the batcher via

@@ -3,7 +3,9 @@
 Serving a robot requires a stack of derived state: the parsed
 :class:`RobotModel`, the SAPS organization (branch grouping + timing
 model), the configured :class:`DaduRBD` instance, the per-function
-dataflow graphs and the mass-matrix sparsity structure.  All of it is a
+dataflow graphs, the mass-matrix sparsity structure and the host-side
+execution plan (:class:`~repro.dynamics.plan.ExecutionPlan`, the level
+schedule + workspace the ``"compiled"`` engine runs on).  All of it is a
 pure function of the robot name, and all of it is expensive relative to
 one dynamics call (the auto-fit II search alone dominates a single FD
 evaluation by orders of magnitude).  The cache builds each robot's
@@ -25,6 +27,7 @@ from repro.core.config import AcceleratorConfig, PAPER_CONFIG
 from repro.core.saps import SAPOrganization
 from repro.core.sim import DataflowGraph
 from repro.dynamics.functions import RBDFunction
+from repro.dynamics.plan import ExecutionPlan, plan_for
 from repro.model.library import load_robot
 from repro.model.robot import RobotModel
 
@@ -55,6 +58,9 @@ class RobotArtifacts:
     accelerator: DaduRBD
     organization: SAPOrganization
     mass_matrix_mask: np.ndarray
+    #: Host-side execution plan the "compiled" engine runs on (shares the
+    #: process-wide plan cache, so shard workers hit the same instance).
+    plan: ExecutionPlan
     build_seconds: float
     graphs: dict[RBDFunction, DataflowGraph] = field(default_factory=dict)
 
@@ -113,6 +119,7 @@ class ArtifactCache:
                 accelerator=accelerator,
                 organization=accelerator.org,
                 mass_matrix_mask=mass_matrix_sparsity(model),
+                plan=plan_for(model),
                 build_seconds=time.perf_counter() - start,
             )
             with self._lock:

@@ -76,9 +76,11 @@ class MetricsRegistry:
         self._batch_hist: dict[int, int] = {}
         self._batch_requests = 0
         self._modeled_busy_cycles = 0.0
-        #: Engine name -> number of batches it executed (which engine a
-        #: batch ran on is part of the service's observable behaviour).
+        #: Engine name -> number of batches / requests it executed (which
+        #: engine a batch ran on is part of the service's observable
+        #: behaviour; request counts weight the mix by actual load).
         self._engine_batches: dict[str, int] = {}
+        self._engine_requests: dict[str, int] = {}
         self.completed = 0
         self.failed = 0
         self._started_s = time.monotonic()
@@ -110,6 +112,9 @@ class MetricsRegistry:
                 self._engine_batches[engine] = (
                     self._engine_batches.get(engine, 0) + 1
                 )
+                self._engine_requests[engine] = (
+                    self._engine_requests.get(engine, 0) + size
+                )
 
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
@@ -136,6 +141,11 @@ class MetricsRegistry:
         """Engine name -> number of batches that engine served."""
         with self._lock:
             return dict(self._engine_batches)
+
+    def engine_requests(self) -> dict[str, int]:
+        """Engine name -> number of requests that engine served."""
+        with self._lock:
+            return dict(self._engine_requests)
 
     def mean_occupancy(self) -> float:
         with self._lock:
@@ -187,4 +197,5 @@ class MetricsRegistry:
             "mean_batch_occupancy": self.mean_occupancy(),
             "wall_throughput_rps": self.wall_throughput_rps(),
             "engine_batches": self.engine_batches(),
+            "engine_requests": self.engine_requests(),
         }

@@ -43,6 +43,11 @@ class ServeRequest:
     #: shared third operand).
     u: np.ndarray | None = None
     minv: np.ndarray | None = None          # for diFD
+    #: External forces: link index -> ``(6,)`` spatial force in the link
+    #: frame.  Stacked per batch by the service and threaded through
+    #: ``batch_evaluate`` (requests without forces ride in the same batch
+    #: with zero stacks).
+    f_ext: dict[int, np.ndarray] | None = None
     #: Wall-clock submission time (``time.monotonic``), set by the service.
     arrival_s: float = 0.0
     #: Chain membership: requests sharing a chain id execute serially in

@@ -6,12 +6,14 @@ the runtime coalesces same-``(robot, function)`` requests with the
 :class:`~repro.serve.batcher.DynamicBatcher`, executes each coalesced
 batch on a :class:`~repro.serve.pool.ShardPool` shard via
 :func:`repro.dynamics.batch.batch_evaluate` on the service's execution
-engine (the batch-native ``"vectorized"`` engine by default — one
-link-recursion whose steps each cover the whole batch; see
-:mod:`repro.dynamics.engine`), charges the batch's modeled cost to the
-shard via the accelerator's cycle simulation, and resolves the
-per-request futures in submission order.  The engine that served each
-batch is recorded in the metrics registry.
+engine (the structure-compiled ``"compiled"`` engine by default — level
+-scheduled kernels over the robot's cached execution plan; see
+:mod:`repro.dynamics.engine` and :mod:`repro.dynamics.plan`), charges
+the batch's modeled cost to the shard via the accelerator's cycle
+simulation, and resolves the per-request futures in submission order.
+External forces ride along per request (link -> ``(6,)``) and are
+stacked per batch; the engine that served each batch is recorded in the
+metrics registry.
 
 Serial chains (RK4-style sensitivity steps) bypass the batcher and are
 dispatched as one unit whose cycle accounting uses
@@ -32,7 +34,7 @@ from repro.core.config import AcceleratorConfig, PAPER_CONFIG
 from repro.core.functions import BatchProfile
 from repro.core.scheduler import serial_chains
 from repro.dynamics import BatchStates, batch_evaluate
-from repro.dynamics.engine import Engine, get_engine
+from repro.dynamics.engine import Engine, default_engine_explicit, get_engine
 from repro.dynamics.functions import RBDFunction
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
 from repro.serve.cache import ArtifactCache, RobotArtifacts
@@ -61,8 +63,12 @@ class DynamicsService:
     ) -> None:
         self.policy = policy or BatchPolicy()
         self.config = config
-        #: Execution engine shard workers evaluate batches with (the
-        #: batch-native "vectorized" engine unless overridden).
+        #: Execution engine shard workers evaluate batches with: the
+        #: structure-compiled "compiled" engine, unless overridden by the
+        #: ``engine`` argument or an explicitly pinned process default
+        #: (REPRO_ENGINE env var / ``set_default_engine``).
+        if engine is None and not default_engine_explicit():
+            engine = "compiled"
         self.engine = get_engine(engine)
         self.cache = ArtifactCache(config)
         self.batcher = DynamicBatcher(self.policy)
@@ -101,7 +107,8 @@ class DynamicsService:
         coalesced, a shape error would fail the whole batch and surface
         on innocent co-batched clients' futures.
         """
-        nv = load_robot(request.robot).nv
+        model = load_robot(request.robot)
+        nv = model.nv
         for label, operand in (("q", request.q), ("qd", request.qd),
                                ("u", request.u)):
             if operand is not None and np.shape(operand) != (nv,):
@@ -109,6 +116,23 @@ class DynamicsService:
                     f"{label} must have shape ({nv},) for robot "
                     f"{request.robot!r}, got {np.shape(operand)}"
                 )
+        if request.f_ext:
+            if request.function in (RBDFunction.M, RBDFunction.MINV):
+                raise ValueError(
+                    f"f_ext is not accepted for {request.function.value} "
+                    "requests (mass-matrix functions take no forces)"
+                )
+            for link, value in request.f_ext.items():
+                if not 0 <= link < model.nb:
+                    raise ValueError(
+                        f"f_ext link index {link} out of range for robot "
+                        f"{request.robot!r} (nb={model.nb})"
+                    )
+                if np.shape(value) != (6,):
+                    raise ValueError(
+                        f"f_ext[{link}] must have shape (6,), "
+                        f"got {np.shape(value)}"
+                    )
         if request.function is RBDFunction.DIFD:
             if request.minv is None:
                 raise ValueError("diFD requests must carry minv")
@@ -133,9 +157,14 @@ class DynamicsService:
         qd: np.ndarray | None = None,
         u: np.ndarray | None = None,
         minv: np.ndarray | None = None,
+        f_ext: dict[int, np.ndarray] | None = None,
         urgent: bool = False,
     ) -> Future:
         """Submit one request; resolves to a :class:`ServeResult`.
+
+        ``f_ext`` maps link indices to ``(6,)`` external spatial forces
+        (link frame); the batcher stacks them per coalesced batch, so
+        force-carrying and force-free requests share a pipeline pass.
 
         ``urgent=True`` skips the dynamic batcher and dispatches the
         request immediately as a singleton batch, the same bypass serial
@@ -149,7 +178,8 @@ class DynamicsService:
         """
         request = ServeRequest(robot=robot, function=function,
                                q=np.asarray(q, dtype=float),
-                               qd=qd, u=u, minv=minv, urgent=urgent)
+                               qd=qd, u=u, minv=minv, f_ext=f_ext,
+                               urgent=urgent)
         self._validate(request)
         with self._lifecycle_lock:
             if self._closed:
@@ -332,6 +362,30 @@ class DynamicsService:
             self._profiles[key] = profile
         return profile
 
+    @staticmethod
+    def _stack_f_ext(
+        batch: list[ServeRequest],
+    ) -> dict[int, np.ndarray] | None:
+        """Stack per-request external forces into link -> ``(n, 6)`` maps.
+
+        Requests without forces contribute zero rows, so they coalesce
+        with force-carrying requests in the same pipeline pass.
+        """
+        links = sorted({
+            link for r in batch if r.f_ext for link in r.f_ext
+        })
+        if not links:
+            return None
+        zero = np.zeros(6)
+        return {
+            link: np.stack([
+                np.asarray(r.f_ext[link], dtype=float)
+                if r.f_ext and link in r.f_ext else zero
+                for r in batch
+            ])
+            for link in links
+        }
+
     def _execute(self, shard: ShardState, batch: list[ServeRequest],
                  chained: bool) -> float:
         """Run one coalesced batch on ``shard``; returns makespan cycles."""
@@ -360,9 +414,10 @@ class DynamicsService:
             minv = None
             if any(r.minv is not None for r in batch):
                 minv = np.stack([np.asarray(r.minv, dtype=float) for r in batch])
+            f_ext = self._stack_f_ext(batch)
             values = batch_evaluate(
                 model, function, BatchStates(q, qd), u, minv=minv,
-                engine=self.engine,
+                f_ext=f_ext, engine=self.engine,
             )
             profile = self._profile(artifacts, function, len(batch), chained)
         except Exception as exc:  # resolve every future, never hang a client

@@ -16,6 +16,7 @@ from repro.dynamics import (
     evaluate,
 )
 from repro.dynamics.engine import (
+    CompiledEngine,
     Engine,
     LoopEngine,
     VectorizedEngine,
@@ -131,9 +132,10 @@ class TestEngineEquivalence:
 
 class TestEngineSelection:
     def test_registry_contents(self):
-        assert available_engines() == ("loop", "vectorized")
+        assert available_engines() == ("compiled", "loop", "vectorized")
         assert isinstance(get_engine("loop"), LoopEngine)
         assert isinstance(get_engine("vectorized"), VectorizedEngine)
+        assert isinstance(get_engine("compiled"), CompiledEngine)
 
     def test_default_is_vectorized(self):
         assert default_engine_name() == "vectorized"
@@ -146,13 +148,20 @@ class TestEngineSelection:
         assert isinstance(engine, Engine)
 
     def test_set_default_engine_roundtrip(self):
+        from repro.dynamics.engine import default_engine_explicit
+
+        assert not default_engine_explicit()
         set_default_engine("loop")
         try:
             assert default_engine_name() == "loop"
             assert isinstance(get_engine(), LoopEngine)
+            assert default_engine_explicit()
         finally:
-            set_default_engine("vectorized")
+            # Un-pin so later tests (e.g. the serve default) see the
+            # unmodified process default again.
+            set_default_engine(None)
         assert default_engine_name() == "vectorized"
+        assert not default_engine_explicit()
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(KeyError, match="unknown engine"):

@@ -1,0 +1,297 @@
+"""Equivalence and structure suite for the compiled execution plans.
+
+The ``"compiled"`` engine must be numerically interchangeable with the
+``"loop"`` reference — same Table-I function, same robot, same batch — to
+1e-10, across every library robot, the batch-size extremes the serve
+runtime produces (singleton flushes and full 256-task accelerator loads)
+and the external-force path.  Structure tests pin the compile-time
+invariants the kernels rely on: the level schedule covers every link
+exactly once with parents strictly shallower, slots are level-contiguous,
+and workspaces are reused rather than regrown.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dynamics import BatchStates, batch_evaluate, evaluate
+from repro.dynamics.engine import CompiledEngine, get_engine
+from repro.dynamics.functions import RBDFunction
+from repro.dynamics.plan import ExecutionPlan, plan_for
+from repro.model.library import ROBOT_REGISTRY, load_robot, random_tree
+from repro.model.topology import reroot, split_floating_base
+
+TOL = dict(rtol=1e-10, atol=1e-10)
+ROBOTS = sorted(ROBOT_REGISTRY)
+FUNCTIONS = list(RBDFunction)
+#: Functions whose loop reference is cheap enough for full 256-task runs.
+DIRECT_FUNCTIONS = [RBDFunction.ID, RBDFunction.FD,
+                    RBDFunction.M, RBDFunction.MINV]
+DERIV_FUNCTIONS = [RBDFunction.DID, RBDFunction.DFD, RBDFunction.DIFD]
+
+
+def _batch_inputs(model, function, n, seed=0):
+    """(states, u, minv) operands for one batched call of ``function``."""
+    rng = np.random.default_rng(seed)
+    states = BatchStates.random(model, n, seed=seed)
+    u = rng.normal(size=(n, model.nv))
+    minv = None
+    if function is RBDFunction.DIFD:
+        minv = np.stack([
+            evaluate(model, RBDFunction.MINV, states.q[k])
+            for k in range(n)
+        ])
+    return states, u, minv
+
+
+def _random_f_ext(model, n, seed):
+    """Mixed-convention external forces: per-task and shared stacks."""
+    rng = np.random.default_rng(seed)
+    return {
+        0: rng.normal(size=(n, 6)),            # per-task stack
+        model.nb - 1: rng.normal(size=6),      # shared by every task
+    }
+
+
+def _compare(got, want):
+    """Assert two batch_evaluate result lists agree to 1e-10."""
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        if hasattr(a, "dqdd_dq"):
+            np.testing.assert_allclose(a.qdd, b.qdd, **TOL)
+            np.testing.assert_allclose(a.dqdd_dq, b.dqdd_dq, **TOL)
+            np.testing.assert_allclose(a.dqdd_dqd, b.dqdd_dqd, **TOL)
+            np.testing.assert_allclose(a.dqdd_dtau, b.dqdd_dtau, **TOL)
+        elif hasattr(a, "dtau_dq"):
+            np.testing.assert_allclose(a.dtau_dq, b.dtau_dq, **TOL)
+            np.testing.assert_allclose(a.dtau_dqd, b.dtau_dqd, **TOL)
+        else:
+            np.testing.assert_allclose(a, b, **TOL)
+
+
+class TestPlanEquivalence:
+    """compiled == loop on every robot x function the library knows."""
+
+    @pytest.mark.parametrize("function", FUNCTIONS, ids=lambda f: f.value)
+    @pytest.mark.parametrize("robot", ROBOTS)
+    def test_every_robot_and_function(self, robot, function):
+        model = load_robot(robot)
+        states, u, minv = _batch_inputs(model, function, n=4, seed=3)
+        loop = batch_evaluate(model, function, states, u, minv=minv,
+                              engine="loop")
+        comp = batch_evaluate(model, function, states, u, minv=minv,
+                              engine="compiled")
+        _compare(comp, loop)
+
+    @pytest.mark.parametrize("function", FUNCTIONS, ids=lambda f: f.value)
+    @pytest.mark.parametrize("robot", ROBOTS)
+    def test_every_robot_and_function_with_f_ext(self, robot, function):
+        if function in (RBDFunction.M, RBDFunction.MINV):
+            pytest.skip("mass-matrix functions take no forces")
+        model = load_robot(robot)
+        states, u, minv = _batch_inputs(model, function, n=4, seed=4)
+        f_ext = _random_f_ext(model, 4, seed=40)
+        loop = batch_evaluate(model, function, states, u, minv=minv,
+                              f_ext=f_ext, engine="loop")
+        comp = batch_evaluate(model, function, states, u, minv=minv,
+                              f_ext=f_ext, engine="compiled")
+        _compare(comp, loop)
+
+    @pytest.mark.parametrize("function", FUNCTIONS, ids=lambda f: f.value)
+    @pytest.mark.parametrize("n", [1, 256])
+    def test_batch_size_extremes(self, function, n):
+        """Singleton flushes and full accelerator loads agree (iiwa)."""
+        model = load_robot("iiwa")
+        states, u, minv = _batch_inputs(model, function, n=n, seed=5)
+        loop = batch_evaluate(model, function, states, u, minv=minv,
+                              engine="loop")
+        comp = batch_evaluate(model, function, states, u, minv=minv,
+                              engine="compiled")
+        _compare(comp, loop)
+
+    @pytest.mark.parametrize("function", DIRECT_FUNCTIONS,
+                             ids=lambda f: f.value)
+    @pytest.mark.parametrize("n", [1, 256])
+    def test_batch_size_extremes_branched(self, function, n):
+        """Batch extremes on a branched robot, against the loop engine."""
+        model = load_robot("quadruped_arm")
+        states, u, minv = _batch_inputs(model, function, n=n, seed=6)
+        loop = batch_evaluate(model, function, states, u, minv=minv,
+                              engine="loop")
+        comp = batch_evaluate(model, function, states, u, minv=minv,
+                              engine="compiled")
+        _compare(comp, loop)
+
+    @pytest.mark.parametrize("function", DERIV_FUNCTIONS,
+                             ids=lambda f: f.value)
+    def test_batch_256_branched_derivatives(self, function):
+        """Derivative suite at 256 on a branched robot.
+
+        The reference here is the vectorized engine (itself loop-equivalent
+        per tests/test_engine.py); a 256-task loop-engine derivative run on
+        a 24-DOF robot would dominate the whole suite's runtime.
+        """
+        model = load_robot("quadruped_arm")
+        states, u, minv = _batch_inputs(model, function, n=256, seed=7)
+        f_ext = _random_f_ext(model, 256, seed=70)
+        vec = batch_evaluate(model, function, states, u, minv=minv,
+                             f_ext=f_ext, engine="vectorized")
+        comp = batch_evaluate(model, function, states, u, minv=minv,
+                              f_ext=f_ext, engine="compiled")
+        _compare(comp, vec)
+
+    @pytest.mark.parametrize("n", [1, 256])
+    def test_f_ext_at_batch_extremes(self, n):
+        model = load_robot("hyq")
+        states, u, _ = _batch_inputs(model, RBDFunction.FD, n=n, seed=8)
+        f_ext = _random_f_ext(model, n, seed=80)
+        loop = batch_evaluate(model, RBDFunction.FD, states, u,
+                              f_ext=f_ext, engine="loop")
+        comp = batch_evaluate(model, RBDFunction.FD, states, u,
+                              f_ext=f_ext, engine="compiled")
+        _compare(comp, loop)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_trees(self, seed):
+        """Random (non-library) topologies, including non-contiguous
+        subtrees, stay loop-equivalent."""
+        model = random_tree(9, seed=seed, floating=(seed % 2 == 0))
+        states, u, _ = _batch_inputs(model, RBDFunction.DFD, n=3, seed=seed)
+        for function in (RBDFunction.ID, RBDFunction.M, RBDFunction.FD,
+                         RBDFunction.DFD):
+            loop = batch_evaluate(model, function, states, u, engine="loop")
+            comp = batch_evaluate(model, function, states, u,
+                                  engine="compiled")
+            _compare(comp, loop)
+
+    def test_rewritten_topologies(self):
+        """Plans survive topology rewriting (reroot's ScrewJoints use the
+        generic transform path; split bases add multi-DOF interior
+        levels)."""
+        for model in (reroot(load_robot("atlas"), "torso2"),
+                      split_floating_base(load_robot("hyq"))):
+            states, u, _ = _batch_inputs(model, RBDFunction.FD, n=3, seed=9)
+            for function in (RBDFunction.ID, RBDFunction.FD,
+                             RBDFunction.MINV, RBDFunction.DID):
+                loop = batch_evaluate(model, function, states, u,
+                                      engine="loop")
+                comp = batch_evaluate(model, function, states, u,
+                                      engine="compiled")
+                _compare(comp, loop)
+
+
+class TestPlanStructure:
+    @pytest.mark.parametrize("robot", ROBOTS)
+    def test_slots_cover_links_level_contiguously(self, robot):
+        model = load_robot(robot)
+        plan = plan_for(model)
+        seen = []
+        for lvl in plan.levels:
+            assert lvl.hi - lvl.lo == len(lvl.links)
+            for pos, link in enumerate(lvl.links):
+                slot = lvl.lo + pos
+                assert plan.slot_of_link[link] == slot
+                assert plan.link_of_slot[slot] == link
+                seen.append(int(link))
+            # Parents of a level live strictly before the level's slab
+            # (parent-before-child over slots).
+            if not lvl.is_root:
+                assert lvl.parent_slots.max() < lvl.lo
+        assert sorted(seen) == list(range(model.nb))
+
+    @pytest.mark.parametrize("robot", ROBOTS)
+    def test_transform_groups_cover_slots(self, robot):
+        plan = plan_for(load_robot(robot))
+        covered = sorted(
+            int(s) for g in plan.transform_groups for s in g.slots
+        )
+        assert covered == list(range(plan.nb))
+
+    def test_plan_cache_is_per_model_instance(self):
+        model = load_robot("iiwa")
+        assert plan_for(model) is plan_for(model)
+        fresh = load_robot("iiwa", fresh=True)
+        assert plan_for(fresh) is not plan_for(model)
+
+    def test_plan_cache_releases_transient_models(self):
+        """Plans hold no back-reference to their model, so the weak cache
+        lets a transient model (and its plan) be collected."""
+        import gc
+        import weakref
+
+        model = random_tree(5, seed=99)
+        ref = weakref.ref(model)
+        plan = plan_for(model)
+        assert plan.robot_name == model.name
+        del model, plan
+        gc.collect()
+        assert ref() is None
+
+    def test_describe(self):
+        plan = plan_for(load_robot("quadruped_arm"))
+        info = plan.describe()
+        assert info["links"] == 19
+        assert info["dofs"] == 24
+        assert info["levels"] == 7
+        assert info["max_level_width"] == 5
+        assert sum(info["level_widths"]) == 19
+
+    def test_workspace_reused_not_regrown(self):
+        """Steady-state calls share one workspace; capacity only grows."""
+        model = load_robot("double_pendulum", fresh=True)
+        plan = ExecutionPlan(model)
+        states, u, _ = _batch_inputs(model, RBDFunction.FD, n=8, seed=1)
+        plan.fd_batch(states.q, states.qd, u)
+        ws = plan.workspace(8)
+        x_buffer = ws.X
+        assert ws.capacity == 8
+        # A smaller batch reuses the same buffers...
+        small = BatchStates.random(model, 3, seed=2)
+        plan.fd_batch(small.q, small.qd, u[:3])
+        assert plan.workspace(3) is ws
+        assert plan.workspace(3).X is x_buffer
+        # ...and only a larger one grows them.
+        big = BatchStates.random(model, 16, seed=3)
+        plan.fd_batch(big.q, big.qd, np.zeros((16, model.nv)))
+        assert plan.workspace(1).capacity == 16
+        assert plan.workspace(1).nbytes() > 0
+
+    def test_workspaces_are_thread_local(self):
+        """Concurrent shard workers must not share recursion state."""
+        model = load_robot("hyq")
+        engine = get_engine("compiled")
+        assert isinstance(engine, CompiledEngine)
+        states, u, _ = _batch_inputs(model, RBDFunction.FD, n=16, seed=11)
+        expected = batch_evaluate(model, RBDFunction.FD, states, u,
+                                  engine="loop")
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(10):
+                    got = batch_evaluate(model, RBDFunction.FD, states, u,
+                                         engine="compiled")
+                    _compare(got, expected)
+            except Exception as exc:  # surfaced on the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_outputs_are_decoupled_from_workspace(self):
+        """Returned arrays must survive the next call on the same plan."""
+        model = load_robot("iiwa")
+        states, u, _ = _batch_inputs(model, RBDFunction.ID, n=2, seed=12)
+        first = batch_evaluate(model, RBDFunction.ID, states, u,
+                               engine="compiled")
+        snapshot = [np.array(v, copy=True) for v in first]
+        other = BatchStates.random(model, 2, seed=13)
+        batch_evaluate(model, RBDFunction.ID, other,
+                       np.ones((2, model.nv)), engine="compiled")
+        for value, kept in zip(first, snapshot):
+            np.testing.assert_array_equal(value, kept)

@@ -496,19 +496,45 @@ class TestAdaptiveWait:
 
 
 class TestEngineRouting:
-    def test_default_engine_is_vectorized_and_recorded(self):
+    def test_default_engine_is_compiled_and_recorded(self):
         with DynamicsService(
             BatchPolicy(max_batch=4, max_wait_s=1e-3), n_shards=1
         ) as svc:
-            assert svc.engine.name == "vectorized"
+            assert svc.engine.name == "compiled"
             model = load_robot("pendulum")
             result = svc.submit(
                 "pendulum", RBDFunction.M, model.neutral_q()
             ).result(timeout=5.0)
-            assert result.engine == "vectorized"
+            assert result.engine == "compiled"
             stats = svc.stats()
-            assert stats["engine"] == "vectorized"
-            assert stats["engine_batches"].get("vectorized", 0) >= 1
+            assert stats["engine"] == "compiled"
+            assert stats["engine_batches"].get("compiled", 0) >= 1
+            assert stats["engine_requests"].get("compiled", 0) >= 1
+
+    def test_pinned_process_default_is_honoured(self):
+        """set_default_engine beats the service's compiled fallback."""
+        from repro.dynamics import set_default_engine
+
+        set_default_engine("loop")
+        try:
+            with DynamicsService(
+                BatchPolicy(max_batch=4, max_wait_s=1e-3), n_shards=1
+            ) as svc:
+                assert svc.engine.name == "loop"
+        finally:
+            set_default_engine(None)
+
+    def test_plan_cached_with_artifacts(self):
+        from repro.dynamics.plan import plan_for
+
+        with DynamicsService(
+            BatchPolicy(max_batch=4, max_wait_s=1e-3), n_shards=1
+        ) as svc:
+            artifacts = svc.cache.get("hyq")
+            # The cached artifact shares the process-wide plan instance,
+            # so shard workers and direct plan_for callers hit one plan.
+            assert artifacts.plan is plan_for(artifacts.model)
+            assert artifacts.plan.describe()["levels"] == 4
 
     def test_loop_engine_selectable_and_equivalent(self):
         model = load_robot("pendulum")
@@ -516,7 +542,7 @@ class TestEngineRouting:
         q, qd = model.random_state(rng)
         tau = rng.normal(size=model.nv)
         values = {}
-        for engine in ("loop", "vectorized"):
+        for engine in ("loop", "vectorized", "compiled"):
             with DynamicsService(
                 BatchPolicy(max_batch=4, max_wait_s=1e-3),
                 n_shards=1, engine=engine,
@@ -528,6 +554,71 @@ class TestEngineRouting:
                 assert svc.metrics.engine_batches() == {engine: 1}
         np.testing.assert_allclose(values["loop"], values["vectorized"],
                                    rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(values["loop"], values["compiled"],
+                                   rtol=1e-10, atol=1e-10)
+
+
+class TestExternalForces:
+    """External-force operands end to end: request -> batcher -> engine."""
+
+    def test_f_ext_changes_result_and_matches_direct(self):
+        from repro.dynamics import evaluate
+
+        model = load_robot("hyq")
+        rng = np.random.default_rng(21)
+        q, qd = model.random_state(rng)
+        tau = rng.normal(size=model.nv)
+        f_ext = {0: rng.normal(size=6), 5: rng.normal(size=6)}
+        with DynamicsService(
+            BatchPolicy(max_batch=4, max_wait_s=1e-3), n_shards=1
+        ) as svc:
+            with_force = svc.submit("hyq", RBDFunction.FD, q, qd, tau,
+                                    f_ext=f_ext).result(timeout=5.0)
+            without = svc.submit("hyq", RBDFunction.FD, q, qd, tau
+                                 ).result(timeout=5.0)
+        direct = evaluate(model, RBDFunction.FD, q, qd, tau, f_ext=f_ext)
+        np.testing.assert_allclose(with_force.value, direct,
+                                   rtol=1e-10, atol=1e-10)
+        assert not np.allclose(with_force.value, without.value)
+
+    def test_mixed_batch_stacks_forces_per_task(self):
+        """Force-carrying and force-free requests coalesce in one batch
+        and still resolve to their own per-task values."""
+        from repro.dynamics import evaluate
+
+        model = load_robot("iiwa")
+        rng = np.random.default_rng(22)
+        states = [model.random_state(rng) for _ in range(3)]
+        taus = [rng.normal(size=model.nv) for _ in range(3)]
+        forces = [None, {2: rng.normal(size=6)}, {6: rng.normal(size=6)}]
+        with DynamicsService(
+            BatchPolicy(max_batch=3, max_wait_s=60.0), n_shards=1
+        ) as svc:
+            futures = [
+                svc.submit("iiwa", RBDFunction.ID, q, qd, tau, f_ext=fe)
+                for (q, qd), tau, fe in zip(states, taus, forces)
+            ]
+            results = [f.result(timeout=5.0) for f in futures]
+        assert all(r.batch_size == 3 for r in results)
+        for (q, qd), tau, fe, r in zip(states, taus, forces, results):
+            direct = evaluate(model, RBDFunction.ID, q, qd, tau, f_ext=fe)
+            np.testing.assert_allclose(r.value, direct,
+                                       rtol=1e-10, atol=1e-10)
+
+    def test_f_ext_validation(self):
+        model = load_robot("pendulum")
+        with DynamicsService(
+            BatchPolicy(max_batch=4, max_wait_s=1e-3), n_shards=1
+        ) as svc:
+            with pytest.raises(ValueError, match="out of range"):
+                svc.submit("pendulum", RBDFunction.ID, model.neutral_q(),
+                           f_ext={7: np.zeros(6)})
+            with pytest.raises(ValueError, match="shape"):
+                svc.submit("pendulum", RBDFunction.ID, model.neutral_q(),
+                           f_ext={0: np.zeros(3)})
+            with pytest.raises(ValueError, match="mass-matrix"):
+                svc.submit("pendulum", RBDFunction.M, model.neutral_q(),
+                           f_ext={0: np.zeros(6)})
 
 
 class TestServiceLifecycle:

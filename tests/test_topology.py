@@ -9,6 +9,7 @@ from repro.errors import ModelError
 from repro.model.library import atlas, hyq, iiwa, quadruped_arm, spot_arm, tiago
 from repro.model.topology import (
     decompose,
+    level_schedule,
     map_state_to_rerooted,
     map_state_to_split,
     reroot,
@@ -58,6 +59,59 @@ class TestDecompose:
                 continue
             parent = decomposition.branches[branch.parent_branch]
             assert model.depth(parent.links[-1]) < model.depth(branch.links[0])
+
+
+class TestLevelSchedule:
+    """The wavefront schedule the compiled execution plans are built on."""
+
+    ROBOTS = [iiwa, tiago, hyq, quadruped_arm, spot_arm, atlas]
+
+    @pytest.mark.parametrize("factory", ROBOTS, ids=lambda f: f.__name__)
+    def test_covers_every_link_exactly_once(self, factory):
+        model = factory()
+        levels = level_schedule(model)
+        links = [link for level in levels for link in level.links]
+        assert sorted(links) == list(range(model.nb))
+
+    @pytest.mark.parametrize("factory", ROBOTS, ids=lambda f: f.__name__)
+    def test_parent_before_child(self, factory):
+        """A link's parent sits in the level exactly one depth shallower,
+        so processing levels in order satisfies every recursion
+        dependency (and reverse order every backward dependency)."""
+        model = factory()
+        levels = level_schedule(model)
+        level_of = {
+            link: index
+            for index, level in enumerate(levels)
+            for link in level.links
+        }
+        for i in range(model.nb):
+            parent = model.parent(i)
+            if parent >= 0:
+                assert level_of[parent] == level_of[i] - 1
+            else:
+                assert level_of[i] == 0
+        assert [level.depth for level in levels] == sorted(
+            {model.depth(i) for i in range(model.nb)}
+        )
+
+    def test_links_within_level_are_independent(self):
+        """No link of a level is an ancestor of another (they can fuse)."""
+        model = atlas()
+        for level in level_schedule(model):
+            for a in level.links:
+                for b in level.links:
+                    if a != b:
+                        assert a not in model.ancestors(b)
+
+    def test_level_widths_match_branching(self):
+        # hyq: trunk, then 4 legs advancing in lock-step for 3 levels.
+        widths = [level.size for level in level_schedule(hyq())]
+        assert widths == [1, 4, 4, 4]
+        # iiwa is serial: every level is one link wide.
+        assert [level.size for level in level_schedule(iiwa())] == [1] * 7
+        # atlas fuses both arms and both legs at its widest wavefront.
+        assert max(level.size for level in level_schedule(atlas())) == 5
 
 
 class TestSymmetry:
