@@ -103,6 +103,19 @@ def main(argv: list[str]) -> int:
     fd_speedup = stats[RBDFunction.FD]["speedup"]
     print(f"\nvectorized vs loop on FD: {fd_speedup:.1f}x "
           f"(floor {SPEEDUP_FLOOR:.0f}x)")
+    if "--json" in argv:
+        from jsonout import write_bench_json
+
+        rows = [
+            {"robot": ROBOT, "function": function, "batch": batch,
+             "engine": "vectorized", "backend": "numpy", **s}
+            for function, s in stats.items()
+        ]
+        path = write_bench_json(
+            "engine", rows,
+            {"fd_speedup": fd_speedup, "floor": SPEEDUP_FLOOR},
+        )
+        print(f"wrote {path}")
     if fd_speedup < SPEEDUP_FLOOR:
         print("FAIL: speedup below floor", file=sys.stderr)
         return 1

@@ -164,6 +164,19 @@ def main(argv: list[str]) -> int:
     worst = min(r["speedup"] for r in branched)
     print(f"\ncompiled vs vectorized on branched FD: worst {worst:.2f}x "
           f"(floor {SMOKE_FLOOR:.1f}x)")
+    if "--json" in argv:
+        from jsonout import write_bench_json
+
+        json_rows = [
+            {**row, "engine": "compiled", "backend": "numpy"}
+            for row in rows
+        ]
+        path = write_bench_json(
+            "plan", json_rows,
+            {"worst_branched_fd_speedup": worst, "floor": SMOKE_FLOOR,
+             "target": BRANCHED_FD_TARGET},
+        )
+        print(f"wrote {path}")
     if worst < SMOKE_FLOOR:
         print("FAIL: compiled engine lost to vectorized on a branched robot",
               file=sys.stderr)

@@ -123,6 +123,19 @@ def main(argv: list[str]) -> int:
     speedup = batching_speedup(stats)
     print(f"\ndynamic batching speedup vs batch-1: {speedup:.1f}x "
           f"(floor {SPEEDUP_FLOOR:.0f}x)")
+    if "--json" in argv:
+        from jsonout import write_bench_json
+
+        rows = [
+            {"robot": ROBOT, "function": FUNCTION, "max_batch": max_batch,
+             "requests": requests, **s}
+            for max_batch, s in sorted(stats.items())
+        ]
+        path = write_bench_json(
+            "serve", rows,
+            {"batching_speedup": speedup, "floor": SPEEDUP_FLOOR},
+        )
+        print(f"wrote {path}")
     if speedup < SPEEDUP_FLOOR:
         print("FAIL: speedup below floor", file=sys.stderr)
         return 1

@@ -1,0 +1,72 @@
+"""Machine-readable benchmark output: ``BENCH_<name>.json`` emitters.
+
+Every ``benchmarks/bench_*.py`` accepts ``--json``; the bench then
+writes its result rows — robot, function, batch, engine, backend,
+timings, speedups — to ``BENCH_<name>.json`` next to the working
+directory (override the directory with ``REPRO_BENCH_DIR``).  CI uploads
+the files as build artifacts, so the perf trajectory of every PR is a
+downloadable time series instead of a table buried in a log.
+
+The schema is deliberately flat::
+
+    {
+      "bench": "process",
+      "host": {"cores": 4, "python": "3.11.7", "numpy": "2.4.6"},
+      "rows": [{"robot": "hyq", "function": "FD", ...}, ...],
+      "summary": {...}            # bench-specific headline numbers
+    }
+
+Enum values (``RBDFunction``) are serialized by ``.value``; numpy
+scalars by ``float``/``int``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from enum import Enum
+from pathlib import Path
+
+
+def _jsonable(value):
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()  # numpy scalar
+        except Exception:
+            pass
+    return value
+
+
+def host_info() -> dict:
+    import numpy
+
+    return {
+        "cores": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": sys.platform,
+    }
+
+
+def write_bench_json(name: str, rows: list[dict],
+                     summary: dict | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path."""
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    payload = {
+        "bench": name,
+        "host": host_info(),
+        "rows": _jsonable(rows),
+        "summary": _jsonable(summary or {}),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

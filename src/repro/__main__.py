@@ -3,12 +3,17 @@
 Examples::
 
     python -m repro list
+    python -m repro engines
     python -m repro report iiwa
     python -m repro report atlas --function dID
     python -m repro timeline hyq --function ID --jobs 3
     python -m repro serve-bench iiwa --function FD --requests 512
     python -m repro serve-bench hyq --requests 256 --shards 4 \\
         --shard-policy least_loaded
+
+``engines`` probes the execution-engine registry and the array backends
+(:mod:`repro.backend`): which engines are selectable, whether cupy/jax
+are importable, and how many cores the process engine would use.
 
 ``serve-bench`` drives the :mod:`repro.serve` runtime with an open-loop
 load twice — batch-size-1 dispatch vs dynamic batching — and prints the
@@ -46,6 +51,40 @@ def cmd_list(_args: argparse.Namespace) -> int:
         model = load_robot(name)
         print(f"{name:16s} NB={model.nb:3d}  N={model.nv:3d}  "
               f"depth={model.max_depth()}")
+    return 0
+
+
+def cmd_engines(_args: argparse.Namespace) -> int:
+    """List registered engines and array backends with availability."""
+    import os
+
+    from repro.backend import backend_status, default_backend_name
+    from repro.dynamics.engine import available_engines, default_engine_name
+
+    cores = os.cpu_count() or 1
+    default = default_engine_name()
+    notes = {
+        "loop": "per-task scalar reference",
+        "vectorized": "batch-native kernels, host numpy",
+        "compiled": "structure-compiled plans (serve default); "
+                    "backend-portable",
+        "process": f"worker-process pool ({cores} core"
+                   f"{'s' if cores != 1 else ''} available)",
+    }
+    print("engines:")
+    for name in available_engines():
+        marker = "*" if name == default else " "
+        print(f"  {marker} {name:12s} {notes.get(name, '')}")
+    print(f"    (* = process default; REPRO_ENGINE or set_default_engine"
+          f" overrides)")
+    print()
+    print("backends:")
+    default_backend = default_backend_name()
+    for name, status in backend_status().items():
+        marker = "*" if name == default_backend else " "
+        state = "ok " if status["available"] else "-- "
+        print(f"  {marker} {name:8s} {state}{status['detail']}")
+    print(f"    (* = default backend; REPRO_BACKEND overrides)")
     return 0
 
 
@@ -118,6 +157,11 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list library robots").set_defaults(
         handler=cmd_list
     )
+
+    sub.add_parser(
+        "engines",
+        help="list execution engines and array backends (with probes)",
+    ).set_defaults(handler=cmd_engines)
 
     report = sub.add_parser("report", help="accelerator build report")
     _add_robot_argument(report)

@@ -1,0 +1,510 @@
+"""Pluggable array backends: the one layer that owns ``import numpy``.
+
+Dadu-RBD's datapath is structure-specialized but *operand-agnostic*: the
+same pipelines serve every Table-I function because the schedule, not the
+ALUs, encodes the robot.  The host-side analogue is that our kernels —
+the spatial algebra, the vectorized engine and the compiled execution
+plans — are written against a ~20-op array vocabulary (einsum with
+precomputed paths, matmul, solve/cholesky, scatter/gather by flat index,
+stack/where) that NumPy, CuPy and JAX all speak.  This package is the
+shim those layers import instead of numpy:
+
+* :class:`ArrayBackend` — one array runtime: its namespace (``.xp``),
+  the op vocabulary as methods, and :class:`BackendCapabilities` flags
+  the engines consult (in-place workspace mutation, device, einsum-path
+  caching).
+* :func:`get_backend` — registry lookup (``"numpy" | "cupy" | "jax"``)
+  with graceful *not-installed* probing: an unavailable backend raises
+  :class:`BackendUnavailable` naming the missing module, never an
+  ``ImportError`` mid-kernel.  ``REPRO_BACKEND`` pins the process-wide
+  default the same way ``REPRO_ENGINE`` pins the engine.
+* :func:`array_namespace` — cheap type-dispatch (``cupy.ndarray`` →
+  ``cupy``, jax array → ``jax.numpy``, everything else → numpy) so the
+  broadcasting spatial layer serves whichever arrays the caller hands it
+  without per-call configuration.
+
+Execution plans allocate their constant stacks and workspaces on a
+backend (:func:`repro.dynamics.plan.plan_for` keys its memo by backend
+name), so the compiled engine runs unmodified wherever the ops exist;
+backends whose arrays are immutable (JAX) advertise
+``capabilities.inplace = False`` and the mutating engines refuse them
+with a clean :class:`BackendCapabilityError` instead of failing mid-
+recursion.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as _np
+
+from repro.errors import ReproError
+
+
+class BackendUnavailable(ReproError):
+    """The requested backend's runtime is not installed/usable."""
+
+
+class BackendCapabilityError(ReproError):
+    """The selected backend lacks a capability the caller requires."""
+
+
+class BackendCapabilities:
+    """What an engine may assume about a backend's arrays.
+
+    ``inplace``
+        Arrays support in-place mutation (``a[i] = v``, ``+=`` views).
+        The vectorized and compiled engines require this for their
+        preallocated workspaces.
+    ``device``
+        Where the arrays live (``"cpu"`` or ``"gpu"``); serve placement
+        uses it for throughput hints only.
+    ``einsum_paths``
+        ``einsum`` benefits from precomputed contraction paths (NumPy/
+        CuPy); JAX traces/fuses its own.
+    """
+
+    __slots__ = ("inplace", "device", "einsum_paths")
+
+    def __init__(self, *, inplace: bool, device: str,
+                 einsum_paths: bool) -> None:
+        self.inplace = inplace
+        self.device = device
+        self.einsum_paths = einsum_paths
+
+    def __repr__(self) -> str:
+        return (f"BackendCapabilities(inplace={self.inplace}, "
+                f"device={self.device!r}, "
+                f"einsum_paths={self.einsum_paths})")
+
+
+class ArrayBackend:
+    """One array runtime behind the kernel vocabulary.
+
+    The base class implements every op against ``self.xp`` (the
+    numpy-compatible namespace); concrete backends override only what
+    their runtime spells differently.  All ops take/return the backend's
+    native arrays; :meth:`to_numpy` / :meth:`from_numpy` cross the host
+    boundary explicitly.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, xp, capabilities: BackendCapabilities) -> None:
+        self.xp = xp
+        self.capabilities = capabilities
+        #: expr (2-operand) or (expr, shapes) -> precomputed einsum path.
+        #: Two-operand contractions have a shape-independent optimal path
+        #: (one pairwise contraction), so the expression alone keys them.
+        self._einsum_paths: dict = {}
+        self._einsum_lock = threading.Lock()
+
+    # -- construction ---------------------------------------------------
+    def asarray(self, a, dtype=None):
+        return self.xp.asarray(a, dtype=dtype)
+
+    def zeros(self, shape, dtype=float):
+        return self.xp.zeros(shape, dtype=dtype)
+
+    def empty(self, shape, dtype=float):
+        return self.xp.empty(shape, dtype=dtype)
+
+    def eye(self, n, dtype=float):
+        return self.xp.eye(n, dtype=dtype)
+
+    def arange(self, *args, dtype=None):
+        return self.xp.arange(*args, dtype=dtype)
+
+    # -- restructuring --------------------------------------------------
+    def stack(self, arrays, axis=0):
+        return self.xp.stack(arrays, axis=axis)
+
+    def concatenate(self, arrays, axis=0):
+        return self.xp.concatenate(arrays, axis=axis)
+
+    def broadcast_to(self, a, shape):
+        return self.xp.broadcast_to(a, shape)
+
+    def swapaxes(self, a, axis1, axis2):
+        return self.xp.swapaxes(a, axis1, axis2)
+
+    def moveaxis(self, a, source, destination):
+        return self.xp.moveaxis(a, source, destination)
+
+    def atleast_2d(self, a):
+        return self.xp.atleast_2d(a)
+
+    def where(self, cond, a, b):
+        return self.xp.where(cond, a, b)
+
+    # -- gather / scatter by flat index ---------------------------------
+    def take(self, a, indices, axis=0):
+        """Gather rows/slabs by an integer index array."""
+        return self.xp.take(a, indices, axis=axis)
+
+    def index_add(self, a, indices, values, axis=0):
+        """Scatter-accumulate ``values`` into ``a`` at ``indices`` along
+        ``axis`` (duplicate indices sum).  Mutates and returns ``a`` on
+        in-place backends."""
+        if axis == 0:
+            self.xp.add.at(a, indices, values)
+        else:
+            sl = [slice(None)] * a.ndim
+            sl[axis] = indices
+            self.xp.add.at(a, tuple(sl), values)
+        return a
+
+    # -- contractions ---------------------------------------------------
+    def matmul(self, a, b, out=None):
+        if out is None:
+            return self.xp.matmul(a, b)
+        return self.xp.matmul(a, b, out=out)
+
+    def einsum(self, expr: str, *ops, out=None):
+        """``einsum`` with a memoized contraction path.
+
+        The plan's contractions run thousands of times per second on the
+        serve hot path; the optimal order is derived once per expression
+        (or per expression+shape for 3+ operands) and replayed.
+        """
+        if not self.capabilities.einsum_paths:
+            if out is None:
+                return self.xp.einsum(expr, *ops)
+            return self.xp.einsum(expr, *ops, out=out)
+        key = expr if len(ops) == 2 else (
+            expr, tuple(op.shape for op in ops)
+        )
+        path = self._einsum_paths.get(key)
+        if path is None:
+            path = self.xp.einsum_path(expr, *ops, optimize="optimal")[0]
+            with self._einsum_lock:
+                self._einsum_paths[key] = path
+        if out is None:
+            return self.xp.einsum(expr, *ops, optimize=path)
+        return self.xp.einsum(expr, *ops, out=out, optimize=path)
+
+    # -- linear algebra -------------------------------------------------
+    def solve(self, a, b):
+        return self.xp.linalg.solve(a, b)
+
+    def inv(self, a):
+        return self.xp.linalg.inv(a)
+
+    def cholesky(self, a):
+        return self.xp.linalg.cholesky(a)
+
+    # -- host boundary --------------------------------------------------
+    def to_numpy(self, a) -> _np.ndarray:
+        """Materialize a backend array on the host as ``numpy.ndarray``."""
+        return _np.asarray(a)
+
+    def from_numpy(self, a: _np.ndarray):
+        """Place a host array on this backend (no-op for numpy)."""
+        return self.xp.asarray(a)
+
+    def synchronize(self) -> None:
+        """Block until queued device work is done (no-op on the host)."""
+
+    def is_native(self, a) -> bool:
+        """True when ``a`` is this backend's array type."""
+        return isinstance(a, self.xp.ndarray)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class NumpyBackend(ArrayBackend):
+    """The reference backend: host NumPy, in-place, cached einsum paths."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        super().__init__(_np, BackendCapabilities(
+            inplace=True, device="cpu", einsum_paths=True,
+        ))
+
+    def to_numpy(self, a) -> _np.ndarray:
+        return a if isinstance(a, _np.ndarray) else _np.asarray(a)
+
+    def from_numpy(self, a: _np.ndarray):
+        return a
+
+
+def _make_cupy_backend() -> ArrayBackend:
+    try:
+        import cupy
+    except ImportError as exc:
+        raise BackendUnavailable(
+            "backend 'cupy' is not available: the cupy package is not "
+            f"installed ({exc})"
+        ) from None
+
+    class CupyBackend(ArrayBackend):
+        """CUDA arrays via CuPy: in-place like NumPy, device-resident."""
+
+        name = "cupy"
+
+        def __init__(self) -> None:
+            super().__init__(cupy, BackendCapabilities(
+                inplace=True, device="gpu", einsum_paths=True,
+            ))
+
+        def to_numpy(self, a) -> _np.ndarray:
+            return cupy.asnumpy(a)
+
+        def synchronize(self) -> None:
+            cupy.cuda.get_current_stream().synchronize()
+
+    return CupyBackend()
+
+
+def _make_jax_backend() -> ArrayBackend:
+    try:
+        import jax
+        import jax.numpy as jnp
+    except ImportError as exc:
+        raise BackendUnavailable(
+            "backend 'jax' is not available: the jax package is not "
+            f"installed ({exc})"
+        ) from None
+
+    class JaxBackend(ArrayBackend):
+        """JAX arrays: immutable (``capabilities.inplace=False``), so the
+        mutating engines refuse it cleanly; the op vocabulary is complete
+        for functional kernels built on top."""
+
+        name = "jax"
+
+        def __init__(self) -> None:
+            device = jax.default_backend()
+            super().__init__(jnp, BackendCapabilities(
+                inplace=False,
+                device="gpu" if device in ("gpu", "tpu") else "cpu",
+                einsum_paths=False,
+            ))
+
+        def index_add(self, a, indices, values, axis=0):
+            if axis == 0:
+                return a.at[indices].add(values)
+            sl = [slice(None)] * a.ndim
+            sl[axis] = indices
+            return a.at[tuple(sl)].add(values)
+
+        def to_numpy(self, a) -> _np.ndarray:
+            return _np.asarray(a)
+
+        def is_native(self, a) -> bool:
+            return isinstance(a, jnp.ndarray)
+
+    return JaxBackend()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_BACKEND_FACTORIES = {
+    "numpy": NumpyBackend,
+    "cupy": _make_cupy_backend,
+    "jax": _make_jax_backend,
+}
+_BACKENDS: dict[str, ArrayBackend] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+#: The host backend is always available and instantiated eagerly — it is
+#: the compilation substrate every plan builds on.
+_HOST = NumpyBackend()
+_BACKENDS["numpy"] = _HOST
+
+#: Process-wide default, overridable via the REPRO_BACKEND env var.  A
+#: bad env value is reported lazily (first use) so importing the package
+#: never fails for commands that touch no kernel.
+_default_backend_name = os.environ.get("REPRO_BACKEND", "numpy")
+_default_backend_explicit = "REPRO_BACKEND" in os.environ
+
+
+def host_backend() -> ArrayBackend:
+    """The always-available NumPy backend (the compilation substrate)."""
+    return _HOST
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Names of every backend the registry knows (installed or not)."""
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends whose runtime actually imports."""
+    out = []
+    for name in registered_backends():
+        try:
+            get_backend(name)
+        except BackendUnavailable:
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+def backend_status() -> dict[str, dict]:
+    """Probe every registered backend: ``{name: {available, detail}}``.
+
+    Used by ``python -m repro engines``; probing never raises.
+    """
+    status = {}
+    for name in registered_backends():
+        try:
+            backend = get_backend(name)
+        except BackendUnavailable as exc:
+            status[name] = {"available": False, "detail": str(exc)}
+            continue
+        xp = backend.xp
+        version = getattr(xp, "__version__", None)
+        if version is None:  # jax.numpy has no __version__
+            import importlib
+
+            version = getattr(importlib.import_module(name), "__version__",
+                              "unknown")
+        status[name] = {
+            "available": True,
+            "detail": (f"{name} {version}, device={backend.capabilities.device}, "
+                       f"inplace={backend.capabilities.inplace}"),
+        }
+    return status
+
+
+def default_backend_name() -> str:
+    """The backend used when a call does not name one."""
+    if _default_backend_name not in _BACKEND_FACTORIES:
+        raise KeyError(
+            f"REPRO_BACKEND={_default_backend_name!r} names an unknown "
+            f"backend; known backends: {registered_backends()}"
+        )
+    return _default_backend_name
+
+
+def default_backend_explicit() -> bool:
+    """Whether the process default was pinned by the user."""
+    return _default_backend_explicit
+
+
+def set_default_backend(name: str | None) -> None:
+    """Pin the process-wide default backend, or un-pin with ``None``
+    (restoring the ``REPRO_BACKEND`` env var / built-in ``"numpy"``).
+
+    The named backend must be registered *and* importable — pinning an
+    uninstalled backend raises :class:`BackendUnavailable` eagerly rather
+    than failing on first kernel call.
+    """
+    global _default_backend_name, _default_backend_explicit
+    if name is None:
+        _default_backend_name = os.environ.get("REPRO_BACKEND", "numpy")
+        _default_backend_explicit = "REPRO_BACKEND" in os.environ
+        return
+    get_backend(name)  # validates registration + availability
+    _default_backend_name = name
+    _default_backend_explicit = True
+
+
+def get_backend(backend: str | ArrayBackend | None = None) -> ArrayBackend:
+    """Resolve a backend argument: instance, name, or None (the default).
+
+    Raises :class:`KeyError` for unregistered names and
+    :class:`BackendUnavailable` for registered-but-uninstalled runtimes.
+    """
+    if backend is None:
+        backend = default_backend_name()
+    if isinstance(backend, ArrayBackend):
+        return backend
+    cached = _BACKENDS.get(backend)
+    if cached is not None:
+        return cached
+    factory = _BACKEND_FACTORIES.get(backend)
+    if factory is None:
+        raise KeyError(
+            f"unknown backend {backend!r}; known backends: "
+            f"{registered_backends()}"
+        )
+    instance = factory()  # may raise BackendUnavailable
+    with _REGISTRY_LOCK:
+        return _BACKENDS.setdefault(backend, instance)
+
+
+# ---------------------------------------------------------------------------
+# Namespace dispatch for the broadcasting spatial layer
+# ---------------------------------------------------------------------------
+
+#: type -> numpy-compatible namespace.  Host types are pre-seeded so the
+#: overwhelmingly common all-numpy call is one dict hit per operand.
+_NS_BY_TYPE: dict[type, object] = {
+    _np.ndarray: _np,
+    float: _np, int: _np, list: _np, tuple: _np, bool: _np,
+    _np.float64: _np, _np.float32: _np, _np.int64: _np, _np.intp: _np,
+}
+
+
+def _resolve_namespace(cls: type):
+    module = getattr(cls, "__module__", "") or ""
+    root = module.split(".", 1)[0]
+    if root == "cupy":
+        return get_backend("cupy").xp
+    if root in ("jax", "jaxlib"):
+        # JAX arrays are immutable; the kernels that consult this
+        # dispatch build their outputs with in-place writes, so jax
+        # operands are materialized on the host instead (numpy coerces
+        # them via __array__) — same behavior as before the shim.
+        return _np
+    return _np
+
+
+def array_namespace(*arrays):
+    """The numpy-compatible namespace serving these operands.
+
+    The first array from a non-host *in-place* backend wins (mixing
+    device arrays from two backends in one op is a caller bug numpy
+    itself would reject); plain numbers, sequences, numpy arrays — and
+    arrays from immutable-array backends like JAX, which the in-place
+    kernels cannot build on directly — resolve to numpy.
+    """
+    for a in arrays:
+        cls = a.__class__
+        ns = _NS_BY_TYPE.get(cls)
+        if ns is None:
+            ns = _resolve_namespace(cls)
+            _NS_BY_TYPE[cls] = ns
+        if ns is not _np:
+            return ns
+    return _np
+
+
+def to_host(a):
+    """Materialize ``a`` on the host: numpy arrays pass through untouched,
+    device arrays are transferred via their backend."""
+    if isinstance(a, _np.ndarray) or not hasattr(a, "__array__"):
+        return a
+    ns = array_namespace(a)
+    if ns is _np:
+        return _np.asarray(a)
+    for backend in _BACKENDS.values():
+        if backend.xp is ns:
+            return backend.to_numpy(a)
+    return _np.asarray(a)
+
+
+__all__ = [
+    "ArrayBackend",
+    "BackendCapabilities",
+    "BackendCapabilityError",
+    "BackendUnavailable",
+    "NumpyBackend",
+    "array_namespace",
+    "available_backends",
+    "backend_status",
+    "default_backend_explicit",
+    "default_backend_name",
+    "get_backend",
+    "host_backend",
+    "registered_backends",
+    "set_default_backend",
+    "to_host",
+]

@@ -9,6 +9,8 @@ from repro.dynamics.batch import (
     batch_fd_derivatives,
     batch_id,
     batch_minv,
+    coerce_operand,
+    stack_rows,
 )
 from repro.dynamics.contact import (
     ContactPoint,
@@ -31,8 +33,10 @@ from repro.dynamics.engine import (
     available_engines,
     default_engine_name,
     get_engine,
+    register_engine,
     set_default_engine,
 )
+from repro.dynamics.process import ProcessEngine
 from repro.dynamics.plan import ExecutionPlan, cached_einsum, plan_for
 from repro.dynamics.derivatives import (
     FDDerivatives,
@@ -80,6 +84,7 @@ __all__ = [
     "CompiledEngine",
     "ContactPoint",
     "Engine",
+    "ProcessEngine",
     "ExecutionPlan",
     "LoopEngine",
     "VectorizedEngine",
@@ -92,6 +97,7 @@ __all__ = [
     "batch_minv",
     "bias_forces",
     "cached_einsum",
+    "coerce_operand",
     "constrained_forward_dynamics",
     "contact_impulse",
     "contact_jacobian",
@@ -118,8 +124,10 @@ __all__ = [
     "plan_for",
     "point_ik",
     "potential_energy",
+    "register_engine",
     "rnea",
     "rnea_derivatives",
     "set_default_engine",
+    "stack_rows",
     "velocity_of_point",
 ]

@@ -14,6 +14,13 @@ testing.
 All seven Table-I functions dispatch through the engine, so a service
 layer (``repro.serve``) can fan independent requests into one engine call
 and fan the per-task results back out to their callers.
+
+Operand intake is normalized *here*, once, at the boundary: every
+``q``/``qd``/``u``/``minv``/``f_ext`` stack is coerced to C-contiguous
+float64 (:func:`coerce_operand`) before an engine sees it — the engines'
+preallocated workspaces, einsum paths and shared-memory packing all
+assume that layout — and shape mismatches raise errors that name the
+offending operand (and, when a single task row is at fault, its index).
 """
 
 from __future__ import annotations
@@ -28,6 +35,41 @@ from repro.dynamics.functions import RBDFunction
 from repro.model.robot import RobotModel
 
 
+def coerce_operand(name: str, value, shape: tuple | None = None,
+                   *, request: int | None = None) -> np.ndarray:
+    """Coerce one operand stack to C-contiguous float64, verifying shape.
+
+    Engines assume C-contiguous float64 task-major stacks; this is the
+    single intake point where float32 buffers, transposed views, lists
+    and otherwise exotic inputs are normalized (a no-op passthrough for
+    already-conforming arrays).  Errors name the operand and — when the
+    caller is coalescing per-request rows — the offending request.
+    """
+    where = name if request is None else f"{name} (request {request})"
+    try:
+        arr = np.asarray(value, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{where} is not a numeric array: {exc}") from None
+    if shape is not None and arr.shape != tuple(shape):
+        raise ValueError(
+            f"{where} must have shape {tuple(shape)}, got {arr.shape}"
+        )
+    return np.ascontiguousarray(arr)
+
+
+def stack_rows(name: str, rows: list, row_shape: tuple) -> np.ndarray:
+    """Stack per-request rows into one C-contiguous float64 operand.
+
+    Each row is validated against ``row_shape`` individually so a shape
+    error names the request that caused it instead of failing the whole
+    ``np.stack`` anonymously.
+    """
+    return np.stack([
+        coerce_operand(name, row, row_shape, request=k)
+        for k, row in enumerate(rows)
+    ])
+
+
 @dataclass
 class BatchStates:
     """A batch of robot states (rows = tasks)."""
@@ -36,10 +78,13 @@ class BatchStates:
     qd: np.ndarray           # (n, nv)
 
     def __post_init__(self) -> None:
-        self.q = np.atleast_2d(np.asarray(self.q, dtype=float))
-        self.qd = np.atleast_2d(np.asarray(self.qd, dtype=float))
+        self.q = np.atleast_2d(coerce_operand("q", self.q))
+        self.qd = np.atleast_2d(coerce_operand("qd", self.qd))
         if self.q.shape != self.qd.shape:
-            raise ValueError("q and qd batches must have the same shape")
+            raise ValueError(
+                f"q and qd batches must have the same shape; "
+                f"got q {self.q.shape} vs qd {self.qd.shape}"
+            )
 
     def __len__(self) -> int:
         return self.q.shape[0]
@@ -70,7 +115,7 @@ def batch_id(
     engine: str | Engine | None = None,
 ) -> np.ndarray:
     """Batched inverse dynamics: (n, nv) torques."""
-    qdd = np.atleast_2d(np.asarray(qdd, dtype=float))
+    qdd = np.atleast_2d(coerce_operand("qdd", qdd))
     return get_engine(engine).id_batch(
         model, states.q, states.qd, qdd,
         normalize_f_ext(f_ext, len(states)),
@@ -94,7 +139,7 @@ def batch_fd(
     engine: str | Engine | None = None,
 ) -> np.ndarray:
     """Batched forward dynamics via the paper's Eq. (2)."""
-    tau = np.atleast_2d(np.asarray(tau, dtype=float))
+    tau = np.atleast_2d(coerce_operand("tau", tau))
     return get_engine(engine).fd_batch(
         model, states.q, states.qd, tau,
         normalize_f_ext(f_ext, len(states)),
@@ -109,7 +154,7 @@ def batch_fd_derivatives(
     engine: str | Engine | None = None,
 ) -> BatchDerivatives:
     """Batched dFD (the Fig 2c "Derivatives of Dynamics" workload)."""
-    tau = np.atleast_2d(np.asarray(tau, dtype=float))
+    tau = np.atleast_2d(coerce_operand("tau", tau))
     qdd, dqdd_dq, dqdd_dqd, minv = get_engine(engine).dfd_batch(
         model, states.q, states.qd, tau,
         normalize_f_ext(f_ext, len(states)),
@@ -145,17 +190,31 @@ def batch_evaluate(
     n = len(states)
     eng = get_engine(engine)
     fe = normalize_f_ext(f_ext, n)
+    if fe is not None:
+        fe = {
+            link: coerce_operand(f"f_ext[{link}]", stack, (n, 6))
+            for link, stack in fe.items()
+        }
     if u is None:
         u = np.zeros((n, model.nv))
-    u = np.atleast_2d(np.asarray(u, dtype=float))
+    u = np.atleast_2d(coerce_operand("u", u))
     if u.shape[0] == 1 and n > 1:
-        u = np.broadcast_to(u, (n, u.shape[1]))     # one operand, all tasks
+        # One operand for all tasks: materialize the broadcast so the
+        # engines still receive a C-contiguous stack.
+        u = np.ascontiguousarray(np.broadcast_to(u, (n, u.shape[1])))
     if u.shape != (n, model.nv):
         raise ValueError(
             f"u must have shape ({n}, {model.nv}) to match the batch, "
             f"got {u.shape}"
         )
+    if minv is not None:
+        minv = coerce_operand("minv", minv, (n, model.nv, model.nv))
     q, qd = states.q, states.qd
+    if q.shape[1] != model.nv:
+        raise ValueError(
+            f"q must have shape ({n}, {model.nv}) for robot "
+            f"{model.name!r}, got {q.shape}"
+        )
     if function is RBDFunction.ID:
         return list(eng.id_batch(model, q, qd, u, fe))
     if function is RBDFunction.FD:

@@ -7,7 +7,7 @@ batched-PyTorch RBD work use on GPUs: **the recursion stays over links, but
 every link-step operates on the whole batch at once** — one ``(n, ...)``
 einsum/matmul per step instead of ``n`` Python-level recursions.
 
-Three interchangeable engines implement the same batched interface:
+Four interchangeable engines implement the same batched interface:
 
 * :class:`LoopEngine` (``"loop"``) — the reference: per-task loops over the
   scalar kernels in :mod:`repro.dynamics.rnea` / ``mminv`` /
@@ -24,32 +24,49 @@ Three interchangeable engines implement the same batched interface:
   scheduled by tree *depth level* rather than by link, so independent
   branches advance in one fused ``(n, L_d, ...)`` op per level, with
   flattened index arrays, precomputed selector stacks and per-thread
-  preallocated workspaces.  The fastest engine on branched robots and the
-  serve runtime's default.
+  preallocated workspaces.  The fastest single-process engine on branched
+  robots and the serve runtime's default.  Takes an optional *backend*
+  (:mod:`repro.backend`): ``CompiledEngine(backend="cupy")`` resolves
+  device-resident plans.
+* ``ProcessEngine`` (``"process"``, :mod:`repro.dynamics.process`) — a
+  persistent worker-process pool that splits each batch across cores and
+  runs the compiled engine in every worker: multi-core scale-out for the
+  small-batch/many-request regime where numpy ops are too short to
+  release the GIL.  Registered lazily (workers only start on first use).
 
 Engines are selected per call (``engine="loop"``) or process-wide via
 :func:`set_default_engine` / the ``REPRO_ENGINE`` environment variable; the
 serve runtime records which engine executed each batch in its metrics.
+The registry is thread-safe and extensible via :func:`register_engine`.
+
+Array math routes through :mod:`repro.backend` — the vectorized kernels
+dispatch on their operands' namespace, so device arrays flow through the
+same code path as host numpy.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from abc import ABC, abstractmethod
+from typing import Callable
 
-import numpy as np
-
+from repro.backend import array_namespace, host_backend
 from repro.dynamics.mminv import _symmetrize_from_rows
 from repro.dynamics.plan import cached_einsum, plan_for
 from repro.model.robot import RobotModel
 from repro.spatial.motion import crf, crf_bar, crm, cross_force, cross_motion
 
+#: Host namespace (via the backend shim): the loop engine's scalar
+#: kernels and the f_ext normalization are host-side by construction.
+np = host_backend().xp
+
 #: External forces for a batch: link index -> (n, 6) force stack (link frame).
-BatchFExt = dict[int, np.ndarray]
+BatchFExt = dict[int, "np.ndarray"]
 
 
 def normalize_f_ext(
-    f_ext: dict[int, np.ndarray] | None, n: int
+    f_ext: dict | None, n: int
 ) -> BatchFExt | None:
     """Broadcast per-link external forces to ``(n, 6)`` task stacks.
 
@@ -351,7 +368,7 @@ def _mminvgen_batch(
             inertia_acc[parent] += xt @ inertia_acc[i] @ x
 
     if not out_minv:
-        return _symmetrize_from_rows(out)
+        return _symmetrize_from_rows(out, np)
 
     # Forward sweep (Mf_i submodules).
     p_prop = [np.zeros((n, 6, nv)) for _ in range(nb)]
@@ -370,7 +387,7 @@ def _mminvgen_batch(
         if parent >= 0:
             p_prop[i][:, :, right] += x @ p_prop[parent][:, :, right]
 
-    return _symmetrize_from_rows(out)
+    return _symmetrize_from_rows(out, np)
 
 
 def _rnea_derivatives_batch(
@@ -543,41 +560,86 @@ class CompiledEngine(Engine):
     transforms refresh in one op per joint kind, and the big recursion
     stacks never reallocate in steady state.  Numerically interchangeable
     with the other engines (same 1e-10 equivalence contract).
+
+    ``backend`` selects the array backend the plans execute on
+    (:mod:`repro.backend`); ``None`` follows the process-wide default
+    (``REPRO_BACKEND`` / :func:`repro.backend.set_default_backend`).
     """
 
     name = "compiled"
 
+    def __init__(self, backend: str | None = None) -> None:
+        self._backend = backend
+
+    @property
+    def backend_name(self) -> str:
+        """Resolved backend name plans run on."""
+        from repro.backend import get_backend
+
+        return get_backend(self._backend).name
+
+    def _plan(self, model):
+        return plan_for(model, self._backend)
+
     def id_batch(self, model, q, qd, qdd, f_ext=None):
-        return plan_for(model).id_batch(q, qd, qdd, f_ext)
+        return self._plan(model).id_batch(q, qd, qdd, f_ext)
 
     def m_batch(self, model, q):
-        return plan_for(model).m_batch(q)
+        return self._plan(model).m_batch(q)
 
     def minv_batch(self, model, q):
-        return plan_for(model).minv_batch(q)
+        return self._plan(model).minv_batch(q)
 
     def fd_batch(self, model, q, qd, tau, f_ext=None):
-        return plan_for(model).fd_batch(q, qd, tau, f_ext)
+        return self._plan(model).fd_batch(q, qd, tau, f_ext)
 
     def did_batch(self, model, q, qd, qdd, f_ext=None):
-        return plan_for(model).did_batch(q, qd, qdd, f_ext)
+        return self._plan(model).did_batch(q, qd, qdd, f_ext)
 
     def dfd_batch(self, model, q, qd, tau, f_ext=None):
-        return plan_for(model).dfd_batch(q, qd, tau, f_ext)
+        return self._plan(model).dfd_batch(q, qd, tau, f_ext)
 
     def difd_batch(self, model, q, qd, qdd, minv=None, f_ext=None):
-        return plan_for(model).difd_batch(q, qd, qdd, minv, f_ext)
+        return self._plan(model).difd_batch(q, qd, qdd, minv, f_ext)
 
 
 # ---------------------------------------------------------------------------
 # Registry and default selection
 # ---------------------------------------------------------------------------
 
-_ENGINES: dict[str, Engine] = {
-    LoopEngine.name: LoopEngine(),
-    VectorizedEngine.name: VectorizedEngine(),
-    CompiledEngine.name: CompiledEngine(),
+
+def _make_process_engine() -> Engine:
+    # Imported lazily: repro.dynamics.process imports this module for the
+    # Engine interface, and instantiating the engine must not start any
+    # worker (the pool boots on first real batch).
+    from repro.dynamics.process import ProcessEngine
+
+    return ProcessEngine()
+
+
+#: name -> constructor; instantiated on first lookup, under the registry
+#: lock.  Keeping construction lazy means `import repro` never pays for
+#: engines it does not use (and never forks/spawns anything).
+_ENGINE_FACTORIES: dict[str, Callable[[], Engine]] = {
+    LoopEngine.name: LoopEngine,
+    VectorizedEngine.name: VectorizedEngine,
+    CompiledEngine.name: CompiledEngine,
+    "process": _make_process_engine,
 }
+_ENGINES: dict[str, Engine] = {}
+_REGISTRY_LOCK = threading.RLock()
+
+
+def register_engine(name: str, factory: Callable[[], Engine]) -> None:
+    """Register (or replace) an engine constructor under ``name``.
+
+    Thread-safe; a previously instantiated engine under the same name is
+    dropped so the next :func:`get_engine` builds the new one.
+    """
+    with _REGISTRY_LOCK:
+        _ENGINE_FACTORIES[name] = factory
+        _ENGINES.pop(name, None)
+
 
 #: Process-wide default, overridable via the REPRO_ENGINE env var.  A bad
 #: env value is reported lazily (first use) so importing the package never
@@ -598,12 +660,13 @@ def default_engine_explicit() -> bool:
 
 def available_engines() -> tuple[str, ...]:
     """Names of all registered engines."""
-    return tuple(sorted(_ENGINES))
+    with _REGISTRY_LOCK:
+        return tuple(sorted(set(_ENGINE_FACTORIES) | set(_ENGINES)))
 
 
 def default_engine_name() -> str:
     """The engine used when a call does not name one."""
-    if _default_engine_name not in _ENGINES:
+    if _default_engine_name not in _ENGINE_FACTORIES:
         # Only the REPRO_ENGINE env var can install an unvalidated name
         # (set_default_engine checks eagerly), so name it in the error.
         raise KeyError(
@@ -628,7 +691,7 @@ def set_default_engine(name: str | None) -> None:
         )
         _default_engine_explicit = "REPRO_ENGINE" in os.environ
         return
-    if name not in _ENGINES:
+    if name not in _ENGINE_FACTORIES:
         raise KeyError(
             f"unknown engine {name!r}; known engines: {available_engines()}"
         )
@@ -637,16 +700,30 @@ def set_default_engine(name: str | None) -> None:
 
 
 def get_engine(engine: str | Engine | None = None) -> Engine:
-    """Resolve an engine argument: instance, name, or None (the default)."""
+    """Resolve an engine argument: instance, name, or None (the default).
+
+    Named engines are singletons, instantiated on first lookup under the
+    registry lock (thread-safe double-checked); instances pass through.
+    """
     if engine is None:
         engine = default_engine_name()
     if isinstance(engine, Engine):
         return engine
-    if engine not in _ENGINES:
-        raise KeyError(
-            f"unknown engine {engine!r}; known engines: {available_engines()}"
-        )
-    return _ENGINES[engine]
+    instance = _ENGINES.get(engine)
+    if instance is not None:
+        return instance
+    with _REGISTRY_LOCK:
+        instance = _ENGINES.get(engine)
+        if instance is None:
+            factory = _ENGINE_FACTORIES.get(engine)
+            if factory is None:
+                raise KeyError(
+                    f"unknown engine {engine!r}; known engines: "
+                    f"{available_engines()}"
+                )
+            instance = factory()
+            _ENGINES[engine] = instance
+    return instance
 
 
 __all__ = [
@@ -661,5 +738,6 @@ __all__ = [
     "default_engine_name",
     "get_engine",
     "normalize_f_ext",
+    "register_engine",
     "set_default_engine",
 ]

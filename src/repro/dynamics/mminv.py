@@ -115,17 +115,19 @@ def _bounds(model: RobotModel, link: int) -> tuple[int, int]:
     return sl.start, sl.stop
 
 
-def _symmetrize_from_rows(out: np.ndarray) -> np.ndarray:
+def _symmetrize_from_rows(out: np.ndarray, xp=np) -> np.ndarray:
     """Both sweeps fill row blocks whose columns lie to the right of the
     diagonal block; mirror them into the lower triangle.
 
-    Accepts one ``(nv, nv)`` matrix or an ``(n, nv, nv)`` batch (shared
-    with the vectorized engine's batched MMinvGen).
+    Accepts one ``(nv, nv)`` matrix or an ``(n, nv, nv)`` batch, and an
+    optional array namespace — the single implementation shared by this
+    scalar reference, the vectorized engine and the backend-portable
+    compiled plans (which pass their plan backend's ``xp``).
     """
-    upper = np.triu(out)
-    diag = np.diagonal(upper, axis1=-2, axis2=-1)
-    return (upper + np.swapaxes(upper, -1, -2)
-            - diag[..., None] * np.eye(out.shape[-1]))
+    upper = xp.triu(out)
+    diag = xp.diagonal(upper, axis1=-2, axis2=-1)
+    return (upper + xp.swapaxes(upper, -1, -2)
+            - diag[..., None] * xp.eye(out.shape[-1]))
 
 
 def mass_matrix(model: RobotModel, q: np.ndarray) -> np.ndarray:

@@ -47,60 +47,57 @@ against the paper's ``Minv @ (tau - C)`` substitution; the derivative
 kernels carry their d/dq and d/dqd operands in one paired column block so
 each level step is a single wide contraction.
 
-:func:`plan_for` memoizes plans per model (weakly, so models can be
-collected); the ``"compiled"`` engine in :mod:`repro.dynamics.engine`
-evaluates all seven Table-I functions on top of these plans.
+:func:`plan_for` memoizes plans per model *and backend* (weakly over
+models, so they can be collected); the ``"compiled"`` engine in
+:mod:`repro.dynamics.engine` evaluates all seven Table-I functions on top
+of these plans.  A plan compiled with ``backend="cupy"`` holds its
+constant stacks, selector stacks, index arrays and workspaces on the
+device, so the same level-scheduled kernels run there unmodified —
+structure compilation happens once on the host (the paper's offline
+bitstream build), operand execution wherever the plan lives.
 """
 
 from __future__ import annotations
 
 import threading
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 
-import numpy as np
-
+from repro.backend import (
+    ArrayBackend,
+    BackendCapabilityError,
+    get_backend,
+    host_backend,
+)
 from repro.dynamics.mminv import _symmetrize_from_rows
 from repro.model.joints import PrismaticJoint, RevoluteJoint
 from repro.model.robot import RobotModel
 from repro.model.topology import decompose, level_schedule
 from repro.spatial.motion import crf, crf_bar, crm, cross_force, cross_motion
 
-# ---------------------------------------------------------------------------
-# Cached einsum paths
-# ---------------------------------------------------------------------------
-
-#: expr (2-operand) or (expr, shapes) -> precomputed einsum path.  For two
-#: operands the optimal path is shape-independent (a single pairwise
-#: contraction), so the expression alone is the key; larger contractions
-#: key on the operand shapes as well.
-_EINSUM_PATHS: dict = {}
-_EINSUM_LOCK = threading.Lock()
+#: Host (compilation) namespace, reached through the backend shim: the
+#: structure-compilation pass — index arrays, selector stacks, level
+#: bookkeeping — always runs on the host; only the finished constant
+#: stacks are placed on the plan's execution backend.
+np = host_backend().xp
+_HOST = host_backend()
 
 
-def cached_einsum(expr: str, *ops: np.ndarray, out: np.ndarray | None = None):
-    """``np.einsum`` with a memoized ``einsum_path``.
+def cached_einsum(expr: str, *ops, out=None):
+    """Host ``einsum`` with a memoized ``einsum_path``.
 
-    Avoids re-deriving the contraction order on every call — the plan's
-    contractions run thousands of times per second on the serve hot path —
-    while still letting numpy pick the optimal order once per expression.
-    Also used by the ``"vectorized"`` engine, which benefits from the
-    precomputed paths even without a plan.
+    Thin wrapper over the numpy backend's :meth:`ArrayBackend.einsum`
+    (which owns the path cache).  Kept as a module-level function because
+    the ``"vectorized"`` engine and older call sites import it from here;
+    plan kernels use their own backend's ``einsum`` so device plans
+    contract on the device.
     """
-    key = expr if len(ops) == 2 else (expr, tuple(op.shape for op in ops))
-    path = _EINSUM_PATHS.get(key)
-    if path is None:
-        path = np.einsum_path(expr, *ops, optimize="optimal")[0]
-        with _EINSUM_LOCK:
-            _EINSUM_PATHS[key] = path
-    if out is None:
-        return np.einsum(expr, *ops, optimize=path)
-    return np.einsum(expr, *ops, out=out, optimize=path)
+    return _HOST.einsum(expr, *ops, out=out)
 
 
-def _mv(x: np.ndarray, v: np.ndarray) -> np.ndarray:
+def _mv(x, v):
     """Batched matrix @ vector over arbitrary leading axes."""
-    return np.matmul(x, v[..., None])[..., 0]
+    return (x @ v[..., None])[..., 0]
 
 
 # ---------------------------------------------------------------------------
@@ -192,7 +189,9 @@ class PlanWorkspace:
     propagate through one contraction per level.
     """
 
-    def __init__(self, nb: int, nv: int) -> None:
+    def __init__(self, nb: int, nv: int,
+                 backend: ArrayBackend | None = None) -> None:
+        self._backend = backend or host_backend()
         self._shapes = {
             "x": {"X": (nb, 6, 6)},
             "rnea": {
@@ -229,7 +228,8 @@ class PlanWorkspace:
 
     def _allocate(self, group: str) -> None:
         for name, shape in self._shapes[group].items():
-            setattr(self, name, np.zeros((self.capacity,) + shape))
+            setattr(self, name,
+                    self._backend.zeros((self.capacity,) + shape))
 
     def nbytes(self) -> int:
         return sum(
@@ -253,10 +253,25 @@ class ExecutionPlan:
     :mod:`repro.dynamics.engine`.
     """
 
-    def __init__(self, model: RobotModel) -> None:
+    def __init__(self, model: RobotModel,
+                 backend: str | ArrayBackend | None = None) -> None:
         # Only scalars/arrays/joint objects are captured from the model —
         # no back-reference — so the weak plan cache can actually collect
         # a transient model together with its plan.
+        self.backend = get_backend(backend)
+        if not self.backend.capabilities.inplace:
+            raise BackendCapabilityError(
+                f"backend {self.backend.name!r} has immutable arrays "
+                "(capabilities.inplace=False); the compiled engine's "
+                "preallocated workspaces require in-place mutation — "
+                "use the 'numpy' or 'cupy' backend"
+            )
+        #: Kernel namespace and einsum of the execution backend.
+        self._xp = self.backend.xp
+        self._ein = self.backend.einsum
+        #: True when operands must cross the host boundary (f_ext stacks
+        #: arrive as numpy from the serve layer).
+        self._device = self.backend.name != "numpy"
         self.robot_name = model.name
         self.nb = model.nb
         self.nv = model.nv
@@ -294,7 +309,54 @@ class ExecutionPlan:
         self.transform_groups = self._build_transform_groups(model, order)
 
         self.minus_gravity = -np.asarray(model.gravity, dtype=float)
+        if self._device:
+            self._place_on_backend()
         self._tls = threading.local()
+
+    def _place_on_backend(self) -> None:
+        """Move every operand-facing constant stack to the plan backend.
+
+        Compilation built them on the host; a device plan executes with
+        device-resident constants so the level kernels never cross the
+        host boundary mid-recursion.  Host-side bookkeeping used for
+        python-int indexing (``slot_of_link``) stays on the host.
+        """
+        dev = self.backend.from_numpy
+        self.inertias = dev(self.inertias)
+        self.sel_all = dev(self.sel_all)
+        self.minus_gravity = dev(self.minus_gravity)
+        self.levels = tuple(
+            _dc_replace(
+                lvl,
+                parent_slots=dev(lvl.parent_slots),
+                sel=dev(lvl.sel),
+                btr=dev(lvl.btr),
+                groups=tuple(
+                    _dc_replace(
+                        g,
+                        subspaces=dev(g.subspaces),
+                        subspaces_t=dev(g.subspaces_t),
+                        axis=dev(g.axis),
+                        dofs=dev(g.dofs),
+                        rows=dev(g.rows),
+                        slots=dev(g.slots),
+                        rel=dev(g.rel),
+                    )
+                    for g in lvl.groups
+                ),
+            )
+            for lvl in self.levels
+        )
+        self.transform_groups = tuple(
+            _dc_replace(
+                g,
+                slots=dev(g.slots),
+                axes=dev(g.axes),
+                qcols=dev(g.qcols),
+                x_tree=dev(g.x_tree),
+            )
+            for g in self.transform_groups
+        )
 
     # ------------------------------------------------------------------
     # Compilation
@@ -444,7 +506,7 @@ class ExecutionPlan:
         """
         ws = getattr(self._tls, "ws", None)
         if ws is None:
-            ws = PlanWorkspace(self.nb, self.nv)
+            ws = PlanWorkspace(self.nb, self.nv, self.backend)
             self._tls.ws = ws
         return ws.ensure(n, "x", *groups)
 
@@ -472,13 +534,12 @@ class ExecutionPlan:
                         ) @ g.x_tree[pos]
                     )
 
-    def _stage_rates(self, ws: PlanWorkspace, n: int, qd: np.ndarray,
-                     qdd: np.ndarray | None) -> None:
-        cached_einsum("bsv,nv->nbs", self.sel_all, qd, out=ws.vj[:n])
+    def _stage_rates(self, ws: PlanWorkspace, n: int, qd, qdd) -> None:
+        self._ein("bsv,nv->nbs", self.sel_all, qd, out=ws.vj[:n])
         if qdd is None:
             ws.aj[:n] = 0.0
         else:
-            cached_einsum("bsv,nv->nbs", self.sel_all, qdd, out=ws.aj[:n])
+            self._ein("bsv,nv->nbs", self.sel_all, qdd, out=ws.aj[:n])
 
     def _scatter_to_parents(self, dest, lvl: PlanLevel, value) -> None:
         """Accumulate per-link ``value`` slabs into parent slots.
@@ -514,10 +575,11 @@ class ExecutionPlan:
         skipped — dFD re-runs RNEA at the solved ``qdd`` with identical
         ``(q, qd)``, so ``v``/``xv`` are already in the workspace.
         """
+        xp = self._xp
         X, v, a = ws.X[:n], ws.v[:n], ws.a[:n]
         xv, xa = ws.xv[:n], ws.xa[:n]
         vj, aj, f = ws.vj[:n], ws.aj[:n], ws.f[:n]
-        a0 = self.minus_gravity if apply_gravity else np.zeros(6)
+        a0 = self.minus_gravity if apply_gravity else xp.zeros(6)
 
         for lvl in self.levels:
             lo, hi = lvl.lo, lvl.hi
@@ -538,15 +600,17 @@ class ExecutionPlan:
         f[:] = _mv(self.inertias, a) + cross_force(v, iv)
         if f_ext:
             for link, stack in f_ext.items():
+                if self._device:
+                    stack = self.backend.asarray(stack)
                 f[:, self.slot_of_link[link]] -= stack
 
         for lvl in reversed(self.levels):
             if lvl.is_root:
                 continue
             lo, hi = lvl.lo, lvl.hi
-            xt = np.swapaxes(X[:, lo:hi], -1, -2)
+            xt = xp.swapaxes(X[:, lo:hi], -1, -2)
             self._scatter_to_parents(f, lvl, _mv(xt, f[:, lo:hi]))
-        return cached_einsum("bsv,nbs->nv", self.sel_all, f, out=ws.tau[:n])
+        return self._ein("bsv,nbs->nv", self.sel_all, f, out=ws.tau[:n])
 
     # ------------------------------------------------------------------
     # ABA forward dynamics, level-scheduled
@@ -561,6 +625,7 @@ class ExecutionPlan:
         FD kernel because it never touches an ``nv``-column tensor —
         the entire pass stays on ``(n, L, 6)`` slabs.
         """
+        xp = self._xp
         X, v, vj = ws.X[:n], ws.v[:n], ws.vj[:n]
         c, p, ap = ws.a[:n], ws.f[:n], ws.xa[:n]
         IA = ws.IA[:n]
@@ -578,6 +643,8 @@ class ExecutionPlan:
         p[:] = cross_force(v, _mv(self.inertias, v))
         if f_ext:
             for link, stack in f_ext.items():
+                if self._device:
+                    stack = self.backend.asarray(stack)
                 p[:, self.slot_of_link[link]] -= stack
         IA[:] = self.inertias
 
@@ -589,10 +656,10 @@ class ExecutionPlan:
                 sl = slice(g.lo, g.hi)
                 if g.k == 1:
                     u = _mv(IA[:, sl], g.axis)               # (n, Lg, 6)
-                    d_inv = 1.0 / np.einsum(
+                    d_inv = 1.0 / xp.einsum(
                         "ls,nls->nl", g.axis, u, optimize=False
                     )
-                    u_tau = tau[:, g.dofs[:, 0]] - np.einsum(
+                    u_tau = tau[:, g.dofs[:, 0]] - xp.einsum(
                         "ls,nls->nl", g.axis, p[:, sl], optimize=False
                     )
                     saved[(lvl.index, gi)] = (u, d_inv, u_tau)
@@ -607,26 +674,26 @@ class ExecutionPlan:
                         )
                 else:
                     u = IA[:, sl] @ g.subspaces              # (n, Lg, 6, k)
-                    d_inv = np.linalg.inv(g.subspaces_t @ u)
+                    d_inv = self.backend.inv(g.subspaces_t @ u)
                     u_tau = (
                         tau[:, g.dofs]
                         - _mv(g.subspaces_t, p[:, sl])
                     )
                     saved[(lvl.index, gi)] = (u, d_inv, u_tau)
                     if not lvl.is_root:
-                        IA[:, sl] -= (u @ d_inv) @ np.swapaxes(u, -1, -2)
+                        IA[:, sl] -= (u @ d_inv) @ xp.swapaxes(u, -1, -2)
                         p[:, sl] += (
                             _mv(IA[:, sl], c[:, sl])
                             + _mv(u, _mv(d_inv, u_tau))
                         )
             if not lvl.is_root:
                 xl = X[:, lo:hi]
-                xt = np.swapaxes(xl, -1, -2)
+                xt = xp.swapaxes(xl, -1, -2)
                 self._scatter_to_parents(p, lvl, _mv(xt, p[:, lo:hi]))
                 self._scatter_to_parents(IA, lvl, (xt @ IA[:, lo:hi]) @ xl)
 
         # Pass 3: accelerations, forward.
-        qdd = np.empty((n, self.nv))
+        qdd = xp.empty((n, self.nv))
         a = ws.v[:n]     # velocities are dead past pass 2; reuse the slab
         for lvl in self.levels:
             lo, hi = lvl.lo, lvl.hi
@@ -641,7 +708,7 @@ class ExecutionPlan:
                 u, d_inv, u_tau = saved[(lvl.index, gi)]
                 if g.k == 1:
                     qdd_g = d_inv * (
-                        u_tau - np.einsum("nls,nls->nl", u, ap[:, sl],
+                        u_tau - xp.einsum("nls,nls->nl", u, ap[:, sl],
                                           optimize=False)
                     )
                     qdd[:, g.dofs[:, 0]] = qdd_g
@@ -649,7 +716,7 @@ class ExecutionPlan:
                 else:
                     qdd_g = _mv(
                         d_inv,
-                        u_tau - _mv(np.swapaxes(u, -1, -2), ap[:, sl]),
+                        u_tau - _mv(xp.swapaxes(u, -1, -2), ap[:, sl]),
                     )
                     qdd[:, g.dofs.reshape(-1)] = qdd_g.reshape(n, -1)
                     a[:, sl] = ap[:, sl] + _mv(g.subspaces, qdd_g)
@@ -669,6 +736,7 @@ class ExecutionPlan:
         those entries are structural zeros of the upper form and the final
         symmetrization reads the upper triangle only.
         """
+        xp = self._xp
         X = ws.X[:n]
         IA, f_acc, out = ws.IA[:n], ws.f_acc[:n], ws.out[:n]
         IA[:] = self.inertias
@@ -684,8 +752,8 @@ class ExecutionPlan:
                 sl = slice(g.lo, g.hi)
                 if g.k == 1:
                     u = _mv(IA[:, sl], g.axis)               # (n, Lg, 6)
-                    d = np.einsum("ls,nls->nl", g.axis, u, optimize=False)
-                    stf = cached_einsum(
+                    d = xp.einsum("ls,nls->nl", g.axis, u, optimize=False)
+                    stf = self._ein(
                         "ls,nlsv->nlv", g.axis, f_acc[:, sl, :, w0:]
                     )
                     if out_minv:
@@ -705,7 +773,7 @@ class ExecutionPlan:
                     else:
                         out[:, g.rows, w0:] = stf
                         out[:, g.rows, g.rows] = d
-                        f_acc[:, g.slots, :, g.dofs[:, 0]] += np.moveaxis(
+                        f_acc[:, g.slots, :, g.dofs[:, 0]] += xp.moveaxis(
                             u, 1, 0
                         )
                 else:
@@ -713,7 +781,7 @@ class ExecutionPlan:
                     d = g.subspaces_t @ u
                     stf = g.subspaces_t @ f_acc[:, sl, :, w0:]
                     if out_minv:
-                        d_inv = np.linalg.inv(d)
+                        d_inv = self.backend.inv(d)
                         out[:, g.rows, w0:] = (
                             -(d_inv @ stf)
                         ).reshape(n, len(g.rows), width)
@@ -725,7 +793,7 @@ class ExecutionPlan:
                         f_acc[:, sl, :, w0:] += u @ og
                         if not lvl.is_root:
                             IA[:, sl] -= (
-                                (u @ d_inv) @ np.swapaxes(u, -1, -2)
+                                (u @ d_inv) @ xp.swapaxes(u, -1, -2)
                             )
                     else:
                         out[:, g.rows, w0:] = stf.reshape(
@@ -734,11 +802,11 @@ class ExecutionPlan:
                         self._write_diag(out, g, d)
                         for j in range(g.k):
                             f_acc[:, g.slots, :, g.dofs[:, j]] += (
-                                np.moveaxis(u[..., j], 1, 0)
+                                xp.moveaxis(u[..., j], 1, 0)
                             )
             if not lvl.is_root:
                 xl = X[:, lo:hi]
-                xt = np.swapaxes(xl, -1, -2)
+                xt = xp.swapaxes(xl, -1, -2)
                 self._scatter_to_parents(
                     f_acc[:, :, :, w0:], lvl, xt @ f_acc[:, lo:hi, :, w0:]
                 )
@@ -747,7 +815,7 @@ class ExecutionPlan:
                 )
 
         if not out_minv:
-            return _symmetrize_from_rows(out)
+            return _symmetrize_from_rows(out, xp)
 
         # Forward sweep (Mf submodules).
         p_prop = ws.p_prop[:n]
@@ -763,7 +831,7 @@ class ExecutionPlan:
                     if not lvl.is_root:
                         u, d_inv = saved[(lvl.index, gi)]
                         xpp_g = xpp[:, g.rel]
-                        out[:, g.rows, w0:] -= d_inv[..., None] * np.einsum(
+                        out[:, g.rows, w0:] -= d_inv[..., None] * xp.einsum(
                             "nls,nlsv->nlv", u, xpp_g, optimize=False
                         )
                     og = out[:, g.rows, w0:]
@@ -772,7 +840,7 @@ class ExecutionPlan:
                     if not lvl.is_root:
                         u, d_inv = saved[(lvl.index, gi)]
                         xpp_g = xpp[:, g.rel]
-                        corr = d_inv @ (np.swapaxes(u, -1, -2) @ xpp_g)
+                        corr = d_inv @ (xp.swapaxes(u, -1, -2) @ xpp_g)
                         out[:, g.rows, w0:] -= corr.reshape(
                             n, len(g.rows), width
                         )
@@ -782,7 +850,7 @@ class ExecutionPlan:
                     p_prop[:, sl, :, w0:] = t
                 else:
                     p_prop[:, sl, :, w0:] = t + xpp[:, g.rel]
-        return _symmetrize_from_rows(out)
+        return _symmetrize_from_rows(out, xp)
 
     @staticmethod
     def _write_diag(out: np.ndarray, g: LevelGroup, d: np.ndarray) -> None:
@@ -806,6 +874,7 @@ class ExecutionPlan:
         one gather and one wide contraction per level; ``DF`` carries the
         ``[df/dq | df/dqd]`` pair the same way.
         """
+        xp = self._xp
         nv = self.nv
         nv2 = 2 * nv
         X = ws.X[:n]
@@ -824,17 +893,17 @@ class ExecutionPlan:
             if lvl.is_root:
                 slab[:] = 0.0
             else:
-                np.matmul(X[:, lo:hi], D[:, lvl.parent_slots], out=slab)
+                xp.matmul(X[:, lo:hi], D[:, lvl.parent_slots], out=slab)
             for g in lvl.groups:
                 if g.k == 1:
                     # One-hot joint terms: a cross product added at the
                     # joint's own column in each stack.
                     if not lvl.is_root:
-                        D[:, g.slots, :, g.dofs[:, 0]] += np.moveaxis(
+                        D[:, g.slots, :, g.dofs[:, 0]] += xp.moveaxis(
                             cross_motion(xv[:, g.lo:g.hi], g.axis), 1, 0
                         )
                     D[:, g.slots, :, nv + g.dofs[:, 0]] += g.axis[:, None]
-                    D[:, g.slots, :, nv2 + g.dofs[:, 0]] += np.moveaxis(
+                    D[:, g.slots, :, nv2 + g.dofs[:, 0]] += xp.moveaxis(
                         cross_motion(xa[:, g.lo:g.hi], g.axis), 1, 0
                     )
                 else:
@@ -849,7 +918,7 @@ class ExecutionPlan:
             slab[..., nv2:] -= cvj[:, lo:hi] @ slab[..., :nv2]
             for g in lvl.groups:
                 if g.k == 1:
-                    D[:, g.slots, :, 3 * nv + g.dofs[:, 0]] += np.moveaxis(
+                    D[:, g.slots, :, 3 * nv + g.dofs[:, 0]] += xp.moveaxis(
                         cross_motion(v[:, g.lo:g.hi], g.axis), 1, 0
                     )
                 else:
@@ -870,7 +939,7 @@ class ExecutionPlan:
             lo, hi = lvl.lo, lvl.hi
             for g in lvl.groups:
                 if g.k == 1:
-                    r = cached_einsum(
+                    r = self._ein(
                         "ls,nlsv->nlv", g.axis, DF[:, g.lo:g.hi]
                     )
                     dtau_q[:, g.rows] = r[..., :nv]
@@ -887,14 +956,14 @@ class ExecutionPlan:
                 # d(X^T f)/dq_i adds X^T (S_k x* f_i) at the joint's own
                 # column, with f_i the accumulated force (the btr term).
                 if g.k == 1:
-                    DF[:, g.slots, :, g.dofs[:, 0]] += np.moveaxis(
+                    DF[:, g.slots, :, g.dofs[:, 0]] += xp.moveaxis(
                         cross_force(g.axis, f[:, g.lo:g.hi]), 1, 0
                     )
                 else:
-                    DF[:, g.lo:g.hi, :, :nv] += cached_einsum(
+                    DF[:, g.lo:g.hi, :, :nv] += self._ein(
                         "lvij,nlj->nliv", lvl.btr[g.rel], f[:, g.lo:g.hi]
                     )
-            xt = np.swapaxes(X[:, lo:hi], -1, -2)
+            xt = xp.swapaxes(X[:, lo:hi], -1, -2)
             self._scatter_to_parents(DF, lvl, xt @ DF[:, lo:hi])
         return dtau_q, dtau_qd
 
@@ -902,33 +971,36 @@ class ExecutionPlan:
     # Table-I functions
     # ------------------------------------------------------------------
 
+    def _operand(self, a):
+        """Stage one task-major operand on the plan's backend."""
+        xp = self._xp
+        return xp.atleast_2d(xp.asarray(a, dtype=float))
+
     def _prep(self, q, qd=None, qdd=None, *groups):
-        q = np.atleast_2d(np.asarray(q, dtype=float))
+        q = self._operand(q)
         n = q.shape[0]
         ws = self.workspace(n, *groups)
         self._stage_transforms(ws, n, q)
         if qd is not None:
-            self._stage_rates(ws, n, np.atleast_2d(np.asarray(qd, float)),
-                              None if qdd is None
-                              else np.atleast_2d(np.asarray(qdd, float)))
+            self._stage_rates(ws, n, self._operand(qd),
+                              None if qdd is None else self._operand(qdd))
         return ws, n
 
-    def id_batch(self, q, qd, qdd, f_ext=None) -> np.ndarray:
+    def id_batch(self, q, qd, qdd, f_ext=None):
         ws, n = self._prep(q, qd, qdd, "rnea")
         return self._rnea(ws, n, f_ext).copy()
 
-    def m_batch(self, q) -> np.ndarray:
+    def m_batch(self, q):
         ws, n = self._prep(q, None, None, "mminv", "ia")
         return self._mminvgen(ws, n, out_minv=False)
 
-    def minv_batch(self, q) -> np.ndarray:
+    def minv_batch(self, q):
         ws, n = self._prep(q, None, None, "mminv", "ia")
         return self._mminvgen(ws, n, out_minv=True)
 
-    def fd_batch(self, q, qd, tau, f_ext=None) -> np.ndarray:
+    def fd_batch(self, q, qd, tau, f_ext=None):
         ws, n = self._prep(q, qd, None, "rnea", "ia")
-        tau = np.atleast_2d(np.asarray(tau, dtype=float))
-        return self._aba(ws, n, tau, f_ext)
+        return self._aba(ws, n, self._operand(tau), f_ext)
 
     def did_batch(self, q, qd, qdd, f_ext=None):
         ws, n = self._prep(q, qd, qdd, "rnea", "deriv")
@@ -937,34 +1009,36 @@ class ExecutionPlan:
         return dtau_q.copy(), dtau_qd.copy()
 
     def dfd_batch(self, q, qd, tau, f_ext=None):
+        xp = self._xp
         ws, n = self._prep(q, qd, None, "rnea", "mminv", "ia", "deriv")
         bias = self._rnea(ws, n, f_ext)
         minv = self._mminvgen(ws, n, out_minv=True)
-        tau = np.atleast_2d(np.asarray(tau, dtype=float))
+        tau = self._operand(tau)
         qdd = _mv(minv, tau - bias)
-        cached_einsum("bsv,nv->nbs", self.sel_all, qdd, out=ws.aj[:n])
+        self._ein("bsv,nv->nbs", self.sel_all, qdd, out=ws.aj[:n])
         self._rnea(ws, n, f_ext, reuse_velocities=True)
         dtau_q, dtau_qd = self._rnea_derivatives(ws, n)
         return (
             qdd,
-            -np.matmul(minv, dtau_q),
-            -np.matmul(minv, dtau_qd),
+            -xp.matmul(minv, dtau_q),
+            -xp.matmul(minv, dtau_qd),
             minv,
         )
 
     def difd_batch(self, q, qd, qdd, minv=None, f_ext=None):
-        qdd = np.atleast_2d(np.asarray(qdd, dtype=float))
+        xp = self._xp
+        qdd = self._operand(qdd)
         ws, n = self._prep(q, qd, qdd, "rnea", "mminv", "ia", "deriv")
         if minv is None:
             minv = self._mminvgen(ws, n, out_minv=True)
         else:
-            minv = np.asarray(minv, dtype=float)
+            minv = xp.asarray(minv, dtype=float)
         self._rnea(ws, n, f_ext)
         dtau_q, dtau_qd = self._rnea_derivatives(ws, n)
         return (
             qdd,
-            -np.matmul(minv, dtau_q),
-            -np.matmul(minv, dtau_qd),
+            -xp.matmul(minv, dtau_q),
+            -xp.matmul(minv, dtau_qd),
             minv,
         )
 
@@ -976,6 +1050,7 @@ class ExecutionPlan:
         """Shape summary for benchmarks and the serve cache."""
         return {
             "robot": self.robot_name,
+            "backend": self.backend.name,
             "links": self.nb,
             "dofs": self.nv,
             "branches": self.n_branches,
@@ -986,7 +1061,8 @@ class ExecutionPlan:
 
     def __repr__(self) -> str:
         return (
-            f"ExecutionPlan({self.robot_name!r}, links={self.nb}, "
+            f"ExecutionPlan({self.robot_name!r}, "
+            f"backend={self.backend.name!r}, links={self.nb}, "
             f"levels={len(self.levels)}, "
             f"widths={[lvl.size for lvl in self.levels]})"
         )
@@ -996,27 +1072,40 @@ class ExecutionPlan:
 # Plan cache
 # ---------------------------------------------------------------------------
 
-_PLAN_CACHE: "weakref.WeakKeyDictionary[RobotModel, ExecutionPlan]" = (
+#: model -> {backend name: plan}.  Weak over models so transient models
+#: can be collected together with every backend variant of their plan.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[RobotModel, dict[str, ExecutionPlan]]" = (
     weakref.WeakKeyDictionary()
 )
 _PLAN_LOCK = threading.Lock()
 
 
-def plan_for(model: RobotModel) -> ExecutionPlan:
-    """The memoized :class:`ExecutionPlan` for ``model``.
+def plan_for(model: RobotModel,
+             backend: str | ArrayBackend | None = None) -> ExecutionPlan:
+    """The memoized :class:`ExecutionPlan` for ``model`` on ``backend``.
 
-    Plans are cached per model instance (weakly, so transient models can
-    be collected); :func:`repro.model.library.load_robot` returns shared
-    instances, so serve traffic for one robot compiles exactly one plan —
-    the software analogue of programming one bitstream per robot.
+    Plans are cached per (model instance, backend name) — weakly over
+    models, so transient models can be collected;
+    :func:`repro.model.library.load_robot` returns shared instances, so
+    serve traffic for one robot compiles exactly one plan per backend —
+    the software analogue of programming one bitstream per robot and
+    cloning it per device type.
     """
-    plan = _PLAN_CACHE.get(model)
-    if plan is None:
-        with _PLAN_LOCK:
-            plan = _PLAN_CACHE.get(model)
-            if plan is None:
-                plan = ExecutionPlan(model)
-                _PLAN_CACHE[model] = plan
+    bk = get_backend(backend)
+    plans = _PLAN_CACHE.get(model)
+    if plans is not None:
+        plan = plans.get(bk.name)
+        if plan is not None:
+            return plan
+    with _PLAN_LOCK:
+        plans = _PLAN_CACHE.get(model)
+        if plans is None:
+            plans = {}
+            _PLAN_CACHE[model] = plans
+        plan = plans.get(bk.name)
+        if plan is None:
+            plan = ExecutionPlan(model, bk)
+            plans[bk.name] = plan
     return plan
 
 

@@ -1,0 +1,469 @@
+"""The ``"process"`` engine: a persistent worker-process pool.
+
+The compiled engine removes almost all Python overhead from a batch, but
+one CPython process still executes one batch at a time: for small
+per-task kernels the numpy ops are too short for released-GIL threading
+to help, which caps the serve runtime's host throughput at a single
+core.  This engine is the multi-core scale-out behind the same
+:class:`~repro.dynamics.engine.Engine` interface — the software analogue
+of replicating the accelerator card:
+
+* **a persistent pool of worker processes** (start method ``"spawn"`` by
+  default — safe regardless of the threads the serve runtime runs;
+  override with ``REPRO_PROCESS_START=fork|forkserver|spawn``).  Workers
+  boot once, on the first real batch, and stay warm.
+* **plans rebuilt per worker**: the :class:`~repro.model.robot.RobotModel`
+  is pickled to each worker exactly once (a few KB), and the worker
+  compiles/caches its own :class:`~repro.dynamics.plan.ExecutionPlan` —
+  nothing process-shared is captured, so the pool is fork/spawn-safe by
+  construction.
+* **shared-memory operand stacks**: the ``(n, ...)`` inputs are written
+  to one :class:`multiprocessing.shared_memory.SharedMemory` block and
+  the outputs to another; workers map views and write their task-row
+  slice ``[lo, hi)`` in place, so operands cross the process boundary
+  without pickling or pipe copies.
+* **batch splitting**: a coalesced batch is divided into contiguous row
+  chunks (at least ``min_chunk`` rows each) and each chunk runs the
+  compiled engine in one worker.  Batches too small to split — or a
+  pool sized to a single core — run inline on the parent's compiled
+  engine with zero IPC, so the engine degrades gracefully to
+  ``"compiled"`` instead of paying for a pointless split.
+
+Numerics are inherited from the compiled engine (same 1e-10 equivalence
+contract against ``"loop"``).  The pool shuts down atexit, or explicitly
+via :meth:`ProcessEngine.shutdown`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+import time
+import traceback
+import weakref
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
+from queue import Empty
+
+from repro.backend import host_backend
+from repro.dynamics.engine import BatchFExt, Engine
+from repro.model.robot import RobotModel
+
+np = host_backend().xp
+
+#: method name -> output shapes as a function of (n, nv).
+_METHOD_OUTPUTS = {
+    "id_batch": lambda n, nv: [(n, nv)],
+    "m_batch": lambda n, nv: [(n, nv, nv)],
+    "minv_batch": lambda n, nv: [(n, nv, nv)],
+    "fd_batch": lambda n, nv: [(n, nv)],
+    "did_batch": lambda n, nv: [(n, nv, nv), (n, nv, nv)],
+    "dfd_batch": lambda n, nv: [(n, nv), (n, nv, nv), (n, nv, nv),
+                                (n, nv, nv)],
+    "difd_batch": lambda n, nv: [(n, nv), (n, nv, nv), (n, nv, nv),
+                                 (n, nv, nv)],
+}
+
+_ALIGN = 64  # byte alignment of packed operands (cache-line friendly)
+
+
+def _pack_layout(entries: list[tuple[str, tuple]]) -> tuple[int, list]:
+    """Back-to-back float64 layout: (total bytes, [(key, offset, shape)])."""
+    layout = []
+    offset = 0
+    for key, shape in entries:
+        layout.append((key, offset, tuple(shape)))
+        nbytes = int(np.prod(shape, dtype=np.int64)) * 8
+        offset += (nbytes + _ALIGN - 1) & ~(_ALIGN - 1)
+    return max(offset, 8), layout
+
+
+def _views(shm: SharedMemory, layout: list) -> dict:
+    """Map ``(key, offset, shape)`` descriptors onto a block's buffer.
+
+    The views alias ``shm.buf``; every view must be dropped before the
+    block is closed (callers keep them inside a narrow scope).
+    """
+    out = {}
+    for key, offset, shape in layout:
+        count = int(np.prod(shape, dtype=np.int64))
+        out[key] = np.frombuffer(
+            shm.buf, dtype=np.float64, count=count, offset=offset
+        ).reshape(shape)
+    return out
+
+
+def _attach_shm(name: str) -> SharedMemory:
+    """Attach an existing shared-memory block (the parent owns cleanup).
+
+    Workers share the parent's resource-tracker process (multiprocessing
+    hands the tracker down), and its name cache is a set — the worker's
+    attach-time registration dedupes against the parent's create-time one
+    and the parent's prompt ``unlink`` balances it, so no tracker
+    gymnastics are needed here.
+    """
+    return SharedMemory(name=name)
+
+
+def _compute_chunk(task: dict, models: dict, shm_in: SharedMemory,
+                   shm_out: SharedMemory) -> None:
+    """Run one row slice on this worker's compiled plan, writing results
+    into the output block.  All shm views live and die in this frame so
+    the caller can close the blocks afterwards."""
+    from repro.dynamics.plan import plan_for
+
+    model = models[task["token"]]
+    # Pinned to the numpy backend: chunk results are written into
+    # host shared memory, so a device-backend process default (e.g. an
+    # inherited REPRO_BACKEND=cupy) must not leak into the workers.
+    plan = plan_for(model, "numpy")
+    inputs = _views(shm_in, task["inputs"])
+    outputs = _views(shm_out, task["outputs"])
+    lo, hi = task["lo"], task["hi"]
+    f_ext = {
+        link: inputs[f"f_ext_{link}"][lo:hi]
+        for link in task["f_ext_links"]
+    } or None
+    method = task["method"]
+    q = inputs["q"][lo:hi]
+    if method in ("m_batch", "minv_batch"):
+        results = (getattr(plan, method)(q),)
+    elif method == "difd_batch":
+        minv = inputs["minv"][lo:hi] if "minv" in inputs else None
+        results = plan.difd_batch(q, inputs["qd"][lo:hi],
+                                  inputs["u"][lo:hi], minv, f_ext)
+    else:
+        results = getattr(plan, method)(q, inputs["qd"][lo:hi],
+                                        inputs["u"][lo:hi], f_ext)
+        if not isinstance(results, tuple):
+            results = (results,)
+    for (key, _, _), value in zip(task["outputs"], results):
+        outputs[key][lo:hi] = value
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker loop: receive chunk tasks until the ``None`` sentinel.
+
+    Models arrive pickled at most once per worker and are cached by
+    token; plans compile lazily per (worker, model) via the worker's own
+    ``plan_for`` memo.
+    """
+    models: dict[str, RobotModel] = {}
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        shm_in = shm_out = None
+        try:
+            if task.get("model_bytes") is not None:
+                models[task["token"]] = pickle.loads(task["model_bytes"])
+            shm_in = _attach_shm(task["shm_in"])
+            shm_out = _attach_shm(task["shm_out"])
+            _compute_chunk(task, models, shm_in, shm_out)
+            result_queue.put((task["task_id"], None))
+        except Exception:
+            result_queue.put((task["task_id"], traceback.format_exc()))
+        finally:
+            for shm in (shm_in, shm_out):
+                if shm is not None:
+                    try:
+                        shm.close()
+                    except BufferError:  # a view leaked on an error path
+                        pass
+
+
+class ProcessEngine(Engine):
+    """Worker-process pool running the compiled engine on batch slices.
+
+    ``n_workers``
+        Pool size; defaults to ``os.cpu_count()``.  A pool sized to one
+        never starts processes — every call runs inline on the parent's
+        compiled engine (the correct degenerate case on single-core
+        hosts).
+    ``min_chunk``
+        Smallest row slice worth shipping to a worker; batches below
+        ``2 * min_chunk`` rows run inline.
+    ``start_method``
+        ``"spawn"`` (default), ``"forkserver"`` or ``"fork"``; also
+        settable via ``REPRO_PROCESS_START``.
+    """
+
+    name = "process"
+
+    def __init__(self, n_workers: int | None = None, min_chunk: int = 32,
+                 start_method: str | None = None,
+                 timeout_s: float = 120.0) -> None:
+        self._n_workers = int(n_workers or os.cpu_count() or 1)
+        self._min_chunk = max(1, int(min_chunk))
+        self._start_method = (
+            start_method
+            or os.environ.get("REPRO_PROCESS_START")
+            or "spawn"
+        )
+        self._timeout_s = timeout_s
+        self._lock = threading.Lock()
+        #: Serializes the send-chunks/drain-completions RPC: concurrent
+        #: dispatchers (serve shard workers share one engine) must not
+        #: steal each other's completions off the shared result queue —
+        #: and one batch already fans out across every core, so there is
+        #: no parallelism left for a second batch anyway.
+        self._dispatch_lock = threading.Lock()
+        self._workers: list = []
+        self._task_queues: list = []
+        self._result_queue = None
+        self._task_counter = 0
+        self._atexit_registered = False
+        #: model -> token; weak so transient models do not pin entries
+        #: (tokens are never reused, so worker caches cannot alias).
+        self._model_tokens: "weakref.WeakKeyDictionary[RobotModel, str]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._token_counter = 0
+        #: per-worker set of model tokens already shipped.
+        self._worker_models: list[set[str]] = []
+        self._inline = None  # lazy CompiledEngine for the no-split path
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def started(self) -> bool:
+        return bool(self._workers)
+
+    def _ensure_pool(self) -> None:
+        """Start the worker pool (idempotent, thread-safe)."""
+        if self._workers:
+            return
+        with self._lock:
+            if self._workers:
+                return
+            ctx = get_context(self._start_method)
+            result_queue = ctx.Queue()
+            workers, queues = [], []
+            for i in range(self._n_workers):
+                tq = ctx.Queue()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(i, tq, result_queue),
+                    name=f"repro-engine-worker-{i}",
+                    daemon=True,
+                )
+                proc.start()
+                queues.append(tq)
+                workers.append(proc)
+            self._result_queue = result_queue
+            self._task_queues = queues
+            self._workers = workers
+            self._worker_models = [set() for _ in workers]
+            if not self._atexit_registered:
+                self._atexit_registered = True
+                atexit.register(self.shutdown)
+
+    def shutdown(self) -> None:
+        """Stop every worker and drop the pool (restartable afterwards)."""
+        with self._lock:
+            workers = self._workers
+            queues = self._task_queues
+            self._workers = []
+            self._task_queues = []
+            self._worker_models = []
+            self._result_queue = None
+        for tq in queues:
+            try:
+                tq.put(None)
+            except Exception:
+                pass
+        for proc in workers:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Dispatch plumbing
+    # ------------------------------------------------------------------
+
+    def _model_token(self, model: RobotModel) -> str:
+        with self._lock:
+            token = self._model_tokens.get(model)
+            if token is None:
+                token = f"{model.name}#{self._token_counter}"
+                self._token_counter += 1
+                self._model_tokens[model] = token
+            return token
+
+    def _inline_engine(self):
+        if self._inline is None:
+            from repro.dynamics.engine import CompiledEngine
+
+            # Same backend pinning as the workers: this engine's results
+            # are host arrays by contract.
+            self._inline = CompiledEngine(backend="numpy")
+        return self._inline
+
+    def _chunks(self, n: int) -> list[tuple[int, int]] | None:
+        """Contiguous row slices, or None when splitting is not worth it."""
+        k = min(self._n_workers, n // self._min_chunk)
+        if k < 2:
+            return None
+        bounds = [round(j * n / k) for j in range(k + 1)]
+        return [(bounds[j], bounds[j + 1]) for j in range(k)]
+
+    def _run_inline(self, model, method, operands, f_ext):
+        engine = self._inline_engine()
+        q = operands["q"]
+        if method in ("m_batch", "minv_batch"):
+            return getattr(engine, method)(model, q)
+        if method == "difd_batch":
+            return engine.difd_batch(model, q, operands["qd"],
+                                     operands["u"], operands.get("minv"),
+                                     f_ext)
+        return getattr(engine, method)(model, q, operands["qd"],
+                                       operands["u"], f_ext)
+
+    def _stage_inputs(self, shm_in: SharedMemory, layout: list,
+                      arrays: dict) -> None:
+        views = _views(shm_in, layout)
+        for key, _, _ in layout:
+            views[key][...] = arrays[key]
+
+    def _read_outputs(self, shm_out: SharedMemory, layout: list) -> tuple:
+        views = _views(shm_out, layout)
+        return tuple(np.array(views[key], copy=True) for key, _, _ in layout)
+
+    def _await_chunks(self, pending: set) -> list[str]:
+        """Drain completions for this call; returns worker tracebacks."""
+        errors = []
+        deadline = time.monotonic() + self._timeout_s
+        while pending:
+            try:
+                task_id, err = self._result_queue.get(timeout=1.0)
+            except Empty:
+                dead = [w.name for w in self._workers if not w.is_alive()]
+                if dead or time.monotonic() > deadline:
+                    self.shutdown()
+                    raise RuntimeError(
+                        "process engine lost its workers"
+                        + (f" (dead: {dead})" if dead else " (timeout)")
+                    ) from None
+                continue
+            pending.discard(task_id)
+            if err is not None:
+                errors.append(err)
+        return errors
+
+    def _run(self, model: RobotModel, method: str, operands: dict,
+             f_ext: BatchFExt | None):
+        """Split one batched call across the pool; returns the host-side
+        output arrays (a tuple for multi-output methods, else one array)."""
+        operands = {
+            key: np.ascontiguousarray(value, dtype=np.float64)
+            for key, value in operands.items() if value is not None
+        }
+        n = operands["q"].shape[0]
+        chunks = self._chunks(n)
+        if chunks is None:
+            return self._run_inline(model, method, operands, f_ext)
+        self._ensure_pool()
+
+        arrays = dict(operands)
+        f_ext_links = sorted(f_ext) if f_ext else []
+        for link in f_ext_links:
+            arrays[f"f_ext_{link}"] = np.ascontiguousarray(
+                f_ext[link], dtype=np.float64
+            )
+        in_bytes, in_layout = _pack_layout(
+            [(key, arr.shape) for key, arr in arrays.items()]
+        )
+        out_bytes, out_layout = _pack_layout([
+            (f"out{j}", shape)
+            for j, shape in enumerate(_METHOD_OUTPUTS[method](n, model.nv))
+        ])
+        shm_in = SharedMemory(create=True, size=in_bytes)
+        shm_out = SharedMemory(create=True, size=out_bytes)
+        try:
+            self._stage_inputs(shm_in, in_layout, arrays)
+            token = self._model_token(model)
+            with self._dispatch_lock:
+                base_id = self._task_counter
+                self._task_counter += len(chunks)
+                pending = set()
+                for j, (lo, hi) in enumerate(chunks):
+                    ship_model = token not in self._worker_models[j]
+                    self._task_queues[j].put({
+                        "task_id": base_id + j,
+                        "method": method,
+                        "token": token,
+                        "model_bytes": (
+                            pickle.dumps(model) if ship_model else None
+                        ),
+                        "shm_in": shm_in.name,
+                        "shm_out": shm_out.name,
+                        "inputs": in_layout,
+                        "outputs": out_layout,
+                        "lo": lo,
+                        "hi": hi,
+                        "f_ext_links": f_ext_links,
+                    })
+                    if ship_model:
+                        self._worker_models[j].add(token)
+                    pending.add(base_id + j)
+                errors = self._await_chunks(pending)
+            if errors:
+                raise RuntimeError(
+                    "process-engine worker failed:\n" + "\n".join(errors)
+                )
+            outputs = self._read_outputs(shm_out, out_layout)
+            return outputs if len(outputs) > 1 else outputs[0]
+        finally:
+            shm_in.close()
+            shm_out.close()
+            shm_in.unlink()
+            shm_out.unlink()
+
+    # ------------------------------------------------------------------
+    # Engine interface
+    # ------------------------------------------------------------------
+
+    def id_batch(self, model, q, qd, qdd, f_ext=None):
+        return self._run(model, "id_batch",
+                         {"q": q, "qd": qd, "u": qdd}, f_ext)
+
+    def m_batch(self, model, q):
+        return self._run(model, "m_batch", {"q": q}, None)
+
+    def minv_batch(self, model, q):
+        return self._run(model, "minv_batch", {"q": q}, None)
+
+    def fd_batch(self, model, q, qd, tau, f_ext=None):
+        return self._run(model, "fd_batch",
+                         {"q": q, "qd": qd, "u": tau}, f_ext)
+
+    def did_batch(self, model, q, qd, qdd, f_ext=None):
+        return self._run(model, "did_batch",
+                         {"q": q, "qd": qd, "u": qdd}, f_ext)
+
+    def dfd_batch(self, model, q, qd, tau, f_ext=None):
+        return self._run(model, "dfd_batch",
+                         {"q": q, "qd": qd, "u": tau}, f_ext)
+
+    def difd_batch(self, model, q, qd, qdd, minv=None, f_ext=None):
+        operands = {"q": q, "qd": qd, "u": qdd}
+        if minv is not None:
+            operands["minv"] = minv
+        return self._run(model, "difd_batch", operands, f_ext)
+
+
+__all__ = ["ProcessEngine"]

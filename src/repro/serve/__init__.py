@@ -31,7 +31,13 @@ Architecture — the life of a request::
       fill before the deadline and relaxes again under sparse traffic.
     * A flushed batch lands on one **shard** — a modeled accelerator
       instance with its own cycle ledger — chosen round-robin or
-      least-loaded; a thread pool (one worker per shard) executes it.
+      cost-aware least-loaded (backlog divided by the shard's throughput
+      weight); a thread pool (one worker per shard) executes it.  Shards
+      are heterogeneous by configuration: :class:`ShardConfig` pins an
+      execution engine and array backend per shard (e.g. one
+      ``"process"`` shard for multi-core batches next to a ``"compiled"``
+      shard), and the engine/backend serving each batch is recorded in
+      metrics and on :class:`ServeResult`.
     * The shard evaluates the batch through an **execution engine**
       (:mod:`repro.dynamics.engine`): by default the structure-compiled
       ``"compiled"`` engine, which replays the robot's cached execution
@@ -66,7 +72,12 @@ from repro.serve.cache import (
 )
 from repro.serve.clients import ClientReport, ClosedLoopClient, OpenLoopClient
 from repro.serve.metrics import LatencySummary, MetricsRegistry, Reservoir
-from repro.serve.pool import ShardPool, ShardState
+from repro.serve.pool import (
+    ShardConfig,
+    ShardPool,
+    ShardState,
+    engine_throughput_hint,
+)
 from repro.serve.request import (
     ServeError,
     ServeRequest,
@@ -95,8 +106,10 @@ __all__ = [
     "ServeResult",
     "ServiceClosed",
     "ServiceOverloaded",
+    "ShardConfig",
     "ShardPool",
     "ShardState",
+    "engine_throughput_hint",
     "format_serve_table",
     "mass_matrix_sparsity",
     "run_serve_load",

@@ -63,12 +63,26 @@ class RobotArtifacts:
     plan: ExecutionPlan
     build_seconds: float
     graphs: dict[RBDFunction, DataflowGraph] = field(default_factory=dict)
+    #: Execution plans keyed by array backend name; ``plans["numpy"]`` is
+    #: :attr:`plan`.  Shards configured for a device backend resolve
+    #: their plan here, so one robot compiles once per backend.
+    plans: dict[str, ExecutionPlan] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.plans.setdefault(self.plan.backend.name, self.plan)
 
     def graph(self, function: RBDFunction) -> DataflowGraph:
         """The per-function pipeline config, memoized on first use."""
         if function not in self.graphs:
             self.graphs[function] = self.accelerator.graph(function)
         return self.graphs[function]
+
+    def plan_on(self, backend: str | None) -> ExecutionPlan:
+        """The execution plan on ``backend`` (built/memoized on first use;
+        shares the process-wide ``plan_for`` memo)."""
+        plan = plan_for(self.model, backend)
+        self.plans.setdefault(plan.backend.name, plan)
+        return plan
 
 
 @dataclass
@@ -96,20 +110,38 @@ class ArtifactCache:
         self._build_locks: dict[str, threading.Lock] = {}
         self.stats = CacheStats()
 
-    def get(self, name: str) -> RobotArtifacts:
-        """The artifact bundle for ``name``, building it on first request."""
+    def get(self, name: str,
+            backend: str | None = None) -> RobotArtifacts:
+        """The artifact bundle for ``name``, building it on first request.
+
+        ``backend`` additionally ensures the robot's execution plan on
+        that array backend is compiled into the bundle (plans are keyed
+        by backend in :attr:`RobotArtifacts.plans`).
+        """
         with self._lock:
             cached = self._artifacts.get(name)
             if cached is not None:
                 self.stats.hits += 1
-                return cached
-            build_lock = self._build_locks.setdefault(name, threading.Lock())
+            else:
+                build_lock = self._build_locks.setdefault(
+                    name, threading.Lock()
+                )
+        if cached is not None:
+            # Plan compilation happens *outside* the map lock (it can
+            # cost as much as a robot build on big trees; plan_for has
+            # its own dedup lock, and the plans dict write is atomic).
+            if backend is not None and backend not in cached.plans:
+                cached.plan_on(backend)
+            return cached
         with build_lock:
             with self._lock:   # a concurrent builder may have won the race
                 cached = self._artifacts.get(name)
                 if cached is not None:
                     self.stats.hits += 1
-                    return cached
+            if cached is not None:
+                if backend is not None and backend not in cached.plans:
+                    cached.plan_on(backend)
+                return cached
             start = time.perf_counter()
             model = load_robot(name)
             accelerator = DaduRBD(model, self.config)
@@ -122,6 +154,8 @@ class ArtifactCache:
                 plan=plan_for(model),
                 build_seconds=time.perf_counter() - start,
             )
+            if backend is not None:
+                artifacts.plan_on(backend)
             with self._lock:
                 self.stats.misses += 1
                 self.stats.build_seconds_total += artifacts.build_seconds

@@ -81,6 +81,11 @@ class MetricsRegistry:
         #: behaviour; request counts weight the mix by actual load).
         self._engine_batches: dict[str, int] = {}
         self._engine_requests: dict[str, int] = {}
+        #: Array backend name -> batches / requests executed on it (one
+        #: entry per serving backend; heterogeneous shard pools show
+        #: their placement mix here).
+        self._backend_batches: dict[str, int] = {}
+        self._backend_requests: dict[str, int] = {}
         self.completed = 0
         self.failed = 0
         self._started_s = time.monotonic()
@@ -103,7 +108,7 @@ class MetricsRegistry:
             self._last_completion_s = now
 
     def record_batch(self, size: int, modeled_makespan_cycles: float,
-                     engine: str = "") -> None:
+                     engine: str = "", backend: str = "") -> None:
         with self._lock:
             self._batch_hist[size] = self._batch_hist.get(size, 0) + 1
             self._batch_requests += size
@@ -114,6 +119,13 @@ class MetricsRegistry:
                 )
                 self._engine_requests[engine] = (
                     self._engine_requests.get(engine, 0) + size
+                )
+            if backend:
+                self._backend_batches[backend] = (
+                    self._backend_batches.get(backend, 0) + 1
+                )
+                self._backend_requests[backend] = (
+                    self._backend_requests.get(backend, 0) + size
                 )
 
     def record_failure(self, count: int = 1) -> None:
@@ -146,6 +158,16 @@ class MetricsRegistry:
         """Engine name -> number of requests that engine served."""
         with self._lock:
             return dict(self._engine_requests)
+
+    def backend_batches(self) -> dict[str, int]:
+        """Backend name -> number of batches executed on it."""
+        with self._lock:
+            return dict(self._backend_batches)
+
+    def backend_requests(self) -> dict[str, int]:
+        """Backend name -> number of requests executed on it."""
+        with self._lock:
+            return dict(self._backend_requests)
 
     def mean_occupancy(self) -> float:
         with self._lock:
@@ -198,4 +220,6 @@ class MetricsRegistry:
             "wall_throughput_rps": self.wall_throughput_rps(),
             "engine_batches": self.engine_batches(),
             "engine_requests": self.engine_requests(),
+            "backend_batches": self.backend_batches(),
+            "backend_requests": self.backend_requests(),
         }

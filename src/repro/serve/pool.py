@@ -8,9 +8,19 @@ and coalesced batches are placed on a shard by policy:
 
 * ``round_robin`` — cyclic assignment, oblivious but fair for uniform
   batches;
-* ``least_loaded`` — place on the shard with the smallest outstanding
-  modeled backlog (in-flight batches plus accumulated busy cycles),
-  better when batch sizes or functions are mixed.
+* ``least_loaded`` — place on the shard with the smallest *cost-aware*
+  outstanding backlog: in-flight requests and accumulated busy cycles,
+  each divided by the shard's throughput weight.  With homogeneous
+  shards this degenerates to the classic least-backlog rule; with
+  heterogeneous shards (per-shard engines/backends via
+  :class:`ShardConfig`) a fast shard absorbs proportionally more work
+  before it stops being "least loaded".
+
+Shards are heterogeneous by configuration: :class:`ShardConfig` names
+the execution engine and array backend each shard evaluates batches
+with (``None`` fields inherit the service defaults), plus an optional
+explicit throughput weight; absent a weight the per-engine hints in
+:func:`engine_throughput_hint` seed the cost model.
 
 Execution is thread-pool backed (one worker per shard, so per-shard
 serialization matches the hardware's one-batch-at-a-time pipeline fill).
@@ -20,10 +30,58 @@ bundles — replicating a bitstream, not rebuilding it.
 
 from __future__ import annotations
 
+import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Per-shard execution configuration.
+
+    ``engine``
+        Engine name this shard evaluates batches with (``"loop"``,
+        ``"vectorized"``, ``"compiled"``, ``"process"``); ``None``
+        inherits the service's engine.
+    ``backend``
+        Array backend name for the shard's plans (:mod:`repro.backend`);
+        ``None`` inherits the service's backend.  Only the compiled
+        engine is backend-portable — host engines record ``"numpy"``.
+    ``throughput_weight``
+        Relative sustained-throughput estimate used by the cost-aware
+        ``least_loaded`` policy; ``None`` falls back to the per-engine
+        hint (:func:`engine_throughput_hint`).
+    """
+
+    engine: str | None = None
+    backend: str | None = None
+    throughput_weight: float | None = None
+
+
+#: Relative single-batch throughput priors per engine, host-normalized to
+#: the loop reference.  Deliberately coarse — they only have to order the
+#: engines sensibly until real measurements arrive; an explicit
+#: ``ShardConfig.throughput_weight`` always wins.
+_ENGINE_HINTS = {
+    "loop": 1.0,
+    "vectorized": 8.0,
+    "compiled": 12.0,
+}
+
+
+def engine_throughput_hint(engine) -> float:
+    """Throughput prior for an engine instance (by name, duck-typed).
+
+    The process engine scales with its worker count; unknown engines get
+    the neutral weight 1.0.
+    """
+    name = getattr(engine, "name", str(engine))
+    if name == "process":
+        workers = getattr(engine, "n_workers", None) or os.cpu_count() or 1
+        return _ENGINE_HINTS["compiled"] * max(int(workers), 1)
+    return _ENGINE_HINTS.get(name, 1.0)
 
 
 @dataclass
@@ -34,23 +92,49 @@ class ShardState:
     dispatched_batches: int = 0
     dispatched_requests: int = 0
     inflight: int = 0
+    #: Requests dispatched to this shard and not yet executed — the unit
+    #: the cost-aware placement divides by the throughput weight.
+    inflight_requests: int = 0
     busy_cycles: float = 0.0
+    #: Engine/backend this shard executes with (recorded by the service
+    #: when it resolves the shard configs; placement and stats read it).
+    engine_name: str = ""
+    backend_name: str = ""
+    #: Relative throughput estimate for cost-aware placement.
+    weight: float = 1.0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def begin(self, n_requests: int) -> None:
         with self._lock:
             self.inflight += 1
+            self.inflight_requests += n_requests
             self.dispatched_batches += 1
             self.dispatched_requests += n_requests
 
-    def finish(self, makespan_cycles: float) -> None:
+    def finish(self, makespan_cycles: float, n_requests: int) -> None:
+        """Close out one batch; ``n_requests`` must mirror :meth:`begin`
+        (required, so a drifted call site fails loudly instead of
+        leaking phantom inflight requests into the cost model)."""
         with self._lock:
             self.inflight -= 1
+            self.inflight_requests -= n_requests
             self.busy_cycles += makespan_cycles
 
     def backlog(self) -> tuple[int, float]:
         with self._lock:
             return (self.inflight, self.busy_cycles)
+
+    def cost_score(self) -> tuple[float, float]:
+        """Estimated time-to-drain, in throughput-weighted units.
+
+        Primary key: queued request count over the shard's throughput
+        weight (a 4x-faster shard tolerates a 4x-deeper queue); busy
+        cycles break ties the same way so an idle-but-historically-busy
+        shard still ranks behind a fresh one.
+        """
+        with self._lock:
+            w = self.weight if self.weight > 0 else 1.0
+            return (self.inflight_requests / w, self.busy_cycles / w)
 
 
 class ShardPool:
@@ -58,7 +142,11 @@ class ShardPool:
 
     POLICIES = ("round_robin", "least_loaded")
 
-    def __init__(self, n_shards: int = 2, policy: str = "round_robin") -> None:
+    def __init__(self, n_shards: int = 2, policy: str = "round_robin",
+                 shard_configs: list[ShardConfig] | None = None) -> None:
+        if shard_configs:
+            # An explicit config list defines the pool size.
+            n_shards = len(shard_configs)
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if policy not in self.POLICIES:
@@ -66,6 +154,9 @@ class ShardPool:
                 f"unknown policy {policy!r}; choose from {self.POLICIES}"
             )
         self.policy = policy
+        self.shard_configs = tuple(
+            shard_configs or (ShardConfig(),) * n_shards
+        )
         self.shards = [ShardState(i) for i in range(n_shards)]
         self._rr_next = 0
         self._lock = threading.Lock()
@@ -94,7 +185,7 @@ class ShardPool:
             shard = self.shards[self._rr_next]
             self._rr_next = (self._rr_next + 1) % len(self.shards)
             return shard
-        return min(self.shards, key=lambda s: s.backlog())
+        return min(self.shards, key=lambda s: s.cost_score())
 
     def dispatch(self, n_requests: int,
                  work: Callable[[ShardState], float]) -> Future:
@@ -113,12 +204,26 @@ class ShardPool:
                 makespan = work(shard)
                 return makespan
             finally:
-                shard.finish(makespan)
+                shard.finish(makespan, n_requests)
 
         return self._executors[shard.index].submit(run)
 
     def busy_cycles(self) -> list[float]:
         return [s.backlog()[1] for s in self.shards]
+
+    def describe(self) -> list[dict]:
+        """Per-shard placement view: engine, backend, weight, ledger."""
+        return [
+            {
+                "shard": s.index,
+                "engine": s.engine_name,
+                "backend": s.backend_name,
+                "weight": s.weight,
+                "dispatched_requests": s.dispatched_requests,
+                "busy_cycles": s.backlog()[1],
+            }
+            for s in self.shards
+        ]
 
     def shutdown(self) -> None:
         for executor in self._executors:

@@ -88,3 +88,5 @@ class ServeResult:
     #: Name of the execution engine that served the batch (see
     #: :mod:`repro.dynamics.engine`).
     engine: str = ""
+    #: Array backend the batch executed on (see :mod:`repro.backend`).
+    backend: str = ""

@@ -30,16 +30,28 @@ from concurrent.futures import Future, InvalidStateError
 
 import numpy as np
 
+from repro.backend import BackendCapabilityError, get_backend
 from repro.core.config import AcceleratorConfig, PAPER_CONFIG
 from repro.core.functions import BatchProfile
 from repro.core.scheduler import serial_chains
 from repro.dynamics import BatchStates, batch_evaluate
-from repro.dynamics.engine import Engine, default_engine_explicit, get_engine
+from repro.dynamics.batch import stack_rows
+from repro.dynamics.engine import (
+    CompiledEngine,
+    Engine,
+    default_engine_explicit,
+    get_engine,
+)
 from repro.dynamics.functions import RBDFunction
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
 from repro.serve.cache import ArtifactCache, RobotArtifacts
 from repro.serve.metrics import MetricsRegistry
-from repro.serve.pool import ShardPool, ShardState
+from repro.serve.pool import (
+    ShardConfig,
+    ShardPool,
+    ShardState,
+    engine_throughput_hint,
+)
 from repro.model.library import load_robot
 from repro.serve.request import (
     ServeRequest,
@@ -60,6 +72,8 @@ class DynamicsService:
         config: AcceleratorConfig = PAPER_CONFIG,
         warm_robots: list[str] | None = None,
         engine: str | Engine | None = None,
+        backend: str | None = None,
+        shard_configs: list[ShardConfig] | None = None,
     ) -> None:
         self.policy = policy or BatchPolicy()
         self.config = config
@@ -70,9 +84,28 @@ class DynamicsService:
         if engine is None and not default_engine_explicit():
             engine = "compiled"
         self.engine = get_engine(engine)
+        #: Default array backend shard plans execute on (validated here
+        #: so a typo or an uninstalled runtime fails at construction).
+        self.backend_name = get_backend(backend).name
         self.cache = ArtifactCache(config)
         self.batcher = DynamicBatcher(self.policy)
-        self.pool = ShardPool(n_shards, shard_policy)
+        self.pool = ShardPool(n_shards, shard_policy, shard_configs)
+        #: Per-shard engine instances / backend names, resolved from the
+        #: shard configs (``None`` fields inherit the service defaults).
+        self._shard_engines: list[Engine] = []
+        self._shard_backends: list[str] = []
+        for index, shard_config in enumerate(self.pool.shard_configs):
+            eng, backend_name = self._resolve_shard(shard_config)
+            self._shard_engines.append(eng)
+            self._shard_backends.append(backend_name)
+            shard = self.pool.shards[index]
+            shard.engine_name = eng.name
+            shard.backend_name = backend_name
+            shard.weight = (
+                shard_config.throughput_weight
+                if shard_config.throughput_weight is not None
+                else engine_throughput_hint(eng)
+            )
         self.metrics = MetricsRegistry()
         self._profiles: dict[tuple[str, RBDFunction, int, bool], BatchProfile] = {}
         self._profile_lock = threading.Lock()
@@ -95,6 +128,39 @@ class DynamicsService:
         if warm_robots:
             self.cache.warm(warm_robots)
         self._flusher.start()
+
+    def _resolve_shard(self, shard_config: ShardConfig) -> tuple[Engine, str]:
+        """Resolve one :class:`ShardConfig` to (engine instance, backend).
+
+        A shard naming a non-default backend gets its own compiled-engine
+        instance bound to that backend (the compiled engine is the
+        backend-portable one); host-bound engines (loop, vectorized,
+        process) always record ``"numpy"``.
+        """
+        backend = (
+            get_backend(shard_config.backend)
+            if shard_config.backend is not None
+            else get_backend(self.backend_name)
+        )
+        backend_name = backend.name
+        engine = (
+            get_engine(shard_config.engine)
+            if shard_config.engine is not None else self.engine
+        )
+        if engine.name == "compiled":
+            # Fail at construction, not on the first batch: the compiled
+            # engine's plans require in-place arrays (jax is immutable).
+            if not backend.capabilities.inplace:
+                raise BackendCapabilityError(
+                    f"shard backend {backend_name!r} has immutable arrays;"
+                    f" the {engine.name!r} engine requires an in-place"
+                    " backend (numpy or cupy)"
+                )
+            if backend_name != getattr(engine, "backend_name", "numpy"):
+                engine = CompiledEngine(backend=backend_name)
+        else:
+            backend_name = "numpy"
+        return engine, backend_name
 
     # ------------------------------------------------------------------
     # Client API
@@ -304,6 +370,8 @@ class DynamicsService:
             "flushed_timeout": self.batcher.stats.flushed_timeout,
             "effective_wait_s": self.batcher.effective_wait_s,
             "engine": self.engine.name,
+            "backend": self.backend_name,
+            "shards": self.pool.describe(),
             "cache_hits": self.cache.stats.hits,
             "cache_misses": self.cache.stats.misses,
             "modeled_throughput_rps": self.modeled_throughput_rps(),
@@ -398,26 +466,33 @@ class DynamicsService:
     def _execute_inner(self, shard: ShardState, batch: list[ServeRequest],
                        chained: bool) -> float:
         function = batch[0].function
+        engine = self._shard_engines[shard.index]
+        backend_name = self._shard_backends[shard.index]
         try:
-            artifacts = self.cache.get(batch[0].robot)
+            artifacts = self.cache.get(batch[0].robot, backend=backend_name)
             model = artifacts.model
             nv = model.nv
-            q = np.stack([r.q for r in batch])
-            qd = np.stack([
-                np.zeros(nv) if r.qd is None else np.asarray(r.qd, dtype=float)
-                for r in batch
-            ])
-            u = np.stack([
-                np.zeros(nv) if r.u is None else np.asarray(r.u, dtype=float)
-                for r in batch
-            ])
+            zero = np.zeros(nv)
+            # stack_rows coerces to C-contiguous float64 and names the
+            # offending request on a per-row shape mismatch.
+            q = stack_rows("q", [r.q for r in batch], (nv,))
+            qd = stack_rows(
+                "qd", [zero if r.qd is None else r.qd for r in batch], (nv,)
+            )
+            u = stack_rows(
+                "u", [zero if r.u is None else r.u for r in batch], (nv,)
+            )
             minv = None
-            if any(r.minv is not None for r in batch):
-                minv = np.stack([np.asarray(r.minv, dtype=float) for r in batch])
+            if all(r.minv is not None for r in batch):
+                minv = stack_rows("minv", [r.minv for r in batch], (nv, nv))
+            # A mixed batch (some requests carrying minv, some not —
+            # unreachable via submit()'s validation today, but cheap to
+            # be safe against) falls back to engine-side Minv: correct
+            # for everyone instead of failing the whole batch.
             f_ext = self._stack_f_ext(batch)
             values = batch_evaluate(
                 model, function, BatchStates(q, qd), u, minv=minv,
-                f_ext=f_ext, engine=self.engine,
+                f_ext=f_ext, engine=engine,
             )
             profile = self._profile(artifacts, function, len(batch), chained)
         except Exception as exc:  # resolve every future, never hang a client
@@ -427,7 +502,7 @@ class DynamicsService:
             self.metrics.record_failure(len(batch))
             return 0.0
         self.metrics.record_batch(len(batch), profile.makespan_cycles,
-                                  engine=self.engine.name)
+                                  engine=engine.name, backend=backend_name)
         modeled_s = self.config.cycles_to_seconds(profile.mean_latency_cycles)
         now = time.monotonic()
         for r, value in zip(batch, values):
@@ -448,7 +523,8 @@ class DynamicsService:
                     modeled_makespan_cycles=profile.makespan_cycles,
                     batch_size=len(batch),
                     shard=shard.index,
-                    engine=self.engine.name,
+                    engine=engine.name,
+                    backend=backend_name,
                 ))
             except InvalidStateError:
                 continue        # cancellation raced; don't strand batchmates

@@ -16,10 +16,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.backend import host_backend
 from repro.errors import ModelError
 from repro.spatial.so3 import skew
+
+#: Inertias are model data: they live on the host (the compilation
+#: substrate) and are transferred to a device backend, if any, when an
+#: execution plan stacks them.  Routed through the shim so this module
+#: carries no direct numpy dependency.
+np = host_backend().xp
 
 
 @dataclass(frozen=True)

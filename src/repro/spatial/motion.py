@@ -7,54 +7,60 @@ Featherstone's notation.
 
 Every operator broadcasts over leading batch axes: ``(..., 6)`` inputs give
 ``(..., 6, 6)`` operators / ``(..., 6)`` products, so one call applies the
-operation to a whole task batch at once.
+operation to a whole task batch at once.  Array math routes through
+:mod:`repro.backend` — the namespace of the operands decides where the
+operators are built (host numpy, or an in-place device backend like
+cupy; immutable-array backends resolve to the host).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.backend import array_namespace
 from repro.spatial.so3 import skew
 
 
-def crm(v: np.ndarray) -> np.ndarray:
+def crm(v):
     """6x6 motion cross-product operator: ``crm(v) @ m == v x m``."""
-    v = np.asarray(v, dtype=float)
+    xp = array_namespace(v)
+    v = xp.asarray(v, dtype=float)
     sw = skew(v[..., :3])
     sv = skew(v[..., 3:])
-    out = np.zeros(v.shape[:-1] + (6, 6))
+    out = xp.zeros(v.shape[:-1] + (6, 6))
     out[..., :3, :3] = sw
     out[..., 3:, :3] = sv
     out[..., 3:, 3:] = sw
     return out
 
 
-def crf(v: np.ndarray) -> np.ndarray:
+def crf(v):
     """6x6 force cross-product operator: ``crf(v) @ f == v x* f == -crm(v).T @ f``."""
-    return -np.swapaxes(crm(v), -1, -2)
+    xp = array_namespace(v)
+    return -xp.swapaxes(crm(v), -1, -2)
 
 
-def cross_motion(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def cross_motion(a, b):
     """``a x b`` for motion vectors, without building the 6x6 operator."""
-    a = np.asarray(a, dtype=float)
-    b = np.asarray(b, dtype=float)
+    xp = array_namespace(a, b)
+    a = xp.asarray(a, dtype=float)
+    b = xp.asarray(b, dtype=float)
     w, v = a[..., :3], a[..., 3:]
-    top = np.cross(w, b[..., :3])
-    bottom = np.cross(v, b[..., :3]) + np.cross(w, b[..., 3:])
-    return np.concatenate([top, bottom], axis=-1)
+    top = xp.cross(w, b[..., :3])
+    bottom = xp.cross(v, b[..., :3]) + xp.cross(w, b[..., 3:])
+    return xp.concatenate([top, bottom], axis=-1)
 
 
-def cross_force(a: np.ndarray, f: np.ndarray) -> np.ndarray:
+def cross_force(a, f):
     """``a x* f`` for a motion vector ``a`` acting on a force vector ``f``."""
-    a = np.asarray(a, dtype=float)
-    f = np.asarray(f, dtype=float)
+    xp = array_namespace(a, f)
+    a = xp.asarray(a, dtype=float)
+    f = xp.asarray(f, dtype=float)
     w, v = a[..., :3], a[..., 3:]
-    top = np.cross(w, f[..., :3]) + np.cross(v, f[..., 3:])
-    bottom = np.cross(w, f[..., 3:])
-    return np.concatenate([top, bottom], axis=-1)
+    top = xp.cross(w, f[..., :3]) + xp.cross(v, f[..., 3:])
+    bottom = xp.cross(w, f[..., 3:])
+    return xp.concatenate([top, bottom], axis=-1)
 
 
-def crf_bar(f: np.ndarray) -> np.ndarray:
+def crf_bar(f):
     """Operator with ``crf_bar(f) @ a == a x* f`` (swaps the arguments of crf).
 
     Used by the analytical derivatives: the term ``(d_u v) x* (I v)`` becomes
@@ -64,10 +70,11 @@ def crf_bar(f: np.ndarray) -> np.ndarray:
         crf_bar(f) = -[[skew(n), skew(g)],
                        [skew(g), 0      ]]
     """
-    f = np.asarray(f, dtype=float)
+    xp = array_namespace(f)
+    f = xp.asarray(f, dtype=float)
     sn = skew(f[..., :3])
     sg = skew(f[..., 3:])
-    out = np.zeros(f.shape[:-1] + (6, 6))
+    out = xp.zeros(f.shape[:-1] + (6, 6))
     out[..., :3, :3] = -sn
     out[..., :3, 3:] = -sg
     out[..., 3:, :3] = -sg

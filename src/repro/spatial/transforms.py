@@ -13,100 +13,111 @@ is simply ``X.T`` (Algorithm 1, line 8).
 All constructors and converters broadcast over leading batch axes: passing
 ``E`` of shape ``(..., 3, 3)`` / ``r`` of shape ``(..., 3)`` yields
 ``(..., 6, 6)`` transforms, one per batch element.  The scalar (unbatched)
-signatures are unchanged.
+signatures are unchanged.  Array math routes through :mod:`repro.backend`
+(operand namespace dispatch), so the constructors serve host arrays and
+in-place device arrays alike (immutable-array backends resolve to the
+host).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.backend import array_namespace
 from repro.spatial.so3 import skew
 
 
-def rot(e: np.ndarray) -> np.ndarray:
+def rot(e):
     """Spatial transform for a pure rotation ``E`` (``(..., 3, 3)`` ok)."""
-    e = np.asarray(e, dtype=float)
-    out = np.zeros(e.shape[:-2] + (6, 6))
+    xp = array_namespace(e)
+    e = xp.asarray(e, dtype=float)
+    out = xp.zeros(e.shape[:-2] + (6, 6))
     out[..., :3, :3] = e
     out[..., 3:, 3:] = e
     return out
 
 
-def xlt(r: np.ndarray) -> np.ndarray:
+def xlt(r):
     """Spatial transform for a pure translation by ``r`` (in A coordinates)."""
-    r = np.asarray(r, dtype=float)
-    out = np.zeros(r.shape[:-1] + (6, 6))
-    out[..., :3, :3] = np.eye(3)
-    out[..., 3:, 3:] = np.eye(3)
+    xp = array_namespace(r)
+    r = xp.asarray(r, dtype=float)
+    out = xp.zeros(r.shape[:-1] + (6, 6))
+    out[..., :3, :3] = xp.eye(3)
+    out[..., 3:, 3:] = xp.eye(3)
     out[..., 3:, :3] = -skew(r)
     return out
 
 
-def spatial_transform(e: np.ndarray, r: np.ndarray) -> np.ndarray:
+def spatial_transform(e, r):
     """``rot(e) @ xlt(r)`` built directly (no 6x6 multiply)."""
-    e = np.asarray(e, dtype=float)
-    r = np.asarray(r, dtype=float)
-    shape = np.broadcast_shapes(e.shape[:-2], r.shape[:-1])
-    out = np.zeros(shape + (6, 6))
+    xp = array_namespace(e, r)
+    e = xp.asarray(e, dtype=float)
+    r = xp.asarray(r, dtype=float)
+    shape = xp.broadcast_shapes(e.shape[:-2], r.shape[:-1])
+    out = xp.zeros(shape + (6, 6))
     out[..., :3, :3] = e
     out[..., 3:, :3] = -e @ skew(r)
     out[..., 3:, 3:] = e
     return out
 
 
-def transform_rotation(x: np.ndarray) -> np.ndarray:
+def transform_rotation(x):
     """Extract the rotation block ``E`` from a spatial transform."""
-    return np.asarray(x)[..., :3, :3]
+    xp = array_namespace(x)
+    return xp.asarray(x)[..., :3, :3]
 
 
-def transform_translation(x: np.ndarray) -> np.ndarray:
+def transform_translation(x):
     """Extract the translation ``r`` (B origin in A coordinates)."""
-    x = np.asarray(x)
+    xp = array_namespace(x)
+    x = xp.asarray(x)
     e = x[..., :3, :3]
-    m = np.swapaxes(e, -1, -2) @ x[..., 3:, :3]  # equals -skew(r)
-    return -np.stack([m[..., 2, 1], m[..., 0, 2], m[..., 1, 0]], axis=-1)
+    m = xp.swapaxes(e, -1, -2) @ x[..., 3:, :3]  # equals -skew(r)
+    return -xp.stack([m[..., 2, 1], m[..., 0, 2], m[..., 1, 0]], axis=-1)
 
 
-def inverse_transform(x: np.ndarray) -> np.ndarray:
+def inverse_transform(x):
     """Inverse of a Plücker motion transform, computed blockwise."""
-    x = np.asarray(x, dtype=float)
+    xp = array_namespace(x)
+    x = xp.asarray(x, dtype=float)
     e = x[..., :3, :3]
     b = x[..., 3:, :3]
-    out = np.zeros(x.shape[:-2] + (6, 6))
-    out[..., :3, :3] = np.swapaxes(e, -1, -2)
-    out[..., 3:, :3] = np.swapaxes(b, -1, -2)
-    out[..., 3:, 3:] = np.swapaxes(e, -1, -2)
+    out = xp.zeros(x.shape[:-2] + (6, 6))
+    out[..., :3, :3] = xp.swapaxes(e, -1, -2)
+    out[..., 3:, :3] = xp.swapaxes(b, -1, -2)
+    out[..., 3:, 3:] = xp.swapaxes(e, -1, -2)
     return out
 
 
-def force_transform(x: np.ndarray) -> np.ndarray:
+def force_transform(x):
     """Force-coordinate transform associated with motion transform ``x``.
 
     If ``x = ^BX_A`` maps motions A->B then ``force_transform(x)`` maps
     forces A->B and equals ``inverse_transform(x).T``.
     """
-    return np.swapaxes(inverse_transform(x), -1, -2)
+    xp = array_namespace(x)
+    return xp.swapaxes(inverse_transform(x), -1, -2)
 
 
-def is_spatial_transform(x: np.ndarray, tol: float = 1e-8) -> bool:
+def is_spatial_transform(x, tol: float = 1e-8) -> bool:
     """True when ``x`` has valid Plücker structure (rotation blocks, zero TR)."""
-    x = np.asarray(x, dtype=float)
+    xp = array_namespace(x)
+    x = xp.asarray(x, dtype=float)
     if x.shape != (6, 6):
         return False
     e1 = x[:3, :3]
     e2 = x[3:, 3:]
-    if not np.allclose(e1, e2, atol=tol):
+    if not xp.allclose(e1, e2, atol=tol):
         return False
-    if not np.allclose(x[:3, 3:], 0.0, atol=tol):
+    if not xp.allclose(x[:3, 3:], 0.0, atol=tol):
         return False
-    if not np.allclose(e1 @ e1.T, np.eye(3), atol=tol):
+    if not xp.allclose(e1 @ e1.T, xp.eye(3), atol=tol):
         return False
     # The bottom-left block must be -E @ skew(r) for some r, i.e. E.T @ B
     # must be skew-symmetric.
     m = e1.T @ x[3:, :3]
-    return bool(np.allclose(m, -m.T, atol=tol))
+    return bool(xp.allclose(m, -m.T, atol=tol))
 
 
-def motion_transform_matrix(x: np.ndarray, vecs: np.ndarray) -> np.ndarray:
+def motion_transform_matrix(x, vecs):
     """Transform one motion vector or a stack of column motion vectors."""
-    return np.asarray(x) @ np.asarray(vecs)
+    xp = array_namespace(x, vecs)
+    return xp.asarray(x) @ xp.asarray(vecs)

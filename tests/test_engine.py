@@ -132,7 +132,9 @@ class TestEngineEquivalence:
 
 class TestEngineSelection:
     def test_registry_contents(self):
-        assert available_engines() == ("compiled", "loop", "vectorized")
+        assert available_engines() == (
+            "compiled", "loop", "process", "vectorized"
+        )
         assert isinstance(get_engine("loop"), LoopEngine)
         assert isinstance(get_engine("vectorized"), VectorizedEngine)
         assert isinstance(get_engine("compiled"), CompiledEngine)

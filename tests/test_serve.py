@@ -140,9 +140,22 @@ class TestShardPool:
         pool = ShardPool(2, "least_loaded")
         pool.shards[0].begin(4)
         assert pool.select().index == 1
-        pool.shards[0].finish(1000.0)
+        pool.shards[0].finish(1000.0, 4)
         # Shard 0 now idle but carries busy cycles; shard 1 is cheaper.
+        assert pool.shards[0].inflight_requests == 0
         assert pool.select().index == 1
+        pool.shutdown()
+
+    def test_cost_aware_least_loaded_weights(self):
+        """A faster shard absorbs proportionally more backlog before it
+        stops being least loaded."""
+        pool = ShardPool(2, "least_loaded")
+        pool.shards[0].weight = 10.0     # e.g. a process-engine shard
+        pool.shards[1].weight = 1.0
+        pool.shards[0].begin(8)          # 8/10 = 0.8 weighted backlog
+        assert pool.select().index == 1  # 0 < 0.8: idle shard still wins
+        pool.shards[1].begin(1)          # 1/1 = 1.0 > 0.8
+        assert pool.select().index == 0  # fast shard absorbs more
         pool.shutdown()
 
     def test_dispatch_credits_ledger(self):
