@@ -10,6 +10,8 @@ Examples::
     python -m repro serve-bench iiwa --function FD --requests 512
     python -m repro serve-bench hyq --requests 256 --shards 4 \\
         --shard-policy least_loaded
+    python -m repro rollout-bench --batch 256 --horizon 16
+    python -m repro rollout-bench --workload quadruped_contact
 
 ``engines`` probes the execution-engine registry and the array backends
 (:mod:`repro.backend`): which engines are selectable, whether cupy/jax
@@ -148,6 +150,32 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_rollout_bench(args: argparse.Namespace) -> int:
+    from repro.rollout.bench import (
+        SPEEDUP_TARGET,
+        format_rollout_table,
+        run_rollout_bench,
+    )
+
+    workloads = (
+        [args.workload] if args.workload
+        else ["serial", "quadruped_contact"]
+    )
+    print(f"rollout-bench: batch {args.batch}, horizon {args.horizon}, "
+          f"engine {args.engine}")
+    rows = [
+        run_rollout_bench(workload, batch=args.batch, horizon=args.horizon,
+                          engine=args.engine,
+                          baseline_tasks=args.baseline_tasks)
+        for workload in workloads
+    ]
+    print(format_rollout_table(rows).render())
+    best = max(row["speedup"] for row in rows)
+    print(f"\nbest batched-rollout speedup: {best:.1f}x "
+          f"(target {SPEEDUP_TARGET:.0f}x at batch 256)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Dadu-RBD reproduction CLI"
@@ -188,6 +216,18 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--shard-policy", default="round_robin",
                        choices=("round_robin", "least_loaded"))
     serve.set_defaults(handler=cmd_serve_bench)
+
+    rollout = sub.add_parser(
+        "rollout-bench",
+        help="benchmark batched trajectory rollouts vs per-task stepping",
+    )
+    rollout.add_argument("--workload", default=None,
+                         choices=("serial", "quadruped_contact"))
+    rollout.add_argument("--batch", type=int, default=64)
+    rollout.add_argument("--horizon", type=int, default=16)
+    rollout.add_argument("--engine", default="compiled")
+    rollout.add_argument("--baseline-tasks", type=int, default=4)
+    rollout.set_defaults(handler=cmd_rollout_bench)
 
     args = parser.parse_args(argv)
     return args.handler(args)

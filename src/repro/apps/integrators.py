@@ -139,6 +139,10 @@ def rk4_sensitivity_step(
     return LinearizedStep(new_state, a_matrix, b_matrix)
 
 
+#: Scalar step function -> the batched rollout scheme it corresponds to.
+_SCHEME_OF_METHOD = {euler_step: "semi_implicit", rk4_step: "rk4"}
+
+
 def rollout(
     model: RobotModel,
     initial: State,
@@ -146,8 +150,51 @@ def rollout(
     dt: float,
     method=rk4_step,
 ) -> list[State]:
-    """Integrate a control sequence; returns states including the initial."""
-    states = [initial]
-    for tau in controls:
-        states.append(method(model, states[-1], tau, dt))
-    return states
+    """Integrate a control sequence; returns states including the initial.
+
+    The built-in methods (:func:`euler_step`, :func:`rk4_step`) execute
+    through the batched rollout subsystem (:mod:`repro.rollout`) as a
+    batch of one — same trajectory, engine-native kernels; custom step
+    functions fall back to the serial per-step loop.
+    """
+    scheme = _SCHEME_OF_METHOD.get(method)
+    if scheme is None or len(controls) == 0:
+        states = [initial]
+        for tau in controls:
+            states.append(method(model, states[-1], tau, dt))
+        return states
+    from repro.rollout import RolloutEngine
+
+    result = RolloutEngine(scheme).rollout(
+        model, initial.q, initial.qd, np.asarray(controls, dtype=float),
+        dt=dt,
+    )
+    return [
+        State(result.qs[0, t], result.qds[0, t])
+        for t in range(len(controls) + 1)
+    ]
+
+
+def batch_rollout(
+    model: RobotModel,
+    q0: np.ndarray,
+    qd0: np.ndarray,
+    controls: np.ndarray,
+    dt: float,
+    scheme: str = "rk4",
+    engine=None,
+    **kwargs,
+):
+    """Roll out a whole ``(n, T)`` batch of trajectories as one slab.
+
+    Thin convenience over :class:`repro.rollout.RolloutEngine` — the
+    batched replacement for calling :func:`rollout` per task.  Extra
+    keyword arguments (``contacts``, ``contact_mask``, ``policy``,
+    ``sensitivities``, ...) pass through to
+    :meth:`repro.rollout.RolloutEngine.rollout`.
+    """
+    from repro.rollout import RolloutEngine
+
+    return RolloutEngine(scheme, engine=engine).rollout(
+        model, q0, qd0, controls, dt=dt, **kwargs
+    )

@@ -1,4 +1,4 @@
-"""End-to-end application model (Section VI-B, Fig 2).
+"""End-to-end application model (Section VI-B, Fig 2) and sampling MPC.
 
 The paper's demo is a quadruped+arm robot in Webots controlled by an
 OCS2-style MPC whose inner loop is dominated by dynamics calls.  This
@@ -6,11 +6,19 @@ module prices one control iteration from its task mix, on (a) a multicore
 CPU alone and (b) a CPU with Dadu-RBD offloading the three supported task
 kinds — forward dynamics, inverse of the mass matrix, and derivatives of
 dynamics (dFD) — while the CPU overlaps the rest.
+
+:class:`PredictiveSamplingMPC` is the *executable* counterpart: a
+sampling-based controller (predictive sampling / MPPI-lite) whose inner
+loop is exactly the batched-rollout workload — ``n`` perturbed control
+sequences simulated as one ``(n, T)`` slab per control step through
+:mod:`repro.rollout`, contacts included.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.baselines.cpu import CpuDynamicsModel
 from repro.baselines.platforms import CpuPlatform
@@ -145,6 +153,87 @@ class EndToEndModel:
             return 1.0 / cpu_only.total
         gain = self.control_frequency_gain()
         return (1.0 + gain) / cpu_only.total
+
+
+class PredictiveSamplingMPC:
+    """Sampling-based MPC on batched rollouts (predictive sampling).
+
+    Each control step perturbs the nominal control sequence with ``n``
+    Gaussian samples, simulates all of them as one ``(n, T)`` rollout
+    slab (:class:`repro.rollout.RolloutEngine` — engine-native, contacts
+    supported), scores them with a trajectory cost, and keeps the best
+    sequence as the new nominal (receding horizon).  This is the
+    Monte-Carlo / RL-style rollout workload the batched substrate opens:
+    one control step = one batched rollout instead of ``n * T`` scalar
+    dynamics calls.
+
+    ``cost`` is a callable ``cost(qs, qds, us) -> (n,)`` over the slabs
+    (``qs``/``qds`` of shape ``(n, T+1, nv)``, ``us`` ``(n, T, nv)``).
+    """
+
+    def __init__(
+        self,
+        model: RobotModel,
+        cost,
+        horizon: int,
+        dt: float,
+        n_samples: int = 32,
+        noise: float = 0.3,
+        scheme: str = "semi_implicit",
+        engine=None,
+        contacts=None,
+        contact_mask=None,
+        seed: int = 0,
+    ) -> None:
+        from repro.rollout import RolloutEngine
+
+        if n_samples < 2:
+            raise ValueError("n_samples must be >= 2")
+        self.model = model
+        self.cost = cost
+        self.horizon = horizon
+        self.dt = dt
+        self.n_samples = n_samples
+        self.noise = noise
+        self.contacts = contacts
+        self.contact_mask = contact_mask
+        self._rollout = RolloutEngine(scheme, engine=engine)
+        self._rng = np.random.default_rng(seed)
+        self._nominal = np.zeros((horizon, model.nv))
+
+    def plan(self, q: np.ndarray, qd: np.ndarray):
+        """One MPC iteration from state ``(q, qd)``.
+
+        Returns ``(u0, info)``: the first control of the winning sequence
+        and a dict with the winning cost, the per-sample costs and the
+        batched :class:`~repro.rollout.RolloutResult`.
+        """
+        n, t_steps, nv = self.n_samples, self.horizon, self.model.nv
+        candidates = self._nominal + self._rng.normal(
+            scale=self.noise, size=(n, t_steps, nv)
+        )
+        candidates[0] = self._nominal          # always keep the incumbent
+        result = self._rollout.rollout(
+            self.model,
+            np.broadcast_to(np.asarray(q, dtype=float), (n, nv)),
+            np.broadcast_to(np.asarray(qd, dtype=float), (n, nv)),
+            candidates, dt=self.dt, contacts=self.contacts,
+            contact_mask=self.contact_mask,
+        )
+        costs = np.asarray(
+            self.cost(result.qs, result.qds, candidates), dtype=float
+        )
+        best = int(np.argmin(costs))
+        winner = candidates[best]
+        # Receding horizon: shift and repeat the last control.
+        self._nominal = np.vstack([winner[1:], winner[-1:]])
+        info = {
+            "cost": float(costs[best]),
+            "costs": costs,
+            "best": best,
+            "rollout": result,
+        }
+        return winner[0], info
 
 
 def multithread_profile(

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.apps.integrators import (
+    _SCHEME_OF_METHOD,
     LinearizedStep,
     State,
     euler_sensitivity_step,
@@ -125,10 +126,8 @@ def ilqr(
     converged = False
     iteration = 0
     for iteration in range(1, max_iterations + 1):
-        # --- LQ approximation (batchable: one dFD per knot) ---
-        linear: list[LinearizedStep] = [
-            linearize(model, states[k], controls[k], dt) for k in range(horizon)
-        ]
+        # --- LQ approximation: one batched dFD over all knots ---
+        linear = _linearize_knots(model, states, controls, dt, linearize)
         # --- Backward Riccati sweep (serial) ---
         v_x = 2.0 * cost.terminal_weight @ cost.state_error(model, states[-1])
         v_xx = 2.0 * cost.terminal_weight
@@ -151,25 +150,11 @@ def ilqr(
             v_xx = q_xx + k_fb.T @ q_uu @ k_fb + k_fb.T @ q_ux + q_ux.T @ k_fb
             v_xx = (v_xx + v_xx.T) / 2.0
 
-        # --- Forward pass with backtracking line search ---
-        improved = False
-        for alpha in (1.0, 0.5, 0.25, 0.1, 0.03):
-            new_controls = []
-            state = initial
-            new_states = [state]
-            for k in range(horizon):
-                k_ff, k_fb = gains[k]
-                dx = np.concatenate(
-                    [state.q - states[k].q, state.qd - states[k].qd]
-                )
-                u = controls[k] + alpha * k_ff + k_fb @ dx
-                new_controls.append(u)
-                state = step(model, state, u, dt)
-                new_states.append(state)
-            new_cost = total_cost(model, cost, new_states, new_controls)
-            if new_cost < cost_now - 1e-12:
-                improved = True
-                break
+        # --- Forward pass: the line-search fan as one batched rollout ---
+        improved, new_states, new_controls, new_cost = _line_search(
+            model, cost, initial, states, controls, gains, horizon, dt,
+            step, cost_now,
+        )
         if not improved:
             break
         relative_drop = (cost_now - new_cost) / max(abs(cost_now), 1e-12)
@@ -188,8 +173,112 @@ def ilqr(
     )
 
 
+#: Line-search step sizes, largest first (the serial search tried them
+#: in this order and took the first improvement).
+_ALPHAS = (1.0, 0.5, 0.25, 0.1, 0.03)
+
+
+def _linearize_knots(model, states, controls, dt, linearize):
+    """LQ approximation along the trajectory — one dFD per knot.
+
+    For the default :func:`euler_sensitivity_step` the knots are
+    independent, so all of them run as one batched dFD call (the Fig 2c
+    "LQ Approximation" batch); custom linearizers keep the per-knot loop.
+    """
+    horizon = len(controls)
+    if linearize is not euler_sensitivity_step:
+        return [
+            linearize(model, states[k], controls[k], dt)
+            for k in range(horizon)
+        ]
+    from repro.dynamics.batch import BatchStates, batch_fd_derivatives
+
+    nv = model.nv
+    qs = np.stack([s.q for s in states[:horizon]])
+    qds = np.stack([s.qd for s in states[:horizon]])
+    us = np.stack(controls)
+    deriv = batch_fd_derivatives(model, BatchStates(qs, qds), us)
+    eye = np.eye(nv)
+    out = []
+    for k in range(horizon):
+        dq, dqd = deriv.dqdd_dq[k], deriv.dqdd_dqd[k]
+        minv = deriv.dqdd_dtau[k]
+        a = np.eye(2 * nv)
+        a[nv:, :nv] = dt * dq
+        a[nv:, nv:] += dt * dqd
+        a[:nv, :nv] += dt * dt * dq
+        a[:nv, nv:] = dt * (eye + dt * dqd)
+        b = np.zeros((2 * nv, nv))
+        b[nv:, :] = dt * minv
+        b[:nv, :] = dt * dt * minv
+        qd_new = qds[k] + dt * deriv.qdd[k]
+        out.append(LinearizedStep(
+            State(model.integrate(qs[k], dt * qd_new), qd_new), a, b
+        ))
+    return out
+
+
+def _line_search(model, cost, initial, states, controls, gains, horizon,
+                 dt, step, cost_now):
+    """Backtracking line search over the feedback-corrected rollout.
+
+    The built-in steps evaluate *every* step size at once: one batched
+    closed-loop rollout whose policy applies each row's ``alpha`` — the
+    candidate trajectories that the serial search walked one by one.
+    The accepted candidate is still the first improving ``alpha`` in
+    descending order, so results match the serial search.
+    """
+    scheme = _SCHEME_OF_METHOD.get(step)
+    if scheme is None:
+        for alpha in _ALPHAS:
+            new_controls = []
+            state = initial
+            new_states = [state]
+            for k in range(horizon):
+                k_ff, k_fb = gains[k]
+                dx = np.concatenate(
+                    [state.q - states[k].q, state.qd - states[k].qd]
+                )
+                u = controls[k] + alpha * k_ff + k_fb @ dx
+                new_controls.append(u)
+                state = step(model, state, u, dt)
+                new_states.append(state)
+            new_cost = total_cost(model, cost, new_states, new_controls)
+            if new_cost < cost_now - 1e-12:
+                return True, new_states, new_controls, new_cost
+        return False, states, controls, cost_now
+
+    from repro.rollout import RolloutEngine
+
+    alphas = np.asarray(_ALPHAS)
+
+    def policy(k, q, qd):
+        k_ff, k_fb = gains[k]
+        dx = np.concatenate(
+            [q - states[k].q, qd - states[k].qd], axis=1
+        )
+        return controls[k] + alphas[:, None] * k_ff + dx @ k_fb.T
+
+    result = RolloutEngine(scheme).rollout(
+        model, np.tile(initial.q, (len(alphas), 1)),
+        np.tile(initial.qd, (len(alphas), 1)),
+        policy=policy, horizon=horizon, dt=dt,
+    )
+    for i in range(len(alphas)):
+        cand_states = [
+            State(result.qs[i, t], result.qds[i, t])
+            for t in range(horizon + 1)
+        ]
+        cand_controls = [result.controls[i, t] for t in range(horizon)]
+        new_cost = total_cost(model, cost, cand_states, cand_controls)
+        if new_cost < cost_now - 1e-12:
+            return True, cand_states, cand_controls, new_cost
+    return False, states, controls, cost_now
+
+
 def _rollout(model, initial, controls, dt, step):
-    states = [initial]
-    for u in controls:
-        states.append(step(model, states[-1], u, dt))
-    return states
+    # integrators.rollout routes built-in steps through the batched
+    # rollout subsystem and falls back to serial stepping for custom ones.
+    from repro.apps.integrators import rollout as _batched_rollout
+
+    return _batched_rollout(model, initial, list(controls), dt, step)

@@ -25,7 +25,9 @@ offending operand (and, when a single task row is at fault, its index).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -33,6 +35,28 @@ from repro.dynamics.derivatives import FDDerivatives, IDDerivatives
 from repro.dynamics.engine import Engine, get_engine, normalize_f_ext
 from repro.dynamics.functions import RBDFunction
 from repro.model.robot import RobotModel
+
+#: Dispatchable functions beyond the seven Table-I ones, keyed by name.
+#: Handlers have the signature
+#: ``handler(model, states, u=..., minv=..., f_ext=..., engine=..., **kw)``
+#: and return a *list* of per-task results (the same fan-out contract as
+#: :func:`batch_evaluate`).  The batched contact kernels
+#: (:mod:`repro.dynamics.contact_batch`) register ``"cFD"`` and
+#: ``"impulse"`` here.
+_EXTENSION_FUNCTIONS: dict[str, Callable] = {}
+_EXTENSION_LOCK = threading.Lock()
+
+
+def register_batch_function(name: str, handler: Callable) -> None:
+    """Register (or replace) a named batch-dispatchable function."""
+    with _EXTENSION_LOCK:
+        _EXTENSION_FUNCTIONS[name] = handler
+
+
+def batch_function_names() -> tuple[str, ...]:
+    """Names of the registered extension functions."""
+    with _EXTENSION_LOCK:
+        return tuple(sorted(_EXTENSION_FUNCTIONS))
 
 
 def coerce_operand(name: str, value, shape: tuple | None = None,
@@ -166,12 +190,13 @@ def batch_fd_derivatives(
 
 def batch_evaluate(
     model: RobotModel,
-    function: RBDFunction,
+    function: RBDFunction | str,
     states: BatchStates,
     u: np.ndarray | None = None,
     minv: np.ndarray | None = None,
     f_ext: dict[int, np.ndarray] | None = None,
     engine: str | Engine | None = None,
+    **kwargs,
 ) -> list:
     """Dispatch one Table-I function over a whole batch.
 
@@ -182,11 +207,31 @@ def batch_evaluate(
     ``engine`` selects the execution engine (name, instance, or None for
     the process default — see :mod:`repro.dynamics.engine`).
 
+    ``function`` may also name a registered extension function
+    (:func:`register_batch_function`, e.g. the batched contact kernels
+    ``"cFD"``/``"impulse"``); extra keyword arguments — ``contacts``,
+    ``active``, ``restitution`` — are forwarded to its handler.
+
     Returns a *list* of per-task results with the same types
     :func:`repro.dynamics.functions.evaluate` produces for a single
     request, so service layers can fan results back out to independent
     callers.
     """
+    if isinstance(function, str):
+        with _EXTENSION_LOCK:
+            handler = _EXTENSION_FUNCTIONS.get(function)
+        if handler is None:
+            raise KeyError(
+                f"unknown batch function {function!r}; registered extension "
+                f"functions: {batch_function_names()}"
+            )
+        return handler(model, states, u=u, minv=minv, f_ext=f_ext,
+                       engine=engine, **kwargs)
+    if kwargs:
+        raise TypeError(
+            f"{function.value} takes no extra keyword arguments: "
+            f"{sorted(kwargs)}"
+        )
     n = len(states)
     eng = get_engine(engine)
     fe = normalize_f_ext(f_ext, n)

@@ -43,16 +43,31 @@ def contact_jacobian(
 ) -> np.ndarray:
     """Stacked world-frame positional Jacobian of the contact points
     (3 * n_contacts, nv)."""
+    # One tree sweep shared by every contact point (link_jacobian would
+    # otherwise redo forward kinematics per point).
     fk = forward_kinematics(model, q)
     rows = []
     for contact in contacts:
-        jac = link_jacobian(model, q, contact.link)
+        jac = link_jacobian(model, q, contact.link, fk=fk)
         rotation = fk.link_rotation(contact.link)
         omega_cols = jac[:3, :].T
         linear_cols = jac[3:, :].T
         point_cols = linear_cols + np.cross(omega_cols, contact.point_local)
         rows.append(rotation @ point_cols.T)
     return np.vstack(rows)
+
+
+def directional_eps(qd: np.ndarray, eps: float = 1e-6) -> float:
+    """Step size for the ``Jdot qd`` directional difference.
+
+    The difference perturbs ``q`` by ``eps * qd``, so an absolute ``eps``
+    makes the *configuration* step grow with ``|qd|`` — at high joint
+    rates the truncation error swamps the quadratic convergence.  Scaling
+    by the state magnitude keeps the configuration perturbation at
+    ``~eps`` radians regardless of how fast the robot moves.
+    """
+    scale = float(np.max(np.abs(qd), initial=0.0))
+    return eps / max(1.0, scale)
 
 
 def _jacobian_dot_qd(
@@ -62,10 +77,54 @@ def _jacobian_dot_qd(
     contacts: list[ContactPoint],
     eps: float = 1e-6,
 ) -> np.ndarray:
-    """``Jdot(q, qd) qd`` by a manifold-aware directional difference."""
-    j_plus = contact_jacobian(model, model.integrate(q, eps * qd), contacts)
-    j_minus = contact_jacobian(model, model.integrate(q, -eps * qd), contacts)
-    return ((j_plus - j_minus) / (2.0 * eps)) @ qd
+    """``Jdot(q, qd) qd`` by a manifold-aware directional difference.
+
+    Kept as an independent cross-check of :func:`jacobian_dot_qd` (the
+    analytic form the solvers use).
+    """
+    h = directional_eps(qd, eps)
+    j_plus = contact_jacobian(model, model.integrate(q, h * qd), contacts)
+    j_minus = contact_jacobian(model, model.integrate(q, -h * qd), contacts)
+    return ((j_plus - j_minus) / (2.0 * h)) @ qd
+
+
+def jacobian_dot_qd(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    contacts: list[ContactPoint],
+) -> np.ndarray:
+    """Analytic ``Jdot(q, qd) qd``: the contact points' world acceleration
+    at ``qdd = 0``.
+
+    One kinematic sweep accumulates each link's spatial velocity and its
+    gravity-free, ``qdd = 0`` spatial acceleration; the classical point
+    acceleration is then ``R (a_O + wd x p + w x (v_O + w x p))`` — exact,
+    where the directional difference :func:`_jacobian_dot_qd` carries
+    truncation and cancellation error.
+    """
+    from repro.spatial.motion import cross_motion
+
+    qd = np.asarray(qd, dtype=float)
+    fk = forward_kinematics(model, q, qd)
+    accelerations: list[np.ndarray] = []
+    for i in range(model.nb):
+        s = model.joint(i).motion_subspace()
+        vj = s @ qd[model.dof_slice(i)]
+        a = cross_motion(fk.velocities[i], vj)
+        parent = model.parent(i)
+        if parent >= 0:
+            a = fk.parent_transforms[i] @ accelerations[parent] + a
+        accelerations.append(a)
+    rows = []
+    for contact in contacts:
+        v = fk.velocities[contact.link]
+        a = accelerations[contact.link]
+        p = contact.point_local
+        v_point = v[3:] + np.cross(v[:3], p)
+        a_point = a[3:] + np.cross(a[:3], p) + np.cross(v[:3], v_point)
+        rows.append(fk.link_rotation(contact.link) @ a_point)
+    return np.concatenate(rows)
 
 
 @dataclass
@@ -82,21 +141,24 @@ def constrained_forward_dynamics(
     qd: np.ndarray,
     tau: np.ndarray,
     contacts: list[ContactPoint],
+    f_ext: dict[int, np.ndarray] | None = None,
     *,
     damping: float = 1e-10,
 ) -> ConstrainedDynamicsResult:
     """FD with the contact points held at zero world acceleration.
 
     Schur-complement solve on Minv (the accelerator's output): the
-    operational-space inertia is ``Lambda^-1 = J Minv J^T``.
+    operational-space inertia is ``Lambda^-1 = J Minv J^T``.  ``f_ext``
+    maps link indices to ``(6,)`` link-frame external forces applied on
+    top of the contact constraint forces.
     """
     qd = np.asarray(qd, dtype=float)
     tau = np.asarray(tau, dtype=float)
     minv = mass_matrix_inverse(model, q)
-    bias = rnea(model, q, qd, np.zeros(model.nv))
+    bias = rnea(model, q, qd, np.zeros(model.nv), f_ext)
     free_qdd = minv @ (tau - bias)
     jac = contact_jacobian(model, q, contacts)
-    jdot_qd = _jacobian_dot_qd(model, q, qd, contacts)
+    jdot_qd = jacobian_dot_qd(model, q, qd, contacts)
     lambda_inv = jac @ minv @ jac.T
     lambda_inv += damping * np.eye(lambda_inv.shape[0])
     # Contact forces cancel the unconstrained contact acceleration.

@@ -1,0 +1,384 @@
+"""Engine-native batched contact dynamics.
+
+:mod:`repro.dynamics.contact` solves one task at a time with its own
+forward-kinematics sweeps; this module promotes the same constrained
+dynamics to whole-batch kernels on the engine/plan/backend stack, the
+shape the rollout subsystem (:mod:`repro.rollout`) consumes:
+
+* **batched contact Jacobians** from the execution plan's level schedule
+  (:meth:`repro.dynamics.plan.ExecutionPlan.world_transforms_batch`):
+  world transforms for the whole batch advance one tree level per slab
+  op, then each contact's positional Jacobian is assembled with one
+  fused op per supporting joint;
+* **batched KKT/Schur solves** on the engine's ``Minv`` output — the
+  operational-space inertia ``Lambda^-1 = J Minv J^T`` is built and
+  solved for all tasks at once via the backend's batched ``solve``;
+* **per-task contact-mode masks**: an ``active`` mask ``(n, c)`` selects
+  each task's contact set *inside* the shared solve (masked rows/columns
+  collapse to identity via ``where``), so tasks in different contact
+  modes still ride one batched KKT factorization — the rollout engine's
+  per-step mode switching;
+* **batched impulse resolution** for (in)elastic touchdown events.
+
+The kernels are registered as dispatchable functions next to the seven
+Table-I ones (:func:`repro.dynamics.batch.register_batch_function`,
+names ``"cFD"`` and ``"impulse"``), so ``batch_evaluate`` and service
+layers reach them through the same engine-selection machinery.
+
+All kernels match the per-task :mod:`repro.dynamics.contact` reference
+at 1e-10 (see ``tests/test_contact_batch.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend import host_backend, to_host
+from repro.dynamics.contact import ContactPoint, ConstrainedDynamicsResult
+from repro.dynamics.engine import Engine, get_engine, normalize_f_ext
+from repro.dynamics.plan import ExecutionPlan, plan_for
+from repro.model.robot import RobotModel
+from repro.spatial.transforms import (
+    inverse_transform,
+    transform_rotation,
+    transform_translation,
+)
+
+#: Host namespace via the backend shim (the one layer owning numpy).
+np = host_backend().xp
+
+
+def contact_signature(contacts: list[ContactPoint] | tuple) -> tuple:
+    """Hashable identity of a contact set (for batching/memo keys)."""
+    return tuple(
+        (c.link, tuple(float(x) for x in c.point_local)) for c in contacts
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched contact kinematics (plan level schedule)
+# ---------------------------------------------------------------------------
+
+
+def _batch_link_jacobians(
+    model: RobotModel, xw: np.ndarray, links: set[int]
+) -> dict[int, np.ndarray]:
+    """Batched link-frame geometric Jacobians ``(n, 6, nv)`` per link.
+
+    Mirrors :func:`repro.dynamics.kinematics.link_jacobian` over the
+    batched world transforms; inverse transforms of shared ancestors are
+    computed once for all requesting links.
+    """
+    n = xw.shape[0]
+    subspaces = model.motion_subspaces()
+    inv_cache: dict[int, np.ndarray] = {}
+    out: dict[int, np.ndarray] = {}
+    for link in links:
+        jac = np.zeros((n, 6, model.nv))
+        x_link = xw[:, link]
+        j = link
+        while j >= 0:
+            xj_inv = inv_cache.get(j)
+            if xj_inv is None:
+                xj_inv = inverse_transform(xw[:, j])
+                inv_cache[j] = xj_inv
+            jac[:, :, model.dof_slice(j)] = (x_link @ xj_inv) @ subspaces[j]
+            j = model.parent(j)
+        out[link] = jac
+    return out
+
+
+def batch_contact_jacobian(
+    model: RobotModel,
+    q: np.ndarray,
+    contacts: list[ContactPoint],
+    plan: ExecutionPlan | None = None,
+    xw: np.ndarray | None = None,
+) -> np.ndarray:
+    """Stacked world-frame positional contact Jacobians ``(n, 3c, nv)``.
+
+    One level-scheduled world-transform sweep serves every contact point
+    of every task; contacts sharing a link share one link Jacobian.
+    ``xw`` lets callers that already computed the batch's world
+    transforms (:meth:`ExecutionPlan.world_transforms_batch`) share them.
+    """
+    q = np.atleast_2d(np.asarray(q, dtype=float))
+    if plan is None:
+        plan = plan_for(model)
+    if xw is None:
+        xw = plan.world_transforms_batch(q)
+    jacs = _batch_link_jacobians(model, xw, {c.link for c in contacts})
+    rows = []
+    for contact in contacts:
+        jac = jacs[contact.link]
+        # world <- link rotation (the transpose of the stored E block).
+        rot = np.swapaxes(transform_rotation(xw[:, contact.link]), -1, -2)
+        omega_cols = np.swapaxes(jac[:, :3, :], -1, -2)      # (n, nv, 3)
+        linear_cols = np.swapaxes(jac[:, 3:, :], -1, -2)
+        point_cols = linear_cols + np.cross(omega_cols, contact.point_local)
+        rows.append(rot @ np.swapaxes(point_cols, -1, -2))   # (n, 3, nv)
+    return np.concatenate(rows, axis=1)
+
+
+def batch_contact_positions(
+    model: RobotModel,
+    q: np.ndarray,
+    contacts: list[ContactPoint],
+    plan: ExecutionPlan | None = None,
+    xw: np.ndarray | None = None,
+) -> np.ndarray:
+    """World positions of the contact points: ``(n, c, 3)``.
+
+    The rollout engine's ``"ground"`` contact mode derives per-step
+    active masks from these heights.
+    """
+    q = np.atleast_2d(np.asarray(q, dtype=float))
+    if plan is None:
+        plan = plan_for(model)
+    if xw is None:
+        xw = plan.world_transforms_batch(q)
+    cols = []
+    for contact in contacts:
+        x = xw[:, contact.link]
+        rot = np.swapaxes(transform_rotation(x), -1, -2)
+        origin = transform_translation(x)                    # (n, 3)
+        cols.append(origin + (rot @ contact.point_local))
+    return np.stack(cols, axis=1)
+
+
+def batch_jacobian_dot_qd(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    contacts: list[ContactPoint],
+    plan: ExecutionPlan | None = None,
+    xw: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched analytic ``Jdot(q, qd) qd`` drift term: ``(n, 3c)``.
+
+    One level-scheduled velocity-kinematics sweep
+    (:meth:`~repro.dynamics.plan.ExecutionPlan.velocity_kinematics_batch`)
+    yields every link's spatial velocity and ``qdd = 0`` acceleration;
+    each contact's classical world acceleration follows in closed form —
+    the batched mirror of :func:`repro.dynamics.contact.jacobian_dot_qd`.
+    """
+    q = np.atleast_2d(np.asarray(q, dtype=float))
+    qd = np.atleast_2d(np.asarray(qd, dtype=float))
+    if plan is None:
+        plan = plan_for(model)
+    v_all, a_all = plan.velocity_kinematics_batch(q, qd)
+    if xw is None:
+        xw = plan.world_transforms_batch(q)
+    cols = []
+    for contact in contacts:
+        v = v_all[:, contact.link]
+        a = a_all[:, contact.link]
+        p = contact.point_local
+        v_point = v[:, 3:] + np.cross(v[:, :3], p)
+        a_point = (a[:, 3:] + np.cross(a[:, :3], p)
+                   + np.cross(v[:, :3], v_point))
+        rot = np.swapaxes(transform_rotation(xw[:, contact.link]), -1, -2)
+        cols.append((rot @ a_point[:, :, None])[..., 0])
+    return np.concatenate(cols, axis=1)
+
+
+# ---------------------------------------------------------------------------
+# Masked batched KKT solves
+# ---------------------------------------------------------------------------
+
+
+def _coordinate_mask(active, n: int, c: int) -> np.ndarray:
+    """Broadcast an ``active`` contact mask to coordinates ``(n, 3c)``."""
+    mask = np.broadcast_to(np.asarray(active, dtype=bool), (n, c))
+    return np.repeat(mask, 3, axis=1)
+
+
+def _masked_schur_solve(
+    lam: np.ndarray, rhs: np.ndarray, mask3: np.ndarray | None
+) -> np.ndarray:
+    """Solve ``lam x = rhs`` per task with inactive coordinates removed.
+
+    Inactive rows/columns collapse to the identity (``where``-masked) and
+    their right-hand sides to zero, so the solution carries exact zeros
+    there and the active block solves exactly its own sub-system — one
+    batched factorization serves every contact mode in the batch.
+    """
+    m = lam.shape[1]
+    if mask3 is not None:
+        idx = np.arange(m)
+        pair = mask3[:, :, None] & mask3[:, None, :]
+        lam = np.where(pair, lam, 0.0)
+        lam[:, idx, idx] = np.where(mask3, lam[:, idx, idx], 1.0)
+        rhs = np.where(mask3, rhs, 0.0)
+    return np.linalg.solve(lam, rhs[..., None])[..., 0]
+
+
+@dataclass
+class BatchConstrainedResult:
+    """Output of :func:`batch_constrained_fd`."""
+
+    qdd: np.ndarray            # (n, nv)
+    contact_forces: np.ndarray  # (n, 3c) world-frame forces, 3 per point
+    active: np.ndarray | None = None   # (n, c) mask actually applied
+
+
+def batch_constrained_fd(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    tau: np.ndarray,
+    contacts: list[ContactPoint],
+    f_ext: dict[int, np.ndarray] | None = None,
+    active: np.ndarray | None = None,
+    *,
+    damping: float = 1e-10,
+    engine: str | Engine | None = None,
+    plan: ExecutionPlan | None = None,
+    minv: np.ndarray | None = None,
+    free_qdd: np.ndarray | None = None,
+) -> BatchConstrainedResult:
+    """Batched FD with (masked) contact points held at zero acceleration.
+
+    The free dynamics and ``Minv`` come from the selected execution
+    engine (any registered engine); the Schur complement on ``Minv`` is
+    one batched solve.  ``active`` is an optional per-task ``(n, c)``
+    mask — masked-out contacts contribute exactly zero force, matching a
+    per-task solve over only the active set.  ``minv``/``free_qdd`` let
+    steady-state callers (the rollout engine) reuse operands they
+    already computed.
+    """
+    q = np.atleast_2d(np.asarray(q, dtype=float))
+    qd = np.atleast_2d(np.asarray(qd, dtype=float))
+    tau = np.atleast_2d(np.asarray(tau, dtype=float))
+    n = q.shape[0]
+    eng = get_engine(engine)
+    fe = normalize_f_ext(f_ext, n)
+    # The Schur solve runs host-side against the host contact Jacobians,
+    # so device-engine outputs cross the boundary here.
+    if minv is None:
+        minv = to_host(eng.minv_batch(model, q))
+    if free_qdd is None:
+        free_qdd = to_host(eng.fd_batch(model, q, qd, tau, fe))
+    if plan is None:
+        plan = plan_for(model)
+    # One world-transform sweep serves the Jacobian and the drift term.
+    xw = plan.world_transforms_batch(q)
+    jac = batch_contact_jacobian(model, q, contacts, plan, xw=xw)
+    jdot_qd = batch_jacobian_dot_qd(model, q, qd, contacts, plan=plan,
+                                    xw=xw)
+    jt = np.swapaxes(jac, -1, -2)
+    lam = jac @ minv @ jt
+    m = jac.shape[1]
+    idx = np.arange(m)
+    lam[:, idx, idx] += damping
+    rhs = (jac @ free_qdd[:, :, None])[..., 0] + jdot_qd
+    mask3 = None
+    if active is not None:
+        active = np.broadcast_to(
+            np.asarray(active, dtype=bool), (n, len(contacts))
+        )
+        mask3 = _coordinate_mask(active, n, len(contacts))
+    forces = -_masked_schur_solve(lam, rhs, mask3)
+    qdd = free_qdd + (minv @ (jt @ forces[:, :, None]))[..., 0]
+    return BatchConstrainedResult(qdd=qdd, contact_forces=forces,
+                                  active=active)
+
+
+def batch_contact_impulse(
+    model: RobotModel,
+    q: np.ndarray,
+    qd_minus: np.ndarray,
+    contacts: list[ContactPoint],
+    *,
+    restitution: float | np.ndarray = 0.0,
+    active: np.ndarray | None = None,
+    damping: float = 1e-10,
+    engine: str | Engine | None = None,
+    plan: ExecutionPlan | None = None,
+    minv: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched post-impact velocities ``(n, nv)`` for touchdown impacts.
+
+    ``restitution`` may be a scalar or an ``(n,)`` per-task coefficient;
+    ``active`` masks which contacts of each task actually impact.
+    """
+    q = np.atleast_2d(np.asarray(q, dtype=float))
+    qd_minus = np.atleast_2d(np.asarray(qd_minus, dtype=float))
+    n = q.shape[0]
+    eng = get_engine(engine)
+    if minv is None:
+        minv = to_host(eng.minv_batch(model, q))
+    jac = batch_contact_jacobian(model, q, contacts, plan)
+    jt = np.swapaxes(jac, -1, -2)
+    lam = jac @ minv @ jt
+    m = jac.shape[1]
+    idx = np.arange(m)
+    lam[:, idx, idx] += damping
+    v_contact = (jac @ qd_minus[:, :, None])[..., 0]
+    rest = np.asarray(restitution, dtype=float)
+    rhs = (1.0 + rest.reshape(-1, 1)) * v_contact
+    mask3 = None
+    if active is not None:
+        mask3 = _coordinate_mask(active, n, len(contacts))
+    impulse = -_masked_schur_solve(lam, rhs, mask3)
+    return qd_minus + (minv @ (jt @ impulse[:, :, None]))[..., 0]
+
+
+# ---------------------------------------------------------------------------
+# Dispatch registration (next to the Table-I functions)
+# ---------------------------------------------------------------------------
+
+
+def _cfd_handler(model, states, u=None, minv=None, f_ext=None, engine=None,
+                 *, contacts=None, active=None, damping=1e-10):
+    """``batch_evaluate``-shaped adapter for constrained FD (``u`` = tau)."""
+    if not contacts:
+        raise ValueError("cFD dispatch requires contacts=[ContactPoint, ...]")
+    n = len(states)
+    tau = np.zeros((n, model.nv)) if u is None else u
+    result = batch_constrained_fd(
+        model, states.q, states.qd, tau, list(contacts), f_ext=f_ext,
+        active=active, damping=damping, engine=engine, minv=minv,
+    )
+    return [
+        ConstrainedDynamicsResult(
+            qdd=result.qdd[k], contact_forces=result.contact_forces[k]
+        )
+        for k in range(n)
+    ]
+
+
+def _impulse_handler(model, states, u=None, minv=None, f_ext=None,
+                     engine=None, *, contacts=None, active=None,
+                     restitution=0.0, damping=1e-10):
+    """``batch_evaluate``-shaped adapter for impact resolution."""
+    if not contacts:
+        raise ValueError(
+            "impulse dispatch requires contacts=[ContactPoint, ...]"
+        )
+    qd_plus = batch_contact_impulse(
+        model, states.q, states.qd, list(contacts), restitution=restitution,
+        active=active, damping=damping, engine=engine, minv=minv,
+    )
+    return list(qd_plus)
+
+
+def _register() -> None:
+    from repro.dynamics.batch import register_batch_function
+
+    register_batch_function("cFD", _cfd_handler)
+    register_batch_function("impulse", _impulse_handler)
+
+
+_register()
+
+
+__all__ = [
+    "BatchConstrainedResult",
+    "batch_constrained_fd",
+    "batch_contact_impulse",
+    "batch_contact_jacobian",
+    "batch_contact_positions",
+    "batch_jacobian_dot_qd",
+    "contact_signature",
+]

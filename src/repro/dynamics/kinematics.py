@@ -68,13 +68,20 @@ def forward_kinematics(
     return KinematicsResult(world_x, parent_x, velocities)
 
 
-def link_jacobian(model: RobotModel, q: np.ndarray, link: int) -> np.ndarray:
+def link_jacobian(
+    model: RobotModel, q: np.ndarray, link: int,
+    fk: KinematicsResult | None = None,
+) -> np.ndarray:
     """Geometric Jacobian of link ``link`` expressed in its own frame.
 
     Columns follow the global DOF layout; only supporting joints contribute
     (the same column sparsity the paper's incremental calculation exploits).
+    ``fk`` lets callers that already ran :func:`forward_kinematics` for
+    this ``q`` share the result instead of recomputing the whole tree per
+    Jacobian (contact stacks ask for one Jacobian per contact point).
     """
-    fk = forward_kinematics(model, q)
+    if fk is None:
+        fk = forward_kinematics(model, q)
     jac = np.zeros((6, model.nv))
     x_link = fk.world_transforms[link]
     j = link

@@ -534,6 +534,61 @@ class ExecutionPlan:
                         ) @ g.x_tree[pos]
                     )
 
+    def world_transforms_batch(self, q) -> "np.ndarray":
+        """Batched world transforms ``^iX_0`` per link: ``(n, nb, 6, 6)``.
+
+        The level-scheduled front half of forward kinematics: joint
+        transforms refresh in one fused op per joint kind, then each
+        level composes onto its parents' world transforms in one slab op.
+        Output follows the model's *link* order (not slot order) so
+        downstream consumers — the batched contact Jacobians — index it
+        with plain link indices.
+        """
+        q = self._operand(q)
+        n = q.shape[0]
+        ws = self.workspace(n)
+        self._stage_transforms(ws, n, q)
+        xp = self._xp
+        X = ws.X[:n]
+        xw = xp.empty((n, self.nb, 6, 6))
+        for lvl in self.levels:
+            lo, hi = lvl.lo, lvl.hi
+            if lvl.is_root:
+                xw[:, lo:hi] = X[:, lo:hi]
+            else:
+                xw[:, lo:hi] = X[:, lo:hi] @ xw[:, lvl.parent_slots]
+        return xw[:, self.slot_of_link]
+
+    def velocity_kinematics_batch(self, q, qd) -> tuple:
+        """Batched spatial velocities and ``qdd = 0`` accelerations.
+
+        Returns ``(v, a)``, each ``(n, nb, 6)`` in link order and link
+        coordinates; ``a`` is the gravity-free velocity-product
+        acceleration accumulated down the tree — exactly the kinematic
+        state the analytic contact drift term ``Jdot qd`` needs.
+        """
+        q = self._operand(q)
+        qd = self._operand(qd)
+        n = q.shape[0]
+        ws = self.workspace(n, "rnea")
+        self._stage_transforms(ws, n, q)
+        self._stage_rates(ws, n, qd, None)
+        X, v, a, vj = ws.X[:n], ws.v[:n], ws.a[:n], ws.vj[:n]
+        for lvl in self.levels:
+            lo, hi = lvl.lo, lvl.hi
+            if lvl.is_root:
+                v[:, lo:hi] = vj[:, lo:hi]
+                a[:, lo:hi] = cross_motion(v[:, lo:hi], vj[:, lo:hi])
+            else:
+                par = lvl.parent_slots
+                v[:, lo:hi] = _mv(X[:, lo:hi], v[:, par]) + vj[:, lo:hi]
+                a[:, lo:hi] = (
+                    _mv(X[:, lo:hi], a[:, par])
+                    + cross_motion(v[:, lo:hi], vj[:, lo:hi])
+                )
+        order = self.slot_of_link
+        return v[:, order].copy(), a[:, order].copy()
+
     def _stage_rates(self, ws: PlanWorkspace, n: int, qd, qdd) -> None:
         self._ein("bsv,nv->nbs", self.sel_all, qd, out=ws.vj[:n])
         if qdd is None:

@@ -191,6 +191,25 @@ class RobotModel:
             out[sl] = link.joint.integrate(q[sl], dq[sl])
         return out
 
+    def batch_integrate(self, q: np.ndarray, dq: np.ndarray) -> np.ndarray:
+        """Manifold update ``q [+] dq`` for a task batch: ``(n, nv)``.
+
+        Joints with plain coordinate velocities (``coordinate_velocity``,
+        i.e. ``integrate == q + dq``) update in one whole-batch addition;
+        quasi-velocity joints (spherical/floating) fall back to their
+        per-task exponential maps on just their own q slice.
+        """
+        q = np.atleast_2d(np.asarray(q, dtype=float))
+        dq = np.atleast_2d(np.asarray(dq, dtype=float))
+        out = q + dq
+        for i, link in enumerate(self.links):
+            if link.joint.coordinate_velocity:
+                continue
+            sl = self.dof_slice(i)
+            for k in range(q.shape[0]):
+                out[k, sl] = link.joint.integrate(q[k, sl], dq[k, sl])
+        return out
+
     def motion_subspaces(self) -> list[np.ndarray]:
         """All S_i, indexable by link."""
         return [link.joint.motion_subspace() for link in self.links]

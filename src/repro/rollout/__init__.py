@@ -1,0 +1,50 @@
+"""Batched trajectory rollouts with engine-native contact dynamics.
+
+The paper's headline applications — MPC sampling, trajectory
+optimization, the Fig 13 RK4-with-sensitivities workload — consume
+dynamics as *trajectories*, and its motivating robots are legged, so
+those trajectories are contact-constrained.  This subsystem simulates
+whole batches of trajectories as ``(n, T, ...)`` slabs on the existing
+engine/plan/backend stack:
+
+* :class:`RolloutEngine` / :class:`RolloutPlan`
+  (:mod:`repro.rollout.engine`) — Euler / semi-implicit / RK4
+  integrators advancing the whole batch per step, per-step contact-mode
+  masks solved inside one batched KKT factorization
+  (:mod:`repro.dynamics.contact_batch`), optional exact discrete
+  ``A``/``B`` sensitivity propagation, and per-(model, scheme, engine,
+  backend) plans with preallocated trajectory workspaces (memoized in
+  :func:`rollout_plan_for` and the serve artifact cache).
+* Rollout-as-a-service — ``DynamicsService.submit_rollout`` batches
+  whole-trajectory requests with horizon-aware flush budgets and
+  horizon-weighted shard placement (:mod:`repro.serve`).
+* :func:`repro.rollout.bench.run_rollout_bench` — batched-slab vs
+  per-task-stepping throughput (``python -m repro rollout-bench``,
+  ``benchmarks/bench_rollout.py``).
+
+Consumers: :func:`repro.apps.integrators.batch_rollout` (the batched
+integrator API), the iLQR forward pass (:mod:`repro.apps.trajopt`
+batches its line-search fan), and
+:class:`repro.apps.mpc.PredictiveSamplingMPC` (sampling MPC over rollout
+slabs — the Monte-Carlo / RL-style workload class).
+"""
+
+from repro.rollout.engine import (
+    SCHEMES,
+    RolloutEngine,
+    RolloutPlan,
+    RolloutResult,
+    RolloutWorkspace,
+    TaskTrajectory,
+    rollout_plan_for,
+)
+
+__all__ = [
+    "SCHEMES",
+    "RolloutEngine",
+    "RolloutPlan",
+    "RolloutResult",
+    "RolloutWorkspace",
+    "TaskTrajectory",
+    "rollout_plan_for",
+]

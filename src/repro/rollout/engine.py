@@ -1,0 +1,566 @@
+"""Batched trajectory rollouts on the engine/plan/backend stack.
+
+A rollout advances a whole batch of robots through ``T`` integrator
+steps: every step issues *batched* dynamics calls (free or
+contact-constrained) through a registered execution engine, so the
+``(n, T, ...)`` trajectory slab costs ``T`` engine calls instead of
+``n * T`` scalar ones — the paper's Fig 13 workload shape (serial in
+time, embarrassingly parallel across sampling points), lifted onto the
+host engines.
+
+* :class:`RolloutPlan` — the per-``(model, scheme, engine, backend)``
+  compiled object (memoized by :func:`rollout_plan_for`, also reachable
+  through the serve artifact cache): resolved engine instance, the host
+  execution plan for the contact kinematics, and per-thread preallocated
+  trajectory workspaces.
+* :class:`RolloutEngine` — the user-facing facade: pick a scheme
+  (``"euler"``, ``"semi_implicit"``, ``"rk4"``), an engine and a
+  backend once, then roll out arbitrary models/batches.
+* Contact dynamics are engine-native (:mod:`repro.dynamics.contact_batch`):
+  per-step contact modes are ``(n, c)`` masks applied inside the shared
+  batched KKT solve, so tasks in different modes share one factorization.
+  ``contact_mask`` may be static, per-step, per-task-per-step, a
+  callable, or ``"ground"`` (activate when the point's world height
+  drops below a threshold).
+* Optional sensitivity propagation reuses the paired-derivative kernels
+  (``dfd_batch``): exact discrete ``A``/``B`` per step for the Euler
+  schemes, chained stage Jacobians for RK4 — the batched mirror of
+  :mod:`repro.apps.integrators`' sensitivity steps.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+
+from repro.backend import get_backend, host_backend, to_host
+from repro.dynamics.contact import ContactPoint
+from repro.dynamics.contact_batch import (
+    batch_constrained_fd,
+    batch_contact_positions,
+)
+from repro.dynamics.engine import Engine, get_engine, normalize_f_ext
+from repro.dynamics.plan import plan_for
+from repro.model.robot import RobotModel
+
+#: Host namespace via the backend shim.
+np = host_backend().xp
+
+#: Integration schemes and their FD evaluations per step.
+SCHEMES: dict[str, int] = {"euler": 1, "semi_implicit": 1, "rk4": 4}
+
+
+@dataclass
+class TaskTrajectory:
+    """One task's slice of a batched rollout (the serve fan-out unit)."""
+
+    qs: np.ndarray                    # (T+1, nv)
+    qds: np.ndarray                   # (T+1, nv)
+    controls: np.ndarray | None       # (T, nv) realized controls
+    forces: np.ndarray | None         # (T, 3c) contact forces
+    active: np.ndarray | None         # (T, c) applied contact modes
+    a_matrices: np.ndarray | None = None   # (T, 2nv, 2nv) sensitivities
+    b_matrices: np.ndarray | None = None   # (T, 2nv, nv)
+
+
+@dataclass
+class RolloutResult:
+    """A batch of trajectories as ``(n, T, ...)`` slabs."""
+
+    qs: np.ndarray                    # (n, T+1, nv)
+    qds: np.ndarray                   # (n, T+1, nv)
+    controls: np.ndarray | None       # (n, T, nv) realized controls
+    forces: np.ndarray | None         # (n, T, 3c)
+    active: np.ndarray | None         # (n, T, c) bool
+    a_matrices: np.ndarray | None     # (n, T, 2nv, 2nv) sensitivities
+    b_matrices: np.ndarray | None     # (n, T, 2nv, nv)
+    scheme: str
+    dt: float
+    engine: str
+    backend: str
+
+    @property
+    def batch(self) -> int:
+        return self.qs.shape[0]
+
+    @property
+    def horizon(self) -> int:
+        return self.qs.shape[1] - 1
+
+    def task(self, k: int) -> TaskTrajectory:
+        """Per-task view (used by the serve layer's result fan-out)."""
+        pick = lambda a: None if a is None else a[k]
+        return TaskTrajectory(
+            qs=self.qs[k], qds=self.qds[k], controls=pick(self.controls),
+            forces=pick(self.forces), active=pick(self.active),
+            a_matrices=pick(self.a_matrices),
+            b_matrices=pick(self.b_matrices),
+        )
+
+
+class RolloutWorkspace:
+    """Per-thread trajectory slabs, grown monotonically.
+
+    Steady-state rollouts of one shape never reallocate the big
+    ``(n, T+1, nv)`` stacks — the rollout-level mirror of
+    :class:`repro.dynamics.plan.PlanWorkspace`.
+    """
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.t = 0
+        self.nv = 0
+        self.c = -1
+
+    def ensure(self, n: int, t: int, nv: int, c: int) -> "RolloutWorkspace":
+        if n > self.n or t > self.t or nv > self.nv:
+            self.n = max(n, self.n)
+            self.t = max(t, self.t)
+            self.nv = max(nv, self.nv)
+            shape = (self.n, self.t + 1, self.nv)
+            self.qs = np.zeros(shape)
+            self.qds = np.zeros(shape)
+            self.us = np.zeros((self.n, self.t, self.nv))
+            self.c = -1                 # force contact slab refresh
+        if c > 0 and c > self.c:
+            self.c = c
+            self.forces = np.zeros((self.n, self.t, 3 * c))
+            self.active = np.zeros((self.n, self.t, c), dtype=bool)
+        return self
+
+    def nbytes(self) -> int:
+        total = self.qs.nbytes + self.qds.nbytes + self.us.nbytes
+        if self.c > 0:
+            total += self.forces.nbytes + self.active.nbytes
+        return total
+
+
+class RolloutPlan:
+    """Rollout execution state for one (model, scheme, engine, backend).
+
+    Holds no reference back to the :class:`RobotModel` (the memo cache is
+    weak over models); every public method takes the model explicitly.
+    """
+
+    def __init__(self, model: RobotModel, scheme: str,
+                 engine: Engine, backend_name: str) -> None:
+        if scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; choose from {sorted(SCHEMES)}"
+            )
+        self.scheme = scheme
+        self.engine = engine
+        self.backend_name = backend_name
+        self.robot_name = model.name
+        self.nv = model.nv
+        #: Host execution plan driving the batched contact kinematics.
+        self.xplan = plan_for(model)
+        self._tls = threading.local()
+
+    def workspace(self, n: int, t: int, c: int) -> RolloutWorkspace:
+        ws = getattr(self._tls, "ws", None)
+        if ws is None:
+            ws = RolloutWorkspace()
+            self._tls.ws = ws
+        return ws.ensure(n, t, self.nv, c)
+
+    # ------------------------------------------------------------------
+    # Stepping primitives
+    # ------------------------------------------------------------------
+
+    def _fd(self, model, q, qd, tau, f_ext, contacts, active):
+        """One batched (constrained) FD evaluation: (qdd, forces)."""
+        if contacts:
+            res = batch_constrained_fd(
+                model, q, qd, tau, contacts, f_ext=f_ext, active=active,
+                engine=self.engine, plan=self.xplan,
+            )
+            return res.qdd, res.contact_forces
+        return to_host(self.engine.fd_batch(model, q, qd, tau, f_ext)), None
+
+    def _resolve_mask(self, model, contact_mask, contacts, t, t_steps,
+                      q, qd, ground_height: float):
+        """The ``(n, c)`` active mask for step ``t`` (None = all active).
+
+        Array masks accept shapes ``(c,)`` (static), ``(T, c)`` (shared
+        schedule), ``(n, c)`` (static per task) and ``(n, T, c)``; when
+        ``n == T`` makes a 2-D mask ambiguous, the schedule reading
+        wins — pass ``(n, 1, c)`` to force the per-task reading.
+        """
+        n, c = q.shape[0], len(contacts)
+        if contact_mask is None:
+            return None
+        if isinstance(contact_mask, str):
+            if contact_mask != "ground":
+                raise ValueError(
+                    f"unknown contact mode {contact_mask!r}; the only named "
+                    "mode is 'ground'"
+                )
+            heights = batch_contact_positions(
+                model, q, contacts, self.xplan
+            )[:, :, 2]
+            return heights <= ground_height
+        if callable(contact_mask):
+            mask = np.asarray(contact_mask(t, q, qd), dtype=bool)
+            return np.broadcast_to(mask, (n, c))
+        mask = np.asarray(contact_mask, dtype=bool)
+        if mask.ndim <= 1:
+            return np.broadcast_to(mask, (n, c))
+        if mask.ndim == 2:
+            if mask.shape == (t_steps, c):     # shared schedule
+                return np.broadcast_to(mask[t], (n, c))
+            if mask.shape == (n, c):           # static per-task modes
+                return mask
+        elif mask.ndim == 3 and mask.shape in ((n, t_steps, c),
+                                               (1, t_steps, c),
+                                               (n, 1, c)):
+            sub = mask[:, min(t, mask.shape[1] - 1)]
+            return np.broadcast_to(sub, (n, c))
+        raise ValueError(
+            f"contact_mask shape {mask.shape} is not one of (c,), "
+            f"({t_steps}, c), ({n}, c), ({n}, {t_steps}, c) for "
+            f"n={n}, T={t_steps}, c={c}"
+        )
+
+    # ------------------------------------------------------------------
+    # The rollout loop
+    # ------------------------------------------------------------------
+
+    def rollout(
+        self,
+        model: RobotModel,
+        q0: np.ndarray,
+        qd0: np.ndarray,
+        controls: np.ndarray | None = None,
+        *,
+        dt: float,
+        horizon: int | None = None,
+        policy=None,
+        contacts: list[ContactPoint] | None = None,
+        contact_mask=None,
+        ground_height: float = 0.0,
+        f_ext: dict[int, np.ndarray] | None = None,
+        sensitivities: bool = False,
+    ) -> RolloutResult:
+        """Simulate the batch; see :meth:`RolloutEngine.rollout`."""
+        q = np.atleast_2d(np.asarray(q0, dtype=float)).copy()
+        qd = np.atleast_2d(np.asarray(qd0, dtype=float)).copy()
+        n, nv = q.shape
+        if qd.shape != (n, nv):
+            raise ValueError(
+                f"qd0 must have shape {(n, nv)}, got {qd.shape}"
+            )
+        if policy is None:
+            if controls is None:
+                raise ValueError("pass controls or a policy")
+            controls = np.asarray(controls, dtype=float)
+            if controls.ndim == 2:    # (T, nv) shared by every task
+                controls = np.broadcast_to(
+                    controls, (n,) + controls.shape
+                )
+            if controls.ndim != 3 or controls.shape[0] != n \
+                    or controls.shape[2] != nv:
+                raise ValueError(
+                    f"controls must have shape (T, {nv}) or ({n}, T, {nv}),"
+                    f" got {controls.shape}"
+                )
+            t_steps = controls.shape[1]
+            if horizon is not None and horizon != t_steps:
+                raise ValueError(
+                    f"horizon {horizon} does not match controls ({t_steps})"
+                )
+        else:
+            if horizon is None:
+                raise ValueError("a policy rollout needs an explicit horizon")
+            t_steps = horizon
+        contacts = list(contacts) if contacts else None
+        c = len(contacts) if contacts else 0
+        if sensitivities and contacts:
+            raise ValueError(
+                "sensitivity propagation through contact dynamics is not "
+                "supported; roll out free dynamics or drop sensitivities"
+            )
+        fe = normalize_f_ext(f_ext, n)
+
+        ws = self.workspace(n, t_steps, c)
+        qs, qds = ws.qs[:n, :t_steps + 1], ws.qds[:n, :t_steps + 1]
+        us = ws.us[:n, :t_steps]
+        # The workspace slabs grow monotonically; slice down to this
+        # call's contact width (a previous rollout may have been wider).
+        forces = ws.forces[:n, :t_steps, :3 * c] if contacts else None
+        active_rec = ws.active[:n, :t_steps, :c] if contacts else None
+        a_out = np.zeros((n, t_steps, 2 * nv, 2 * nv)) if sensitivities \
+            else None
+        b_out = np.zeros((n, t_steps, 2 * nv, nv)) if sensitivities else None
+        qs[:, 0] = q
+        qds[:, 0] = qd
+
+        for t in range(t_steps):
+            tau = policy(t, q, qd) if policy is not None else controls[:, t]
+            tau = np.asarray(tau, dtype=float)
+            us[:, t] = tau
+            active = None
+            if contacts:
+                active = self._resolve_mask(
+                    model, contact_mask, contacts, t, t_steps, q, qd,
+                    ground_height,
+                )
+                active_rec[:, t] = True if active is None else active
+            if sensitivities:
+                q, qd = self._step_with_sensitivities(
+                    model, q, qd, tau, fe, dt,
+                    a_out[:, t], b_out[:, t],
+                )
+            else:
+                q, qd, f_t = self._step(
+                    model, q, qd, tau, fe, dt, contacts, active
+                )
+                if contacts:
+                    forces[:, t] = f_t
+            qs[:, t + 1] = q
+            qds[:, t + 1] = qd
+
+        return RolloutResult(
+            qs=qs.copy(), qds=qds.copy(), controls=us.copy(),
+            forces=None if forces is None else forces.copy(),
+            active=None if active_rec is None else active_rec.copy(),
+            a_matrices=a_out, b_matrices=b_out,
+            scheme=self.scheme, dt=dt,
+            engine=self.engine.name, backend=self.backend_name,
+        )
+
+    def _step(self, model, q, qd, tau, fe, dt, contacts, active):
+        """One integrator step; returns (q+, qd+, step forces)."""
+        if self.scheme == "rk4":
+            return self._rk4_step(model, q, qd, tau, fe, dt, contacts,
+                                  active)
+        qdd, f_t = self._fd(model, q, qd, tau, fe, contacts, active)
+        if self.scheme == "euler":
+            q_new = model.batch_integrate(q, dt * qd)
+            qd_new = qd + dt * qdd
+        else:                          # semi-implicit (integrators.euler_step)
+            qd_new = qd + dt * qdd
+            q_new = model.batch_integrate(q, dt * qd_new)
+        return q_new, qd_new, f_t
+
+    def _rk4_step(self, model, q, qd, tau, fe, dt, contacts, active):
+        """Classic RK4 (contact mode frozen over the four stages)."""
+        k1_dqd, f_t = self._fd(model, q, qd, tau, fe, contacts, active)
+        k1_dq = qd
+        q2 = model.batch_integrate(q, 0.5 * dt * k1_dq)
+        qd2 = qd + 0.5 * dt * k1_dqd
+        k2_dqd, _ = self._fd(model, q2, qd2, tau, fe, contacts, active)
+        q3 = model.batch_integrate(q, 0.5 * dt * qd2)
+        qd3 = qd + 0.5 * dt * k2_dqd
+        k3_dqd, _ = self._fd(model, q3, qd3, tau, fe, contacts, active)
+        q4 = model.batch_integrate(q, dt * qd3)
+        qd4 = qd + dt * k3_dqd
+        k4_dqd, _ = self._fd(model, q4, qd4, tau, fe, contacts, active)
+        dq = dt / 6.0 * (k1_dq + 2 * qd2 + 2 * qd3 + qd4)
+        dqd = dt / 6.0 * (k1_dqd + 2 * k2_dqd + 2 * k3_dqd + k4_dqd)
+        return model.batch_integrate(q, dq), qd + dqd, f_t
+
+    # ------------------------------------------------------------------
+    # Sensitivity propagation (paired-derivative kernels)
+    # ------------------------------------------------------------------
+
+    def _step_with_sensitivities(self, model, q, qd, tau, fe, dt,
+                                 a_t, b_t):
+        nv = self.nv
+        if self.scheme == "rk4":
+            return self._rk4_sensitivity_step(model, q, qd, tau, fe, dt,
+                                              a_t, b_t)
+        qdd, dq_j, dqd_j, minv = self.engine.dfd_batch(model, q, qd, tau, fe)
+        qdd, dq_j, dqd_j, minv = (
+            to_host(qdd), to_host(dq_j), to_host(dqd_j), to_host(minv)
+        )
+        eye = np.eye(nv)
+        if self.scheme == "euler":
+            a_t[:, :nv, :nv] = eye
+            a_t[:, :nv, nv:] = dt * eye
+            a_t[:, nv:, :nv] = dt * dq_j
+            a_t[:, nv:, nv:] = eye + dt * dqd_j
+            b_t[:, nv:, :] = dt * minv
+            q_new = model.batch_integrate(q, dt * qd)
+            qd_new = qd + dt * qdd
+        else:                          # semi-implicit, the Fig 2c shape
+            a_t[:, nv:, :nv] = dt * dq_j
+            a_t[:, nv:, nv:] = eye + dt * dqd_j
+            a_t[:, :nv, :nv] = eye + dt * dt * dq_j
+            a_t[:, :nv, nv:] = dt * (eye + dt * dqd_j)
+            b_t[:, nv:, :] = dt * minv
+            b_t[:, :nv, :] = dt * dt * minv
+            qd_new = qd + dt * qdd
+            q_new = model.batch_integrate(q, dt * qd_new)
+        return q_new, qd_new
+
+    def _f_with_jac(self, model, q, qd, tau, fe):
+        nv = self.nv
+        n = q.shape[0]
+        qdd, dq_j, dqd_j, minv = self.engine.dfd_batch(model, q, qd, tau, fe)
+        qdd, dq_j, dqd_j, minv = (
+            to_host(qdd), to_host(dq_j), to_host(dqd_j), to_host(minv)
+        )
+        dx = np.concatenate([qd, qdd], axis=1)
+        jx = np.zeros((n, 2 * nv, 2 * nv))
+        jx[:, :nv, nv:] = np.eye(nv)
+        jx[:, nv:, :nv] = dq_j
+        jx[:, nv:, nv:] = dqd_j
+        ju = np.zeros((n, 2 * nv, nv))
+        ju[:, nv:, :] = minv
+        return dx, jx, ju
+
+    def _rk4_sensitivity_step(self, model, q, qd, tau, fe, dt, a_t, b_t):
+        """Batched mirror of :func:`repro.apps.integrators.rk4_sensitivity_step`."""
+        nv = self.nv
+        identity = np.eye(2 * nv)
+        k1, j1x, j1u = self._f_with_jac(model, q, qd, tau, fe)
+        q2 = model.batch_integrate(q, 0.5 * dt * k1[:, :nv])
+        qd2 = qd + 0.5 * dt * k1[:, nv:]
+        k2, j2x, j2u = self._f_with_jac(model, q2, qd2, tau, fe)
+        q3 = model.batch_integrate(q, 0.5 * dt * k2[:, :nv])
+        qd3 = qd + 0.5 * dt * k2[:, nv:]
+        k3, j3x, j3u = self._f_with_jac(model, q3, qd3, tau, fe)
+        q4 = model.batch_integrate(q, dt * k3[:, :nv])
+        qd4 = qd + dt * k3[:, nv:]
+        k4, j4x, j4u = self._f_with_jac(model, q4, qd4, tau, fe)
+
+        d1x, d1u = j1x, j1u
+        d2x = j2x @ (identity + 0.5 * dt * d1x)
+        d2u = j2u + 0.5 * dt * (j2x @ d1u)
+        d3x = j3x @ (identity + 0.5 * dt * d2x)
+        d3u = j3u + 0.5 * dt * (j3x @ d2u)
+        d4x = j4x @ (identity + dt * d3x)
+        d4u = j4u + dt * (j4x @ d3u)
+
+        dx = dt / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4)
+        a_t[:] = identity + dt / 6.0 * (d1x + 2 * d2x + 2 * d3x + d4x)
+        b_t[:] = dt / 6.0 * (d1u + 2 * d2u + 2 * d3u + d4u)
+        return (model.batch_integrate(q, dx[:, :nv]), qd + dx[:, nv:])
+
+    def describe(self) -> dict:
+        return {
+            "robot": self.robot_name,
+            "scheme": self.scheme,
+            "engine": self.engine.name,
+            "backend": self.backend_name,
+            "fd_per_step": SCHEMES[self.scheme],
+        }
+
+    def __repr__(self) -> str:
+        return (f"RolloutPlan({self.robot_name!r}, scheme={self.scheme!r}, "
+                f"engine={self.engine.name!r}, "
+                f"backend={self.backend_name!r})")
+
+
+# ---------------------------------------------------------------------------
+# Memoization (shared with the serve artifact cache)
+# ---------------------------------------------------------------------------
+
+_ROLLOUT_PLANS: "weakref.WeakKeyDictionary[RobotModel, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+_ROLLOUT_LOCK = threading.Lock()
+
+
+def rollout_plan_for(
+    model: RobotModel,
+    scheme: str = "semi_implicit",
+    engine: str | Engine | None = None,
+    backend: str | None = None,
+) -> RolloutPlan:
+    """The memoized :class:`RolloutPlan` for this combination.
+
+    Keyed per (model, scheme, engine name, backend name) — weakly over
+    models, like :func:`repro.dynamics.plan.plan_for`; the serve artifact
+    cache resolves shard rollout plans through here.
+    """
+    eng = get_engine(engine)
+    backend_name = get_backend(backend).name
+    key = (scheme, eng.name, backend_name)
+    plans = _ROLLOUT_PLANS.get(model)
+    if plans is not None:
+        plan = plans.get(key)
+        if plan is not None:
+            return plan
+    with _ROLLOUT_LOCK:
+        plans = _ROLLOUT_PLANS.get(model)
+        if plans is None:
+            plans = {}
+            _ROLLOUT_PLANS[model] = plans
+        plan = plans.get(key)
+        if plan is None:
+            plan = RolloutPlan(model, scheme, eng, backend_name)
+            plans[key] = plan
+    return plan
+
+
+class RolloutEngine:
+    """Batched trajectory simulator over a scheme/engine/backend choice.
+
+    ``RolloutEngine("rk4", engine="compiled").rollout(model, q0, qd0,
+    controls, dt=1e-3)`` simulates the whole ``(n, T)`` slab; see
+    :meth:`rollout`.
+    """
+
+    def __init__(self, scheme: str = "semi_implicit",
+                 engine: str | Engine | None = None,
+                 backend: str | None = None) -> None:
+        if scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; choose from {sorted(SCHEMES)}"
+            )
+        self.scheme = scheme
+        self.engine = engine
+        self.backend = backend
+
+    def plan(self, model: RobotModel) -> RolloutPlan:
+        return rollout_plan_for(model, self.scheme, self.engine, self.backend)
+
+    def rollout(
+        self,
+        model: RobotModel,
+        q0: np.ndarray,
+        qd0: np.ndarray,
+        controls: np.ndarray | None = None,
+        *,
+        dt: float,
+        horizon: int | None = None,
+        policy=None,
+        contacts: list[ContactPoint] | None = None,
+        contact_mask=None,
+        ground_height: float = 0.0,
+        f_ext: dict[int, np.ndarray] | None = None,
+        sensitivities: bool = False,
+    ) -> RolloutResult:
+        """Simulate ``(n, T)`` trajectories as one batched slab.
+
+        ``q0``/``qd0`` are ``(n, nv)`` (or ``(nv,)`` for a single task);
+        ``controls`` is ``(n, T, nv)``, or ``(T, nv)`` shared across the
+        batch; alternatively pass ``policy(t, q, qd) -> (n, nv)`` with an
+        explicit ``horizon`` for closed-loop rollouts.  ``contacts``
+        switches every step to the batched constrained dynamics, with
+        ``contact_mask`` choosing per-task contact modes per step
+        (``None`` = always active, an array, a callable, or
+        ``"ground"``).  ``sensitivities=True`` additionally propagates
+        exact discrete ``A``/``B`` linearizations via the paired
+        derivative kernels (free dynamics only).
+        """
+        return self.plan(model).rollout(
+            model, q0, qd0, controls, dt=dt, horizon=horizon, policy=policy,
+            contacts=contacts, contact_mask=contact_mask,
+            ground_height=ground_height, f_ext=f_ext,
+            sensitivities=sensitivities,
+        )
+
+
+__all__ = [
+    "RolloutEngine",
+    "RolloutPlan",
+    "RolloutResult",
+    "RolloutWorkspace",
+    "SCHEMES",
+    "TaskTrajectory",
+    "rollout_plan_for",
+]

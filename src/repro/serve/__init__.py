@@ -52,6 +52,18 @@ Architecture — the life of a request::
       :func:`repro.core.scheduler.serial_chains` dependencies; urgent
       single requests (``submit(..., urgent=True)``) take the same bypass
       for deadline-bound clients.
+    * Whole-trajectory rollouts (:meth:`DynamicsService.submit_rollout`)
+      batch by (robot, scheme, dt, horizon, contact set) and execute as
+      one ``(n, T, ...)`` slab through :mod:`repro.rollout` on the
+      shard's engine.  Batching is horizon-aware — each rollout counts
+      its horizon ``T`` against ``BatchPolicy.max_batch_cost`` and the
+      shard pool's cost-weighted backlog — and per-rollout latency/step
+      counts land in metrics.
+    * The metrics registry measures real per-shard batch throughput
+      (EWMA of rows per second of kernel wall time) and the service
+      feeds it back into the ``least_loaded`` weights after every batch
+      (:meth:`~repro.serve.pool.ShardPool.recalibrate_weights`) — the
+      static per-engine priors only steer cold pools.
     * Per-robot derived state (parsed model, auto-fit accelerator build,
       SAPS organization, pipeline graphs, mass-matrix sparsity) lives in
       the **artifact cache**, built once and shared read-only by all
@@ -79,6 +91,8 @@ from repro.serve.pool import (
     engine_throughput_hint,
 )
 from repro.serve.request import (
+    RolloutRequest,
+    RolloutServeResult,
     ServeError,
     ServeRequest,
     ServeResult,
@@ -101,6 +115,8 @@ __all__ = [
     "OpenLoopClient",
     "Reservoir",
     "RobotArtifacts",
+    "RolloutRequest",
+    "RolloutServeResult",
     "ServeError",
     "ServeRequest",
     "ServeResult",

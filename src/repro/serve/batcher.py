@@ -22,7 +22,6 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-from repro.dynamics.functions import RBDFunction
 from repro.serve.request import ServeRequest, ServiceOverloaded
 
 
@@ -41,6 +40,12 @@ class BatchPolicy:
     max_batch: int = 64
     max_wait_s: float = 2e-3
     max_pending: int = 4096
+    #: Horizon-aware flush budget: a group also flushes when the summed
+    #: *cost* of its requests (1 per plain request, the horizon ``T`` per
+    #: rollout) reaches this bound, so long-horizon rollouts coalesce
+    #: into proportionally narrower ``(n, T)`` slabs.  ``None`` disables
+    #: the budget (count-only flushing).
+    max_batch_cost: int | None = 8192
     #: Scheduler-config flag: adapt the effective wait to recent occupancy.
     adaptive_wait: bool = False
     #: Floor of the adaptive wait (only meaningful with ``adaptive_wait``).
@@ -53,6 +58,8 @@ class BatchPolicy:
             raise ValueError("max_wait_s must be >= 0")
         if self.max_pending < self.max_batch:
             raise ValueError("max_pending must be >= max_batch")
+        if self.max_batch_cost is not None and self.max_batch_cost < 1:
+            raise ValueError("max_batch_cost must be >= 1 (or None)")
         if self.min_wait_s < 0:
             raise ValueError("min_wait_s must be >= 0")
         if self.adaptive_wait and self.min_wait_s > self.max_wait_s:
@@ -88,17 +95,23 @@ class DynamicBatcher:
 
     def __init__(self, policy: BatchPolicy | None = None) -> None:
         self.policy = policy or BatchPolicy()
-        self._pending: dict[tuple[str, RBDFunction], list[ServeRequest]] = {}
+        #: Groups are keyed by each request's ``.key`` — ``(robot,
+        #: function)`` for plain requests, the richer rollout identity
+        #: (robot, scheme, dt, horizon, contacts) for rollouts; the
+        #: batcher only requires the key to hash.
+        self._pending: dict[tuple, list] = {}
         self._pending_total = 0
+        #: Summed request ``cost`` per pending group (horizon-aware flush).
+        self._cost_by_key: dict[tuple, int] = {}
         self._lock = threading.Lock()
         #: Per-key adaptive flush timeout (absent key == max_wait_s).  The
         #: wait adapts per (robot, function) stream: a hot key that fills
         #: batches early must not collapse the coalescing window of a
         #: sparse key sharing the batcher.
-        self._wait_by_key: dict[tuple[str, RBDFunction], float] = {}
+        self._wait_by_key: dict[tuple, float] = {}
         self.stats = BatcherStats()
 
-    def _wait_for(self, key: tuple[str, RBDFunction]) -> float:
+    def _wait_for(self, key: tuple) -> float:
         return self._wait_by_key.get(key, self.policy.max_wait_s)
 
     @property
@@ -130,12 +143,18 @@ class DynamicBatcher:
                     f"request queue full ({self.policy.max_pending} pending)"
                 )
             request.arrival_s = now
-            group = self._pending.setdefault(request.key, [])
+            key = request.key
+            group = self._pending.setdefault(key, [])
             group.append(request)
             self._pending_total += 1
+            cost = self._cost_by_key.get(key, 0) + getattr(request, "cost", 1)
+            self._cost_by_key[key] = cost
             self.stats.accepted += 1
-            if len(group) >= self.policy.max_batch:
-                return self._flush_locked(request.key, "full")
+            budget = self.policy.max_batch_cost
+            if len(group) >= self.policy.max_batch or (
+                budget is not None and cost >= budget
+            ):
+                return self._flush_locked(key, "full")
             return None
 
     def poll_expired(self, now: float) -> list[list[ServeRequest]]:
@@ -165,9 +184,9 @@ class DynamicBatcher:
                 return None
             return min(deadlines)
 
-    def _flush_locked(self, key: tuple[str, RBDFunction],
-                      reason: str) -> list[ServeRequest]:
+    def _flush_locked(self, key: tuple, reason: str) -> list[ServeRequest]:
         batch = self._pending.pop(key)
+        self._cost_by_key.pop(key, None)
         self._pending_total -= len(batch)
         self.stats.record_flush(len(batch), reason)
         if self.policy.adaptive_wait:

@@ -67,6 +67,10 @@ class RobotArtifacts:
     #: :attr:`plan`.  Shards configured for a device backend resolve
     #: their plan here, so one robot compiles once per backend.
     plans: dict[str, ExecutionPlan] = field(default_factory=dict)
+    #: Rollout plans keyed by (scheme, engine name, backend name) —
+    #: trajectory workspaces and resolved engines for the rollout-as-a-
+    #: service path (shares the process-wide ``rollout_plan_for`` memo).
+    rollout_plans: dict[tuple, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.plans.setdefault(self.plan.backend.name, self.plan)
@@ -82,6 +86,20 @@ class RobotArtifacts:
         shares the process-wide ``plan_for`` memo)."""
         plan = plan_for(self.model, backend)
         self.plans.setdefault(plan.backend.name, plan)
+        return plan
+
+    def rollout_plan(self, scheme: str, engine=None, backend: str | None = None):
+        """The rollout plan for this robot on (scheme, engine, backend).
+
+        Built/memoized on first use; shares the process-wide
+        :func:`repro.rollout.rollout_plan_for` memo so shard workers for
+        one robot reuse one set of trajectory workspaces per thread.
+        """
+        from repro.rollout import rollout_plan_for
+
+        plan = rollout_plan_for(self.model, scheme, engine, backend)
+        key = (scheme, plan.engine.name, plan.backend_name)
+        self.rollout_plans.setdefault(key, plan)
         return plan
 
 

@@ -86,6 +86,19 @@ class MetricsRegistry:
         #: their placement mix here).
         self._backend_batches: dict[str, int] = {}
         self._backend_requests: dict[str, int] = {}
+        #: Shard index -> EWMA of measured batch throughput (rows/s of
+        #: actual kernel wall time).  This is the live signal the service
+        #: feeds back into the pool's cost weights, replacing the static
+        #: per-engine priors once real traffic has been observed.
+        self._shard_rps: dict[int, float] = {}
+        self._shard_rps_batches: dict[int, int] = {}
+        #: EWMA smoothing factor for the per-shard throughput signal.
+        self.throughput_alpha = 0.25
+        #: Rollout traffic: wall latencies, counts, and step volume.
+        self._rollout_wall = Reservoir(reservoir_capacity, seed=2)
+        self.rollouts_completed = 0
+        self.rollout_steps_total = 0
+        self._rollout_horizons: dict[int, int] = {}
         self.completed = 0
         self.failed = 0
         self._started_s = time.monotonic()
@@ -108,11 +121,30 @@ class MetricsRegistry:
             self._last_completion_s = now
 
     def record_batch(self, size: int, modeled_makespan_cycles: float,
-                     engine: str = "", backend: str = "") -> None:
+                     engine: str = "", backend: str = "",
+                     shard: int | None = None,
+                     wall_s: float | None = None,
+                     rows: int | None = None) -> None:
+        """Record one executed batch.
+
+        ``shard``/``wall_s`` additionally feed the measured per-shard
+        throughput EWMA (``rows`` defaults to ``size``; rollout batches
+        pass their step volume so horizons weigh in).
+        """
         with self._lock:
             self._batch_hist[size] = self._batch_hist.get(size, 0) + 1
             self._batch_requests += size
             self._modeled_busy_cycles += modeled_makespan_cycles
+            if shard is not None and wall_s is not None and wall_s > 0:
+                rate = (size if rows is None else rows) / wall_s
+                prev = self._shard_rps.get(shard)
+                alpha = self.throughput_alpha
+                self._shard_rps[shard] = (
+                    rate if prev is None else alpha * rate + (1 - alpha) * prev
+                )
+                self._shard_rps_batches[shard] = (
+                    self._shard_rps_batches.get(shard, 0) + 1
+                )
             if engine:
                 self._engine_batches[engine] = (
                     self._engine_batches.get(engine, 0) + 1
@@ -127,6 +159,16 @@ class MetricsRegistry:
                 self._backend_requests[backend] = (
                     self._backend_requests.get(backend, 0) + size
                 )
+
+    def record_rollout(self, horizon: int, wall_latency_s: float) -> None:
+        """Record one completed rollout request (T integrator steps)."""
+        with self._lock:
+            self._rollout_wall.add(wall_latency_s)
+            self.rollouts_completed += 1
+            self.rollout_steps_total += horizon
+            self._rollout_horizons[horizon] = (
+                self._rollout_horizons.get(horizon, 0) + 1
+            )
 
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
@@ -168,6 +210,20 @@ class MetricsRegistry:
         """Backend name -> number of requests executed on it."""
         with self._lock:
             return dict(self._backend_requests)
+
+    def measured_shard_rps(self) -> dict[int, float]:
+        """Shard index -> measured batch-throughput EWMA (rows/s)."""
+        with self._lock:
+            return dict(self._shard_rps)
+
+    def rollout_latency(self) -> LatencySummary:
+        with self._lock:
+            return LatencySummary.of(self._rollout_wall)
+
+    def rollout_horizons(self) -> dict[int, int]:
+        """Horizon -> number of rollouts served at that horizon."""
+        with self._lock:
+            return dict(self._rollout_horizons)
 
     def mean_occupancy(self) -> float:
         with self._lock:
@@ -222,4 +278,9 @@ class MetricsRegistry:
             "engine_requests": self.engine_requests(),
             "backend_batches": self.backend_batches(),
             "backend_requests": self.backend_requests(),
+            "measured_shard_rps": self.measured_shard_rps(),
+            "rollouts_completed": self.rollouts_completed,
+            "rollout_steps_total": self.rollout_steps_total,
+            "rollout_p50_ms": self.rollout_latency().p50_s * 1e3,
+            "rollout_p99_ms": self.rollout_latency().p99_s * 1e3,
         }

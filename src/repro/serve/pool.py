@@ -95,46 +95,67 @@ class ShardState:
     #: Requests dispatched to this shard and not yet executed — the unit
     #: the cost-aware placement divides by the throughput weight.
     inflight_requests: int = 0
+    #: Cost-weighted backlog: plain requests count 1, rollouts count
+    #: their horizon ``T`` (the number of serial engine steps they buy).
+    inflight_cost: float = 0.0
     busy_cycles: float = 0.0
     #: Engine/backend this shard executes with (recorded by the service
     #: when it resolves the shard configs; placement and stats read it).
     engine_name: str = ""
     backend_name: str = ""
-    #: Relative throughput estimate for cost-aware placement.
+    #: Relative throughput estimate for cost-aware placement.  Seeded
+    #: from the static per-engine prior; once the service measures real
+    #: per-shard batch throughput the pool recalibrates it
+    #: (:meth:`ShardPool.recalibrate_weights`).
     weight: float = 1.0
+    #: The static prior the weight was seeded with (kept for shards that
+    #: have no measurements yet during recalibration).
+    prior_weight: float = 1.0
+    #: True once :meth:`ShardPool.recalibrate_weights` replaced the prior
+    #: with a measured value.
+    weight_measured: bool = False
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def begin(self, n_requests: int) -> None:
+    def begin(self, n_requests: int, cost: float | None = None) -> None:
         with self._lock:
             self.inflight += 1
             self.inflight_requests += n_requests
+            self.inflight_cost += n_requests if cost is None else cost
             self.dispatched_batches += 1
             self.dispatched_requests += n_requests
 
-    def finish(self, makespan_cycles: float, n_requests: int) -> None:
-        """Close out one batch; ``n_requests`` must mirror :meth:`begin`
-        (required, so a drifted call site fails loudly instead of
-        leaking phantom inflight requests into the cost model)."""
+    def finish(self, makespan_cycles: float, n_requests: int,
+               cost: float | None = None) -> None:
+        """Close out one batch; ``n_requests``/``cost`` must mirror
+        :meth:`begin` (required, so a drifted call site fails loudly
+        instead of leaking phantom inflight requests into the cost
+        model)."""
         with self._lock:
             self.inflight -= 1
             self.inflight_requests -= n_requests
+            self.inflight_cost -= n_requests if cost is None else cost
             self.busy_cycles += makespan_cycles
 
     def backlog(self) -> tuple[int, float]:
         with self._lock:
             return (self.inflight, self.busy_cycles)
 
+    def set_weight(self, weight: float, measured: bool) -> None:
+        with self._lock:
+            self.weight = weight
+            self.weight_measured = measured
+
     def cost_score(self) -> tuple[float, float]:
         """Estimated time-to-drain, in throughput-weighted units.
 
-        Primary key: queued request count over the shard's throughput
+        Primary key: queued request cost over the shard's throughput
         weight (a 4x-faster shard tolerates a 4x-deeper queue); busy
         cycles break ties the same way so an idle-but-historically-busy
         shard still ranks behind a fresh one.
         """
         with self._lock:
             w = self.weight if self.weight > 0 else 1.0
-            return (self.inflight_requests / w, self.busy_cycles / w)
+            return (self.inflight_cost / w, self.busy_cycles / w)
 
 
 class ShardPool:
@@ -188,15 +209,18 @@ class ShardPool:
         return min(self.shards, key=lambda s: s.cost_score())
 
     def dispatch(self, n_requests: int,
-                 work: Callable[[ShardState], float]) -> Future:
+                 work: Callable[[ShardState], float],
+                 cost: float | None = None) -> Future:
         """Run ``work(shard)`` on the pool; ``work`` returns the batch's
-        modeled makespan in cycles, credited to the shard's ledger."""
+        modeled makespan in cycles, credited to the shard's ledger.
+        ``cost`` is the batch's placement weight (defaults to the request
+        count; rollout batches pass their summed horizons)."""
         with self._lock:
             # select+begin must be atomic: two concurrent dispatchers
             # (flusher and a flush-on-full submit) would otherwise both
             # read the same "least loaded" shard before either claims it.
             shard = self._select_locked()
-            shard.begin(n_requests)
+            shard.begin(n_requests, cost)
 
         def run() -> float:
             makespan = 0.0
@@ -204,9 +228,34 @@ class ShardPool:
                 makespan = work(shard)
                 return makespan
             finally:
-                shard.finish(makespan, n_requests)
+                shard.finish(makespan, n_requests, cost)
 
         return self._executors[shard.index].submit(run)
+
+    def recalibrate_weights(self, measured_rps: dict[int, float]) -> None:
+        """Feed measured per-shard throughput back into the cost weights.
+
+        ``measured_rps`` maps shard index -> measured sustained request
+        throughput (the :class:`~repro.serve.metrics.MetricsRegistry`
+        per-shard EWMA).  Measured shards get weights proportional to
+        their real throughput; shards without measurements keep their
+        static prior, rescaled into the same units so mixed pools still
+        compare sensibly.  Once every shard has measurements the static
+        per-engine priors are fully out of the loop.
+        """
+        measured = {
+            i: r for i, r in measured_rps.items()
+            if r > 0 and 0 <= i < len(self.shards)
+        }
+        if not measured:
+            return
+        prior_sum = sum(self.shards[i].prior_weight for i in measured)
+        rps_sum = sum(measured.values())
+        # Scale measured rates into prior units so unmeasured shards'
+        # priors remain comparable during the transition.
+        scale = prior_sum / rps_sum if rps_sum > 0 else 1.0
+        for index, rps in measured.items():
+            self.shards[index].set_weight(rps * scale, measured=True)
 
     def busy_cycles(self) -> list[float]:
         return [s.backlog()[1] for s in self.shards]
@@ -219,6 +268,7 @@ class ShardPool:
                 "engine": s.engine_name,
                 "backend": s.backend_name,
                 "weight": s.weight,
+                "weight_measured": s.weight_measured,
                 "dispatched_requests": s.dispatched_requests,
                 "busy_cycles": s.backlog()[1],
             }

@@ -64,6 +64,75 @@ class ServeRequest:
         """The dynamic batcher's coalescing key."""
         return (self.robot, self.function)
 
+    @property
+    def cost(self) -> int:
+        """Batching cost weight (one pipeline task)."""
+        return 1
+
+
+@dataclass
+class RolloutRequest:
+    """One whole-trajectory simulation submitted to the service.
+
+    Unlike a :class:`ServeRequest` (one pipeline pass), a rollout costs
+    ``T`` serial engine steps; its batching ``cost`` is therefore the
+    horizon, which the dynamic batcher's ``max_batch_cost`` budget and
+    the shard pool's cost-aware placement both account for.
+    """
+
+    robot: str
+    scheme: str
+    q0: np.ndarray                     # (nv,)
+    qd0: np.ndarray                    # (nv,)
+    controls: np.ndarray               # (T, nv)
+    dt: float
+    #: Contact points (tuple so the coalescing key can hash them) plus an
+    #: optional per-step activation mask ``(T, c)``.
+    contacts: tuple = ()
+    contact_mask: np.ndarray | None = None
+    sensitivities: bool = False
+    arrival_s: float = 0.0
+    urgent: bool = False
+    future: Future = field(default_factory=Future, repr=False)
+
+    @property
+    def horizon(self) -> int:
+        return self.controls.shape[0]
+
+    @property
+    def cost(self) -> int:
+        """Batching cost weight: one engine step per horizon step."""
+        return self.horizon
+
+    @property
+    def key(self) -> tuple:
+        """Coalescing key: only rollouts sharing integrator, step size,
+        horizon and contact set can ride one ``(n, T, ...)`` slab."""
+        from repro.dynamics.contact_batch import contact_signature
+
+        return ("rollout", self.robot, self.scheme, self.dt, self.horizon,
+                contact_signature(self.contacts), self.sensitivities)
+
+
+@dataclass
+class RolloutServeResult:
+    """One task's trajectory plus the service-level accounting."""
+
+    robot: str
+    scheme: str
+    #: The per-task :class:`repro.rollout.TaskTrajectory` slice.
+    value: object
+    wall_latency_s: float
+    modeled_latency_cycles: float
+    modeled_latency_s: float
+    modeled_makespan_cycles: float
+    horizon: int
+    #: Number of whole rollouts coalesced into the executed slab.
+    batch_size: int
+    shard: int
+    engine: str = ""
+    backend: str = ""
+
 
 @dataclass
 class ServeResult:

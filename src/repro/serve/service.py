@@ -53,7 +53,10 @@ from repro.serve.pool import (
     engine_throughput_hint,
 )
 from repro.model.library import load_robot
+from repro.rollout import SCHEMES
 from repro.serve.request import (
+    RolloutRequest,
+    RolloutServeResult,
     ServeRequest,
     ServeResult,
     ServiceClosed,
@@ -106,6 +109,9 @@ class DynamicsService:
                 if shard_config.throughput_weight is not None
                 else engine_throughput_hint(eng)
             )
+            # The static prior seeds placement until real measurements
+            # arrive; recalibrate_weights keeps it for unmeasured shards.
+            shard.prior_weight = shard.weight
         self.metrics = MetricsRegistry()
         self._profiles: dict[tuple[str, RBDFunction, int, bool], BatchProfile] = {}
         self._profile_lock = threading.Lock()
@@ -318,6 +324,109 @@ class DynamicsService:
             self._dispatch(requests, chained=True)
         return [r.future for r in requests]
 
+    def _validate_rollout(self, request: RolloutRequest) -> None:
+        """Reject malformed rollout inputs at the submitting caller."""
+        if request.scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown rollout scheme {request.scheme!r}; choose from "
+                f"{sorted(SCHEMES)}"
+            )
+        if request.dt <= 0:
+            raise ValueError(f"dt must be > 0, got {request.dt}")
+        model = load_robot(request.robot)
+        nv = model.nv
+        for label, operand in (("q0", request.q0), ("qd0", request.qd0)):
+            if np.shape(operand) != (nv,):
+                raise ValueError(
+                    f"{label} must have shape ({nv},) for robot "
+                    f"{request.robot!r}, got {np.shape(operand)}"
+                )
+        if request.controls.ndim != 2 or request.controls.shape[1] != nv \
+                or request.controls.shape[0] < 1:
+            raise ValueError(
+                f"controls must have shape (T, {nv}) with T >= 1, "
+                f"got {request.controls.shape}"
+            )
+        for contact in request.contacts:
+            if not 0 <= contact.link < model.nb:
+                raise ValueError(
+                    f"contact link index {contact.link} out of range for "
+                    f"robot {request.robot!r} (nb={model.nb})"
+                )
+        if request.contact_mask is not None:
+            if not request.contacts:
+                raise ValueError("contact_mask given without contacts")
+            expected = (request.horizon, len(request.contacts))
+            if np.shape(request.contact_mask) != expected:
+                raise ValueError(
+                    f"contact_mask must have shape {expected}, "
+                    f"got {np.shape(request.contact_mask)}"
+                )
+        if request.sensitivities and request.contacts:
+            raise ValueError(
+                "sensitivities are not available for contact rollouts"
+            )
+
+    def submit_rollout(
+        self,
+        robot: str,
+        q0: np.ndarray,
+        qd0: np.ndarray,
+        controls: np.ndarray,
+        dt: float,
+        scheme: str = "semi_implicit",
+        contacts: list | None = None,
+        contact_mask: np.ndarray | None = None,
+        sensitivities: bool = False,
+        urgent: bool = False,
+    ) -> Future:
+        """Submit one whole-trajectory rollout; resolves to a
+        :class:`RolloutServeResult`.
+
+        Rollouts batch by (robot, scheme, dt, horizon, contact set): the
+        coalesced group executes as one ``(n, T, ...)`` slab on a shard's
+        engine (:mod:`repro.rollout`).  The batcher's ``max_batch_cost``
+        budget is horizon-aware — each rollout counts ``T`` toward the
+        flush budget — and shard placement weighs rollouts by horizon.
+        ``contact_mask`` is this request's per-step ``(T, c)`` activation
+        schedule; ``urgent=True`` bypasses the batcher like plain urgent
+        requests do.
+        """
+        request = RolloutRequest(
+            robot=robot, scheme=scheme,
+            q0=np.asarray(q0, dtype=float),
+            qd0=np.asarray(qd0, dtype=float),
+            controls=np.asarray(controls, dtype=float),
+            dt=float(dt),
+            contacts=tuple(contacts or ()),
+            contact_mask=(
+                None if contact_mask is None
+                else np.asarray(contact_mask, dtype=bool)
+            ),
+            sensitivities=sensitivities,
+            urgent=urgent,
+        )
+        self._validate_rollout(request)
+        with self._lifecycle_lock:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            with self._counter_lock:
+                dispatched = self._dispatched_outstanding
+            if urgent:
+                self._check_backpressure(1)
+                request.arrival_s = time.monotonic()
+                self.batcher.stats.accepted += 1
+                self.batcher.stats.urgent += 1
+                self._dispatch([request], chained=False)
+                return request.future
+            batch = self.batcher.add(request, time.monotonic(),
+                                     extra_pending=dispatched)
+            if batch is not None:
+                self._dispatch(batch, chained=False)
+            else:
+                self._wake.set()
+        return request.future
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -409,11 +518,15 @@ class DynamicsService:
                 f"request queue full ({self.policy.max_pending} pending)"
             )
 
-    def _dispatch(self, batch: list[ServeRequest], chained: bool) -> None:
+    def _dispatch(self, batch: list, chained: bool) -> None:
         with self._counter_lock:
             self._dispatched_outstanding += len(batch)
+        # Placement cost: 1 per plain request, the horizon per rollout —
+        # a 64-step rollout occupies a shard like 64 pipeline tasks.
+        cost = sum(getattr(r, "cost", 1) for r in batch)
         self.pool.dispatch(
-            len(batch), lambda shard: self._execute(shard, batch, chained)
+            len(batch), lambda shard: self._execute(shard, batch, chained),
+            cost=cost,
         )
 
     def _profile(self, artifacts: RobotArtifacts, function: RBDFunction,
@@ -454,10 +567,12 @@ class DynamicsService:
             for link in links
         }
 
-    def _execute(self, shard: ShardState, batch: list[ServeRequest],
+    def _execute(self, shard: ShardState, batch: list,
                  chained: bool) -> float:
         """Run one coalesced batch on ``shard``; returns makespan cycles."""
         try:
+            if isinstance(batch[0], RolloutRequest):
+                return self._execute_rollout(shard, batch)
             return self._execute_inner(shard, batch, chained)
         finally:
             with self._counter_lock:
@@ -490,10 +605,12 @@ class DynamicsService:
             # be safe against) falls back to engine-side Minv: correct
             # for everyone instead of failing the whole batch.
             f_ext = self._stack_f_ext(batch)
+            exec_start = time.perf_counter()
             values = batch_evaluate(
                 model, function, BatchStates(q, qd), u, minv=minv,
                 f_ext=f_ext, engine=engine,
             )
+            exec_wall = time.perf_counter() - exec_start
             profile = self._profile(artifacts, function, len(batch), chained)
         except Exception as exc:  # resolve every future, never hang a client
             for r in batch:
@@ -502,7 +619,11 @@ class DynamicsService:
             self.metrics.record_failure(len(batch))
             return 0.0
         self.metrics.record_batch(len(batch), profile.makespan_cycles,
-                                  engine=engine.name, backend=backend_name)
+                                  engine=engine.name, backend=backend_name,
+                                  shard=shard.index, wall_s=exec_wall)
+        # Feed the measured per-shard throughput back into placement: the
+        # static per-engine priors only steer until real traffic lands.
+        self.pool.recalibrate_weights(self.metrics.measured_shard_rps())
         modeled_s = self.config.cycles_to_seconds(profile.mean_latency_cycles)
         now = time.monotonic()
         for r, value in zip(batch, values):
@@ -529,3 +650,86 @@ class DynamicsService:
             except InvalidStateError:
                 continue        # cancellation raced; don't strand batchmates
         return profile.makespan_cycles
+
+    def _execute_rollout(self, shard: ShardState,
+                         batch: list[RolloutRequest]) -> float:
+        """Run one coalesced rollout slab on ``shard``.
+
+        All requests in the batch share one key (robot, scheme, dt,
+        horizon, contact set), so their initial states and control
+        sequences stack into one ``(n, T, ...)`` rollout; the modeled
+        accelerator cost is ``T`` serial FD passes (times the scheme's
+        stage count) over the n-task batch.
+        """
+        first = batch[0]
+        engine = self._shard_engines[shard.index]
+        backend_name = self._shard_backends[shard.index]
+        n = len(batch)
+        t_steps = first.horizon
+        try:
+            artifacts = self.cache.get(first.robot, backend=backend_name)
+            model = artifacts.model
+            nv = model.nv
+            q0 = stack_rows("q0", [r.q0 for r in batch], (nv,))
+            qd0 = stack_rows("qd0", [r.qd0 for r in batch], (nv,))
+            # Controls were coerced and shape-checked per request in
+            # submit_rollout; one C-level stack suffices here.
+            controls = np.stack([r.controls for r in batch])
+            contacts = list(first.contacts) or None
+            mask = None
+            if contacts and any(r.contact_mask is not None for r in batch):
+                c = len(contacts)
+                mask = np.stack([
+                    r.contact_mask if r.contact_mask is not None
+                    else np.ones((t_steps, c), dtype=bool)
+                    for r in batch
+                ])
+            plan = artifacts.rollout_plan(first.scheme, engine, backend_name)
+            exec_start = time.perf_counter()
+            result = plan.rollout(
+                model, q0, qd0, controls, dt=first.dt, contacts=contacts,
+                contact_mask=mask, sensitivities=first.sensitivities,
+            )
+            exec_wall = time.perf_counter() - exec_start
+            profile = self._profile(artifacts, RBDFunction.FD, n, False)
+        except Exception as exc:  # resolve every future, never hang a client
+            for r in batch:
+                if not r.future.done():
+                    r.future.set_exception(exc)
+            self.metrics.record_failure(n)
+            return 0.0
+        # Modeled cost: the scheme's FD passes are serial in t but
+        # batched across tasks — T * stages pipeline fills of an n-batch.
+        passes = SCHEMES[first.scheme] * t_steps
+        makespan = profile.makespan_cycles * passes
+        latency_cycles = profile.mean_latency_cycles * passes
+        self.metrics.record_batch(
+            n, makespan, engine=engine.name, backend=backend_name,
+            shard=shard.index, wall_s=exec_wall, rows=n * t_steps,
+        )
+        self.pool.recalibrate_weights(self.metrics.measured_shard_rps())
+        modeled_s = self.config.cycles_to_seconds(latency_cycles)
+        now = time.monotonic()
+        for k, r in enumerate(batch):
+            if r.future.cancelled():
+                continue
+            self.metrics.record_request(now - r.arrival_s, modeled_s)
+            self.metrics.record_rollout(t_steps, now - r.arrival_s)
+            try:
+                r.future.set_result(RolloutServeResult(
+                    robot=r.robot,
+                    scheme=r.scheme,
+                    value=result.task(k),
+                    wall_latency_s=now - r.arrival_s,
+                    modeled_latency_cycles=latency_cycles,
+                    modeled_latency_s=modeled_s,
+                    modeled_makespan_cycles=makespan,
+                    horizon=t_steps,
+                    batch_size=n,
+                    shard=shard.index,
+                    engine=engine.name,
+                    backend=backend_name,
+                ))
+            except InvalidStateError:
+                continue
+        return makespan
