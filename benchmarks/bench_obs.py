@@ -1,0 +1,196 @@
+"""Observability overhead guard: disabled hooks must cost < 2%.
+
+The engine kernels (:mod:`repro.dynamics.plan`, the batched contact
+solve, the rollout step loop) carry permanent instrumentation points
+(:mod:`repro.obs.hooks`).  When no profiler/tracer is installed each
+point is two function calls and one module-global check; this bench
+proves that residue is invisible on the workloads ``bench_plan`` and
+``bench_rollout`` time:
+
+* measure the per-call cost of one disabled ``kernel_begin`` /
+  ``kernel_end`` pair directly (tight loop, best-of);
+* count how many hook pairs one batched evaluation / one rollout slab
+  actually executes (a profiled dry run counts them exactly);
+* assert ``pairs x pair_cost < 2%`` of the measured disabled-state
+  kernel time for both workloads.
+
+The enabled-state slowdown is also measured and reported (not gated —
+profiling is opt-in, you pay for what you turn on).
+
+Runs under pytest or directly for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick --json
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.dynamics import BatchStates, batch_evaluate
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import load_robot
+from repro.rollout import RolloutEngine
+
+#: Disabled instrumentation must stay under this fraction of kernel time.
+OVERHEAD_BUDGET = 0.02
+PLAN_ROBOT = "hyq"
+PLAN_BATCH = 64
+ROLLOUT_BATCH = 32
+ROLLOUT_HORIZON = 16
+
+
+def measure_pair_cost_s(iters: int = 100_000) -> float:
+    """Per-call cost of one disabled kernel_begin/kernel_end pair."""
+    from repro.obs import hooks
+
+    assert not hooks.enabled, "hooks must be uninstalled for this measure"
+    begin = hooks.kernel_begin
+    end = hooks.kernel_end
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            end(begin(), "robot", "kernel", 1)
+        best = min(best, time.perf_counter() - t0)
+    return best / iters
+
+
+def _count_hook_pairs(run) -> int:
+    """Exact hook-pair count for one call of ``run`` (profiled dry run).
+
+    Per-level points are cheaper than a full pair when disabled (one
+    local-bool branch), so counting them as whole pairs makes the bound
+    conservative.
+    """
+    profiler = obs.KernelProfiler(per_level=True)
+    with obs.profiled(profiler=profiler):
+        run()
+    pairs = 0
+    for stat in profiler.breakdown().values():
+        pairs += stat["calls"]
+        pairs += sum(lv["calls"] for lv in stat.get("levels", {}).values())
+    return pairs
+
+
+def _time_best(run, reps: int) -> float:
+    run()                                   # warm-up
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _workloads(quick: bool) -> list[tuple[str, object]]:
+    """(name, zero-arg callable) pairs mirroring bench_plan/bench_rollout."""
+    plan_model = load_robot(PLAN_ROBOT)
+    batch = 16 if quick else PLAN_BATCH
+    states = BatchStates.random(plan_model, batch, seed=0)
+    u = np.random.default_rng(1).normal(size=(batch, plan_model.nv))
+
+    def run_plan():
+        batch_evaluate(plan_model, RBDFunction.FD, states, u,
+                       engine="compiled")
+
+    roll_model = load_robot("iiwa")
+    n = 8 if quick else ROLLOUT_BATCH
+    t_steps = 8 if quick else ROLLOUT_HORIZON
+    rng = np.random.default_rng(2)
+    q0 = rng.normal(size=(n, roll_model.nv)) * 0.1
+    qd0 = np.zeros((n, roll_model.nv))
+    controls = rng.normal(size=(n, t_steps, roll_model.nv)) * 0.05
+    roll = RolloutEngine("semi_implicit", engine="compiled")
+
+    def run_rollout():
+        roll.rollout(roll_model, q0, qd0, controls, dt=1e-3)
+
+    return [("plan/FD", run_plan), ("rollout/semi_implicit", run_rollout)]
+
+
+def run_obs_bench(quick: bool = False) -> list[dict]:
+    """Rows of {workload, pairs, pair_cost_ns, disabled_s, enabled_s,
+    bound_overhead, enabled_ratio} for the two guarded workloads."""
+    obs.uninstall()                         # guarantee the disabled state
+    pair_cost = measure_pair_cost_s(20_000 if quick else 100_000)
+    reps = 3 if quick else 10
+    rows = []
+    for name, run in _workloads(quick):
+        pairs = _count_hook_pairs(run)
+        disabled_s = _time_best(run, reps)
+        profiler = obs.KernelProfiler(per_level=True)
+        with obs.profiled(profiler=profiler):
+            enabled_s = _time_best(run, reps)
+        rows.append({
+            "workload": name,
+            "hook_pairs": pairs,
+            "pair_cost_ns": pair_cost * 1e9,
+            "disabled_s": disabled_s,
+            "enabled_s": enabled_s,
+            # The guarded quantity: an upper bound on what the disabled
+            # instrumentation can cost, as a fraction of kernel time.
+            "bound_overhead": pairs * pair_cost / disabled_s,
+            "enabled_ratio": enabled_s / disabled_s,
+        })
+    return rows
+
+
+def _obs_table(rows):
+    from repro.reporting import Table
+
+    table = Table(
+        "obs: disabled-hook overhead bound (budget "
+        f"{OVERHEAD_BUDGET:.0%} of kernel time)",
+        ["workload", "pairs", "pair (ns)", "disabled (ms)", "enabled (ms)",
+         "bound", "enabled x"],
+    )
+    for row in rows:
+        table.add_row(
+            row["workload"], row["hook_pairs"], row["pair_cost_ns"],
+            row["disabled_s"] * 1e3, row["enabled_s"] * 1e3,
+            f"{row['bound_overhead']:.4%}", row["enabled_ratio"],
+        )
+    return table
+
+
+def test_disabled_overhead_budget(once):
+    """Disabled instrumentation bounded under 2% on both workloads."""
+    from conftest import record_table
+
+    def _check():
+        rows = run_obs_bench()
+        record_table(_obs_table(rows))
+        for row in rows:
+            assert row["bound_overhead"] < OVERHEAD_BUDGET, row
+
+    once(_check)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    rows = run_obs_bench(quick)
+    print(f"bench_obs: {'quick' if quick else 'full'} mode")
+    print(_obs_table(rows).render())
+    worst = max(row["bound_overhead"] for row in rows)
+    print(f"\nworst disabled-overhead bound: {worst:.4%} "
+          f"(budget {OVERHEAD_BUDGET:.0%})")
+    if "--json" in argv:
+        from jsonout import write_bench_json
+
+        path = write_bench_json(
+            "obs", rows,
+            {"worst_bound_overhead": worst, "budget": OVERHEAD_BUDGET},
+        )
+        print(f"wrote {path}")
+    if worst >= OVERHEAD_BUDGET:
+        print("FAIL: disabled instrumentation bound exceeds budget",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -167,6 +167,23 @@ def main(argv: list[str]) -> int:
     if "--json" in argv:
         from jsonout import write_bench_json
 
+        from repro import obs
+
+        # One extra profiled pass per (robot, function) at the largest
+        # batch — after the timing loops, which ran with hooks disabled —
+        # so the JSON carries the per-kernel breakdown alongside the
+        # end-to-end numbers.
+        profiler = obs.KernelProfiler(per_level=True)
+        tracer = obs.Tracer()
+        with obs.profiled(profiler=profiler, tracer=tracer):
+            for robot, _ in robots:
+                model = load_robot(robot)
+                batch = max(batches)
+                states = BatchStates.random(model, batch, seed=0)
+                u = np.random.default_rng(1).normal(size=(batch, model.nv))
+                for function in functions:
+                    batch_evaluate(model, function, states, u,
+                                   engine="compiled")
         json_rows = [
             {**row, "engine": "compiled", "backend": "numpy"}
             for row in rows
@@ -174,7 +191,9 @@ def main(argv: list[str]) -> int:
         path = write_bench_json(
             "plan", json_rows,
             {"worst_branched_fd_speedup": worst, "floor": SMOKE_FLOOR,
-             "target": BRANCHED_FD_TARGET},
+             "target": BRANCHED_FD_TARGET,
+             "kernel_breakdown": profiler.snapshot(),
+             "trace_summary": tracer.summary()},
         )
         print(f"wrote {path}")
     if worst < SMOKE_FLOOR:

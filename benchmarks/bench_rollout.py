@@ -70,12 +70,35 @@ def main(argv: list[str]) -> int:
     print(f"\nbest batched-rollout speedup: {best:.1f}x "
           f"(target {SPEEDUP_TARGET:.0f}x at batch 256, floor {floor:.0f}x)")
     if "--json" in argv:
+        import numpy as np
+
         from jsonout import write_bench_json
 
+        from repro import obs
+        from repro.model.library import load_robot
+        from repro.rollout import RolloutEngine
+
+        # One extra profiled slab (after the timing loops, which ran
+        # with hooks disabled) so the JSON carries the per-step kernel
+        # breakdown alongside the throughput numbers.
+        model = load_robot("iiwa")
+        rng = np.random.default_rng(0)
+        profiler = obs.KernelProfiler()
+        tracer = obs.Tracer()
+        with obs.profiled(profiler=profiler, tracer=tracer):
+            RolloutEngine("semi_implicit", engine="compiled").rollout(
+                model,
+                rng.normal(size=(batch, model.nv)) * 0.1,
+                np.zeros((batch, model.nv)),
+                rng.normal(size=(batch, horizons[0], model.nv)) * 0.05,
+                dt=1e-3,
+            )
         path = write_bench_json(
             "rollout", rows,
             {"best_speedup": best, "target": SPEEDUP_TARGET,
-             "floor": floor, "batch": batch},
+             "floor": floor, "batch": batch,
+             "kernel_breakdown": profiler.snapshot(),
+             "trace_summary": tracer.summary()},
         )
         print(f"wrote {path}")
     if best < floor:

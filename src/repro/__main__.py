@@ -12,6 +12,8 @@ Examples::
         --shard-policy least_loaded
     python -m repro rollout-bench --batch 256 --horizon 16
     python -m repro rollout-bench --workload quadruped_contact
+    python -m repro trace iiwa --requests 32 --out TRACE_iiwa.json
+    python -m repro trace hyq --prometheus
 
 ``engines`` probes the execution-engine registry and the array backends
 (:mod:`repro.backend`): which engines are selectable, whether cupy/jax
@@ -176,6 +178,83 @@ def cmd_rollout_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a traced serve workload and export the observability views.
+
+    Drives a short :class:`~repro.serve.service.DynamicsService` load —
+    plain requests, one urgent request, and one rollout carrying an
+    external force — with a :class:`~repro.obs.Tracer` and
+    :class:`~repro.obs.KernelProfiler` installed, then writes the
+    Chrome-trace JSON (load it at ``chrome://tracing`` or
+    https://ui.perfetto.dev) and prints the span summary and per-kernel
+    breakdown.  ``--prometheus`` additionally dumps the unified
+    telemetry registry in text exposition format.
+    """
+    import numpy as np
+
+    from repro import obs
+    from repro.serve import BatchPolicy, DynamicsService
+
+    model = load_robot(args.robot)
+    function = args.function or RBDFunction.FD
+    rng = np.random.default_rng(args.seed)
+    tracer = obs.Tracer()
+    profiler = obs.KernelProfiler(per_level=args.per_level)
+    obs.install(profiler=profiler, tracer=tracer)
+    try:
+        policy = BatchPolicy(max_batch=args.max_batch, max_wait_s=2e-3)
+        with DynamicsService(policy=policy, n_shards=args.shards,
+                             shard_policy="least_loaded",
+                             warm_robots=[args.robot],
+                             tracer=tracer) as service:
+            futures = []
+            for _ in range(args.requests):
+                futures.append(service.submit(
+                    args.robot, function,
+                    rng.standard_normal(model.nv),
+                    rng.standard_normal(model.nv),
+                    rng.standard_normal(model.nv),
+                ))
+            # One urgent request: a singleton batch whose trace ID is the
+            # execute span's primary, the easiest trace to follow.
+            futures.append(service.submit(
+                args.robot, function,
+                rng.standard_normal(model.nv),
+                rng.standard_normal(model.nv),
+                rng.standard_normal(model.nv),
+                urgent=True,
+            ))
+            # One rollout with an external force on the last link.
+            futures.append(service.submit_rollout(
+                args.robot,
+                rng.standard_normal(model.nv) * 0.1,
+                np.zeros(model.nv),
+                rng.standard_normal((args.horizon, model.nv)) * 0.05,
+                dt=1e-3,
+                f_ext={model.nb - 1: np.array([0, 0, 0, 0, 0, -4.0])},
+            ))
+            service.flush()
+            for future in futures:
+                future.result(timeout=60.0)
+            telemetry = service.telemetry()
+    finally:
+        obs.uninstall()
+
+    out = args.out or f"TRACE_{args.robot}.json"
+    tracer.export_chrome(out)
+    summary = tracer.summary()
+    print(f"trace: {summary['spans']} spans, {summary['traces']} traces "
+          f"-> {out}")
+    print()
+    print(obs.format_summary(summary))
+    print()
+    print(obs.format_breakdown(profiler.breakdown()))
+    if args.prometheus:
+        print()
+        print(telemetry.prometheus(), end="")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Dadu-RBD reproduction CLI"
@@ -228,6 +307,28 @@ def main(argv: list[str] | None = None) -> int:
     rollout.add_argument("--engine", default="compiled")
     rollout.add_argument("--baseline-tasks", type=int, default=4)
     rollout.set_defaults(handler=cmd_rollout_bench)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced serve workload; export Chrome-trace JSON "
+             "and kernel/telemetry summaries",
+    )
+    _add_robot_argument(trace)
+    trace.add_argument("--function", type=_function, default=None)
+    trace.add_argument("--requests", type=int, default=32)
+    trace.add_argument("--horizon", type=int, default=8)
+    trace.add_argument("--max-batch", type=int, default=16)
+    trace.add_argument("--shards", type=int, default=2)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--per-level", action="store_true",
+                       help="record per-recursion-level kernel timing")
+    trace.add_argument("--out", default=None,
+                       help="Chrome-trace output path "
+                            "(default TRACE_<robot>.json)")
+    trace.add_argument("--prometheus", action="store_true",
+                       help="also print the telemetry registry in "
+                            "Prometheus text exposition format")
+    trace.set_defaults(handler=cmd_trace)
 
     args = parser.parse_args(argv)
     return args.handler(args)

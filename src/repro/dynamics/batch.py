@@ -35,6 +35,7 @@ from repro.dynamics.derivatives import FDDerivatives, IDDerivatives
 from repro.dynamics.engine import Engine, get_engine, normalize_f_ext
 from repro.dynamics.functions import RBDFunction
 from repro.model.robot import RobotModel
+from repro.obs import hooks as _obs
 
 #: Dispatchable functions beyond the seven Table-I ones, keyed by name.
 #: Handlers have the signature
@@ -225,8 +226,11 @@ def batch_evaluate(
                 f"unknown batch function {function!r}; registered extension "
                 f"functions: {batch_function_names()}"
             )
-        return handler(model, states, u=u, minv=minv, f_ext=f_ext,
-                       engine=engine, **kwargs)
+        t0 = _obs.kernel_begin()
+        out = handler(model, states, u=u, minv=minv, f_ext=f_ext,
+                      engine=engine, **kwargs)
+        _obs.kernel_end(t0, model.name, f"dispatch.{function}", len(states))
+        return out
     if kwargs:
         raise TypeError(
             f"{function.value} takes no extra keyword arguments: "
@@ -260,28 +264,39 @@ def batch_evaluate(
             f"q must have shape ({n}, {model.nv}) for robot "
             f"{model.name!r}, got {q.shape}"
         )
+    t0 = _obs.kernel_begin()
     if function is RBDFunction.ID:
-        return list(eng.id_batch(model, q, qd, u, fe))
-    if function is RBDFunction.FD:
-        return list(eng.fd_batch(model, q, qd, u, fe))
-    if function is RBDFunction.M:
-        return list(eng.m_batch(model, q))
-    if function is RBDFunction.MINV:
-        return list(eng.minv_batch(model, q))
-    if function is RBDFunction.DID:
+        out = list(eng.id_batch(model, q, qd, u, fe))
+    elif function is RBDFunction.FD:
+        out = list(eng.fd_batch(model, q, qd, u, fe))
+    elif function is RBDFunction.M:
+        out = list(eng.m_batch(model, q))
+    elif function is RBDFunction.MINV:
+        out = list(eng.minv_batch(model, q))
+    elif function is RBDFunction.DID:
         dtau_dq, dtau_dqd = eng.did_batch(model, q, qd, u, fe)
-        return [
+        out = [
             IDDerivatives(dtau_dq=dtau_dq[k], dtau_dqd=dtau_dqd[k])
             for k in range(n)
         ]
-    if function is RBDFunction.DFD:
+    elif function is RBDFunction.DFD:
         qdd, dqdd_dq, dqdd_dqd, minv_out = eng.dfd_batch(model, q, qd, u, fe)
+        out = _fan_out_fd(qdd, dqdd_dq, dqdd_dqd, minv_out, n)
     elif function is RBDFunction.DIFD:
         qdd, dqdd_dq, dqdd_dqd, minv_out = eng.difd_batch(
             model, q, qd, u, minv, fe
         )
+        out = _fan_out_fd(qdd, dqdd_dq, dqdd_dqd, minv_out, n)
     else:
         raise ValueError(f"unknown function {function!r}")
+    _obs.kernel_end(
+        t0, model.name,
+        f"dispatch.{function.value}[{getattr(eng, 'name', '?')}]", n,
+    )
+    return out
+
+
+def _fan_out_fd(qdd, dqdd_dq, dqdd_dqd, minv_out, n: int) -> list:
     return [
         FDDerivatives(
             dqdd_dq=dqdd_dq[k],

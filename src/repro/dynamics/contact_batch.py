@@ -38,6 +38,7 @@ from repro.dynamics.contact import ContactPoint, ConstrainedDynamicsResult
 from repro.dynamics.engine import Engine, get_engine, normalize_f_ext
 from repro.dynamics.plan import ExecutionPlan, plan_for
 from repro.model.robot import RobotModel
+from repro.obs import hooks as _obs
 from repro.spatial.transforms import (
     inverse_transform,
     transform_rotation,
@@ -262,10 +263,13 @@ def batch_constrained_fd(
     if plan is None:
         plan = plan_for(model)
     # One world-transform sweep serves the Jacobian and the drift term.
+    t0 = _obs.kernel_begin()
     xw = plan.world_transforms_batch(q)
     jac = batch_contact_jacobian(model, q, contacts, plan, xw=xw)
     jdot_qd = batch_jacobian_dot_qd(model, q, qd, contacts, plan=plan,
                                     xw=xw)
+    _obs.kernel_end(t0, model.name, "contact.kinematics", n)
+    t0 = _obs.kernel_begin()
     jt = np.swapaxes(jac, -1, -2)
     lam = jac @ minv @ jt
     m = jac.shape[1]
@@ -280,6 +284,7 @@ def batch_constrained_fd(
         mask3 = _coordinate_mask(active, n, len(contacts))
     forces = -_masked_schur_solve(lam, rhs, mask3)
     qdd = free_qdd + (minv @ (jt @ forces[:, :, None]))[..., 0]
+    _obs.kernel_end(t0, model.name, "contact.schur", n)
     return BatchConstrainedResult(qdd=qdd, contact_forces=forces,
                                   active=active)
 
@@ -309,6 +314,7 @@ def batch_contact_impulse(
     if minv is None:
         minv = to_host(eng.minv_batch(model, q))
     jac = batch_contact_jacobian(model, q, contacts, plan)
+    t0 = _obs.kernel_begin()
     jt = np.swapaxes(jac, -1, -2)
     lam = jac @ minv @ jt
     m = jac.shape[1]
@@ -321,7 +327,9 @@ def batch_contact_impulse(
     if active is not None:
         mask3 = _coordinate_mask(active, n, len(contacts))
     impulse = -_masked_schur_solve(lam, rhs, mask3)
-    return qd_minus + (minv @ (jt @ impulse[:, :, None]))[..., 0]
+    qd_plus = qd_minus + (minv @ (jt @ impulse[:, :, None]))[..., 0]
+    _obs.kernel_end(t0, model.name, "impulse.schur", n)
+    return qd_plus
 
 
 # ---------------------------------------------------------------------------

@@ -70,6 +70,7 @@ from repro.backend import (
     host_backend,
 )
 from repro.dynamics.mminv import _symmetrize_from_rows
+from repro.obs import hooks as _obs
 from repro.model.joints import PrismaticJoint, RevoluteJoint
 from repro.model.robot import RobotModel
 from repro.model.topology import decompose, level_schedule
@@ -517,6 +518,7 @@ class ExecutionPlan:
         from repro.spatial.so3 import exp_so3
         from repro.spatial.transforms import rot, xlt
 
+        t0 = _obs.kernel_begin()
         X = ws.X[:n]
         for g in self.transform_groups:
             if g.kind == "revolute":
@@ -533,6 +535,7 @@ class ExecutionPlan:
                             q[:, g.qslices[pos]]
                         ) @ g.x_tree[pos]
                     )
+        _obs.kernel_end(t0, self.robot_name, "transforms", n)
 
     def world_transforms_batch(self, q) -> "np.ndarray":
         """Batched world transforms ``^iX_0`` per link: ``(n, nb, 6, 6)``.
@@ -631,12 +634,17 @@ class ExecutionPlan:
         ``(q, qd)``, so ``v``/``xv`` are already in the workspace.
         """
         xp = self._xp
+        t0 = _obs.kernel_begin()
+        plv = _obs.per_level
+        robot = self.robot_name
         X, v, a = ws.X[:n], ws.v[:n], ws.a[:n]
         xv, xa = ws.xv[:n], ws.xa[:n]
         vj, aj, f = ws.vj[:n], ws.aj[:n], ws.f[:n]
         a0 = self.minus_gravity if apply_gravity else xp.zeros(6)
 
         for lvl in self.levels:
+            if plv:
+                lt = _obs.level_begin()
             lo, hi = lvl.lo, lvl.hi
             if lvl.is_root:
                 v[:, lo:hi] = vj[:, lo:hi]
@@ -650,6 +658,8 @@ class ExecutionPlan:
                 xa[:, lo:hi] = _mv(X[:, lo:hi], a[:, par])
                 a[:, lo:hi] = (xa[:, lo:hi] + aj[:, lo:hi]
                                + cross_motion(v[:, lo:hi], vj[:, lo:hi]))
+            if plv:
+                _obs.level_end(lt, robot, "rnea", lvl.index)
 
         iv = _mv(self.inertias, v)
         f[:] = _mv(self.inertias, a) + cross_force(v, iv)
@@ -662,10 +672,16 @@ class ExecutionPlan:
         for lvl in reversed(self.levels):
             if lvl.is_root:
                 continue
+            if plv:
+                lt = _obs.level_begin()
             lo, hi = lvl.lo, lvl.hi
             xt = xp.swapaxes(X[:, lo:hi], -1, -2)
             self._scatter_to_parents(f, lvl, _mv(xt, f[:, lo:hi]))
-        return self._ein("bsv,nbs->nv", self.sel_all, f, out=ws.tau[:n])
+            if plv:
+                _obs.level_end(lt, robot, "rnea", lvl.index)
+        tau = self._ein("bsv,nbs->nv", self.sel_all, f, out=ws.tau[:n])
+        _obs.kernel_end(t0, robot, "rnea", n)
+        return tau
 
     # ------------------------------------------------------------------
     # ABA forward dynamics, level-scheduled
@@ -681,12 +697,17 @@ class ExecutionPlan:
         the entire pass stays on ``(n, L, 6)`` slabs.
         """
         xp = self._xp
+        t0 = _obs.kernel_begin()
+        plv = _obs.per_level
+        robot = self.robot_name
         X, v, vj = ws.X[:n], ws.v[:n], ws.vj[:n]
         c, p, ap = ws.a[:n], ws.f[:n], ws.xa[:n]
         IA = ws.IA[:n]
 
         # Pass 1: velocities and bias terms.
         for lvl in self.levels:
+            if plv:
+                lt = _obs.level_begin()
             lo, hi = lvl.lo, lvl.hi
             if lvl.is_root:
                 v[:, lo:hi] = vj[:, lo:hi]
@@ -694,6 +715,8 @@ class ExecutionPlan:
                 v[:, lo:hi] = (
                     _mv(X[:, lo:hi], v[:, lvl.parent_slots]) + vj[:, lo:hi]
                 )
+            if plv:
+                _obs.level_end(lt, robot, "aba", lvl.index)
         c[:] = cross_motion(v, vj)
         p[:] = cross_force(v, _mv(self.inertias, v))
         if f_ext:
@@ -706,6 +729,8 @@ class ExecutionPlan:
         # Pass 2: articulated inertias and bias forces, backward.
         saved: dict[tuple[int, int], tuple] = {}
         for lvl in reversed(self.levels):
+            if plv:
+                lt = _obs.level_begin()
             lo, hi = lvl.lo, lvl.hi
             for gi, g in enumerate(lvl.groups):
                 sl = slice(g.lo, g.hi)
@@ -746,11 +771,15 @@ class ExecutionPlan:
                 xt = xp.swapaxes(xl, -1, -2)
                 self._scatter_to_parents(p, lvl, _mv(xt, p[:, lo:hi]))
                 self._scatter_to_parents(IA, lvl, (xt @ IA[:, lo:hi]) @ xl)
+            if plv:
+                _obs.level_end(lt, robot, "aba", lvl.index)
 
         # Pass 3: accelerations, forward.
         qdd = xp.empty((n, self.nv))
         a = ws.v[:n]     # velocities are dead past pass 2; reuse the slab
         for lvl in self.levels:
+            if plv:
+                lt = _obs.level_begin()
             lo, hi = lvl.lo, lvl.hi
             if lvl.is_root:
                 ap[:, lo:hi] = X[:, lo:hi] @ self.minus_gravity + c[:, lo:hi]
@@ -775,6 +804,9 @@ class ExecutionPlan:
                     )
                     qdd[:, g.dofs.reshape(-1)] = qdd_g.reshape(n, -1)
                     a[:, sl] = ap[:, sl] + _mv(g.subspaces, qdd_g)
+            if plv:
+                _obs.level_end(lt, robot, "aba", lvl.index)
+        _obs.kernel_end(t0, robot, "aba", n)
         return qdd
 
     # ------------------------------------------------------------------
@@ -792,6 +824,7 @@ class ExecutionPlan:
         symmetrization reads the upper triangle only.
         """
         xp = self._xp
+        t0 = _obs.kernel_begin()
         X = ws.X[:n]
         IA, f_acc, out = ws.IA[:n], ws.f_acc[:n], ws.out[:n]
         IA[:] = self.inertias
@@ -870,7 +903,9 @@ class ExecutionPlan:
                 )
 
         if not out_minv:
-            return _symmetrize_from_rows(out, xp)
+            m = _symmetrize_from_rows(out, xp)
+            _obs.kernel_end(t0, self.robot_name, "mminvgen", n)
+            return m
 
         # Forward sweep (Mf submodules).
         p_prop = ws.p_prop[:n]
@@ -905,7 +940,9 @@ class ExecutionPlan:
                     p_prop[:, sl, :, w0:] = t
                 else:
                     p_prop[:, sl, :, w0:] = t + xpp[:, g.rel]
-        return _symmetrize_from_rows(out, xp)
+        minv = _symmetrize_from_rows(out, xp)
+        _obs.kernel_end(t0, self.robot_name, "mminvgen", n)
+        return minv
 
     @staticmethod
     def _write_diag(out: np.ndarray, g: LevelGroup, d: np.ndarray) -> None:
@@ -930,6 +967,7 @@ class ExecutionPlan:
         ``[df/dq | df/dqd]`` pair the same way.
         """
         xp = self._xp
+        t0 = _obs.kernel_begin()
         nv = self.nv
         nv2 = 2 * nv
         X = ws.X[:n]
@@ -1020,6 +1058,7 @@ class ExecutionPlan:
                     )
             xt = xp.swapaxes(X[:, lo:hi], -1, -2)
             self._scatter_to_parents(DF, lvl, xt @ DF[:, lo:hi])
+        _obs.kernel_end(t0, self.robot_name, "rnea_derivatives", n)
         return dtau_q, dtau_qd
 
     # ------------------------------------------------------------------

@@ -50,6 +50,7 @@ from queue import Empty
 from repro.backend import host_backend
 from repro.dynamics.engine import BatchFExt, Engine
 from repro.model.robot import RobotModel
+from repro.obs import hooks as _obs
 
 np = host_backend().xp
 
@@ -161,10 +162,22 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
                 models[task["token"]] = pickle.loads(task["model_bytes"])
             shm_in = _attach_shm(task["shm_in"])
             shm_out = _attach_shm(task["shm_out"])
-            _compute_chunk(task, models, shm_in, shm_out)
-            result_queue.put((task["task_id"], None))
+            profile = None
+            if task.get("profile"):
+                # Worker-side aggregation: profile this chunk's kernels
+                # locally and ship the snapshot home with the completion,
+                # where the parent merges it into its own profiler.
+                from repro.obs.profile import KernelProfiler
+
+                local = KernelProfiler(per_level=task.get("per_level", False))
+                with _obs.profiled(profiler=local):
+                    _compute_chunk(task, models, shm_in, shm_out)
+                profile = local.snapshot()
+            else:
+                _compute_chunk(task, models, shm_in, shm_out)
+            result_queue.put((task["task_id"], None, profile))
         except Exception:
-            result_queue.put((task["task_id"], traceback.format_exc()))
+            result_queue.put((task["task_id"], traceback.format_exc(), None))
         finally:
             for shm in (shm_in, shm_out):
                 if shm is not None:
@@ -344,12 +357,16 @@ class ProcessEngine(Engine):
         return tuple(np.array(views[key], copy=True) for key, _, _ in layout)
 
     def _await_chunks(self, pending: set) -> list[str]:
-        """Drain completions for this call; returns worker tracebacks."""
+        """Drain completions for this call; returns worker tracebacks.
+
+        Worker-side kernel-profile snapshots riding on the completions
+        are merged into the parent's active profiler as they land.
+        """
         errors = []
         deadline = time.monotonic() + self._timeout_s
         while pending:
             try:
-                task_id, err = self._result_queue.get(timeout=1.0)
+                task_id, err, profile = self._result_queue.get(timeout=1.0)
             except Empty:
                 dead = [w.name for w in self._workers if not w.is_alive()]
                 if dead or time.monotonic() > deadline:
@@ -362,6 +379,10 @@ class ProcessEngine(Engine):
             pending.discard(task_id)
             if err is not None:
                 errors.append(err)
+            if profile is not None:
+                prof = _obs.active_profiler()
+                if prof is not None:
+                    prof.merge(profile)
         return errors
 
     def _run(self, model: RobotModel, method: str, operands: dict,
@@ -396,6 +417,7 @@ class ProcessEngine(Engine):
         try:
             self._stage_inputs(shm_in, in_layout, arrays)
             token = self._model_token(model)
+            profiler = _obs.active_profiler()
             with self._dispatch_lock:
                 base_id = self._task_counter
                 self._task_counter += len(chunks)
@@ -406,6 +428,10 @@ class ProcessEngine(Engine):
                         "task_id": base_id + j,
                         "method": method,
                         "token": token,
+                        "profile": profiler is not None,
+                        "per_level": bool(
+                            profiler is not None and profiler.per_level
+                        ),
                         "model_bytes": (
                             pickle.dumps(model) if ship_model else None
                         ),

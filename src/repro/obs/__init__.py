@@ -1,0 +1,42 @@
+"""repro.obs — tracing, kernel profiling, and exportable telemetry.
+
+Three cooperating pieces, all disabled by default:
+
+* :class:`Tracer` — nested spans with per-request trace IDs, propagated
+  from ``DynamicsService.submit``/``submit_rollout`` through the
+  batcher, shard dispatch, and engine kernels; exports Chrome-trace
+  JSON (``chrome://tracing`` / Perfetto) and a flat summary.
+* :class:`KernelProfiler` — per-(robot, kernel) and opt-in per-level
+  timing fed by hooks inside the execution-plan kernels, the batched
+  contact solve, the rollout step loop, and process-pool workers
+  (worker snapshots merge into the parent).
+* :class:`Telemetry` — Counter/Gauge/Histogram/Summary facade with
+  Prometheus text and JSON expositions; ``MetricsRegistry.telemetry()``
+  and ``DynamicsService.telemetry()`` project serving state into it.
+
+Hot-path gating lives in :mod:`repro.obs.hooks`; ``install()`` /
+``uninstall()`` wire the process-global sinks the engine layer checks.
+"""
+
+from . import hooks
+from .hooks import install, uninstall, profiled
+from .profile import KernelProfiler, format_breakdown
+from .telemetry import Counter, Gauge, Histogram, Summary, Telemetry
+from .trace import Span, Tracer, format_summary
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "Span",
+    "Summary",
+    "Telemetry",
+    "Tracer",
+    "format_breakdown",
+    "format_summary",
+    "hooks",
+    "install",
+    "profiled",
+    "uninstall",
+]

@@ -1,0 +1,140 @@
+"""Process-global instrumentation switchboard for the engine hot path.
+
+The engine kernels (:mod:`repro.dynamics.plan`, contact solves, rollout
+steps) are the innermost loops of the whole system; they cannot afford
+an attribute-lookup-and-dict-check tax per call when nobody is
+profiling.  This module therefore keeps the gate as cheap as possible:
+
+* ``enabled`` / ``per_level`` are module-level booleans; the kernels
+  read them with one module-attribute load.
+* :func:`kernel_begin` returns ``None`` when disabled — the matching
+  :func:`kernel_end` is then a single ``is None`` test.  The disabled
+  cost of an instrumented section is two function calls and one branch.
+* Per-level timing inside the recursion sweeps is gated on
+  :func:`level_begin` returning ``None`` unless a profiler explicitly
+  asked for level resolution (it multiplies the record volume by tree
+  depth).
+
+Installation is explicit and global (one profiler/tracer pair per
+process): :func:`install` wires a :class:`~repro.obs.profile.KernelProfiler`
+and/or a :class:`~repro.obs.trace.Tracer`; :func:`uninstall` restores
+the zero-cost state.  The :func:`profiled` context manager wraps the
+common enable-run-snapshot-disable pattern.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter as _now
+
+#: Fast gate read by the engine kernels.  True iff a profiler or tracer
+#: is installed.
+enabled: bool = False
+#: Fast gate for per-level records inside recursion sweeps.
+per_level: bool = False
+
+_profiler = None
+_tracer = None
+_lock = threading.Lock()
+
+
+def install(profiler=None, tracer=None) -> None:
+    """Install a profiler and/or tracer as the process-global sinks.
+
+    Passing ``None`` for either leaves that sink uninstalled;
+    re-installing replaces both (call :func:`uninstall` first if you
+    want to be explicit).
+    """
+    global _profiler, _tracer, enabled, per_level
+    with _lock:
+        _profiler = profiler
+        _tracer = tracer
+        enabled = profiler is not None or tracer is not None
+        per_level = bool(profiler is not None
+                         and getattr(profiler, "per_level", False))
+
+
+def uninstall() -> None:
+    """Remove any installed sinks; instrumentation reverts to no-ops."""
+    global _profiler, _tracer, enabled, per_level
+    with _lock:
+        _profiler = None
+        _tracer = None
+        enabled = False
+        per_level = False
+
+
+def active_profiler():
+    return _profiler
+
+
+def active_tracer():
+    return _tracer
+
+
+@contextmanager
+def profiled(profiler=None, tracer=None):
+    """Enable instrumentation for a ``with`` block, then restore.
+
+    Yields the profiler (a fresh :class:`KernelProfiler` if none is
+    given).  Not reentrant — sinks are process-global.
+    """
+    from .profile import KernelProfiler
+
+    prof = profiler if profiler is not None else KernelProfiler()
+    prev = (_profiler, _tracer)
+    install(profiler=prof, tracer=tracer)
+    try:
+        yield prof
+    finally:
+        install(profiler=prev[0], tracer=prev[1])
+
+
+# ----------------------------------------------------------------------
+# Hot-path hooks
+# ----------------------------------------------------------------------
+
+def kernel_begin():
+    """Start a kernel section; returns ``None`` when instrumentation is
+    off (making the matching :func:`kernel_end` a no-op)."""
+    return _now() if enabled else None
+
+
+def kernel_end(t0, robot: str, kernel: str, rows: int = 1,
+               args: dict | None = None) -> None:
+    """Close a kernel section opened by :func:`kernel_begin`.
+
+    Feeds the profiler's (robot, kernel) accumulator and — when a tracer
+    is installed — books a span nested under the calling thread's
+    current open span (so kernels appear inside the shard's
+    batch-execute span with its trace ID).
+    """
+    if t0 is None:
+        return
+    duration = _now() - t0
+    prof = _profiler
+    if prof is not None:
+        prof.record(robot, kernel, duration, rows)
+    tracer = _tracer
+    if tracer is not None:
+        span_args = {"rows": rows}
+        if args:
+            span_args.update(args)
+        tracer.record(f"{robot}.{kernel}", t0, duration,
+                      inherit=True, args=span_args)
+
+
+def level_begin():
+    """Start a per-level section; ``None`` unless level profiling is on."""
+    return _now() if per_level else None
+
+
+def level_end(t0, robot: str, kernel: str, level: int) -> None:
+    """Close a per-level section (profiler only — levels are too
+    fine-grained to trace as spans)."""
+    if t0 is None:
+        return
+    prof = _profiler
+    if prof is not None:
+        prof.record_level(robot, kernel, level, _now() - t0)

@@ -1,0 +1,172 @@
+"""Kernel-time profiling: per-(robot, kernel) and per-level breakdowns.
+
+The accelerator paper's cost model is built from per-stage timings —
+each recursion level of RNEA/ABA occupies the pipeline for a known
+cycle count.  The host-side analogue is a :class:`KernelProfiler` that
+the engine layer feeds through :mod:`repro.obs.hooks`: every plan
+kernel sweep (``transforms``, ``rnea``, ``aba``, ``mminvgen``,
+``rnea_derivatives``), the contact KKT/Schur sections, rollout steps,
+and the engine dispatch itself record ``(robot, kernel, seconds,
+rows)`` tuples, optionally annotated with the recursion level index.
+
+The profiler is additive and mergeable: process-pool workers run their
+own instance and ship :meth:`snapshot` dicts back with the chunk
+results, which the parent folds in with :meth:`merge` — the same
+mechanism a distributed deployment would use.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class KernelStat:
+    """Accumulated timing for one (robot, kernel) pair."""
+
+    __slots__ = ("calls", "total_s", "max_s", "rows", "levels")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+        self.rows = 0
+        #: level index -> [calls, total_s]; populated only in per-level
+        #: mode and only by kernels that sweep recursion levels.
+        self.levels: dict[int, list] = {}
+
+    def add(self, seconds: float, rows: int) -> None:
+        self.calls += 1
+        self.total_s += seconds
+        self.max_s = max(self.max_s, seconds)
+        self.rows += rows
+
+    def add_level(self, level: int, seconds: float) -> None:
+        slot = self.levels.setdefault(level, [0, 0.0])
+        slot[0] += 1
+        slot[1] += seconds
+
+
+class KernelProfiler:
+    """Thread-safe accumulator for engine kernel timings.
+
+    ``per_level=True`` additionally records each recursion level's share
+    inside the level-swept kernels (rnea/aba) — more overhead, finer
+    answer to "which depth of the iiwa tree dominates".
+    """
+
+    def __init__(self, per_level: bool = False) -> None:
+        self.per_level = bool(per_level)
+        self._lock = threading.Lock()
+        self._stats: dict[tuple[str, str], KernelStat] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (called from repro.obs.hooks on the hot path)
+    # ------------------------------------------------------------------
+
+    def record(self, robot: str, kernel: str, seconds: float,
+               rows: int = 1) -> None:
+        key = (robot, kernel)
+        with self._lock:
+            stat = self._stats.get(key)
+            if stat is None:
+                stat = self._stats[key] = KernelStat()
+            stat.add(seconds, rows)
+
+    def record_level(self, robot: str, kernel: str, level: int,
+                     seconds: float) -> None:
+        key = (robot, kernel)
+        with self._lock:
+            stat = self._stats.get(key)
+            if stat is None:
+                stat = self._stats[key] = KernelStat()
+            stat.add_level(level, seconds)
+
+    # ------------------------------------------------------------------
+    # Aggregation / export
+    # ------------------------------------------------------------------
+
+    def breakdown(self) -> dict[tuple[str, str], dict]:
+        """(robot, kernel) -> {calls, total_s, mean_s, max_s, rows,
+        levels}, ordered by descending total time."""
+        with self._lock:
+            items = [
+                (key, {
+                    "calls": stat.calls,
+                    "total_s": stat.total_s,
+                    "mean_s": stat.total_s / stat.calls if stat.calls else 0.0,
+                    "max_s": stat.max_s,
+                    "rows": stat.rows,
+                    "levels": {
+                        lvl: {"calls": c, "total_s": t}
+                        for lvl, (c, t) in sorted(stat.levels.items())
+                    },
+                })
+                for key, stat in self._stats.items()
+            ]
+        items.sort(key=lambda kv: -kv[1]["total_s"])
+        return dict(items)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable form of :meth:`breakdown` (keys joined as
+        ``"robot/kernel"``) — the wire format process workers ship back
+        and benches attach to their ``BENCH_*.json``."""
+        return {
+            "per_level": self.per_level,
+            "kernels": {
+                f"{robot}/{kernel}": row
+                for (robot, kernel), row in self.breakdown().items()
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` from another profiler (e.g. a process
+        worker) into this one."""
+        kernels = snapshot.get("kernels", {})
+        with self._lock:
+            for key, row in kernels.items():
+                robot, _, kernel = key.partition("/")
+                stat = self._stats.get((robot, kernel))
+                if stat is None:
+                    stat = self._stats[(robot, kernel)] = KernelStat()
+                stat.calls += int(row.get("calls", 0))
+                stat.total_s += float(row.get("total_s", 0.0))
+                stat.max_s = max(stat.max_s, float(row.get("max_s", 0.0)))
+                stat.rows += int(row.get("rows", 0))
+                for lvl, lrow in row.get("levels", {}).items():
+                    slot = stat.levels.setdefault(int(lvl), [0, 0.0])
+                    slot[0] += int(lrow.get("calls", 0))
+                    slot[1] += float(lrow.get("total_s", 0.0))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+
+def format_breakdown(breakdown: dict) -> str:
+    """Render :meth:`KernelProfiler.breakdown` as an aligned table.
+
+    Accepts either the tuple-keyed breakdown or the string-keyed
+    :meth:`~KernelProfiler.snapshot` ``kernels`` dict.
+    """
+    lines = [
+        f"{'robot':<18} {'kernel':<24} {'calls':>7} {'rows':>9} "
+        f"{'total_ms':>10} {'mean_us':>10}"
+    ]
+    for key, row in breakdown.items():
+        if isinstance(key, tuple):
+            robot, kernel = key
+        else:
+            robot, _, kernel = key.partition("/")
+        lines.append(
+            f"{robot:<18} {kernel:<24} {row['calls']:>7} {row['rows']:>9} "
+            f"{row['total_s'] * 1e3:>10.3f} {row['mean_s'] * 1e6:>10.1f}"
+        )
+        for lvl, lrow in row.get("levels", {}).items():
+            mean_us = (
+                lrow["total_s"] / lrow["calls"] * 1e6 if lrow["calls"] else 0.0
+            )
+            lines.append(
+                f"{'':<18} {f'  level {lvl}':<24} {lrow['calls']:>7} "
+                f"{'':>9} {lrow['total_s'] * 1e3:>10.3f} {mean_us:>10.1f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,272 @@
+"""Exportable telemetry: Counter/Gauge/Histogram/Summary + expositions.
+
+A small Prometheus-flavoured metric facade.  The serving layer's
+:class:`~repro.serve.metrics.MetricsRegistry` remains the ingest path —
+it is tuned for lock-cheap recording on the request path — and this
+module is the *export* shape: ``MetricsRegistry.telemetry()`` and
+``DynamicsService.telemetry()`` project their internal state into a
+:class:`Telemetry` registry, which renders either Prometheus text
+exposition (``prometheus()``) or a JSON document (``to_json()``).
+
+Families are typed (counter / gauge / histogram / summary) and samples
+are keyed by a label set, so per-engine / per-backend / per-shard
+splits come out as labelled series the way a scraper expects:
+
+    repro_serve_batches_total{engine="compiled"} 42
+    repro_request_latency_seconds{quantile="0.99"} 0.0042
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _labelset(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labelset: tuple, extra: dict | None = None) -> str:
+    pairs = list(labelset)
+    if extra:
+        pairs += sorted((str(k), str(v)) for k, v in extra.items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> "Counter":
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+        return self
+
+    def set(self, value: float) -> "Counter":
+        """Set the absolute count (projection from an upstream
+        accumulator that already did the summing)."""
+        self.value = float(value)
+        return self
+
+    def expose(self, name: str, labelset: tuple) -> list[str]:
+        return [f"{name}{_render_labels(labelset)} {_fmt(self.value)}"]
+
+    def data(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> "Gauge":
+        self.value = float(value)
+        return self
+
+    def inc(self, amount: float = 1.0) -> "Gauge":
+        self.value += amount
+        return self
+
+    def dec(self, amount: float = 1.0) -> "Gauge":
+        self.value -= amount
+        return self
+
+    def expose(self, name: str, labelset: tuple) -> list[str]:
+        return [f"{name}{_render_labels(labelset)} {_fmt(self.value)}"]
+
+    def data(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus ``le`` convention)."""
+
+    kind = "histogram"
+
+    def __init__(self, buckets: tuple = ()) -> None:
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        self.counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float, weight: int = 1) -> "Histogram":
+        self.count += weight
+        self.sum += value * weight
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += weight
+        return self
+
+    def expose(self, name: str, labelset: tuple) -> list[str]:
+        lines = []
+        cumulative = 0
+        for bound, count in zip(self.buckets, self.counts):
+            cumulative = count
+            lines.append(
+                f"{name}_bucket"
+                f"{_render_labels(labelset, {'le': _fmt(bound)})} "
+                f"{cumulative}"
+            )
+        lines.append(
+            f"{name}_bucket{_render_labels(labelset, {'le': '+Inf'})} "
+            f"{self.count}"
+        )
+        lines.append(f"{name}_sum{_render_labels(labelset)} {_fmt(self.sum)}")
+        lines.append(f"{name}_count{_render_labels(labelset)} {self.count}")
+        return lines
+
+    def data(self) -> dict:
+        return {
+            "buckets": {_fmt(b): c for b, c in zip(self.buckets, self.counts)},
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class Summary:
+    """Pre-computed quantiles (projection of a latency reservoir)."""
+
+    kind = "summary"
+
+    def __init__(self) -> None:
+        self.quantiles: dict[float, float] = {}
+        self.count = 0
+        self.sum = 0.0
+
+    def set(self, quantiles: dict[float, float], count: int,
+            total: float) -> "Summary":
+        self.quantiles = {float(q): float(v) for q, v in quantiles.items()}
+        self.count = int(count)
+        self.sum = float(total)
+        return self
+
+    def expose(self, name: str, labelset: tuple) -> list[str]:
+        lines = []
+        for q in sorted(self.quantiles):
+            lines.append(
+                f"{name}{_render_labels(labelset, {'quantile': _fmt(q)})} "
+                f"{repr(self.quantiles[q])}"
+            )
+        lines.append(f"{name}_sum{_render_labels(labelset)} {_fmt(self.sum)}")
+        lines.append(f"{name}_count{_render_labels(labelset)} {self.count}")
+        return lines
+
+    def data(self) -> dict:
+        return {
+            "quantiles": {_fmt(q): v for q, v in self.quantiles.items()},
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+@dataclass
+class _Family:
+    name: str
+    kind: str
+    help: str
+    samples: dict = field(default_factory=dict)  # labelset -> metric
+
+
+class Telemetry:
+    """A registry of metric families with Prometheus/JSON expositions."""
+
+    _TYPES = {"counter": Counter, "gauge": Gauge,
+              "histogram": Histogram, "summary": Summary}
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def _metric(self, kind: str, name: str, help: str, labels: dict,
+                **ctor_kwargs):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _Family(name, kind, help)
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}"
+            )
+        key = _labelset(labels)
+        metric = family.samples.get(key)
+        if metric is None:
+            metric = family.samples[key] = (
+                self._TYPES[kind](**ctor_kwargs)
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._metric("counter", name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._metric("gauge", name, help, labels)
+
+    def histogram(self, name: str, help: str = "", *,
+                  buckets: tuple = (), **labels) -> Histogram:
+        return self._metric("histogram", name, help, labels,
+                            buckets=buckets)
+
+    def summary(self, name: str, help: str = "", **labels) -> Summary:
+        return self._metric("summary", name, help, labels)
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            full = f"{self.namespace}_{name}" if self.namespace else name
+            if family.help:
+                lines.append(f"# HELP {full} {family.help}")
+            lines.append(f"# TYPE {full} {family.kind}")
+            for labelset in sorted(family.samples):
+                lines.extend(family.samples[labelset].expose(full, labelset))
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> dict:
+        """JSON document: family -> {type, help, samples: [{labels, ...}]}"""
+        doc: dict = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            doc[name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": [
+                    {"labels": dict(labelset),
+                     "value": family.samples[labelset].data()}
+                    for labelset in sorted(family.samples)
+                ],
+            }
+        return doc
+
+    def json_text(self, indent: int = 1) -> str:
+        return json.dumps(self.to_json(), indent=indent)

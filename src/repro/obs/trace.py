@@ -1,0 +1,300 @@
+"""Structured tracing: nested spans, per-request trace IDs, exporters.
+
+The paper reads its design off per-stage timing breakdowns (pipeline
+latency per function unit, batch makespan, Fig. 15 / Table I); the
+reproduction's equivalent is a :class:`Tracer` that can follow one
+request from ``DynamicsService.submit`` through the batcher's queue,
+the shard executor, and down into the engine kernels — all stamped with
+the request's trace ID so a single grep over the exported Chrome trace
+reconstructs its life.
+
+Design constraints:
+
+* **Cross-thread continuation.**  A serve request is born on the caller
+  thread, waits in the batcher, and executes on a shard thread.  Spans
+  therefore carry explicit ``trace_id``/``parent_id`` fields; implicit
+  nesting via a thread-local stack is only used *within* a thread
+  (e.g. kernel sections nested under the shard's batch-execute span).
+* **Retroactive recording.**  Queue-wait is only known when the batch
+  flushes, so :meth:`Tracer.record` accepts a start timestamp measured
+  earlier (same ``time.perf_counter`` clock) and books the span after
+  the fact.
+* **Bounded memory.**  Finished spans live in a ring buffer; overflow
+  increments ``dropped`` instead of growing without limit.
+
+Exporters: :meth:`Tracer.chrome_trace` emits the ``chrome://tracing`` /
+Perfetto JSON array format ("X" complete events plus "M" thread-name
+metadata); :meth:`Tracer.summary` aggregates a flat per-span-name
+profile for terminal output.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class Span:
+    """One timed section, possibly nested, possibly tied to a trace."""
+
+    name: str
+    span_id: int
+    trace_id: str | None
+    parent_id: int | None
+    start_s: float
+    end_s: float = 0.0
+    thread_id: int = 0
+    thread_name: str = ""
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+
+class _ActiveSpan:
+    """Mutable in-flight span handle (context-manager form)."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self.tracer = tracer
+        self.span = span
+
+    def set(self, **args) -> None:
+        """Attach key/value annotations to the span."""
+        self.span.args.update(args)
+
+    @property
+    def trace_id(self) -> str | None:
+        return self.span.trace_id
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self.span.args.setdefault("error", repr(exc))
+        self.tracer._finish(self.span)
+
+
+class Tracer:
+    """Collect nested spans across threads; export Chrome trace / summary.
+
+    All timestamps use ``time.perf_counter`` (the same clock the engine
+    profiling hooks use), re-based to the tracer's construction time so
+    exported traces start near zero.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.epoch_s = time.perf_counter()
+        self.dropped = 0
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._trace_counter = itertools.count(1)
+        self._span_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def new_trace_id(self) -> str:
+        """Mint a process-unique request trace ID."""
+        return f"t{next(self._trace_counter):06x}"
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on *this* thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def span(self, name: str, *, trace_id: str | None = None,
+             args: dict | None = None) -> _ActiveSpan:
+        """Open a span as a context manager, nested under this thread's
+        current span.  ``trace_id`` defaults to the enclosing span's."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        if trace_id is None and parent is not None:
+            trace_id = parent.trace_id
+        thread = threading.current_thread()
+        span = Span(
+            name=name,
+            span_id=next(self._span_counter),
+            trace_id=trace_id,
+            parent_id=parent.span_id if parent else None,
+            start_s=time.perf_counter(),
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            args=dict(args) if args else {},
+        )
+        stack.append(span)
+        return _ActiveSpan(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end_s = time.perf_counter()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:          # tolerate out-of-order exits
+            stack.remove(span)
+        self._append(span)
+
+    def record(self, name: str, start_s: float, duration_s: float, *,
+               trace_id: str | None = None, parent_id: int | None = None,
+               inherit: bool = False, args: dict | None = None) -> Span:
+        """Book an already-measured interval (retroactive span).
+
+        ``start_s`` must come from ``time.perf_counter``.  With
+        ``inherit=True`` the span adopts this thread's current open span
+        as parent (and its trace ID, unless one is given) — how engine
+        kernel sections end up nested under the shard's batch span.
+        """
+        if inherit:
+            parent = self.current_span()
+            if parent is not None:
+                if parent_id is None:
+                    parent_id = parent.span_id
+                if trace_id is None:
+                    trace_id = parent.trace_id
+        thread = threading.current_thread()
+        span = Span(
+            name=name,
+            span_id=next(self._span_counter),
+            trace_id=trace_id,
+            parent_id=parent_id,
+            start_s=start_s,
+            end_s=start_s + max(duration_s, 0.0),
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            args=dict(args) if args else {},
+        )
+        self._append(span)
+        return span
+
+    def _append(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) == self._capacity:
+                self.dropped += 1
+            self._spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """All finished spans stamped with ``trace_id``, in start order.
+
+        A span matches if it carries the ID directly or lists it in an
+        ``args["trace_ids"]`` membership annotation (batch-level spans
+        cover every request coalesced into the batch).
+        """
+        out = [
+            s for s in self.spans()
+            if s.trace_id == trace_id
+            or trace_id in s.args.get("trace_ids", ())
+        ]
+        out.sort(key=lambda s: s.start_s)
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    def chrome_trace(self) -> list[dict]:
+        """Events in the Chrome trace ("X" complete-event) JSON format."""
+        pid = os.getpid()
+        spans = self.spans()
+        events: list[dict] = []
+        seen_threads: dict[int, str] = {}
+        for s in spans:
+            if s.thread_id not in seen_threads:
+                seen_threads[s.thread_id] = s.thread_name
+        for tid, tname in sorted(seen_threads.items()):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": tname or f"thread-{tid}"},
+            })
+        for s in spans:
+            args = dict(s.args)
+            if s.trace_id is not None:
+                args["trace_id"] = s.trace_id
+            events.append({
+                "name": s.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (s.start_s - self.epoch_s) * 1e6,
+                "dur": s.duration_s * 1e6,
+                "pid": pid,
+                "tid": s.thread_id,
+                "args": args,
+            })
+        return events
+
+    def export_chrome(self, path: str | Path) -> Path:
+        """Write the Chrome-trace JSON to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(json.dumps(self.chrome_trace(), indent=1))
+        return path
+
+    def summary(self) -> dict:
+        """Flat per-span-name aggregate: count, total/mean/max seconds."""
+        by_name: dict[str, dict] = {}
+        traces: set[str] = set()
+        spans = self.spans()
+        for s in spans:
+            if s.trace_id is not None:
+                traces.add(s.trace_id)
+            row = by_name.setdefault(
+                s.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            row["count"] += 1
+            row["total_s"] += s.duration_s
+            row["max_s"] = max(row["max_s"], s.duration_s)
+        for row in by_name.values():
+            row["mean_s"] = row["total_s"] / row["count"]
+        return {
+            "spans": len(spans),
+            "traces": len(traces),
+            "dropped": self.dropped,
+            "by_name": dict(sorted(
+                by_name.items(), key=lambda kv: -kv[1]["total_s"]
+            )),
+        }
+
+
+def format_summary(summary: dict) -> str:
+    """Render :meth:`Tracer.summary` as an aligned terminal table."""
+    lines = [
+        f"spans={summary['spans']} traces={summary['traces']}"
+        f" dropped={summary['dropped']}",
+        f"{'span':<40} {'count':>7} {'total_ms':>10} "
+        f"{'mean_us':>10} {'max_us':>10}",
+    ]
+    for name, row in summary["by_name"].items():
+        lines.append(
+            f"{name:<40} {row['count']:>7} {row['total_s'] * 1e3:>10.3f} "
+            f"{row['mean_s'] * 1e6:>10.1f} {row['max_s'] * 1e6:>10.1f}"
+        )
+    return "\n".join(lines)

@@ -43,6 +43,7 @@ from repro.dynamics.contact_batch import (
 from repro.dynamics.engine import Engine, get_engine, normalize_f_ext
 from repro.dynamics.plan import plan_for
 from repro.model.robot import RobotModel
+from repro.obs import hooks as _obs
 
 #: Host namespace via the backend shim.
 np = host_backend().xp
@@ -296,7 +297,9 @@ class RolloutPlan:
         qs[:, 0] = q
         qds[:, 0] = qd
 
+        t0 = _obs.kernel_begin()
         for t in range(t_steps):
+            st = _obs.kernel_begin()
             tau = policy(t, q, qd) if policy is not None else controls[:, t]
             tau = np.asarray(tau, dtype=float)
             us[:, t] = tau
@@ -320,6 +323,12 @@ class RolloutPlan:
                     forces[:, t] = f_t
             qs[:, t + 1] = q
             qds[:, t + 1] = qd
+            _obs.kernel_end(st, model.name, f"rollout.step[{self.scheme}]",
+                            n, args={"t": t})
+        _obs.kernel_end(
+            t0, model.name, f"rollout[{self.scheme}]", n * t_steps,
+            args={"horizon": t_steps, "batch": n},
+        )
 
         return RolloutResult(
             qs=qs.copy(), qds=qds.copy(), controls=us.copy(),

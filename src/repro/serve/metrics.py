@@ -30,11 +30,15 @@ class Reservoir:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.seen = 0
+        #: Exact running sum of the whole stream (not just the sample) —
+        #: telemetry summaries expose it as the Prometheus ``_sum``.
+        self.total = 0.0
         self.samples: list[float] = []
         self._rng = np.random.default_rng(seed)
 
     def add(self, value: float) -> None:
         self.seen += 1
+        self.total += value
         if len(self.samples) < self.capacity:
             self.samples.append(value)
             return
@@ -227,21 +231,27 @@ class MetricsRegistry:
 
     def mean_occupancy(self) -> float:
         with self._lock:
-            batches = sum(self._batch_hist.values())
-            if not batches:
-                return 0.0
-            return self._batch_requests / batches
+            return self._mean_occupancy_locked()
+
+    def _mean_occupancy_locked(self) -> float:
+        batches = sum(self._batch_hist.values())
+        if not batches:
+            return 0.0
+        return self._batch_requests / batches
 
     def wall_throughput_rps(self) -> float:
         """Completed requests per second of wall time while serving."""
         with self._lock:
-            if (self.completed < 2 or self._first_completion_s is None
-                    or self._last_completion_s is None):
-                return 0.0
-            span = self._last_completion_s - self._first_completion_s
-            if span <= 0:
-                return 0.0
-            return (self.completed - 1) / span
+            return self._wall_throughput_locked()
+
+    def _wall_throughput_locked(self) -> float:
+        if (self.completed < 2 or self._first_completion_s is None
+                or self._last_completion_s is None):
+            return 0.0
+        span = self._last_completion_s - self._first_completion_s
+        if span <= 0:
+            return 0.0
+        return (self.completed - 1) / span
 
     def modeled_throughput_rps(self, clock_hz: float,
                                shards: int = 1) -> float:
@@ -260,27 +270,119 @@ class MetricsRegistry:
             return self.completed / seconds
 
     def snapshot(self) -> dict:
-        """One flat dict of everything (for tables and JSON dumps)."""
-        wall = self.wall_latency()
-        modeled = self.modeled_latency()
-        return {
-            "completed": self.completed,
-            "failed": self.failed,
-            "wall_p50_ms": wall.p50_s * 1e3,
-            "wall_p95_ms": wall.p95_s * 1e3,
-            "wall_p99_ms": wall.p99_s * 1e3,
-            "modeled_p50_us": modeled.p50_s * 1e6,
-            "modeled_p95_us": modeled.p95_s * 1e6,
-            "modeled_p99_us": modeled.p99_s * 1e6,
-            "mean_batch_occupancy": self.mean_occupancy(),
-            "wall_throughput_rps": self.wall_throughput_rps(),
-            "engine_batches": self.engine_batches(),
-            "engine_requests": self.engine_requests(),
-            "backend_batches": self.backend_batches(),
-            "backend_requests": self.backend_requests(),
-            "measured_shard_rps": self.measured_shard_rps(),
-            "rollouts_completed": self.rollouts_completed,
-            "rollout_steps_total": self.rollout_steps_total,
-            "rollout_p50_ms": self.rollout_latency().p50_s * 1e3,
-            "rollout_p99_ms": self.rollout_latency().p99_s * 1e3,
-        }
+        """One flat dict of everything (for tables and JSON dumps).
+
+        Built under a single lock acquisition so the counters are
+        mutually consistent — writers on the shard threads mutate
+        ``completed``/``failed``/the rollout counters concurrently, and
+        piecemeal locked reads could observe a request in one counter
+        but not yet in another.
+        """
+        with self._lock:
+            wall = LatencySummary.of(self._wall)
+            modeled = LatencySummary.of(self._modeled)
+            rollout = LatencySummary.of(self._rollout_wall)
+            return {
+                "completed": self.completed,
+                "failed": self.failed,
+                "wall_p50_ms": wall.p50_s * 1e3,
+                "wall_p95_ms": wall.p95_s * 1e3,
+                "wall_p99_ms": wall.p99_s * 1e3,
+                "modeled_p50_us": modeled.p50_s * 1e6,
+                "modeled_p95_us": modeled.p95_s * 1e6,
+                "modeled_p99_us": modeled.p99_s * 1e6,
+                "mean_batch_occupancy": self._mean_occupancy_locked(),
+                "wall_throughput_rps": self._wall_throughput_locked(),
+                "engine_batches": dict(self._engine_batches),
+                "engine_requests": dict(self._engine_requests),
+                "backend_batches": dict(self._backend_batches),
+                "backend_requests": dict(self._backend_requests),
+                "measured_shard_rps": dict(self._shard_rps),
+                "rollouts_completed": self.rollouts_completed,
+                "rollout_steps_total": self.rollout_steps_total,
+                "rollout_p50_ms": rollout.p50_s * 1e3,
+                "rollout_p99_ms": rollout.p99_s * 1e3,
+            }
+
+    def telemetry(self, telemetry=None):
+        """Project this registry into a :class:`repro.obs.Telemetry`.
+
+        Returns the registry (creating one when ``telemetry`` is None)
+        with counter/gauge/histogram/summary families for everything
+        :meth:`snapshot` reports, in Prometheus-friendly shape: latency
+        reservoirs become quantile summaries (with exact stream sums),
+        the batch-size histogram becomes a cumulative-bucket histogram,
+        and the per-engine/backend/shard splits become labelled series.
+        """
+        from repro.obs import Telemetry
+
+        t = telemetry if telemetry is not None else Telemetry()
+        with self._lock:
+            wall = LatencySummary.of(self._wall)
+            modeled = LatencySummary.of(self._modeled)
+            rollout = LatencySummary.of(self._rollout_wall)
+            completed = self.completed
+            failed = self.failed
+            wall_total = self._wall.total
+            modeled_total = self._modeled.total
+            rollout_total = self._rollout_wall.total
+            occupancy = self._mean_occupancy_locked()
+            throughput = self._wall_throughput_locked()
+            batch_hist = dict(self._batch_hist)
+            engine_batches = dict(self._engine_batches)
+            engine_requests = dict(self._engine_requests)
+            backend_batches = dict(self._backend_batches)
+            backend_requests = dict(self._backend_requests)
+            shard_rps = dict(self._shard_rps)
+            rollouts = self.rollouts_completed
+            rollout_steps = self.rollout_steps_total
+        t.counter("requests_completed_total",
+                  "Requests completed").set(completed)
+        t.counter("requests_failed_total", "Requests failed").set(failed)
+        t.summary("request_latency_seconds",
+                  "End-to-end wall latency (reservoir quantiles)").set(
+            {0.5: wall.p50_s, 0.95: wall.p95_s, 0.99: wall.p99_s},
+            wall.count, wall_total,
+        )
+        t.summary("modeled_latency_seconds",
+                  "Modeled accelerator latency").set(
+            {0.5: modeled.p50_s, 0.95: modeled.p95_s, 0.99: modeled.p99_s},
+            modeled.count, modeled_total,
+        )
+        t.gauge("mean_batch_occupancy",
+                "Mean requests per executed batch").set(occupancy)
+        t.gauge("wall_throughput_rps",
+                "Completed requests per wall-second").set(throughput)
+        if batch_hist:
+            bounds = sorted(batch_hist)
+            hist = t.histogram("batch_occupancy",
+                               "Executed batch sizes",
+                               buckets=tuple(float(b) for b in bounds))
+            for size, count in sorted(batch_hist.items()):
+                hist.observe(float(size), weight=count)
+        for name, count in sorted(engine_batches.items()):
+            t.counter("serve_batches_total", "Batches per engine",
+                      engine=name).set(count)
+        for name, count in sorted(engine_requests.items()):
+            t.counter("serve_requests_total", "Requests per engine",
+                      engine=name).set(count)
+        for name, count in sorted(backend_batches.items()):
+            t.counter("backend_batches_total", "Batches per backend",
+                      backend=name).set(count)
+        for name, count in sorted(backend_requests.items()):
+            t.counter("backend_requests_total", "Requests per backend",
+                      backend=name).set(count)
+        for shard, rate in sorted(shard_rps.items()):
+            t.gauge("shard_measured_rps",
+                    "Measured shard throughput EWMA (rows/s)",
+                    shard=shard).set(rate)
+        t.counter("rollouts_completed_total",
+                  "Rollout requests completed").set(rollouts)
+        t.counter("rollout_steps_total",
+                  "Integrator steps served").set(rollout_steps)
+        t.summary("rollout_latency_seconds",
+                  "Rollout end-to-end wall latency").set(
+            {0.5: rollout.p50_s, 0.95: rollout.p95_s, 0.99: rollout.p99_s},
+            rollout.count, rollout_total,
+        )
+        return t

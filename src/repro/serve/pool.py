@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import os
 import threading
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
@@ -164,7 +165,8 @@ class ShardPool:
     POLICIES = ("round_robin", "least_loaded")
 
     def __init__(self, n_shards: int = 2, policy: str = "round_robin",
-                 shard_configs: list[ShardConfig] | None = None) -> None:
+                 shard_configs: list[ShardConfig] | None = None,
+                 placement_log_capacity: int = 256) -> None:
         if shard_configs:
             # An explicit config list defines the pool size.
             n_shards = len(shard_configs)
@@ -181,6 +183,11 @@ class ShardPool:
         self.shards = [ShardState(i) for i in range(n_shards)]
         self._rr_next = 0
         self._lock = threading.Lock()
+        #: Bounded log of placement decisions: which shard won, why, and
+        #: the cost scores at decision time (``least_loaded`` records the
+        #: whole scoreboard; ``round_robin`` has no scores to record).
+        self._placement_log: deque = deque(maxlen=placement_log_capacity)
+        self._placement_seq = 0
         # One single-worker executor per shard: batches placed on a shard
         # execute one at a time, in placement order, like the hardware's
         # one-pipeline-fill-at-a-time — a shared pool would let a queued
@@ -199,14 +206,40 @@ class ShardPool:
     def select(self) -> ShardState:
         """Pick the shard the next batch lands on."""
         with self._lock:
-            return self._select_locked()
+            return self._select_locked()[0]
 
-    def _select_locked(self) -> ShardState:
+    def _select_locked(self) -> tuple[ShardState, list | None]:
+        """Pick a shard; also returns the per-shard cost scoreboard the
+        decision was based on (``None`` for round-robin)."""
         if self.policy == "round_robin":
             shard = self.shards[self._rr_next]
             self._rr_next = (self._rr_next + 1) % len(self.shards)
-            return shard
-        return min(self.shards, key=lambda s: s.cost_score())
+            return shard, None
+        scores = [s.cost_score() for s in self.shards]
+        best = min(range(len(scores)), key=scores.__getitem__)
+        return self.shards[best], scores
+
+    def _log_placement_locked(self, shard: ShardState,
+                              scores: list | None, n_requests: int,
+                              cost: float | None) -> None:
+        self._placement_log.append({
+            "seq": self._placement_seq,
+            "shard": shard.index,
+            "policy": self.policy,
+            "n_requests": n_requests,
+            "cost": float(n_requests if cost is None else cost),
+            "scores": (
+                None if scores is None
+                else [[float(a), float(b)] for a, b in scores]
+            ),
+            "weights": [s.weight for s in self.shards],
+        })
+        self._placement_seq += 1
+
+    def placement_events(self) -> list[dict]:
+        """The retained placement decisions, oldest first."""
+        with self._lock:
+            return list(self._placement_log)
 
     def dispatch(self, n_requests: int,
                  work: Callable[[ShardState], float],
@@ -219,8 +252,9 @@ class ShardPool:
             # select+begin must be atomic: two concurrent dispatchers
             # (flusher and a flush-on-full submit) would otherwise both
             # read the same "least loaded" shard before either claims it.
-            shard = self._select_locked()
+            shard, scores = self._select_locked()
             shard.begin(n_requests, cost)
+            self._log_placement_locked(shard, scores, n_requests, cost)
 
         def run() -> float:
             makespan = 0.0

@@ -57,6 +57,11 @@ class ServeRequest:
     #: Urgent requests bypass the dynamic batcher entirely (deadline-bound
     #: closed-loop clients must not pay ``max_wait_s`` under sparse load).
     urgent: bool = False
+    #: Request trace ID (set at submission when the service has a
+    #: :class:`~repro.obs.Tracer`) and the matching ``perf_counter``
+    #: submission timestamp — the anchor for the retroactive queue span.
+    trace_id: str | None = None
+    trace_t0: float = 0.0
     future: Future = field(default_factory=Future, repr=False)
 
     @property
@@ -90,9 +95,17 @@ class RolloutRequest:
     #: optional per-step activation mask ``(T, c)``.
     contacts: tuple = ()
     contact_mask: np.ndarray | None = None
+    #: External forces applied at every step: link index -> ``(6,)``
+    #: spatial force in the link frame (stacked per batch by the service;
+    #: the rollout engine already accepts per-task stacks).
+    f_ext: dict[int, np.ndarray] | None = None
     sensitivities: bool = False
     arrival_s: float = 0.0
     urgent: bool = False
+    #: Trace ID + ``perf_counter`` submission timestamp (see
+    #: :class:`ServeRequest`).
+    trace_id: str | None = None
+    trace_t0: float = 0.0
     future: Future = field(default_factory=Future, repr=False)
 
     @property

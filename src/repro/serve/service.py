@@ -53,6 +53,7 @@ from repro.serve.pool import (
     engine_throughput_hint,
 )
 from repro.model.library import load_robot
+from repro.obs import Telemetry, Tracer
 from repro.rollout import SCHEMES
 from repro.serve.request import (
     RolloutRequest,
@@ -77,9 +78,16 @@ class DynamicsService:
         engine: str | Engine | None = None,
         backend: str | None = None,
         shard_configs: list[ShardConfig] | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.policy = policy or BatchPolicy()
         self.config = config
+        #: Optional request tracer: when set, every accepted request is
+        #: stamped with a trace ID at submission and its queue wait and
+        #: batch execution are booked as spans.  Install the same tracer
+        #: via :func:`repro.obs.install` to nest engine-kernel spans
+        #: under the batch-execute spans.
+        self.tracer = tracer
         #: Execution engine shard workers evaluate batches with: the
         #: structure-compiled "compiled" engine, unless overridden by the
         #: ``engine`` argument or an explicitly pinned process default
@@ -172,6 +180,13 @@ class DynamicsService:
     # Client API
     # ------------------------------------------------------------------
 
+    def _mark_trace(self, request) -> None:
+        """Stamp an accepted request with a trace ID and submit time."""
+        tracer = self.tracer
+        if tracer is not None:
+            request.trace_id = tracer.new_trace_id()
+            request.trace_t0 = time.perf_counter()
+
     def _validate(self, request: ServeRequest) -> None:
         """Reject malformed inputs at the submitting caller.
 
@@ -253,6 +268,7 @@ class DynamicsService:
                                qd=qd, u=u, minv=minv, f_ext=f_ext,
                                urgent=urgent)
         self._validate(request)
+        self._mark_trace(request)
         with self._lifecycle_lock:
             if self._closed:
                 raise ServiceClosed("service is shut down")
@@ -315,6 +331,7 @@ class DynamicsService:
             ))
         for r in requests:
             self._validate(r)
+            self._mark_trace(r)
         with self._lifecycle_lock:
             if self._closed:
                 raise ServiceClosed("service is shut down")
@@ -366,6 +383,18 @@ class DynamicsService:
             raise ValueError(
                 "sensitivities are not available for contact rollouts"
             )
+        if request.f_ext:
+            for link, value in request.f_ext.items():
+                if not 0 <= link < model.nb:
+                    raise ValueError(
+                        f"f_ext link index {link} out of range for robot "
+                        f"{request.robot!r} (nb={model.nb})"
+                    )
+                if np.shape(value) != (6,):
+                    raise ValueError(
+                        f"f_ext[{link}] must have shape (6,), "
+                        f"got {np.shape(value)}"
+                    )
 
     def submit_rollout(
         self,
@@ -377,6 +406,7 @@ class DynamicsService:
         scheme: str = "semi_implicit",
         contacts: list | None = None,
         contact_mask: np.ndarray | None = None,
+        f_ext: dict[int, np.ndarray] | None = None,
         sensitivities: bool = False,
         urgent: bool = False,
     ) -> Future:
@@ -389,8 +419,11 @@ class DynamicsService:
         budget is horizon-aware — each rollout counts ``T`` toward the
         flush budget — and shard placement weighs rollouts by horizon.
         ``contact_mask`` is this request's per-step ``(T, c)`` activation
-        schedule; ``urgent=True`` bypasses the batcher like plain urgent
-        requests do.
+        schedule; ``f_ext`` maps link indices to ``(6,)`` external
+        spatial forces applied at every step (force-free and
+        force-carrying rollouts coalesce, like plain requests);
+        ``urgent=True`` bypasses the batcher like plain urgent requests
+        do.
         """
         request = RolloutRequest(
             robot=robot, scheme=scheme,
@@ -403,10 +436,12 @@ class DynamicsService:
                 None if contact_mask is None
                 else np.asarray(contact_mask, dtype=bool)
             ),
+            f_ext=f_ext,
             sensitivities=sensitivities,
             urgent=urgent,
         )
         self._validate_rollout(request)
+        self._mark_trace(request)
         with self._lifecycle_lock:
             if self._closed:
                 raise ServiceClosed("service is shut down")
@@ -485,8 +520,57 @@ class DynamicsService:
             "cache_misses": self.cache.stats.misses,
             "modeled_throughput_rps": self.modeled_throughput_rps(),
             "shard_busy_cycles": self.pool.busy_cycles(),
+            "placement_events": len(self.pool.placement_events()),
         })
         return out
+
+    def telemetry(self, telemetry: Telemetry | None = None) -> Telemetry:
+        """Project the service's observable state into a
+        :class:`~repro.obs.Telemetry` registry (Prometheus text via
+        ``.prometheus()``, JSON via ``.to_json()``).
+
+        Unifies the :class:`~repro.serve.metrics.MetricsRegistry` series
+        (request/rollout latency summaries, batch-occupancy histogram,
+        per-engine/backend/shard counters) with the batcher, artifact
+        cache, and shard-pool gauges.
+        """
+        t = self.metrics.telemetry(telemetry)
+        stats = self.batcher.stats
+        t.counter("serve_accepted_total",
+                  "Requests accepted by the batcher").set(stats.accepted)
+        t.counter("serve_rejected_total",
+                  "Requests rejected by backpressure").set(stats.rejected)
+        t.counter("serve_urgent_total",
+                  "Urgent batcher bypasses").set(stats.urgent)
+        t.counter("serve_flushed_full_total",
+                  "Batches flushed on size/cost budget"
+                  ).set(stats.flushed_full)
+        t.counter("serve_flushed_timeout_total",
+                  "Batches flushed on deadline").set(stats.flushed_timeout)
+        t.gauge("serve_effective_wait_seconds",
+                "Current adaptive batching window"
+                ).set(self.batcher.effective_wait_s)
+        t.counter("cache_hits_total",
+                  "Artifact-cache hits").set(self.cache.stats.hits)
+        t.counter("cache_misses_total",
+                  "Artifact-cache misses (bundle builds)"
+                  ).set(self.cache.stats.misses)
+        t.gauge("modeled_throughput_rps",
+                "Sustained capacity implied by the cycle model"
+                ).set(self.modeled_throughput_rps())
+        for row in self.pool.describe():
+            labels = {"shard": row["shard"]}
+            t.gauge("shard_weight", "Placement throughput weight",
+                    **labels).set(row["weight"])
+            t.gauge("shard_busy_cycles", "Accumulated modeled busy cycles",
+                    **labels).set(row["busy_cycles"])
+            t.counter("shard_dispatched_requests_total",
+                      "Requests dispatched to the shard",
+                      **labels).set(row["dispatched_requests"])
+        t.counter("shard_placement_events_total",
+                  "Placement decisions retained in the event log"
+                  ).set(len(self.pool.placement_events()))
+        return t
 
     # ------------------------------------------------------------------
     # Runtime internals
@@ -544,13 +628,13 @@ class DynamicsService:
         return profile
 
     @staticmethod
-    def _stack_f_ext(
-        batch: list[ServeRequest],
-    ) -> dict[int, np.ndarray] | None:
+    def _stack_f_ext(batch: list) -> dict[int, np.ndarray] | None:
         """Stack per-request external forces into link -> ``(n, 6)`` maps.
 
         Requests without forces contribute zero rows, so they coalesce
-        with force-carrying requests in the same pipeline pass.
+        with force-carrying requests in the same pipeline pass.  Serves
+        both plain and rollout batches (the rollout engine broadcasts the
+        per-task rows across its steps).
         """
         links = sorted({
             link for r in batch if r.f_ext for link in r.f_ext
@@ -571,9 +655,42 @@ class DynamicsService:
                  chained: bool) -> float:
         """Run one coalesced batch on ``shard``; returns makespan cycles."""
         try:
-            if isinstance(batch[0], RolloutRequest):
-                return self._execute_rollout(shard, batch)
-            return self._execute_inner(shard, batch, chained)
+            rollout = isinstance(batch[0], RolloutRequest)
+            tracer = self.tracer
+            if tracer is None:
+                if rollout:
+                    return self._execute_rollout(shard, batch)
+                return self._execute_inner(shard, batch, chained)
+            # Traced path: book each request's queue wait retroactively
+            # (submission -> execution start, stamped with its trace ID),
+            # then run the batch inside an execute span.  Kernel sections
+            # recorded through repro.obs.hooks on this thread nest under
+            # the execute span, completing the enqueue -> batch -> shard
+            # -> kernel chain for every member trace ID.
+            first = batch[0]
+            fn = f"rollout/{first.scheme}" if rollout \
+                else first.function.value
+            exec_t0 = time.perf_counter()
+            trace_ids = [r.trace_id for r in batch if r.trace_id]
+            for r in batch:
+                if r.trace_id:
+                    tracer.record(
+                        "serve.queue", r.trace_t0, exec_t0 - r.trace_t0,
+                        trace_id=r.trace_id,
+                        args={"robot": r.robot, "function": fn,
+                              "shard": shard.index},
+                    )
+            with tracer.span(
+                f"serve.execute {first.robot}/{fn}",
+                trace_id=trace_ids[0] if trace_ids else None,
+                args={"shard": shard.index, "batch_size": len(batch),
+                      "engine": self._shard_engines[shard.index].name,
+                      "backend": self._shard_backends[shard.index],
+                      "chained": chained, "trace_ids": trace_ids},
+            ):
+                if rollout:
+                    return self._execute_rollout(shard, batch)
+                return self._execute_inner(shard, batch, chained)
         finally:
             with self._counter_lock:
                 self._dispatched_outstanding -= len(batch)
@@ -684,11 +801,13 @@ class DynamicsService:
                     else np.ones((t_steps, c), dtype=bool)
                     for r in batch
                 ])
+            f_ext = self._stack_f_ext(batch)
             plan = artifacts.rollout_plan(first.scheme, engine, backend_name)
             exec_start = time.perf_counter()
             result = plan.rollout(
                 model, q0, qd0, controls, dt=first.dt, contacts=contacts,
-                contact_mask=mask, sensitivities=first.sensitivities,
+                contact_mask=mask, f_ext=f_ext,
+                sensitivities=first.sensitivities,
             )
             exec_wall = time.perf_counter() - exec_start
             profile = self._profile(artifacts, RBDFunction.FD, n, False)

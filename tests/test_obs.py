@@ -1,0 +1,647 @@
+"""Tests for repro.obs: tracer, kernel profiler, hooks, telemetry, and
+the end-to-end trace path through the engines and the serve runtime."""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.dynamics import BatchStates, batch_evaluate
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import load_robot
+from repro.obs import KernelProfiler, Telemetry, Tracer
+from repro.obs import hooks as obs_hooks
+from repro.rollout import RolloutEngine
+from repro.serve import BatchPolicy, DynamicsService, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_hooks():
+    """Every test starts and ends with instrumentation uninstalled."""
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+# ======================================================================
+# Tracer
+# ======================================================================
+
+class TestTracer:
+    def test_spans_nest_within_a_thread(self):
+        tracer = Tracer()
+        with tracer.span("outer", trace_id=tracer.new_trace_id()) as outer:
+            with tracer.span("inner"):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        # The inner span inherits the enclosing trace ID.
+        assert spans["inner"].trace_id == outer.trace_id
+        assert spans["inner"].start_s >= spans["outer"].start_s
+        assert spans["inner"].end_s <= spans["outer"].end_s
+
+    def test_trace_ids_unique(self):
+        tracer = Tracer()
+        ids = {tracer.new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_retroactive_record(self):
+        tracer = Tracer()
+        t0 = time.perf_counter() - 0.5
+        span = tracer.record("queue", t0, 0.25, trace_id="t1")
+        assert span.start_s == t0
+        assert span.duration_s == pytest.approx(0.25)
+        assert [s.name for s in tracer.trace("t1")] == ["queue"]
+
+    def test_trace_matches_membership_annotation(self):
+        tracer = Tracer()
+        tracer.record("batch", 0.0, 1.0, trace_id="t1",
+                      args={"trace_ids": ["t1", "t2"]})
+        tracer.record("other", 0.0, 1.0, trace_id="t3")
+        assert [s.name for s in tracer.trace("t2")] == ["batch"]
+
+    def test_error_annotated_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+        (span,) = tracer.spans()
+        assert "kaput" in span.args["error"]
+
+    def test_ring_buffer_drops_and_counts(self):
+        tracer = Tracer(capacity=4)
+        for k in range(10):
+            tracer.record(f"s{k}", 0.0, 0.1)
+        assert len(tracer.spans()) == 4
+        assert tracer.dropped == 6
+        assert tracer.summary()["dropped"] == 6
+        tracer.clear()
+        assert tracer.spans() == [] and tracer.dropped == 0
+
+    def test_chrome_trace_format(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("work", trace_id="t1", args={"batch": 3}):
+            pass
+        path = tracer.export_chrome(tmp_path / "trace.json")
+        events = json.loads(path.read_text())
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert meta and meta[0]["name"] == "thread_name"
+        (ev,) = complete
+        assert ev["name"] == "work"
+        assert ev["ts"] >= 0 and ev["dur"] >= 0
+        assert ev["args"] == {"batch": 3, "trace_id": "t1"}
+
+    def test_summary_aggregates_by_name(self):
+        tracer = Tracer()
+        tracer.record("a", 0.0, 0.2)
+        tracer.record("a", 0.0, 0.4)
+        tracer.record("b", 0.0, 0.1)
+        summary = tracer.summary()
+        assert summary["by_name"]["a"]["count"] == 2
+        assert summary["by_name"]["a"]["total_s"] == pytest.approx(0.6)
+        assert summary["by_name"]["a"]["max_s"] == pytest.approx(0.4)
+        # Sorted by descending total time.
+        assert list(summary["by_name"]) == ["a", "b"]
+        assert "a" in obs.format_summary(summary)
+
+    def test_concurrent_spans_nest_per_thread(self):
+        """N threads hammering one tracer: every span lands, and nesting
+        never crosses threads."""
+        tracer = Tracer(capacity=100_000)
+        n_threads, per_thread = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid):
+            barrier.wait()
+            for k in range(per_thread):
+                with tracer.span(f"outer-{tid}") as outer:
+                    with tracer.span(f"inner-{tid}"):
+                        pass
+                    assert outer.span.thread_id == threading.get_ident()
+
+        threads = [threading.Thread(target=work, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.spans()
+        assert len(spans) == n_threads * per_thread * 2
+        assert tracer.dropped == 0
+        by_id = {s.span_id: s for s in spans}
+        for s in spans:
+            if s.parent_id is not None:
+                parent = by_id[s.parent_id]
+                assert parent.thread_id == s.thread_id
+                assert s.name == f"inner-{parent.name.split('-')[1]}"
+
+
+# ======================================================================
+# KernelProfiler + hooks
+# ======================================================================
+
+class TestProfiler:
+    def test_record_and_breakdown(self):
+        prof = KernelProfiler()
+        prof.record("iiwa", "aba", 0.2, rows=64)
+        prof.record("iiwa", "aba", 0.4, rows=64)
+        prof.record("iiwa", "transforms", 0.1, rows=64)
+        down = prof.breakdown()
+        assert list(down) == [("iiwa", "aba"), ("iiwa", "transforms")]
+        stat = down[("iiwa", "aba")]
+        assert stat["calls"] == 2
+        assert stat["total_s"] == pytest.approx(0.6)
+        assert stat["max_s"] == pytest.approx(0.4)
+        assert stat["rows"] == 128
+        assert "aba" in obs.format_breakdown(down)
+
+    def test_snapshot_merge_roundtrip(self):
+        a = KernelProfiler(per_level=True)
+        a.record("hyq", "rnea", 0.3, rows=8)
+        a.record_level("hyq", "rnea", 0, 0.1)
+        a.record_level("hyq", "rnea", 1, 0.2)
+        b = KernelProfiler()
+        b.record("hyq", "rnea", 0.5, rows=4)
+        b.merge(a.snapshot())
+        stat = b.breakdown()[("hyq", "rnea")]
+        assert stat["calls"] == 2
+        assert stat["total_s"] == pytest.approx(0.8)
+        assert stat["rows"] == 12
+        assert stat["levels"][1]["total_s"] == pytest.approx(0.2)
+
+    def test_hooks_disabled_are_noops(self):
+        assert obs_hooks.kernel_begin() is None
+        obs_hooks.kernel_end(None, "r", "k")        # must not raise
+        assert obs_hooks.level_begin() is None
+        obs_hooks.level_end(None, "r", "k", 0)
+
+    def test_profiled_context_restores_previous_sinks(self):
+        outer = KernelProfiler()
+        obs.install(profiler=outer)
+        with obs.profiled() as inner:
+            assert obs_hooks.active_profiler() is inner
+        assert obs_hooks.active_profiler() is outer
+        obs.uninstall()
+        assert not obs_hooks.enabled
+
+    def test_concurrent_recording_balances(self):
+        """N threads x M records: totals must balance exactly."""
+        prof = KernelProfiler(per_level=True)
+        n_threads, per_thread = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def work():
+            barrier.wait()
+            for _ in range(per_thread):
+                prof.record("r", "k", 1e-6, rows=2)
+                prof.record_level("r", "k", 3, 1e-6)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stat = prof.breakdown()[("r", "k")]
+        n = n_threads * per_thread
+        assert stat["calls"] == n
+        assert stat["rows"] == 2 * n
+        assert stat["total_s"] == pytest.approx(n * 1e-6)
+        assert stat["levels"][3]["calls"] == n
+
+
+class TestEngineInstrumentation:
+    def test_compiled_engine_breakdown(self):
+        model = load_robot("hyq")
+        states = BatchStates.random(model, 16, seed=0)
+        u = np.random.default_rng(1).normal(size=(16, model.nv))
+        with obs.profiled(KernelProfiler(per_level=True)) as prof:
+            batch_evaluate(model, RBDFunction.FD, states, u,
+                           engine="compiled")
+        down = prof.breakdown()
+        kernels = {k for (_, k) in down}
+        assert {"transforms", "aba", "dispatch.FD[compiled]"} <= kernels
+        aba = down[("hyq", "aba")]
+        assert aba["rows"] == 16
+        # hyq's plan has 4 levels; per-level mode recorded each sweep.
+        assert len(aba["levels"]) >= 2
+
+    def test_instrumentation_does_not_change_results(self):
+        model = load_robot("iiwa")
+        states = BatchStates.random(model, 8, seed=3)
+        u = np.random.default_rng(4).normal(size=(8, model.nv))
+        plain = batch_evaluate(model, RBDFunction.FD, states, u,
+                               engine="compiled")
+        with obs.profiled(tracer=Tracer()):
+            traced = batch_evaluate(model, RBDFunction.FD, states, u,
+                                    engine="compiled")
+        np.testing.assert_allclose(np.asarray(traced), np.asarray(plain))
+
+    def test_rollout_step_spans(self):
+        model = load_robot("iiwa")
+        rng = np.random.default_rng(0)
+        tracer = Tracer()
+        with obs.profiled(tracer=tracer) as prof:
+            RolloutEngine("semi_implicit", engine="compiled").rollout(
+                model, rng.normal(size=(4, model.nv)) * 0.1,
+                np.zeros((4, model.nv)),
+                rng.normal(size=(4, 6, model.nv)) * 0.05, dt=1e-3,
+            )
+        down = prof.breakdown()
+        step = down[("iiwa", "rollout.step[semi_implicit]")]
+        assert step["calls"] == 6
+        outer = down[("iiwa", "rollout[semi_implicit]")]
+        assert outer["calls"] == 1
+        assert outer["rows"] == 4 * 6
+        names = [s.name for s in tracer.spans()]
+        assert names.count("iiwa.rollout.step[semi_implicit]") == 6
+
+    def test_process_engine_merges_worker_profiles(self):
+        from repro.dynamics.process import ProcessEngine
+
+        model = load_robot("iiwa")
+        states = BatchStates.random(model, 6, seed=0)
+        u = np.random.default_rng(1).normal(size=(6, model.nv))
+        engine = ProcessEngine(n_workers=2, min_chunk=1)
+        try:
+            with obs.profiled(KernelProfiler()) as prof:
+                batch_evaluate(model, RBDFunction.FD, states, u,
+                               engine=engine)
+        finally:
+            engine.shutdown()
+        down = prof.breakdown()
+        # Worker-side kernel timings shipped back and merged: the aba
+        # sweep happened in the workers, not this process.
+        assert ("iiwa", "aba") in down
+        assert down[("iiwa", "aba")]["rows"] == 6
+
+
+# ======================================================================
+# Telemetry
+# ======================================================================
+
+class TestTelemetry:
+    def test_counter_gauge_prometheus(self):
+        t = Telemetry()
+        t.counter("hits_total", "Hits").inc(3)
+        t.gauge("depth", "Queue depth").set(1.5)
+        text = t.prometheus()
+        assert "# TYPE repro_hits_total counter" in text
+        assert "repro_hits_total 3" in text
+        assert "repro_depth 1.5" in text
+
+    def test_labels_make_distinct_series(self):
+        t = Telemetry()
+        t.counter("batches_total", engine="compiled").inc(2)
+        t.counter("batches_total", engine="loop").inc(5)
+        text = t.prometheus()
+        assert 'repro_batches_total{engine="compiled"} 2' in text
+        assert 'repro_batches_total{engine="loop"} 5' in text
+        # Same (name, labels) returns the same underlying metric.
+        assert t.counter("batches_total", engine="loop").value == 5
+
+    def test_histogram_cumulative_buckets(self):
+        t = Telemetry()
+        h = t.histogram("sizes", buckets=(1, 8, 64))
+        for v in (1, 2, 9, 100):
+            h.observe(v)
+        text = t.prometheus()
+        assert 'repro_sizes_bucket{le="1"} 1' in text
+        assert 'repro_sizes_bucket{le="8"} 2' in text
+        assert 'repro_sizes_bucket{le="64"} 3' in text
+        assert 'repro_sizes_bucket{le="+Inf"} 4' in text
+        assert "repro_sizes_count 4" in text
+
+    def test_summary_quantiles(self):
+        t = Telemetry()
+        t.summary("lat_seconds").set({0.5: 0.01, 0.99: 0.05}, 100, 1.25)
+        text = t.prometheus()
+        assert 'repro_lat_seconds{quantile="0.5"} 0.01' in text
+        assert "repro_lat_seconds_sum 1.25" in text
+        assert "repro_lat_seconds_count 100" in text
+
+    def test_kind_conflict_and_bad_name_rejected(self):
+        t = Telemetry()
+        t.counter("x_total")
+        with pytest.raises(ValueError):
+            t.gauge("x_total")
+        with pytest.raises(ValueError):
+            t.counter("bad name")
+        with pytest.raises(ValueError):
+            t.counter("neg_total").inc(-1)
+
+    def test_json_exposition(self):
+        t = Telemetry()
+        t.counter("hits_total", "Hits", engine="compiled").inc(7)
+        doc = json.loads(t.json_text())
+        sample = doc["hits_total"]["samples"][0]
+        assert sample == {"labels": {"engine": "compiled"}, "value": 7.0}
+
+
+# ======================================================================
+# MetricsRegistry: locked snapshot + telemetry projection
+# ======================================================================
+
+class TestMetricsRegistry:
+    def test_snapshot_consistent_under_concurrency(self):
+        """Writers on N threads; snapshot() must always read balanced
+        counters (completed + failed == total recorded so far is not
+        observable mid-write, but the final state must balance and no
+        read may crash or tear)."""
+        registry = MetricsRegistry()
+        n_threads, per_thread = 8, 300
+        barrier = threading.Barrier(n_threads + 1)
+        stop = threading.Event()
+
+        def writer():
+            barrier.wait()
+            for k in range(per_thread):
+                registry.record_request(1e-3, 1e-6)
+                registry.record_batch(2, 100.0, engine="compiled",
+                                      backend="numpy", shard=0, wall_s=1e-4)
+                registry.record_rollout(16, 2e-3)
+                if k % 50 == 0:
+                    registry.record_failure()
+
+        def reader():
+            barrier.wait()
+            while not stop.is_set():
+                snap = registry.snapshot()
+                assert snap["completed"] >= 0
+                assert snap["mean_batch_occupancy"] in (0.0, 2.0)
+
+        threads = [threading.Thread(target=writer)
+                   for _ in range(n_threads)]
+        rd = threading.Thread(target=reader)
+        for t in threads + [rd]:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        rd.join()
+        snap = registry.snapshot()
+        n = n_threads * per_thread
+        assert snap["completed"] == n
+        assert snap["failed"] == n_threads * len(range(0, per_thread, 50))
+        assert snap["rollouts_completed"] == n
+        assert snap["rollout_steps_total"] == 16 * n
+        assert snap["engine_requests"]["compiled"] == 2 * n
+
+    def test_telemetry_projection(self):
+        registry = MetricsRegistry()
+        for _ in range(10):
+            registry.record_request(2e-3, 1e-6)
+        registry.record_batch(10, 500.0, engine="compiled",
+                              backend="numpy", shard=1, wall_s=1e-3)
+        registry.record_rollout(32, 5e-3)
+        t = registry.telemetry()
+        text = t.prometheus()
+        assert "repro_requests_completed_total 10" in text
+        assert 'repro_serve_requests_total{engine="compiled"} 10' in text
+        assert "repro_rollout_steps_total 32" in text
+        assert "repro_request_latency_seconds_count 10" in text
+        # The summary _sum is the exact stream sum, not a quantile.
+        assert "repro_request_latency_seconds_sum 0.02" in text
+        assert 'repro_batch_occupancy_bucket{le="10"} 1' in text
+        doc = t.to_json()
+        assert doc["requests_completed_total"]["samples"][0]["value"] == 10
+
+
+# ======================================================================
+# Serve integration: end-to-end traces, placement log, rollout f_ext
+# ======================================================================
+
+def _service(tracer=None, **kwargs):
+    kwargs.setdefault("policy", BatchPolicy(max_batch=8, max_wait_s=1e-3))
+    kwargs.setdefault("n_shards", 2)
+    return DynamicsService(tracer=tracer, **kwargs)
+
+
+class TestServeTracing:
+    def test_single_request_trace_chain(self):
+        """One urgent request is followable enqueue -> batch -> shard ->
+        kernels under a single trace ID."""
+        model = load_robot("iiwa")
+        tracer = Tracer()
+        obs.install(tracer=tracer)
+        with _service(tracer=tracer) as service:
+            future = service.submit(
+                "iiwa", RBDFunction.FD, np.zeros(model.nv),
+                np.zeros(model.nv), np.zeros(model.nv), urgent=True,
+            )
+            result = future.result(timeout=30.0)
+        assert result.batch_size == 1
+        requests = [s for s in tracer.spans() if s.name == "serve.queue"]
+        assert len(requests) == 1
+        trace_id = requests[0].trace_id
+        chain = tracer.trace(trace_id)
+        names = [s.name for s in chain]
+        assert "serve.queue" in names
+        assert any(n.startswith("serve.execute iiwa/FD") for n in names)
+        assert "iiwa.aba" in names          # kernel level reached
+        # Kernel spans nest under the execute span.
+        execute = next(s for s in chain if s.name.startswith("serve.execute"))
+        kernel = next(s for s in chain if s.name == "iiwa.aba")
+        assert kernel.parent_id == execute.span_id
+        assert execute.args["shard"] == requests[0].args["shard"]
+
+    def test_batched_requests_share_execute_span(self):
+        model = load_robot("iiwa")
+        tracer = Tracer()
+        with _service(tracer=tracer) as service:
+            futures = [
+                service.submit("iiwa", RBDFunction.FD,
+                               np.zeros(model.nv), np.zeros(model.nv),
+                               np.zeros(model.nv))
+                for _ in range(8)
+            ]
+            service.flush()
+            for f in futures:
+                f.result(timeout=30.0)
+        queue_spans = [s for s in tracer.spans() if s.name == "serve.queue"]
+        assert len(queue_spans) == 8
+        for s in queue_spans:
+            chain = tracer.trace(s.trace_id)
+            assert any(n.name.startswith("serve.execute") for n in chain)
+
+    def test_rollout_trace_reaches_step_kernels(self):
+        model = load_robot("iiwa")
+        tracer = Tracer()
+        obs.install(tracer=tracer)
+        with _service(tracer=tracer) as service:
+            future = service.submit_rollout(
+                "iiwa", np.zeros(model.nv), np.zeros(model.nv),
+                np.zeros((4, model.nv)), dt=1e-3, urgent=True,
+            )
+            future.result(timeout=30.0)
+        queue = next(s for s in tracer.spans() if s.name == "serve.queue")
+        names = [s.name for s in tracer.trace(queue.trace_id)]
+        assert any("serve.execute iiwa/rollout" in n for n in names)
+        assert "iiwa.rollout.step[semi_implicit]" in names
+
+    def test_untraced_service_records_nothing(self):
+        model = load_robot("iiwa")
+        with _service() as service:
+            future = service.submit("iiwa", RBDFunction.FD,
+                                    np.zeros(model.nv), np.zeros(model.nv),
+                                    np.zeros(model.nv), urgent=True)
+            result = future.result(timeout=30.0)
+        assert result.robot == "iiwa"
+
+
+class TestPlacementLog:
+    def test_least_loaded_records_scoreboard(self):
+        model = load_robot("iiwa")
+        with _service(shard_policy="least_loaded") as service:
+            futures = [
+                service.submit("iiwa", RBDFunction.FD,
+                               np.zeros(model.nv), np.zeros(model.nv),
+                               np.zeros(model.nv), urgent=True)
+                for _ in range(4)
+            ]
+            for f in futures:
+                f.result(timeout=30.0)
+            events = service.pool.placement_events()
+        assert len(events) == 4
+        assert [e["seq"] for e in events] == sorted(e["seq"] for e in events)
+        for event in events:
+            assert event["policy"] == "least_loaded"
+            assert event["n_requests"] == 1
+            assert len(event["scores"]) == 2      # full scoreboard
+            assert len(event["weights"]) == 2
+            # The chosen shard minimizes the recorded scores.
+            best = min(range(2), key=lambda i: tuple(event["scores"][i]))
+            assert event["shard"] == best
+        assert service.stats()["placement_events"] == 4
+
+    def test_round_robin_has_no_scores(self):
+        model = load_robot("iiwa")
+        with _service(shard_policy="round_robin") as service:
+            service.submit("iiwa", RBDFunction.FD, np.zeros(model.nv),
+                           np.zeros(model.nv), np.zeros(model.nv),
+                           urgent=True).result(timeout=30.0)
+            (event,) = service.pool.placement_events()
+        assert event["scores"] is None
+
+    def test_log_capacity_bounded(self):
+        from repro.serve import ShardPool
+
+        pool = ShardPool(1, placement_log_capacity=3)
+        for _ in range(5):
+            pool.dispatch(1, lambda shard: 0.0).result(timeout=10.0)
+        pool.shutdown()
+        events = pool.placement_events()
+        assert len(events) == 3
+        assert [e["seq"] for e in events] == [2, 3, 4]
+
+
+class TestRolloutFext:
+    def test_serve_rollout_f_ext_matches_direct(self):
+        model = load_robot("iiwa")
+        rng = np.random.default_rng(7)
+        q0 = rng.normal(size=model.nv) * 0.1
+        qd0 = np.zeros(model.nv)
+        controls = rng.normal(size=(5, model.nv)) * 0.05
+        f_ext = {model.nb - 1: np.array([0.0, 0.2, 0.0, 0.0, 0.0, -3.0])}
+        with _service() as service:
+            result = service.submit_rollout(
+                "iiwa", q0, qd0, controls, dt=1e-3, f_ext=f_ext,
+                urgent=True,
+            ).result(timeout=30.0)
+        direct = RolloutEngine("semi_implicit", engine="compiled").rollout(
+            model, q0, qd0, controls, dt=1e-3, f_ext=f_ext,
+        )
+        np.testing.assert_allclose(result.value.qs, direct.task(0).qs,
+                                   rtol=1e-10, atol=1e-12)
+        # And the forces actually changed the trajectory.
+        free = RolloutEngine("semi_implicit", engine="compiled").rollout(
+            model, q0, qd0, controls, dt=1e-3,
+        )
+        assert not np.allclose(result.value.qs, free.task(0).qs)
+
+    def test_mixed_f_ext_batch_coalesces(self):
+        """Force-free and force-carrying rollouts share one slab."""
+        model = load_robot("iiwa")
+        rng = np.random.default_rng(8)
+        controls = rng.normal(size=(4, model.nv)) * 0.05
+        f_ext = {model.nb - 1: np.array([0.3, 0.2, 0.0, 1.0, 0.0, -2.0])}
+        policy = BatchPolicy(max_batch=4, max_wait_s=0.2)
+        with DynamicsService(policy=policy, n_shards=1) as service:
+            loaded = service.submit_rollout(
+                "iiwa", np.zeros(model.nv), np.zeros(model.nv), controls,
+                dt=1e-3, f_ext=f_ext,
+            )
+            free = service.submit_rollout(
+                "iiwa", np.zeros(model.nv), np.zeros(model.nv), controls,
+                dt=1e-3,
+            )
+            service.flush()
+            loaded_r = loaded.result(timeout=30.0)
+            free_r = free.result(timeout=30.0)
+        assert loaded_r.batch_size == 2 and free_r.batch_size == 2
+        direct_free = RolloutEngine(
+            "semi_implicit", engine="compiled"
+        ).rollout(model, np.zeros(model.nv), np.zeros(model.nv), controls,
+                  dt=1e-3)
+        np.testing.assert_allclose(free_r.value.qs, direct_free.task(0).qs,
+                                   rtol=1e-10, atol=1e-12)
+        assert not np.allclose(loaded_r.value.qs, free_r.value.qs)
+
+    def test_rollout_f_ext_validated(self):
+        model = load_robot("iiwa")
+        with _service() as service:
+            with pytest.raises(ValueError, match="out of range"):
+                service.submit_rollout(
+                    "iiwa", np.zeros(model.nv), np.zeros(model.nv),
+                    np.zeros((3, model.nv)), dt=1e-3,
+                    f_ext={model.nb + 5: np.zeros(6)},
+                )
+            with pytest.raises(ValueError, match="shape"):
+                service.submit_rollout(
+                    "iiwa", np.zeros(model.nv), np.zeros(model.nv),
+                    np.zeros((3, model.nv)), dt=1e-3,
+                    f_ext={0: np.zeros(3)},
+                )
+
+
+class TestServiceTelemetry:
+    def test_service_telemetry_unifies_layers(self):
+        model = load_robot("iiwa")
+        with _service(shard_policy="least_loaded") as service:
+            futures = [
+                service.submit("iiwa", RBDFunction.FD,
+                               np.zeros(model.nv), np.zeros(model.nv),
+                               np.zeros(model.nv), urgent=True)
+                for _ in range(3)
+            ]
+            for f in futures:
+                f.result(timeout=30.0)
+            text = service.telemetry().prometheus()
+        assert "repro_requests_completed_total 3" in text
+        assert "repro_serve_accepted_total 3" in text
+        assert "repro_serve_urgent_total 3" in text
+        assert 'repro_shard_weight{shard="0"}' in text
+        assert "repro_shard_placement_events_total 3" in text
+        assert "repro_cache_misses_total" in text
+
+
+class TestTraceCLI:
+    def test_trace_cli_smoke(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "TRACE_iiwa.json"
+        assert main(["trace", "iiwa", "--requests", "4", "--horizon", "3",
+                     "--out", str(out), "--prometheus"]) == 0
+        printed = capsys.readouterr().out
+        assert "spans" in printed
+        assert "repro_requests_completed_total" in printed
+        events = json.loads(out.read_text())
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "serve.queue" in names
+        assert any(n.startswith("serve.execute") for n in names)
+        assert any(n.startswith("iiwa.") for n in names)
+        # Hooks are restored after the CLI run.
+        assert not obs_hooks.enabled
