@@ -1,0 +1,260 @@
+"""Packed-column plan sweeps and ragged cross-robot batching.
+
+Two measurements on top of PR 7's ragged-batching work:
+
+1. **Packed vs dense compiled sweeps** — the mass-matrix and derivative
+   kernels in :mod:`repro.dynamics.plan` can run on packed
+   ``(n, L, 6, |cols|)`` column slabs (gather/scatter over each level's
+   precompiled path/subtree DOF-column union) instead of full ``nv``-wide
+   slabs.  This times ``packing="always"`` against ``packing="never"``
+   plans on the same compiled kernels for Minv and dFD, where the win
+   grows with branch-induced sparsity (atlas is the high-DOF stressor).
+
+2. **Coalesced vs fragmented mixed-robot serving** — a heterogeneous
+   fleet (one queue per (robot, function)) fragments into per-robot
+   batches unless ``BatchPolicy.coalesce`` folds compatible queues into
+   one ragged batch per flush (:class:`repro.dynamics.RaggedBatch`).
+   This drives an identical interleaved multi-robot load through both
+   policies and records throughput, merged-flush stats, and a
+   per-request result-identity check (coalescing must not change any
+   answer, bit for bit).
+
+Acceptance anchors: packed dFD >= 1.0x dense on atlas at the largest
+batch (CI smoke floor on the 1-core runner; 1.5x is the target the
+measured ~1.4x tracks), and the coalesced serve run must actually merge
+queues (``flushed_merged >= 1``) while returning bitwise-identical
+results.
+
+Runs under pytest (with the usual summary table) or directly for CI
+smoke::
+
+    PYTHONPATH=src python benchmarks/bench_ragged.py --quick
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.dynamics import BatchStates
+from repro.dynamics.functions import RBDFunction
+from repro.dynamics.plan import plan_for
+from repro.model.library import load_robot
+from repro.serve import BatchPolicy, DynamicsService
+
+#: Packed-sweep sweep set: serial control + branched + high-DOF stressor.
+ROBOTS = ("iiwa", "hyq", "atlas")
+BATCH = 256
+FUNCTIONS = (RBDFunction.MINV, RBDFunction.DFD)
+#: CI smoke floor for packed-vs-dense dFD on atlas (1-core runner).
+RAGGED_FLOOR = 1.0
+#: The design target the measured speedup tracks.
+RAGGED_TARGET = 1.5
+#: Mixed-robot serve load: requests per robot, interleaved round-robin.
+SERVE_ROBOTS = ("iiwa", "hyq", "quadruped_arm")
+SERVE_REQUESTS_PER_ROBOT = 24
+
+
+def _time_packed_pair(model, function, batch, reps=3):
+    """Best-of-``reps`` wall seconds for (dense, packed) plan sweeps.
+
+    The two plans' reps interleave so drift on a noisy shared host hits
+    both sides alike; only the within-run ratio is trusted.
+    """
+    dense = plan_for(model, packing="never")
+    packed = plan_for(model, packing="always")
+    states = BatchStates.random(model, batch, seed=0)
+    q, qd = states.q, states.qd
+    tau = np.random.default_rng(1).normal(size=(batch, model.nv))
+    if function is RBDFunction.MINV:
+        calls = [(plan.minv_batch, (q,)) for plan in (dense, packed)]
+    elif function is RBDFunction.DFD:
+        calls = [(plan.dfd_batch, (q, qd, tau)) for plan in (dense, packed)]
+    else:
+        raise ValueError(f"unsupported function {function}")
+    for fn, args in calls:
+        fn(*args)                                   # warm-up both plans
+    best = [float("inf"), float("inf")]
+    for _ in range(reps):
+        for side, (fn, args) in enumerate(calls):
+            t0 = time.perf_counter()
+            fn(*args)
+            best[side] = min(best[side], time.perf_counter() - t0)
+    return best[0], best[1]
+
+
+def run_packed_bench(robots=ROBOTS, batch=BATCH,
+                     functions=FUNCTIONS, reps=3) -> list[dict]:
+    """Rows of {robot, function, batch, dense_s, packed_s, speedup}
+    (speedup = dense / packed on the same compiled kernels)."""
+    rows = []
+    for robot in robots:
+        model = load_robot(robot)
+        for function in functions:
+            dense_s, packed_s = _time_packed_pair(model, function, batch,
+                                                  reps)
+            rows.append({
+                "robot": robot,
+                "function": function,
+                "batch": batch,
+                "dense_s": dense_s,
+                "packed_s": packed_s,
+                "speedup": dense_s / packed_s,
+            })
+    return rows
+
+
+def _run_serve_mode(coalesce: bool, requests_per_robot: int,
+                    robots=SERVE_ROBOTS) -> tuple[dict, list]:
+    """One mixed-robot FD load through the service; returns (stats row,
+    per-request result values in submission order)."""
+    rng = np.random.default_rng(7)
+    inputs = []
+    for k in range(requests_per_robot):
+        for robot in robots:
+            nv = load_robot(robot).nv
+            inputs.append((robot, rng.standard_normal(nv),
+                           rng.standard_normal(nv), rng.standard_normal(nv)))
+    policy = BatchPolicy(max_batch=64, max_wait_s=2e-3, coalesce=coalesce)
+    service = DynamicsService(policy=policy, n_shards=1,
+                              warm_robots=list(robots))
+    t0 = time.perf_counter()
+    futures = [service.submit(robot, RBDFunction.FD, q, qd, u)
+               for robot, q, qd, u in inputs]
+    values = [np.asarray(f.result(timeout=60).value) for f in futures]
+    wall_s = time.perf_counter() - t0
+    stats = service.stats()
+    service.close()
+    n = len(inputs)
+    return {
+        "mode": "coalesced" if coalesce else "fragmented",
+        "requests": n,
+        "wall_s": wall_s,
+        "throughput_rps": n / wall_s,
+        "batches": sum(stats["engine_batches"].values()),
+        "mean_batch_occupancy": stats["mean_batch_occupancy"],
+        "flushed_merged": stats["flushed_merged"],
+        "queues_per_flush": stats["queues_per_flush"],
+        "ragged_batches": stats["ragged_batches"],
+        "ragged_segments": stats["ragged_segments"],
+    }, values
+
+
+def run_serve_bench(requests_per_robot=SERVE_REQUESTS_PER_ROBOT):
+    """Coalesced vs fragmented rows + the result-identity verdict."""
+    fragmented, frag_values = _run_serve_mode(False, requests_per_robot)
+    coalesced, coal_values = _run_serve_mode(True, requests_per_robot)
+    identical = all(
+        np.array_equal(a, b) for a, b in zip(frag_values, coal_values)
+    )
+    return [fragmented, coalesced], identical
+
+
+def _packed_table(rows):
+    from repro.reporting import Table
+
+    table = Table(
+        "ragged: packed vs dense compiled sweeps (speedup = dense/packed)",
+        ["robot", "function", "batch", "dense (ms)", "packed (ms)",
+         "speedup"],
+    )
+    for row in rows:
+        table.add_row(row["robot"], row["function"].value, row["batch"],
+                      row["dense_s"] * 1e3, row["packed_s"] * 1e3,
+                      row["speedup"])
+    return table
+
+
+def _serve_table(rows):
+    from repro.reporting import Table
+
+    table = Table(
+        "ragged: mixed-robot serve, coalesced vs fragmented",
+        ["mode", "requests", "batches", "occupancy", "merged",
+         "queues/flush", "throughput (r/s)"],
+    )
+    for row in rows:
+        table.add_row(row["mode"], row["requests"], row["batches"],
+                      row["mean_batch_occupancy"], row["flushed_merged"],
+                      row["queues_per_flush"], row["throughput_rps"])
+    return table
+
+
+def _atlas_dfd_speedup(rows) -> float:
+    for row in rows:
+        if row["robot"] == "atlas" and row["function"] is RBDFunction.DFD:
+            return row["speedup"]
+    return float("nan")
+
+
+def test_packed_sweep_speedup(once):
+    """Packed >= dense on atlas dFD; serve coalescing merges losslessly."""
+    from conftest import record_table
+
+    def _run():
+        rows = run_packed_bench()
+        record_table(_packed_table(rows))
+        atlas = _atlas_dfd_speedup(rows)
+        record_table(
+            f"== packed-column sweep speedup (atlas dFD, batch {BATCH}) ==\n"
+            f"{atlas:.2f}x dense (floor {RAGGED_FLOOR:.1f}x, "
+            f"target {RAGGED_TARGET:.1f}x)"
+        )
+        assert atlas >= RAGGED_FLOOR, atlas
+        serve_rows, identical = run_serve_bench(requests_per_robot=8)
+        record_table(_serve_table(serve_rows))
+        coalesced = serve_rows[1]
+        assert coalesced["flushed_merged"] >= 1, coalesced
+        assert coalesced["ragged_batches"] >= 1, coalesced
+        assert identical, "coalesced results diverged from fragmented"
+
+    once(_run)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    reps = 2 if quick else 3
+    requests_per_robot = 8 if quick else SERVE_REQUESTS_PER_ROBOT
+    rows = run_packed_bench(reps=reps)
+    print(f"bench_ragged: {'quick' if quick else 'full'} mode")
+    print(_packed_table(rows).render())
+    atlas = _atlas_dfd_speedup(rows)
+    print(f"\npacked vs dense, atlas dFD at {BATCH}: {atlas:.2f}x "
+          f"(floor {RAGGED_FLOOR:.1f}x, target {RAGGED_TARGET:.1f}x)")
+    serve_rows, identical = run_serve_bench(requests_per_robot)
+    print()
+    print(_serve_table(serve_rows).render())
+    print(f"\ncoalesced results identical to fragmented: {identical}")
+    if "--json" in argv:
+        from jsonout import write_bench_json
+
+        json_rows = [
+            {**row, "engine": "compiled", "backend": "numpy"}
+            for row in rows
+        ] + serve_rows
+        path = write_bench_json(
+            "ragged", json_rows,
+            {"atlas_dfd_packed_speedup": atlas,
+             "floor": RAGGED_FLOOR, "target": RAGGED_TARGET,
+             "serve_results_identical": identical,
+             "coalesced_merged_flushes": serve_rows[1]["flushed_merged"],
+             "coalesced_queues_per_flush":
+                 serve_rows[1]["queues_per_flush"]},
+        )
+        print(f"wrote {path}")
+    if atlas < RAGGED_FLOOR:
+        print("FAIL: packed sweeps lost to dense on atlas dFD",
+              file=sys.stderr)
+        return 1
+    if not identical:
+        print("FAIL: coalesced serve results diverged", file=sys.stderr)
+        return 1
+    if serve_rows[1]["flushed_merged"] < 1:
+        print("FAIL: coalescing mode never merged a flush", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

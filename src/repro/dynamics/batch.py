@@ -189,6 +189,113 @@ def batch_fd_derivatives(
     )
 
 
+@dataclass
+class RaggedSegment:
+    """One robot's contiguous row block inside a :class:`RaggedBatch`."""
+
+    model: RobotModel
+    states: BatchStates
+    u: np.ndarray | None = None
+    minv: np.ndarray | None = None
+    f_ext: dict[int, np.ndarray] | None = None
+    #: Row window [lo, hi) this segment occupies in the ragged batch
+    #: (assigned by :meth:`RaggedBatch.add`).
+    lo: int = 0
+    hi: int = 0
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+class RaggedBatch:
+    """A cross-robot batch: per-robot row segments evaluated in one call.
+
+    Same-robot rows share one execution plan, so a heterogeneous-fleet
+    load (the multi-robot MPC / serving case) is carried as an ordered
+    list of :class:`RaggedSegment` row blocks — each a dense
+    ``(n_r, ...)`` operand stack for one robot — instead of fragmenting
+    into independent engine calls at the call site.
+    :func:`batch_evaluate_ragged` dispatches every segment to its
+    robot's (packed-column) plan inside one engine call and returns the
+    per-task results flattened back into global row order, so callers
+    fan results out exactly as they would for a dense batch.
+    """
+
+    def __init__(self) -> None:
+        self.segments: list[RaggedSegment] = []
+        self._rows = 0
+
+    def __len__(self) -> int:
+        """Total task rows across all segments."""
+        return self._rows
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    def add(
+        self,
+        model: RobotModel,
+        states: BatchStates,
+        u: np.ndarray | None = None,
+        minv: np.ndarray | None = None,
+        f_ext: dict[int, np.ndarray] | None = None,
+    ) -> RaggedSegment:
+        """Append one robot's row block; returns the placed segment."""
+        segment = RaggedSegment(
+            model=model, states=states, u=u, minv=minv, f_ext=f_ext,
+            lo=self._rows, hi=self._rows + len(states),
+        )
+        self.segments.append(segment)
+        self._rows = segment.hi
+        return segment
+
+    def describe(self) -> dict:
+        """Shape summary: rows, segments, and the per-segment windows."""
+        return {
+            "rows": self._rows,
+            "segments": self.n_segments,
+            "windows": [
+                {"robot": s.model.name, "lo": s.lo, "hi": s.hi,
+                 "nv": s.model.nv}
+                for s in self.segments
+            ],
+        }
+
+
+def batch_evaluate_ragged(
+    function: RBDFunction | str,
+    ragged: RaggedBatch,
+    engine: str | Engine | None = None,
+    **kwargs,
+) -> list:
+    """Dispatch one function over a cross-robot :class:`RaggedBatch`.
+
+    Each segment's rows run through its own robot's execution plan (the
+    packed-column sweeps for branched robots), back to back on the same
+    engine, inside one dispatch; the per-task results come back as one
+    flat list in global row order — ``out[seg.lo:seg.hi]`` are segment
+    ``seg``'s results, identical to what a per-robot
+    :func:`batch_evaluate` call on the same rows would produce.
+    """
+    if not ragged.segments:
+        return []
+    eng = get_engine(engine)
+    t0 = _obs.kernel_begin()
+    out: list = []
+    for segment in ragged.segments:
+        out.extend(batch_evaluate(
+            segment.model, function, segment.states, segment.u,
+            minv=segment.minv, f_ext=segment.f_ext, engine=eng, **kwargs,
+        ))
+    name = function if isinstance(function, str) else function.value
+    _obs.kernel_end(
+        t0, f"ragged[{ragged.n_segments}]",
+        f"dispatch.ragged.{name}[{getattr(eng, 'name', '?')}]", len(ragged),
+    )
+    return out
+
+
 def batch_evaluate(
     model: RobotModel,
     function: RBDFunction | str,

@@ -160,6 +160,68 @@ class PlanLevel:
 
 
 @dataclass(frozen=True)
+class PackedLevel:
+    """Packed-column geometry of one level (the Fig 7b column vectors).
+
+    Packing reindexes the *internal* DOF-column axis into slot order
+    (``ExecutionPlan.col_perm``) — the column analogue of the link ->
+    slot reindexing the plan already performs.  Because slots are sorted
+    by depth, both per-level column unions become contiguous runs of the
+    permuted layout, so the packed sweeps are plain slice arithmetic at
+    exactly the union width instead of index-array gathers:
+
+    * the union of the level links' root-to-link *path* columns — the
+      only columns where the derivative forward-sweep transfer stacks
+      can be nonzero — is the prefix ``[0, w)`` (every path column
+      belongs to a link of depth <= this level's);
+    * the union of the links' *subtree* columns — the only columns where
+      the mass-matrix backward-sweep force accumulators can be nonzero —
+      is the suffix ``[wp, nv)`` (every link of greater depth descends
+      from exactly one link of this level).
+
+    ``wp`` is simultaneously the parent level's prefix width and this
+    level's suffix start: the parent prefix nests inside the child's, so
+    forward propagation is one matmul at width ``wp`` plus a zero-fill
+    of the ``[wp, w)`` gap, and child suffixes nest inside the parent's,
+    so backward accumulation reuses the dense scatter at the tighter
+    window.  ``own_pos`` gives, per :class:`LevelGroup`, each link's own
+    DOF columns in the packed layout — the owned columns the sweeps
+    scatter results back to.
+    """
+
+    w: int                        # prefix width: DOF count of slots [0, hi)
+    wp: int                       # parent prefix width == suffix start
+    prel: np.ndarray | None       # (L,) parent positions within the parent
+                                  # level (None at the root)
+    own_pos: tuple                # per group: (Lg, k) packed own columns
+    sel_packed: np.ndarray | None  # (L, 6, w) selectors, packed columns
+    btr_packed: np.ndarray | None  # (L, nv, 6, 6) btr, packed column axis
+    #: Parent slots as one basic slice when they are unique and contiguous
+    #: (the common case), so backward scatters run as slice ``+=`` instead
+    #: of a fancy-index read-modify-write; None falls back to
+    #: ``_scatter_to_parents``.
+    pslice: slice | None = None
+    #: ``prel`` as a basic slice when the parent rows are the contiguous
+    #: identity map (no branching between the two levels), so forward
+    #: propagation matmuls read the parent slab view directly instead of
+    #: staging a gathered copy.
+    prelslice: slice | None = None
+    #: Per group: the group's own DOF rows *in the packed permutation* —
+    #: always one contiguous run (slots are contiguous and each link's
+    #: DOF columns are), so permuted-row outputs write basic slices.
+    prow: tuple = ()
+    #: Per group: flat ``(nv*nv)`` diagonal slice of the group's own
+    #: (row, col) entries in the permuted layout (k == 1 groups only).
+    pdiag: tuple = ()
+    #: Relative slots whose derivative ``DF[..., w:]`` tail must be
+    #: zero-filled because no child-level scatter will overwrite it
+    #: (childless slots, or every slot when the child level scatters
+    #: through the fancy-index fallback); None when the tail is empty or
+    #: fully covered by the child's slice-assign scatter.
+    dfz: slice | np.ndarray | None = None
+
+
+@dataclass(frozen=True)
 class TransformGroup:
     """Links whose joint transforms are refreshed by one fused array op.
 
@@ -178,6 +240,46 @@ class TransformGroup:
     qslices: tuple = ()      # per-link q slices ("generic" only)
 
 
+def default_workspace_shapes(nb: int, nv: int) -> dict:
+    """Buffer-group shape table for an *unpacked* plan workspace.
+
+    A packed plan (:class:`PackedLevel`) swaps the dense ``mminv`` /
+    ``deriv`` column stacks for per-level packed slabs; everything else
+    is shared.
+    """
+    return {
+        "x": {"X": (nb, 6, 6)},
+        "rnea": {
+            "vj": (nb, 6), "aj": (nb, 6), "v": (nb, 6), "a": (nb, 6),
+            "xv": (nb, 6), "xa": (nb, 6), "f": (nb, 6),
+            "tau": (nv,),
+        },
+        # Articulated/composite inertias, shared by the ABA and
+        # MMinvGen kernels (each fully reinitializes the stack).
+        "ia": {"IA": (nb, 6, 6)},
+        "mminv": {
+            "f_acc": (nb, 6, nv),
+            "out": (nv, nv), "p_prop": (nb, 6, nv),
+        },
+        "deriv": {
+            "DVA": (nb, 6, 4 * nv), "DF": (nb, 6, 2 * nv),
+            "dtau_q": (nv, nv), "dtau_qd": (nv, nv),
+        },
+    }
+
+
+def _scratch_view(buf, n: int, L: int, width: int):
+    """A contiguous ``(n, L, 6, width)`` view over a flat scratch buffer."""
+    return buf.reshape(-1)[: n * L * 6 * width].reshape(n, L, 6, width)
+
+
+def _scratch_view5(buf, n: int, L: int, nb: int, width: int):
+    """A contiguous ``(n, L, nb, 6, width)`` block-axis view over a flat
+    scratch buffer."""
+    size = n * L * nb * 6 * width
+    return buf.reshape(-1)[:size].reshape(n, L, nb, 6, width)
+
+
 class PlanWorkspace:
     """Preallocated recursion state for one thread, grown monotonically.
 
@@ -191,27 +293,11 @@ class PlanWorkspace:
     """
 
     def __init__(self, nb: int, nv: int,
-                 backend: ArrayBackend | None = None) -> None:
+                 backend: ArrayBackend | None = None,
+                 shapes: dict | None = None) -> None:
         self._backend = backend or host_backend()
-        self._shapes = {
-            "x": {"X": (nb, 6, 6)},
-            "rnea": {
-                "vj": (nb, 6), "aj": (nb, 6), "v": (nb, 6), "a": (nb, 6),
-                "xv": (nb, 6), "xa": (nb, 6), "f": (nb, 6),
-                "tau": (nv,),
-            },
-            # Articulated/composite inertias, shared by the ABA and
-            # MMinvGen kernels (each fully reinitializes the stack).
-            "ia": {"IA": (nb, 6, 6)},
-            "mminv": {
-                "f_acc": (nb, 6, nv),
-                "out": (nv, nv), "p_prop": (nb, 6, nv),
-            },
-            "deriv": {
-                "DVA": (nb, 6, 4 * nv), "DF": (nb, 6, 2 * nv),
-                "dtau_q": (nv, nv), "dtau_qd": (nv, nv),
-            },
-        }
+        self._shapes = default_workspace_shapes(nb, nv) if shapes is None \
+            else shapes
         self.capacity = 0
         self._allocated: set[str] = set()
 
@@ -254,11 +340,24 @@ class ExecutionPlan:
     :mod:`repro.dynamics.engine`.
     """
 
+    #: Packing policy values: ``"auto"`` packs branched topologies (where
+    #: the level unions are strictly narrower than the dense windows and
+    #: wide levels amortize the gathers), ``"always"`` / ``"never"``
+    #: force it either way (``"never"`` is the packed-vs-dense baseline
+    #: the benches compare against).
+    PACKING_MODES = ("auto", "always", "never")
+
     def __init__(self, model: RobotModel,
-                 backend: str | ArrayBackend | None = None) -> None:
+                 backend: str | ArrayBackend | None = None, *,
+                 packing: str = "auto") -> None:
         # Only scalars/arrays/joint objects are captured from the model —
         # no back-reference — so the weak plan cache can actually collect
         # a transient model together with its plan.
+        if packing not in self.PACKING_MODES:
+            raise ValueError(
+                f"unknown packing mode {packing!r}; "
+                f"choose from {self.PACKING_MODES}"
+            )
         self.backend = get_backend(backend)
         if not self.backend.capabilities.inplace:
             raise BackendCapabilityError(
@@ -270,6 +369,11 @@ class ExecutionPlan:
         #: Kernel namespace and einsum of the execution backend.
         self._xp = self.backend.xp
         self._ein = self.backend.einsum
+        #: Writable strided-view constructor (numpy and cupy expose one);
+        #: packed kernels fall back to fancy-index writes without it.
+        _st = getattr(getattr(self._xp, "lib", None), "stride_tricks",
+                      None)
+        self._as_strided = getattr(_st, "as_strided", None)
         #: True when operands must cross the host boundary (f_ext stacks
         #: arrive as numpy from the serve layer).
         self._device = self.backend.name != "numpy"
@@ -308,6 +412,12 @@ class ExecutionPlan:
 
         self.levels = self._build_levels(model, subspaces, starts, stops)
         self.transform_groups = self._build_transform_groups(model, order)
+
+        self.packing = packing
+        self.packed_levels = self._build_packing(model, starts, stops,
+                                                 packing)
+        self.packed = self.packed_levels is not None
+        self._ws_shapes = self._workspace_shapes()
 
         self.minus_gravity = -np.asarray(model.gravity, dtype=float)
         if self._device:
@@ -358,6 +468,27 @@ class ExecutionPlan:
             )
             for g in self.transform_groups
         )
+        if self.packed:
+            opt = lambda a: None if a is None else dev(a)  # noqa: E731
+            self.col_perm = dev(self.col_perm)
+            self.col_pos = dev(self.col_pos)
+            self.gyro_t = dev(self.gyro_t)
+            if self._k1 is not None:
+                self._k1 = {**self._k1,
+                            "axis": dev(self._k1["axis"]),
+                            "axis_nr": dev(self._k1["axis_nr"])}
+            self.packed_levels = tuple(
+                _dc_replace(
+                    pk,
+                    prel=opt(pk.prel),
+                    own_pos=tuple(dev(p) for p in pk.own_pos),
+                    sel_packed=opt(pk.sel_packed),
+                    btr_packed=opt(pk.btr_packed),
+                    dfz=(dev(pk.dfz)
+                         if isinstance(pk.dfz, np.ndarray) else pk.dfz),
+                )
+                for pk in self.packed_levels
+            )
 
     # ------------------------------------------------------------------
     # Compilation
@@ -494,6 +625,174 @@ class ExecutionPlan:
             ))
         return tuple(groups)
 
+    def _build_packing(self, model, starts, stops, packing):
+        """Compile the packed column layout (Fig 7b's column vectors).
+
+        Packing permutes the *internal* DOF-column axis into slot order
+        (``col_perm``; ``col_pos`` is the inverse).  Because slots sort
+        by depth, the per-level column unions the sweeps need become
+        contiguous runs of the permuted layout — prefix ``[0, w)`` for
+        the path union, suffix ``[wp, nv)`` for the subtree union — so
+        the packed kernels are the dense kernels at tighter basic-sliced
+        windows, with no per-level index gathers.  ``"auto"`` packs only
+        branched topologies: on a serial chain slot order *is* column
+        order and the windows already match the dense ones.
+        """
+        self.col_perm = self.col_pos = self.gyro_t = None
+        self._k1 = None
+        if packing == "never" or (packing == "auto"
+                                  and self.n_branches <= 1):
+            return None
+        nv = self.nv
+        perm = np.concatenate([
+            np.arange(starts[int(i)], stops[int(i)])
+            for i in self.link_of_slot
+        ]).astype(np.intp)
+        pos = np.empty(nv, dtype=np.intp)
+        pos[perm] = np.arange(nv)
+        self.col_perm, self.col_pos = perm, pos
+
+        fields: list[dict] = []
+        wp = 0
+        for lvl in self.levels:
+            w = wp + int((stops[lvl.links] - starts[lvl.links]).sum())
+            own_pos = tuple(
+                pos[g.dofs].astype(np.intp) for g in lvl.groups
+            )
+            prow, pdiag = [], []
+            for g, p in zip(lvl.groups, own_pos):
+                flat = p.reshape(-1)
+                p0 = int(flat[0])
+                if not np.array_equal(flat,
+                                      np.arange(p0, p0 + flat.size)):
+                    raise AssertionError(
+                        "packed own columns are not contiguous"
+                    )
+                prow.append(slice(p0, p0 + flat.size))
+                pdiag.append(
+                    slice(p0 * (nv + 1),
+                          (p0 + flat.size - 1) * (nv + 1) + 1, nv + 1)
+                    if g.k == 1 else None
+                )
+            sel_packed = btr_packed = None
+            if any(g.k > 1 for g in lvl.groups):
+                sel_packed = np.ascontiguousarray(lvl.sel[:, :, perm[:w]])
+                btr_packed = np.ascontiguousarray(lvl.btr[:, perm])
+            prel = pslice = prelslice = None
+            if not lvl.is_root:
+                prel = (lvl.parent_slots
+                        - self.levels[lvl.index - 1].lo).astype(np.intp)
+                ps = lvl.parent_slots
+                if lvl.parents_unique and np.array_equal(
+                    ps, np.arange(ps[0], ps[0] + len(ps))
+                ):
+                    pslice = slice(int(ps[0]), int(ps[0]) + len(ps))
+                if np.array_equal(
+                    prel, np.arange(prel[0], prel[0] + len(prel))
+                ):
+                    prelslice = slice(int(prel[0]),
+                                      int(prel[0]) + len(prel))
+            fields.append(dict(
+                w=w, wp=wp, prel=prel, own_pos=own_pos,
+                sel_packed=sel_packed, btr_packed=btr_packed,
+                pslice=pslice, prelslice=prelslice,
+                prow=tuple(prow), pdiag=tuple(pdiag),
+            ))
+            wp = w
+        if wp != nv:
+            raise AssertionError("packed layout does not cover all DOFs")
+
+        # Childless tails: a slot's derivative DF[..., w:] needs explicit
+        # zeros only if the child level will not slice-assign over it.
+        for d, (lvl, fd) in enumerate(zip(self.levels, fields)):
+            if fd["w"] == nv:
+                continue
+            child = fields[d + 1] if d + 1 < len(fields) else None
+            if child is None or child["pslice"] is None:
+                fd["dfz"] = slice(0, lvl.size)
+                continue
+            cov = child["pslice"]
+            need = [i for i in range(lvl.size)
+                    if not cov.start <= lvl.lo + i < cov.stop]
+            if not need:
+                fd["dfz"] = None
+            elif need == list(range(need[0], need[0] + len(need))):
+                fd["dfz"] = slice(need[0], need[0] + len(need))
+            else:
+                fd["dfz"] = np.asarray(need, dtype=np.intp)
+        packed = [PackedLevel(**fd) for fd in fields]
+
+        # Fused one-DOF bundle: when every k == 1 group occupies one
+        # contiguous slot (and therefore packed-column) run — true for
+        # every revolute/prismatic tree, floating bases included — the
+        # derivative sweeps hoist the per-level one-hot terms (btr,
+        # cross-motion own columns, dtau extraction) into single
+        # whole-robot array ops over these slices.
+        self._k1 = None
+        parts = [(g.lo, g.hi, g.axis, int(packed[lvl.index]
+                                          .own_pos[gi][0, 0]), lvl.is_root)
+                 for lvl in self.levels
+                 for gi, g in enumerate(lvl.groups) if g.k == 1]
+        if parts:
+            slots = np.concatenate([np.arange(lo, hi)
+                                    for lo, hi, *_ in parts])
+            posc = np.concatenate([np.arange(p0, p0 + hi - lo)
+                                   for lo, hi, _, p0, _ in parts])
+            # Root-level parts always precede non-root ones (parts are
+            # generated in level order), so the non-root subset is the
+            # suffix once both concatenations are contiguous runs.
+            n_root = sum(hi - lo for lo, hi, _, _, r in parts if r)
+            if (np.array_equal(slots, np.arange(slots[0],
+                                                slots[0] + len(slots)))
+                    and np.array_equal(posc, np.arange(posc[0],
+                                                       posc[0] + len(posc)))):
+                axis_all = np.concatenate([a for _, _, a, _, _ in parts])
+                s0, p0 = int(slots[0]), int(posc[0])
+                s1 = s0 + len(slots)
+                self._k1 = {
+                    "sl": slice(s0, s1),
+                    "axis": axis_all,
+                    "p0": p0,
+                    "sl_nr": slice(s0 + n_root, s1),
+                    "axis_nr": axis_all[n_root:],
+                    "p0_nr": p0 + n_root,
+                }
+
+        # Gyroscopic-operator tensor: ``gyro(v) = crf_bar(I v) + crf(v) I``
+        # is linear in ``v``, so the packed derivative sweep contracts one
+        # precompiled (nb, 6, 6, 6) tensor against ``v`` instead of
+        # building two batched operator stacks and multiplying them.
+        gt = np.empty((self.nb, 6, 6, 6))
+        eye6 = np.eye(6)
+        for s in range(6):
+            gt[:, s] = (crf_bar(self.inertias[:, :, s])
+                        + crf(eye6[s]) @ self.inertias)
+        self.gyro_t = gt
+        return tuple(packed)
+
+    def _workspace_shapes(self) -> dict:
+        """This plan's workspace shape table (packed plans swap the dense
+        ``deriv`` transfer stack for per-level packed slabs plus two flat
+        scratch buffers for the forward-sweep propagation)."""
+        nb, nv = self.nb, self.nv
+        shapes = default_workspace_shapes(nb, nv)
+        if not self.packed:
+            return shapes
+        # Packed derivative state is block-axis: the [dv/dq | dv/dqd |
+        # da/dq | da/dqd] stacks (and the [df/dq | df/dqd] pair) live on a
+        # leading block dimension instead of side-by-side columns, so
+        # parent propagation broadcasts one matmul straight into the
+        # destination blocks with no interleaved slice-copy pass.
+        dv = {"DF": (nb, 2, 6, nv), "DOp": (nb, 6, 12),
+              "dtau_q": (nv, nv), "dtau_qd": (nv, nv)}
+        scratch = 6 * 4 * nv
+        for lvl, pk in zip(self.levels, self.packed_levels):
+            dv[f"Dp{lvl.index}"] = (lvl.size, 4, 6, pk.w)
+            scratch = max(scratch, lvl.size * 6 * 4 * pk.w)
+        dv["Dscr"] = (scratch,)
+        dv["Dscr2"] = (scratch,)
+        return {**shapes, "deriv": dv}
+
     # ------------------------------------------------------------------
     # Workspace and staging
     # ------------------------------------------------------------------
@@ -507,7 +806,8 @@ class ExecutionPlan:
         """
         ws = getattr(self._tls, "ws", None)
         if ws is None:
-            ws = PlanWorkspace(self.nb, self.nv, self.backend)
+            ws = PlanWorkspace(self.nb, self.nv, self.backend,
+                               self._ws_shapes)
             self._tls.ws = ws
         return ws.ensure(n, "x", *groups)
 
@@ -817,6 +1117,18 @@ class ExecutionPlan:
                   out_minv: bool) -> np.ndarray:
         """``M`` or ``Minv`` over the staged transforms.
 
+        Dispatches to the packed-column kernel when the plan compiled
+        packed index sets; the dense fallback sweeps the per-level
+        column windows ``[col_start, nv)``.
+        """
+        if self.packed:
+            return self._mminvgen_packed(ws, n, out_minv=out_minv)
+        return self._mminvgen_dense(ws, n, out_minv=out_minv)
+
+    def _mminvgen_dense(self, ws: PlanWorkspace, n: int, *,
+                        out_minv: bool) -> np.ndarray:
+        """Dense-window MMinvGen.
+
         Column windows: every sweep of a level only touches DOF columns
         ``[col_start, nv)`` — the columns its links' subtrees own.  Dense
         level slabs may scribble below a row's own diagonal block, but
@@ -907,7 +1219,22 @@ class ExecutionPlan:
             _obs.kernel_end(t0, self.robot_name, "mminvgen", n)
             return m
 
-        # Forward sweep (Mf submodules).
+        minv = self._minv_forward(ws, n, saved)
+        _obs.kernel_end(t0, self.robot_name, "mminvgen", n)
+        return minv
+
+    def _minv_forward(self, ws: PlanWorkspace, n: int,
+                      saved: dict) -> np.ndarray:
+        """Forward MMinvGen sweep (Mf submodules), shared by the packed
+        and dense kernels.
+
+        Always dense-windowed: unlike ``M``, the upper triangle of
+        ``Minv`` is dense — propagation fills the cross-branch entries —
+        so there is no subtree structure to pack here.
+        """
+        xp = self._xp
+        X = ws.X[:n]
+        out = ws.out[:n]
         p_prop = ws.p_prop[:n]
         p_prop[:] = 0.0
         for lvl in self.levels:
@@ -940,15 +1267,192 @@ class ExecutionPlan:
                     p_prop[:, sl, :, w0:] = t
                 else:
                     p_prop[:, sl, :, w0:] = t + xpp[:, g.rel]
-        minv = _symmetrize_from_rows(out, xp)
+        return _symmetrize_from_rows(out, xp)
+
+    def _mminvgen_packed(self, ws: PlanWorkspace, n: int, *,
+                         out_minv: bool) -> np.ndarray:
+        """Packed-column MMinvGen backward sweep.
+
+        The force accumulator carries its DOF-column axis in the packed
+        (slot-order) layout, where each level's subtree union is exactly
+        the suffix ``[wp, nv)`` — the tight version of the dense kernel's
+        ``[col_start, nv)`` window — so the whole sweep is the dense code
+        at narrower basic-sliced windows; everything the window skips is
+        a structural zero the dense kernel spent flops recomputing.
+        Output rows are written in packed columns and unpermuted once at
+        the end (``M``) or before the ``Minv`` forward sweep, which
+        stays in column order (:meth:`_minv_forward`: the upper triangle
+        of ``Minv`` is dense, there is no subtree structure to pack).
+        """
+        xp = self._xp
+        t0 = _obs.kernel_begin()
+        nv = self.nv
+        X = ws.X[:n]
+        IA, f_acc, out = ws.IA[:n], ws.f_acc[:n], ws.out[:n]
+        IA[:] = self.inertias
+        # ``out`` rows are written in the *permuted* row layout (row r =
+        # slot-order DOF r): every write below then lands on a basic
+        # slice, and no row is only partially covered, so no zero-init.
+        # ``f_acc`` only ever carries each level's suffix window.
+        for lvl in self.levels:
+            f_acc[:, lvl.lo:lvl.hi, :,
+                  self.packed_levels[lvl.index].wp:] = 0.0
+        out_flat = out.reshape(n, nv * nv)
+        saved: dict[tuple[int, int], tuple] = {}
+
+        # Backward sweep (Mb submodules) at subtree-union suffix windows.
+        for lvl in reversed(self.levels):
+            pk = self.packed_levels[lvl.index]
+            lo, hi, w0 = lvl.lo, lvl.hi, pk.wp
+            width = nv - w0
+            for gi, g in enumerate(lvl.groups):
+                sl = slice(g.lo, g.hi)
+                pos = pk.own_pos[gi]
+                pr = pk.prow[gi]
+                if g.k == 1:
+                    u = _mv(IA[:, sl], g.axis)               # (n, Lg, 6)
+                    d = xp.einsum("ls,nls->nl", g.axis, u, optimize=False)
+                    stf = xp.matmul(
+                        g.axis[:, None, :], f_acc[:, sl, :, w0:]
+                    )[:, :, 0]
+                    if out_minv:
+                        d_inv = 1.0 / d
+                        out[:, pr, w0:] = -(d_inv[..., None] * stf)
+                        out_flat[:, pk.pdiag[gi]] = d_inv
+                        saved[(lvl.index, gi)] = (u, d_inv)
+                        og = out[:, pr, w0:]                 # (n, Lg, V)
+                        f_acc[:, sl, :, w0:] += (
+                            u[..., :, None] * og[:, :, None, :]
+                        )
+                        if not lvl.is_root:
+                            IA[:, sl] -= (
+                                d_inv[..., None, None]
+                                * (u[..., :, None] * u[..., None, :])
+                            )
+                    else:
+                        out[:, pr, w0:] = stf
+                        out_flat[:, pk.pdiag[gi]] = d
+                        f_acc[:, g.slots, :, pos[:, 0]] += xp.moveaxis(
+                            u, 1, 0
+                        )
+                else:
+                    u = IA[:, sl] @ g.subspaces              # (n, Lg, 6, k)
+                    d = g.subspaces_t @ u
+                    stf = g.subspaces_t @ f_acc[:, sl, :, w0:]
+                    if out_minv:
+                        d_inv = self.backend.inv(d)
+                        out[:, pr, w0:] = (
+                            -(d_inv @ stf)
+                        ).reshape(n, len(g.rows), width)
+                        self._write_diag(out, g, d_inv, pos)
+                        saved[(lvl.index, gi)] = (u, d_inv)
+                        og = out[:, pr, w0:].reshape(
+                            n, g.size, g.k, width
+                        )
+                        f_acc[:, sl, :, w0:] += u @ og
+                        if not lvl.is_root:
+                            IA[:, sl] -= (
+                                (u @ d_inv) @ xp.swapaxes(u, -1, -2)
+                            )
+                    else:
+                        out[:, pr, w0:] = stf.reshape(
+                            n, len(g.rows), width
+                        )
+                        self._write_diag(out, g, d, pos)
+                        for j in range(g.k):
+                            f_acc[:, g.slots, :, pos[:, j]] += (
+                                xp.moveaxis(u[..., j], 1, 0)
+                            )
+            if not lvl.is_root:
+                xl = X[:, lo:hi]
+                xt = xp.swapaxes(xl, -1, -2)
+                vf = xt @ f_acc[:, lo:hi, :, w0:]
+                vi = (xt @ IA[:, lo:hi]) @ xl
+                if pk.pslice is not None:
+                    f_acc[:, pk.pslice, :, w0:] += vf
+                    IA[:, pk.pslice] += vi
+                else:
+                    self._scatter_to_parents(f_acc[:, :, :, w0:], lvl, vf)
+                    self._scatter_to_parents(IA, lvl, vi)
+
+        if not out_minv:
+            sym = _symmetrize_from_rows(out, xp)
+            m = sym[:, self.col_pos[:, None], self.col_pos[None, :]]
+            _obs.kernel_end(t0, self.robot_name, "mminvgen", n)
+            return m
+        minv = self._minv_forward_packed(ws, n, saved)
         _obs.kernel_end(t0, self.robot_name, "mminvgen", n)
         return minv
 
+    def _minv_forward_packed(self, ws: PlanWorkspace, n: int,
+                             saved: dict) -> np.ndarray:
+        """Forward MMinvGen sweep (Mf submodules) in the packed layout.
+
+        The upper triangle of ``Minv`` is dense in *column order*, but
+        the sweep's row windows are governed by reachability, and slot
+        order is itself a topological order: row ``r`` only needs columns
+        of links no shallower than ``r``, which in the packed layout is
+        exactly the suffix ``[wp, nv)`` — tighter than the dense kernel's
+        ``[col_start, nv)`` windows.  The row stack then holds the upper
+        triangle *of the permuted ordering*: rows are gathered into slot
+        order, symmetrized there, and both axes are unpermuted in one
+        paired gather at the end.
+        """
+        xp = self._xp
+        X = ws.X[:n]
+        out = ws.out[:n]
+        p_prop = ws.p_prop[:n]
+        for lvl in self.levels:
+            pk = self.packed_levels[lvl.index]
+            lo, hi, w0 = lvl.lo, lvl.hi, pk.wp
+            width = self.nv - w0
+            one_group = len(lvl.groups) == 1
+            if not lvl.is_root:
+                xpp = X[:, lo:hi] @ p_prop[:, lvl.parent_slots, :, w0:]
+            for gi, g in enumerate(lvl.groups):
+                sl = slice(g.lo, g.hi)
+                pr = pk.prow[gi]
+                if not lvl.is_root:
+                    xpp_g = xpp if one_group else xpp[:, g.rel]
+                if g.k == 1:
+                    if not lvl.is_root:
+                        u, d_inv = saved[(lvl.index, gi)]
+                        out[:, pr, w0:] -= d_inv[..., None] * (
+                            xp.matmul(u[:, :, None, :], xpp_g)[:, :, 0]
+                        )
+                    og = out[:, pr, w0:]
+                    pv = p_prop[:, sl, :, w0:]
+                    xp.multiply(g.axis[:, :, None], og[:, :, None, :],
+                                out=pv)
+                    if not lvl.is_root:
+                        pv += xpp_g
+                else:
+                    if not lvl.is_root:
+                        u, d_inv = saved[(lvl.index, gi)]
+                        corr = d_inv @ (xp.swapaxes(u, -1, -2) @ xpp_g)
+                        out[:, pr, w0:] -= corr.reshape(
+                            n, len(g.rows), width
+                        )
+                    og = out[:, pr, w0:].reshape(n, g.size, g.k, width)
+                    if lvl.is_root:
+                        p_prop[:, sl, :, w0:] = g.subspaces @ og
+                    else:
+                        p_prop[:, sl, :, w0:] = (
+                            g.subspaces @ og + xpp_g
+                        )
+        sym = _symmetrize_from_rows(out, xp)
+        return sym[:, self.col_pos[:, None], self.col_pos[None, :]]
+
     @staticmethod
-    def _write_diag(out: np.ndarray, g: LevelGroup, d: np.ndarray) -> None:
-        """Write each link's (k, k) diagonal block of ``out``."""
+    def _write_diag(out: np.ndarray, g: LevelGroup, d: np.ndarray,
+                    pos: np.ndarray | None = None) -> None:
+        """Write each link's (k, k) diagonal block of ``out`` (``pos``
+        supplies the packed positions when the layout is packed — both
+        axes, since packed outputs keep permuted rows).
+        """
+        cols = g.dofs if pos is None else pos
         for j in range(g.size):
-            out[:, g.dofs[j][:, None], g.dofs[j][None, :]] = d[:, j]
+            out[:, cols[j][:, None], cols[j][None, :]] = d[:, j]
 
     # ------------------------------------------------------------------
     # dRNEA (analytical dID), level-scheduled with paired d/dq, d/dqd
@@ -961,7 +1465,18 @@ class ExecutionPlan:
         Requires a full RNEA pass (with the real ``qdd``) in the
         workspace: ``v``/``xv``/``xa`` from the forward sweep and the
         accumulated forces ``f`` from the backward sweep (the paper's btr
-        operand).  ``DVA`` carries all four transfer stacks side by side
+        operand).  Dispatches to the packed-column forward sweep when the
+        plan compiled packed index sets.
+        """
+        if self.packed:
+            return self._rnea_derivatives_packed(ws, n)
+        return self._rnea_derivatives_dense(ws, n)
+
+    def _rnea_derivatives_dense(self, ws: PlanWorkspace,
+                                n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Dense derivative sweeps.
+
+        ``DVA`` carries all four transfer stacks side by side
         (``[dv/dq | dv/dqd | da/dq | da/dqd]``), so parent propagation is
         one gather and one wide contraction per level; ``DF`` carries the
         ``[df/dq | df/dqd]`` pair the same way.
@@ -1023,10 +1538,21 @@ class ExecutionPlan:
                 + gyro[:, lo:hi] @ slab[..., :nv2]
             )
 
-        # Backward sweep (Db submodules), fused with row extraction: when
-        # a level is reached its DF slab is fully accumulated, so its
-        # dtau rows are read off first and the btr term is then added in
-        # place before propagating to the parents.
+        dtau_q, dtau_qd = self._deriv_backward(ws, n)
+        _obs.kernel_end(t0, self.robot_name, "rnea_derivatives", n)
+        return dtau_q, dtau_qd
+
+    def _deriv_backward(self, ws: PlanWorkspace,
+                        n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Backward derivative sweep (Db submodules), dense layout,
+        fused with row extraction: when a level is reached its DF slab is
+        fully accumulated, so its dtau rows are read off first and the
+        btr term is then added in place before propagating to the
+        parents."""
+        xp = self._xp
+        nv = self.nv
+        nv2 = 2 * nv
+        X, f, DF = ws.X[:n], ws.f[:n], ws.DF[:n]
         dtau_q, dtau_qd = ws.dtau_q[:n], ws.dtau_qd[:n]
         for lvl in reversed(self.levels):
             lo, hi = lvl.lo, lvl.hi
@@ -1058,6 +1584,277 @@ class ExecutionPlan:
                     )
             xt = xp.swapaxes(X[:, lo:hi], -1, -2)
             self._scatter_to_parents(DF, lvl, xt @ DF[:, lo:hi])
+        return dtau_q, dtau_qd
+
+    def _add_diag2(self, base, val) -> None:
+        """``base[:, i, :, i] += val[:, :, i]`` over a ``(n, L, 6, C)``
+        view (C >= L): the own-column writes of one-DOF groups, whose
+        packed columns run parallel to their slots.  Uses one writable
+        strided view when the backend exposes ``as_strided``; falls back
+        to a fancy-index accumulate.
+        """
+        L = base.shape[1]
+        if self._as_strided is not None:
+            st = base.strides
+            view = self._as_strided(base, base.shape[:1] + (L, 6),
+                                    (st[0], st[1] + st[3], st[2]))
+            view += val
+        else:
+            xp = self._xp
+            idx = xp.arange(L)
+            if val.ndim == 2:                      # (L, 6) broadcast
+                base[:, idx, :, idx] += val[:, None, :]
+            else:
+                base[:, idx, :, idx] += xp.moveaxis(val, 1, 0)
+
+    def _deriv_backward_packed(self, ws: PlanWorkspace,
+                               n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Backward derivative sweep over the block-axis packed ``DF``.
+
+        Two passes instead of the dense kernel's fused loop.  The btr
+        own-column terms only depend on the static forces, so the fused
+        one-DOF bundle adds all of them in one diagonal-strided op up
+        front; the propagation pass then just scatters level slabs onto
+        parent slots — a basic-slice ``+=`` over the parent's forward
+        window plus a plain assign over its untouched tail when the
+        parents are contiguous.  Once it finishes every slot's DF block
+        is final, so the dtau rows come off in one whole-robot matmul
+        (plus per-group matmuls for multi-DOF and bundle-less plans)
+        written to basic slices of the *permuted-row* dtau pair, minus
+        the own-column btr projection the fused extraction order used to
+        exclude.
+        """
+        xp = self._xp
+        nv = self.nv
+        X, f, DF = ws.X[:n], ws.f[:n], ws.DF[:n]
+        dtau_q, dtau_qd = ws.dtau_q[:n], ws.dtau_qd[:n]
+        k1 = self._k1
+        bt_nr = None
+        if k1 is not None:
+            sl_nr = k1["sl_nr"]
+            if sl_nr.stop > sl_nr.start:
+                bt_nr = cross_force(k1["axis_nr"], f[:, sl_nr])
+                self._add_diag2(DF[:, sl_nr, 0, :, k1["p0_nr"]:], bt_nr)
+        for lvl in reversed(self.levels):
+            if lvl.is_root:
+                continue
+            pk = self.packed_levels[lvl.index]
+            lo, hi, w = lvl.lo, lvl.hi, pk.w
+            for gi, g in enumerate(lvl.groups):
+                if g.k == 1:
+                    if k1 is not None:
+                        continue
+                    cols = pk.own_pos[gi][:, 0]
+                    DF[:, g.slots, 0, :, cols] += xp.moveaxis(
+                        cross_force(g.axis, f[:, g.lo:g.hi]), 1, 0
+                    )
+                else:
+                    DF[:, g.lo:g.hi, 0, :, :w] += self._ein(
+                        "lvij,nlj->nliv", pk.btr_packed[g.rel][:, :w],
+                        f[:, g.lo:g.hi]
+                    )
+            xt = xp.swapaxes(X[:, lo:hi], -1, -2)
+            val = xt[:, :, None] @ DF[:, lo:hi]
+            if pk.pslice is not None:
+                wpar = self.packed_levels[lvl.index - 1].w
+                DF[:, pk.pslice, :, :, :wpar] += val[..., :wpar]
+                DF[:, pk.pslice, :, :, wpar:] = val[..., wpar:]
+            else:
+                self._scatter_to_parents(DF, lvl, val)
+        dq_flat = dtau_q.reshape(n, nv * nv)
+        if k1 is not None:
+            sl = k1["sl"]
+            S = sl.stop - sl.start
+            r = xp.matmul(k1["axis"][:, None, None, :], DF[:, sl])
+            pr = slice(k1["p0"], k1["p0"] + S)     # (n, S, 2, 1, nv)
+            dtau_q[:, pr] = r[:, :, 0, 0]
+            dtau_qd[:, pr] = r[:, :, 1, 0]
+            if bt_nr is not None:
+                corr = self._ein("ls,nls->nl", k1["axis_nr"], bt_nr)
+                p0 = k1["p0_nr"]
+                s_nr = sl_nr.stop - sl_nr.start
+                dq_flat[:, p0 * (nv + 1):
+                        (p0 + s_nr - 1) * (nv + 1) + 1: nv + 1] -= corr
+        for lvl in self.levels:
+            pk = self.packed_levels[lvl.index]
+            for gi, g in enumerate(lvl.groups):
+                pr = pk.prow[gi]
+                if g.k == 1:
+                    if k1 is not None:
+                        continue
+                    r = xp.matmul(
+                        g.axis[:, None, None, :], DF[:, g.lo:g.hi]
+                    )                                # (n, Lg, 2, 1, nv)
+                    dtau_q[:, pr] = r[:, :, 0, 0]
+                    dtau_qd[:, pr] = r[:, :, 1, 0]
+                    if not lvl.is_root:
+                        corr = self._ein(
+                            "ls,nls->nl", g.axis,
+                            cross_force(g.axis, f[:, g.lo:g.hi])
+                        )
+                        dq_flat[:, pk.pdiag[gi]] -= corr
+                else:
+                    r = g.subspaces_t[:, None] @ DF[:, g.lo:g.hi]
+                    dtau_q[:, pr] = r[:, :, 0].reshape(n, -1, nv)
+                    dtau_qd[:, pr] = r[:, :, 1].reshape(n, -1, nv)
+                    if not lvl.is_root:
+                        b2 = self._ein(
+                            "lsk,lvsj->lkvj", g.subspaces,
+                            pk.btr_packed[g.rel]
+                        )
+                        corr = self._ein(
+                            "lkvj,nlj->nlkv", b2, f[:, g.lo:g.hi]
+                        )
+                        dtau_q[:, pr] -= corr.reshape(n, -1, nv)
+        return dtau_q, dtau_qd
+
+    def _rnea_derivatives_packed(self, ws: PlanWorkspace,
+                                 n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Packed-column derivative forward sweep.
+
+        The ``[dv/dq | dv/dqd | da/dq | da/dqd]`` transfer stacks of a
+        link are nonzero only at its root-to-link *path* columns.  In the
+        packed (slot-order) layout the level's path union is exactly the
+        prefix ``[0, w)``, and the parent level's prefix nests inside it.
+        The four stacks live on a leading *block axis* — each level's
+        slab is ``(n, L, 4, 6, w)`` — so parent propagation is one row
+        gather plus one broadcast matmul written directly into the
+        blocks' ``[0, wp)`` windows; only the ``[wp, w)`` gap (this
+        level's own columns, structurally zero in every parent) is
+        zero-filled.  Joint one-hot terms land at precompiled packed
+        positions.  ``DF`` keeps the packed block layout through the
+        packed backward sweep and the dtau pair is unpermuted once at
+        the end.
+        """
+        xp = self._xp
+        t0 = _obs.kernel_begin()
+        X = ws.X[:n]
+        v, xv, xa, vj = ws.v[:n], ws.xv[:n], ws.xa[:n], ws.vj[:n]
+        DF = ws.DF[:n]
+        # Whole-robot operator stacks, hoisted out of the level loop.
+        # ``DOp = [I | gyro]`` is one (6, 12) operator per link: with the
+        # slab blocks ordered [da/dq, dv/dq, da/dqd, dv/dqd] each DF
+        # block is DOp @ [da; dv] — one broadcast matmul per level
+        # instead of two matmuls plus an accumulation pass.  The inertia
+        # half is constant, so it is re-staged only when the workspace
+        # buffer itself changed; gyro contracts the precompiled
+        # linear-in-v tensor directly into the other half.
+        DOp = ws.DOp[:n]
+        if (getattr(ws, "_dop_id", None) != id(ws.DOp)
+                or getattr(ws, "_dop_n", 0) < n):
+            DOp[..., :6] = self.inertias
+            ws._dop_id = id(ws.DOp)
+            ws._dop_n = n
+        self._ein("lsij,nls->nlij", self.gyro_t, v, out=DOp[..., 6:])
+        cvj = crm(vj)
+        # Fused one-DOF bundle: the joint one-hot own-column terms are
+        # whole-robot cross products, computed here in three array ops
+        # and written per level through diagonal-strided views.
+        k1 = self._k1
+        if k1 is not None:
+            sl_a, a_all = k1["sl"], k1["axis"]
+            cm_v = cross_motion(v[:, sl_a], a_all)
+            cm_xa = cross_motion(xa[:, sl_a], a_all)
+            sl_nr = k1["sl_nr"]
+            cm_xv = cross_motion(xv[:, sl_nr], k1["axis_nr"])
+
+        prev = None
+        for lvl in self.levels:
+            pk = self.packed_levels[lvl.index]
+            lo, hi = lvl.lo, lvl.hi
+            L = hi - lo
+            w, wp = pk.w, pk.wp
+            slab = getattr(ws, f"Dp{lvl.index}")[:n]  # (n, L, 4, 6, w)
+            if lvl.is_root:
+                slab[:] = 0.0
+            else:
+                if pk.prelslice is not None:
+                    # Contiguous identity parent map: propagate straight
+                    # off the parent slab view, no gathered copy.
+                    gathered = prev[:, pk.prelslice]
+                else:
+                    gathered = _scratch_view5(ws.Dscr, n, L, 4, wp)
+                    xp.take(prev, pk.prel, axis=1, out=gathered,
+                            mode="clip")
+                # One broadcast matmul writes every block's parent window
+                # in place; only the [wp, w) gap (this level's own
+                # columns, structurally zero in every parent) is filled.
+                xp.matmul(X[:, lo:hi, None], gathered, out=slab[..., :wp])
+                slab[..., wp:] = 0.0
+            for gi, (g, pos) in enumerate(zip(lvl.groups, pk.own_pos)):
+                if g.k == 1:
+                    if k1 is not None:
+                        p0 = pk.prow[gi].start
+                        rel = slice(g.lo - lo, g.hi - lo)
+                        if not lvl.is_root:
+                            o = g.lo - sl_nr.start
+                            self._add_diag2(slab[:, rel, 1, :, p0:],
+                                            cm_xv[:, o:o + g.size])
+                        o = g.lo - sl_a.start
+                        self._add_diag2(slab[:, rel, 3, :, p0:],
+                                        a_all[o:o + g.size])
+                        self._add_diag2(slab[:, rel, 0, :, p0:],
+                                        cm_xa[:, o:o + g.size])
+                        continue
+                    p0 = pos[:, 0]
+                    if not lvl.is_root:
+                        slab[:, g.rel, 1, :, p0] += xp.moveaxis(
+                            cross_motion(xv[:, g.lo:g.hi], g.axis), 1, 0
+                        )
+                    slab[:, g.rel, 3, :, p0] += g.axis[:, None]
+                    slab[:, g.rel, 0, :, p0] += xp.moveaxis(
+                        cross_motion(xa[:, g.lo:g.hi], g.axis), 1, 0
+                    )
+                else:
+                    sel = pk.sel_packed[g.rel]
+                    gsl = slab[:, g.lo - lo:g.hi - lo]
+                    if not lvl.is_root:
+                        gsl[:, :, 1] += crm(xv[:, g.lo:g.hi]) @ sel
+                    gsl[:, :, 3] += sel
+                    gsl[:, :, 0] += crm(xa[:, g.lo:g.hi]) @ sel
+            # a_i includes v_i x vj: differentiate both factors (one
+            # broadcast operator covers the dq and dqd blocks at once;
+            # the a blocks interleave with their v sources at stride 2).
+            cprod = _scratch_view5(ws.Dscr2, n, L, 2, w)
+            xp.matmul(cvj[:, lo:hi, None], slab[:, :, 1::2], out=cprod)
+            slab[:, :, ::2] -= cprod
+            for gi, (g, pos) in enumerate(zip(lvl.groups, pk.own_pos)):
+                if g.k == 1:
+                    if k1 is not None:
+                        o = g.lo - sl_a.start
+                        self._add_diag2(
+                            slab[:, g.lo - lo:g.hi - lo, 2, :,
+                                 pk.prow[gi].start:],
+                            cm_v[:, o:o + g.size]
+                        )
+                        continue
+                    slab[:, g.rel, 2, :, pos[:, 0]] += xp.moveaxis(
+                        cross_motion(v[:, g.lo:g.hi], g.axis), 1, 0
+                    )
+                else:
+                    slab[:, g.lo - lo:g.hi - lo, 2] += (
+                        crm(v[:, g.lo:g.hi]) @ pk.sel_packed[g.rel]
+                    )
+            # DF pair: values live at the prefix [0, w) of both blocks;
+            # the combined operator matmul broadcasts straight into the
+            # DF window over the (da, dv) pair axis.
+            dfv = DF[:, lo:hi, :, :, :w]
+            slab_pairs = slab.reshape(n, L, 2, 12, w)
+            xp.matmul(DOp[:, lo:hi, None], slab_pairs, out=dfv)
+            # Zero only the tails no child-level scatter will assign
+            # over (childless slots / fancy-scatter child levels).
+            if pk.dfz is not None:
+                if isinstance(pk.dfz, slice):
+                    DF[:, lo + pk.dfz.start:lo + pk.dfz.stop,
+                       :, :, w:] = 0.0
+                else:
+                    DF[:, lo + pk.dfz, :, :, w:] = 0.0
+            prev = slab
+
+        dtau_q, dtau_qd = self._deriv_backward_packed(ws, n)
+        ix = self.col_pos
+        dtau_q = dtau_q[:, ix[:, None], ix[None, :]]
+        dtau_qd = dtau_qd[:, ix[:, None], ix[None, :]]
         _obs.kernel_end(t0, self.robot_name, "rnea_derivatives", n)
         return dtau_q, dtau_qd
 
@@ -1142,7 +1939,7 @@ class ExecutionPlan:
 
     def describe(self) -> dict:
         """Shape summary for benchmarks and the serve cache."""
-        return {
+        info = {
             "robot": self.robot_name,
             "backend": self.backend.name,
             "links": self.nb,
@@ -1151,7 +1948,30 @@ class ExecutionPlan:
             "levels": len(self.levels),
             "level_widths": [lvl.size for lvl in self.levels],
             "max_level_width": max(lvl.size for lvl in self.levels),
+            "packing": self.packing,
+            "packed": self.packed,
         }
+        if self.packed:
+            # Level-width-weighted column counts: packed vs the dense
+            # sweeps' footprints (the flop-ratio the packing buys).
+            info["packed_cols"] = {
+                "deriv_packed": sum(
+                    lvl.size * pk.w
+                    for lvl, pk in zip(self.levels, self.packed_levels)
+                ),
+                "deriv_dense": sum(
+                    lvl.size * self.nv for lvl in self.levels
+                ),
+                "mminv_packed": sum(
+                    lvl.size * (self.nv - pk.wp)
+                    for lvl, pk in zip(self.levels, self.packed_levels)
+                ),
+                "mminv_dense": sum(
+                    lvl.size * (self.nv - lvl.col_start)
+                    for lvl in self.levels
+                ),
+            }
+        return info
 
     def __repr__(self) -> str:
         return (
@@ -1166,29 +1986,32 @@ class ExecutionPlan:
 # Plan cache
 # ---------------------------------------------------------------------------
 
-#: model -> {backend name: plan}.  Weak over models so transient models
-#: can be collected together with every backend variant of their plan.
-_PLAN_CACHE: "weakref.WeakKeyDictionary[RobotModel, dict[str, ExecutionPlan]]" = (
+#: model -> {(backend name, packing): plan}.  Weak over models so
+#: transient models can be collected together with every variant of
+#: their plan.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[RobotModel, dict[tuple, ExecutionPlan]]" = (
     weakref.WeakKeyDictionary()
 )
 _PLAN_LOCK = threading.Lock()
 
 
 def plan_for(model: RobotModel,
-             backend: str | ArrayBackend | None = None) -> ExecutionPlan:
+             backend: str | ArrayBackend | None = None, *,
+             packing: str = "auto") -> ExecutionPlan:
     """The memoized :class:`ExecutionPlan` for ``model`` on ``backend``.
 
-    Plans are cached per (model instance, backend name) — weakly over
-    models, so transient models can be collected;
+    Plans are cached per (model instance, backend name, packing mode) —
+    weakly over models, so transient models can be collected;
     :func:`repro.model.library.load_robot` returns shared instances, so
     serve traffic for one robot compiles exactly one plan per backend —
     the software analogue of programming one bitstream per robot and
     cloning it per device type.
     """
     bk = get_backend(backend)
+    key = (bk.name, packing)
     plans = _PLAN_CACHE.get(model)
     if plans is not None:
-        plan = plans.get(bk.name)
+        plan = plans.get(key)
         if plan is not None:
             return plan
     with _PLAN_LOCK:
@@ -1196,19 +2019,21 @@ def plan_for(model: RobotModel,
         if plans is None:
             plans = {}
             _PLAN_CACHE[model] = plans
-        plan = plans.get(bk.name)
+        plan = plans.get(key)
         if plan is None:
-            plan = ExecutionPlan(model, bk)
-            plans[bk.name] = plan
+            plan = ExecutionPlan(model, bk, packing=packing)
+            plans[key] = plan
     return plan
 
 
 __all__ = [
     "ExecutionPlan",
     "LevelGroup",
+    "PackedLevel",
     "PlanLevel",
     "PlanWorkspace",
     "TransformGroup",
     "cached_einsum",
+    "default_workspace_shapes",
     "plan_for",
 ]

@@ -50,6 +50,14 @@ class BatchPolicy:
     adaptive_wait: bool = False
     #: Floor of the adaptive wait (only meaningful with ``adaptive_wait``).
     min_wait_s: float = 2.5e-4
+    #: Ragged coalescing: when a queue flushes on timeout (or drain),
+    #: fold in other pending *compatible* queues — plain requests for the
+    #: same function on a different robot — up to ``max_batch``, so a
+    #: heterogeneous-fleet load stops fragmenting into per-robot
+    #: singleton batches.  The merged flush executes as one ragged batch
+    #: (per-robot row segments; see
+    #: :func:`repro.dynamics.batch.batch_evaluate_ragged`).
+    coalesce: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -77,11 +85,25 @@ class BatcherStats:
     flushed_drain: int = 0
     #: Requests that bypassed the batcher via the urgent fast path.
     urgent: int = 0
+    #: Flushes that merged >= 2 distinct (robot, function) queues into
+    #: one ragged batch (``BatchPolicy.coalesce``).
+    flushed_merged: int = 0
+    #: Total distinct queues drained across all flushes (== flush count
+    #: when nothing merges; the fragmentation telemetry divides this by
+    #: the flush count to report mean queues folded per batch).
+    queues_flushed: int = 0
     #: Batch-occupancy histogram: flushed size -> count.
     occupancy: dict[int, int] = field(default_factory=dict)
 
-    def record_flush(self, size: int, reason: str) -> None:
+    @property
+    def flushes(self) -> int:
+        return self.flushed_full + self.flushed_timeout + self.flushed_drain
+
+    def record_flush(self, size: int, reason: str, queues: int = 1) -> None:
         self.occupancy[size] = self.occupancy.get(size, 0) + 1
+        self.queues_flushed += queues
+        if queues > 1:
+            self.flushed_merged += 1
         if reason == "full":
             self.flushed_full += 1
         elif reason == "timeout":
@@ -159,19 +181,66 @@ class DynamicBatcher:
 
     def poll_expired(self, now: float) -> list[list[ServeRequest]]:
         """Flush every key whose oldest request has waited the effective
-        timeout (``max_wait_s``, or less under ``adaptive_wait``)."""
+        timeout (``max_wait_s``, or less under ``adaptive_wait``).
+
+        With ``policy.coalesce`` each timeout flush also folds in other
+        pending compatible queues (same function, different robot, plain
+        requests) up to ``max_batch`` — those queues would otherwise sit
+        until their own deadline and then fragment into separate small
+        batches."""
         with self._lock:
             expired = [
                 key for key, group in self._pending.items()
                 if group and now - group[0].arrival_s >= self._wait_for(key)
             ]
-            return [self._flush_locked(key, "timeout") for key in expired]
+            if not self.policy.coalesce:
+                return [self._flush_locked(key, "timeout") for key in expired]
+            flushes = []
+            for key in expired:
+                if self._pending.get(key):   # not absorbed by an earlier merge
+                    flushes.append(self._flush_coalesced_locked(key, "timeout"))
+            return flushes
 
     def drain(self) -> list[list[ServeRequest]]:
         """Flush everything (service shutdown)."""
         with self._lock:
-            keys = [k for k, g in self._pending.items() if g]
-            return [self._flush_locked(key, "drain") for key in keys]
+            if not self.policy.coalesce:
+                keys = [k for k, g in self._pending.items() if g]
+                return [self._flush_locked(key, "drain") for key in keys]
+            flushes = []
+            while True:
+                keys = [k for k, g in self._pending.items() if g]
+                if not keys:
+                    return flushes
+                flushes.append(self._flush_coalesced_locked(keys[0], "drain"))
+
+    def active_queues(self) -> int:
+        """Number of distinct (robot, function) queues currently pending."""
+        with self._lock:
+            return sum(1 for g in self._pending.values() if g)
+
+    def fragmentation(self) -> dict:
+        """Queue fragmentation view: distinct active (robot, function)
+        queues against the flushed-batch record.
+
+        ``queues_per_flush`` is the mean number of distinct queues folded
+        into each executed batch — 1.0 under the fragmented (per-key)
+        policy, > 1.0 once ``coalesce`` merges heterogeneous-fleet
+        traffic into ragged batches.
+        """
+        with self._lock:
+            active = sum(1 for g in self._pending.values() if g)
+            s = self.stats
+            flushes = s.flushes
+            return {
+                "active_queues": active,
+                "flushed_batches": flushes,
+                "queues_flushed": s.queues_flushed,
+                "flushed_merged": s.flushed_merged,
+                "queues_per_flush": (
+                    s.queues_flushed / flushes if flushes else 0.0
+                ),
+            }
 
     def next_deadline(self) -> float | None:
         """Earliest ``arrival_s + per-key wait`` over all pending groups."""
@@ -184,11 +253,49 @@ class DynamicBatcher:
                 return None
             return min(deadlines)
 
-    def _flush_locked(self, key: tuple, reason: str) -> list[ServeRequest]:
+    def _pop_queue_locked(self, key: tuple) -> list[ServeRequest]:
         batch = self._pending.pop(key)
         self._cost_by_key.pop(key, None)
         self._pending_total -= len(batch)
+        return batch
+
+    @staticmethod
+    def _mergeable(key: tuple, other: tuple) -> bool:
+        """Queues that may share one ragged batch: plain-request keys
+        (``(robot, function)``) for the same function.  Rollout keys and
+        any richer identities never merge — their operands don't stack
+        across keys."""
+        return (
+            len(key) == 2 and len(other) == 2 and key[1] == other[1]
+        )
+
+    def _flush_coalesced_locked(self, key: tuple,
+                                reason: str) -> list[ServeRequest]:
+        """Flush ``key`` and fold in compatible queues up to
+        ``max_batch``; the result is queue-grouped (one contiguous
+        per-robot run of requests per source queue), which is exactly
+        the segment order the ragged execute path expects."""
+        batch = self._pop_queue_locked(key)
+        queues = 1
+        for other in list(self._pending):
+            if other == key or not self._mergeable(key, other):
+                continue
+            group = self._pending.get(other)
+            if not group or len(batch) + len(group) > self.policy.max_batch:
+                continue
+            batch.extend(self._pop_queue_locked(other))
+            queues += 1
+        self.stats.record_flush(len(batch), reason, queues=queues)
+        self._adapt_wait_locked(key, reason)
+        return batch
+
+    def _flush_locked(self, key: tuple, reason: str) -> list[ServeRequest]:
+        batch = self._pop_queue_locked(key)
         self.stats.record_flush(len(batch), reason)
+        self._adapt_wait_locked(key, reason)
+        return batch
+
+    def _adapt_wait_locked(self, key: tuple, reason: str) -> None:
         if self.policy.adaptive_wait:
             # Multiplicative-decrease on full (arrivals beat the deadline:
             # stop paying for the wait), multiplicative-increase back on
@@ -203,4 +310,3 @@ class DynamicBatcher:
                 # min_wait_s of zero.
                 self._wait_by_key[key] = min(self.policy.max_wait_s,
                                              max(wait, 1e-5) * 2.0)
-        return batch

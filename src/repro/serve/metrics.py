@@ -98,6 +98,13 @@ class MetricsRegistry:
         self._shard_rps_batches: dict[int, int] = {}
         #: EWMA smoothing factor for the per-shard throughput signal.
         self.throughput_alpha = 0.25
+        #: Ragged (multi-robot coalesced) batches: batch count, request
+        #: rows carried, and per-robot segments executed (segments ==
+        #: batches when nothing coalesces; the gap measures how much
+        #: fragmentation the ragged path absorbed).
+        self.ragged_batches = 0
+        self.ragged_rows = 0
+        self.ragged_segments = 0
         #: Rollout traffic: wall latencies, counts, and step volume.
         self._rollout_wall = Reservoir(reservoir_capacity, seed=2)
         self.rollouts_completed = 0
@@ -128,17 +135,24 @@ class MetricsRegistry:
                      engine: str = "", backend: str = "",
                      shard: int | None = None,
                      wall_s: float | None = None,
-                     rows: int | None = None) -> None:
+                     rows: int | None = None,
+                     segments: int = 1) -> None:
         """Record one executed batch.
 
         ``shard``/``wall_s`` additionally feed the measured per-shard
         throughput EWMA (``rows`` defaults to ``size``; rollout batches
-        pass their step volume so horizons weigh in).
+        pass their step volume so horizons weigh in).  ``segments`` > 1
+        marks a ragged batch (per-robot row segments coalesced into one
+        engine dispatch).
         """
         with self._lock:
             self._batch_hist[size] = self._batch_hist.get(size, 0) + 1
             self._batch_requests += size
             self._modeled_busy_cycles += modeled_makespan_cycles
+            if segments > 1:
+                self.ragged_batches += 1
+                self.ragged_rows += size
+                self.ragged_segments += segments
             if shard is not None and wall_s is not None and wall_s > 0:
                 rate = (size if rows is None else rows) / wall_s
                 prev = self._shard_rps.get(shard)
@@ -298,6 +312,9 @@ class MetricsRegistry:
                 "backend_batches": dict(self._backend_batches),
                 "backend_requests": dict(self._backend_requests),
                 "measured_shard_rps": dict(self._shard_rps),
+                "ragged_batches": self.ragged_batches,
+                "ragged_rows": self.ragged_rows,
+                "ragged_segments": self.ragged_segments,
                 "rollouts_completed": self.rollouts_completed,
                 "rollout_steps_total": self.rollout_steps_total,
                 "rollout_p50_ms": rollout.p50_s * 1e3,
@@ -334,6 +351,9 @@ class MetricsRegistry:
             backend_batches = dict(self._backend_batches)
             backend_requests = dict(self._backend_requests)
             shard_rps = dict(self._shard_rps)
+            ragged_batches = self.ragged_batches
+            ragged_rows = self.ragged_rows
+            ragged_segments = self.ragged_segments
             rollouts = self.rollouts_completed
             rollout_steps = self.rollout_steps_total
         t.counter("requests_completed_total",
@@ -376,6 +396,14 @@ class MetricsRegistry:
             t.gauge("shard_measured_rps",
                     "Measured shard throughput EWMA (rows/s)",
                     shard=shard).set(rate)
+        t.counter("ragged_batches_total",
+                  "Multi-robot coalesced batches executed"
+                  ).set(ragged_batches)
+        t.counter("ragged_rows_total",
+                  "Requests served inside ragged batches").set(ragged_rows)
+        t.counter("ragged_segments_total",
+                  "Per-robot segments across ragged batches"
+                  ).set(ragged_segments)
         t.counter("rollouts_completed_total",
                   "Rollout requests completed").set(rollouts)
         t.counter("rollout_steps_total",

@@ -37,6 +37,22 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.config import AcceleratorConfig
+
+
+def accelerator_desc(config: AcceleratorConfig | None) -> str:
+    """Short human-readable tag for a per-shard accelerator override
+    (``""`` when the shard inherits the service config) — recorded in
+    placement-decision events and :meth:`ShardPool.describe` rows."""
+    if config is None:
+        return ""
+    heavy = config.ii_target_heavy_cycles
+    return (
+        f"{config.clock_hz / 1e6:g}MHz/II{config.ii_target_cycles}"
+        + (f"+{heavy}" if heavy is not None else "")
+        + (f"x{config.sap_replicas}" if config.sap_replicas != 1 else "")
+    )
+
 
 @dataclass(frozen=True)
 class ShardConfig:
@@ -54,11 +70,19 @@ class ShardConfig:
         Relative sustained-throughput estimate used by the cost-aware
         ``least_loaded`` policy; ``None`` falls back to the per-engine
         hint (:func:`engine_throughput_hint`).
+    ``accelerator``
+        Per-shard :class:`~repro.core.config.AcceleratorConfig` override
+        — a pool may model heterogeneous cards (different clocks, II
+        fits, SAP replica counts).  ``None`` inherits the service
+        config.  The shard's cycle accounting, artifact bundles and
+        modeled latencies all use the override; placement-decision
+        events record it (:func:`accelerator_desc`).
     """
 
     engine: str | None = None
     backend: str | None = None
     throughput_weight: float | None = None
+    accelerator: AcceleratorConfig | None = None
 
 
 #: Relative single-batch throughput priors per engine, host-normalized to
@@ -104,6 +128,9 @@ class ShardState:
     #: when it resolves the shard configs; placement and stats read it).
     engine_name: str = ""
     backend_name: str = ""
+    #: Per-shard accelerator override tag (:func:`accelerator_desc`;
+    #: ``""`` when the shard inherits the service config).
+    accel_desc: str = ""
     #: Relative throughput estimate for cost-aware placement.  Seeded
     #: from the static per-engine prior; once the service measures real
     #: per-shard batch throughput the pool recalibrates it
@@ -221,13 +248,17 @@ class ShardPool:
 
     def _log_placement_locked(self, shard: ShardState,
                               scores: list | None, n_requests: int,
-                              cost: float | None) -> None:
+                              cost: float | None, segments: int) -> None:
         self._placement_log.append({
             "seq": self._placement_seq,
             "shard": shard.index,
             "policy": self.policy,
             "n_requests": n_requests,
             "cost": float(n_requests if cost is None else cost),
+            # Ragged placements carry > 1 per-robot segment; the event
+            # records how fragmented the placed batch was.
+            "segments": segments,
+            "accelerator": shard.accel_desc,
             "scores": (
                 None if scores is None
                 else [[float(a), float(b)] for a, b in scores]
@@ -243,18 +274,22 @@ class ShardPool:
 
     def dispatch(self, n_requests: int,
                  work: Callable[[ShardState], float],
-                 cost: float | None = None) -> Future:
+                 cost: float | None = None,
+                 segments: int = 1) -> Future:
         """Run ``work(shard)`` on the pool; ``work`` returns the batch's
         modeled makespan in cycles, credited to the shard's ledger.
         ``cost`` is the batch's placement weight (defaults to the request
-        count; rollout batches pass their summed horizons)."""
+        count; rollout batches pass their summed horizons); ``segments``
+        is the batch's per-robot segment count (> 1 for coalesced ragged
+        batches), recorded in the placement event."""
         with self._lock:
             # select+begin must be atomic: two concurrent dispatchers
             # (flusher and a flush-on-full submit) would otherwise both
             # read the same "least loaded" shard before either claims it.
             shard, scores = self._select_locked()
             shard.begin(n_requests, cost)
-            self._log_placement_locked(shard, scores, n_requests, cost)
+            self._log_placement_locked(shard, scores, n_requests, cost,
+                                       segments)
 
         def run() -> float:
             makespan = 0.0
@@ -301,6 +336,7 @@ class ShardPool:
                 "shard": s.index,
                 "engine": s.engine_name,
                 "backend": s.backend_name,
+                "accelerator": s.accel_desc,
                 "weight": s.weight,
                 "weight_measured": s.weight_measured,
                 "dispatched_requests": s.dispatched_requests,

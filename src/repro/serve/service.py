@@ -35,7 +35,7 @@ from repro.core.config import AcceleratorConfig, PAPER_CONFIG
 from repro.core.functions import BatchProfile
 from repro.core.scheduler import serial_chains
 from repro.dynamics import BatchStates, batch_evaluate
-from repro.dynamics.batch import stack_rows
+from repro.dynamics.batch import RaggedBatch, batch_evaluate_ragged, stack_rows
 from repro.dynamics.engine import (
     CompiledEngine,
     Engine,
@@ -50,6 +50,7 @@ from repro.serve.pool import (
     ShardConfig,
     ShardPool,
     ShardState,
+    accelerator_desc,
     engine_throughput_hint,
 )
 from repro.model.library import load_robot
@@ -101,17 +102,37 @@ class DynamicsService:
         self.cache = ArtifactCache(config)
         self.batcher = DynamicBatcher(self.policy)
         self.pool = ShardPool(n_shards, shard_policy, shard_configs)
-        #: Per-shard engine instances / backend names, resolved from the
-        #: shard configs (``None`` fields inherit the service defaults).
+        #: Per-shard engine instances / backend names / accelerator
+        #: configs and artifact caches, resolved from the shard configs
+        #: (``None`` fields inherit the service defaults).  Shards with
+        #: the same accelerator override share one cache — replicating a
+        #: bitstream, not rebuilding it — and default shards share
+        #: :attr:`cache`.
         self._shard_engines: list[Engine] = []
         self._shard_backends: list[str] = []
+        self._shard_accels: list[AcceleratorConfig] = []
+        self._shard_caches: list[ArtifactCache] = []
+        override_caches: dict[AcceleratorConfig, ArtifactCache] = {}
         for index, shard_config in enumerate(self.pool.shard_configs):
             eng, backend_name = self._resolve_shard(shard_config)
             self._shard_engines.append(eng)
             self._shard_backends.append(backend_name)
+            accel = shard_config.accelerator
+            if accel is None:
+                self._shard_accels.append(config)
+                self._shard_caches.append(self.cache)
+            else:
+                self._shard_accels.append(accel)
+                if accel not in override_caches:
+                    override_caches[accel] = (
+                        self.cache if accel == config
+                        else ArtifactCache(accel)
+                    )
+                self._shard_caches.append(override_caches[accel])
             shard = self.pool.shards[index]
             shard.engine_name = eng.name
             shard.backend_name = backend_name
+            shard.accel_desc = accelerator_desc(shard_config.accelerator)
             shard.weight = (
                 shard_config.throughput_weight
                 if shard_config.throughput_weight is not None
@@ -121,7 +142,11 @@ class DynamicsService:
             # arrive; recalibrate_weights keeps it for unmeasured shards.
             shard.prior_weight = shard.weight
         self.metrics = MetricsRegistry()
-        self._profiles: dict[tuple[str, RBDFunction, int, bool], BatchProfile] = {}
+        #: Memoized batch profiles keyed by (robot, accelerator config,
+        #: function, n, chained) — the config is part of the key so two
+        #: shards with different accelerator overrides never share cycle
+        #: numbers.
+        self._profiles: dict[tuple, BatchProfile] = {}
         self._profile_lock = threading.Lock()
         self._chain_counter = 0
         #: Requests dispatched to the pool but not yet executed.  Counted
@@ -506,12 +531,16 @@ class DynamicsService:
     def stats(self) -> dict:
         """Flat service-wide stats: metrics + batcher + cache + shards."""
         out = self.metrics.snapshot()
+        fragmentation = self.batcher.fragmentation()
         out.update({
             "accepted": self.batcher.stats.accepted,
             "rejected": self.batcher.stats.rejected,
             "urgent": self.batcher.stats.urgent,
             "flushed_full": self.batcher.stats.flushed_full,
             "flushed_timeout": self.batcher.stats.flushed_timeout,
+            "flushed_merged": self.batcher.stats.flushed_merged,
+            "queues_per_flush": fragmentation["queues_per_flush"],
+            "active_queues": fragmentation["active_queues"],
             "effective_wait_s": self.batcher.effective_wait_s,
             "engine": self.engine.name,
             "backend": self.backend_name,
@@ -547,6 +576,16 @@ class DynamicsService:
                   ).set(stats.flushed_full)
         t.counter("serve_flushed_timeout_total",
                   "Batches flushed on deadline").set(stats.flushed_timeout)
+        t.counter("serve_flushed_merged_total",
+                  "Flushes that coalesced >= 2 queues into a ragged batch"
+                  ).set(stats.flushed_merged)
+        fragmentation = self.batcher.fragmentation()
+        t.gauge("batcher_fragmentation",
+                "Distinct active (robot, function) queues pending"
+                ).set(fragmentation["active_queues"])
+        t.gauge("batcher_queues_per_flush",
+                "Mean distinct queues folded into each executed batch"
+                ).set(fragmentation["queues_per_flush"])
         t.gauge("serve_effective_wait_seconds",
                 "Current adaptive batching window"
                 ).set(self.batcher.effective_wait_s)
@@ -608,15 +647,24 @@ class DynamicsService:
         # Placement cost: 1 per plain request, the horizon per rollout —
         # a 64-step rollout occupies a shard like 64 pipeline tasks.
         cost = sum(getattr(r, "cost", 1) for r in batch)
+        # Per-robot segment count of the placed batch (> 1 only for
+        # coalesced ragged flushes); placement events record it.
+        segments = 1 + sum(
+            1 for a, b in zip(batch, batch[1:]) if a.robot != b.robot
+        )
         self.pool.dispatch(
             len(batch), lambda shard: self._execute(shard, batch, chained),
-            cost=cost,
+            cost=cost, segments=segments,
         )
 
     def _profile(self, artifacts: RobotArtifacts, function: RBDFunction,
-                 n: int, chained: bool) -> BatchProfile:
-        """Cycle-accounting for an n-task batch, memoized per shape."""
-        key = (artifacts.name, function, n, chained)
+                 n: int, chained: bool,
+                 config: AcceleratorConfig | None = None) -> BatchProfile:
+        """Cycle-accounting for an n-task batch, memoized per shape.
+
+        ``config`` disambiguates bundles built under per-shard
+        accelerator overrides (defaults to the service config)."""
+        key = (artifacts.name, config or self.config, function, n, chained)
         with self._profile_lock:
             cached = self._profiles.get(key)
         if cached is not None:
@@ -656,10 +704,17 @@ class DynamicsService:
         """Run one coalesced batch on ``shard``; returns makespan cycles."""
         try:
             rollout = isinstance(batch[0], RolloutRequest)
+            # Coalesced flushes carry several robots; they execute as one
+            # ragged batch (per-robot row segments, one engine dispatch).
+            ragged = not rollout and any(
+                r.robot != batch[0].robot for r in batch
+            )
             tracer = self.tracer
             if tracer is None:
                 if rollout:
                     return self._execute_rollout(shard, batch)
+                if ragged:
+                    return self._execute_ragged(shard, batch, chained)
                 return self._execute_inner(shard, batch, chained)
             # Traced path: book each request's queue wait retroactively
             # (submission -> execution start, stamped with its trace ID),
@@ -670,6 +725,7 @@ class DynamicsService:
             first = batch[0]
             fn = f"rollout/{first.scheme}" if rollout \
                 else first.function.value
+            span_robot = "ragged" if ragged else first.robot
             exec_t0 = time.perf_counter()
             trace_ids = [r.trace_id for r in batch if r.trace_id]
             for r in batch:
@@ -681,7 +737,7 @@ class DynamicsService:
                               "shard": shard.index},
                     )
             with tracer.span(
-                f"serve.execute {first.robot}/{fn}",
+                f"serve.execute {span_robot}/{fn}",
                 trace_id=trace_ids[0] if trace_ids else None,
                 args={"shard": shard.index, "batch_size": len(batch),
                       "engine": self._shard_engines[shard.index].name,
@@ -690,6 +746,8 @@ class DynamicsService:
             ):
                 if rollout:
                     return self._execute_rollout(shard, batch)
+                if ragged:
+                    return self._execute_ragged(shard, batch, chained)
                 return self._execute_inner(shard, batch, chained)
         finally:
             with self._counter_lock:
@@ -700,8 +758,11 @@ class DynamicsService:
         function = batch[0].function
         engine = self._shard_engines[shard.index]
         backend_name = self._shard_backends[shard.index]
+        accel_config = self._shard_accels[shard.index]
         try:
-            artifacts = self.cache.get(batch[0].robot, backend=backend_name)
+            artifacts = self._shard_caches[shard.index].get(
+                batch[0].robot, backend=backend_name
+            )
             model = artifacts.model
             nv = model.nv
             zero = np.zeros(nv)
@@ -728,7 +789,8 @@ class DynamicsService:
                 f_ext=f_ext, engine=engine,
             )
             exec_wall = time.perf_counter() - exec_start
-            profile = self._profile(artifacts, function, len(batch), chained)
+            profile = self._profile(artifacts, function, len(batch), chained,
+                                    config=accel_config)
         except Exception as exc:  # resolve every future, never hang a client
             for r in batch:
                 if not r.future.done():
@@ -741,7 +803,7 @@ class DynamicsService:
         # Feed the measured per-shard throughput back into placement: the
         # static per-engine priors only steer until real traffic lands.
         self.pool.recalibrate_weights(self.metrics.measured_shard_rps())
-        modeled_s = self.config.cycles_to_seconds(profile.mean_latency_cycles)
+        modeled_s = accel_config.cycles_to_seconds(profile.mean_latency_cycles)
         now = time.monotonic()
         for r, value in zip(batch, values):
             if r.future.cancelled():
@@ -768,6 +830,104 @@ class DynamicsService:
                 continue        # cancellation raced; don't strand batchmates
         return profile.makespan_cycles
 
+    def _execute_ragged(self, shard: ShardState, batch: list[ServeRequest],
+                        chained: bool) -> float:
+        """Run one coalesced multi-robot batch on ``shard``.
+
+        The batch arrives queue-grouped from the coalescing batcher (one
+        contiguous run of requests per source (robot, function) queue);
+        each run stacks into a :class:`RaggedBatch` segment and the whole
+        thing executes as one engine dispatch
+        (:func:`~repro.dynamics.batch.batch_evaluate_ragged`).  Per-robot
+        cycle profiles still apply — the modeled makespan is the sum of
+        the per-segment makespans (the accelerator reprograms between
+        robot structures), and each request's modeled latency comes from
+        its own segment's profile — so results are identical to the
+        fragmented path, batch for request.
+        """
+        function = batch[0].function
+        engine = self._shard_engines[shard.index]
+        backend_name = self._shard_backends[shard.index]
+        accel_config = self._shard_accels[shard.index]
+        cache = self._shard_caches[shard.index]
+        try:
+            ragged = RaggedBatch()
+            seg_meta: list[tuple[RobotArtifacts, list[ServeRequest]]] = []
+            i = 0
+            while i < len(batch):
+                j = i
+                while j < len(batch) and batch[j].robot == batch[i].robot:
+                    j += 1
+                seg = batch[i:j]
+                artifacts = cache.get(seg[0].robot, backend=backend_name)
+                nv = artifacts.model.nv
+                zero = np.zeros(nv)
+                q = stack_rows("q", [r.q for r in seg], (nv,))
+                qd = stack_rows(
+                    "qd", [zero if r.qd is None else r.qd for r in seg],
+                    (nv,),
+                )
+                u = stack_rows(
+                    "u", [zero if r.u is None else r.u for r in seg], (nv,)
+                )
+                minv = None
+                if all(r.minv is not None for r in seg):
+                    minv = stack_rows("minv", [r.minv for r in seg],
+                                      (nv, nv))
+                ragged.add(artifacts.model, BatchStates(q, qd), u,
+                           minv=minv, f_ext=self._stack_f_ext(seg))
+                seg_meta.append((artifacts, seg))
+                i = j
+            exec_start = time.perf_counter()
+            values = batch_evaluate_ragged(function, ragged, engine=engine)
+            exec_wall = time.perf_counter() - exec_start
+            profiles = [
+                self._profile(artifacts, function, len(seg), chained,
+                              config=accel_config)
+                for artifacts, seg in seg_meta
+            ]
+        except Exception as exc:  # resolve every future, never hang a client
+            for r in batch:
+                if not r.future.done():
+                    r.future.set_exception(exc)
+            self.metrics.record_failure(len(batch))
+            return 0.0
+        makespan = sum(p.makespan_cycles for p in profiles)
+        self.metrics.record_batch(len(batch), makespan,
+                                  engine=engine.name, backend=backend_name,
+                                  shard=shard.index, wall_s=exec_wall,
+                                  segments=len(seg_meta))
+        self.pool.recalibrate_weights(self.metrics.measured_shard_rps())
+        now = time.monotonic()
+        k = 0
+        for (artifacts, seg), profile in zip(seg_meta, profiles):
+            modeled_s = accel_config.cycles_to_seconds(
+                profile.mean_latency_cycles
+            )
+            for r in seg:
+                value = values[k]
+                k += 1
+                if r.future.cancelled():
+                    continue
+                self.metrics.record_request(now - r.arrival_s, modeled_s)
+                try:
+                    r.future.set_result(ServeResult(
+                        robot=r.robot,
+                        function=function,
+                        value=value,
+                        wall_latency_s=now - r.arrival_s,
+                        modeled_latency_cycles=profile.mean_latency_cycles,
+                        modeled_latency_s=modeled_s,
+                        modeled_makespan_cycles=makespan,
+                        batch_size=len(batch),
+                        shard=shard.index,
+                        engine=engine.name,
+                        backend=backend_name,
+                    ))
+                except InvalidStateError:
+                    continue    # cancellation raced; don't strand batchmates
+        return makespan
+
     def _execute_rollout(self, shard: ShardState,
                          batch: list[RolloutRequest]) -> float:
         """Run one coalesced rollout slab on ``shard``.
@@ -781,10 +941,13 @@ class DynamicsService:
         first = batch[0]
         engine = self._shard_engines[shard.index]
         backend_name = self._shard_backends[shard.index]
+        accel_config = self._shard_accels[shard.index]
         n = len(batch)
         t_steps = first.horizon
         try:
-            artifacts = self.cache.get(first.robot, backend=backend_name)
+            artifacts = self._shard_caches[shard.index].get(
+                first.robot, backend=backend_name
+            )
             model = artifacts.model
             nv = model.nv
             q0 = stack_rows("q0", [r.q0 for r in batch], (nv,))
@@ -810,7 +973,8 @@ class DynamicsService:
                 sensitivities=first.sensitivities,
             )
             exec_wall = time.perf_counter() - exec_start
-            profile = self._profile(artifacts, RBDFunction.FD, n, False)
+            profile = self._profile(artifacts, RBDFunction.FD, n, False,
+                                    config=accel_config)
         except Exception as exc:  # resolve every future, never hang a client
             for r in batch:
                 if not r.future.done():
@@ -827,7 +991,7 @@ class DynamicsService:
             shard=shard.index, wall_s=exec_wall, rows=n * t_steps,
         )
         self.pool.recalibrate_weights(self.metrics.measured_shard_rps())
-        modeled_s = self.config.cycles_to_seconds(latency_cycles)
+        modeled_s = accel_config.cycles_to_seconds(latency_cycles)
         now = time.monotonic()
         for k, r in enumerate(batch):
             if r.future.cancelled():

@@ -295,3 +295,125 @@ class TestPlanStructure:
                        np.ones((2, model.nv)), engine="compiled")
         for value, kept in zip(first, snapshot):
             np.testing.assert_array_equal(value, kept)
+
+
+def _packed_model(name):
+    """Branched / rewritten / random topologies the packing must survive."""
+    if name == "rerooted_atlas":
+        return reroot(load_robot("atlas"), "torso2")
+    if name == "split_hyq":
+        return split_floating_base(load_robot("hyq"))
+    if name == "random_tree":
+        return random_tree(9, seed=2, floating=True)
+    return load_robot(name)
+
+
+PACKED_TOPOLOGIES = ["iiwa", "hyq", "quadruped_arm", "atlas",
+                     "rerooted_atlas", "split_hyq", "random_tree"]
+
+
+def _assert_scaled_close(got, want, tol=1e-10):
+    """Magnitude-scaled max-abs comparison: the dFD derivative blocks
+    reach |dqdd_dq| ~ 1e4 on atlas-sized trees, where a 1e-10 *absolute*
+    bound would demand ~1e-14 relative accuracy — below float64
+    conditioning through ``-Minv @ dtau``.  Scaling by max(1, |ref|)
+    keeps the contract at 1e-10 in the units of the data."""
+    got, want = np.asarray(got), np.asarray(want)
+    scale = max(1.0, float(np.max(np.abs(want))))
+    err = float(np.max(np.abs(got - want)))
+    assert err <= tol * scale, (err, scale)
+
+
+class TestPackedIndices:
+    """Compile-time invariants of the packed column layout (Fig 7b).
+
+    The packed sweeps are only as correct as the gather/scatter geometry
+    they run on: ``col_perm`` must be a permutation of the DOF columns,
+    each level's prefix/suffix windows must be exactly the path/subtree
+    column unions the kernels assume are the only nonzero columns, and
+    the owned columns must partition each level's band.
+    """
+
+    @pytest.mark.parametrize("name", PACKED_TOPOLOGIES)
+    def test_col_perm_is_permutation(self, name):
+        model = _packed_model(name)
+        plan = ExecutionPlan(model, packing="always")
+        nv = model.nv
+        assert sorted(plan.col_perm.tolist()) == list(range(nv))
+        np.testing.assert_array_equal(plan.col_perm[plan.col_pos],
+                                      np.arange(nv))
+        np.testing.assert_array_equal(plan.col_pos[plan.col_perm],
+                                      np.arange(nv))
+
+    @pytest.mark.parametrize("name", PACKED_TOPOLOGIES)
+    def test_level_windows_are_exact_column_unions(self, name):
+        """Suffix [wp, nv) == the level links' subtree-column union,
+        exactly; prefix [0, w) == all columns owned at depth <= level
+        (the contiguous cover of the path union, which it must contain);
+        owned columns partition the level band [wp, w)."""
+        model = _packed_model(name)
+        plan = ExecutionPlan(model, packing="always")
+        nv = model.nv
+        shallow_union: set[int] = set()
+        for lvl, pk in zip(plan.levels, plan.packed_levels):
+            path_union = set()
+            subtree_union = set()
+            for link in lvl.links:
+                path_union.update(model.supporting_dofs(int(link)))
+                sl = model.dof_slice(int(link))
+                shallow_union.update(range(sl.start, sl.stop))
+                for j in model.subtree(int(link)):
+                    sl = model.dof_slice(j)
+                    subtree_union.update(range(sl.start, sl.stop))
+            prefix = set(plan.col_perm[:pk.w].tolist())
+            # The prefix is exactly the depth-<= union, and covers every
+            # column the forward transfer stacks can touch (path union).
+            assert prefix == shallow_union
+            assert path_union <= prefix
+            # The suffix is exactly where backward force accumulators
+            # can be nonzero: the level links' subtree columns.
+            assert set(plan.col_perm[pk.wp:].tolist()) == subtree_union
+            own = np.sort(np.concatenate([
+                np.asarray(p).reshape(-1) for p in pk.own_pos
+            ]))
+            np.testing.assert_array_equal(own, np.arange(pk.wp, pk.w))
+        # The last level's prefix covers every DOF column.
+        assert plan.packed_levels[-1].w == nv
+
+    @pytest.mark.parametrize("name", PACKED_TOPOLOGIES)
+    def test_gather_scatter_roundtrip_identity(self, name):
+        model = _packed_model(name)
+        plan = ExecutionPlan(model, packing="always")
+        nv = model.nv
+        rng = np.random.default_rng(17)
+        arr = rng.standard_normal((3, nv))
+        packed = arr[:, plan.col_perm]
+        # Unpermute-by-gather and scatter-by-assign both invert exactly.
+        np.testing.assert_array_equal(packed[:, plan.col_pos], arr)
+        out = np.empty_like(arr)
+        out[:, plan.col_perm] = packed
+        np.testing.assert_array_equal(out, arr)
+        # The paired (row, column) gather the matrix extractions use.
+        sym = rng.standard_normal((2, nv, nv))
+        both = sym[:, plan.col_perm[:, None], plan.col_perm[None, :]]
+        np.testing.assert_array_equal(
+            both[:, plan.col_pos[:, None], plan.col_pos[None, :]], sym
+        )
+
+    @pytest.mark.parametrize("name", PACKED_TOPOLOGIES)
+    def test_forced_packing_matches_dense(self, name):
+        """packing="always" == packing="never" on the packed sweeps,
+        including serial chains and rewritten topologies where auto mode
+        would not pack."""
+        model = _packed_model(name)
+        packed = ExecutionPlan(model, packing="always")
+        dense = ExecutionPlan(model, packing="never")
+        states, u, _ = _batch_inputs(model, RBDFunction.DFD, n=4, seed=21)
+        q, qd = states.q, states.qd
+        _assert_scaled_close(packed.minv_batch(q), dense.minv_batch(q))
+        for a, b in zip(packed.dfd_batch(q, qd, u),
+                        dense.dfd_batch(q, qd, u)):
+            _assert_scaled_close(a, b)
+        for a, b in zip(packed.did_batch(q, qd, u),
+                        dense.did_batch(q, qd, u)):
+            _assert_scaled_close(a, b)

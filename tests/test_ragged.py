@@ -1,0 +1,294 @@
+"""Ragged batching suite: RaggedBatch dispatch, batcher coalescing, and
+the service's coalesced multi-robot execute path.
+
+The contract under test is lossless coalescing: folding several
+(robot, function) queues into one ragged batch must change *when* work
+executes and *how it is counted* (merged flushes, ragged counters,
+segment-aware placement events) but never any result — per-request
+values are compared bitwise against the fragmented path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PAPER_CONFIG
+from repro.dynamics import (
+    BatchStates,
+    RaggedBatch,
+    batch_evaluate,
+    batch_evaluate_ragged,
+)
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import load_robot
+from repro.serve import BatchPolicy, DynamicBatcher, DynamicsService
+from repro.serve.pool import ShardConfig, accelerator_desc
+from repro.serve.request import ServeRequest
+
+
+def _req(robot: str, function=RBDFunction.FD, seed=0) -> ServeRequest:
+    nv = load_robot(robot).nv
+    rng = np.random.default_rng(seed)
+    return ServeRequest(robot=robot, function=function,
+                        q=rng.standard_normal(nv),
+                        qd=rng.standard_normal(nv),
+                        u=rng.standard_normal(nv))
+
+
+class TestRaggedBatch:
+    def test_windows_and_rows(self):
+        rb = RaggedBatch()
+        iiwa, hyq = load_robot("iiwa"), load_robot("hyq")
+        s1 = rb.add(iiwa, BatchStates.random(iiwa, 3, seed=0))
+        s2 = rb.add(hyq, BatchStates.random(hyq, 2, seed=1))
+        assert (s1.lo, s1.hi) == (0, 3)
+        assert (s2.lo, s2.hi) == (3, 5)
+        assert len(rb) == 5 and rb.n_segments == 2
+        desc = rb.describe()
+        assert desc["rows"] == 5
+        assert [w["robot"] for w in desc["windows"]] == ["iiwa", "hyq"]
+
+    @pytest.mark.parametrize("function",
+                             [RBDFunction.FD, RBDFunction.MINV,
+                              RBDFunction.DFD],
+                             ids=lambda f: f.value)
+    def test_matches_per_robot_batches(self, function):
+        """One ragged dispatch == the per-robot calls, bit for bit."""
+        rng = np.random.default_rng(3)
+        rb = RaggedBatch()
+        expected = []
+        for robot, n in (("iiwa", 3), ("hyq", 2), ("iiwa", 2)):
+            model = load_robot(robot)
+            states = BatchStates.random(model, n, seed=n)
+            u = rng.standard_normal((n, model.nv))
+            rb.add(model, states, u)
+            expected.extend(batch_evaluate(model, function, states, u,
+                                           engine="compiled"))
+        got = batch_evaluate_ragged(function, rb, engine="compiled")
+        assert len(got) == len(expected) == 7
+        for a, b in zip(got, expected):
+            if hasattr(a, "dqdd_dq"):       # FDDerivatives per-task result
+                np.testing.assert_array_equal(a.qdd, b.qdd)
+                np.testing.assert_array_equal(a.dqdd_dq, b.dqdd_dq)
+                np.testing.assert_array_equal(a.dqdd_dqd, b.dqdd_dqd)
+                np.testing.assert_array_equal(a.dqdd_dtau, b.dqdd_dtau)
+            else:
+                np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+
+    def test_empty_batch(self):
+        assert batch_evaluate_ragged(RBDFunction.FD, RaggedBatch()) == []
+
+
+class TestBatcherCoalescing:
+    POLICY = BatchPolicy(max_batch=64, max_wait_s=1.0, coalesce=True)
+
+    def test_timeout_flush_folds_compatible_queues(self):
+        b = DynamicBatcher(self.POLICY)
+        t = 100.0
+        b.add(_req("iiwa"), t)
+        b.add(_req("hyq"), t)
+        b.add(_req("hyq", seed=1), t)
+        assert b.active_queues() == 2
+        assert b.poll_expired(t + 0.5) == []
+        flushes = b.poll_expired(t + 1.0)
+        # One merged flush absorbed both queues, queue-grouped (each
+        # robot's requests contiguous — the segment order ragged
+        # execution expects).
+        assert len(flushes) == 1
+        assert [r.robot for r in flushes[0]] == ["iiwa", "hyq", "hyq"]
+        assert b.stats.flushed_merged == 1
+        assert b.stats.queues_flushed == 2
+        assert len(b) == 0 and b.active_queues() == 0
+
+    def test_different_functions_do_not_merge(self):
+        b = DynamicBatcher(self.POLICY)
+        t = 0.0
+        b.add(_req("iiwa", RBDFunction.FD), t)
+        b.add(_req("hyq", RBDFunction.ID), t)
+        flushes = b.poll_expired(t + 1.0)
+        assert len(flushes) == 2
+        assert b.stats.flushed_merged == 0
+
+    def test_merge_respects_max_batch(self):
+        b = DynamicBatcher(BatchPolicy(max_batch=3, max_wait_s=1.0,
+                                       coalesce=True))
+        t = 0.0
+        for k in range(2):
+            b.add(_req("iiwa", seed=k), t)
+        for k in range(2):
+            b.add(_req("hyq", seed=k), t)
+        flushes = b.poll_expired(t + 1.0)
+        # 2 + 2 > max_batch: the queues must flush separately.
+        assert sorted(len(f) for f in flushes) == [2, 2]
+        assert b.stats.flushed_merged == 0
+
+    def test_drain_coalesces(self):
+        b = DynamicBatcher(self.POLICY)
+        b.add(_req("iiwa"), 0.0)
+        b.add(_req("hyq"), 0.0)
+        flushes = b.drain()
+        assert len(flushes) == 1 and len(flushes[0]) == 2
+        assert b.stats.flushed_drain == 1
+        assert b.stats.flushed_merged == 1
+
+    def test_flush_on_full_stays_per_key(self):
+        b = DynamicBatcher(BatchPolicy(max_batch=2, max_wait_s=1.0,
+                                       coalesce=True))
+        b.add(_req("iiwa"), 0.0)
+        b.add(_req("hyq"), 0.0)
+        batch = b.add(_req("iiwa", seed=1), 0.0)
+        assert batch is not None
+        assert [r.robot for r in batch] == ["iiwa", "iiwa"]
+        assert b.stats.flushed_merged == 0
+
+    def test_fragmentation_view(self):
+        b = DynamicBatcher(self.POLICY)
+        b.add(_req("iiwa"), 0.0)
+        b.add(_req("hyq"), 0.0)
+        frag = b.fragmentation()
+        assert frag["active_queues"] == 2
+        assert frag["flushed_batches"] == 0
+        b.poll_expired(1.0)
+        frag = b.fragmentation()
+        assert frag["active_queues"] == 0
+        assert frag["flushed_batches"] == 1
+        assert frag["queues_flushed"] == 2
+        assert frag["queues_per_flush"] == 2.0
+
+    def test_coalesce_off_keeps_old_behaviour(self):
+        b = DynamicBatcher(BatchPolicy(max_batch=64, max_wait_s=1.0,
+                                       coalesce=False))
+        b.add(_req("iiwa"), 0.0)
+        b.add(_req("hyq"), 0.0)
+        flushes = b.poll_expired(1.0)
+        assert len(flushes) == 2
+        assert b.stats.flushed_merged == 0
+        assert b.fragmentation()["queues_per_flush"] == 1.0
+
+
+ROBOTS = ("iiwa", "double_pendulum")
+
+
+def _mixed_inputs(n_per_robot=4, seed=5):
+    rng = np.random.default_rng(seed)
+    inputs = []
+    for _ in range(n_per_robot):
+        for robot in ROBOTS:
+            nv = load_robot(robot).nv
+            inputs.append((robot, rng.standard_normal(nv),
+                           rng.standard_normal(nv), rng.standard_normal(nv)))
+    return inputs
+
+
+def _serve(inputs, coalesce: bool):
+    policy = BatchPolicy(max_batch=64, max_wait_s=2e-3, coalesce=coalesce)
+    with DynamicsService(policy=policy, n_shards=1) as service:
+        futures = [service.submit(robot, RBDFunction.FD, q, qd, u)
+                   for robot, q, qd, u in inputs]
+        results = [f.result(timeout=60) for f in futures]
+        stats = service.stats()
+        events = service.pool.placement_events()
+    return results, stats, events
+
+
+class TestServiceRagged:
+    def test_coalesced_results_identical_to_fragmented(self):
+        inputs = _mixed_inputs()
+        frag_results, frag_stats, frag_events = _serve(inputs,
+                                                       coalesce=False)
+        coal_results, coal_stats, events = _serve(inputs, coalesce=True)
+        for a, b in zip(frag_results, coal_results):
+            assert a.robot == b.robot
+            np.testing.assert_array_equal(np.asarray(a.value),
+                                          np.asarray(b.value))
+        # The coalesced run actually merged and executed ragged batches.
+        assert coal_stats["flushed_merged"] >= 1
+        assert coal_stats["ragged_batches"] >= 1
+        assert coal_stats["ragged_segments"] >= 2
+        assert coal_stats["queues_per_flush"] > 1.0
+        assert frag_stats["ragged_batches"] == 0
+        assert frag_stats["flushed_merged"] == 0
+        # Placement events are segment-aware: the coalesced run placed a
+        # multi-segment batch, the fragmented run never did.
+        assert any(e["segments"] >= 2 for e in events)
+        assert all(e["segments"] == 1 for e in frag_events)
+
+    def test_ragged_results_modeled_per_segment(self):
+        """Each request's modeled latency comes from its own robot's
+        profile, not a batch-wide blend."""
+        inputs = _mixed_inputs(n_per_robot=2)
+        results, _, _ = _serve(inputs, coalesce=True)
+        by_robot = {}
+        for r in results:
+            by_robot.setdefault(r.robot, set()).add(
+                r.modeled_latency_cycles
+            )
+        # Same robot, same segment size -> one modeled latency; the two
+        # robots must not share one (iiwa's 7-DOF pipeline is costlier
+        # than the pendulum's 2-DOF one).
+        assert by_robot["iiwa"] != by_robot["double_pendulum"]
+
+    def test_telemetry_exposes_fragmentation_and_ragged_series(self):
+        inputs = _mixed_inputs(n_per_robot=2)
+        policy = BatchPolicy(max_batch=64, max_wait_s=2e-3, coalesce=True)
+        with DynamicsService(policy=policy, n_shards=1) as service:
+            for robot, q, qd, u in inputs:
+                service.submit(robot, RBDFunction.FD, q, qd, u)
+            service.flush()
+            text = service.telemetry().prometheus()
+        for series in ("batcher_fragmentation", "batcher_queues_per_flush",
+                       "serve_flushed_merged_total", "ragged_batches_total",
+                       "ragged_rows_total", "ragged_segments_total"):
+            assert series in text, series
+
+
+class TestShardAcceleratorOverride:
+    def test_describe_tags(self):
+        assert accelerator_desc(None) == ""
+        half = PAPER_CONFIG.with_(clock_hz=62.5e6)
+        assert accelerator_desc(half) == "62.5MHz/II10"
+        fat = PAPER_CONFIG.with_(ii_target_heavy_cycles=20, sap_replicas=2)
+        assert accelerator_desc(fat) == "125MHz/II10+20x2"
+
+    def test_override_drives_modeled_latency_and_events(self):
+        half = PAPER_CONFIG.with_(clock_hz=PAPER_CONFIG.clock_hz / 2)
+        service = DynamicsService(
+            n_shards=1, shard_configs=[ShardConfig(accelerator=half)]
+        )
+        try:
+            nv = load_robot("iiwa").nv
+            result = service.submit(
+                "iiwa", RBDFunction.FD, np.zeros(nv), np.zeros(nv),
+                np.zeros(nv), urgent=True,
+            ).result(timeout=60)
+            rows = service.pool.describe()
+            events = service.pool.placement_events()
+        finally:
+            service.close()
+        # Modeled seconds use the override clock, not the service config.
+        assert result.modeled_latency_s == pytest.approx(
+            result.modeled_latency_cycles / half.clock_hz
+        )
+        assert result.modeled_latency_s > 0
+        assert rows[0]["accelerator"] == accelerator_desc(half)
+        assert events and events[0]["accelerator"] == accelerator_desc(half)
+
+    def test_default_shards_share_service_cache(self):
+        service = DynamicsService(n_shards=2)
+        try:
+            assert service._shard_caches[0] is service.cache
+            assert service._shard_caches[1] is service.cache
+        finally:
+            service.close()
+
+    def test_override_shards_share_cache_per_config(self):
+        half = PAPER_CONFIG.with_(clock_hz=62.5e6)
+        service = DynamicsService(shard_configs=[
+            ShardConfig(accelerator=half), ShardConfig(accelerator=half),
+            ShardConfig(),
+        ])
+        try:
+            assert service._shard_caches[0] is service._shard_caches[1]
+            assert service._shard_caches[0] is not service.cache
+            assert service._shard_caches[2] is service.cache
+        finally:
+            service.close()
