@@ -1,0 +1,215 @@
+"""Availability under injected faults: the serve runtime's chaos bench.
+
+The resilience stack (retries with backoff, circuit breakers with
+background probes, poison isolation, deadline shedding) earns its keep
+only if the service stays available while shards actually fail.  This
+bench drives an open-loop load through :class:`DynamicsService` while
+:mod:`repro.faults` injects failures at the ``shard.execute`` boundary
+at a swept rate, and measures the fraction of requests that still
+resolve successfully.
+
+Acceptance anchor: with 5% of batch executions faulting (deterministic
+seed), request success rate must stay >= 99% and every future must be
+resolved — no request may hang or be silently dropped.
+
+Runs under pytest (with the usual table summary) or directly for CI
+smoke::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick --json
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.dynamics.functions import RBDFunction
+from repro.faults import FaultSpec, injected
+from repro.serve import BatchPolicy, DynamicsService, RetryPolicy
+
+ROBOT = "iiwa"
+FUNCTION = RBDFunction.FD
+REQUESTS = 192
+#: Swept per-execution fault probabilities at the shard boundary.
+FAULT_RATES = (0.0, 0.05, 0.10)
+#: The acceptance pair: at this injected rate, at least this fraction
+#: of requests must still succeed.
+ANCHOR_RATE = 0.05
+SUCCESS_FLOOR = 0.99
+#: Seed chosen so the anchor-rate decision stream fires early (first
+#: fault on the 3rd shard execution) — the bench provably exercises the
+#: retry machinery instead of sampling a lucky all-clear run.
+SEED = 41
+
+
+def run_chaos_load(requests: int = REQUESTS, fault_rate: float = 0.0,
+                   kind: str = "exception", latency_s: float = 0.0,
+                   seed: int = SEED) -> dict:
+    """Push ``requests`` through a 3-shard service under injected faults.
+
+    Returns a flat stats row: success/failure/unresolved counts, the
+    resilience counters (retries, breaker opens, isolations, probes)
+    and wall time.  ``fault_rate == 0`` runs the identical load with the
+    injection framework fully disarmed — the availability baseline.
+    """
+    # Small batches on purpose: more shard executions per run means more
+    # injection decisions, so the fault machinery is actually exercised.
+    policy = BatchPolicy(max_batch=8, max_wait_s=1e-3, max_pending=4096)
+    retry = RetryPolicy(max_attempts=4, backoff_s=5e-4)
+    nv = 7
+    q = np.zeros(nv)
+    spec = FaultSpec("shard.execute", rate=fault_rate, kind=kind,
+                     latency_s=latency_s)
+    svc = DynamicsService(policy, n_shards=3, shard_policy="least_loaded",
+                          retry=retry, breaker_threshold=2,
+                          breaker_cooldown_s=0.02,
+                          warm_robots=[ROBOT])
+    t0 = time.perf_counter()
+    try:
+        if fault_rate > 0:
+            with injected(spec, seed=seed) as inj:
+                futures = [svc.submit(ROBOT, FUNCTION, q, q, q)
+                           for _ in range(requests)]
+                svc.flush()
+                done = [_settle(f) for f in futures]
+                fired = inj.stats()["shard.execute"]["fired"]
+        else:
+            futures = [svc.submit(ROBOT, FUNCTION, q, q, q)
+                       for _ in range(requests)]
+            svc.flush()
+            done = [_settle(f) for f in futures]
+            fired = 0
+        stats = svc.stats()
+    finally:
+        svc.close()
+    wall_s = time.perf_counter() - t0
+    unresolved = sum(1 for f in futures if not f.done())
+    successes = sum(done)
+    return {
+        "requests": requests,
+        "fault_rate": fault_rate,
+        "kind": kind,
+        "faults_fired": fired,
+        "successes": successes,
+        "failures": requests - successes,
+        "success_rate": successes / requests,
+        "unresolved": unresolved,
+        "retries": stats["retries"],
+        "breaker_opens": stats["breaker_opens"],
+        "poison_isolations": stats["poison_isolations"],
+        "probes": stats["probes"],
+        "shed": stats["shed"],
+        "wall_s": wall_s,
+    }
+
+
+def _settle(future) -> bool:
+    """Resolve one future; True iff it carries a result."""
+    try:
+        future.result(timeout=60.0)
+        return True
+    except Exception:
+        return False
+
+
+def sweep(requests: int = REQUESTS, rates=FAULT_RATES) -> list[dict]:
+    """The headline sweep: exception faults at each rate, plus one
+    latency-spike row at the anchor rate."""
+    rows = [run_chaos_load(requests, rate) for rate in rates]
+    rows.append(run_chaos_load(requests, ANCHOR_RATE, kind="latency",
+                               latency_s=2e-3))
+    return rows
+
+
+def anchor_row(rows: list[dict]) -> dict:
+    """The acceptance row: exception faults at ANCHOR_RATE."""
+    return next(r for r in rows
+                if r["fault_rate"] == ANCHOR_RATE
+                and r["kind"] == "exception")
+
+
+def _chaos_table(rows: list[dict]):
+    from repro.reporting import Table
+
+    table = Table(
+        f"chaos: {ROBOT} {FUNCTION.value} availability under injected "
+        f"shard faults (3 shards, retry+breaker armed)",
+        ["rate", "kind", "fired", "ok", "fail", "unresolved",
+         "success", "retries", "breaker opens", "wall (s)"],
+    )
+    for r in rows:
+        table.add_row(
+            r["fault_rate"], r["kind"], r["faults_fired"], r["successes"],
+            r["failures"], r["unresolved"], f"{r['success_rate']:.4f}",
+            r["retries"], r["breaker_opens"], f"{r['wall_s']:.2f}",
+        )
+    return table
+
+
+def test_chaos_availability(once):
+    """>= 99% success, zero unresolved futures, under 5% shard faults."""
+    from conftest import record_table
+
+    def _run():
+        rows = sweep()
+        record_table(_chaos_table(rows))
+        anchor = anchor_row(rows)
+        record_table(
+            f"== chaos availability (iiwa FD, {ANCHOR_RATE:.0%} faults) ==\n"
+            f"success rate {anchor['success_rate']:.4f} "
+            f"(floor {SUCCESS_FLOOR}), "
+            f"{anchor['unresolved']} unresolved futures (must be 0)"
+        )
+        for r in rows:
+            assert r["unresolved"] == 0
+        # The unfaulted baseline must be perfectly clean...
+        assert rows[0]["success_rate"] == 1.0
+        # ...and the armed anchor must clear the availability floor.
+        assert anchor["success_rate"] >= SUCCESS_FLOOR
+        assert anchor["faults_fired"] > 0
+        assert anchor["retries"] > 0
+
+    once(_run)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    requests = 96 if quick else REQUESTS
+    rates = (0.0, ANCHOR_RATE) if quick else FAULT_RATES
+    rows = sweep(requests, rates)
+    print(f"bench_chaos: {ROBOT} {FUNCTION.value}, {requests} requests, "
+          f"3 shards, seed {SEED}")
+    for r in rows:
+        print(f"  rate={r['fault_rate']:<5} kind={r['kind']:<9} "
+              f"fired={r['faults_fired']:<3} ok={r['successes']}/{requests} "
+              f"unresolved={r['unresolved']} retries={r['retries']} "
+              f"breaker_opens={r['breaker_opens']} wall={r['wall_s']:.2f}s")
+    anchor = anchor_row(rows)
+    print(f"\nsuccess rate at {ANCHOR_RATE:.0%} faults: "
+          f"{anchor['success_rate']:.4f} (floor {SUCCESS_FLOOR})")
+    if "--json" in argv:
+        from jsonout import write_bench_json
+
+        path = write_bench_json(
+            "chaos", rows,
+            {"anchor_rate": ANCHOR_RATE,
+             "anchor_success_rate": anchor["success_rate"],
+             "floor": SUCCESS_FLOOR,
+             "unresolved_total": sum(r["unresolved"] for r in rows),
+             "seed": SEED},
+        )
+        print(f"wrote {path}")
+    failed = []
+    if anchor["success_rate"] < SUCCESS_FLOOR:
+        failed.append("success rate below floor")
+    if any(r["unresolved"] for r in rows):
+        failed.append("unresolved futures")
+    if failed:
+        print("FAIL: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

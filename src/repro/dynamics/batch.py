@@ -35,6 +35,7 @@ from repro.dynamics.derivatives import FDDerivatives, IDDerivatives
 from repro.dynamics.engine import Engine, get_engine, normalize_f_ext
 from repro.dynamics.functions import RBDFunction
 from repro.model.robot import RobotModel
+from repro import faults as _faults
 from repro.obs import hooks as _obs
 
 #: Dispatchable functions beyond the seven Table-I ones, keyed by name.
@@ -325,6 +326,14 @@ def batch_evaluate(
     request, so service layers can fan results back out to independent
     callers.
     """
+    if _faults.enabled:
+        # Injection point "engine.batch": the engine dispatch boundary,
+        # below the serving layer — plan/kernel failures land here.
+        _faults.check(
+            "engine.batch", robot=model.name,
+            function=function if isinstance(function, str)
+            else function.value,
+        )
     if isinstance(function, str):
         with _EXTENSION_LOCK:
             handler = _EXTENSION_FUNCTIONS.get(function)

@@ -50,6 +50,7 @@ from queue import Empty
 from repro.backend import host_backend
 from repro.dynamics.engine import BatchFExt, Engine
 from repro.model.robot import RobotModel
+from repro import faults as _faults
 from repro.obs import hooks as _obs
 
 np = host_backend().xp
@@ -158,6 +159,22 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
             return
         shm_in = shm_out = None
         try:
+            # Fault delivery: the parent's injector decided this chunk's
+            # fate when it built the task (repro.faults, site
+            # "process.worker"); the worker just executes the sentence.
+            # worker_kill is a hard exit — no cleanup, no result message
+            # — modeling a real worker crash (OOM kill, segfault).
+            inject = task.get("inject")
+            if inject is not None:
+                if inject["kind"] == "worker_kill":
+                    os._exit(23)
+                if inject["kind"] == "latency":
+                    time.sleep(inject["latency_s"])
+                elif inject["kind"] == "exception":
+                    raise RuntimeError(
+                        "injected fault at 'process.worker' "
+                        f"(worker {worker_id})"
+                    )
             if task.get("model_bytes") is not None:
                 models[task["token"]] = pickle.loads(task["model_bytes"])
             shm_in = _attach_shm(task["shm_in"])
@@ -424,8 +441,19 @@ class ProcessEngine(Engine):
                 pending = set()
                 for j, (lo, hi) in enumerate(chunks):
                     ship_model = token not in self._worker_models[j]
+                    # Injection point "process.worker": the decision is
+                    # drawn parent-side (deterministic seeded stream)
+                    # and shipped in the task for the worker to act on.
+                    inject = None
+                    if _faults.enabled:
+                        action = _faults.fire("process.worker", worker=j,
+                                              method=method)
+                        if action is not None:
+                            inject = {"kind": action.kind,
+                                      "latency_s": action.latency_s}
                     self._task_queues[j].put({
                         "task_id": base_id + j,
+                        "inject": inject,
                         "method": method,
                         "token": token,
                         "profile": profiler is not None,

@@ -1,0 +1,258 @@
+"""Deterministic, seeded fault injection for resilience testing.
+
+Production failure handling (retries, circuit breakers, poison
+isolation, worker restarts) is only trustworthy if it is *exercised* —
+so the serving stack carries named injection points at its failure
+boundaries, and this module is the switchboard that arms them:
+
+* ``"shard.execute"`` — fired by the serve runtime as a shard begins a
+  coalesced batch (:mod:`repro.serve.service`).
+* ``"engine.batch"`` — fired at the engine dispatch boundary
+  (:func:`repro.dynamics.batch.batch_evaluate`), below the serving
+  layer, so plan/kernel failures are reachable too.
+* ``"process.worker"`` — fired in the parent as each chunk task is
+  shipped to a process-engine worker; the decision rides to the worker
+  in the task dict, where ``worker_kill`` becomes ``os._exit`` (real
+  worker death, not a polite exception).
+
+The design copies :mod:`repro.obs.hooks`: a module-level ``enabled``
+bool is the only cost on the hot path when nothing is armed (one
+module-attribute load and a branch — the chaos bench's "disabled adds
+no measurable overhead" criterion leans on this), and installation is
+explicit and process-global.
+
+Determinism: every armed site draws from its own
+``random.Random(f"{seed}:{site}")`` stream under a per-site lock, so
+the k-th decision at a site is a pure function of (seed, site, k) no
+matter how shard threads interleave — a failing chaos run replays
+exactly from its seed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from random import Random
+
+from repro.errors import ReproError
+from repro.obs import hooks as _obs
+
+#: Fault kinds an injection point can express.  ``latency`` sleeps,
+#: ``exception`` raises :class:`InjectedFault`, ``worker_kill`` is
+#: returned to the caller (only the process-engine parent knows how to
+#: deliver death to a worker process).
+KINDS = ("exception", "latency", "worker_kill")
+
+
+class InjectedFault(ReproError):
+    """Raised at an armed injection point (``kind="exception"``).
+
+    ``retryable`` mirrors the arming :class:`FaultSpec` so retry
+    policies can distinguish injected transients from injected poison.
+    """
+
+    def __init__(self, message: str, site: str = "",
+                 retryable: bool = True, sequence: int = 0) -> None:
+        super().__init__(message)
+        self.site = site
+        self.retryable = retryable
+        self.sequence = sequence
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Arming description for one injection site.
+
+    ``rate`` is the per-fire fault probability; ``max_faults`` caps the
+    total number of faults the site will produce (``None`` = unlimited)
+    — a cap of 1 turns a site into a one-shot trigger, the shape most
+    targeted tests want.
+    """
+
+    site: str
+    rate: float = 1.0
+    kind: str = "exception"
+    latency_s: float = 0.0
+    max_faults: int | None = None
+    #: Whether injected exceptions should look transient (retry-worthy)
+    #: or like poison (isolate-worthy) to the serving layer.
+    retryable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError(
+                f"max_faults must be >= 0 (or None), got {self.max_faults}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One positive injection decision, returned by :func:`fire`."""
+
+    site: str
+    kind: str
+    latency_s: float
+    retryable: bool
+    #: 1-based count of faults this site has produced so far.
+    sequence: int
+
+    def apply(self) -> "FaultAction | None":
+        """Deliver the fault inline where possible.
+
+        ``latency`` sleeps and returns ``None`` (handled); ``exception``
+        raises :class:`InjectedFault`.  Kinds the call site must deliver
+        itself (``worker_kill``) are returned unhandled.
+        """
+        if self.kind == "latency":
+            time.sleep(self.latency_s)
+            return None
+        if self.kind == "exception":
+            raise InjectedFault(
+                f"injected fault at {self.site!r} (#{self.sequence})",
+                site=self.site, retryable=self.retryable,
+                sequence=self.sequence,
+            )
+        return self
+
+
+class _SiteState:
+    """Per-site decision stream: spec + seeded RNG + counters."""
+
+    __slots__ = ("spec", "rng", "lock", "calls", "fired")
+
+    def __init__(self, spec: FaultSpec, rng: Random) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.lock = threading.Lock()
+        self.calls = 0
+        self.fired = 0
+
+
+class FaultInjector:
+    """Seeded decision engine over a set of armed injection sites."""
+
+    def __init__(self, specs: "list[FaultSpec] | tuple[FaultSpec, ...]",
+                 seed: int = 0) -> None:
+        self.seed = seed
+        self._sites: dict[str, _SiteState] = {}
+        for spec in specs:
+            if spec.site in self._sites:
+                raise ValueError(f"duplicate fault site {spec.site!r}")
+            self._sites[spec.site] = _SiteState(
+                spec, Random(f"{seed}:{spec.site}")
+            )
+
+    def fire(self, site: str, **tags) -> FaultAction | None:
+        """Draw one decision for ``site``; ``None`` means no fault.
+
+        A positive decision is tagged into the active request trace (if
+        any) so chaos-run traces show exactly where faults landed.
+        """
+        state = self._sites.get(site)
+        if state is None:
+            return None
+        spec = state.spec
+        with state.lock:
+            state.calls += 1
+            if spec.max_faults is not None and state.fired >= spec.max_faults:
+                return None
+            if spec.rate < 1.0 and state.rng.random() >= spec.rate:
+                return None
+            state.fired += 1
+            sequence = state.fired
+        action = FaultAction(
+            site=site, kind=spec.kind, latency_s=spec.latency_s,
+            retryable=spec.retryable, sequence=sequence,
+        )
+        tracer = _obs.active_tracer()
+        if tracer is not None:
+            now = time.perf_counter()
+            args = {"kind": spec.kind, "sequence": sequence}
+            args.update(tags)
+            tracer.record(f"fault.{site}", now, 0.0, inherit=True, args=args)
+        return action
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-site decision counts: ``{site: {"calls", "fired"}}``."""
+        out = {}
+        for site, state in self._sites.items():
+            with state.lock:
+                out[site] = {"calls": state.calls, "fired": state.fired}
+        return out
+
+
+# ----------------------------------------------------------------------
+# Module switchboard (process-global, repro.obs.hooks-style)
+# ----------------------------------------------------------------------
+
+#: Fast gate read at every injection point.  True iff an injector is
+#: installed — call sites guard with ``if _faults.enabled:`` so the
+#: disarmed cost is one module-attribute load and a branch.
+enabled: bool = False
+
+_injector: FaultInjector | None = None
+_lock = threading.Lock()
+
+
+def install(injector: FaultInjector | None) -> None:
+    """Install ``injector`` as the process-global fault source
+    (``None`` disarms every site)."""
+    global _injector, enabled
+    with _lock:
+        _injector = injector
+        enabled = injector is not None
+
+
+def uninstall() -> None:
+    """Disarm all injection points."""
+    install(None)
+
+
+def active_injector() -> FaultInjector | None:
+    return _injector
+
+
+def fire(site: str, **tags) -> FaultAction | None:
+    """Draw a decision for ``site`` from the installed injector (if any)."""
+    if not enabled:
+        return None
+    injector = _injector
+    if injector is None:
+        return None
+    return injector.fire(site, **tags)
+
+
+def check(site: str, **tags) -> FaultAction | None:
+    """Fire ``site`` and deliver inline kinds (sleep / raise).
+
+    Returns the action only for kinds the caller must deliver itself
+    (``worker_kill``); the common call site is just
+    ``_faults.check("shard.execute", ...)``.
+    """
+    action = fire(site, **tags)
+    if action is None:
+        return None
+    return action.apply()
+
+
+@contextmanager
+def injected(*specs: FaultSpec, seed: int = 0):
+    """Arm ``specs`` for a ``with`` block, then restore the previous
+    injector.  Yields the :class:`FaultInjector` (for ``.stats()``)."""
+    injector = FaultInjector(specs, seed=seed)
+    previous = _injector
+    install(injector)
+    try:
+        yield injector
+    finally:
+        install(previous)

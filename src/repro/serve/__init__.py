@@ -69,6 +69,43 @@ Architecture — the life of a request::
       the **artifact cache**, built once and shared read-only by all
       shards.
 
+Health & retry — what happens when execution fails::
+
+                      shard executes batch
+                             |
+                       success? --yes--> futures resolved, breaker
+                             |           failure streak reset
+                             no
+                             |
+             record failure on shard (consecutive
+             failures >= threshold => breaker OPENS:
+             placement skips shard; flusher probes it
+             after cooldown, success re-closes it)
+                             |
+         +-------------------+--------------------+
+         |                   |                    |
+    capability /        transient error      poison (ValueError/
+    resource error      (retryable)          TypeError/KeyError,
+         |                   |               or retries exhausted)
+         v                   v                    |
+    degrade shard       backoff+jitter,           v
+    engine: process     re-place through     bisect split-and-
+    -> compiled ->      the pool (routes     retry: halves re-run
+    vectorized ->       around the open      until the bad request
+    loop; re-run        breaker); at most    fails alone with
+    in place            RetryPolicy          BatchExecutionError
+                        .max_attempts        (__cause__ = original);
+                                             neighbors still resolve
+
+    Deadlines ride orthogonally: ``submit(..., deadline_s=...)`` sheds
+    the request — future resolved with ``DeadlineExceededError`` — if
+    it expires in the batcher (flusher sweep) or while its batch waits
+    for a shard (dispatch-time check).  ``close()`` resolves any future
+    still pending after the pool drains with ``ServeError("service
+    shut down")``.  Chaos coverage: :mod:`repro.faults` injection
+    points + ``benchmarks/bench_chaos.py`` (availability floor under
+    injected shard faults).
+
 Entry points: :class:`DynamicsService` (the facade),
 ``python -m repro serve-bench`` (CLI sweep), ``examples/serving.py``
 (walkthrough), ``benchmarks/bench_serve.py`` (latency/throughput curves).
@@ -91,6 +128,9 @@ from repro.serve.pool import (
     engine_throughput_hint,
 )
 from repro.serve.request import (
+    BatchExecutionError,
+    DeadlineExceededError,
+    RetryPolicy,
     RolloutRequest,
     RolloutServeResult,
     ServeError,
@@ -103,9 +143,11 @@ from repro.serve.service import DynamicsService
 
 __all__ = [
     "ArtifactCache",
+    "BatchExecutionError",
     "BatchPolicy",
     "BatcherStats",
     "CacheStats",
+    "DeadlineExceededError",
     "ClientReport",
     "ClosedLoopClient",
     "DynamicBatcher",
@@ -114,6 +156,7 @@ __all__ = [
     "MetricsRegistry",
     "OpenLoopClient",
     "Reservoir",
+    "RetryPolicy",
     "RobotArtifacts",
     "RolloutRequest",
     "RolloutServeResult",

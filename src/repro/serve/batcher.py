@@ -88,6 +88,9 @@ class BatcherStats:
     #: Flushes that merged >= 2 distinct (robot, function) queues into
     #: one ragged batch (``BatchPolicy.coalesce``).
     flushed_merged: int = 0
+    #: Requests shed from the pending queues because their deadline
+    #: passed before they flushed (:meth:`DynamicBatcher.shed_expired`).
+    shed: int = 0
     #: Total distinct queues drained across all flushes (== flush count
     #: when nothing merges; the fragmentation telemetry divides this by
     #: the flush count to report mean queues folded per batch).
@@ -126,6 +129,10 @@ class DynamicBatcher:
         #: Summed request ``cost`` per pending group (horizon-aware flush).
         self._cost_by_key: dict[tuple, int] = {}
         self._lock = threading.Lock()
+        #: Count of pending requests carrying a deadline — lets the
+        #: shed sweep and the flusher's tick tightening short-circuit
+        #: when no queued request can expire (the common case).
+        self._deadlines_pending = 0
         #: Per-key adaptive flush timeout (absent key == max_wait_s).  The
         #: wait adapts per (robot, function) stream: a hot key that fills
         #: batches early must not collapse the coalescing window of a
@@ -171,6 +178,8 @@ class DynamicBatcher:
             self._pending_total += 1
             cost = self._cost_by_key.get(key, 0) + getattr(request, "cost", 1)
             self._cost_by_key[key] = cost
+            if getattr(request, "deadline_s", None) is not None:
+                self._deadlines_pending += 1
             self.stats.accepted += 1
             budget = self.policy.max_batch_cost
             if len(group) >= self.policy.max_batch or (
@@ -200,6 +209,49 @@ class DynamicBatcher:
                 if self._pending.get(key):   # not absorbed by an earlier merge
                     flushes.append(self._flush_coalesced_locked(key, "timeout"))
             return flushes
+
+    @property
+    def has_deadlines(self) -> bool:
+        """True iff any pending request carries a deadline (cheap guard
+        for the flusher's shed sweep)."""
+        with self._lock:
+            return self._deadlines_pending > 0
+
+    def shed_expired(self, now: float) -> list[ServeRequest]:
+        """Remove deadline-expired requests from the pending queues.
+
+        Returns the shed requests so the caller (the service flusher)
+        can resolve their futures with
+        :class:`~repro.serve.request.DeadlineExceededError`; emptied
+        queues are dropped entirely so they stop driving the flush
+        clock.
+        """
+        with self._lock:
+            if not self._deadlines_pending:
+                return []
+            shed: list[ServeRequest] = []
+            for key in list(self._pending):
+                group = self._pending[key]
+                keep = [r for r in group if not r.expired(now)]
+                if len(keep) == len(group):
+                    continue
+                expired = [r for r in group if r.expired(now)]
+                shed.extend(expired)
+                self._pending_total -= len(expired)
+                self._deadlines_pending -= sum(
+                    1 for r in expired
+                    if getattr(r, "deadline_s", None) is not None
+                )
+                if keep:
+                    self._pending[key] = keep
+                    self._cost_by_key[key] = sum(
+                        getattr(r, "cost", 1) for r in keep
+                    )
+                else:
+                    del self._pending[key]
+                    self._cost_by_key.pop(key, None)
+            self.stats.shed += len(shed)
+            return shed
 
     def drain(self) -> list[list[ServeRequest]]:
         """Flush everything (service shutdown)."""
@@ -257,6 +309,10 @@ class DynamicBatcher:
         batch = self._pending.pop(key)
         self._cost_by_key.pop(key, None)
         self._pending_total -= len(batch)
+        if self._deadlines_pending:
+            self._deadlines_pending -= sum(
+                1 for r in batch if getattr(r, "deadline_s", None) is not None
+            )
         return batch
 
     @staticmethod

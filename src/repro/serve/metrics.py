@@ -112,6 +112,18 @@ class MetricsRegistry:
         self._rollout_horizons: dict[int, int] = {}
         self.completed = 0
         self.failed = 0
+        #: Resilience counters: batch retries re-placed after a
+        #: transient failure (and the requests riding them), requests
+        #: shed on deadline expiry, bisect splits performed to isolate a
+        #: poison request, engine downgrades after capability/resource
+        #: errors, and background breaker probes (with failures).
+        self.retries = 0
+        self.retried_requests = 0
+        self.shed = 0
+        self.poison_isolations = 0
+        self.engine_degradations = 0
+        self.probes = 0
+        self.probe_failures = 0
         self._started_s = time.monotonic()
         self._first_completion_s: float | None = None
         self._last_completion_s: float | None = None
@@ -191,6 +203,34 @@ class MetricsRegistry:
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
             self.failed += count
+
+    def record_retry(self, requests: int = 1) -> None:
+        """One failed batch re-placed through the pool for another try."""
+        with self._lock:
+            self.retries += 1
+            self.retried_requests += requests
+
+    def record_shed(self, count: int = 1) -> None:
+        """``count`` requests resolved with DeadlineExceededError."""
+        with self._lock:
+            self.shed += count
+
+    def record_poison_isolation(self) -> None:
+        """One bisect split performed to isolate a poison request."""
+        with self._lock:
+            self.poison_isolations += 1
+
+    def record_engine_degradation(self) -> None:
+        """One shard dropped down the engine degradation chain."""
+        with self._lock:
+            self.engine_degradations += 1
+
+    def record_probe(self, ok: bool) -> None:
+        """One background health probe against a quarantined shard."""
+        with self._lock:
+            self.probes += 1
+            if not ok:
+                self.probe_failures += 1
 
     # ------------------------------------------------------------------
     # Summaries
@@ -299,6 +339,13 @@ class MetricsRegistry:
             return {
                 "completed": self.completed,
                 "failed": self.failed,
+                "retries": self.retries,
+                "retried_requests": self.retried_requests,
+                "shed": self.shed,
+                "poison_isolations": self.poison_isolations,
+                "engine_degradations": self.engine_degradations,
+                "probes": self.probes,
+                "probe_failures": self.probe_failures,
                 "wall_p50_ms": wall.p50_s * 1e3,
                 "wall_p95_ms": wall.p95_s * 1e3,
                 "wall_p99_ms": wall.p99_s * 1e3,
@@ -356,9 +403,31 @@ class MetricsRegistry:
             ragged_segments = self.ragged_segments
             rollouts = self.rollouts_completed
             rollout_steps = self.rollout_steps_total
+            retries = self.retries
+            shed = self.shed
+            isolations = self.poison_isolations
+            degradations = self.engine_degradations
+            probes = self.probes
+            probe_failures = self.probe_failures
         t.counter("requests_completed_total",
                   "Requests completed").set(completed)
         t.counter("requests_failed_total", "Requests failed").set(failed)
+        t.counter("serve_retries_total",
+                  "Failed batches re-placed for another attempt"
+                  ).set(retries)
+        t.counter("serve_shed_deadline_total",
+                  "Requests shed on deadline expiry").set(shed)
+        t.counter("serve_poison_isolations_total",
+                  "Bisect splits isolating a poison request"
+                  ).set(isolations)
+        t.counter("serve_engine_degradations_total",
+                  "Shard engine downgrades after capability errors"
+                  ).set(degradations)
+        t.counter("serve_probes_total",
+                  "Background health probes against quarantined shards"
+                  ).set(probes)
+        t.counter("serve_probe_failures_total",
+                  "Health probes that failed").set(probe_failures)
         t.summary("request_latency_seconds",
                   "End-to-end wall latency (reservoir quantiles)").set(
             {0.5: wall.p50_s, 0.95: wall.p95_s, 0.99: wall.p99_s},

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -142,6 +143,22 @@ class ShardState:
     #: True once :meth:`ShardPool.recalibrate_weights` replaced the prior
     #: with a measured value.
     weight_measured: bool = False
+    #: Health state machine: ``healthy`` -> ``open`` (consecutive-failure
+    #: breaker trips; placement skips the shard) -> ``half_open``
+    #: (cooldown elapsed; one probe's worth of traffic allowed) ->
+    #: ``healthy`` on success / back to ``open`` on failure.
+    #: ``draining`` is the administrative state (graceful restart):
+    #: placement skips the shard but queued work finishes.
+    health: str = "healthy"
+    #: Monotonic time the open breaker's cooldown elapses.
+    breaker_open_until: float = 0.0
+    consecutive_failures: int = 0
+    failures_total: int = 0
+    successes_total: int = 0
+    breaker_opens: int = 0
+    #: True while a background health probe is outstanding (guards
+    #: against the flusher stacking probes on a slow shard).
+    probe_inflight: bool = False
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def begin(self, n_requests: int, cost: float | None = None) -> None:
@@ -173,6 +190,76 @@ class ShardState:
             self.weight = weight
             self.weight_measured = measured
 
+    def record_success(self) -> None:
+        """One batch (or probe) succeeded: reset the failure streak and
+        close the breaker if it was probing (or still open — queued work
+        finishing cleanly on a quarantined shard is equally good news)."""
+        with self._lock:
+            self.successes_total += 1
+            self.consecutive_failures = 0
+            if self.health in ("open", "half_open"):
+                self.health = "healthy"
+                self.breaker_open_until = 0.0
+
+    def record_failure(self, threshold: int, cooldown_s: float,
+                       now: float) -> bool:
+        """One batch (or probe) failed; returns True iff this failure
+        opened the breaker (threshold crossed, or a half-open probe
+        failed).  An already-open breaker has its cooldown extended."""
+        with self._lock:
+            self.failures_total += 1
+            self.consecutive_failures += 1
+            if self.health == "draining":
+                return False
+            if self.health == "open":
+                self.breaker_open_until = now + cooldown_s
+                return False
+            if (self.health == "half_open"
+                    or self.consecutive_failures >= threshold):
+                self.health = "open"
+                self.breaker_open_until = now + cooldown_s
+                self.breaker_opens += 1
+                return True
+            return False
+
+    def selectable(self, now: float) -> bool:
+        """Whether placement may route new work here.  An open breaker
+        whose cooldown has elapsed transitions to ``half_open`` (probe
+        traffic allowed) as a side effect of being asked."""
+        with self._lock:
+            if self.health == "draining":
+                return False
+            if self.health == "open":
+                if now >= self.breaker_open_until:
+                    self.health = "half_open"
+                    return True
+                return False
+            return True
+
+    def probe_due(self, now: float) -> bool:
+        """Atomically claim a background-probe slot: True iff the shard
+        is quarantined, its cooldown has elapsed, and no probe is
+        already in flight (the claim sets :attr:`probe_inflight`)."""
+        with self._lock:
+            if (self.health in ("open", "half_open")
+                    and now >= self.breaker_open_until
+                    and not self.probe_inflight):
+                self.probe_inflight = True
+                return True
+            return False
+
+    def probe_done(self) -> None:
+        with self._lock:
+            self.probe_inflight = False
+
+    def set_health(self, health: str) -> None:
+        """Administratively force a health state (drain / restart)."""
+        with self._lock:
+            self.health = health
+            if health == "healthy":
+                self.consecutive_failures = 0
+                self.breaker_open_until = 0.0
+
     def cost_score(self) -> tuple[float, float]:
         """Estimated time-to-drain, in throughput-weighted units.
 
@@ -193,7 +280,17 @@ class ShardPool:
 
     def __init__(self, n_shards: int = 2, policy: str = "round_robin",
                  shard_configs: list[ShardConfig] | None = None,
-                 placement_log_capacity: int = 256) -> None:
+                 placement_log_capacity: int = 256,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_s: float = 0.05) -> None:
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s must be >= 0")
+        #: Consecutive failures that trip a shard's circuit breaker, and
+        #: how long the quarantine lasts before a probe is allowed.
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
         if shard_configs:
             # An explicit config list defines the pool size.
             n_shards = len(shard_configs)
@@ -233,26 +330,75 @@ class ShardPool:
     def select(self) -> ShardState:
         """Pick the shard the next batch lands on."""
         with self._lock:
-            return self._select_locked()[0]
+            return self._select_locked(time.monotonic())[0]
 
-    def _select_locked(self) -> tuple[ShardState, list | None]:
-        """Pick a shard; also returns the per-shard cost scoreboard the
-        decision was based on (``None`` for round-robin)."""
+    def _select_locked(self, now: float) -> tuple[ShardState, list | None]:
+        """Pick a shard among the healthy ones; also returns the
+        per-shard cost scoreboard the decision was based on (``None``
+        for round-robin).
+
+        Shards with an open breaker or in administrative drain are
+        skipped.  If *every* shard is unavailable the pool degrades to
+        placing on the non-draining shards anyway (serving degraded
+        beats deadlocking the whole service); only when literally all
+        shards are draining does it fall back to the full set.
+        """
+        eligible = [s for s in self.shards if s.selectable(now)]
+        if not eligible:
+            eligible = [s for s in self.shards if s.health != "draining"]
+        if not eligible:
+            eligible = self.shards
         if self.policy == "round_robin":
-            shard = self.shards[self._rr_next]
-            self._rr_next = (self._rr_next + 1) % len(self.shards)
-            return shard, None
+            for _ in range(len(self.shards)):
+                shard = self.shards[self._rr_next]
+                self._rr_next = (self._rr_next + 1) % len(self.shards)
+                if shard in eligible:
+                    return shard, None
+            return eligible[0], None
         scores = [s.cost_score() for s in self.shards]
-        best = min(range(len(scores)), key=scores.__getitem__)
+        best = min(
+            (i for i, s in enumerate(self.shards) if s in eligible),
+            key=scores.__getitem__,
+        )
         return self.shards[best], scores
+
+    def record_result(self, shard: ShardState, ok: bool) -> bool:
+        """Feed one batch/probe outcome into the shard's breaker;
+        returns True iff this failure opened the breaker."""
+        if ok:
+            shard.record_success()
+            return False
+        return shard.record_failure(
+            self.breaker_threshold, self.breaker_cooldown_s, time.monotonic()
+        )
+
+    def drain(self, index: int, wait_s: float | None = None) -> None:
+        """Gracefully drain one shard: placement stops routing to it,
+        queued work finishes.  ``wait_s`` optionally blocks until the
+        shard's in-flight count hits zero (or the wait elapses)."""
+        shard = self.shards[index]
+        shard.set_health("draining")
+        if wait_s is not None:
+            deadline = time.monotonic() + wait_s
+            while shard.backlog()[0] > 0 and time.monotonic() < deadline:
+                time.sleep(1e-3)
+
+    def restart(self, index: int) -> None:
+        """Return a drained (or quarantined) shard to service with a
+        clean failure record."""
+        self.shards[index].set_health("healthy")
 
     def _log_placement_locked(self, shard: ShardState,
                               scores: list | None, n_requests: int,
-                              cost: float | None, segments: int) -> None:
+                              cost: float | None, segments: int,
+                              reason: str = "policy") -> None:
         self._placement_log.append({
             "seq": self._placement_seq,
             "shard": shard.index,
             "policy": self.policy,
+            # "policy" for normal selection; "pinned"/"probe"/"retry"
+            # for targeted dispatches (dispatch_to).
+            "reason": reason,
             "n_requests": n_requests,
             "cost": float(n_requests if cost is None else cost),
             # Ragged placements carry > 1 per-robot segment; the event
@@ -264,6 +410,9 @@ class ShardPool:
                 else [[float(a), float(b)] for a, b in scores]
             ),
             "weights": [s.weight for s in self.shards],
+            #: Pool health at decision time — chaos runs read breaker
+            #: transitions straight off the placement record.
+            "health": [s.health for s in self.shards],
         })
         self._placement_seq += 1
 
@@ -286,11 +435,28 @@ class ShardPool:
             # select+begin must be atomic: two concurrent dispatchers
             # (flusher and a flush-on-full submit) would otherwise both
             # read the same "least loaded" shard before either claims it.
-            shard, scores = self._select_locked()
+            shard, scores = self._select_locked(time.monotonic())
             shard.begin(n_requests, cost)
             self._log_placement_locked(shard, scores, n_requests, cost,
                                        segments)
+        return self._submit(shard, work, n_requests, cost)
 
+    def dispatch_to(self, index: int, n_requests: int,
+                    work: Callable[[ShardState], float],
+                    cost: float | None = None,
+                    reason: str = "pinned") -> Future:
+        """Run ``work`` on a *specific* shard, bypassing placement —
+        health probes and targeted tests use this (an open breaker only
+        heals by executing something on the quarantined shard)."""
+        shard = self.shards[index]
+        with self._lock:
+            shard.begin(n_requests, cost)
+            self._log_placement_locked(shard, None, n_requests, cost, 1,
+                                       reason=reason)
+        return self._submit(shard, work, n_requests, cost)
+
+    def _submit(self, shard: ShardState, work, n_requests: int,
+                cost: float | None) -> Future:
         def run() -> float:
             makespan = 0.0
             try:
@@ -299,7 +465,14 @@ class ShardPool:
             finally:
                 shard.finish(makespan, n_requests, cost)
 
-        return self._executors[shard.index].submit(run)
+        try:
+            return self._executors[shard.index].submit(run)
+        except RuntimeError:
+            # The executor is already shut down (a retry raced close()):
+            # undo the ledger claim so the shard doesn't leak phantom
+            # inflight cost, and let the caller fail the batch.
+            shard.finish(0.0, n_requests, cost)
+            raise
 
     def recalibrate_weights(self, measured_rps: dict[int, float]) -> None:
         """Feed measured per-shard throughput back into the cost weights.
@@ -341,6 +514,10 @@ class ShardPool:
                 "weight_measured": s.weight_measured,
                 "dispatched_requests": s.dispatched_requests,
                 "busy_cycles": s.backlog()[1],
+                "health": s.health,
+                "consecutive_failures": s.consecutive_failures,
+                "failures": s.failures_total,
+                "breaker_opens": s.breaker_opens,
             }
             for s in self.shards
         ]

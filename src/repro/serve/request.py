@@ -31,6 +31,86 @@ class ServiceClosed(ServeError):
     """The service has been shut down and accepts no new requests."""
 
 
+class DeadlineExceededError(ServeError):
+    """The request's deadline passed before execution; it was shed.
+
+    Shedding happens in two places: the flusher sweeps expired requests
+    out of the batcher's pending queues, and the shard worker re-checks
+    at dispatch time (a request can expire while its batch waits in a
+    shard's one-at-a-time execution queue)."""
+
+
+class BatchExecutionError(ServeError):
+    """A coalesced batch failed to execute.
+
+    Carries the batch's request context — which robot/function, how many
+    requests were coalesced, which shard ran it, how many attempts were
+    made — so a client holding one future can see which batch took it
+    down.  The original failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, robot: str = "",
+                 function: str = "", batch_size: int = 0,
+                 shard: int = -1, attempts: int = 1) -> None:
+        super().__init__(message)
+        self.robot = robot
+        self.function = function
+        self.batch_size = batch_size
+        self.shard = shard
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry discipline for failed batch executions.
+
+    A failed batch is retried up to ``max_attempts`` total executions
+    when its failure looks transient, with exponential backoff
+    (``backoff_s * backoff_multiplier**(attempt-1)``) spread by
+    ``jitter`` (a ±fraction drawn from the service's seeded RNG, so
+    retry storms decorrelate deterministically).  Retries are
+    *re-placed* through the shard pool, so a retry routes around the
+    shard whose breaker the failure just opened.
+
+    Failure classification: an exception carrying a boolean
+    ``retryable`` attribute (e.g. :class:`repro.faults.InjectedFault`)
+    is believed; otherwise anything not in ``non_retryable`` is treated
+    as transient.  The default non-retryable set is the poison shapes —
+    malformed operands raise ``ValueError``/``TypeError``/``KeyError``,
+    and re-running those can only fail again (they go to bisect
+    isolation instead).
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 1e-3
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.25
+    non_retryable: tuple = (ValueError, TypeError, KeyError)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        flagged = getattr(exc, "retryable", None)
+        if flagged is not None:
+            return bool(flagged)
+        return not isinstance(exc, self.non_retryable)
+
+    def backoff_for(self, attempt: int, rng=None) -> float:
+        """Backoff before retry ``attempt`` (1-based), with jitter."""
+        base = self.backoff_s * self.backoff_multiplier ** max(attempt - 1, 0)
+        if rng is None or self.jitter == 0.0:
+            return base
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
 @dataclass
 class ServeRequest:
     """One dynamics evaluation submitted to the service."""
@@ -50,6 +130,15 @@ class ServeRequest:
     f_ext: dict[int, np.ndarray] | None = None
     #: Wall-clock submission time (``time.monotonic``), set by the service.
     arrival_s: float = 0.0
+    #: Per-request deadline, seconds from arrival.  Expired requests are
+    #: shed (resolved with
+    #: :class:`~repro.serve.request.DeadlineExceededError`) instead of
+    #: executed; ``None`` means no deadline.
+    deadline_s: float | None = None
+    #: Number of times this request has been executed and failed (the
+    #: retry machinery's counter; compared against
+    #: :attr:`RetryPolicy.max_attempts`).
+    attempts: int = 0
     #: Chain membership: requests sharing a chain id execute serially in
     #: ``sequence`` order on one shard (RK4-style sensitivity steps).
     chain: int | None = None
@@ -73,6 +162,11 @@ class ServeRequest:
     def cost(self) -> int:
         """Batching cost weight (one pipeline task)."""
         return 1
+
+    def expired(self, now: float) -> bool:
+        """True once the per-request deadline has passed."""
+        return (self.deadline_s is not None
+                and now - self.arrival_s >= self.deadline_s)
 
 
 @dataclass
@@ -101,6 +195,11 @@ class RolloutRequest:
     f_ext: dict[int, np.ndarray] | None = None
     sensitivities: bool = False
     arrival_s: float = 0.0
+    #: Per-request deadline, seconds from arrival (see
+    #: :attr:`ServeRequest.deadline_s`).
+    deadline_s: float | None = None
+    #: Failed-execution count (see :attr:`ServeRequest.attempts`).
+    attempts: int = 0
     urgent: bool = False
     #: Trace ID + ``perf_counter`` submission timestamp (see
     #: :class:`ServeRequest`).
@@ -125,6 +224,11 @@ class RolloutRequest:
 
         return ("rollout", self.robot, self.scheme, self.dt, self.horizon,
                 contact_signature(self.contacts), self.sensitivities)
+
+    def expired(self, now: float) -> bool:
+        """True once the per-request deadline has passed."""
+        return (self.deadline_s is not None
+                and now - self.arrival_s >= self.deadline_s)
 
 
 @dataclass

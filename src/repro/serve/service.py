@@ -20,6 +20,24 @@ dispatched as one unit whose cycle accounting uses
 :func:`repro.core.scheduler.serial_chains` job dependencies (Fig 13);
 ``submit(..., urgent=True)`` requests bypass it the same way, trading
 occupancy for immediate dispatch.
+
+Failure semantics (see the README's "Failure semantics" section): a
+request with a ``deadline_s`` is shed — resolved with
+:class:`~repro.serve.request.DeadlineExceededError` — if it expires in
+the batcher or while its batch waits for a shard.  A batch whose
+execution fails walks a recovery pipeline: capability/resource errors
+degrade the shard's engine down the chain process -> compiled ->
+vectorized -> loop and re-run; transient errors retry with exponential
+backoff + jitter (:class:`~repro.serve.request.RetryPolicy`),
+*re-placed* through the pool so they route around the failing shard;
+poison errors bisect the batch (split-and-retry) until the single bad
+request is isolated and failed alone, its future carrying a
+:class:`~repro.serve.request.BatchExecutionError` with the original
+exception as ``__cause__``.  Consecutive shard failures trip a
+per-shard circuit breaker (placement skips open shards; the flusher
+probes quarantined shards in the background and closes the breaker on
+success).  Every path keeps the invariant: a future handed to a client
+is always resolved — by result, error, shed, or shutdown.
 """
 
 from __future__ import annotations
@@ -27,6 +45,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
+from random import Random
 
 import numpy as np
 
@@ -56,9 +75,14 @@ from repro.serve.pool import (
 from repro.model.library import load_robot
 from repro.obs import Telemetry, Tracer
 from repro.rollout import SCHEMES
+from repro import faults as _faults
 from repro.serve.request import (
+    BatchExecutionError,
+    DeadlineExceededError,
+    RetryPolicy,
     RolloutRequest,
     RolloutServeResult,
+    ServeError,
     ServeRequest,
     ServeResult,
     ServiceClosed,
@@ -68,6 +92,20 @@ from repro.serve.request import (
 
 class DynamicsService:
     """Dynamics-as-a-service over the modeled Dadu-RBD accelerator pool."""
+
+    #: Engine degradation chain: when a shard's engine raises a
+    #: capability or resource error, the shard drops to the next engine
+    #: and the batch re-runs.  Unknown (custom) engines degrade to
+    #: "compiled"; "loop" is terminal (nothing simpler exists).
+    _DEGRADE_NEXT = {
+        "process": "compiled",
+        "compiled": "vectorized",
+        "vectorized": "loop",
+        "loop": None,
+    }
+    #: Exception types that trigger degradation instead of retry — the
+    #: same engine would just fail the same way again.
+    _DEGRADABLE = (BackendCapabilityError, MemoryError, NotImplementedError)
 
     def __init__(
         self,
@@ -80,6 +118,9 @@ class DynamicsService:
         backend: str | None = None,
         shard_configs: list[ShardConfig] | None = None,
         tracer: Tracer | None = None,
+        retry: RetryPolicy | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 0.05,
     ) -> None:
         self.policy = policy or BatchPolicy()
         self.config = config
@@ -101,7 +142,16 @@ class DynamicsService:
         self.backend_name = get_backend(backend).name
         self.cache = ArtifactCache(config)
         self.batcher = DynamicBatcher(self.policy)
-        self.pool = ShardPool(n_shards, shard_policy, shard_configs)
+        self.pool = ShardPool(n_shards, shard_policy, shard_configs,
+                              breaker_threshold=breaker_threshold,
+                              breaker_cooldown_s=breaker_cooldown_s)
+        #: Retry discipline for failed batches (see
+        #: :class:`~repro.serve.request.RetryPolicy`).
+        self.retry = retry or RetryPolicy()
+        # Seeded jitter source: retry backoff is deterministic per
+        # service instance, matching the fault injector's replayability.
+        self._retry_rng = Random("serve-retry-jitter")
+        self._retry_rng_lock = threading.Lock()
         #: Per-shard engine instances / backend names / accelerator
         #: configs and artifact caches, resolved from the shard configs
         #: (``None`` fields inherit the service defaults).  Shards with
@@ -154,6 +204,15 @@ class DynamicsService:
         #: covers the whole in-service backlog, not just un-flushed work.
         self._dispatched_outstanding = 0
         self._counter_lock = threading.Lock()
+        #: Every live future handed to a client, tracked from acceptance
+        #: to resolution.  This is the zero-unresolved-futures ledger:
+        #: close() resolves anything still here with ServeError after
+        #: the pool drains, so no client ever hangs on shutdown.
+        self._inflight: set[Future] = set()
+        self._inflight_lock = threading.Lock()
+        #: Most recent robot seen by submit — the background breaker
+        #: probe evaluates a cheap M on it (None until traffic arrives).
+        self._last_robot: str | None = None
         self._closed = False
         #: Serializes enqueue against shutdown: a request either lands in
         #: the batcher before close() drains it, or observes _closed —
@@ -271,6 +330,7 @@ class DynamicsService:
         minv: np.ndarray | None = None,
         f_ext: dict[int, np.ndarray] | None = None,
         urgent: bool = False,
+        deadline_s: float | None = None,
     ) -> Future:
         """Submit one request; resolves to a :class:`ServeResult`.
 
@@ -284,16 +344,25 @@ class DynamicsService:
         ``max_wait_s`` coalescing delay under sparse traffic.  Urgent
         requests still count against ``max_pending`` backpressure.
 
+        ``deadline_s`` is a per-request deadline in seconds from
+        acceptance: if it passes before the request executes (in the
+        batcher or waiting for a shard), the future resolves with
+        :class:`~repro.serve.request.DeadlineExceededError` instead of
+        occupying a pipeline pass nobody is waiting for.
+
         Raises :class:`ValueError` on malformed inputs,
         :class:`ServiceOverloaded` when the bounded queue is full
         (backpressure) and :class:`ServiceClosed` after shutdown.
         """
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         request = ServeRequest(robot=robot, function=function,
                                q=np.asarray(q, dtype=float),
                                qd=qd, u=u, minv=minv, f_ext=f_ext,
-                               urgent=urgent)
+                               urgent=urgent, deadline_s=deadline_s)
         self._validate(request)
         self._mark_trace(request)
+        self._last_robot = robot
         with self._lifecycle_lock:
             if self._closed:
                 raise ServiceClosed("service is shut down")
@@ -305,10 +374,12 @@ class DynamicsService:
                 request.arrival_s = time.monotonic()
                 self.batcher.stats.accepted += 1
                 self.batcher.stats.urgent += 1
+                self._track(request)
                 self._dispatch([request], chained=False)
                 return request.future
             batch = self.batcher.add(request, time.monotonic(),
                                      extra_pending=dispatched)
+            self._track(request)
             if batch is not None:
                 self._dispatch(batch, chained=False)
             else:
@@ -357,12 +428,15 @@ class DynamicsService:
         for r in requests:
             self._validate(r)
             self._mark_trace(r)
+        self._last_robot = robot
         with self._lifecycle_lock:
             if self._closed:
                 raise ServiceClosed("service is shut down")
             # Chains bypass the batcher but not its backpressure: the
             # whole backlog (queued + dispatched) stays under one bound.
             self._check_backpressure(n)
+            for r in requests:
+                self._track(r)
             self._dispatch(requests, chained=True)
         return [r.future for r in requests]
 
@@ -434,6 +508,7 @@ class DynamicsService:
         f_ext: dict[int, np.ndarray] | None = None,
         sensitivities: bool = False,
         urgent: bool = False,
+        deadline_s: float | None = None,
     ) -> Future:
         """Submit one whole-trajectory rollout; resolves to a
         :class:`RolloutServeResult`.
@@ -448,8 +523,11 @@ class DynamicsService:
         spatial forces applied at every step (force-free and
         force-carrying rollouts coalesce, like plain requests);
         ``urgent=True`` bypasses the batcher like plain urgent requests
-        do.
+        do; ``deadline_s`` sheds the rollout if it expires before
+        execution (see :meth:`submit`).
         """
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         request = RolloutRequest(
             robot=robot, scheme=scheme,
             q0=np.asarray(q0, dtype=float),
@@ -464,9 +542,11 @@ class DynamicsService:
             f_ext=f_ext,
             sensitivities=sensitivities,
             urgent=urgent,
+            deadline_s=deadline_s,
         )
         self._validate_rollout(request)
         self._mark_trace(request)
+        self._last_robot = robot
         with self._lifecycle_lock:
             if self._closed:
                 raise ServiceClosed("service is shut down")
@@ -477,10 +557,12 @@ class DynamicsService:
                 request.arrival_s = time.monotonic()
                 self.batcher.stats.accepted += 1
                 self.batcher.stats.urgent += 1
+                self._track(request)
                 self._dispatch([request], chained=False)
                 return request.future
             batch = self.batcher.add(request, time.monotonic(),
                                      extra_pending=dispatched)
+            self._track(request)
             if batch is not None:
                 self._dispatch(batch, chained=False)
             else:
@@ -498,7 +580,13 @@ class DynamicsService:
                 self._dispatch(batch, chained=False)
 
     def close(self) -> None:
-        """Drain pending work, stop the flusher, and shut the pool down."""
+        """Drain pending work, stop the flusher, and shut the pool down.
+
+        After the pool drains, any future still unresolved (stranded by
+        a crashed recovery path or a retry that raced shutdown) is
+        resolved with ``ServeError("service shut down")`` — clients
+        never hang on a closed service.
+        """
         with self._lifecycle_lock:
             if self._closed:
                 return
@@ -511,6 +599,16 @@ class DynamicsService:
             for batch in self.batcher.drain():
                 self._dispatch(batch, chained=False)
             self.pool.shutdown()
+            with self._inflight_lock:
+                leftovers = list(self._inflight)
+                self._inflight.clear()
+            for future in leftovers:
+                if future.done():
+                    continue
+                try:
+                    future.set_exception(ServeError("service shut down"))
+                except InvalidStateError:
+                    pass
 
     def __enter__(self) -> "DynamicsService":
         return self
@@ -542,9 +640,14 @@ class DynamicsService:
             "queues_per_flush": fragmentation["queues_per_flush"],
             "active_queues": fragmentation["active_queues"],
             "effective_wait_s": self.batcher.effective_wait_s,
+            "batcher_shed": self.batcher.stats.shed,
             "engine": self.engine.name,
             "backend": self.backend_name,
             "shards": self.pool.describe(),
+            "shard_health": [s.health for s in self.pool.shards],
+            "breaker_opens": sum(
+                s.breaker_opens for s in self.pool.shards
+            ),
             "cache_hits": self.cache.stats.hits,
             "cache_misses": self.cache.stats.misses,
             "modeled_throughput_rps": self.modeled_throughput_rps(),
@@ -597,6 +700,8 @@ class DynamicsService:
         t.gauge("modeled_throughput_rps",
                 "Sustained capacity implied by the cycle model"
                 ).set(self.modeled_throughput_rps())
+        health_code = {"healthy": 0, "half_open": 1, "open": 2,
+                       "draining": 3}
         for row in self.pool.describe():
             labels = {"shard": row["shard"]}
             t.gauge("shard_weight", "Placement throughput weight",
@@ -606,6 +711,16 @@ class DynamicsService:
             t.counter("shard_dispatched_requests_total",
                       "Requests dispatched to the shard",
                       **labels).set(row["dispatched_requests"])
+            t.gauge("shard_health",
+                    "Breaker state (0 healthy, 1 half-open, 2 open, "
+                    "3 draining)",
+                    **labels).set(health_code.get(row["health"], -1))
+            t.counter("shard_failures_total",
+                      "Batch failures recorded against the shard",
+                      **labels).set(row["failures"])
+            t.counter("shard_breaker_opens_total",
+                      "Times the shard's circuit breaker opened",
+                      **labels).set(row["breaker_opens"])
         t.counter("shard_placement_events_total",
                   "Placement decisions retained in the event log"
                   ).set(len(self.pool.placement_events()))
@@ -620,14 +735,28 @@ class DynamicsService:
         while not self._closed:
             deadline = self.batcher.next_deadline()
             if deadline is None:
-                self._wake.wait(timeout=0.05)
+                # Idle default; tighten while deadline-carrying requests
+                # are queued so shedding stays responsive, and while a
+                # breaker is quarantining a shard so the probe fires
+                # promptly after its cooldown.
+                timeout = 0.05
+                if self.batcher.has_deadlines or any(
+                    s.health in ("open", "half_open")
+                    for s in self.pool.shards
+                ):
+                    timeout = max(tick, 1e-3)
+                self._wake.wait(timeout=timeout)
             else:
                 delay = deadline - time.monotonic()
                 if delay > 0:
                     self._wake.wait(timeout=min(delay, tick))
             self._wake.clear()
-            for batch in self.batcher.poll_expired(time.monotonic()):
+            now = time.monotonic()
+            if self.batcher.has_deadlines:
+                self._resolve_shed(self.batcher.shed_expired(now))
+            for batch in self.batcher.poll_expired(now):
                 self._dispatch(batch, chained=False)
+            self._probe_quarantined(now)
 
     def _check_backpressure(self, n: int) -> None:
         """Reject batcher-bypassing work (chains, urgent requests) that
@@ -641,6 +770,32 @@ class DynamicsService:
                 f"request queue full ({self.policy.max_pending} pending)"
             )
 
+    def _track(self, request) -> None:
+        """Enter an accepted request's future in the inflight ledger."""
+        with self._inflight_lock:
+            self._inflight.add(request.future)
+
+    def _forget(self, request) -> None:
+        """Drop a resolved request's future from the inflight ledger."""
+        with self._inflight_lock:
+            self._inflight.discard(request.future)
+
+    def _resolve_shed(self, requests: list) -> None:
+        """Resolve deadline-expired requests with DeadlineExceededError."""
+        if not requests:
+            return
+        for r in requests:
+            if not r.future.done():
+                try:
+                    r.future.set_exception(DeadlineExceededError(
+                        f"deadline of {r.deadline_s * 1e3:.3g} ms passed "
+                        f"before execution (robot={r.robot!r})"
+                    ))
+                except InvalidStateError:
+                    pass
+            self._forget(r)
+        self.metrics.record_shed(len(requests))
+
     def _dispatch(self, batch: list, chained: bool) -> None:
         with self._counter_lock:
             self._dispatched_outstanding += len(batch)
@@ -652,10 +807,19 @@ class DynamicsService:
         segments = 1 + sum(
             1 for a, b in zip(batch, batch[1:]) if a.robot != b.robot
         )
-        self.pool.dispatch(
-            len(batch), lambda shard: self._execute(shard, batch, chained),
-            cost=cost, segments=segments,
-        )
+        try:
+            self.pool.dispatch(
+                len(batch),
+                lambda shard: self._execute(shard, batch, chained),
+                cost=cost, segments=segments,
+            )
+        except RuntimeError:
+            # Pool executor already shut down (a retry raced close());
+            # undo the outstanding claim and let the caller fail the
+            # batch (or close() resolve the futures).
+            with self._counter_lock:
+                self._dispatched_outstanding -= len(batch)
+            raise
 
     def _profile(self, artifacts: RobotArtifacts, function: RBDFunction,
                  n: int, chained: bool,
@@ -702,7 +866,13 @@ class DynamicsService:
     def _execute(self, shard: ShardState, batch: list,
                  chained: bool) -> float:
         """Run one coalesced batch on ``shard``; returns makespan cycles."""
+        n_dispatched = len(batch)
         try:
+            # Dispatch-time shedding: a request can expire while its
+            # batch sits in the shard's one-at-a-time execution queue.
+            batch = self._shed_batch(batch)
+            if not batch:
+                return 0.0
             rollout = isinstance(batch[0], RolloutRequest)
             # Coalesced flushes carry several robots; they execute as one
             # ragged batch (per-robot row segments, one engine dispatch).
@@ -711,11 +881,7 @@ class DynamicsService:
             )
             tracer = self.tracer
             if tracer is None:
-                if rollout:
-                    return self._execute_rollout(shard, batch)
-                if ragged:
-                    return self._execute_ragged(shard, batch, chained)
-                return self._execute_inner(shard, batch, chained)
+                return self._execute_resilient(shard, batch, chained)
             # Traced path: book each request's queue wait retroactively
             # (submission -> execution start, stamped with its trace ID),
             # then run the batch inside an execute span.  Kernel sections
@@ -744,14 +910,175 @@ class DynamicsService:
                       "backend": self._shard_backends[shard.index],
                       "chained": chained, "trace_ids": trace_ids},
             ):
-                if rollout:
-                    return self._execute_rollout(shard, batch)
-                if ragged:
-                    return self._execute_ragged(shard, batch, chained)
-                return self._execute_inner(shard, batch, chained)
+                return self._execute_resilient(shard, batch, chained)
         finally:
             with self._counter_lock:
-                self._dispatched_outstanding -= len(batch)
+                self._dispatched_outstanding -= n_dispatched
+
+    # ------------------------------------------------------------------
+    # Resilience pipeline
+    # ------------------------------------------------------------------
+
+    def _shed_batch(self, batch: list) -> list:
+        """Drop deadline-expired requests from a batch about to execute,
+        resolving them with DeadlineExceededError; returns the live
+        remainder."""
+        now = time.monotonic()
+        expired = [r for r in batch if r.expired(now)]
+        if not expired:
+            return batch
+        self._resolve_shed(expired)
+        return [r for r in batch if not r.expired(now)]
+
+    def _run_batch(self, shard: ShardState, batch: list,
+                   chained: bool) -> float:
+        """One raw execution attempt (no recovery); raises on failure."""
+        if isinstance(batch[0], RolloutRequest):
+            return self._execute_rollout(shard, batch)
+        if any(r.robot != batch[0].robot for r in batch):
+            return self._execute_ragged(shard, batch, chained)
+        return self._execute_inner(shard, batch, chained)
+
+    def _execute_resilient(self, shard: ShardState, batch: list,
+                           chained: bool) -> float:
+        """Execute with recovery; every future in ``batch`` is resolved
+        by the time this returns (result, error, or re-dispatch)."""
+        try:
+            if _faults.enabled:
+                _faults.check("shard.execute", robot=batch[0].robot,
+                              shard=shard.index, n=len(batch))
+            makespan = self._run_batch(shard, batch, chained)
+        except Exception as exc:
+            self.pool.record_result(shard, ok=False)
+            return self._recover(shard, batch, chained, exc)
+        self.pool.record_result(shard, ok=True)
+        return makespan
+
+    def _recover(self, shard: ShardState, batch: list, chained: bool,
+                 exc: Exception) -> float:
+        """Failure recovery ladder: degrade -> retry -> isolate -> fail."""
+        for r in batch:
+            r.attempts += 1
+        # 1) Capability/resource error: the engine itself cannot serve
+        #    this work — drop the shard down the degradation chain and
+        #    re-run in place (retrying the same engine would be futile).
+        if isinstance(exc, self._DEGRADABLE) and self._degrade_shard(shard):
+            return self._execute_resilient(shard, batch, chained)
+        # 2) Transient failure: back off and re-place the whole batch
+        #    through the pool.  Placement skips the breaker this failure
+        #    may just have opened, so the retry lands on a healthy shard.
+        attempt = max(r.attempts for r in batch)
+        if self.retry.is_retryable(exc) and attempt < self.retry.max_attempts:
+            with self._retry_rng_lock:
+                delay = self.retry.backoff_for(attempt, self._retry_rng)
+            if delay > 0:
+                time.sleep(delay)
+            self.metrics.record_retry(len(batch))
+            try:
+                self._dispatch(batch, chained=chained)
+                return 0.0
+            except RuntimeError:
+                pass        # service closed underneath the retry: fail below
+        # 3) Poison isolation: a non-retryable (or retry-exhausted)
+        #    multi-request batch is bisected and each half re-run, so
+        #    the one malformed request fails alone after O(log n)
+        #    re-executions while its coalesced neighbors still resolve.
+        elif len(batch) > 1:
+            self.metrics.record_poison_isolation()
+            mid = len(batch) // 2
+            return (self._execute_resilient(shard, batch[:mid], chained)
+                    + self._execute_resilient(shard, batch[mid:], chained))
+        return self._fail_batch(shard, batch, exc)
+
+    def _degrade_shard(self, shard: ShardState) -> bool:
+        """Drop ``shard`` one step down the engine degradation chain
+        (process -> compiled -> vectorized -> loop); False at the end."""
+        current = self._shard_engines[shard.index].name
+        next_name = self._DEGRADE_NEXT.get(current, "compiled")
+        if next_name is None:
+            return False
+        engine = get_engine(next_name)
+        self._shard_engines[shard.index] = engine
+        # Degraded engines are host engines; their plans run on numpy.
+        self._shard_backends[shard.index] = "numpy"
+        shard.engine_name = engine.name
+        shard.backend_name = "numpy"
+        # The old engine's measured throughput no longer applies; fall
+        # back to the new engine's static prior until fresh measurements.
+        hint = engine_throughput_hint(engine)
+        shard.set_weight(hint, measured=False)
+        shard.prior_weight = hint
+        self.metrics.record_engine_degradation()
+        return True
+
+    def _fail_batch(self, shard: ShardState, batch: list,
+                    exc: Exception) -> float:
+        """Terminal failure: resolve every future with a context-carrying
+        BatchExecutionError chaining the original exception."""
+        first = batch[0]
+        fn = (f"rollout/{first.scheme}" if isinstance(first, RolloutRequest)
+              else first.function.value)
+        robots = sorted({r.robot for r in batch})
+        robot = robots[0] if len(robots) == 1 else "+".join(robots)
+        attempts = max(r.attempts for r in batch)
+        wrapped = BatchExecutionError(
+            f"batch execution failed: robot={robot!r} function={fn} "
+            f"batch_size={len(batch)} shard={shard.index} "
+            f"attempts={attempts}: {exc}",
+            robot=robot, function=fn, batch_size=len(batch),
+            shard=shard.index, attempts=attempts,
+        )
+        wrapped.__cause__ = exc
+        for r in batch:
+            if not r.future.done():
+                try:
+                    r.future.set_exception(wrapped)
+                except InvalidStateError:
+                    pass
+            self._forget(r)
+        self.metrics.record_failure(len(batch))
+        return 0.0
+
+    def _probe_quarantined(self, now: float) -> None:
+        """Launch background health probes at quarantined shards whose
+        breaker cooldown has elapsed (runs on the flusher thread)."""
+        if self._last_robot is None:
+            return      # nothing ever served; nothing meaningful to probe
+        for shard in self.pool.shards:
+            if shard.probe_due(now):
+                self.pool.dispatch_to(
+                    shard.index, 0,
+                    lambda s, _shard=shard: self._probe(_shard),
+                    cost=0.0, reason="probe",
+                )
+
+    def _probe(self, shard: ShardState) -> float:
+        """One synthetic health check executed *on* the quarantined
+        shard: a single-row mass-matrix evaluation through the shard's
+        engine.  Success closes the breaker; failure re-arms the
+        cooldown.  Runs as pool work so it serializes with (and never
+        races) real batches on the shard."""
+        robot = self._last_robot
+        ok = False
+        try:
+            if _faults.enabled:
+                _faults.check("shard.execute", robot=robot,
+                              shard=shard.index, probe=True)
+            artifacts = self._shard_caches[shard.index].get(
+                robot, backend=self._shard_backends[shard.index]
+            )
+            model = artifacts.model
+            q = np.zeros((1, model.nv))
+            batch_evaluate(model, RBDFunction.M, BatchStates(q, q.copy()),
+                           engine=self._shard_engines[shard.index])
+            ok = True
+        except Exception:
+            ok = False
+        finally:
+            shard.probe_done()
+        self.pool.record_result(shard, ok)
+        self.metrics.record_probe(ok)
+        return 0.0
 
     def _execute_inner(self, shard: ShardState, batch: list[ServeRequest],
                        chained: bool) -> float:
@@ -759,44 +1086,39 @@ class DynamicsService:
         engine = self._shard_engines[shard.index]
         backend_name = self._shard_backends[shard.index]
         accel_config = self._shard_accels[shard.index]
-        try:
-            artifacts = self._shard_caches[shard.index].get(
-                batch[0].robot, backend=backend_name
-            )
-            model = artifacts.model
-            nv = model.nv
-            zero = np.zeros(nv)
-            # stack_rows coerces to C-contiguous float64 and names the
-            # offending request on a per-row shape mismatch.
-            q = stack_rows("q", [r.q for r in batch], (nv,))
-            qd = stack_rows(
-                "qd", [zero if r.qd is None else r.qd for r in batch], (nv,)
-            )
-            u = stack_rows(
-                "u", [zero if r.u is None else r.u for r in batch], (nv,)
-            )
-            minv = None
-            if all(r.minv is not None for r in batch):
-                minv = stack_rows("minv", [r.minv for r in batch], (nv, nv))
-            # A mixed batch (some requests carrying minv, some not —
-            # unreachable via submit()'s validation today, but cheap to
-            # be safe against) falls back to engine-side Minv: correct
-            # for everyone instead of failing the whole batch.
-            f_ext = self._stack_f_ext(batch)
-            exec_start = time.perf_counter()
-            values = batch_evaluate(
-                model, function, BatchStates(q, qd), u, minv=minv,
-                f_ext=f_ext, engine=engine,
-            )
-            exec_wall = time.perf_counter() - exec_start
-            profile = self._profile(artifacts, function, len(batch), chained,
-                                    config=accel_config)
-        except Exception as exc:  # resolve every future, never hang a client
-            for r in batch:
-                if not r.future.done():
-                    r.future.set_exception(exc)
-            self.metrics.record_failure(len(batch))
-            return 0.0
+        # Failures propagate to _execute_resilient's recovery ladder
+        # (degrade / retry / isolate / fail) — no blanket handler here.
+        artifacts = self._shard_caches[shard.index].get(
+            batch[0].robot, backend=backend_name
+        )
+        model = artifacts.model
+        nv = model.nv
+        zero = np.zeros(nv)
+        # stack_rows coerces to C-contiguous float64 and names the
+        # offending request on a per-row shape mismatch.
+        q = stack_rows("q", [r.q for r in batch], (nv,))
+        qd = stack_rows(
+            "qd", [zero if r.qd is None else r.qd for r in batch], (nv,)
+        )
+        u = stack_rows(
+            "u", [zero if r.u is None else r.u for r in batch], (nv,)
+        )
+        minv = None
+        if all(r.minv is not None for r in batch):
+            minv = stack_rows("minv", [r.minv for r in batch], (nv, nv))
+        # A mixed batch (some requests carrying minv, some not —
+        # unreachable via submit()'s validation today, but cheap to
+        # be safe against) falls back to engine-side Minv: correct
+        # for everyone instead of failing the whole batch.
+        f_ext = self._stack_f_ext(batch)
+        exec_start = time.perf_counter()
+        values = batch_evaluate(
+            model, function, BatchStates(q, qd), u, minv=minv,
+            f_ext=f_ext, engine=engine,
+        )
+        exec_wall = time.perf_counter() - exec_start
+        profile = self._profile(artifacts, function, len(batch), chained,
+                                config=accel_config)
         self.metrics.record_batch(len(batch), profile.makespan_cycles,
                                   engine=engine.name, backend=backend_name,
                                   shard=shard.index, wall_s=exec_wall)
@@ -806,6 +1128,7 @@ class DynamicsService:
         modeled_s = accel_config.cycles_to_seconds(profile.mean_latency_cycles)
         now = time.monotonic()
         for r, value in zip(batch, values):
+            self._forget(r)
             if r.future.cancelled():
                 continue
             # Record before resolving: a client waiting on the future may
@@ -850,48 +1173,42 @@ class DynamicsService:
         backend_name = self._shard_backends[shard.index]
         accel_config = self._shard_accels[shard.index]
         cache = self._shard_caches[shard.index]
-        try:
-            ragged = RaggedBatch()
-            seg_meta: list[tuple[RobotArtifacts, list[ServeRequest]]] = []
-            i = 0
-            while i < len(batch):
-                j = i
-                while j < len(batch) and batch[j].robot == batch[i].robot:
-                    j += 1
-                seg = batch[i:j]
-                artifacts = cache.get(seg[0].robot, backend=backend_name)
-                nv = artifacts.model.nv
-                zero = np.zeros(nv)
-                q = stack_rows("q", [r.q for r in seg], (nv,))
-                qd = stack_rows(
-                    "qd", [zero if r.qd is None else r.qd for r in seg],
-                    (nv,),
-                )
-                u = stack_rows(
-                    "u", [zero if r.u is None else r.u for r in seg], (nv,)
-                )
-                minv = None
-                if all(r.minv is not None for r in seg):
-                    minv = stack_rows("minv", [r.minv for r in seg],
-                                      (nv, nv))
-                ragged.add(artifacts.model, BatchStates(q, qd), u,
-                           minv=minv, f_ext=self._stack_f_ext(seg))
-                seg_meta.append((artifacts, seg))
-                i = j
-            exec_start = time.perf_counter()
-            values = batch_evaluate_ragged(function, ragged, engine=engine)
-            exec_wall = time.perf_counter() - exec_start
-            profiles = [
-                self._profile(artifacts, function, len(seg), chained,
-                              config=accel_config)
-                for artifacts, seg in seg_meta
-            ]
-        except Exception as exc:  # resolve every future, never hang a client
-            for r in batch:
-                if not r.future.done():
-                    r.future.set_exception(exc)
-            self.metrics.record_failure(len(batch))
-            return 0.0
+        # Failures propagate to _execute_resilient's recovery ladder.
+        ragged = RaggedBatch()
+        seg_meta: list[tuple[RobotArtifacts, list[ServeRequest]]] = []
+        i = 0
+        while i < len(batch):
+            j = i
+            while j < len(batch) and batch[j].robot == batch[i].robot:
+                j += 1
+            seg = batch[i:j]
+            artifacts = cache.get(seg[0].robot, backend=backend_name)
+            nv = artifacts.model.nv
+            zero = np.zeros(nv)
+            q = stack_rows("q", [r.q for r in seg], (nv,))
+            qd = stack_rows(
+                "qd", [zero if r.qd is None else r.qd for r in seg],
+                (nv,),
+            )
+            u = stack_rows(
+                "u", [zero if r.u is None else r.u for r in seg], (nv,)
+            )
+            minv = None
+            if all(r.minv is not None for r in seg):
+                minv = stack_rows("minv", [r.minv for r in seg],
+                                  (nv, nv))
+            ragged.add(artifacts.model, BatchStates(q, qd), u,
+                       minv=minv, f_ext=self._stack_f_ext(seg))
+            seg_meta.append((artifacts, seg))
+            i = j
+        exec_start = time.perf_counter()
+        values = batch_evaluate_ragged(function, ragged, engine=engine)
+        exec_wall = time.perf_counter() - exec_start
+        profiles = [
+            self._profile(artifacts, function, len(seg), chained,
+                          config=accel_config)
+            for artifacts, seg in seg_meta
+        ]
         makespan = sum(p.makespan_cycles for p in profiles)
         self.metrics.record_batch(len(batch), makespan,
                                   engine=engine.name, backend=backend_name,
@@ -907,6 +1224,7 @@ class DynamicsService:
             for r in seg:
                 value = values[k]
                 k += 1
+                self._forget(r)
                 if r.future.cancelled():
                     continue
                 self.metrics.record_request(now - r.arrival_s, modeled_s)
@@ -944,43 +1262,37 @@ class DynamicsService:
         accel_config = self._shard_accels[shard.index]
         n = len(batch)
         t_steps = first.horizon
-        try:
-            artifacts = self._shard_caches[shard.index].get(
-                first.robot, backend=backend_name
-            )
-            model = artifacts.model
-            nv = model.nv
-            q0 = stack_rows("q0", [r.q0 for r in batch], (nv,))
-            qd0 = stack_rows("qd0", [r.qd0 for r in batch], (nv,))
-            # Controls were coerced and shape-checked per request in
-            # submit_rollout; one C-level stack suffices here.
-            controls = np.stack([r.controls for r in batch])
-            contacts = list(first.contacts) or None
-            mask = None
-            if contacts and any(r.contact_mask is not None for r in batch):
-                c = len(contacts)
-                mask = np.stack([
-                    r.contact_mask if r.contact_mask is not None
-                    else np.ones((t_steps, c), dtype=bool)
-                    for r in batch
-                ])
-            f_ext = self._stack_f_ext(batch)
-            plan = artifacts.rollout_plan(first.scheme, engine, backend_name)
-            exec_start = time.perf_counter()
-            result = plan.rollout(
-                model, q0, qd0, controls, dt=first.dt, contacts=contacts,
-                contact_mask=mask, f_ext=f_ext,
-                sensitivities=first.sensitivities,
-            )
-            exec_wall = time.perf_counter() - exec_start
-            profile = self._profile(artifacts, RBDFunction.FD, n, False,
-                                    config=accel_config)
-        except Exception as exc:  # resolve every future, never hang a client
-            for r in batch:
-                if not r.future.done():
-                    r.future.set_exception(exc)
-            self.metrics.record_failure(n)
-            return 0.0
+        # Failures propagate to _execute_resilient's recovery ladder.
+        artifacts = self._shard_caches[shard.index].get(
+            first.robot, backend=backend_name
+        )
+        model = artifacts.model
+        nv = model.nv
+        q0 = stack_rows("q0", [r.q0 for r in batch], (nv,))
+        qd0 = stack_rows("qd0", [r.qd0 for r in batch], (nv,))
+        # Controls were coerced and shape-checked per request in
+        # submit_rollout; one C-level stack suffices here.
+        controls = np.stack([r.controls for r in batch])
+        contacts = list(first.contacts) or None
+        mask = None
+        if contacts and any(r.contact_mask is not None for r in batch):
+            c = len(contacts)
+            mask = np.stack([
+                r.contact_mask if r.contact_mask is not None
+                else np.ones((t_steps, c), dtype=bool)
+                for r in batch
+            ])
+        f_ext = self._stack_f_ext(batch)
+        plan = artifacts.rollout_plan(first.scheme, engine, backend_name)
+        exec_start = time.perf_counter()
+        result = plan.rollout(
+            model, q0, qd0, controls, dt=first.dt, contacts=contacts,
+            contact_mask=mask, f_ext=f_ext,
+            sensitivities=first.sensitivities,
+        )
+        exec_wall = time.perf_counter() - exec_start
+        profile = self._profile(artifacts, RBDFunction.FD, n, False,
+                                config=accel_config)
         # Modeled cost: the scheme's FD passes are serial in t but
         # batched across tasks — T * stages pipeline fills of an n-batch.
         passes = SCHEMES[first.scheme] * t_steps
@@ -994,6 +1306,7 @@ class DynamicsService:
         modeled_s = accel_config.cycles_to_seconds(latency_cycles)
         now = time.monotonic()
         for k, r in enumerate(batch):
+            self._forget(r)
             if r.future.cancelled():
                 continue
             self.metrics.record_request(now - r.arrival_s, modeled_s)

@@ -1,0 +1,137 @@
+"""Tests for the repro.faults injection framework itself."""
+
+import threading
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FaultAction,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    injected,
+)
+
+
+class TestFaultSpec:
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("s", kind="meteor")
+        with pytest.raises(ValueError):
+            FaultSpec("s", rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("s", rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec("s", latency_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec("s", max_faults=-1)
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector([FaultSpec("a"), FaultSpec("a")])
+
+
+class TestFaultInjector:
+    def test_unarmed_site_never_fires(self):
+        inj = FaultInjector([FaultSpec("armed")])
+        assert inj.fire("other") is None
+        assert "other" not in inj.stats()
+
+    def test_rate_one_always_fires(self):
+        inj = FaultInjector([FaultSpec("s", rate=1.0)])
+        actions = [inj.fire("s") for _ in range(5)]
+        assert all(a is not None for a in actions)
+        assert [a.sequence for a in actions] == [1, 2, 3, 4, 5]
+
+    def test_deterministic_across_seeds(self):
+        def decisions(seed):
+            inj = FaultInjector([FaultSpec("s", rate=0.5)], seed=seed)
+            return [inj.fire("s") is not None for _ in range(64)]
+
+        a, b = decisions(7), decisions(7)
+        assert a == b
+        assert any(a)                   # rate 0.5 over 64 draws: some hit
+        assert not all(a)               # ... and some miss
+        assert decisions(8) != a        # a different seed reshuffles
+
+    def test_deterministic_fire_count_across_threads(self):
+        """Thread interleaving must not change how many faults fire."""
+        def total_fired(n_threads):
+            inj = FaultInjector([FaultSpec("s", rate=0.5)], seed=3)
+            per_thread = 40
+
+            def worker():
+                for _ in range(per_thread):
+                    inj.fire("s")
+
+            threads = [threading.Thread(target=worker)
+                       for _ in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return inj.stats()["s"]["fired"]
+
+        assert total_fired(1) * 4 == total_fired(4)
+
+    def test_max_faults_caps_firing(self):
+        inj = FaultInjector([FaultSpec("s", max_faults=2)])
+        assert inj.fire("s") is not None
+        assert inj.fire("s") is not None
+        assert inj.fire("s") is None
+        stats = inj.stats()["s"]
+        assert stats == {"calls": 3, "fired": 2}
+
+    def test_exception_kind_raises_injected_fault(self):
+        inj = FaultInjector([FaultSpec("s", retryable=False)])
+        action = inj.fire("s")
+        with pytest.raises(InjectedFault) as err:
+            action.apply()
+        assert err.value.site == "s"
+        assert err.value.retryable is False
+        assert err.value.sequence == 1
+
+    def test_latency_kind_sleeps_and_returns_none(self):
+        inj = FaultInjector([FaultSpec("s", kind="latency", latency_s=0.0)])
+        assert inj.fire("s").apply() is None
+
+    def test_worker_kill_kind_returned_unhandled(self):
+        inj = FaultInjector([FaultSpec("s", kind="worker_kill")])
+        action = inj.fire("s").apply()
+        assert isinstance(action, FaultAction)
+        assert action.kind == "worker_kill"
+
+
+class TestSwitchboard:
+    def test_disabled_by_default(self):
+        assert faults.enabled is False
+        assert faults.fire("shard.execute") is None
+        assert faults.check("shard.execute") is None
+
+    def test_injected_context_arms_and_restores(self):
+        assert faults.active_injector() is None
+        with injected(FaultSpec("s")) as inj:
+            assert faults.enabled is True
+            assert faults.active_injector() is inj
+            with pytest.raises(InjectedFault):
+                faults.check("s")
+        assert faults.enabled is False
+        assert faults.active_injector() is None
+
+    def test_injected_restores_previous_injector(self):
+        outer = FaultInjector([FaultSpec("outer")])
+        faults.install(outer)
+        try:
+            with injected(FaultSpec("inner")):
+                assert faults.active_injector() is not outer
+            assert faults.active_injector() is outer
+            assert faults.enabled is True
+        finally:
+            faults.uninstall()
+
+    def test_injected_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with injected(FaultSpec("s")):
+                raise RuntimeError("boom")
+        assert faults.enabled is False
