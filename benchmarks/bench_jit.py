@@ -1,0 +1,212 @@
+"""Jit engine vs compiled plans: Table-I kernels and the fused rollout.
+
+The ``jit`` engine runs the functional (out-of-place) plan kernels
+through the backend's trace compiler — on jax every Table-I function is
+one fused XLA program, and open-loop rollouts fold ``T`` integrator
+steps into a single ``lax.scan`` instead of ``T`` per-step engine calls.
+This bench times both against the in-place ``compiled`` engine on a
+serial arm (iiwa) and a branched quadruped (hyq), batch 1/64/256, plus
+the fused ``(n, T)`` trajectory slab case.
+
+The speedup floor (>= 1.0x fused-over-per-step, target 2x) is enforced
+only when a trace-compiling backend (jax) is actually present — the
+cpu-jit CI job installs ``jax[cpu]`` and holds the floor; on jax-less
+hosts the engine falls back to interpreting the functional kernels on
+numpy, which this bench then reports without asserting (interpreted
+out-of-place sweeps cannot beat the in-place plans they mirror).
+
+Runs under pytest (summary table) or directly for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_jit.py --quick --json
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.backend import BackendCapabilityError
+from repro.dynamics.batch import BatchStates
+from repro.dynamics.engine import get_engine
+from repro.dynamics.functions import RBDFunction
+from repro.dynamics.jit import JitEngine
+from repro.model.library import load_robot
+from repro.rollout import RolloutEngine
+
+ROBOTS = ("iiwa", "hyq")
+BATCHES = (1, 64, 256)
+FUNCTIONS = (RBDFunction.FD, RBDFunction.MINV, RBDFunction.DFD)
+SPEEDUP_FLOOR = 1.0
+SPEEDUP_TARGET = 2.0
+ROLLOUT_BATCH = 64
+ROLLOUT_HORIZON = 128
+
+
+def make_jit_engine() -> tuple[JitEngine, bool]:
+    """The jit engine and whether it actually trace-compiles.
+
+    Prefers the default (jax) resolution; on jax-less hosts falls back
+    to the numpy interpret mode so the bench still runs end to end.
+    """
+    engine = JitEngine()
+    try:
+        engine.plan(load_robot("iiwa"))
+        return engine, True
+    except BackendCapabilityError:
+        return JitEngine(backend="numpy"), False
+
+
+def _time(fn, reps: int) -> float:
+    fn()                    # warm: compile + allocate outside the timing
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _call(engine, model, function, st, u):
+    if function == RBDFunction.FD:
+        return lambda: engine.fd_batch(model, st.q, st.qd, u)
+    if function == RBDFunction.MINV:
+        return lambda: engine.minv_batch(model, st.q)
+    if function == RBDFunction.DFD:
+        return lambda: engine.dfd_batch(model, st.q, st.qd, u)
+    raise ValueError(function)
+
+
+def run_kernel_bench(jit_engine, robot: str, function: RBDFunction,
+                     batch: int, reps: int) -> dict:
+    model = load_robot(robot)
+    st = BatchStates.random(model, batch, seed=0)
+    u = np.random.default_rng(1).normal(size=(batch, model.nv))
+    compiled = get_engine("compiled")
+    t_jit = _time(_call(jit_engine, model, function, st, u), reps)
+    t_comp = _time(_call(compiled, model, function, st, u), reps)
+    return {
+        "robot": robot,
+        "function": function,
+        "batch": batch,
+        "jit_ms": t_jit * 1e3,
+        "compiled_ms": t_comp * 1e3,
+        "speedup": t_comp / t_jit,
+    }
+
+
+def run_rollout_bench(jit_engine, batch: int, horizon: int,
+                      reps: int) -> dict:
+    """Fused (scanned) rollout vs the per-step compiled rollout loop."""
+    model = load_robot("iiwa")
+    st = BatchStates.random(model, batch, seed=2)
+    us = 0.05 * np.random.default_rng(3).normal(
+        size=(batch, horizon, model.nv)
+    )
+    fused = RolloutEngine("euler", engine=jit_engine)
+    stepped = RolloutEngine("euler", engine="compiled")
+
+    t_fused = _time(
+        lambda: fused.rollout(model, st.q, st.qd, us, dt=1e-3), reps
+    )
+    t_step = _time(
+        lambda: stepped.rollout(model, st.q, st.qd, us, dt=1e-3), reps
+    )
+    return {
+        "robot": "iiwa",
+        "function": "rollout[euler]",
+        "batch": batch,
+        "horizon": horizon,
+        "jit_ms": t_fused * 1e3,
+        "compiled_ms": t_step * 1e3,
+        "speedup": t_step / t_fused,
+    }
+
+
+def _run(jit_engine, batches, reps: int,
+         rollout_shape: tuple[int, int]) -> list[dict]:
+    rows = [
+        run_kernel_bench(jit_engine, robot, function, batch, reps)
+        for robot in ROBOTS
+        for function in FUNCTIONS
+        for batch in batches
+    ]
+    rows.append(run_rollout_bench(jit_engine, *rollout_shape, reps))
+    return rows
+
+
+def _format(rows: list[dict]) -> str:
+    header = (f"{'robot':10s} {'function':14s} {'batch':>6s} "
+              f"{'jit(ms)':>9s} {'compiled(ms)':>13s} {'speedup':>8s}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        fn = row["function"]
+        fn = fn.value if hasattr(fn, "value") else fn
+        lines.append(
+            f"{row['robot']:10s} {fn:14s} {row['batch']:6d} "
+            f"{row['jit_ms']:9.3f} {row['compiled_ms']:13.3f} "
+            f"{row['speedup']:7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_jit_bench(once):
+    """Fused rollout >= 1x the per-step compiled loop (jax hosts)."""
+    from conftest import record_table
+
+    def _check():
+        engine, compiling = make_jit_engine()
+        rows = _run(engine, (64,), reps=2, rollout_shape=(16, 32))
+        record_table(_format(rows))
+        fused = rows[-1]["speedup"]
+        record_table(
+            f"== fused rollout speedup: {fused:.2f}x "
+            f"(floor {SPEEDUP_FLOOR:.0f}x, target {SPEEDUP_TARGET:.0f}x, "
+            f"backend {engine.backend_name}, "
+            f"{'compiled' if compiling else 'interpreted'}) =="
+        )
+        if compiling:
+            assert fused >= SPEEDUP_FLOOR
+
+    once(_check)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    batches = (1, 64) if quick else BATCHES
+    reps = 3 if quick else 7
+    rollout_shape = (16, 32) if quick else (ROLLOUT_BATCH, ROLLOUT_HORIZON)
+    engine, compiling = make_jit_engine()
+    mode = "trace-compiled" if compiling else "interpreted (jax absent)"
+    print(f"bench_jit: backend {engine.backend_name}, {mode}, "
+          f"batches {batches}")
+    rows = _run(engine, batches, reps, rollout_shape)
+    print(_format(rows))
+    fused = rows[-1]["speedup"]
+    print(f"\nfused rollout speedup: {fused:.2f}x "
+          f"(floor {SPEEDUP_FLOOR:.0f}x, target {SPEEDUP_TARGET:.0f}x; "
+          f"enforced only when trace-compiling)")
+    if "--json" in argv:
+        from jsonout import write_bench_json
+
+        path = write_bench_json(
+            "jit", rows,
+            {
+                "fused_rollout_speedup": fused,
+                "floor": SPEEDUP_FLOOR,
+                "target": SPEEDUP_TARGET,
+                "jit_backend": engine.backend_name,
+                "trace_compiled": compiling,
+                "floor_enforced": compiling,
+                "compile_cache": engine.compile_cache_stats(),
+            },
+        )
+        print(f"wrote {path}")
+    if compiling and fused < SPEEDUP_FLOOR:
+        print("FAIL: fused rollout below floor", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

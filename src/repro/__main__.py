@@ -59,11 +59,15 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_engines(_args: argparse.Namespace) -> int:
-    """List registered engines and array backends with availability."""
+    """Print the per-engine x per-backend capability matrix."""
     import os
 
-    from repro.backend import backend_status, default_backend_name
-    from repro.dynamics.engine import available_engines, default_engine_name
+    from repro.backend import backend_status, default_backend_name, get_backend
+    from repro.dynamics.engine import (
+        available_engines,
+        default_engine_name,
+        get_engine,
+    )
 
     cores = os.cpu_count() or 1
     default = default_engine_name()
@@ -71,24 +75,58 @@ def cmd_engines(_args: argparse.Namespace) -> int:
         "loop": "per-task scalar reference",
         "vectorized": "batch-native kernels, host numpy",
         "compiled": "structure-compiled plans (serve default); "
-                    "backend-portable",
+                    "in-place backends",
         "process": f"worker-process pool ({cores} core"
                    f"{'s' if cores != 1 else ''} available)",
+        "jit": "trace-compiled functional kernels + fused rollout scan",
     }
-    print("engines:")
+    status = backend_status()
+    caps = {
+        name: get_backend(name).capabilities
+        for name, st in status.items() if st["available"]
+    }
+
+    def cell(engine: str, backend: str) -> str:
+        if backend not in caps:
+            return "--"
+        c = caps[backend]
+        if engine == "compiled":
+            return "yes" if c.inplace else "no"
+        if engine == "jit":
+            return "jit+scan" if (c.jit and c.scan) else "interp"
+        return "yes" if backend == "numpy" else "no"
+
+    backends = list(status)
+    print("engines x backends:")
+    header = "    " + f"{'engine':12s}" + "".join(
+        f"{b:>10s}" for b in backends
+    ) + "  notes"
+    print(header)
     for name in available_engines():
         marker = "*" if name == default else " "
-        print(f"  {marker} {name:12s} {notes.get(name, '')}")
-    print(f"    (* = process default; REPRO_ENGINE or set_default_engine"
-          f" overrides)")
+        row = "".join(f"{cell(name, b):>10s}" for b in backends)
+        print(f"  {marker} {name:12s}{row}  {notes.get(name, '')}")
+    print("    (* = process default; REPRO_ENGINE or set_default_engine"
+          " overrides; -- = backend unavailable; interp = functional"
+          " kernels run uncompiled)")
     print()
     print("backends:")
     default_backend = default_backend_name()
-    for name, status in backend_status().items():
+    for name, st in status.items():
         marker = "*" if name == default_backend else " "
-        state = "ok " if status["available"] else "-- "
-        print(f"  {marker} {name:8s} {state}{status['detail']}")
-    print(f"    (* = default backend; REPRO_BACKEND overrides)")
+        state = "ok " if st["available"] else "-- "
+        detail = st["detail"]
+        c = caps.get(name)
+        if c is not None:
+            detail += f", jit={c.jit}, scan={c.scan}"
+        print(f"  {marker} {name:8s} {state}{detail}")
+    print("    (* = default backend; REPRO_BACKEND overrides)")
+    jit = get_engine("jit")
+    stats = jit.compile_cache_stats()
+    print()
+    print(f"jit compile cache: backend={jit.backend_name} "
+          f"entries={stats['entries']} hits={stats['hits']} "
+          f"misses={stats['misses']}")
     return 0
 
 

@@ -63,20 +63,33 @@ class BackendCapabilities:
     ``einsum_paths``
         ``einsum`` benefits from precomputed contraction paths (NumPy/
         CuPy); JAX traces/fuses its own.
+    ``jit``
+        :meth:`ArrayBackend.jit` performs real trace-compilation (JAX).
+        Backends without it still *run* jitted callables — ``jit`` is
+        the identity — so functional kernels stay portable, just
+        uncompiled.
+    ``scan``
+        :meth:`ArrayBackend.scan` lowers to a fused structured loop
+        (``lax.scan``) instead of the python fallback, so a whole
+        rollout step loop compiles into one program.
     """
 
-    __slots__ = ("inplace", "device", "einsum_paths")
+    __slots__ = ("inplace", "device", "einsum_paths", "jit", "scan")
 
     def __init__(self, *, inplace: bool, device: str,
-                 einsum_paths: bool) -> None:
+                 einsum_paths: bool, jit: bool = False,
+                 scan: bool = False) -> None:
         self.inplace = inplace
         self.device = device
         self.einsum_paths = einsum_paths
+        self.jit = jit
+        self.scan = scan
 
     def __repr__(self) -> str:
         return (f"BackendCapabilities(inplace={self.inplace}, "
                 f"device={self.device!r}, "
-                f"einsum_paths={self.einsum_paths})")
+                f"einsum_paths={self.einsum_paths}, "
+                f"jit={self.jit}, scan={self.scan})")
 
 
 class ArrayBackend:
@@ -154,6 +167,55 @@ class ArrayBackend:
             sl[axis] = indices
             self.xp.add.at(a, tuple(sl), values)
         return a
+
+    # -- functional (out-of-place) scatter ------------------------------
+    # ``idx`` is a tuple mixing slices and integer index arrays, exactly
+    # the subscripts numpy fancy indexing accepts.  The input is never
+    # mutated: the host fallback copies, JAX lowers to ``.at[idx]`` so a
+    # jitted program sees a pure scatter op (XLA elides the copy).
+
+    def at_set(self, a, idx, values):
+        """Return ``a`` with ``a[idx] = values`` applied out-of-place."""
+        out = a.copy()
+        out[idx] = values
+        return out
+
+    def at_add(self, a, idx, values):
+        """Return ``a`` with ``a[idx] += values`` applied out-of-place;
+        duplicate indices accumulate (``np.add.at`` semantics)."""
+        out = a.copy()
+        self.xp.add.at(out, idx, values)
+        return out
+
+    # -- trace compilation ----------------------------------------------
+    def jit(self, fn, static_argnums=()):
+        """Trace-compile ``fn`` end-to-end where the runtime supports it
+        (``capabilities.jit``); the host fallback returns ``fn`` as-is so
+        functional kernels run everywhere, just interpreted."""
+        return fn
+
+    def scan(self, f, init, xs=None, length=None):
+        """``lax.scan``-style structured fold: ``f(carry, x) -> (carry,
+        y)`` applied over the leading axis of ``xs`` (or ``length``
+        steps), returning ``(final_carry, stacked_ys)``.  The host
+        fallback is a python loop; jit-capable backends fuse the whole
+        loop into one compiled program."""
+        n = length if xs is None else xs.shape[0] if hasattr(xs, "shape") \
+            else len(xs)
+        carry = init
+        ys = []
+        for t in range(n):
+            carry, y = f(carry, None if xs is None else xs[t])
+            ys.append(y)
+        if not ys:
+            return carry, None
+        if isinstance(ys[0], tuple):
+            stacked = tuple(
+                self.stack([y[k] for y in ys]) for k in range(len(ys[0]))
+            )
+        else:
+            stacked = self.stack(ys)
+        return carry, stacked
 
     # -- contractions ---------------------------------------------------
     def matmul(self, a, b, out=None):
@@ -269,10 +331,15 @@ def _make_jax_backend() -> ArrayBackend:
             f"installed ({exc})"
         ) from None
 
+    # The equivalence contract is 1e-10 against the float64 loop
+    # reference; jax defaults to float32, so the backend opts into x64
+    # once at construction (before any array is built).
+    jax.config.update("jax_enable_x64", True)
+
     class JaxBackend(ArrayBackend):
         """JAX arrays: immutable (``capabilities.inplace=False``), so the
-        mutating engines refuse it cleanly; the op vocabulary is complete
-        for functional kernels built on top."""
+        mutating engines refuse it cleanly; the functional kernels run on
+        it via ``at_set``/``at_add`` and compile via ``jit``/``scan``."""
 
         name = "jax"
 
@@ -282,6 +349,8 @@ def _make_jax_backend() -> ArrayBackend:
                 inplace=False,
                 device="gpu" if device in ("gpu", "tpu") else "cpu",
                 einsum_paths=False,
+                jit=True,
+                scan=True,
             ))
 
         def index_add(self, a, indices, values, axis=0):
@@ -290,6 +359,18 @@ def _make_jax_backend() -> ArrayBackend:
             sl = [slice(None)] * a.ndim
             sl[axis] = indices
             return a.at[tuple(sl)].add(values)
+
+        def at_set(self, a, idx, values):
+            return a.at[idx].set(values)
+
+        def at_add(self, a, idx, values):
+            return a.at[idx].add(values)
+
+        def jit(self, fn, static_argnums=()):
+            return jax.jit(fn, static_argnums=static_argnums)
+
+        def scan(self, f, init, xs=None, length=None):
+            return jax.lax.scan(f, init, xs=xs, length=length)
 
         def to_numpy(self, a) -> _np.ndarray:
             return _np.asarray(a)
@@ -310,6 +391,11 @@ _BACKEND_FACTORIES = {
     "jax": _make_jax_backend,
 }
 _BACKENDS: dict[str, ArrayBackend] = {}
+#: name -> the BackendUnavailable a failed probe raised.  A runtime that
+#: is not installed stays not-installed for the life of the process, so
+#: the (slow, exception-driven) import attempt runs at most once; every
+#: later ``get_backend`` replays the memoized error.
+_BACKEND_FAILURES: dict[str, BackendUnavailable] = {}
 _REGISTRY_LOCK = threading.Lock()
 
 #: The host backend is always available and instantiated eagerly — it is
@@ -419,13 +505,21 @@ def get_backend(backend: str | ArrayBackend | None = None) -> ArrayBackend:
     cached = _BACKENDS.get(backend)
     if cached is not None:
         return cached
+    failure = _BACKEND_FAILURES.get(backend)
+    if failure is not None:
+        raise failure
     factory = _BACKEND_FACTORIES.get(backend)
     if factory is None:
         raise KeyError(
             f"unknown backend {backend!r}; known backends: "
             f"{registered_backends()}"
         )
-    instance = factory()  # may raise BackendUnavailable
+    try:
+        instance = factory()
+    except BackendUnavailable as exc:
+        with _REGISTRY_LOCK:
+            _BACKEND_FAILURES.setdefault(backend, exc)
+        raise
     with _REGISTRY_LOCK:
         return _BACKENDS.setdefault(backend, instance)
 

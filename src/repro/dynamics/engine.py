@@ -617,6 +617,15 @@ def _make_process_engine() -> Engine:
     return ProcessEngine()
 
 
+def _make_jit_engine() -> Engine:
+    # Lazy for the same reason; constructing the engine never probes a
+    # backend — resolution (and any BackendCapabilityError) happens at
+    # first batch, where the serve degradation chain can catch it.
+    from repro.dynamics.jit import JitEngine
+
+    return JitEngine()
+
+
 #: name -> constructor; instantiated on first lookup, under the registry
 #: lock.  Keeping construction lazy means `import repro` never pays for
 #: engines it does not use (and never forks/spawns anything).
@@ -625,6 +634,7 @@ _ENGINE_FACTORIES: dict[str, Callable[[], Engine]] = {
     VectorizedEngine.name: VectorizedEngine,
     CompiledEngine.name: CompiledEngine,
     "process": _make_process_engine,
+    "jit": _make_jit_engine,
 }
 _ENGINES: dict[str, Engine] = {}
 _REGISTRY_LOCK = threading.RLock()

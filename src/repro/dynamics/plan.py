@@ -1937,6 +1937,52 @@ class ExecutionPlan:
     # Introspection
     # ------------------------------------------------------------------
 
+    def structure_hash(self) -> str:
+        """Stable fingerprint of the compiled structure and constants.
+
+        Two plans with the same hash produce identical kernels for
+        identical operand shapes, so the jit engine uses this as the
+        static part of its trace-cache key — re-tracing happens per
+        structure, not per model object.
+        """
+        cached = getattr(self, "_structure_hash", None)
+        if cached is not None:
+            return cached
+        import hashlib
+
+        to_np = self.backend.to_numpy
+
+        def _bytes(a):
+            return np.ascontiguousarray(to_np(a)).tobytes()
+
+        h = hashlib.sha256()
+        h.update(
+            f"{self.robot_name}|{self.nb}|{self.nv}|"
+            f"{self.n_branches}".encode()
+        )
+        for lvl in self.levels:
+            h.update(
+                f"L{lvl.index}:{lvl.depth}:{lvl.lo}:{lvl.hi}:"
+                f"{int(lvl.is_root)}:{lvl.col_start}".encode()
+            )
+            h.update(_bytes(lvl.parent_slots))
+            h.update(_bytes(lvl.sel))
+            for g in lvl.groups:
+                h.update(f"g{g.lo}:{g.hi}:{g.k}".encode())
+                h.update(_bytes(g.dofs))
+                h.update(_bytes(g.subspaces))
+        for tg in self.transform_groups:
+            h.update(tg.kind.encode())
+            h.update(_bytes(tg.slots))
+            if tg.axes is not None:
+                h.update(_bytes(tg.axes))
+            h.update(_bytes(tg.x_tree))
+        h.update(_bytes(self.inertias))
+        h.update(_bytes(self.minus_gravity))
+        digest = h.hexdigest()
+        self._structure_hash = digest
+        return digest
+
     def describe(self) -> dict:
         """Shape summary for benchmarks and the serve cache."""
         info = {

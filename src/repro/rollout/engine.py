@@ -284,6 +284,31 @@ class RolloutPlan:
             )
         fe = normalize_f_ext(f_ext, n)
 
+        # Open-loop free-dynamics rollouts on a scan-capable engine fold
+        # the whole (n, T) slab into one compiled program instead of T
+        # per-step engine calls (ROADMAP item 1's trajectory fusion).
+        if (policy is None and not contacts and not sensitivities
+                and fe is None
+                and getattr(self.engine, "supports_fused_rollout",
+                            None) is not None
+                and self.engine.supports_fused_rollout(model, self.scheme)):
+            t0 = _obs.kernel_begin()
+            qs_f, qds_f = self.engine.fused_rollout(
+                model, q, qd, controls, dt=dt, scheme=self.scheme,
+            )
+            _obs.kernel_end(
+                t0, model.name, f"rollout.fused[{self.scheme}]",
+                n * t_steps, args={"horizon": t_steps, "batch": n},
+            )
+            return RolloutResult(
+                qs=qs_f, qds=qds_f,
+                controls=np.array(controls, dtype=float),
+                forces=None, active=None,
+                a_matrices=None, b_matrices=None,
+                scheme=self.scheme, dt=dt,
+                engine=self.engine.name, backend=self.backend_name,
+            )
+
         ws = self.workspace(n, t_steps, c)
         qs, qds = ws.qs[:n, :t_steps + 1], ws.qds[:n, :t_steps + 1]
         us = ws.us[:n, :t_steps]

@@ -94,6 +94,9 @@ _ENGINE_HINTS = {
     "loop": 1.0,
     "vectorized": 8.0,
     "compiled": 12.0,
+    # Trace-compiled functional kernels: whole Table-I functions fused
+    # by XLA, amortized after the first-call compile.
+    "jit": 20.0,
 }
 
 

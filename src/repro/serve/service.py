@@ -98,6 +98,7 @@ class DynamicsService:
     #: and the batch re-runs.  Unknown (custom) engines degrade to
     #: "compiled"; "loop" is terminal (nothing simpler exists).
     _DEGRADE_NEXT = {
+        "jit": "process",
         "process": "compiled",
         "compiled": "vectorized",
         "vectorized": "loop",
@@ -256,6 +257,18 @@ class DynamicsService:
                 )
             if backend_name != getattr(engine, "backend_name", "numpy"):
                 engine = CompiledEngine(backend=backend_name)
+        elif engine.name == "jit":
+            # The jit engine resolves its trace backend lazily (on the
+            # first batch, where a BackendCapabilityError rides the
+            # degradation chain); an explicit shard backend pins it.
+            # Shard operands and artifact plan warming stay host-side —
+            # the engine owns the device boundary — so record "numpy".
+            if shard_config.backend is not None and backend_name != getattr(
+                    engine, "backend_name", None):
+                from repro.dynamics.jit import JitEngine
+
+                engine = JitEngine(backend=backend_name)
+            backend_name = "numpy"
         else:
             backend_name = "numpy"
         return engine, backend_name
@@ -356,6 +369,10 @@ class DynamicsService:
         """
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+        # Coerce names ("M") to members here: an unknown function must
+        # fail the caller with ValueError, not strand a dispatched
+        # batch whose failure path assumes RBDFunction fields.
+        function = RBDFunction(function)
         request = ServeRequest(robot=robot, function=function,
                                q=np.asarray(q, dtype=float),
                                qd=qd, u=u, minv=minv, f_ext=f_ext,
@@ -992,7 +1009,8 @@ class DynamicsService:
 
     def _degrade_shard(self, shard: ShardState) -> bool:
         """Drop ``shard`` one step down the engine degradation chain
-        (process -> compiled -> vectorized -> loop); False at the end."""
+        (jit -> process -> compiled -> vectorized -> loop); False at
+        the end."""
         current = self._shard_engines[shard.index].name
         next_name = self._DEGRADE_NEXT.get(current, "compiled")
         if next_name is None:

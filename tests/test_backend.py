@@ -80,6 +80,28 @@ class TestBackendRegistry:
             if not status[name]["available"]:
                 assert "not" in status[name]["detail"]
 
+    def test_failed_probe_memoized(self, monkeypatch):
+        """One import attempt per process: later lookups re-raise the
+        memoized BackendUnavailable without re-running the factory."""
+        from repro.backend import _BACKEND_FACTORIES, _BACKEND_FAILURES
+
+        calls = {"n": 0}
+
+        def factory():
+            calls["n"] += 1
+            raise BackendUnavailable(
+                "backend 'flaky_test' is not available: test stub"
+            )
+
+        monkeypatch.setitem(_BACKEND_FACTORIES, "flaky_test", factory)
+        try:
+            for _ in range(3):
+                with pytest.raises(BackendUnavailable, match="flaky_test"):
+                    get_backend("flaky_test")
+            assert calls["n"] == 1
+        finally:
+            _BACKEND_FAILURES.pop("flaky_test", None)
+
     def test_set_default_backend_roundtrip(self):
         set_default_backend("numpy")
         try:
@@ -140,6 +162,38 @@ class TestOps:
         np.testing.assert_allclose(acc, [[2, 2], [0, 0], [1, 1]], **TOL)
         gathered = backend.take(np.arange(10.0), np.array([3, 1]))
         np.testing.assert_allclose(gathered, [3.0, 1.0], **TOL)
+
+    def test_functional_scatter_ops(self):
+        """at_set / at_add are out-of-place; duplicate indices sum."""
+        backend = get_backend("numpy")
+        a = np.zeros((2, 3))
+        out = backend.at_set(a, (slice(None), np.array([0, 2])), 1.0)
+        assert a.sum() == 0.0                  # input untouched
+        np.testing.assert_allclose(out, [[1, 0, 1], [1, 0, 1]], **TOL)
+        out2 = backend.at_add(
+            out, (slice(None), np.array([1, 1])), np.ones((2, 2))
+        )
+        np.testing.assert_allclose(out, [[1, 0, 1], [1, 0, 1]], **TOL)
+        np.testing.assert_allclose(out2[:, 1], [2.0, 2.0], **TOL)
+
+    def test_jit_identity_and_scan_fallback(self):
+        """numpy's jit is the identity; scan folds with stacked outputs."""
+        backend = get_backend("numpy")
+        assert not backend.capabilities.jit
+        assert not backend.capabilities.scan
+        fn = backend.jit(lambda x: x + 1)
+        assert fn(1.0) == 2.0
+        carry, ys = backend.scan(
+            lambda c, x: (c + x, c), 0.0, xs=np.arange(4.0)
+        )
+        assert carry == 6.0
+        np.testing.assert_allclose(ys, [0.0, 0.0, 1.0, 3.0], **TOL)
+        # tuple-structured per-step outputs stack per leaf
+        carry, (a, b) = backend.scan(
+            lambda c, x: (c + x, (c, 2 * x)), 0.0, xs=np.arange(3.0)
+        )
+        np.testing.assert_allclose(a, [0.0, 0.0, 1.0], **TOL)
+        np.testing.assert_allclose(b, [0.0, 2.0, 4.0], **TOL)
 
 
 # ---------------------------------------------------------------------------

@@ -133,7 +133,7 @@ class TestEngineEquivalence:
 class TestEngineSelection:
     def test_registry_contents(self):
         assert available_engines() == (
-            "compiled", "loop", "process", "vectorized"
+            "compiled", "jit", "loop", "process", "vectorized"
         )
         assert isinstance(get_engine("loop"), LoopEngine)
         assert isinstance(get_engine("vectorized"), VectorizedEngine)

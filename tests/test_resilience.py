@@ -276,6 +276,25 @@ class TestEngineDegradation:
         with DynamicsService(n_shards=1, engine="loop") as svc:
             assert svc._degrade_shard(svc.pool.shards[0]) is False
 
+    def test_jit_without_backend_degrades_to_process(self, monkeypatch):
+        """A jit shard whose trace backend is missing (jax-less host)
+        serves the batch anyway: jit -> process via the chain."""
+        from repro.dynamics.jit import JitEngine
+
+        def no_backend(self):
+            raise BackendCapabilityError(
+                "the jit engine needs a trace-compiling backend"
+            )
+
+        monkeypatch.setattr(JitEngine, "_resolve_backend", no_backend)
+        with DynamicsService(n_shards=1, engine=JitEngine()) as svc:
+            assert svc.pool.shards[0].engine_name == "jit"
+            result = svc.submit("iiwa", RBDFunction.M, np.zeros(7),
+                                urgent=True).result(timeout=10.0)
+            assert result.value.shape == (7, 7)
+            assert svc.pool.shards[0].engine_name == "process"
+            assert svc.stats()["engine_degradations"] == 1
+
 
 class TestShutdownSemantics:
     def test_close_resolves_stranded_futures(self):

@@ -349,6 +349,15 @@ class TestDynamicsService:
                            minv=np.eye(model.nv))
         with pytest.raises(KeyError, match="unknown robot"):
             service.submit("hal9000", RBDFunction.ID, np.zeros(3))
+        with pytest.raises(ValueError, match="RBDFunction"):
+            # An unknown function name must fail here, not strand a
+            # dispatched batch whose failure path assumes enum fields.
+            service.submit("iiwa", "NotAFunction", np.zeros(model.nv))
+        # Function *names* coerce to members (the CLI submits strings).
+        by_name = service.submit("iiwa", "M", np.zeros(model.nv))
+        assert by_name.result(timeout=30.0).value.shape == (
+            model.nv, model.nv
+        )
         # The service keeps serving after rejections.
         rng = np.random.default_rng(12)
         q, qd = model.random_state(rng)
