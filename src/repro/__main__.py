@@ -293,6 +293,140 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async dynamics server until interrupted.
+
+    ``python -m repro serve --port 7431 --shards 2 --engine compiled``
+    binds the JSON-line protocol plus the HTTP scrape surface
+    (``/metrics``, ``/healthz``, ``/telemetry``) on one port;
+    ``--autoscale`` attaches the demand-driven shard autoscaler;
+    ``--rate-rps``/``--burst`` set the default tenant admission policy
+    (connections override per-tenant via the hello op).
+    """
+    import asyncio
+
+    from repro.aserve import (
+        AdmissionController,
+        AsyncDynamicsServer,
+        Autoscaler,
+        TenantPolicy,
+    )
+    from repro.serve import BatchPolicy, DynamicsService
+
+    service = DynamicsService(
+        policy=BatchPolicy(max_wait_s=args.max_wait_ms * 1e-3,
+                           max_pending=args.max_pending),
+        n_shards=args.shards,
+        shard_policy="least_loaded",
+        engine=args.engine,
+        warm_robots=args.warm.split(",") if args.warm else None,
+    )
+    admission = AdmissionController(TenantPolicy(
+        rate_rps=args.rate_rps, burst=args.burst or 2 * args.rate_rps,
+    ))
+    autoscaler = None
+    if args.autoscale:
+        autoscaler = Autoscaler(service, min_shards=1,
+                                max_shards=args.max_shards)
+    server = AsyncDynamicsServer(service, host=args.host, port=args.port,
+                                 admission=admission,
+                                 autoscaler=autoscaler)
+
+    async def run() -> None:
+        await server.start()
+        print(f"serving dynamics on {args.host}:{server.port} "
+              f"({args.shards} shard(s), engine={service.engine.name}, "
+              f"autoscale={'on' if autoscaler else 'off'})")
+        print(f"  scrape: http://{args.host}:{server.port}/metrics")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_serve_client(args: argparse.Namespace) -> int:
+    """Connect to a running server and run a smoke workload.
+
+    ``--selftest`` instead starts an in-process server on an ephemeral
+    port, runs the same workload against it over a real socket, and
+    tears everything down — the one-command health check CI uses.
+    """
+    import asyncio
+
+    import numpy as np
+
+    from repro.aserve import AsyncServeClient
+
+    model = load_robot(args.robot)
+    nv = model.nv
+
+    async def workload(host: str, port: int) -> int:
+        client = await AsyncServeClient.connect(
+            host, port, tenant=args.tenant, priority=args.priority,
+        )
+        try:
+            pong = await client.ping()
+            print(f"ping -> {pong['op']}")
+            q = np.zeros(nv)
+            results = await asyncio.gather(*[
+                client.submit(args.robot, "FD", q, q, q)
+                for _ in range(args.requests)
+            ])
+            shards = sorted({r["shard"] for r in results})
+            print(f"{len(results)} FD evaluations OK "
+                  f"(shards {shards}, batch sizes up to "
+                  f"{max(r['batch_size'] for r in results)})")
+            windows = 0
+            stream = await client.stream_rollout(
+                args.robot, q, q, np.zeros((args.horizon, nv)),
+                dt=1e-3, window=args.window,
+            )
+            async for w in stream:
+                windows += 1
+                if windows == 1:
+                    print(f"first window [{w['window'][0]}, "
+                          f"{w['window'][1]}) streamed")
+            final = await stream.result()
+            print(f"rollout streamed in {windows} windows "
+                  f"(horizon {final['horizon']})")
+            admin = await client.admin()
+            print(f"admin: {admin['active_shards']} active shard(s), "
+                  f"{len(admin['scale_events'])} scale event(s), "
+                  f"health {[s['health'] for s in admin['shards']]}")
+            return 0
+        finally:
+            await client.close()
+
+    async def selftest() -> int:
+        from repro.aserve import AsyncDynamicsServer
+        from repro.serve import DynamicsService
+
+        service = DynamicsService(n_shards=2, shard_policy="least_loaded")
+        server = AsyncDynamicsServer(service, port=0)
+        await server.start()
+        print(f"selftest server on 127.0.0.1:{server.port}")
+        try:
+            return await workload("127.0.0.1", server.port)
+        finally:
+            await server.stop()
+            service.close()
+            print("selftest OK")
+
+    if args.selftest:
+        return asyncio.run(selftest())
+    return asyncio.run(workload(args.host, args.port))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Dadu-RBD reproduction CLI"
@@ -367,6 +501,49 @@ def main(argv: list[str] | None = None) -> int:
                        help="also print the telemetry registry in "
                             "Prometheus text exposition format")
     trace.set_defaults(handler=cmd_trace)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the async dynamics server (JSON lines + HTTP scrape)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=7431)
+    serve_cmd.add_argument("--shards", type=int, default=2)
+    serve_cmd.add_argument("--engine", default=None,
+                           help="execution engine for shard workers "
+                                "(default: compiled)")
+    serve_cmd.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve_cmd.add_argument("--max-pending", type=int, default=8192)
+    serve_cmd.add_argument("--rate-rps", type=float, default=1000.0,
+                           help="default tenant rate limit (cost units/s)")
+    serve_cmd.add_argument("--burst", type=float, default=None)
+    serve_cmd.add_argument("--autoscale", action="store_true",
+                           help="grow/shrink the shard pool from measured "
+                                "demand vs capacity")
+    serve_cmd.add_argument("--max-shards", type=int, default=8)
+    serve_cmd.add_argument("--warm", default=None,
+                           help="comma-separated robots to warm the "
+                                "artifact cache with")
+    serve_cmd.set_defaults(handler=cmd_serve)
+
+    serve_client = sub.add_parser(
+        "serve-client",
+        help="smoke-test a running server (or --selftest in-process)",
+    )
+    serve_client.add_argument("--host", default="127.0.0.1")
+    serve_client.add_argument("--port", type=int, default=7431)
+    serve_client.add_argument("--robot", default="iiwa",
+                              choices=sorted(ROBOT_REGISTRY))
+    serve_client.add_argument("--requests", type=int, default=16)
+    serve_client.add_argument("--horizon", type=int, default=32)
+    serve_client.add_argument("--window", type=int, default=8)
+    serve_client.add_argument("--tenant", default="cli")
+    serve_client.add_argument("--priority", default="standard",
+                              choices=("interactive", "standard", "batch"))
+    serve_client.add_argument("--selftest", action="store_true",
+                              help="start an in-process server on an "
+                                   "ephemeral port and run against it")
+    serve_client.set_defaults(handler=cmd_serve_client)
 
     args = parser.parse_args(argv)
     return args.handler(args)

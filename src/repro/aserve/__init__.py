@@ -1,0 +1,78 @@
+"""Async serving plane: awaitable clients, streaming, tenancy, scaling.
+
+``repro.aserve`` layers an asyncio front half onto the thread-based
+:class:`~repro.serve.service.DynamicsService` — the step that turns
+the modeled Dadu-RBD accelerator pool from a library into a service
+with out-of-process clients::
+
+      robot processes                 event loop                sync runtime
+    -------------------   --------------------------------   ----------------
+    AsyncServeClient  --> AsyncDynamicsServer (JSON lines,     DynamicsService
+     (TCP, multiplexed)    HTTP /metrics /healthz /telemetry)   batcher/shards
+           |                        |                                ^
+           |               AsyncGateway.submit /                     |
+    in-process coroutines  submit_rollout / stream_rollout  ---------+
+                                    |                          (wrap_future;
+                           AdmissionController                  on_window ->
+                           per-tenant token buckets,            call_soon_
+                           priority classes, inflight caps      threadsafe)
+                                    |
+                           Autoscaler: demand (admitted
+                           cost rate) vs capacity (measured
+                           shard EWMA) -> scale_up/scale_down
+
+The pieces:
+
+* :class:`~repro.aserve.gateway.AsyncGateway` — ``await submit(...)``
+  / ``await submit_rollout(...)`` for coroutine clients, plus
+  :meth:`~repro.aserve.gateway.AsyncGateway.stream_rollout`: windowed
+  rollouts as an async iterator, first ``W`` knots in hand while the
+  tail still simulates, ``cancel()`` handing the tail back.
+* :class:`~repro.aserve.admission.AdmissionController` — multi-tenant
+  admission: cost-weighted token buckets, ``interactive`` /
+  ``standard`` / ``batch`` priority classes (interactive rides the
+  urgent bypass), per-tenant inflight caps, tenant default deadlines
+  feeding the service's shedding.
+* :class:`~repro.aserve.server.AsyncDynamicsServer` /
+  :class:`~repro.aserve.client.AsyncServeClient` — the line-protocol
+  socket edge (``python -m repro serve`` / ``serve-client``), with the
+  admin surface (drain/restart/scale, breaker state, telemetry) on the
+  same port.
+* :class:`~repro.aserve.autoscale.Autoscaler` — grows and shrinks the
+  shard pool from measured demand vs capacity, drain-before-remove.
+* :func:`~repro.aserve.loadtest.run_async_load` — the fleet simulator
+  behind ``benchmarks/bench_async.py``: thousands of Poisson + MPC
+  coroutine clients, availability/latency/scaling report.
+"""
+
+from repro.aserve.admission import (
+    PRIORITIES,
+    AdmissionController,
+    ClientOverloaded,
+    RateLimitedError,
+    TenantPolicy,
+    TokenBucket,
+)
+from repro.aserve.autoscale import Autoscaler
+from repro.aserve.client import AsyncServeClient, RemoteServeError, RemoteStream
+from repro.aserve.gateway import AsyncGateway, RolloutStream, StreamWindow
+from repro.aserve.loadtest import run_async_load
+from repro.aserve.server import AsyncDynamicsServer
+
+__all__ = [
+    "PRIORITIES",
+    "AdmissionController",
+    "AsyncDynamicsServer",
+    "AsyncGateway",
+    "AsyncServeClient",
+    "Autoscaler",
+    "ClientOverloaded",
+    "RateLimitedError",
+    "RemoteServeError",
+    "RemoteStream",
+    "RolloutStream",
+    "StreamWindow",
+    "TenantPolicy",
+    "TokenBucket",
+    "run_async_load",
+]

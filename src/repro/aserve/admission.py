@@ -1,0 +1,256 @@
+"""Multi-tenant admission control for the async serving plane.
+
+Each tenant (client identity) carries a :class:`TenantPolicy`: a token
+bucket bounding its sustained request rate, a priority class mapping
+onto the sync service's dispatch tiers, and an inflight cap providing
+per-connection backpressure.  The :class:`AdmissionController` is the
+single gate every gateway submission passes through — a tenant that
+exhausts its bucket or its inflight budget is refused *before* its
+request touches the batcher, so one chatty tenant cannot crowd a
+priority tenant out of the shared shard pool.
+
+Priority classes:
+
+``interactive``
+    Deadline-bound closed-loop control (MPC re-planning).  Mapped to the
+    service's ``urgent`` bypass — no coalescing delay — and admitted
+    ahead of standard traffic.
+``standard``
+    The default: batched with everyone else.
+``batch``
+    Throughput work (sweeps, dataset generation).  Admitted last and
+    first to be refused under contention.
+
+Token accounting is cost-weighted: a plain dynamics request costs 1
+token, a rollout costs its horizon — the same cost units the batcher
+budgets and the shard pool places by, so "rate" means admitted *work*,
+not call count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.serve.request import ServeError
+
+__all__ = [
+    "PRIORITIES",
+    "AdmissionController",
+    "ClientOverloaded",
+    "RateLimitedError",
+    "TenantPolicy",
+    "TokenBucket",
+]
+
+#: Priority class -> admission rank (lower admits first under
+#: contention).  ``interactive`` additionally rides the sync service's
+#: urgent bypass.
+PRIORITIES = {"interactive": 0, "standard": 1, "batch": 2}
+
+
+class RateLimitedError(ServeError):
+    """The tenant's token bucket is empty; the request was refused.
+
+    Carries ``retry_after_s`` — the bucket refill time until one token —
+    so clients can back off precisely instead of hammering."""
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ClientOverloaded(ServeError):
+    """The tenant is at its inflight cap; connection-level backpressure."""
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    ``take(cost)`` is non-blocking — it either debits and returns True
+    or returns False and reports how long until ``cost`` tokens exist.
+    The bucket starts full, so a tenant's first burst admits
+    immediately.  Time is injectable for deterministic tests.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self, now: float) -> None:
+        elapsed = max(now - self._stamp, 0.0)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def take(self, cost: float = 1.0) -> bool:
+        with self._lock:
+            self._refill_locked(self._clock())
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True
+            return False
+
+    def wait_time(self, cost: float = 1.0) -> float:
+        """Seconds until ``cost`` tokens will be available (0 if now)."""
+        with self._lock:
+            self._refill_locked(self._clock())
+            deficit = cost - self._tokens
+            return max(deficit, 0.0) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill_locked(self._clock())
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant admission contract.
+
+    ``rate_rps`` / ``burst`` feed the token bucket (cost units per
+    second; a rollout costs its horizon).  ``priority`` names the
+    dispatch tier; ``max_inflight`` caps the tenant's unresolved
+    futures (connection backpressure); ``deadline_s`` is a default
+    deadline stamped onto requests that don't carry their own, feeding
+    the service's shedding machinery.
+    """
+
+    rate_rps: float = 1000.0
+    burst: float = 2000.0
+    priority: str = "standard"
+    max_inflight: int = 256
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {self.priority!r}; choose from "
+                f"{sorted(PRIORITIES)}"
+            )
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+
+    @property
+    def urgent(self) -> bool:
+        """Interactive tenants ride the sync service's urgent bypass."""
+        return self.priority == "interactive"
+
+
+@dataclass
+class _TenantState:
+    policy: TenantPolicy
+    bucket: TokenBucket
+    inflight: int = 0
+    admitted: int = 0
+    rate_limited: int = 0
+    overloaded: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class AdmissionController:
+    """The gateway's admission gate: one decision point per submission.
+
+    ``admit(tenant, cost)`` either debits the tenant's bucket and
+    inflight budget and returns its policy, or raises
+    :class:`RateLimitedError` / :class:`ClientOverloaded`.  Callers
+    must pair every successful admit with ``release(tenant)`` when the
+    request's future resolves (any way).  Unknown tenants are admitted
+    under ``default_policy``.
+    """
+
+    def __init__(self, default_policy: TenantPolicy | None = None,
+                 clock=time.monotonic) -> None:
+        self.default_policy = default_policy or TenantPolicy()
+        self._clock = clock
+        self._tenants: dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        """Install (or replace) a tenant's admission contract."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            bucket = TokenBucket(policy.rate_rps, policy.burst,
+                                 clock=self._clock)
+            if state is None:
+                self._tenants[tenant] = _TenantState(policy, bucket)
+            else:
+                state.policy = policy
+                state.bucket = bucket
+
+    def _state(self, tenant: str) -> _TenantState:
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                policy = self.default_policy
+                state = _TenantState(
+                    policy,
+                    TokenBucket(policy.rate_rps, policy.burst,
+                                clock=self._clock),
+                )
+                self._tenants[tenant] = state
+            return state
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self._state(tenant).policy
+
+    def admit(self, tenant: str, cost: float = 1.0) -> TenantPolicy:
+        """Admit ``cost`` units of work for ``tenant`` or raise.
+
+        Checks the inflight cap before the bucket so a refused-for-
+        backpressure request doesn't burn tokens it never used.
+        """
+        state = self._state(tenant)
+        with state.lock:
+            if state.inflight >= state.policy.max_inflight:
+                state.overloaded += 1
+                raise ClientOverloaded(
+                    f"tenant {tenant!r} at max_inflight="
+                    f"{state.policy.max_inflight}"
+                )
+            if not state.bucket.take(cost):
+                state.rate_limited += 1
+                raise RateLimitedError(
+                    f"tenant {tenant!r} rate-limited "
+                    f"({state.policy.rate_rps:g} units/s)",
+                    retry_after_s=state.bucket.wait_time(cost),
+                )
+            state.inflight += 1
+            state.admitted += 1
+            return state.policy
+
+    def release(self, tenant: str) -> None:
+        """Return one inflight slot (call when the future resolves)."""
+        state = self._state(tenant)
+        with state.lock:
+            state.inflight = max(state.inflight - 1, 0)
+
+    def stats(self) -> dict[str, dict]:
+        """Per-tenant admission counters (admin/telemetry surface)."""
+        with self._lock:
+            tenants = dict(self._tenants)
+        out = {}
+        for name, state in tenants.items():
+            with state.lock:
+                out[name] = {
+                    "priority": state.policy.priority,
+                    "rate_rps": state.policy.rate_rps,
+                    "inflight": state.inflight,
+                    "admitted": state.admitted,
+                    "rate_limited": state.rate_limited,
+                    "overloaded": state.overloaded,
+                    "tokens": state.bucket.tokens,
+                }
+        return out

@@ -1,0 +1,195 @@
+"""Demand-driven autoscaling for the elastic shard pool.
+
+The :class:`Autoscaler` closes the loop between two signals the
+serving plane already measures:
+
+* **Demand** — the derivative of
+  :meth:`~repro.serve.service.DynamicsService.submitted_cost`, the
+  admitted work rate in cost units/s (a rollout counts its horizon, so
+  demand is *rows*, not calls).
+* **Capacity** — the sum of the pool's per-shard measured-throughput
+  EWMAs (:meth:`~repro.serve.metrics.MetricsRegistry.measured_shard_rps`,
+  rows/s of kernel wall time) over shards still in the pool — the same
+  measurements cost-aware placement recalibrates with.
+
+Utilization = demand / capacity drives watermark decisions: above
+``high_watermark`` for a tick, add a shard
+(:meth:`DynamicsService.scale_up`); below ``low_watermark``, drain and
+retire one (:meth:`DynamicsService.scale_down` — drain-before-remove,
+so no queued request is lost to a shrink).  A cooldown separates
+decisions so one burst can't slew the pool, and ``min_shards`` /
+``max_shards`` bound the range.  Every decision lands in the pool's
+scale-event log, surfaced through ``telemetry()`` and the admin
+endpoint.
+
+The scaler runs as a daemon thread beside the service's flusher; it is
+deliberately *not* on the event loop — scaling decisions must keep
+firing when the loop is saturated with client coroutines, which is
+exactly when they matter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.serve.service import DynamicsService
+
+__all__ = ["Autoscaler"]
+
+
+class Autoscaler:
+    """Watermark autoscaler over a service's elastic shard pool."""
+
+    def __init__(
+        self,
+        service: DynamicsService,
+        min_shards: int = 1,
+        max_shards: int = 8,
+        interval_s: float = 0.05,
+        high_watermark: float = 0.85,
+        low_watermark: float = 0.30,
+        cooldown_s: float = 0.2,
+        drain_wait_s: float = 2.0,
+    ) -> None:
+        if not 1 <= min_shards <= max_shards:
+            raise ValueError(
+                f"need 1 <= min_shards <= max_shards, got "
+                f"{min_shards}..{max_shards}"
+            )
+        if not 0.0 < low_watermark < high_watermark:
+            raise ValueError(
+                "need 0 < low_watermark < high_watermark, got "
+                f"{low_watermark} / {high_watermark}"
+            )
+        self.service = service
+        self.min_shards = min_shards
+        self.max_shards = max_shards
+        self.interval_s = interval_s
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.cooldown_s = cooldown_s
+        self.drain_wait_s = drain_wait_s
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._last_cost = service.submitted_cost()
+        self._last_t = time.monotonic()
+        self._last_action_t = -float("inf")
+        self._lock = threading.Lock()
+        self.demand_rps = 0.0
+        self.capacity_rps = 0.0
+        self.utilization = 0.0
+        self.ticks = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "Autoscaler":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="repro-aserve-autoscaler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "Autoscaler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- control loop --------------------------------------------------
+
+    def _capacity(self) -> float:
+        """Measured pool capacity in cost units (rows) per second."""
+        rps = self.service.metrics.measured_shard_rps()
+        shards = self.service.pool.shards
+        return sum(
+            rate for index, rate in rps.items()
+            if index < len(shards) and shards[index].health != "removed"
+        )
+
+    def tick(self, now: float | None = None) -> str | None:
+        """One scaling decision; returns "up"/"down"/None.
+
+        Exposed for deterministic tests; the background thread just
+        calls this every ``interval_s``.
+        """
+        now = time.monotonic() if now is None else now
+        cost = self.service.submitted_cost()
+        dt = max(now - self._last_t, 1e-9)
+        demand = (cost - self._last_cost) / dt
+        self._last_cost = cost
+        self._last_t = now
+        capacity = self._capacity()
+        with self._lock:
+            self.ticks += 1
+            self.demand_rps = demand
+            self.capacity_rps = capacity
+            self.utilization = demand / capacity if capacity > 0 else (
+                float("inf") if demand > 0 else 0.0
+            )
+            utilization = self.utilization
+        if now - self._last_action_t < self.cooldown_s:
+            return None
+        active = self.service.pool.n_active
+        try:
+            if utilization > self.high_watermark and active < self.max_shards:
+                self.service.scale_up(reason=(
+                    f"autoscale: utilization {utilization:.2f} > "
+                    f"{self.high_watermark:.2f}"
+                ))
+                self._last_action_t = now
+                with self._lock:
+                    self.scale_ups += 1
+                return "up"
+            if utilization < self.low_watermark and active > self.min_shards:
+                self.service.scale_down(
+                    wait_s=self.drain_wait_s,
+                    reason=(
+                        f"autoscale: utilization {utilization:.2f} < "
+                        f"{self.low_watermark:.2f}"
+                    ),
+                )
+                self._last_action_t = now
+                with self._lock:
+                    self.scale_downs += 1
+                return "down"
+        except ValueError:
+            # Lost a race with an admin scale op (e.g. last-shard guard);
+            # the next tick re-evaluates from fresh state.
+            return None
+        return None
+
+    def _run(self) -> None:
+        while not self._stop.wait(timeout=self.interval_s):
+            try:
+                self.tick()
+            except Exception:
+                # The scaler must never take the serving plane down; a
+                # failed decision is just skipped.
+                continue
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "demand_rps": self.demand_rps,
+                "capacity_rps": self.capacity_rps,
+                "utilization": self.utilization,
+                "ticks": self.ticks,
+                "scale_ups": self.scale_ups,
+                "scale_downs": self.scale_downs,
+                "min_shards": self.min_shards,
+                "max_shards": self.max_shards,
+                "active_shards": self.service.pool.n_active,
+            }

@@ -1,0 +1,302 @@
+"""Closed-loop async load testing: thousands of coroutine clients.
+
+:func:`run_async_load` simulates a robot fleet against the async
+serving plane, in-process (gateway, no sockets — the socket path is a
+constant factor exercised separately; this harness measures the
+serving plane itself).  Two client populations mix:
+
+* **Poisson clients** (``standard`` tenants) — open-loop dynamics
+  requests with exponential inter-arrival times, the classic
+  telemetry/estimation workload.
+* **MPC clients** (``interactive`` tenants) — closed-loop streaming
+  rollouts: submit a horizon with ``window=W``, act on the first
+  window (that's the control-loop latency that matters), then with
+  probability ``replan_rate`` cancel the tail and re-plan — the
+  predictive-sampling pattern where most of the horizon is thrown
+  away.
+
+Faults inject at the shard-execute site
+(:mod:`repro.faults`) with deterministic seeding, so availability
+numbers are replayable.  An optional
+:class:`~repro.aserve.autoscale.Autoscaler` rides along; its grow and
+shrink decisions land in the report.
+
+The report separates *failures* (unexpected errors — these break the
+availability SLO) from *policy refusals* (rate-limited / overloaded —
+the admission layer doing its job) and *sheds* (deadline-expired).
+Availability = ok / (ok + failed + shed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+
+import numpy as np
+
+from repro import faults as _faults
+from repro.aserve.admission import (
+    AdmissionController,
+    ClientOverloaded,
+    RateLimitedError,
+    TenantPolicy,
+)
+from repro.aserve.autoscale import Autoscaler
+from repro.aserve.gateway import AsyncGateway
+from repro.dynamics.functions import RBDFunction
+from repro.model.library import load_robot
+from repro.serve import BatchPolicy, DynamicsService
+from repro.serve.request import (
+    DeadlineExceededError,
+    StreamCancelledError,
+)
+
+__all__ = ["run_async_load"]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values), q))
+
+
+class _Counts:
+    """One client population's outcome ledger."""
+
+    def __init__(self) -> None:
+        self.ok = 0
+        self.failed = 0
+        self.rate_limited = 0
+        self.shed = 0
+        self.cancelled = 0
+        self.latencies: list[float] = []
+        self.first_window: list[float] = []
+        self.errors: dict[str, int] = {}
+
+    def error(self, exc: BaseException) -> None:
+        self.failed += 1
+        name = type(exc).__name__
+        self.errors[name] = self.errors.get(name, 0) + 1
+
+    def report(self) -> dict:
+        attempts = self.ok + self.failed + self.shed
+        return {
+            "ok": self.ok,
+            "failed": self.failed,
+            "rate_limited": self.rate_limited,
+            "shed": self.shed,
+            "cancelled": self.cancelled,
+            "availability": self.ok / attempts if attempts else 1.0,
+            "p50_ms": _percentile(self.latencies, 50) * 1e3,
+            "p95_ms": _percentile(self.latencies, 95) * 1e3,
+            "p99_ms": _percentile(self.latencies, 99) * 1e3,
+            "first_window_p50_ms": _percentile(self.first_window, 50) * 1e3,
+            "first_window_p95_ms": _percentile(self.first_window, 95) * 1e3,
+            "errors": dict(self.errors),
+        }
+
+
+async def _poisson_client(gateway: AsyncGateway, tenant: str, robot: str,
+                          nv: int, n_requests: int, rate_rps: float,
+                          rng: random.Random, counts: _Counts) -> None:
+    q = np.asarray([rng.uniform(-1, 1) for _ in range(nv)])
+    qd = np.zeros(nv)
+    tau = np.zeros(nv)
+    for _ in range(n_requests):
+        await asyncio.sleep(rng.expovariate(rate_rps))
+        t0 = time.perf_counter()
+        try:
+            await gateway.submit(robot, RBDFunction.FD, q, qd, tau,
+                                 tenant=tenant)
+            counts.ok += 1
+            counts.latencies.append(time.perf_counter() - t0)
+        except (RateLimitedError, ClientOverloaded):
+            counts.rate_limited += 1
+        except DeadlineExceededError:
+            counts.shed += 1
+        except Exception as exc:
+            counts.error(exc)
+
+
+async def _mpc_client(gateway: AsyncGateway, tenant: str, robot: str,
+                      nv: int, n_plans: int, horizon: int, window: int,
+                      dt: float, replan_rate: float, rng: random.Random,
+                      counts: _Counts) -> None:
+    q = np.asarray([rng.uniform(-0.5, 0.5) for _ in range(nv)])
+    qd = np.zeros(nv)
+    for _ in range(n_plans):
+        controls = np.zeros((horizon, nv))
+        t0 = time.perf_counter()
+        try:
+            stream = await gateway.stream_rollout(
+                robot, q, qd, controls, dt, window=window, tenant=tenant,
+            )
+        except (RateLimitedError, ClientOverloaded):
+            counts.rate_limited += 1
+            await asyncio.sleep(0.001)
+            continue
+        except Exception as exc:
+            counts.error(exc)
+            continue
+        try:
+            first = True
+            replan = rng.random() < replan_rate
+            async for w in stream:
+                if first:
+                    counts.first_window.append(time.perf_counter() - t0)
+                    # The closed loop advances from the first knots.
+                    q = np.asarray(w.trajectory.qs[-1])
+                    qd = np.asarray(w.trajectory.qds[-1])
+                    first = False
+                    if replan and not w.done:
+                        stream.cancel()
+                        counts.cancelled += 1
+            if not replan:
+                await stream.result()
+                counts.ok += 1
+                counts.latencies.append(time.perf_counter() - t0)
+            else:
+                counts.ok += 1
+        except StreamCancelledError:
+            counts.cancelled += 1
+        except DeadlineExceededError:
+            counts.shed += 1
+        except Exception as exc:
+            counts.error(exc)
+
+
+async def _run(service: DynamicsService, admission: AdmissionController,
+               *, n_clients: int, mpc_fraction: float, robot: str,
+               requests_per_client: int, plans_per_client: int,
+               horizon: int, window: int, dt: float, rate_rps: float,
+               replan_rate: float, seed: int) -> tuple[_Counts, _Counts]:
+    gateway = AsyncGateway(service, admission)
+    nv = load_robot(robot).nv
+    poisson = _Counts()
+    mpc = _Counts()
+    n_mpc = int(round(n_clients * mpc_fraction))
+    tasks = []
+    for i in range(n_clients):
+        rng = random.Random(f"async-load-{seed}-{i}")
+        if i < n_mpc:
+            tenant = f"mpc-{i}"
+            admission.set_policy(tenant, TenantPolicy(
+                rate_rps=max(rate_rps * horizon, horizon * 4.0),
+                burst=max(rate_rps * horizon, horizon * 4.0) * 2,
+                priority="interactive",
+            ))
+            tasks.append(_mpc_client(
+                gateway, tenant, robot, nv, plans_per_client, horizon,
+                window, dt, replan_rate, rng, mpc,
+            ))
+        else:
+            tenant = f"poisson-{i}"
+            admission.set_policy(tenant, TenantPolicy(
+                rate_rps=max(rate_rps * 2, 10.0),
+                burst=max(rate_rps * 4, 20.0),
+                priority="standard",
+            ))
+            tasks.append(_poisson_client(
+                gateway, tenant, robot, nv, requests_per_client,
+                rate_rps, rng, poisson,
+            ))
+    await asyncio.gather(*tasks)
+    return poisson, mpc
+
+
+def run_async_load(
+    n_clients: int = 100,
+    mpc_fraction: float = 0.2,
+    requests_per_client: int = 5,
+    plans_per_client: int = 2,
+    robot: str = "iiwa",
+    horizon: int = 32,
+    window: int = 8,
+    dt: float = 1e-3,
+    rate_rps: float = 20.0,
+    replan_rate: float = 0.5,
+    fault_rate: float = 0.0,
+    n_shards: int = 2,
+    autoscale: bool = False,
+    min_shards: int = 1,
+    max_shards: int = 6,
+    seed: int = 0,
+    policy: BatchPolicy | None = None,
+    service: DynamicsService | None = None,
+) -> dict:
+    """Run the Poisson + MPC mix; returns the availability report.
+
+    ``fault_rate`` arms deterministic exception injection at the
+    shard-execute site (the service's retry/breaker machinery absorbs
+    them — that absorption is what the availability number measures).
+    ``autoscale=True`` attaches an :class:`Autoscaler` and reports its
+    grow/shrink events.  Pass ``service`` to reuse an existing one
+    (it will not be closed); otherwise one is built and torn down.
+    """
+    own_service = service is None
+    if own_service:
+        service = DynamicsService(
+            policy=policy or BatchPolicy(max_pending=100_000),
+            n_shards=n_shards,
+        )
+    admission = AdmissionController()
+    scaler = None
+    if autoscale:
+        scaler = Autoscaler(service, min_shards=min_shards,
+                            max_shards=max_shards, interval_s=0.05,
+                            cooldown_s=0.15, drain_wait_s=1.0)
+        scaler.start()
+    specs = []
+    if fault_rate > 0:
+        specs.append(_faults.FaultSpec("shard.execute", rate=fault_rate))
+    t0 = time.perf_counter()
+    try:
+        if specs:
+            with _faults.injected(*specs, seed=seed):
+                poisson, mpc = asyncio.run(_run(
+                    service, admission, n_clients=n_clients,
+                    mpc_fraction=mpc_fraction, robot=robot,
+                    requests_per_client=requests_per_client,
+                    plans_per_client=plans_per_client, horizon=horizon,
+                    window=window, dt=dt, rate_rps=rate_rps,
+                    replan_rate=replan_rate, seed=seed,
+                ))
+        else:
+            poisson, mpc = asyncio.run(_run(
+                service, admission, n_clients=n_clients,
+                mpc_fraction=mpc_fraction, robot=robot,
+                requests_per_client=requests_per_client,
+                plans_per_client=plans_per_client, horizon=horizon,
+                window=window, dt=dt, rate_rps=rate_rps,
+                replan_rate=replan_rate, seed=seed,
+            ))
+    finally:
+        if scaler is not None:
+            scaler.stop()
+        wall_s = time.perf_counter() - t0
+        scale_events = service.pool.scale_events()
+        stats = service.stats()
+        if own_service:
+            service.close()
+    total_ok = poisson.ok + mpc.ok
+    total_bad = poisson.failed + mpc.failed + poisson.shed + mpc.shed
+    attempts = total_ok + total_bad
+    return {
+        "n_clients": n_clients,
+        "mpc_clients": int(round(n_clients * mpc_fraction)),
+        "fault_rate": fault_rate,
+        "wall_s": wall_s,
+        "availability": total_ok / attempts if attempts else 1.0,
+        "poisson": poisson.report(),
+        "mpc": mpc.report(),
+        "retries": stats.get("retries", 0),
+        "breaker_opens": stats.get("breaker_opens", 0),
+        "active_shards": stats.get("active_shards", 0),
+        "scale_events": scale_events,
+        "scale_ups": sum(1 for e in scale_events if e["action"] == "add"),
+        "scale_downs": sum(
+            1 for e in scale_events if e["action"] == "remove"
+        ),
+        "autoscaler": scaler.stats() if scaler is not None else None,
+    }

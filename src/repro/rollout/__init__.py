@@ -36,6 +36,7 @@ from repro.rollout.engine import (
     RolloutResult,
     RolloutWorkspace,
     TaskTrajectory,
+    concat_windows,
     rollout_plan_for,
 )
 
@@ -43,6 +44,7 @@ __all__ = [
     "SCHEMES",
     "RolloutEngine",
     "RolloutPlan",
+    "concat_windows",
     "RolloutResult",
     "RolloutWorkspace",
     "TaskTrajectory",

@@ -364,6 +364,85 @@ class RolloutPlan:
             engine=self.engine.name, backend=self.backend_name,
         )
 
+    # ------------------------------------------------------------------
+    # Windowed (streaming) rollouts
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _window_mask(contact_mask, t0: int, t1: int, t_steps: int, c: int):
+        """Slice a contact mask down to the window ``[t0, t1)``.
+
+        Stepping is Markovian, so a windowed rollout is just the full
+        step loop partitioned — but per-schedule masks are indexed by
+        absolute step, so the window must see its own slice (callables
+        are re-based onto absolute time).  Shapes follow
+        :meth:`_resolve_mask`; the ``(T, c)``-vs-``(n, c)`` ambiguity
+        resolves the same way (schedule reading wins).
+        """
+        if contact_mask is None or isinstance(contact_mask, str):
+            return contact_mask
+        if callable(contact_mask):
+            return lambda t, q, qd: contact_mask(t0 + t, q, qd)
+        mask = np.asarray(contact_mask, dtype=bool)
+        if mask.ndim == 2 and mask.shape == (t_steps, c):
+            return mask[t0:t1]
+        if mask.ndim == 3 and mask.shape[1] == t_steps:
+            return mask[:, t0:t1]
+        return mask                     # static shapes pass through
+
+    def rollout_windows(
+        self,
+        model: RobotModel,
+        q0: np.ndarray,
+        qd0: np.ndarray,
+        controls: np.ndarray,
+        *,
+        dt: float,
+        window: int,
+        contacts: list[ContactPoint] | None = None,
+        contact_mask=None,
+        ground_height: float = 0.0,
+        f_ext: dict[int, np.ndarray] | None = None,
+        cancelled=None,
+    ):
+        """Generator yielding ``(t0, t1, RolloutResult)`` per window of
+        ``window`` knots, carrying the batch state between windows.
+
+        Because every integrator step depends only on the current state,
+        the concatenated windows are *bitwise* equal to one uninterrupted
+        :meth:`rollout` — including the fused-scan path, which each
+        eligible window takes independently.  This is the serving tier's
+        streaming primitive: a consumer sees the first ``window`` knots
+        after ``window`` steps of work instead of after the whole
+        horizon, and ``cancelled()`` (checked between windows) abandons
+        the unsimulated tail, freeing the engine.
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        q = np.atleast_2d(np.asarray(q0, dtype=float))
+        qd = np.atleast_2d(np.asarray(qd0, dtype=float))
+        controls = np.asarray(controls, dtype=float)
+        if controls.ndim == 2:
+            controls = np.broadcast_to(
+                controls, (q.shape[0],) + controls.shape
+            )
+        t_steps = controls.shape[1]
+        c = len(contacts) if contacts else 0
+        for t0 in range(0, t_steps, window):
+            t1 = min(t0 + window, t_steps)
+            result = self.rollout(
+                model, q, qd, controls[:, t0:t1], dt=dt,
+                contacts=contacts,
+                contact_mask=self._window_mask(
+                    contact_mask, t0, t1, t_steps, c
+                ),
+                ground_height=ground_height, f_ext=f_ext,
+            )
+            yield t0, t1, result
+            if t1 < t_steps and cancelled is not None and cancelled():
+                return
+            q, qd = result.qs[:, -1], result.qds[:, -1]
+
     def _step(self, model, q, qd, tau, fe, dt, contacts, active):
         """One integrator step; returns (q+, qd+, step forces)."""
         if self.scheme == "rk4":
@@ -488,6 +567,38 @@ class RolloutPlan:
                 f"backend={self.backend_name!r})")
 
 
+def concat_windows(windows: list[RolloutResult]) -> RolloutResult:
+    """Reassemble windowed rollout slices into one :class:`RolloutResult`.
+
+    Each window's ``qs``/``qds`` carry their own initial state in row 0
+    (duplicating the previous window's final state), so concatenation
+    drops the leading row of every window after the first.  The result is
+    bitwise equal to the uninterrupted rollout the windows partition.
+    """
+    if not windows:
+        raise ValueError("no windows to concatenate")
+    first = windows[0]
+
+    def cat(pick, skip_first_row: bool):
+        parts = [pick(w) for w in windows]
+        if any(p is None for p in parts):
+            return None
+        if skip_first_row:
+            parts = [parts[0]] + [p[:, 1:] for p in parts[1:]]
+        return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
+
+    return RolloutResult(
+        qs=cat(lambda w: w.qs, True),
+        qds=cat(lambda w: w.qds, True),
+        controls=cat(lambda w: w.controls, False),
+        forces=cat(lambda w: w.forces, False),
+        active=cat(lambda w: w.active, False),
+        a_matrices=None, b_matrices=None,
+        scheme=first.scheme, dt=first.dt,
+        engine=first.engine, backend=first.backend,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Memoization (shared with the serve artifact cache)
 # ---------------------------------------------------------------------------
@@ -588,6 +699,18 @@ class RolloutEngine:
             sensitivities=sensitivities,
         )
 
+    def rollout_windows(self, model: RobotModel, q0, qd0, controls, *,
+                        dt: float, window: int, contacts=None,
+                        contact_mask=None, ground_height: float = 0.0,
+                        f_ext=None, cancelled=None):
+        """Stream the rollout per window of ``window`` knots; see
+        :meth:`RolloutPlan.rollout_windows`."""
+        return self.plan(model).rollout_windows(
+            model, q0, qd0, controls, dt=dt, window=window,
+            contacts=contacts, contact_mask=contact_mask,
+            ground_height=ground_height, f_ext=f_ext, cancelled=cancelled,
+        )
+
 
 __all__ = [
     "RolloutEngine",
@@ -596,5 +719,6 @@ __all__ = [
     "RolloutWorkspace",
     "SCHEMES",
     "TaskTrajectory",
+    "concat_windows",
     "rollout_plan_for",
 ]

@@ -138,6 +138,7 @@ from repro.serve.request import (
     ServeResult,
     ServiceClosed,
     ServiceOverloaded,
+    StreamCancelledError,
 )
 from repro.serve.service import DynamicsService
 
@@ -168,6 +169,7 @@ __all__ = [
     "ShardConfig",
     "ShardPool",
     "ShardState",
+    "StreamCancelledError",
     "engine_throughput_hint",
     "format_serve_table",
     "mass_matrix_sparsity",

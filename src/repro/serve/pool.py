@@ -151,7 +151,9 @@ class ShardState:
     #: (cooldown elapsed; one probe's worth of traffic allowed) ->
     #: ``healthy`` on success / back to ``open`` on failure.
     #: ``draining`` is the administrative state (graceful restart):
-    #: placement skips the shard but queued work finishes.
+    #: placement skips the shard but queued work finishes.  ``removed``
+    #: is terminal: the shard was scaled out of the pool (its slot stays
+    #: so indices remain stable, but placement never returns).
     health: str = "healthy"
     #: Monotonic time the open breaker's cooldown elapses.
     breaker_open_until: float = 0.0
@@ -230,7 +232,7 @@ class ShardState:
         whose cooldown has elapsed transitions to ``half_open`` (probe
         traffic allowed) as a side effect of being asked."""
         with self._lock:
-            if self.health == "draining":
+            if self.health in ("draining", "removed"):
                 return False
             if self.health == "open":
                 if now >= self.breaker_open_until:
@@ -310,6 +312,11 @@ class ShardPool:
         self.shards = [ShardState(i) for i in range(n_shards)]
         self._rr_next = 0
         self._lock = threading.Lock()
+        #: Elastic-pool event log: every :meth:`add_shard` /
+        #: :meth:`remove_shard` appends ``{"action", "shard", "t_s",
+        #: "active", "reason"}`` (the autoscaler's audit trail, exposed
+        #: through the service's admin schema and telemetry).
+        self._scale_events: list[dict] = []
         #: Bounded log of placement decisions: which shard won, why, and
         #: the cost scores at decision time (``least_loaded`` records the
         #: whole scoreboard; ``round_robin`` has no scores to record).
@@ -330,6 +337,68 @@ class ShardPool:
     def n_shards(self) -> int:
         return len(self.shards)
 
+    @property
+    def n_active(self) -> int:
+        """Shards still in the pool (everything not scaled ``removed``)."""
+        return sum(1 for s in self.shards if s.health != "removed")
+
+    def scale_events(self) -> list[dict]:
+        """Elastic-pool add/remove decisions, oldest first."""
+        with self._lock:
+            return list(self._scale_events)
+
+    def _record_scale_locked(self, action: str, index: int,
+                             reason: str) -> None:
+        self._scale_events.append({
+            "action": action,
+            "shard": index,
+            "t_s": time.monotonic(),
+            "active": sum(1 for s in self.shards if s.health != "removed"),
+            "reason": reason,
+        })
+
+    def add_shard(self, config: ShardConfig | None = None,
+                  reason: str = "manual") -> ShardState:
+        """Grow the pool by one shard (a fresh modeled accelerator card
+        with its own executor); returns the new :class:`ShardState`.
+
+        The caller (:meth:`DynamicsService.scale_up`) must have resolved
+        the shard's engine/backend *before* calling, so the shard is
+        fully servable the moment placement can see it.
+        """
+        config = config or ShardConfig()
+        with self._lock:
+            index = len(self.shards)
+            shard = ShardState(index)
+            self.shard_configs = self.shard_configs + (config,)
+            self._executors.append(ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"repro-serve-shard{index}"
+            ))
+            self.shards.append(shard)
+            self._record_scale_locked("add", index, reason)
+        return shard
+
+    def remove_shard(self, index: int, wait_s: float = 2.0,
+                     reason: str = "manual") -> bool:
+        """Drain-before-remove: stop placement, let queued work finish
+        (up to ``wait_s``), then retire the shard permanently.
+
+        Returns True iff the shard drained clean within the wait.  The
+        slot stays in :attr:`shards` with health ``removed`` so shard
+        indices (metrics, placement events, service-side engine tables)
+        stay stable; its executor is shut down without cancelling queued
+        work, so a slow drain still completes — it just finishes after
+        removal.
+        """
+        shard = self.shards[index]
+        self.drain(index, wait_s=wait_s)
+        clean = shard.backlog()[0] == 0
+        shard.set_health("removed")
+        with self._lock:
+            self._record_scale_locked("remove", index, reason)
+        self._executors[index].shutdown(wait=False)
+        return clean
+
     def select(self) -> ShardState:
         """Pick the shard the next batch lands on."""
         with self._lock:
@@ -348,9 +417,16 @@ class ShardPool:
         """
         eligible = [s for s in self.shards if s.selectable(now)]
         if not eligible:
-            eligible = [s for s in self.shards if s.health != "draining"]
+            eligible = [
+                s for s in self.shards
+                if s.health not in ("draining", "removed")
+            ]
         if not eligible:
-            eligible = self.shards
+            # Literally everything is draining/removed: fall back to the
+            # draining shards before the removed ones (whose executors
+            # may already be gone).
+            eligible = ([s for s in self.shards if s.health != "removed"]
+                        or self.shards)
         if self.policy == "round_robin":
             for _ in range(len(self.shards)):
                 shard = self.shards[self._rr_next]
@@ -388,7 +464,13 @@ class ShardPool:
 
     def restart(self, index: int) -> None:
         """Return a drained (or quarantined) shard to service with a
-        clean failure record."""
+        clean failure record.  Removed shards are gone for good — their
+        executor is shut down; grow the pool with :meth:`add_shard`."""
+        if self.shards[index].health == "removed":
+            raise ValueError(
+                f"shard {index} was removed from the pool and cannot be "
+                "restarted; add a new shard instead"
+            )
         self.shards[index].set_health("healthy")
 
     def _log_placement_locked(self, shard: ShardState,

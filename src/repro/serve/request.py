@@ -10,6 +10,7 @@ the service tracks — host wall time and modeled accelerator cycles.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
@@ -38,6 +39,15 @@ class DeadlineExceededError(ServeError):
     out of the batcher's pending queues, and the shard worker re-checks
     at dispatch time (a request can expire while its batch waits in a
     shard's one-at-a-time execution queue)."""
+
+
+class StreamCancelledError(ServeError):
+    """A streaming rollout was cancelled by its consumer mid-stream.
+
+    The request's future resolves with this error instead of a full
+    trajectory; the unsimulated tail of the rollout is abandoned, so a
+    closed-loop client that re-plans after the first windows hands the
+    shard back instead of paying for knots nobody will read."""
 
 
 class BatchExecutionError(ServeError):
@@ -194,6 +204,17 @@ class RolloutRequest:
     #: the rollout engine already accepts per-task stacks).
     f_ext: dict[int, np.ndarray] | None = None
     sensitivities: bool = False
+    #: Streaming window: when set, the rollout executes (and its batch's
+    #: futures resolve) per window of this many knots — ``on_window`` is
+    #: invoked after each completed window with
+    #: ``(t0, t1, TaskTrajectory, done)`` and the future still resolves
+    #: with the full reassembled trajectory at the end.  Part of the
+    #: coalescing key (only same-window rollouts share a slab).
+    window: int | None = None
+    #: Per-window delivery callback (called on the shard thread; must be
+    #: cheap and must not raise — exceptions are swallowed so a client
+    #: callback cannot poison its batchmates).
+    on_window: object | None = None
     arrival_s: float = 0.0
     #: Per-request deadline, seconds from arrival (see
     #: :attr:`ServeRequest.deadline_s`).
@@ -201,6 +222,12 @@ class RolloutRequest:
     #: Failed-execution count (see :attr:`ServeRequest.attempts`).
     attempts: int = 0
     urgent: bool = False
+    #: Mid-stream cancellation flag (streaming rollouts only): set via
+    #: :meth:`cancel_stream`; the windowed executor stops simulating once
+    #: every live request in the batch is cancelled and resolves the
+    #: cancelled futures with :class:`StreamCancelledError`.
+    _cancel: threading.Event = field(default_factory=threading.Event,
+                                     repr=False)
     #: Trace ID + ``perf_counter`` submission timestamp (see
     #: :class:`ServeRequest`).
     trace_id: str | None = None
@@ -219,11 +246,20 @@ class RolloutRequest:
     @property
     def key(self) -> tuple:
         """Coalescing key: only rollouts sharing integrator, step size,
-        horizon and contact set can ride one ``(n, T, ...)`` slab."""
+        horizon, contact set and streaming window can ride one
+        ``(n, T, ...)`` slab."""
         from repro.dynamics.contact_batch import contact_signature
 
         return ("rollout", self.robot, self.scheme, self.dt, self.horizon,
-                contact_signature(self.contacts), self.sensitivities)
+                contact_signature(self.contacts), self.sensitivities,
+                self.window)
+
+    def cancel_stream(self) -> None:
+        """Ask the windowed executor to stop simulating this rollout."""
+        self._cancel.set()
+
+    def stream_cancelled(self) -> bool:
+        return self._cancel.is_set()
 
     def expired(self, now: float) -> bool:
         """True once the per-request deadline has passed."""
@@ -249,6 +285,9 @@ class RolloutServeResult:
     shard: int
     engine: str = ""
     backend: str = ""
+    #: Streaming delivery record: number of windows streamed before the
+    #: future resolved (0 for non-windowed rollouts).
+    windows: int = 0
 
 
 @dataclass

@@ -74,7 +74,7 @@ from repro.serve.pool import (
 )
 from repro.model.library import load_robot
 from repro.obs import Telemetry, Tracer
-from repro.rollout import SCHEMES
+from repro.rollout import SCHEMES, concat_windows
 from repro import faults as _faults
 from repro.serve.request import (
     BatchExecutionError,
@@ -87,6 +87,7 @@ from repro.serve.request import (
     ServeResult,
     ServiceClosed,
     ServiceOverloaded,
+    StreamCancelledError,
 )
 
 
@@ -215,6 +216,20 @@ class DynamicsService:
         #: probe evaluates a cheap M on it (None until traffic arrives).
         self._last_robot: str | None = None
         self._closed = False
+        #: Set once the first close() has fully finished (pool drained,
+        #: leftovers resolved).  Concurrent/repeated close() calls block
+        #: on it instead of returning while the ledger is still being
+        #: resolved — close is idempotent *and* a barrier.
+        self._close_done = threading.Event()
+        #: Serializes elastic-pool mutations (scale_up / scale_down): the
+        #: per-shard engine/backend/cache tables must be extended before
+        #: placement can see a new shard.
+        self._scale_lock = threading.Lock()
+        #: Cumulative admitted work in cost units (1 per plain request,
+        #: the horizon per rollout) — the autoscaler's demand signal,
+        #: sampled as a rate and compared against the pool's measured
+        #: capacity.
+        self._submitted_cost = 0
         #: Serializes enqueue against shutdown: a request either lands in
         #: the batcher before close() drains it, or observes _closed —
         #: never slips in after the final drain (which would orphan its
@@ -385,6 +400,7 @@ class DynamicsService:
                 raise ServiceClosed("service is shut down")
             with self._counter_lock:
                 dispatched = self._dispatched_outstanding
+                self._submitted_cost += 1
             if urgent:
                 # Priority bypass: same backpressure bound, no coalescing.
                 self._check_backpressure(1)
@@ -452,6 +468,8 @@ class DynamicsService:
             # Chains bypass the batcher but not its backpressure: the
             # whole backlog (queued + dispatched) stays under one bound.
             self._check_backpressure(n)
+            with self._counter_lock:
+                self._submitted_cost += n
             for r in requests:
                 self._track(r)
             self._dispatch(requests, chained=True)
@@ -499,6 +517,16 @@ class DynamicsService:
             raise ValueError(
                 "sensitivities are not available for contact rollouts"
             )
+        if request.window is not None:
+            if request.window < 1:
+                raise ValueError(
+                    f"window must be >= 1, got {request.window}"
+                )
+            if request.sensitivities:
+                raise ValueError(
+                    "streaming windows are not available for sensitivity "
+                    "rollouts (A/B matrices are whole-trajectory outputs)"
+                )
         if request.f_ext:
             for link, value in request.f_ext.items():
                 if not 0 <= link < model.nb:
@@ -526,6 +554,8 @@ class DynamicsService:
         sensitivities: bool = False,
         urgent: bool = False,
         deadline_s: float | None = None,
+        window: int | None = None,
+        on_window=None,
     ) -> Future:
         """Submit one whole-trajectory rollout; resolves to a
         :class:`RolloutServeResult`.
@@ -542,6 +572,20 @@ class DynamicsService:
         ``urgent=True`` bypasses the batcher like plain urgent requests
         do; ``deadline_s`` sheds the rollout if it expires before
         execution (see :meth:`submit`).
+
+        Streaming: ``window=W`` executes the rollout in windows of ``W``
+        knots and calls ``on_window(t0, t1, trajectory, done)`` after
+        each completed window (on the shard thread; the ``trajectory``
+        is that window's :class:`~repro.rollout.TaskTrajectory` slice).
+        The future still resolves with the full reassembled trajectory
+        — bitwise identical to the non-windowed rollout, since the
+        integrators are Markovian in the carried state.  Calling the
+        returned future's ``cancel_stream()`` (attached for windowed
+        submissions) abandons the unsimulated tail once every rollout in
+        the coalesced batch is cancelled, resolving the future with
+        :class:`~repro.serve.request.StreamCancelledError`.  Windows are
+        part of the coalescing key, so only same-window rollouts share a
+        slab.  Incompatible with ``sensitivities``.
         """
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
@@ -560,8 +604,14 @@ class DynamicsService:
             sensitivities=sensitivities,
             urgent=urgent,
             deadline_s=deadline_s,
+            window=None if window is None else int(window),
+            on_window=on_window,
         )
         self._validate_rollout(request)
+        if request.window is not None:
+            # Hand the consumer a cancellation handle without exposing
+            # the request record: futures accept ad-hoc attributes.
+            request.future.cancel_stream = request.cancel_stream
         self._mark_trace(request)
         self._last_robot = robot
         with self._lifecycle_lock:
@@ -569,6 +619,7 @@ class DynamicsService:
                 raise ServiceClosed("service is shut down")
             with self._counter_lock:
                 dispatched = self._dispatched_outstanding
+                self._submitted_cost += request.horizon
             if urgent:
                 self._check_backpressure(1)
                 request.arrival_s = time.monotonic()
@@ -603,29 +654,44 @@ class DynamicsService:
         a crashed recovery path or a retry that raced shutdown) is
         resolved with ``ServeError("service shut down")`` — clients
         never hang on a closed service.
+
+        Idempotent and a barrier: concurrent callers block until the
+        first closer has fully finished (pool drained, leftover futures
+        resolved) instead of returning while the inflight ledger is
+        still being emptied — an async shutdown that double-closes must
+        not observe live futures after *any* ``close()`` returns.
         """
         with self._lifecycle_lock:
-            if self._closed:
-                return
+            already = self._closed
             self._closed = True
-        self._wake.set()
-        self._flusher.join(timeout=5.0)
-        with self._lifecycle_lock:
-            # Any concurrent submit has either enqueued by now (this drain
-            # picks it up) or will observe _closed and raise.
-            for batch in self.batcher.drain():
-                self._dispatch(batch, chained=False)
-            self.pool.shutdown()
-            with self._inflight_lock:
-                leftovers = list(self._inflight)
-                self._inflight.clear()
-            for future in leftovers:
-                if future.done():
-                    continue
-                try:
-                    future.set_exception(ServeError("service shut down"))
-                except InvalidStateError:
-                    pass
+        if already:
+            # A previous (possibly concurrent) closer owns the teardown;
+            # wait for it so this return means "fully closed" too.
+            self._close_done.wait(timeout=10.0)
+            return
+        try:
+            self._wake.set()
+            self._flusher.join(timeout=5.0)
+            with self._lifecycle_lock:
+                # Any concurrent submit has either enqueued by now (this
+                # drain picks it up) or will observe _closed and raise.
+                for batch in self.batcher.drain():
+                    self._dispatch(batch, chained=False)
+                self.pool.shutdown()
+                with self._inflight_lock:
+                    leftovers = list(self._inflight)
+                    self._inflight.clear()
+                for future in leftovers:
+                    if future.done():
+                        continue
+                    try:
+                        future.set_exception(ServeError("service shut down"))
+                    except InvalidStateError:
+                        pass
+        finally:
+            # Set even if teardown raised: blocked co-closers must not
+            # hang on a failed close.
+            self._close_done.set()
 
     def __enter__(self) -> "DynamicsService":
         return self
@@ -640,7 +706,7 @@ class DynamicsService:
     def modeled_throughput_rps(self) -> float:
         """Sustained request throughput implied by the cycle model."""
         return self.metrics.modeled_throughput_rps(
-            self.config.clock_hz, self.pool.n_shards
+            self.config.clock_hz, max(self.pool.n_active, 1)
         )
 
     def stats(self) -> dict:
@@ -670,6 +736,9 @@ class DynamicsService:
             "modeled_throughput_rps": self.modeled_throughput_rps(),
             "shard_busy_cycles": self.pool.busy_cycles(),
             "placement_events": len(self.pool.placement_events()),
+            "active_shards": self.pool.n_active,
+            "scale_events": len(self.pool.scale_events()),
+            "submitted_cost": self.submitted_cost(),
         })
         return out
 
@@ -718,7 +787,7 @@ class DynamicsService:
                 "Sustained capacity implied by the cycle model"
                 ).set(self.modeled_throughput_rps())
         health_code = {"healthy": 0, "half_open": 1, "open": 2,
-                       "draining": 3}
+                       "draining": 3, "removed": 4}
         for row in self.pool.describe():
             labels = {"shard": row["shard"]}
             t.gauge("shard_weight", "Placement throughput weight",
@@ -730,7 +799,7 @@ class DynamicsService:
                       **labels).set(row["dispatched_requests"])
             t.gauge("shard_health",
                     "Breaker state (0 healthy, 1 half-open, 2 open, "
-                    "3 draining)",
+                    "3 draining, 4 removed)",
                     **labels).set(health_code.get(row["health"], -1))
             t.counter("shard_failures_total",
                       "Batch failures recorded against the shard",
@@ -741,7 +810,137 @@ class DynamicsService:
         t.counter("shard_placement_events_total",
                   "Placement decisions retained in the event log"
                   ).set(len(self.pool.placement_events()))
+        t.gauge("pool_active_shards",
+                "Shards currently in the pool (not scaled away)"
+                ).set(self.pool.n_active)
+        scale_events = self.pool.scale_events()
+        t.counter("pool_scale_up_total",
+                  "Elastic-pool shard additions").set(
+            sum(1 for e in scale_events if e["action"] == "add"))
+        t.counter("pool_scale_down_total",
+                  "Elastic-pool shard removals").set(
+            sum(1 for e in scale_events if e["action"] == "remove"))
+        t.counter("serve_submitted_cost_total",
+                  "Admitted work in cost units (autoscaler demand signal)"
+                  ).set(self.submitted_cost())
         return t
+
+    # ------------------------------------------------------------------
+    # Elastic pool & admin surface
+    # ------------------------------------------------------------------
+
+    def submitted_cost(self) -> int:
+        """Cumulative admitted work in cost units (1 per plain request,
+        the horizon per rollout) — sampled as a rate, this is the demand
+        signal the autoscaler compares against measured capacity."""
+        with self._counter_lock:
+            return self._submitted_cost
+
+    def scale_up(self, shard_config: ShardConfig | None = None,
+                 reason: str = "manual") -> int:
+        """Grow the pool by one shard; returns the new shard's index.
+
+        The per-shard engine/backend/accelerator/cache tables are
+        extended *before* the pool makes the shard placeable, so a
+        dispatch racing the scale-up can never index past them.  Shards
+        with an accelerator override matching an existing shard share
+        its artifact cache (replicating a bitstream, not rebuilding it).
+        """
+        with self._scale_lock:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            shard_config = shard_config or ShardConfig()
+            eng, backend_name = self._resolve_shard(shard_config)
+            accel = shard_config.accelerator
+            if accel is None:
+                accel, cache = self.config, self.cache
+            else:
+                cache = next(
+                    (c for a, c in zip(self._shard_accels,
+                                       self._shard_caches) if a == accel),
+                    None,
+                ) or (self.cache if accel == self.config
+                      else ArtifactCache(accel))
+            self._shard_engines.append(eng)
+            self._shard_backends.append(backend_name)
+            self._shard_accels.append(accel)
+            self._shard_caches.append(cache)
+            shard = self.pool.add_shard(shard_config, reason=reason)
+            shard.engine_name = eng.name
+            shard.backend_name = backend_name
+            shard.accel_desc = accelerator_desc(shard_config.accelerator)
+            shard.weight = (
+                shard_config.throughput_weight
+                if shard_config.throughput_weight is not None
+                else engine_throughput_hint(eng)
+            )
+            shard.prior_weight = shard.weight
+            return shard.index
+
+    def scale_down(self, index: int | None = None, wait_s: float = 2.0,
+                   reason: str = "manual") -> int:
+        """Drain and permanently remove one shard; returns its index.
+
+        Defaults to the highest-indexed active shard.  The shard drains
+        first (placement stops, queued work finishes up to ``wait_s``),
+        reusing the same machinery as admin drains; its slot stays in
+        the pool with health ``removed`` so shard indices — and the
+        engine/cache tables keyed by them — stay stable.  Refuses to
+        remove the last active shard.
+        """
+        with self._scale_lock:
+            if self.pool.n_active <= 1:
+                raise ValueError("cannot remove the last active shard")
+            if index is None:
+                index = max(
+                    i for i, s in enumerate(self.pool.shards)
+                    if s.health != "removed"
+                )
+            if self.pool.shards[index].health == "removed":
+                raise ValueError(f"shard {index} is already removed")
+            self.pool.remove_shard(index, wait_s=wait_s, reason=reason)
+            return index
+
+    def drain_shard(self, index: int, wait_s: float | None = None) -> None:
+        """Admin drain: stop placing on the shard, let its queue empty."""
+        self.pool.drain(index, wait_s=wait_s)
+
+    def restart_shard(self, index: int) -> None:
+        """Admin restart: return a drained/quarantined shard to service."""
+        self.pool.restart(index)
+
+    def admin_state(self) -> dict:
+        """Stable admin-facing snapshot of the serving plane.
+
+        This is the schema the async admin endpoint serves: per-shard
+        health/breaker/ledger rows (:meth:`ShardPool.describe` plus the
+        live backlog), the elastic-pool event log, and the service-level
+        counters an operator acts on.  Fields are additive-only.
+        """
+        shards = []
+        for row, shard in zip(self.pool.describe(), self.pool.shards):
+            row = dict(row)
+            row["backlog"] = shard.backlog()[0]
+            shards.append(row)
+        with self._counter_lock:
+            submitted_cost = self._submitted_cost
+            dispatched = self._dispatched_outstanding
+        return {
+            "closed": self._closed,
+            "shards": shards,
+            "active_shards": self.pool.n_active,
+            "scale_events": self.pool.scale_events(),
+            "submitted_cost": submitted_cost,
+            "dispatched_outstanding": dispatched,
+            "queued": len(self.batcher),
+            "accepted": self.batcher.stats.accepted,
+            "rejected": self.batcher.stats.rejected,
+            "shed": self.batcher.stats.shed,
+            "breaker_opens": sum(
+                s.breaker_opens for s in self.pool.shards
+            ),
+            "modeled_throughput_rps": self.modeled_throughput_rps(),
+        }
 
     # ------------------------------------------------------------------
     # Runtime internals
@@ -1302,6 +1501,12 @@ class DynamicsService:
             ])
         f_ext = self._stack_f_ext(batch)
         plan = artifacts.rollout_plan(first.scheme, engine, backend_name)
+        if first.window is not None:
+            return self._execute_rollout_windowed(
+                shard, batch, plan, model, q0, qd0, controls,
+                contacts=contacts, mask=mask, f_ext=f_ext,
+                artifacts=artifacts,
+            )
         exec_start = time.perf_counter()
         result = plan.rollout(
             model, q0, qd0, controls, dt=first.dt, contacts=contacts,
@@ -1343,6 +1548,115 @@ class DynamicsService:
                     shard=shard.index,
                     engine=engine.name,
                     backend=backend_name,
+                ))
+            except InvalidStateError:
+                continue
+        return makespan
+
+    def _execute_rollout_windowed(
+        self, shard: ShardState, batch: list[RolloutRequest], plan,
+        model, q0: np.ndarray, qd0: np.ndarray, controls: np.ndarray, *,
+        contacts, mask, f_ext, artifacts: RobotArtifacts,
+    ) -> float:
+        """Run one coalesced *streaming* rollout slab on ``shard``.
+
+        The slab advances per window of ``first.window`` knots; after
+        each window every live request's ``on_window`` callback fires
+        with its task's window slice, and at the end the windows are
+        reassembled (:func:`repro.rollout.concat_windows`) into the same
+        full trajectory the non-windowed path produces — bitwise, since
+        the integrators carry only the last state between windows.
+
+        Cancellation: stepping stops early only once *every* request in
+        the batch has been stream-cancelled (batchmates still need the
+        tail rows of the shared slab).  Cancelled requests resolve with
+        :class:`~repro.serve.request.StreamCancelledError` whether or
+        not their batchmates forced the tail to be simulated.
+        """
+        first = batch[0]
+        engine = self._shard_engines[shard.index]
+        backend_name = self._shard_backends[shard.index]
+        accel_config = self._shard_accels[shard.index]
+        n = len(batch)
+        t_steps = first.horizon
+        tracer = self.tracer
+        windows: list = []
+        t_done = 0
+        exec_start = time.perf_counter()
+        w_t0 = exec_start
+        for t0, t1, wres in plan.rollout_windows(
+            model, q0, qd0, controls, dt=first.dt, window=first.window,
+            contacts=contacts, contact_mask=mask, f_ext=f_ext,
+            cancelled=lambda: all(r.stream_cancelled() for r in batch),
+        ):
+            windows.append(wres)
+            t_done = t1
+            done = t1 >= t_steps
+            for k, r in enumerate(batch):
+                callback = r.on_window
+                if callback is None or r.stream_cancelled():
+                    continue
+                try:
+                    callback(t0, t1, wres.task(k), done)
+                except Exception:
+                    # A client callback must not poison its batchmates
+                    # (or trip the shard's recovery ladder).
+                    pass
+            w_now = time.perf_counter()
+            if tracer is not None and first.trace_id:
+                tracer.record(
+                    "serve.window", w_t0, w_now - w_t0,
+                    trace_id=first.trace_id,
+                    args={"t0": t0, "t1": t1, "batch_size": n,
+                          "shard": shard.index},
+                )
+            w_t0 = w_now
+        exec_wall = time.perf_counter() - exec_start
+        result = windows[0] if len(windows) == 1 else concat_windows(windows)
+        profile = self._profile(artifacts, RBDFunction.FD, n, False,
+                                config=accel_config)
+        # Modeled cost scales with the knots actually simulated: a
+        # cancelled stream hands back the unspent tail.
+        passes = SCHEMES[first.scheme] * t_done
+        makespan = profile.makespan_cycles * passes
+        latency_cycles = profile.mean_latency_cycles * passes
+        self.metrics.record_batch(
+            n, makespan, engine=engine.name, backend=backend_name,
+            shard=shard.index, wall_s=exec_wall, rows=n * t_done,
+        )
+        self.pool.recalibrate_weights(self.metrics.measured_shard_rps())
+        modeled_s = accel_config.cycles_to_seconds(latency_cycles)
+        now = time.monotonic()
+        for k, r in enumerate(batch):
+            self._forget(r)
+            if r.future.cancelled():
+                continue
+            if r.stream_cancelled() or t_done < t_steps:
+                try:
+                    r.future.set_exception(StreamCancelledError(
+                        f"rollout stream cancelled after {t_done}/{t_steps}"
+                        f" knots (robot={r.robot!r})"
+                    ))
+                except InvalidStateError:
+                    pass
+                continue
+            self.metrics.record_request(now - r.arrival_s, modeled_s)
+            self.metrics.record_rollout(t_steps, now - r.arrival_s)
+            try:
+                r.future.set_result(RolloutServeResult(
+                    robot=r.robot,
+                    scheme=r.scheme,
+                    value=result.task(k),
+                    wall_latency_s=now - r.arrival_s,
+                    modeled_latency_cycles=latency_cycles,
+                    modeled_latency_s=modeled_s,
+                    modeled_makespan_cycles=makespan,
+                    horizon=t_steps,
+                    batch_size=n,
+                    shard=shard.index,
+                    engine=engine.name,
+                    backend=backend_name,
+                    windows=len(windows),
                 ))
             except InvalidStateError:
                 continue

@@ -5,6 +5,7 @@ Every scenario arms :mod:`repro.faults` with a deterministic seed (or
 hand-builds a poison request), so failures here replay exactly.
 """
 
+import threading
 import time
 
 import numpy as np
@@ -313,6 +314,37 @@ class TestShutdownSemantics:
         svc.close()
         for f in futures:
             assert f.result(timeout=10.0).value.shape == (7, 7)
+
+    def test_concurrent_close_is_idempotent(self):
+        """Racing close() calls all block until teardown completes.
+
+        Regression: a second closer used to return immediately on the
+        already-set flag while the first was still mid-teardown, so
+        callers could observe a "closed" service with live shards and
+        unresolved futures."""
+        svc = DynamicsService(n_shards=2)
+        futures = [svc.submit("iiwa", RBDFunction.M, np.zeros(7))
+                   for _ in range(8)]
+        errors = []
+
+        def closer():
+            try:
+                svc.close()
+                # Any returned close() must see finished teardown.
+                assert all(f.done() for f in futures)
+            except Exception as exc:           # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=15.0)
+        assert not errors
+        assert not any(t.is_alive() for t in threads)
+        for f in futures:
+            f.result(timeout=0)                # drained, not stranded
+        svc.close()                            # still safe afterwards
 
 
 class TestWorkerDeath:
